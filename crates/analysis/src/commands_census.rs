@@ -1,0 +1,110 @@
+//! Runner-command usage census (paper Table 2, RQ1).
+
+use squality_formats::{command_count, ControlCommand, RecordKind, TestFile, TestRecord};
+use std::collections::BTreeMap;
+
+/// Non-SQL command usage over a suite.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommandUsage {
+    /// Occurrences per census name (`require`, `loop`, `\d`, `echo`...).
+    pub counts: BTreeMap<String, usize>,
+    /// Total non-SQL command records.
+    pub total: usize,
+}
+
+impl CommandUsage {
+    /// How many distinct commands appear.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Count the runner commands a suite actually uses, like the paper's
+/// "59 out of 114 unique CLI commands" observation for PostgreSQL.
+pub fn command_usage(files: &[TestFile]) -> CommandUsage {
+    let mut usage = CommandUsage::default();
+    for f in files {
+        walk(&f.records, &mut usage);
+    }
+    usage
+}
+
+fn walk(records: &[TestRecord], usage: &mut CommandUsage) {
+    for rec in records {
+        if let RecordKind::Control(cmd) = &rec.kind {
+            *usage.counts.entry(cmd.census_name()).or_insert(0) += 1;
+            usage.total += 1;
+            match cmd {
+                ControlCommand::Loop { body, .. } | ControlCommand::Foreach { body, .. } => {
+                    walk(body, usage)
+                }
+                _ => {}
+            }
+        }
+        // skipif/onlyif conditions are runner features too.
+        for c in &rec.conditions {
+            let name = match c {
+                squality_formats::Condition::SkipIf(_) => "skipif",
+                squality_formats::Condition::OnlyIf(_) => "onlyif",
+            };
+            *usage.counts.entry(name.to_string()).or_insert(0) += 1;
+            usage.total += 1;
+        }
+    }
+}
+
+/// The supported-command count of each runner (Table 2's bottom rows),
+/// re-exported for report rendering.
+pub fn registry_size(suite: squality_formats::SuiteKind) -> usize {
+    command_count(suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squality_formats::{parse_slt, SltFlavor, SuiteKind};
+
+    #[test]
+    fn counts_commands_and_conditions() {
+        let slt = "\
+hash-threshold 8
+
+skipif mysql
+query I nosort
+SELECT 1
+----
+1
+
+halt
+";
+        let f = parse_slt("c", slt, SltFlavor::Classic);
+        let u = command_usage(&[f]);
+        assert_eq!(u.counts["hash-threshold"], 1);
+        assert_eq!(u.counts["skipif"], 1);
+        assert_eq!(u.counts["halt"], 1);
+        assert_eq!(u.distinct(), 3);
+    }
+
+    #[test]
+    fn loop_bodies_descended() {
+        let slt = "\
+loop i 0 2
+
+require json
+
+endloop
+";
+        let f = parse_slt("c", slt, SltFlavor::Duckdb);
+        let u = command_usage(&[f]);
+        assert_eq!(u.counts["loop"], 1);
+        assert_eq!(u.counts["require"], 1);
+    }
+
+    #[test]
+    fn registry_sizes_match_table2() {
+        assert_eq!(registry_size(SuiteKind::Slt), 4);
+        assert_eq!(registry_size(SuiteKind::MysqlTest), 112);
+        assert_eq!(registry_size(SuiteKind::PgRegress), 114);
+        assert_eq!(registry_size(SuiteKind::Duckdb), 16);
+    }
+}

@@ -1,0 +1,137 @@
+//! Standard-compliance analysis (paper Table 3).
+
+use crate::statements::all_sql;
+use squality_formats::TestFile;
+use squality_sqltext::{classify, is_standard_compliant, ComplianceOptions, TextDialect};
+
+/// Table 3 for one suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComplianceReport {
+    /// Fraction of statements that are standard-compliant.
+    pub statement_fraction: f64,
+    /// Fraction of files containing *only* standard statements.
+    pub exclusive_file_fraction: f64,
+    /// The same file fraction when CREATE INDEX counts as standard (the
+    /// paper's alternative reading: 63.92% → 99.8% for SLT).
+    pub exclusive_file_fraction_with_index: f64,
+    pub statements: usize,
+    pub files: usize,
+}
+
+/// Compute Table 3 numbers for a set of files.
+pub fn compliance(files: &[TestFile]) -> ComplianceReport {
+    let strict = ComplianceOptions::default();
+    let lenient = ComplianceOptions { create_index_is_standard: true };
+
+    let mut std_statements = 0usize;
+    let mut total_statements = 0usize;
+    let mut exclusive_files = 0usize;
+    let mut exclusive_files_with_index = 0usize;
+
+    for file in files {
+        let sqls = all_sql(std::slice::from_ref(file));
+        let mut all_std = true;
+        let mut all_std_with_index = true;
+        // CLI commands count as non-standard content for file exclusivity.
+        let has_cli = file_has_cli(file);
+        if has_cli {
+            all_std = false;
+            all_std_with_index = false;
+        }
+        for sql in &sqls {
+            let ty = classify(sql, TextDialect::Generic);
+            total_statements += 1;
+            if is_standard_compliant(&ty, strict) {
+                std_statements += 1;
+            } else {
+                all_std = false;
+                if !is_standard_compliant(&ty, lenient) {
+                    all_std_with_index = false;
+                }
+            }
+        }
+        if all_std {
+            exclusive_files += 1;
+        }
+        if all_std_with_index {
+            exclusive_files_with_index += 1;
+        }
+    }
+
+    let nfiles = files.len().max(1);
+    ComplianceReport {
+        statement_fraction: std_statements as f64 / total_statements.max(1) as f64,
+        exclusive_file_fraction: exclusive_files as f64 / nfiles as f64,
+        exclusive_file_fraction_with_index: exclusive_files_with_index as f64 / nfiles as f64,
+        statements: total_statements,
+        files: files.len(),
+    }
+}
+
+fn file_has_cli(file: &TestFile) -> bool {
+    use squality_formats::{ControlCommand, RecordKind};
+    file.records.iter().any(|r| {
+        matches!(&r.kind, RecordKind::Control(ControlCommand::CliCommand(_)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squality_formats::{parse_pg_sql_only, parse_slt, SltFlavor};
+
+    #[test]
+    fn fully_standard_file() {
+        let f = parse_slt(
+            "s",
+            "statement ok\nCREATE TABLE t(a INTEGER)\n\nstatement ok\nINSERT INTO t VALUES (1)\n",
+            SltFlavor::Classic,
+        );
+        let r = compliance(&[f]);
+        assert!((r.statement_fraction - 1.0).abs() < 1e-9);
+        assert!((r.exclusive_file_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn create_index_option_changes_file_fraction() {
+        // A file whose only non-standard statement is CREATE INDEX.
+        let f = parse_slt(
+            "s",
+            "statement ok\nCREATE TABLE t(a INTEGER)\n\nstatement ok\nCREATE INDEX i ON t(a)\n",
+            SltFlavor::Classic,
+        );
+        let r = compliance(&[f]);
+        assert_eq!(r.exclusive_file_fraction, 0.0);
+        assert_eq!(r.exclusive_file_fraction_with_index, 1.0);
+        // One of two statements is strictly standard.
+        assert!((r.statement_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pragma_is_never_standard() {
+        let f = parse_slt(
+            "s",
+            "statement ok\nPRAGMA threads = 1\n\nstatement ok\nSELECT 1\n",
+            SltFlavor::Duckdb,
+        );
+        let r = compliance(&[f]);
+        assert!((r.statement_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(r.exclusive_file_fraction_with_index, 0.0);
+    }
+
+    #[test]
+    fn cli_commands_break_exclusivity() {
+        let f = parse_pg_sql_only("t.sql", "\\d t\nSELECT 1;");
+        let r = compliance(&[f]);
+        assert_eq!(r.exclusive_file_fraction, 0.0);
+        // The SELECT itself is standard.
+        assert!((r.statement_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = compliance(&[]);
+        assert_eq!(r.statements, 0);
+        assert_eq!(r.files, 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! RQ1/RQ2 analyses over unified-IR test suites.
+//!
+//! Implements the paper's measurement instruments: statement-type
+//! distribution (Figure 2), standard compliance at statement and file
+//! granularity (Table 3), WHERE-predicate complexity (Figure 3), join
+//! usage (§4), test-file size distribution (Figure 1), and the runner
+//! command census (Table 2).
+
+pub mod commands_census;
+pub mod compliance;
+pub mod loc;
+pub mod predicates;
+pub mod statements;
+
+pub use commands_census::{command_usage, CommandUsage};
+pub use compliance::{compliance, ComplianceReport};
+pub use loc::{loc_stats, LocStats};
+pub use predicates::{predicate_distribution, PredicateReport};
+pub use statements::{statement_distribution, StatementDistribution};

@@ -1,0 +1,97 @@
+//! Test-file size distribution (paper Figure 1, log scale).
+
+use squality_formats::{
+    write_duckdb, write_mysql_test, write_pg_regress, write_slt, SuiteKind, TestFile,
+};
+
+/// Line-count statistics over a suite's files, in native format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocStats {
+    pub files: usize,
+    pub min: usize,
+    pub p25: usize,
+    pub median: usize,
+    pub p75: usize,
+    pub max: usize,
+    pub mean: f64,
+    pub total: usize,
+}
+
+/// Render each file in its native format and measure line counts.
+pub fn loc_stats(files: &[TestFile]) -> LocStats {
+    let mut locs: Vec<usize> = files.iter().map(file_loc).collect();
+    locs.sort_unstable();
+    let n = locs.len();
+    if n == 0 {
+        return LocStats { files: 0, min: 0, p25: 0, median: 0, p75: 0, max: 0, mean: 0.0, total: 0 };
+    }
+    let total: usize = locs.iter().sum();
+    let q = |p: f64| locs[(((n - 1) as f64) * p).round() as usize];
+    LocStats {
+        files: n,
+        min: locs[0],
+        p25: q(0.25),
+        median: q(0.5),
+        p75: q(0.75),
+        max: locs[n - 1],
+        mean: total as f64 / n as f64,
+        total,
+    }
+}
+
+/// Line count of one file in its donor-native serialization.
+pub fn file_loc(file: &TestFile) -> usize {
+    let text = match file.suite {
+        SuiteKind::Slt => write_slt(file),
+        SuiteKind::Duckdb => write_duckdb(file),
+        SuiteKind::PgRegress => {
+            let (sql, out) = write_pg_regress(file);
+            return sql.lines().count() + out.lines().count();
+        }
+        SuiteKind::MysqlTest => {
+            let (test, result) = write_mysql_test(file);
+            return test.lines().count() + result.lines().count();
+        }
+    };
+    text.lines().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squality_formats::{parse_slt, SltFlavor};
+
+    fn file_with_statements(n: usize) -> TestFile {
+        let mut slt = String::new();
+        for i in 0..n {
+            slt.push_str(&format!("statement ok\nSELECT {i}\n\n"));
+        }
+        parse_slt("f", &slt, SltFlavor::Classic)
+    }
+
+    #[test]
+    fn loc_grows_with_statements() {
+        let small = file_loc(&file_with_statements(2));
+        let large = file_loc(&file_with_statements(50));
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn stats_ordering() {
+        let files: Vec<TestFile> =
+            [1, 5, 10, 50, 100].iter().map(|n| file_with_statements(*n)).collect();
+        let s = loc_stats(&files);
+        assert_eq!(s.files, 5);
+        assert!(s.min <= s.p25 && s.p25 <= s.median);
+        assert!(s.median <= s.p75 && s.p75 <= s.max);
+        assert!(s.mean > 0.0);
+        assert_eq!(s.total, files.iter().map(file_loc).sum::<usize>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = loc_stats(&[]);
+        assert_eq!(s.files, 0);
+        assert_eq!(s.max, 0);
+    }
+}

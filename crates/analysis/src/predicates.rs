@@ -1,0 +1,133 @@
+//! SELECT complexity: WHERE-token buckets (Figure 3) and join usage (§4).
+
+use crate::statements::all_sql;
+use squality_formats::TestFile;
+use squality_sqltext::{
+    classify, join_usage, where_token_bucket, PredicateBucket, StatementType, TextDialect,
+};
+
+/// Figure 3 + join-usage numbers for one suite.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PredicateReport {
+    /// Fraction of SELECTs per bucket, Figure 3 order
+    /// `[0, 1-2, 3-10, 11-100, 100+]`.
+    pub bucket_fractions: [f64; 5],
+    /// Fraction of SELECTs with any join.
+    pub join_fraction: f64,
+    /// Fraction with implicit (comma) joins.
+    pub implicit_join_fraction: f64,
+    /// Fraction with INNER JOIN.
+    pub inner_join_fraction: f64,
+    /// Number of SELECT statements analysed.
+    pub selects: usize,
+}
+
+/// Analyse every SELECT in the files.
+pub fn predicate_distribution(files: &[TestFile]) -> PredicateReport {
+    let mut counts = [0usize; 5];
+    let mut joins = 0usize;
+    let mut implicit = 0usize;
+    let mut inner = 0usize;
+    let mut selects = 0usize;
+
+    for sql in all_sql(files) {
+        if classify(&sql, TextDialect::Generic) != StatementType::Select {
+            continue;
+        }
+        selects += 1;
+        let bucket = where_token_bucket(&sql, TextDialect::Generic);
+        let idx = PredicateBucket::ALL.iter().position(|b| *b == bucket).expect("bucket");
+        counts[idx] += 1;
+        let ju = join_usage(&sql, TextDialect::Generic);
+        if ju.any() {
+            joins += 1;
+        }
+        if ju.implicit {
+            implicit += 1;
+        }
+        if ju.inner {
+            inner += 1;
+        }
+    }
+
+    let n = selects.max(1) as f64;
+    PredicateReport {
+        bucket_fractions: [
+            counts[0] as f64 / n,
+            counts[1] as f64 / n,
+            counts[2] as f64 / n,
+            counts[3] as f64 / n,
+            counts[4] as f64 / n,
+        ],
+        join_fraction: joins as f64 / n,
+        implicit_join_fraction: implicit as f64 / n,
+        inner_join_fraction: inner as f64 / n,
+        selects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squality_formats::{parse_slt, SltFlavor};
+
+    #[test]
+    fn buckets_and_joins() {
+        let slt = "\
+query I nosort
+SELECT 1
+----
+1
+
+query I nosort
+SELECT a FROM t WHERE a > 3
+----
+1
+
+query I nosort
+SELECT count(*) FROM a, b WHERE a.x = b.x
+----
+0
+
+query I nosort
+SELECT count(*) FROM a INNER JOIN b ON a.x = b.x
+----
+0
+";
+        let f = parse_slt("p", slt, SltFlavor::Classic);
+        let r = predicate_distribution(&[f]);
+        assert_eq!(r.selects, 4);
+        // One no-WHERE, three 3-10-token predicates... the join ON clause is
+        // not a WHERE; the INNER JOIN query has no WHERE at all.
+        assert!(r.bucket_fractions[0] > 0.0);
+        assert!(r.bucket_fractions[2] > 0.0);
+        assert!((r.join_fraction - 0.5).abs() < 1e-9);
+        assert!((r.implicit_join_fraction - 0.25).abs() < 1e-9);
+        assert!((r.inner_join_fraction - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_selects_ignored() {
+        let f = parse_slt(
+            "p",
+            "statement ok\nINSERT INTO t VALUES (1)\n",
+            SltFlavor::Classic,
+        );
+        let r = predicate_distribution(&[f]);
+        assert_eq!(r.selects, 0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let slt = "\
+query I nosort
+SELECT a FROM t WHERE a = 1 AND b = 2
+----
+1
+";
+        let f = parse_slt("p", slt, SltFlavor::Classic);
+        let r = predicate_distribution(&[f]);
+        let sum: f64 = r.bucket_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Statement-type distribution (paper Figure 2).
+
+use squality_formats::{ControlCommand, RecordKind, TestFile, TestRecord};
+use squality_sqltext::{classify, StatementType, TextDialect};
+use std::collections::BTreeMap;
+
+/// Distribution of statement types across a suite.
+#[derive(Debug, Clone, Default)]
+pub struct StatementDistribution {
+    /// Count per display label (e.g. "SELECT", "CREATE TABLE",
+    /// "CLI_COMMAND").
+    pub counts: BTreeMap<String, usize>,
+    pub total: usize,
+}
+
+impl StatementDistribution {
+    /// Fraction for one label.
+    pub fn fraction(&self, label: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            *self.counts.get(label).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+
+    /// Labels sorted by descending frequency.
+    pub fn ranked(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .counts
+            .iter()
+            .map(|(k, c)| (k.clone(), *c as f64 / self.total.max(1) as f64))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Merge another distribution into this one.
+    pub fn merge(&mut self, other: &StatementDistribution) {
+        for (k, c) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Census every SQL statement (and CLI command) in a suite's files.
+pub fn statement_distribution(files: &[TestFile]) -> StatementDistribution {
+    let mut dist = StatementDistribution::default();
+    for file in files {
+        walk(&file.records, &mut dist);
+    }
+    dist
+}
+
+fn walk(records: &[TestRecord], dist: &mut StatementDistribution) {
+    for rec in records {
+        match &rec.kind {
+            RecordKind::Statement { sql, .. } | RecordKind::Query { sql, .. } => {
+                let ty = classify(sql, TextDialect::Generic);
+                bump(dist, &ty);
+            }
+            RecordKind::Control(ControlCommand::CliCommand(_)) => {
+                bump(dist, &StatementType::CliCommand);
+            }
+            RecordKind::Control(ControlCommand::Loop { body, .. })
+            | RecordKind::Control(ControlCommand::Foreach { body, .. }) => {
+                walk(body, dist);
+            }
+            RecordKind::Control(_) => {}
+        }
+    }
+}
+
+fn bump(dist: &mut StatementDistribution, ty: &StatementType) {
+    *dist.counts.entry(ty.label()).or_insert(0) += 1;
+    dist.total += 1;
+}
+
+/// Extract all SQL statement texts from a suite (helper shared by the other
+/// analyses).
+pub fn all_sql(files: &[TestFile]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(records: &[TestRecord], out: &mut Vec<String>) {
+        for rec in records {
+            match &rec.kind {
+                RecordKind::Statement { sql, .. } | RecordKind::Query { sql, .. } => {
+                    out.push(sql.clone())
+                }
+                RecordKind::Control(ControlCommand::Loop { body, .. })
+                | RecordKind::Control(ControlCommand::Foreach { body, .. }) => walk(body, out),
+                _ => {}
+            }
+        }
+    }
+    for f in files {
+        walk(&f.records, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squality_formats::{parse_slt, SltFlavor, SuiteKind};
+
+    fn sample() -> Vec<TestFile> {
+        let slt = "\
+statement ok
+CREATE TABLE t(a INTEGER)
+
+statement ok
+INSERT INTO t VALUES (1)
+
+query I nosort
+SELECT a FROM t
+----
+1
+
+query I nosort
+SELECT count(*) FROM t
+----
+1
+";
+        vec![parse_slt("s.test", slt, SltFlavor::Classic)]
+    }
+
+    #[test]
+    fn counts_statement_types() {
+        let d = statement_distribution(&sample());
+        assert_eq!(d.total, 4);
+        assert_eq!(d.counts["SELECT"], 2);
+        assert_eq!(d.counts["CREATE TABLE"], 1);
+        assert_eq!(d.counts["INSERT"], 1);
+        assert!((d.fraction("SELECT") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let d = statement_distribution(&sample());
+        let r = d.ranked();
+        assert_eq!(r[0].0, "SELECT");
+        assert!(r[0].1 >= r[1].1);
+    }
+
+    #[test]
+    fn cli_commands_counted() {
+        use squality_formats::parse_pg_sql_only;
+        let f = parse_pg_sql_only("t.sql", "\\d t\nSELECT 1;");
+        let d = statement_distribution(&[f]);
+        assert_eq!(d.counts["CLI_COMMAND"], 1);
+        assert_eq!(d.counts["SELECT"], 1);
+    }
+
+    #[test]
+    fn loops_descended() {
+        let slt = "\
+loop i 0 3
+
+statement ok
+INSERT INTO t VALUES (${i})
+
+endloop
+";
+        let f = parse_slt("l.test", slt, SltFlavor::Duckdb);
+        let d = statement_distribution(&[f]);
+        // The loop body is counted once (static census, like the paper's).
+        assert_eq!(d.counts["INSERT"], 1);
+    }
+
+    #[test]
+    fn merge_distributions() {
+        let mut a = statement_distribution(&sample());
+        let b = statement_distribution(&sample());
+        a.merge(&b);
+        assert_eq!(a.total, 8);
+        assert_eq!(a.counts["SELECT"], 4);
+    }
+
+    #[test]
+    fn all_sql_extracts_statements() {
+        let sqls = all_sql(&sample());
+        assert_eq!(sqls.len(), 4);
+        assert!(sqls[0].starts_with("CREATE TABLE"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * exact vs tolerant numeric comparison (paper Listing 10: the original
+//!   DuckDB runner's <1% tolerance masked a real median bug),
+//! * hash-threshold result compression vs full value comparison,
+//! * CLI vs connector client rendering (the RQ3 client-dependency source),
+//! * statement-by-statement vs whole-file validation (SLT vs pg style).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squality_engine::{ClientKind, EngineDialect, Value};
+use squality_formats::{parse_slt, result_hash, QueryExpectation, SltFlavor, SortMode};
+use squality_runner::{
+    validate_query, EngineConnector, NumericMode, Runner, RunnerOptions,
+};
+
+fn bench_numeric_modes(c: &mut Criterion) {
+    // 500 float values, compared under both modes.
+    let actual: Vec<Vec<String>> =
+        (0..500).map(|i| vec![format!("{}.5", 4000 + i)]).collect();
+    let expected = QueryExpectation::Values(
+        (0..500).map(|i| format!("{}", 4000 + i)).collect(),
+    );
+    let mut g = c.benchmark_group("ablation_numeric");
+    g.bench_function("exact", |b| {
+        b.iter(|| validate_query(&actual, &expected, SortMode::NoSort, NumericMode::Exact))
+    });
+    g.bench_function("tolerant_1pct", |b| {
+        b.iter(|| {
+            validate_query(&actual, &expected, SortMode::NoSort, NumericMode::Tolerant(0.01))
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash_threshold(c: &mut Criterion) {
+    let values: Vec<String> = (0..2000).map(|i| i.to_string()).collect();
+    let rows: Vec<Vec<String>> = values.iter().map(|v| vec![v.clone()]).collect();
+    let full = QueryExpectation::Values(values.clone());
+    let hashed = QueryExpectation::Hash { count: values.len(), hash: result_hash(&values) };
+    let mut g = c.benchmark_group("ablation_hash_threshold");
+    g.bench_function("full_comparison_2000_values", |b| {
+        b.iter(|| validate_query(&rows, &full, SortMode::NoSort, NumericMode::Exact))
+    });
+    g.bench_function("hashed_comparison_2000_values", |b| {
+        b.iter(|| validate_query(&rows, &hashed, SortMode::NoSort, NumericMode::Exact))
+    });
+    g.finish();
+}
+
+fn bench_client_rendering(c: &mut Criterion) {
+    let list = Value::List((0..50).map(Value::Integer).collect());
+    let mut g = c.benchmark_group("ablation_client");
+    g.bench_function("cli_render", |b| {
+        b.iter(|| squality_engine::render_value(&list, EngineDialect::Duckdb, ClientKind::Cli))
+    });
+    g.bench_function("connector_render", |b| {
+        b.iter(|| {
+            squality_engine::render_value(&list, EngineDialect::Duckdb, ClientKind::Connector)
+        })
+    });
+    g.finish();
+}
+
+fn bench_validation_granularity(c: &mut Criterion) {
+    // Statement-by-statement (SLT style) vs whole-file (pg style): the
+    // whole-file mode concatenates all outputs and compares once, losing
+    // failure localization but skipping per-record bookkeeping.
+    let mut slt = String::new();
+    slt.push_str("statement ok\nCREATE TABLE t(a INTEGER)\n\n");
+    for i in 0..100 {
+        slt.push_str(&format!("statement ok\nINSERT INTO t VALUES ({i})\n\n"));
+        slt.push_str(&format!(
+            "query I nosort\nSELECT count(*) FROM t\n----\n{}\n\n",
+            i + 1
+        ));
+    }
+    let file = parse_slt("g.test", &slt, SltFlavor::Classic);
+    let mut g = c.benchmark_group("ablation_granularity");
+    g.sample_size(20);
+    g.bench_function("statement_by_statement", |b| {
+        let mut conn = EngineConnector::new(EngineDialect::Sqlite, ClientKind::Cli);
+        let runner = Runner::default();
+        b.iter(|| runner.run_file(&mut conn, &file));
+    });
+    g.bench_function("whole_file_diff", |b| {
+        let mut conn = EngineConnector::new(EngineDialect::Sqlite, ClientKind::Cli);
+        let runner = Runner::new(RunnerOptions::default());
+        b.iter(|| {
+            // Whole-file: run, then reduce to a single pass/fail diff.
+            let r = runner.run_file(&mut conn, &file);
+            let transcript: String = r
+                .results
+                .iter()
+                .map(|res| format!("{:?}\n", res.outcome.is_pass()))
+                .collect();
+            transcript.contains("false")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_numeric_modes,
+    bench_hash_threshold,
+    bench_client_rendering,
+    bench_validation_granularity
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Microbenchmarks for the substrates: lexer, parser, engine execution,
+//! format parsing, and the unified runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squality_engine::{ClientKind, Engine, EngineDialect};
+use squality_formats::{parse_slt, SltFlavor};
+use squality_runner::{EngineConnector, Runner};
+use squality_sqlast::parse_statement;
+use squality_sqltext::{classify, tokenize, where_token_count, TextDialect};
+
+const QUERY: &str =
+    "SELECT a, b, count(*) FROM t1 INNER JOIN t2 ON t1.a = t2.a WHERE b > 10 AND c IN (1, 2, 3) GROUP BY a, b ORDER BY a LIMIT 10";
+
+fn bench_sqltext(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sqltext");
+    g.bench_function("tokenize", |b| b.iter(|| tokenize(QUERY, TextDialect::Generic)));
+    g.bench_function("classify", |b| b.iter(|| classify(QUERY, TextDialect::Generic)));
+    g.bench_function("where_tokens", |b| {
+        b.iter(|| where_token_count(QUERY, TextDialect::Generic))
+    });
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sqlast");
+    g.bench_function("parse_select", |b| {
+        b.iter(|| parse_statement(QUERY, TextDialect::Postgres).unwrap())
+    });
+    g.bench_function("parse_recursive_cte", |b| {
+        b.iter(|| {
+            parse_statement(
+                "WITH RECURSIVE cnt(x) AS (SELECT 1 UNION ALL SELECT x+1 FROM cnt WHERE x < 100) SELECT count(*) FROM cnt",
+                TextDialect::Postgres,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for dialect in EngineDialect::ALL {
+        g.bench_function(format!("insert_select_{dialect}"), |b| {
+            let mut e = Engine::new(dialect);
+            e.execute("CREATE TABLE t(a INTEGER, b INTEGER)").unwrap();
+            for i in 0..100 {
+                e.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
+            }
+            b.iter(|| {
+                e.execute("SELECT a, b FROM t WHERE a > 50 ORDER BY b LIMIT 10").unwrap()
+            });
+        });
+    }
+    g.bench_function("aggregate_group_by", |b| {
+        let mut e = Engine::new(EngineDialect::Duckdb);
+        e.execute("CREATE TABLE t(g INTEGER, v INTEGER)").unwrap();
+        e.execute("INSERT INTO t SELECT * FROM range(0, 200), range(0, 5)").unwrap_or_default();
+        for i in 0..200 {
+            e.execute(&format!("INSERT INTO t VALUES ({}, {i})", i % 10)).unwrap();
+        }
+        b.iter(|| e.execute("SELECT g, sum(v), avg(v) FROM t GROUP BY g").unwrap());
+    });
+    g.finish();
+}
+
+fn bench_runner(c: &mut Criterion) {
+    let slt = "\
+statement ok
+CREATE TABLE t1(a INTEGER, b INTEGER, c INTEGER)
+
+statement ok
+INSERT INTO t1(c,b,a) VALUES (3,4,2), (5,1,3), (1,6,4)
+
+query II rowsort
+SELECT a, b FROM t1 WHERE c > a
+----
+2
+4
+3
+1
+";
+    let mut g = c.benchmark_group("runner");
+    g.bench_function("parse_slt_file", |b| {
+        b.iter(|| parse_slt("bench.test", slt, SltFlavor::Classic))
+    });
+    let file = parse_slt("bench.test", slt, SltFlavor::Classic);
+    g.bench_function("run_slt_file_on_sqlite", |b| {
+        let mut conn = EngineConnector::new(EngineDialect::Sqlite, ClientKind::Cli);
+        let runner = Runner::default();
+        b.iter(|| runner.run_file(&mut conn, &file));
+    });
+    g.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus");
+    g.sample_size(10);
+    g.bench_function("generate_duckdb_suite_0.05", |b| {
+        b.iter(|| {
+            squality_corpus::generate_suite_scaled(squality_formats::SuiteKind::Duckdb, 3, 0.05)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sqltext, bench_parser, bench_engine, bench_runner, bench_corpus);
+criterion_main!(benches);

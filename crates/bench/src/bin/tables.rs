@@ -1,0 +1,83 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! squality-tables [section...] [--scale F] [--seed N]
+//! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
+//!           figure4 table6 table7 table8 bugs all (default: all)
+//! ```
+
+use squality_core::{run_study, Study, StudyConfig};
+
+fn main() {
+    let mut sections: Vec<String> = Vec::new();
+    let mut scale = squality_bench::REPORT_SCALE;
+    let mut seed = 0x5C0A11u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --seed"));
+            }
+            "--help" | "-h" => usage(""),
+            s if s.starts_with('-') && !s.starts_with("--") && s.parse::<f64>().is_err() => {
+                usage(&format!("unknown flag {s}"))
+            }
+            other => sections.push(other.to_string()),
+        }
+    }
+    if sections.is_empty() {
+        sections.push("all".to_string());
+    }
+
+    eprintln!("generating corpora and running the study (seed={seed}, scale={scale})...");
+    let study = run_study(StudyConfig { seed, scale });
+    for section in &sections {
+        print_section(&study, section);
+    }
+}
+
+fn print_section(study: &Study, section: &str) {
+    use squality_core::report::*;
+    let text = match section {
+        "table1" => table1(study),
+        "figure1" => figure1(study),
+        "table2" => table2(study),
+        "figure2" => figure2(study),
+        "table3" => table3(study),
+        "figure3" => figure3(study),
+        "table4" => table4(study),
+        "table5" => table5(study),
+        "figure4" => figure4(study),
+        "table6" => table6(study),
+        "table7" => table7(study),
+        "table8" => table8(study),
+        "bugs" => bug_report(study),
+        "all" => full_report(study),
+        other => {
+            eprintln!("unknown section: {other}");
+            return;
+        }
+    };
+    println!("{text}");
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: squality-tables [section...] [--scale F] [--seed N]\n\
+         sections: table1..table8, figure1..figure4, bugs, all"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,16 @@
+//! Benchmark helpers shared by the criterion benches and the
+//! `squality-tables` binary.
+
+use squality_core::{run_study, Study, StudyConfig};
+
+/// Build a study at the given scale (deterministic seed).
+pub fn study_at_scale(scale: f64) -> Study {
+    run_study(StudyConfig { seed: 0x5C0A11, scale })
+}
+
+/// The scale used by benches: small enough to iterate, large enough that
+/// every failure class appears.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// The scale used by the tables binary by default (full report).
+pub const REPORT_SCALE: f64 = 0.25;

@@ -1,0 +1,37 @@
+//! SQuaLity core: the unified test suite and the full empirical study.
+//!
+//! This crate ties the substrates together into the paper's contribution:
+//!
+//! * [`transplant`] — run any donor suite on any host engine under
+//!   controlled environment provisioning and client choice (§2),
+//! * [`experiments`] — the complete study: donor validation (RQ3),
+//!   the cross-DBMS matrix (RQ4), the coverage experiment, and the
+//!   crash/hang findings (§6),
+//! * [`report`] — regenerate every table and figure of the evaluation with
+//!   the paper's published values alongside.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use squality_core::{run_study, StudyConfig, full_report};
+//!
+//! let study = run_study(StudyConfig { seed: 42, scale: 0.1 });
+//! println!("{}", full_report(&study));
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod transplant;
+
+pub use experiments::{
+    dependency_breakdown, difficulty_summary, incompatibility_breakdown, run_study,
+    BugFinding, CoverageRow, MatrixCell, Study, StudyConfig, EXECUTED_SUITES,
+};
+pub use report::{
+    bug_report, figure1, figure2, figure3, figure4, full_report, table1, table2, table3,
+    table4, table5, table6, table7, table8,
+};
+pub use transplant::{
+    run_suite_on, run_suite_with_connector, sample_failures, FailureCase, Incident,
+    Provision, RunConfig, SuiteRunSummary,
+};

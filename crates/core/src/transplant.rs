@@ -1,0 +1,265 @@
+//! Transplanting suites onto hosts (the paper's §2 methodology).
+//!
+//! A *donor* suite executes on a *host* engine under a chosen environment
+//! provision level and client. The combinations reproduce the paper's
+//! experiments:
+//!
+//! | Experiment | Host | Provision | Client |
+//! |---|---|---|---|
+//! | Donor validation (Tables 4–5) | donor | `Bare` | `Connector` |
+//! | Cross-DBMS matrix (Fig. 4, Tables 6–7) | others | `CrossHost` | `Connector` |
+//! | Expectation recording (corpus) | donor | `Full` | `Cli` |
+
+use squality_corpus::{donor_dialect, GeneratedSuite};
+use squality_engine::{ClientKind, EngineDialect};
+use squality_formats::SuiteKind;
+use squality_runner::{
+    Connector, EngineConnector, NumericMode, Outcome, RecordResult, Runner, RunnerOptions,
+};
+
+/// How much of the donor environment the host receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provision {
+    /// Everything: data files, extensions, scheduler set-up (the donor CI).
+    Full,
+    /// What a porting engineer can carry over: data files and set-up SQL,
+    /// but not the donor's binary extensions.
+    CrossHost,
+    /// Nothing — a fresh default installation (the paper's RQ3 situation).
+    Bare,
+}
+
+/// One transplant configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    pub host: EngineDialect,
+    pub client: ClientKind,
+    pub provision: Provision,
+    pub numeric: NumericMode,
+}
+
+impl RunConfig {
+    /// The paper's unified-runner defaults for a host.
+    pub fn unified(host: EngineDialect) -> RunConfig {
+        RunConfig {
+            host,
+            client: ClientKind::Connector,
+            provision: Provision::CrossHost,
+            numeric: NumericMode::Exact,
+        }
+    }
+}
+
+/// A crash or hang observed while running a suite (paper §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    pub file: String,
+    pub line: usize,
+    pub sql: Option<String>,
+    pub message: String,
+}
+
+/// A failed record with its file, for sampling and classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureCase {
+    pub file: String,
+    pub result: RecordResult,
+}
+
+/// Aggregated result of one suite × host run.
+#[derive(Debug, Clone)]
+pub struct SuiteRunSummary {
+    pub suite: SuiteKind,
+    pub host: EngineDialect,
+    pub total: usize,
+    pub executed: usize,
+    pub passed: usize,
+    pub failed: usize,
+    pub skipped: usize,
+    pub crashes: Vec<Incident>,
+    pub hangs: Vec<Incident>,
+    pub failures: Vec<FailureCase>,
+}
+
+impl SuiteRunSummary {
+    /// Success rate among executed, non-abnormal cases — the Figure 4
+    /// metric (crashes and hangs are excluded there and reported apart).
+    pub fn success_rate(&self) -> f64 {
+        let denom = self.passed + self.failed;
+        if denom == 0 {
+            1.0
+        } else {
+            self.passed as f64 / denom as f64
+        }
+    }
+}
+
+/// Run a generated suite under a transplant configuration.
+pub fn run_suite_on(suite: &GeneratedSuite, cfg: &RunConfig) -> SuiteRunSummary {
+    let mut conn = EngineConnector::new(cfg.host, cfg.client);
+    let mut summary = run_suite_with_connector(suite, cfg, &mut conn);
+    summary.host = cfg.host;
+    summary
+}
+
+/// Run a suite on an existing connector (used by the coverage experiment,
+/// which accumulates coverage across several suites on one engine).
+pub fn run_suite_with_connector(
+    suite: &GeneratedSuite,
+    cfg: &RunConfig,
+    conn: &mut EngineConnector,
+) -> SuiteRunSummary {
+    let runner = Runner::new(RunnerOptions { numeric: cfg.numeric, fresh_database: false });
+    let mut summary = SuiteRunSummary {
+        suite: suite.suite,
+        host: cfg.host,
+        total: 0,
+        executed: 0,
+        passed: 0,
+        failed: 0,
+        skipped: 0,
+        crashes: Vec::new(),
+        hangs: Vec::new(),
+        failures: Vec::new(),
+    };
+
+    for file in &suite.files {
+        // Fresh database per file, then provision per the config.
+        conn.reset();
+        match cfg.provision {
+            Provision::Full => suite.environment.provision(conn),
+            Provision::CrossHost => {
+                for (path, lines) in &suite.environment.data_files {
+                    conn.provide_file(path, lines.clone());
+                }
+                for sql in &suite.environment.setup_sql {
+                    let _ = conn.execute(sql);
+                }
+            }
+            Provision::Bare => {}
+        }
+        let r = runner.run_file(conn, file);
+        summary.total += r.total();
+        summary.executed += r.executed();
+        summary.passed += r.passed();
+        summary.failed += r.failed();
+        summary.skipped += r.skipped();
+        for res in &r.results {
+            match &res.outcome {
+                Outcome::Crash(m) => summary.crashes.push(Incident {
+                    file: file.name.clone(),
+                    line: res.line,
+                    sql: res.sql.clone(),
+                    message: m.clone(),
+                }),
+                Outcome::Hang(m) => summary.hangs.push(Incident {
+                    file: file.name.clone(),
+                    line: res.line,
+                    sql: res.sql.clone(),
+                    message: m.clone(),
+                }),
+                Outcome::Fail(_) => summary
+                    .failures
+                    .push(FailureCase { file: file.name.clone(), result: res.clone() }),
+                _ => {}
+            }
+        }
+    }
+    summary
+}
+
+/// Deterministically sample up to `n` failures (the paper samples 100 per
+/// cell, following standard SE sampling methodology).
+pub fn sample_failures(failures: &[FailureCase], n: usize, seed: u64) -> Vec<&FailureCase> {
+    if failures.len() <= n {
+        return failures.iter().collect();
+    }
+    // Deterministic LCG-based index shuffle (no rand dependency here).
+    let mut indices: Vec<usize> = (0..failures.len()).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    for i in (1..indices.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        indices.swap(i, j);
+    }
+    indices.truncate(n);
+    indices.into_iter().map(|i| &failures[i]).collect()
+}
+
+/// The donor dialect for a generated suite.
+pub fn donor_of(suite: &GeneratedSuite) -> EngineDialect {
+    donor_dialect(suite.suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squality_corpus::generate_suite_scaled;
+
+    #[test]
+    fn donor_full_provision_passes_everything() {
+        let gs = generate_suite_scaled(SuiteKind::Slt, 3, 0.05);
+        let cfg = RunConfig {
+            host: EngineDialect::Sqlite,
+            client: ClientKind::Cli,
+            provision: Provision::Full,
+            numeric: NumericMode::Exact,
+        };
+        let s = run_suite_on(&gs, &cfg);
+        // The only tolerated failures are SLT's two runner-format
+        // artifacts (paper Table 4: 2 failures).
+        assert_eq!(s.failed, 2, "failures: {:?}", s.failures.first());
+        assert!(s.passed > 0);
+        assert!(s.success_rate() > 0.99);
+    }
+
+    #[test]
+    fn donor_bare_run_fails_on_dependencies() {
+        // The RQ3 situation: PostgreSQL donor without its environment.
+        let gs = generate_suite_scaled(SuiteKind::PgRegress, 3, 0.2);
+        let cfg = RunConfig {
+            host: EngineDialect::Postgres,
+            client: ClientKind::Connector,
+            provision: Provision::Bare,
+            numeric: NumericMode::Exact,
+        };
+        let s = run_suite_on(&gs, &cfg);
+        assert!(s.failed > 0, "bare environment must expose dependencies");
+        assert!(s.success_rate() < 1.0);
+    }
+
+    #[test]
+    fn cross_host_run_fails_more_than_donor() {
+        let gs = generate_suite_scaled(SuiteKind::PgRegress, 3, 0.1);
+        let donor = run_suite_on(
+            &gs,
+            &RunConfig {
+                host: EngineDialect::Postgres,
+                client: ClientKind::Cli,
+                provision: Provision::Full,
+                numeric: NumericMode::Exact,
+            },
+        );
+        let host = run_suite_on(&gs, &RunConfig::unified(EngineDialect::Mysql));
+        assert!(host.success_rate() < donor.success_rate());
+        assert!(host.failed > 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let fc: Vec<FailureCase> = (0..250)
+            .map(|i| FailureCase {
+                file: format!("f{i}"),
+                result: RecordResult { line: i, sql: None, outcome: Outcome::Pass },
+            })
+            .collect();
+        let a = sample_failures(&fc, 100, 9);
+        let b = sample_failures(&fc, 100, 9);
+        assert_eq!(a.len(), 100);
+        let fa: Vec<&str> = a.iter().map(|f| f.file.as_str()).collect();
+        let fb: Vec<&str> = b.iter().map(|f| f.file.as_str()).collect();
+        assert_eq!(fa, fb);
+        let c = sample_failures(&fc[..50], 100, 9);
+        assert_eq!(c.len(), 50);
+    }
+}

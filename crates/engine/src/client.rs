@@ -1,0 +1,270 @@
+//! Client render layers: how the same value prints through different
+//! client interfaces.
+//!
+//! RQ3's largest DuckDB dependency class (77 of 100 sampled failures) is
+//! client-specific result presentation: the CLI prints `[1, 2, 3, 4]` where
+//! the Python connector prints `['1', '2', '3', '4']` (paper Listing 8),
+//! psql prints `{1,2,3,4}`, floats round differently, and booleans print as
+//! `t`/`true`/`1` depending on the path. SQuaLity's runner compares rendered
+//! strings, so these layers decide which tests pass.
+
+use crate::dialect::EngineDialect;
+use crate::value::Value;
+
+/// Which client is rendering results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientKind {
+    /// The DBMS's command-line shell (psql, sqlite3, duckdb, mysql) — what
+    /// each donor suite's original runner observes.
+    Cli,
+    /// A language connector (the paper's Python drivers) — what SQuaLity's
+    /// unified runner observes.
+    Connector,
+}
+
+/// Render one value as the given client of the given engine would print it.
+///
+/// PostgreSQL is special: its wire protocol ships values as *server-rendered
+/// text*, so psql and connectors print identically — which is why the
+/// paper's Table 5 shows zero client-dependency failures for PostgreSQL
+/// while DuckDB (native-typed protocol) has 77.
+pub fn render_value(v: &Value, dialect: EngineDialect, client: ClientKind) -> String {
+    let client = if dialect == EngineDialect::Postgres { ClientKind::Cli } else { client };
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Integer(i) => i.to_string(),
+        Value::Float(f) => render_float(*f, dialect, client),
+        Value::Text(s) => s.clone(),
+        Value::Blob(b) => match dialect {
+            EngineDialect::Postgres => {
+                format!("\\x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>())
+            }
+            _ => b.iter().map(|x| format!("{x:02X}")).collect(),
+        },
+        Value::Boolean(b) => render_bool(*b, dialect, client),
+        Value::List(items) => render_list(items, dialect, client),
+        Value::Struct(fields) => render_struct(fields, dialect, client),
+    }
+}
+
+/// Float rendering is the "Numeric" client-dependency class: CLIs shorten,
+/// connectors print full precision, and engines disagree about a trailing
+/// `.0` (`COALESCE(1, 1.0)` prints `1` on psql but `1.0` on DuckDB/MySQL —
+/// paper §6).
+fn render_float(f: f64, dialect: EngineDialect, client: ClientKind) -> String {
+    if f.is_nan() {
+        return "NaN".to_string();
+    }
+    if f.is_infinite() {
+        return if f > 0.0 { "Infinity" } else { "-Infinity" }.to_string();
+    }
+    let full = format!("{f}");
+    let shortened = {
+        let s = format!("{f:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.').to_string();
+        if s.is_empty() || s == "-" {
+            "0".to_string()
+        } else {
+            s
+        }
+    };
+    let base = match client {
+        ClientKind::Connector => full.clone(),
+        ClientKind::Cli => {
+            // CLIs shorten long fractions; short values match full anyway.
+            if full.len() > shortened.len() {
+                shortened
+            } else {
+                full.clone()
+            }
+        }
+    };
+    match dialect {
+        // psql renders numerics without a forced decimal point.
+        EngineDialect::Postgres => base,
+        // SQLite, DuckDB, and MySQL print real values with at least one
+        // fractional digit.
+        _ => {
+            if base.contains('.') || base.contains('e') || base.contains("Inf") {
+                base
+            } else {
+                format!("{base}.0")
+            }
+        }
+    }
+}
+
+fn render_bool(b: bool, dialect: EngineDialect, client: ClientKind) -> String {
+    match (dialect, client) {
+        (EngineDialect::Postgres, ClientKind::Cli) => if b { "t" } else { "f" }.to_string(),
+        (EngineDialect::Postgres, ClientKind::Connector) => {
+            if b { "True" } else { "False" }.to_string()
+        }
+        (EngineDialect::Duckdb, _) => if b { "true" } else { "false" }.to_string(),
+        // SQLite and MySQL have integer booleans.
+        _ => if b { "1" } else { "0" }.to_string(),
+    }
+}
+
+fn render_list(items: &[Value], dialect: EngineDialect, client: ClientKind) -> String {
+    match dialect {
+        EngineDialect::Postgres => {
+            // psql array syntax: {1,2,3}.
+            let inner: Vec<String> = items
+                .iter()
+                .map(|v| match v {
+                    Value::Null => "NULL".to_string(),
+                    other => render_value(other, dialect, client),
+                })
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        _ => {
+            // DuckDB style. The CLI prints raw elements; the Python
+            // connector reprs VARCHAR elements with quotes (Listing 8).
+            let inner: Vec<String> = items
+                .iter()
+                .map(|v| match (client, v) {
+                    (ClientKind::Connector, Value::Text(s)) => format!("'{s}'"),
+                    _ => render_value(v, dialect, client),
+                })
+                .collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}
+
+fn render_struct(
+    fields: &[(String, Value)],
+    dialect: EngineDialect,
+    client: ClientKind,
+) -> String {
+    // DuckDB CLI style: {'k': key1, 'v': 1} (paper Listing 11).
+    let inner: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| {
+            let val = match (client, v) {
+                (ClientKind::Connector, Value::Text(s)) => format!("'{s}'"),
+                _ => render_value(v, dialect, client),
+            };
+            format!("'{k}': {val}")
+        })
+        .collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
+/// Render a full row the way the SLT value-wise format expects: one value
+/// per line. Empty strings render as `(empty)` per sqllogictest convention.
+pub fn render_slt_value(v: &Value, dialect: EngineDialect, client: ClientKind) -> String {
+    let s = render_value(v, dialect, client);
+    if s.is_empty() {
+        "(empty)".to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing8_array_renderings() {
+        // ARRAY[1,2,3,'4'] after engine typing: DuckDB widened to VARCHAR,
+        // PostgreSQL coerced to integers.
+        let duck = Value::List(vec![
+            Value::Text("1".into()),
+            Value::Text("2".into()),
+            Value::Text("3".into()),
+            Value::Text("4".into()),
+        ]);
+        assert_eq!(
+            render_value(&duck, EngineDialect::Duckdb, ClientKind::Cli),
+            "[1, 2, 3, 4]"
+        );
+        assert_eq!(
+            render_value(&duck, EngineDialect::Duckdb, ClientKind::Connector),
+            "['1', '2', '3', '4']"
+        );
+        let pg = Value::List(vec![
+            Value::Integer(1),
+            Value::Integer(2),
+            Value::Integer(3),
+            Value::Integer(4),
+        ]);
+        assert_eq!(render_value(&pg, EngineDialect::Postgres, ClientKind::Cli), "{1,2,3,4}");
+    }
+
+    #[test]
+    fn coalesce_float_renderings() {
+        // Paper §6: PostgreSQL prints 1, DuckDB/MySQL print 1.0.
+        let v = Value::Float(1.0);
+        assert_eq!(render_value(&v, EngineDialect::Postgres, ClientKind::Cli), "1");
+        assert_eq!(render_value(&v, EngineDialect::Duckdb, ClientKind::Cli), "1.0");
+        assert_eq!(render_value(&v, EngineDialect::Mysql, ClientKind::Cli), "1.0");
+        assert_eq!(render_value(&v, EngineDialect::Sqlite, ClientKind::Cli), "1.0");
+    }
+
+    #[test]
+    fn median_value_from_listing10() {
+        let v = Value::Float(4999.5);
+        assert_eq!(render_value(&v, EngineDialect::Duckdb, ClientKind::Cli), "4999.5");
+    }
+
+    #[test]
+    fn float_precision_differs_by_client() {
+        let v = Value::Float(0.1 + 0.2);
+        let cli = render_value(&v, EngineDialect::Duckdb, ClientKind::Cli);
+        let conn = render_value(&v, EngineDialect::Duckdb, ClientKind::Connector);
+        assert_eq!(cli, "0.3");
+        assert_eq!(conn, "0.30000000000000004");
+        assert_ne!(cli, conn, "the paper's Numeric client-dependency class");
+    }
+
+    #[test]
+    fn boolean_renderings() {
+        let t = Value::Boolean(true);
+        assert_eq!(render_value(&t, EngineDialect::Postgres, ClientKind::Cli), "t");
+        // PostgreSQL's text protocol: connectors see the same rendering.
+        assert_eq!(render_value(&t, EngineDialect::Postgres, ClientKind::Connector), "t");
+        assert_eq!(render_value(&t, EngineDialect::Duckdb, ClientKind::Cli), "true");
+        assert_eq!(render_value(&t, EngineDialect::Sqlite, ClientKind::Cli), "1");
+        assert_eq!(render_value(&t, EngineDialect::Mysql, ClientKind::Cli), "1");
+    }
+
+    #[test]
+    fn pg_client_rendering_is_uniform() {
+        let v = Value::Float(0.1 + 0.2);
+        assert_eq!(
+            render_value(&v, EngineDialect::Postgres, ClientKind::Cli),
+            render_value(&v, EngineDialect::Postgres, ClientKind::Connector),
+        );
+    }
+
+    #[test]
+    fn struct_rendering_listing11() {
+        let v = Value::Struct(vec![
+            ("k".into(), Value::Text("key1".into())),
+            ("v".into(), Value::Integer(1)),
+        ]);
+        assert_eq!(
+            render_value(&v, EngineDialect::Duckdb, ClientKind::Cli),
+            "{'k': key1, 'v': 1}"
+        );
+    }
+
+    #[test]
+    fn empty_string_is_marked_in_slt() {
+        assert_eq!(
+            render_slt_value(&Value::Text(String::new()), EngineDialect::Sqlite, ClientKind::Cli),
+            "(empty)"
+        );
+    }
+
+    #[test]
+    fn null_renders_uniformly() {
+        for d in EngineDialect::ALL {
+            assert_eq!(render_value(&Value::Null, d, ClientKind::Cli), "NULL");
+        }
+    }
+}

@@ -1,0 +1,1109 @@
+//! The public engine API: a single-connection, in-memory DBMS simulator.
+
+use crate::config::ConfigStore;
+use crate::coverage::Coverage;
+use crate::dialect::EngineDialect;
+use crate::env::{QueryEnv, Relation};
+use crate::error::{EngineError, ErrorKind};
+use crate::eval::{cast_value, eval, EvalCtx};
+use crate::exec::run_query;
+use crate::faults::{FaultId, FaultProfile};
+use crate::functions::{render_plain, scalar_function_names};
+use crate::schema::{Catalog, Column, Index, Table, View};
+use crate::types::{resolve_type, DataType};
+use crate::value::Value;
+use squality_sqlast::ast::*;
+use squality_sqlast::parse_statement;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default execution budget: large enough for the synthetic corpora, small
+/// enough that the injected infinite loops resolve to hangs in milliseconds.
+pub const DEFAULT_STEP_BUDGET: u64 = 2_000_000;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names (empty for non-queries).
+    pub columns: Vec<String>,
+    /// Result rows (empty for non-queries).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows affected by DML.
+    pub affected: usize,
+}
+
+impl QueryResult {
+    fn from_relation(rel: Relation) -> QueryResult {
+        QueryResult {
+            columns: rel.cols.iter().map(|c| c.name.clone()).collect(),
+            rows: rel.rows,
+            affected: 0,
+        }
+    }
+
+    fn ok() -> QueryResult {
+        QueryResult::default()
+    }
+}
+
+/// A single-connection DBMS simulator for one dialect.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    dialect: EngineDialect,
+    catalog: Catalog,
+    config: ConfigStore,
+    faults: FaultProfile,
+    coverage: Coverage,
+    extensions: BTreeSet<String>,
+    user_functions: BTreeSet<String>,
+    /// Simulated filesystem for COPY: path → CSV lines.
+    vfs: BTreeMap<String, Vec<String>>,
+    txn_snapshot: Option<Catalog>,
+    /// Fault bookkeeping for Listing 13: tables INSERTed / UPDATEd in the
+    /// open transaction, and tables poisoned by the last COMMIT.
+    txn_inserted: BTreeSet<String>,
+    txn_updated: BTreeSet<String>,
+    poisoned_tables: BTreeSet<String>,
+    crashed: bool,
+    step_budget: u64,
+}
+
+impl Engine {
+    /// New engine with the paper-version fault profile.
+    pub fn new(dialect: EngineDialect) -> Engine {
+        Engine::with_faults(dialect, FaultProfile::default())
+    }
+
+    /// New engine with an explicit fault profile.
+    pub fn with_faults(dialect: EngineDialect, faults: FaultProfile) -> Engine {
+        let mut coverage = Coverage::new();
+        register_coverage_universe(&mut coverage, dialect);
+        let mut extensions = BTreeSet::new();
+        if dialect == EngineDialect::Sqlite {
+            // The CLI bundles the series extension (paper Listing 16).
+            extensions.insert("series".to_string());
+        }
+        Engine {
+            dialect,
+            catalog: Catalog::new(),
+            config: ConfigStore::new(dialect),
+            faults,
+            coverage,
+            extensions,
+            user_functions: BTreeSet::new(),
+            vfs: BTreeMap::new(),
+            txn_snapshot: None,
+            txn_inserted: BTreeSet::new(),
+            txn_updated: BTreeSet::new(),
+            poisoned_tables: BTreeSet::new(),
+            crashed: false,
+            step_budget: DEFAULT_STEP_BUDGET,
+        }
+    }
+
+    /// This engine's dialect.
+    pub fn dialect(&self) -> EngineDialect {
+        self.dialect
+    }
+
+    /// Has a simulated crash terminated this engine?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Adjust the execution budget (hang sensitivity).
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.step_budget = budget;
+    }
+
+    /// Access accumulated coverage.
+    pub fn coverage(&self) -> &Coverage {
+        &self.coverage
+    }
+
+    /// Mutable coverage access (for reset between experiments).
+    pub fn coverage_mut(&mut self) -> &mut Coverage {
+        &mut self.coverage
+    }
+
+    /// Register a file in the simulated filesystem for COPY (the paper's
+    /// "File Paths" environment dependency).
+    pub fn register_file(&mut self, path: &str, csv_lines: Vec<String>) {
+        self.vfs.insert(path.to_string(), csv_lines);
+    }
+
+    /// Register an available extension / shared library (paper's
+    /// "Extension" dependency; e.g. `regresslib` for Listing 7).
+    pub fn register_extension(&mut self, name: &str) {
+        self.extensions.insert(name.to_lowercase());
+    }
+
+    /// Is an extension loaded?
+    pub fn has_extension(&self, name: &str) -> bool {
+        self.extensions.contains(&name.to_lowercase())
+    }
+
+    /// Names of user tables, for tests and SHOW TABLES.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.tables.keys().cloned().collect()
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, EngineError> {
+        if self.crashed {
+            return Err(EngineError::fatal(
+                "connection to server was lost (server crashed earlier)",
+            ));
+        }
+        let stmt = match parse_statement(sql, self.dialect.text_dialect()) {
+            Ok(s) => s,
+            Err(e) => {
+                self.coverage.hit_branch("err:Syntax");
+                return Err(EngineError::from(e));
+            }
+        };
+        let result = self.execute_stmt(&stmt);
+        match &result {
+            Err(e) => {
+                self.coverage.hit_branch(&format!("err:{:?}", e.kind));
+                if e.kind == ErrorKind::Fatal {
+                    self.crashed = true;
+                }
+                // A statement error aborts the implicit statement, and on
+                // PostgreSQL it also aborts the open transaction.
+                if self.dialect == EngineDialect::Postgres
+                    && self.txn_snapshot.is_some()
+                    && !e.kind.is_abnormal()
+                {
+                    self.coverage.hit_branch("txn:aborted-by-error");
+                }
+            }
+            Ok(_) => {}
+        }
+        result
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult, EngineError> {
+        self.coverage.hit_line(&format!("stmt:{}", stmt_tag(stmt)));
+        match stmt {
+            Stmt::Select(q) | Stmt::Values(q) => {
+                let rel = self.with_env(|env| run_query(q, env, None))?;
+                Ok(QueryResult::from_relation(rel))
+            }
+            Stmt::Insert(ins) => self.insert(ins),
+            Stmt::Update(u) => self.update(u),
+            Stmt::Delete(d) => self.delete(d),
+            Stmt::CreateTable(ct) => self.create_table(ct),
+            Stmt::DropTable { names, if_exists } => self.drop_table(names, *if_exists),
+            Stmt::AlterTable { table, action } => self.alter_table(table, action),
+            Stmt::CreateIndex { name, table, columns, unique, if_not_exists } => {
+                self.create_index(name, table, columns, *unique, *if_not_exists)
+            }
+            Stmt::DropIndex { name, if_exists } => {
+                if self.catalog.indexes.remove(name).is_none() && !if_exists {
+                    return Err(EngineError::catalog(format!("no such index: {name}")));
+                }
+                Ok(QueryResult::ok())
+            }
+            Stmt::CreateView { name, columns, query, or_replace } => {
+                if self.catalog.views.contains_key(name) && !or_replace {
+                    return Err(EngineError::catalog(format!("view {name} already exists")));
+                }
+                self.catalog.views.insert(
+                    name.clone(),
+                    View { columns: columns.clone(), query: query.clone() },
+                );
+                Ok(QueryResult::ok())
+            }
+            Stmt::DropView { name, if_exists } => {
+                if self.catalog.views.remove(name).is_none() && !if_exists {
+                    return Err(EngineError::catalog(format!("no such view: {name}")));
+                }
+                Ok(QueryResult::ok())
+            }
+            Stmt::CreateSchema { name, if_not_exists } => {
+                if self.dialect == EngineDialect::Sqlite {
+                    return Err(EngineError::syntax("near \"SCHEMA\": syntax error"));
+                }
+                if self.catalog.schemas.contains_key(name) {
+                    if *if_not_exists {
+                        return Ok(QueryResult::ok());
+                    }
+                    return Err(EngineError::catalog(format!(
+                        "schema \"{name}\" already exists"
+                    )));
+                }
+                self.catalog.schemas.insert(name.clone(), ());
+                Ok(QueryResult::ok())
+            }
+            Stmt::AlterSchema { name, rename_to } => self.alter_schema(name, rename_to),
+            Stmt::DropSchema { name, if_exists, .. } => {
+                if self.dialect == EngineDialect::Sqlite {
+                    return Err(EngineError::syntax("near \"SCHEMA\": syntax error"));
+                }
+                if self.catalog.schemas.remove(name).is_none() && !if_exists {
+                    return Err(EngineError::catalog(format!(
+                        "schema \"{name}\" does not exist"
+                    )));
+                }
+                Ok(QueryResult::ok())
+            }
+            Stmt::CreateFunction { name, language, library } => {
+                self.create_function(name, language, library.as_deref())
+            }
+            Stmt::Begin => self.begin(),
+            Stmt::Commit => self.commit(),
+            Stmt::Rollback => self.rollback(),
+            Stmt::Savepoint { .. } | Stmt::Release { .. } => Ok(QueryResult::ok()),
+            Stmt::Set { name, value } => {
+                let rendered = match value {
+                    SetValue::Ident(s) => s.clone(),
+                    SetValue::Default => "default".to_string(),
+                    SetValue::Expr(e) => {
+                        let v = self.with_env(|env| {
+                            let ctx = EvalCtx::constant(env);
+                            eval(e, &ctx)
+                        })?;
+                        render_plain(&v)
+                    }
+                };
+                self.config.set(name, &rendered)?;
+                Ok(QueryResult::ok())
+            }
+            Stmt::Pragma { name, value } => {
+                self.config.pragma(name, value.as_deref())?;
+                // PRAGMA table_info(t) returns the column list.
+                if name.eq_ignore_ascii_case("table_info") {
+                    if let Some(t) = value.as_deref().and_then(|v| self.catalog.table(v)) {
+                        let rows = t
+                            .columns
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| {
+                                vec![
+                                    Value::Integer(i as i64),
+                                    Value::Text(c.name.clone()),
+                                    Value::Text(c.ty.name()),
+                                ]
+                            })
+                            .collect();
+                        return Ok(QueryResult {
+                            columns: vec!["cid".into(), "name".into(), "type".into()],
+                            rows,
+                            affected: 0,
+                        });
+                    }
+                }
+                Ok(QueryResult::ok())
+            }
+            Stmt::Explain { inner, .. } => {
+                let text = crate::explain::render_plan(self.dialect, inner, &self.config);
+                Ok(QueryResult {
+                    columns: vec!["explain".to_string()],
+                    rows: text.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                    affected: 0,
+                })
+            }
+            Stmt::Copy { table, path, from } => self.copy(table, path, *from),
+            Stmt::Show { name } => self.show(name),
+            Stmt::Use { .. } => Ok(QueryResult::ok()),
+            Stmt::Truncate { table } => {
+                let key = self
+                    .catalog
+                    .resolve_table_key(table)
+                    .ok_or_else(|| EngineError::catalog(format!("no such table: {table}")))?;
+                let n = {
+                    let t = self.catalog.tables.get_mut(&key).expect("resolved");
+                    let n = t.rows.len();
+                    t.rows.clear();
+                    n
+                };
+                Ok(QueryResult { affected: n, ..QueryResult::ok() })
+            }
+            Stmt::LoadExtension { name } => {
+                const AVAILABLE: [&str; 6] =
+                    ["json", "parquet", "httpfs", "icu", "tpch", "sqlsmith"];
+                if AVAILABLE.contains(&name.to_lowercase().as_str()) {
+                    self.extensions.insert(name.to_lowercase());
+                    Ok(QueryResult::ok())
+                } else {
+                    Err(EngineError::new(
+                        ErrorKind::ExtensionMissing,
+                        format!("IO Error: extension \"{name}\" not found"),
+                    ))
+                }
+            }
+            Stmt::Vacuum | Stmt::Analyze { .. } => Ok(QueryResult::ok()),
+        }
+    }
+
+    /// Run a closure with a read-only query environment.
+    fn with_env<T>(
+        &mut self,
+        f: impl FnOnce(&QueryEnv<'_>) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
+        let env = QueryEnv::new(
+            self.dialect,
+            &self.catalog,
+            &self.config,
+            &self.faults,
+            &self.extensions,
+            &self.user_functions,
+            self.step_budget,
+        );
+        let result = f(&env);
+        for (is_line, point) in env.hits.borrow().iter() {
+            if *is_line {
+                self.coverage.hit_line(point);
+            } else {
+                self.coverage.hit_branch(point);
+            }
+        }
+        result
+    }
+
+    // ---- DML ----------------------------------------------------------------
+
+    fn insert(&mut self, ins: &InsertStmt) -> Result<QueryResult, EngineError> {
+        let key = self
+            .catalog
+            .resolve_table_key(&ins.table)
+            .ok_or_else(|| self.no_such_table(&ins.table))?;
+
+        // Resolve target column indexes.
+        let (col_indexes, col_types): (Vec<usize>, Vec<DataType>) = {
+            let table = self.catalog.tables.get(&key).expect("resolved");
+            if ins.columns.is_empty() {
+                (
+                    (0..table.columns.len()).collect(),
+                    table.columns.iter().map(|c| c.ty.clone()).collect(),
+                )
+            } else {
+                let mut idxs = Vec::with_capacity(ins.columns.len());
+                let mut tys = Vec::with_capacity(ins.columns.len());
+                for c in &ins.columns {
+                    let i = table.column_index(c).ok_or_else(|| {
+                        EngineError::catalog(format!(
+                            "table {} has no column named {c}",
+                            ins.table
+                        ))
+                    })?;
+                    idxs.push(i);
+                    tys.push(table.columns[i].ty.clone());
+                }
+                (idxs, tys)
+            }
+        };
+
+        // Evaluate source rows.
+        let source_rows: Vec<Vec<Value>> = match &ins.source {
+            InsertSource::DefaultValues => vec![Vec::new()],
+            InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let vals = self.with_env(|env| {
+                        let ctx = EvalCtx::constant(env);
+                        row.iter().map(|e| eval(e, &ctx)).collect::<Result<Vec<_>, _>>()
+                    })?;
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Query(q) => {
+                let rel = self.with_env(|env| run_query(q, env, None))?;
+                rel.rows
+            }
+        };
+
+        // Coerce and write.
+        let dialect = self.dialect;
+        let mut staged: Vec<Vec<Value>> = Vec::with_capacity(source_rows.len());
+        {
+            let table = self.catalog.tables.get(&key).expect("resolved");
+            for src in &source_rows {
+                if !matches!(ins.source, InsertSource::DefaultValues)
+                    && src.len() != col_indexes.len()
+                {
+                    return Err(EngineError::syntax(format!(
+                        "table {} has {} columns but {} values were supplied",
+                        ins.table,
+                        col_indexes.len(),
+                        src.len()
+                    )));
+                }
+                let mut row: Vec<Value> = table
+                    .columns
+                    .iter()
+                    .map(|c| c.default.clone().unwrap_or(Value::Null))
+                    .collect();
+                for (slot, v) in col_indexes.iter().zip(src.iter()) {
+                    row[*slot] = coerce_for_storage(
+                        dialect,
+                        v.clone(),
+                        &col_types[col_indexes.iter().position(|x| x == slot).unwrap()],
+                    )?;
+                }
+                // Constraints.
+                for (i, c) in table.columns.iter().enumerate() {
+                    if (c.not_null || c.primary_key) && row[i].is_null() {
+                        return Err(EngineError::new(
+                            ErrorKind::Constraint,
+                            format!("NOT NULL constraint failed: {}.{}", ins.table, c.name),
+                        ));
+                    }
+                    if c.unique || c.primary_key {
+                        let clash = table
+                            .rows
+                            .iter()
+                            .chain(staged.iter())
+                            .any(|r| !r[i].is_null() && r[i].sql_grouping_eq(&row[i]));
+                        if clash && !ins.or_replace {
+                            return Err(EngineError::new(
+                                ErrorKind::Constraint,
+                                format!(
+                                    "UNIQUE constraint failed: {}.{}",
+                                    ins.table, c.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+                staged.push(row);
+            }
+        }
+        let n = staged.len();
+        let table = self.catalog.tables.get_mut(&key).expect("resolved");
+        table.rows.extend(staged);
+        if self.txn_snapshot.is_some() {
+            self.txn_inserted.insert(key);
+        }
+        Ok(QueryResult { affected: n, ..QueryResult::ok() })
+    }
+
+    fn update(&mut self, u: &UpdateStmt) -> Result<QueryResult, EngineError> {
+        let key = self
+            .catalog
+            .resolve_table_key(&u.table)
+            .ok_or_else(|| self.no_such_table(&u.table))?;
+
+        // Paper Listing 13: UPDATE after COMMIT of an insert+update txn
+        // crashed DuckDB.
+        if self.dialect == EngineDialect::Duckdb
+            && self.faults.is_enabled(FaultId::DuckdbUpdateAfterCommitCrash)
+            && self.poisoned_tables.contains(&key)
+            && self.txn_snapshot.is_none()
+        {
+            return Err(EngineError::fatal(
+                "INTERNAL Error: attempted to update a row that was updated in a \
+                 committed transaction (row-group version mismatch)",
+            ));
+        }
+
+        // Plan updates against an immutable view, then apply.
+        let dialect = self.dialect;
+        let (assignments_idx, planned): (Vec<usize>, Vec<(usize, Vec<Value>)>) = {
+            let table = self.catalog.tables.get(&key).expect("resolved");
+            let mut idxs = Vec::with_capacity(u.assignments.len());
+            for (c, _) in &u.assignments {
+                idxs.push(table.column_index(c).ok_or_else(|| {
+                    EngineError::catalog(format!("no such column: {c}"))
+                })?);
+            }
+            let cols: Vec<crate::env::ColBinding> = table
+                .columns
+                .iter()
+                .map(|c| crate::env::ColBinding::qualified(&u.table, &c.name))
+                .collect();
+            let mut planned = Vec::new();
+            let env = QueryEnv::new(
+                dialect,
+                &self.catalog,
+                &self.config,
+                &self.faults,
+                &self.extensions,
+                &self.user_functions,
+                self.step_budget,
+            );
+            for (ri, row) in table.rows.iter().enumerate() {
+                env.tick(1)?;
+                let scope = crate::env::Scope { cols: &cols, row, parent: None };
+                let ctx = EvalCtx { env: &env, scope: Some(&scope), agg: None };
+                let hit = match &u.where_clause {
+                    Some(p) => {
+                        crate::value::truthiness(&eval(p, &ctx)?) == crate::value::Truth::True
+                    }
+                    None => true,
+                };
+                if hit {
+                    let mut vals = Vec::with_capacity(u.assignments.len());
+                    for (ai, (_, e)) in u.assignments.iter().enumerate() {
+                        let v = eval(e, &ctx)?;
+                        let ty = table.columns[idxs[ai]].ty.clone();
+                        vals.push(coerce_for_storage(dialect, v, &ty)?);
+                    }
+                    planned.push((ri, vals));
+                }
+            }
+            for (is_line, point) in env.hits.borrow().iter() {
+                if *is_line {
+                    self.coverage.hit_line(point);
+                } else {
+                    self.coverage.hit_branch(point);
+                }
+            }
+            (idxs, planned)
+        };
+
+        let n = planned.len();
+        let table = self.catalog.tables.get_mut(&key).expect("resolved");
+        for (ri, vals) in planned {
+            for (ai, v) in vals.into_iter().enumerate() {
+                table.rows[ri][assignments_idx[ai]] = v;
+            }
+        }
+        if self.txn_snapshot.is_some() {
+            self.txn_updated.insert(key);
+        }
+        Ok(QueryResult { affected: n, ..QueryResult::ok() })
+    }
+
+    fn delete(&mut self, d: &DeleteStmt) -> Result<QueryResult, EngineError> {
+        let key = self
+            .catalog
+            .resolve_table_key(&d.table)
+            .ok_or_else(|| self.no_such_table(&d.table))?;
+        let dialect = self.dialect;
+        let keep: Vec<bool> = {
+            let table = self.catalog.tables.get(&key).expect("resolved");
+            let cols: Vec<crate::env::ColBinding> = table
+                .columns
+                .iter()
+                .map(|c| crate::env::ColBinding::qualified(&d.table, &c.name))
+                .collect();
+            let env = QueryEnv::new(
+                dialect,
+                &self.catalog,
+                &self.config,
+                &self.faults,
+                &self.extensions,
+                &self.user_functions,
+                self.step_budget,
+            );
+            let mut keep = Vec::with_capacity(table.rows.len());
+            for row in &table.rows {
+                env.tick(1)?;
+                let retain = match &d.where_clause {
+                    Some(p) => {
+                        let scope = crate::env::Scope { cols: &cols, row, parent: None };
+                        let ctx = EvalCtx { env: &env, scope: Some(&scope), agg: None };
+                        crate::value::truthiness(&eval(p, &ctx)?) != crate::value::Truth::True
+                    }
+                    None => false,
+                };
+                keep.push(retain);
+            }
+            keep
+        };
+        let table = self.catalog.tables.get_mut(&key).expect("resolved");
+        let before = table.rows.len();
+        let mut it = keep.iter();
+        table.rows.retain(|_| *it.next().expect("aligned"));
+        Ok(QueryResult { affected: before - table.rows.len(), ..QueryResult::ok() })
+    }
+
+    // ---- DDL ------------------------------------------------------------------
+
+    fn create_table(&mut self, ct: &CreateTableStmt) -> Result<QueryResult, EngineError> {
+        if self.catalog.tables.contains_key(&ct.name) || self.catalog.resolve_table_key(&ct.name).is_some() {
+            if ct.if_not_exists {
+                return Ok(QueryResult::ok());
+            }
+            return Err(EngineError::catalog(format!(
+                "table {} already exists",
+                ct.name
+            )));
+        }
+        let mut columns = Vec::with_capacity(ct.columns.len());
+        for c in &ct.columns {
+            let ty = resolve_type(&c.type_name, self.dialect)?;
+            self.coverage.hit_line(&format!("type:{}", ty.name()));
+            let default = match &c.default {
+                Some(e) => Some(self.with_env(|env| {
+                    let ctx = EvalCtx::constant(env);
+                    eval(e, &ctx)
+                })?),
+                None => None,
+            };
+            columns.push(Column {
+                name: c.name.clone(),
+                ty,
+                not_null: c.not_null,
+                primary_key: c.primary_key,
+                unique: c.unique,
+                default,
+            });
+        }
+        let mut table = Table { columns, rows: Vec::new() };
+        if let Some(q) = &ct.as_query {
+            let rel = self.with_env(|env| run_query(q, env, None))?;
+            table.columns = rel
+                .cols
+                .iter()
+                .map(|c| Column::new(&c.name, DataType::Any))
+                .collect();
+            table.rows = rel.rows;
+        }
+        self.catalog.tables.insert(ct.name.clone(), table);
+        Ok(QueryResult::ok())
+    }
+
+    fn drop_table(&mut self, names: &[String], if_exists: bool) -> Result<QueryResult, EngineError> {
+        for name in names {
+            match self.catalog.resolve_table_key(name) {
+                Some(key) => {
+                    self.catalog.tables.remove(&key);
+                    self.poisoned_tables.remove(&key);
+                    self.catalog.indexes.retain(|_, ix| !ix.table.eq_ignore_ascii_case(name));
+                }
+                None if if_exists => {}
+                None => return Err(self.no_such_table(name)),
+            }
+        }
+        Ok(QueryResult::ok())
+    }
+
+    fn alter_table(
+        &mut self,
+        name: &str,
+        action: &AlterTableAction,
+    ) -> Result<QueryResult, EngineError> {
+        let key = self
+            .catalog
+            .resolve_table_key(name)
+            .ok_or_else(|| self.no_such_table(name))?;
+        let dialect = self.dialect;
+        match action {
+            AlterTableAction::AddColumn(def) => {
+                let ty = resolve_type(&def.type_name, dialect)?;
+                let default = match &def.default {
+                    Some(e) => Some(self.with_env(|env| {
+                        let ctx = EvalCtx::constant(env);
+                        eval(e, &ctx)
+                    })?),
+                    None => None,
+                };
+                let table = self.catalog.tables.get_mut(&key).expect("resolved");
+                if table.column_index(&def.name).is_some() {
+                    return Err(EngineError::catalog(format!(
+                        "duplicate column name: {}",
+                        def.name
+                    )));
+                }
+                let fill = default.clone().unwrap_or(Value::Null);
+                table.columns.push(Column {
+                    name: def.name.clone(),
+                    ty,
+                    not_null: def.not_null,
+                    primary_key: false,
+                    unique: def.unique,
+                    default,
+                });
+                for row in &mut table.rows {
+                    row.push(fill.clone());
+                }
+            }
+            AlterTableAction::DropColumn { name: col, if_exists } => {
+                let table = self.catalog.tables.get_mut(&key).expect("resolved");
+                match table.column_index(col) {
+                    Some(i) => {
+                        table.columns.remove(i);
+                        for row in &mut table.rows {
+                            row.remove(i);
+                        }
+                    }
+                    None if *if_exists => {}
+                    None => {
+                        return Err(EngineError::catalog(format!("no such column: {col}")))
+                    }
+                }
+            }
+            AlterTableAction::RenameTo(new) => {
+                let table = self.catalog.tables.remove(&key).expect("resolved");
+                self.catalog.tables.insert(new.clone(), table);
+            }
+            AlterTableAction::RenameColumn { old, new } => {
+                let table = self.catalog.tables.get_mut(&key).expect("resolved");
+                match table.column_index(old) {
+                    Some(i) => table.columns[i].name = new.clone(),
+                    None => {
+                        return Err(EngineError::catalog(format!("no such column: {old}")))
+                    }
+                }
+            }
+        }
+        Ok(QueryResult::ok())
+    }
+
+    fn alter_schema(&mut self, name: &str, rename_to: &str) -> Result<QueryResult, EngineError> {
+        match self.dialect {
+            EngineDialect::Duckdb => {
+                // Paper Listing 12: 0.7.0 crashed; 0.6.1 raised a
+                // Not implemented Error.
+                if self.faults.is_enabled(FaultId::DuckdbAlterSchemaCrash) {
+                    Err(EngineError::fatal(
+                        "INTERNAL Error: unhandled ALTER SCHEMA RENAME path (segfault)",
+                    ))
+                } else {
+                    Err(EngineError::new(
+                        ErrorKind::NotImplemented,
+                        "Not implemented Error: ALTER SCHEMA ... RENAME TO",
+                    ))
+                }
+            }
+            EngineDialect::Postgres => {
+                if self.catalog.schemas.remove(name).is_none() {
+                    return Err(EngineError::catalog(format!(
+                        "schema \"{name}\" does not exist"
+                    )));
+                }
+                self.catalog.schemas.insert(rename_to.to_string(), ());
+                Ok(QueryResult::ok())
+            }
+            EngineDialect::Mysql => Err(EngineError::new(
+                ErrorKind::UnsupportedStatement,
+                "ALTER SCHEMA ... RENAME is not supported",
+            )),
+            EngineDialect::Sqlite => {
+                Err(EngineError::syntax("near \"SCHEMA\": syntax error"))
+            }
+        }
+    }
+
+    fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        columns: &[String],
+        unique: bool,
+        if_not_exists: bool,
+    ) -> Result<QueryResult, EngineError> {
+        if self.catalog.indexes.contains_key(name) {
+            if if_not_exists {
+                return Ok(QueryResult::ok());
+            }
+            return Err(EngineError::catalog(format!("index {name} already exists")));
+        }
+        let key = self
+            .catalog
+            .resolve_table_key(table)
+            .ok_or_else(|| self.no_such_table(table))?;
+        {
+            let t = self.catalog.tables.get(&key).expect("resolved");
+            for c in columns {
+                if t.column_index(c).is_none() {
+                    return Err(EngineError::catalog(format!("no such column: {c}")));
+                }
+            }
+        }
+        self.catalog.indexes.insert(
+            name.to_string(),
+            Index { table: key, columns: columns.to_vec(), unique },
+        );
+        Ok(QueryResult::ok())
+    }
+
+    fn create_function(
+        &mut self,
+        name: &str,
+        language: &str,
+        library: Option<&str>,
+    ) -> Result<QueryResult, EngineError> {
+        // Paper Listing 7: C-language functions load a shared library; the
+        // test fails when the extension file is absent.
+        if language == "c" {
+            let lib = library.unwrap_or("");
+            if !self.extensions.contains(&lib.to_lowercase()) {
+                return Err(EngineError::new(
+                    ErrorKind::ExtensionMissing,
+                    format!("could not access file \"{lib}\": No such file or directory"),
+                ));
+            }
+        }
+        self.user_functions.insert(name.to_lowercase());
+        Ok(QueryResult::ok())
+    }
+
+    // ---- transactions -----------------------------------------------------------
+
+    fn begin(&mut self) -> Result<QueryResult, EngineError> {
+        if self.txn_snapshot.is_some() {
+            if self.dialect.begin_implicitly_commits() {
+                self.coverage.hit_branch("txn:implicit-commit");
+                self.commit_inner();
+            } else if self.dialect == EngineDialect::Postgres {
+                // PostgreSQL: WARNING, transaction continues.
+                return Ok(QueryResult::ok());
+            } else {
+                return Err(EngineError::new(
+                    ErrorKind::Transaction,
+                    "cannot start a transaction within a transaction",
+                ));
+            }
+        }
+        self.txn_snapshot = Some(self.catalog.clone());
+        self.txn_inserted.clear();
+        self.txn_updated.clear();
+        Ok(QueryResult::ok())
+    }
+
+    fn commit_inner(&mut self) {
+        self.txn_snapshot = None;
+        // Listing 13 bookkeeping: tables both inserted and updated in the
+        // transaction become poisoned on DuckDB-with-fault.
+        let both: Vec<String> = self
+            .txn_inserted
+            .intersection(&self.txn_updated)
+            .cloned()
+            .collect();
+        for t in both {
+            self.poisoned_tables.insert(t);
+        }
+        self.txn_inserted.clear();
+        self.txn_updated.clear();
+    }
+
+    fn commit(&mut self) -> Result<QueryResult, EngineError> {
+        if self.txn_snapshot.is_none() {
+            return match self.dialect {
+                EngineDialect::Mysql | EngineDialect::Postgres => Ok(QueryResult::ok()),
+                _ => Err(EngineError::new(
+                    ErrorKind::Transaction,
+                    "cannot commit - no transaction is active",
+                )),
+            };
+        }
+        self.coverage.hit_branch("txn:commit");
+        self.commit_inner();
+        Ok(QueryResult::ok())
+    }
+
+    fn rollback(&mut self) -> Result<QueryResult, EngineError> {
+        match self.txn_snapshot.take() {
+            Some(snapshot) => {
+                self.coverage.hit_branch("txn:rollback");
+                self.catalog = snapshot;
+                self.txn_inserted.clear();
+                self.txn_updated.clear();
+                Ok(QueryResult::ok())
+            }
+            None => match self.dialect {
+                EngineDialect::Mysql | EngineDialect::Postgres => Ok(QueryResult::ok()),
+                _ => Err(EngineError::new(
+                    ErrorKind::Transaction,
+                    "cannot rollback - no transaction is active",
+                )),
+            },
+        }
+    }
+
+    // ---- misc ---------------------------------------------------------------------
+
+    fn copy(&mut self, table: &str, path: &str, from: bool) -> Result<QueryResult, EngineError> {
+        if !from {
+            return Ok(QueryResult::ok()); // COPY TO is a no-op sink
+        }
+        let key = self
+            .catalog
+            .resolve_table_key(table)
+            .ok_or_else(|| self.no_such_table(table))?;
+        let Some(lines) = self.vfs.get(path).cloned() else {
+            // The paper's "File Paths" environment dependency.
+            return Err(EngineError::new(
+                ErrorKind::FileNotFound,
+                format!("could not open file \"{path}\" for reading: No such file or directory"),
+            ));
+        };
+        let dialect = self.dialect;
+        let t = self.catalog.tables.get_mut(&key).expect("resolved");
+        let mut n = 0usize;
+        for line in lines {
+            let parts: Vec<&str> = line.split(',').collect();
+            if parts.len() != t.columns.len() {
+                return Err(EngineError::conversion(format!(
+                    "COPY row has {} fields, table has {} columns",
+                    parts.len(),
+                    t.columns.len()
+                )));
+            }
+            let mut row = Vec::with_capacity(parts.len());
+            for (part, col) in parts.iter().zip(&t.columns) {
+                let v = if part.eq_ignore_ascii_case("\\n") || part.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Text(part.to_string())
+                };
+                row.push(coerce_for_storage(dialect, v, &col.ty)?);
+            }
+            t.rows.push(row);
+            n += 1;
+        }
+        Ok(QueryResult { affected: n, ..QueryResult::ok() })
+    }
+
+    fn show(&mut self, name: &str) -> Result<QueryResult, EngineError> {
+        if name.eq_ignore_ascii_case("tables") {
+            let rows = self
+                .catalog
+                .tables
+                .keys()
+                .map(|k| vec![Value::Text(k.clone())])
+                .collect();
+            return Ok(QueryResult { columns: vec!["name".into()], rows, affected: 0 });
+        }
+        match self.config.get(name) {
+            Some(v) => Ok(QueryResult {
+                columns: vec![name.to_string()],
+                rows: vec![vec![Value::Text(v.to_string())]],
+                affected: 0,
+            }),
+            None => Err(EngineError::new(
+                ErrorKind::UnknownConfig,
+                format!("unrecognized configuration parameter \"{name}\""),
+            )),
+        }
+    }
+
+    fn no_such_table(&self, name: &str) -> EngineError {
+        let msg = match self.dialect {
+            EngineDialect::Sqlite => format!("no such table: {name}"),
+            EngineDialect::Postgres => format!("relation \"{name}\" does not exist"),
+            EngineDialect::Duckdb => {
+                format!("Catalog Error: Table with name {name} does not exist!")
+            }
+            EngineDialect::Mysql => format!("Table 'main.{name}' doesn't exist"),
+        };
+        EngineError::catalog(msg)
+    }
+}
+
+/// Coerce a value for storage into a column of the given type.
+fn coerce_for_storage(
+    dialect: EngineDialect,
+    v: Value,
+    ty: &DataType,
+) -> Result<Value, EngineError> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    if dialect.dynamic_typing() {
+        // SQLite stores whatever arrives, applying affinity only when the
+        // conversion is lossless.
+        return Ok(match (ty, &v) {
+            (DataType::Integer, Value::Text(s)) => match s.trim().parse::<i64>() {
+                Ok(i) => Value::Integer(i),
+                Err(_) => v,
+            },
+            (DataType::Float, Value::Integer(i)) => Value::Float(*i as f64),
+            (DataType::Text { .. }, Value::Integer(_) | Value::Float(_)) => {
+                Value::Text(render_plain(&v))
+            }
+            _ => v,
+        });
+    }
+    cast_value(dialect, v, ty)
+}
+
+fn stmt_tag(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::Select(_) => "SELECT",
+        Stmt::Insert(_) => "INSERT",
+        Stmt::Update(_) => "UPDATE",
+        Stmt::Delete(_) => "DELETE",
+        Stmt::CreateTable(_) => "CREATE TABLE",
+        Stmt::DropTable { .. } => "DROP TABLE",
+        Stmt::AlterTable { .. } => "ALTER TABLE",
+        Stmt::CreateIndex { .. } => "CREATE INDEX",
+        Stmt::DropIndex { .. } => "DROP INDEX",
+        Stmt::CreateView { .. } => "CREATE VIEW",
+        Stmt::DropView { .. } => "DROP VIEW",
+        Stmt::CreateSchema { .. } => "CREATE SCHEMA",
+        Stmt::AlterSchema { .. } => "ALTER SCHEMA",
+        Stmt::DropSchema { .. } => "DROP SCHEMA",
+        Stmt::CreateFunction { .. } => "CREATE FUNCTION",
+        Stmt::Begin => "BEGIN",
+        Stmt::Commit => "COMMIT",
+        Stmt::Rollback => "ROLLBACK",
+        Stmt::Savepoint { .. } => "SAVEPOINT",
+        Stmt::Release { .. } => "RELEASE",
+        Stmt::Set { .. } => "SET",
+        Stmt::Pragma { .. } => "PRAGMA",
+        Stmt::Explain { .. } => "EXPLAIN",
+        Stmt::Copy { .. } => "COPY",
+        Stmt::Show { .. } => "SHOW",
+        Stmt::Use { .. } => "USE",
+        Stmt::Values(_) => "VALUES",
+        Stmt::Truncate { .. } => "TRUNCATE",
+        Stmt::LoadExtension { .. } => "LOAD",
+        Stmt::Vacuum => "VACUUM",
+        Stmt::Analyze { .. } => "ANALYZE",
+    }
+}
+
+/// Register the fixed coverage universe for a dialect: statement kinds,
+/// operators, functions, type heads, and decision points.
+fn register_coverage_universe(cov: &mut Coverage, dialect: EngineDialect) {
+    const STATEMENTS: [&str; 29] = [
+        "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE TABLE", "DROP TABLE", "ALTER TABLE",
+        "CREATE INDEX", "DROP INDEX", "CREATE VIEW", "DROP VIEW", "CREATE SCHEMA",
+        "ALTER SCHEMA", "DROP SCHEMA", "CREATE FUNCTION", "BEGIN", "COMMIT", "ROLLBACK",
+        "SAVEPOINT", "RELEASE", "SET", "PRAGMA", "EXPLAIN", "COPY", "SHOW", "USE", "VALUES",
+        "TRUNCATE", "VACUUM",
+    ];
+    for s in STATEMENTS {
+        cov.register_line(format!("stmt:{s}"));
+    }
+    for op in ["+", "-", "*", "/", "DIV", "%", "||", "=", "<>", "<", ">", "<=", ">=", "&",
+        "|", "#", "<<", ">>", "~"]
+    {
+        cov.register_line(format!("op:{op}"));
+    }
+    for f in scalar_function_names(dialect) {
+        cov.register_line(format!("fn:{f}"));
+    }
+    for a in ["count", "sum", "avg", "min", "max", "median", "group_concat", "string_agg"] {
+        cov.register_line(format!("agg:{a}"));
+    }
+    for t in ["INTEGER", "DOUBLE", "VARCHAR", "BLOB", "BOOLEAN", "ANY", "STRUCT", "UNION"] {
+        cov.register_line(format!("type:{t}"));
+    }
+    for tf in ["generate_series", "range", "unnest"] {
+        cov.register_line(format!("tablefn:{tf}"));
+    }
+    // Decision points.
+    for b in [
+        "where:true", "where:false", "select:distinct", "select:grouped", "having:true",
+        "having:false", "query:limit", "query:offset", "from:table", "from:view", "from:cte",
+        "cte:plain", "cte:recursive", "txn:commit", "txn:rollback", "div:zero", "div:integer",
+        "div:decimal", "concat:as-or", "rowcmp:total", "rowcmp:3vl", "case:branch",
+        "case:else", "logic:and:short", "logic:or:short", "coalesce:promoted",
+        "subquery:first-row",
+    ] {
+        cov.register_branch(b);
+    }
+    for j in ["Inner", "Left", "Right", "Full", "Cross", "AsOf"] {
+        cov.register_branch(format!("join:{j}"));
+    }
+    for e in [
+        "Syntax", "UnsupportedStatement", "UnknownFunction", "UnsupportedType",
+        "UnsupportedOperator", "UnknownConfig", "Catalog", "Constraint", "Conversion",
+        "Arithmetic", "Transaction", "ExtensionMissing", "FileNotFound", "Fatal", "Hang",
+        "NotImplemented",
+    ] {
+        cov.register_branch(format!("err:{e}"));
+    }
+    for so in ["Union", "Intersect", "Except"] {
+        for all in ["all", "distinct"] {
+            cov.register_branch(format!("setop:{so}:{all}"));
+        }
+    }
+}

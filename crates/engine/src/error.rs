@@ -1,0 +1,127 @@
+//! Engine errors, shaped for the paper's RQ3/RQ4 failure taxonomies.
+//!
+//! The kind of an error is what the runner's classifiers consume (Table 6:
+//! unsupported statements / functions / types / operators / configurations /
+//! semantic / misc). Crashes and hangs are errors too — fatal ones — so the
+//! harness can count them separately, the way the paper excludes them from
+//! the success-rate heatmap (Figure 4).
+
+/// Machine-readable error category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Statement failed to parse or the statement form is not supported by
+    /// this engine (paper: "Statements").
+    Syntax,
+    /// Statement parses but the engine does not implement it.
+    UnsupportedStatement,
+    /// Unknown / unsupported function (paper: "Functions").
+    UnknownFunction,
+    /// Unknown or unsupported data type (paper: "Types").
+    UnsupportedType,
+    /// Operator unsupported for these operand types (paper: "Operators").
+    UnsupportedOperator,
+    /// Unknown configuration parameter (paper: "Configurations").
+    UnknownConfig,
+    /// Schema-level problem: missing table/column, duplicate object.
+    Catalog,
+    /// Constraint violation (NOT NULL, UNIQUE, primary key).
+    Constraint,
+    /// Data conversion failure (strict engines casting text to numbers...).
+    Conversion,
+    /// Division by zero and friends.
+    Arithmetic,
+    /// Transaction-state misuse (nested BEGIN, COMMIT without BEGIN...).
+    Transaction,
+    /// A required extension is not loaded (paper: "Extension" dependency).
+    ExtensionMissing,
+    /// File-system dependency failed (paper: "File Paths" dependency).
+    FileNotFound,
+    /// The engine aborted: simulated crash (paper: "Crashes").
+    Fatal,
+    /// The engine exceeded its step budget: simulated hang (paper: "Hangs").
+    Hang,
+    /// Feature recognised but deliberately unimplemented by the simulator.
+    NotImplemented,
+}
+
+impl ErrorKind {
+    /// True for the two abnormal terminations the paper reports separately.
+    pub fn is_abnormal(self) -> bool {
+        matches!(self, ErrorKind::Fatal | ErrorKind::Hang)
+    }
+}
+
+/// An execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// Category for classification.
+    pub kind: ErrorKind,
+    /// DBMS-style message, e.g. `no such function: pg_typeof`.
+    pub message: String,
+}
+
+impl EngineError {
+    /// Construct an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        EngineError { kind, message: message.into() }
+    }
+
+    /// Shorthand constructors for the common kinds.
+    pub fn syntax(msg: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Syntax, msg)
+    }
+    pub fn unknown_function(name: &str) -> Self {
+        Self::new(ErrorKind::UnknownFunction, format!("no such function: {name}"))
+    }
+    pub fn unsupported_type(name: &str) -> Self {
+        Self::new(ErrorKind::UnsupportedType, format!("unsupported data type: {name}"))
+    }
+    pub fn unsupported_operator(msg: impl Into<String>) -> Self {
+        Self::new(ErrorKind::UnsupportedOperator, msg)
+    }
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Catalog, msg)
+    }
+    pub fn conversion(msg: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Conversion, msg)
+    }
+    pub fn fatal(msg: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Fatal, msg)
+    }
+    pub fn hang(msg: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Hang, msg)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<squality_sqlast::ParseError> for EngineError {
+    fn from(e: squality_sqlast::ParseError) -> Self {
+        EngineError::syntax(e.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abnormal_kinds() {
+        assert!(ErrorKind::Fatal.is_abnormal());
+        assert!(ErrorKind::Hang.is_abnormal());
+        assert!(!ErrorKind::Syntax.is_abnormal());
+    }
+
+    #[test]
+    fn constructors() {
+        let e = EngineError::unknown_function("pg_typeof");
+        assert_eq!(e.kind, ErrorKind::UnknownFunction);
+        assert_eq!(e.to_string(), "no such function: pg_typeof");
+    }
+}

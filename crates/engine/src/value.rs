@@ -1,0 +1,337 @@
+//! Runtime values and their dialect-sensitive comparison semantics.
+
+use std::cmp::Ordering;
+
+/// A runtime SQL value.
+///
+/// `List` and `Struct` exist for DuckDB's nested types (and PostgreSQL
+/// arrays); the other engines reject them at the type level, which is
+/// exactly the paper's "Types" incompatibility class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Integer(i64),
+    Float(f64),
+    Text(String),
+    Blob(Vec<u8>),
+    Boolean(bool),
+    List(Vec<Value>),
+    Struct(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// SQL NULL test.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: integers and floats (and booleans as 0/1) yield `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Boolean(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view without coercion from text.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            Value::Boolean(b) => Some(if *b { 1 } else { 0 }),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The SQLite `typeof()` name of this value.
+    pub fn sqlite_type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Integer(_) => "integer",
+            Value::Float(_) => "real",
+            Value::Text(_) => "text",
+            Value::Blob(_) => "blob",
+            Value::Boolean(_) => "integer", // SQLite has no boolean type
+            Value::List(_) | Value::Struct(_) => "blob",
+        }
+    }
+
+    /// Type-class rank used by SQLite's cross-type ordering:
+    /// NULL < numeric < text < blob.
+    pub fn storage_class_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Integer(_) | Value::Float(_) | Value::Boolean(_) => 1,
+            Value::Text(_) => 2,
+            Value::Blob(_) => 3,
+            Value::List(_) => 4,
+            Value::Struct(_) => 5,
+        }
+    }
+
+    /// Total order used for sorting (ORDER BY, DISTINCT, set ops).
+    ///
+    /// `nulls_smallest` controls whether NULL sorts before everything
+    /// (SQLite/MySQL default) or after (PostgreSQL ASC default).
+    pub fn total_cmp(&self, other: &Value, nulls_smallest: bool) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => {
+                return if nulls_smallest { Ordering::Less } else { Ordering::Greater }
+            }
+            (false, true) => {
+                return if nulls_smallest { Ordering::Greater } else { Ordering::Less }
+            }
+            _ => {}
+        }
+        let (ra, rb) = (self.storage_class_rank(), other.storage_class_rank());
+        if ra != rb {
+            // Numeric-vs-numeric already share a rank; cross-class compares
+            // by class, SQLite style (other engines error earlier).
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Integer(a), Value::Integer(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Blob(a), Value::Blob(b)) => a.cmp(b),
+            (Value::List(a), Value::List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.total_cmp(y, nulls_smallest);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Struct(a), Value::Struct(b)) => {
+                for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+                    let c = x.total_cmp(y, nulls_smallest);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => {
+                // Mixed numerics (and booleans) compare as f64.
+                let a = self.as_f64().unwrap_or(f64::NAN);
+                let b = other.as_f64().unwrap_or(f64::NAN);
+                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// SQL equality ignoring the three-valued-logic NULL rules (used for
+    /// DISTINCT, GROUP BY, and set-operation deduplication where NULLs
+    /// compare equal to each other).
+    pub fn sql_grouping_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other, true) == Ordering::Equal
+    }
+}
+
+/// Three-valued logic result of a SQL comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    /// Convert to a SQL value (`NULL` for unknown).
+    pub fn to_value(self) -> Value {
+        match self {
+            Truth::True => Value::Boolean(true),
+            Truth::False => Value::Boolean(false),
+            Truth::Unknown => Value::Null,
+        }
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Three-valued NOT.
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// From a boolean.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+/// Interpret a value as a WHERE-clause condition (SQLite/MySQL accept
+/// numerics; 0 is false, non-zero true).
+pub fn truthiness(v: &Value) -> Truth {
+    match v {
+        Value::Null => Truth::Unknown,
+        Value::Boolean(b) => Truth::from_bool(*b),
+        Value::Integer(i) => Truth::from_bool(*i != 0),
+        Value::Float(f) => Truth::from_bool(*f != 0.0),
+        Value::Text(s) => {
+            // SQLite/MySQL: leading numeric prefix decides.
+            Truth::from_bool(parse_leading_number(s).map(|n| n != 0.0).unwrap_or(false))
+        }
+        _ => Truth::False,
+    }
+}
+
+/// Parse the leading numeric prefix of a string the way SQLite/MySQL coerce
+/// text to numbers (`'3abc'` → 3, `'abc'` → None).
+pub fn parse_leading_number(s: &str) -> Option<f64> {
+    let t = s.trim_start();
+    let mut end = 0usize;
+    let bytes = t.as_bytes();
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while end < bytes.len() {
+        let c = bytes[end];
+        match c {
+            b'+' | b'-' if end == 0 => {}
+            b'0'..=b'9' => seen_digit = true,
+            b'.' if !seen_dot && !seen_exp => seen_dot = true,
+            b'e' | b'E' if seen_digit && !seen_exp => {
+                // Look ahead: must be digit or sign+digit.
+                let ok = match bytes.get(end + 1) {
+                    Some(b'0'..=b'9') => true,
+                    Some(b'+') | Some(b'-') => {
+                        matches!(bytes.get(end + 2), Some(b'0'..=b'9'))
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    break;
+                }
+                seen_exp = true;
+                end += 1; // consume the sign/digit next iteration
+            }
+            _ => break,
+        }
+        end += 1;
+    }
+    if !seen_digit {
+        return None;
+    }
+    t[..end].parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ordering_configurable() {
+        let n = Value::Null;
+        let one = Value::Integer(1);
+        assert_eq!(n.total_cmp(&one, true), Ordering::Less);
+        assert_eq!(n.total_cmp(&one, false), Ordering::Greater);
+        assert_eq!(n.total_cmp(&Value::Null, true), Ordering::Equal);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(
+            Value::Integer(1).total_cmp(&Value::Float(1.5), true),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float(2.0).total_cmp(&Value::Integer(2), true),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn sqlite_storage_class_order() {
+        // numeric < text < blob
+        assert_eq!(
+            Value::Integer(999).total_cmp(&Value::Text("a".into()), true),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Text("zzz".into()).total_cmp(&Value::Blob(vec![0]), true),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn list_lexicographic() {
+        let a = Value::List(vec![Value::Integer(1), Value::Integer(2)]);
+        let b = Value::List(vec![Value::Integer(1), Value::Integer(3)]);
+        assert_eq!(a.total_cmp(&b, true), Ordering::Less);
+        let shorter = Value::List(vec![Value::Integer(1)]);
+        assert_eq!(shorter.total_cmp(&a, true), Ordering::Less);
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn truthiness_rules() {
+        assert_eq!(truthiness(&Value::Integer(0)), Truth::False);
+        assert_eq!(truthiness(&Value::Integer(5)), Truth::True);
+        assert_eq!(truthiness(&Value::Null), Truth::Unknown);
+        assert_eq!(truthiness(&Value::Text("3abc".into())), Truth::True);
+        assert_eq!(truthiness(&Value::Text("abc".into())), Truth::False);
+    }
+
+    #[test]
+    fn leading_number_parsing() {
+        assert_eq!(parse_leading_number("42"), Some(42.0));
+        assert_eq!(parse_leading_number("3.5x"), Some(3.5));
+        assert_eq!(parse_leading_number("-2"), Some(-2.0));
+        assert_eq!(parse_leading_number("1e3"), Some(1000.0));
+        assert_eq!(parse_leading_number("1e"), Some(1.0));
+        assert_eq!(parse_leading_number("abc"), None);
+        assert_eq!(parse_leading_number(""), None);
+    }
+
+    #[test]
+    fn grouping_equality_treats_nulls_equal() {
+        assert!(Value::Null.sql_grouping_eq(&Value::Null));
+        assert!(!Value::Null.sql_grouping_eq(&Value::Integer(0)));
+        assert!(Value::Integer(2).sql_grouping_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn typeof_names() {
+        assert_eq!(Value::Integer(1).sqlite_type_name(), "integer");
+        assert_eq!(Value::Float(1.0).sqlite_type_name(), "real");
+        assert_eq!(Value::Text("x".into()).sqlite_type_name(), "text");
+        assert_eq!(Value::Null.sqlite_type_name(), "null");
+        assert_eq!(Value::Boolean(true).sqlite_type_name(), "integer");
+    }
+}

@@ -1,0 +1,180 @@
+//! Runner-command registries for the RQ1 census (paper Table 2).
+//!
+//! The headline numbers: SQLite's SLT runner understands **4** commands,
+//! MySQL's framework **112**, psql exposes **114** CLI meta-commands (59
+//! used by the regression suite), and DuckDB's runner **16**. The feature
+//! matrix (Include / Set Variable / Load / Loop / Skiptest /
+//! Multi-Connections / CLI) is encoded in [`feature_matrix`].
+
+use crate::ir::SuiteKind;
+
+/// SLT's four runner commands (paper: "SQLite has 4 test runner commands").
+pub fn slt_commands() -> &'static [&'static str] {
+    &["statement", "query", "halt", "hash-threshold"]
+}
+
+/// DuckDB's sixteen runner commands.
+pub fn duckdb_commands() -> &'static [&'static str] {
+    &[
+        "statement", "query", "halt", "hash-threshold", "require", "load", "loop",
+        "foreach", "endloop", "mode", "restart", "sleep", "connection", "set", "reset",
+        "unzip",
+    ]
+}
+
+/// The MySQL test framework's 112 commands (per the MySQL internals manual
+/// page the paper cites).
+pub fn mysql_commands() -> &'static [&'static str] {
+    &[
+        "append_file", "assert", "cat_file", "change_user", "character_set", "chmod",
+        "connect", "connection", "copy_file", "copy_files_wildcard", "dec", "delimiter",
+        "die", "diff_files", "dirty_close", "disable_abort_on_error", "disable_async_client",
+        "disable_connect_log", "disable_info", "disable_metadata", "disable_ps_protocol",
+        "disable_query_log", "disable_reconnect", "disable_result_log", "disable_rpl_parse",
+        "disable_session_track_info", "disable_testcase", "disable_warnings", "disconnect",
+        "echo", "enable_abort_on_error", "enable_async_client", "enable_connect_log",
+        "enable_info", "enable_metadata", "enable_ps_protocol", "enable_query_log",
+        "enable_reconnect", "enable_result_log", "enable_rpl_parse",
+        "enable_session_track_info", "enable_testcase", "enable_warnings", "end", "error",
+        "eval", "exec", "exec_in_background", "execw", "exit", "expr", "file_exists",
+        "force-cpdir", "force-rmdir", "horizontal_results", "if", "inc", "let",
+        "list_files", "list_files_append_file", "list_files_write_file", "lowercase_result",
+        "mkdir", "move_file", "output", "perl", "ping", "query", "query_attributes",
+        "query_get_value", "query_horizontal", "query_vertical", "real_sleep", "reap",
+        "remove_file", "remove_files_wildcard", "replace_column", "replace_numeric_round",
+        "replace_regex", "replace_result", "reset_connection", "result_format", "rmdir",
+        "save_master_pos", "send", "send_eval", "send_quit", "send_shutdown", "shutdown_server",
+        "skip", "sleep", "sorted_result", "source", "start_timer", "sync_slave_with_master",
+        "sync_with_master", "vertical_results", "wait_for_slave_to_stop", "while",
+        "write_file", "copy_dir", "force_cpdir", "force_rmdir", "partially_sorted_result",
+        "query_log", "remove_dir", "replace_string", "restart_server", "result_log",
+        "secret", "skip_if_hypergraph", "truncate_file",
+    ]
+}
+
+/// psql's 114 backslash meta-commands (paper: "CLI Commands: 114").
+pub fn psql_cli_commands() -> &'static [&'static str] {
+    &[
+        "\\a", "\\bind", "\\c", "\\C", "\\cd", "\\conninfo", "\\copy", "\\copyright",
+        "\\crosstabview", "\\d", "\\dA", "\\dAc", "\\dAf", "\\dAo", "\\dAp", "\\db", "\\dc",
+        "\\dC", "\\dd", "\\dD", "\\ddp", "\\dE", "\\de", "\\des", "\\det", "\\deu", "\\dew",
+        "\\df", "\\dF", "\\dFd", "\\dFp", "\\dFt", "\\dg", "\\di", "\\dl", "\\dL", "\\dm",
+        "\\dn", "\\do", "\\dO", "\\dp", "\\dP", "\\dPi", "\\dPt", "\\drds", "\\dRp", "\\dRs",
+        "\\ds", "\\dS", "\\dt", "\\dT", "\\du", "\\dv", "\\dx", "\\dX", "\\dy", "\\e",
+        "\\echo", "\\ef", "\\encoding", "\\errverbose", "\\ev", "\\f", "\\g", "\\gdesc",
+        "\\getenv", "\\gexec", "\\gset", "\\gx", "\\h", "\\H", "\\help", "\\i", "\\if",
+        "\\elif", "\\else", "\\endif", "\\ir", "\\l", "\\lo_export", "\\lo_import",
+        "\\lo_list", "\\lo_unlink", "\\o", "\\p", "\\password", "\\prompt", "\\pset", "\\q",
+        "\\qecho", "\\r", "\\s", "\\set", "\\setenv", "\\sf", "\\sv", "\\t", "\\T",
+        "\\timing", "\\unset", "\\w", "\\warn", "\\watch", "\\x", "\\z", "\\!", "\\?",
+        "\\;", "\\dconfig", "\\dti", "\\dit", "\\dis", "\\dii", "\\diS",
+    ]
+}
+
+/// The subset of psql commands the regression suite actually uses (59 of
+/// 114, per the paper).
+pub fn psql_used_commands() -> &'static [&'static str] {
+    &psql_cli_commands()[..59]
+}
+
+/// Runner-command count per suite — the "Runner Commands" / "CLI Commands"
+/// row of Table 2.
+pub fn command_count(suite: SuiteKind) -> usize {
+    match suite {
+        SuiteKind::Slt => slt_commands().len(),
+        SuiteKind::Duckdb => duckdb_commands().len(),
+        SuiteKind::MysqlTest => mysql_commands().len(),
+        SuiteKind::PgRegress => psql_cli_commands().len(),
+    }
+}
+
+/// The feature rows of paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSupport {
+    pub include: bool,
+    pub set_variable: bool,
+    pub load: bool,
+    pub loop_: bool,
+    pub skiptest: bool,
+    pub multi_connections: bool,
+}
+
+/// Feature matrix per suite (Table 2 check marks).
+pub fn feature_matrix(suite: SuiteKind) -> FeatureSupport {
+    match suite {
+        SuiteKind::Slt => FeatureSupport {
+            include: false,
+            set_variable: true,
+            load: false,
+            loop_: false,
+            skiptest: true,
+            multi_connections: false,
+        },
+        SuiteKind::MysqlTest => FeatureSupport {
+            include: true,
+            set_variable: true,
+            load: true,
+            loop_: true,
+            skiptest: false,
+            multi_connections: true,
+        },
+        SuiteKind::PgRegress => FeatureSupport {
+            include: true,
+            set_variable: true,
+            load: true,
+            loop_: false,
+            skiptest: true,
+            multi_connections: true,
+        },
+        SuiteKind::Duckdb => FeatureSupport {
+            include: false,
+            set_variable: true,
+            load: true,
+            loop_: true,
+            skiptest: true,
+            multi_connections: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper_table2() {
+        assert_eq!(command_count(SuiteKind::Slt), 4);
+        assert_eq!(command_count(SuiteKind::MysqlTest), 112);
+        assert_eq!(command_count(SuiteKind::PgRegress), 114);
+        assert_eq!(command_count(SuiteKind::Duckdb), 16);
+        assert_eq!(psql_used_commands().len(), 59);
+    }
+
+    #[test]
+    fn no_duplicate_command_names() {
+        for suite in SuiteKind::ALL {
+            let list: Vec<&str> = match suite {
+                SuiteKind::Slt => slt_commands().to_vec(),
+                SuiteKind::Duckdb => duckdb_commands().to_vec(),
+                SuiteKind::MysqlTest => mysql_commands().to_vec(),
+                SuiteKind::PgRegress => psql_cli_commands().to_vec(),
+            };
+            let mut dedup = list.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), list.len(), "{suite:?} has duplicates");
+        }
+    }
+
+    #[test]
+    fn feature_matrix_matches_paper() {
+        // Spot checks against Table 2.
+        assert!(!feature_matrix(SuiteKind::Slt).include);
+        assert!(feature_matrix(SuiteKind::MysqlTest).include);
+        assert!(feature_matrix(SuiteKind::Duckdb).loop_);
+        assert!(!feature_matrix(SuiteKind::PgRegress).loop_);
+        assert!(feature_matrix(SuiteKind::Slt).skiptest);
+        assert!(!feature_matrix(SuiteKind::MysqlTest).skiptest);
+        assert!(!feature_matrix(SuiteKind::Slt).multi_connections);
+    }
+}

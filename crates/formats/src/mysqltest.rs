@@ -1,0 +1,336 @@
+//! Parser for the MySQL test framework format.
+//!
+//! A MySQL test is a `.test` / `.result` pair (paper Listing 2): the test
+//! file interleaves SQL with runner commands (112 of them — Table 2), and
+//! the result file is "a copy of the test file, with the expected results
+//! after each SQL statement". The paper judges the format too MySQL-specific
+//! to reuse; this parser supports the common-command subset so its test
+//! cases can still be transplanted, and routes every other command through
+//! [`ControlCommand::Unknown`] for the RQ1 census.
+
+use crate::ir::*;
+
+/// Parse a `.test` + `.result` pair.
+pub fn parse_mysql_test(name: &str, test_text: &str, result_text: &str) -> TestFile {
+    let items = test_items(test_text);
+    let res_lines: Vec<&str> = result_text.lines().collect();
+    let mut cursor = 0usize;
+    let mut records = Vec::new();
+    let mut pending_error: Option<String> = None;
+
+    for (idx, item) in items.iter().enumerate() {
+        match item {
+            Item::Command { line, raw } => {
+                let cmd = parse_command(raw);
+                if let ControlCommand::Unknown(u) = &cmd {
+                    if let Some(code) = u.strip_prefix("error ") {
+                        pending_error = Some(code.trim().to_string());
+                        continue;
+                    }
+                }
+                records.push(TestRecord {
+                    conditions: Vec::new(),
+                    kind: RecordKind::Control(cmd),
+                    line: *line,
+                });
+            }
+            Item::Sql { line, sql } => {
+                // Find this statement's echo in the result file.
+                let echo: Vec<String> =
+                    format!("{sql};").lines().map(|l| l.to_string()).collect();
+                let echo_at = find_echo(&res_lines, cursor, &echo);
+                let body_start = match echo_at {
+                    Some(at) => at + echo.len(),
+                    None => cursor,
+                };
+                let body_end = next_echo_end(&items, idx, &res_lines, body_start);
+                let body: Vec<&str> = res_lines
+                    [body_start.min(res_lines.len())..body_end.min(res_lines.len())]
+                    .to_vec();
+                cursor = body_end;
+
+                let kind = interpret_body(sql, &body, pending_error.take());
+                records.push(TestRecord { conditions: Vec::new(), kind, line: *line });
+            }
+        }
+    }
+    TestFile { name: name.to_string(), suite: SuiteKind::MysqlTest, records }
+}
+
+/// Parse a `.test` file without results: statements expect Ok.
+pub fn parse_mysql_test_only(name: &str, test_text: &str) -> TestFile {
+    parse_mysql_test(name, test_text, "")
+}
+
+enum Item {
+    Command { line: usize, raw: String },
+    Sql { line: usize, sql: String },
+}
+
+fn test_items(text: &str) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut sql_buf = String::new();
+    let mut sql_line = 0usize;
+
+    for (i, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if sql_buf.is_empty() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Runner commands: `--cmd args` or bare keywords.
+            if let Some(stripped) = line.strip_prefix("--") {
+                items.push(Item::Command { line: i + 1, raw: stripped.trim().to_string() });
+                continue;
+            }
+            let first = line.split_whitespace().next().unwrap_or("");
+            if is_bare_command(first) {
+                items.push(Item::Command {
+                    line: i + 1,
+                    raw: line.trim_end_matches(';').to_string(),
+                });
+                continue;
+            }
+            sql_line = i + 1;
+        }
+        // Accumulate SQL until a ';' terminator.
+        sql_buf.push_str(raw_line);
+        if line.ends_with(';') {
+            let sql = sql_buf.trim().trim_end_matches(';').trim().to_string();
+            if !sql.is_empty() {
+                items.push(Item::Sql { line: sql_line, sql });
+            }
+            sql_buf.clear();
+        } else {
+            sql_buf.push('\n');
+        }
+    }
+    if !sql_buf.trim().is_empty() {
+        items.push(Item::Sql { line: sql_line, sql: sql_buf.trim().to_string() });
+    }
+    items
+}
+
+/// Commands that appear without the `--` prefix in test files.
+fn is_bare_command(word: &str) -> bool {
+    matches!(
+        word.to_lowercase().as_str(),
+        "let" | "sleep" | "source" | "connect" | "connection" | "disconnect" | "echo"
+            | "eval" | "exec" | "while" | "if" | "inc" | "dec" | "die" | "skip"
+            | "disable_query_log" | "enable_query_log" | "disable_result_log"
+            | "enable_result_log" | "disable_warnings" | "enable_warnings" | "delimiter"
+            | "reap" | "send" | "replace_column" | "replace_regex" | "sorted_result"
+            | "shutdown_server" | "write_file" | "remove_file" | "perl" | "vertical_results"
+            | "horizontal_results"
+    )
+}
+
+fn parse_command(raw: &str) -> ControlCommand {
+    let mut words = raw.split_whitespace();
+    let head = words.next().unwrap_or("").to_lowercase();
+    let rest = raw[head.len().min(raw.len())..].trim().to_string();
+    match head.as_str() {
+        "echo" => ControlCommand::Echo(rest),
+        "sleep" => ControlCommand::Sleep(
+            rest.trim_end_matches(';').trim().parse::<f64>().map(|s| (s * 1000.0) as u64).unwrap_or(0),
+        ),
+        "source" => ControlCommand::Include(rest.trim_end_matches(';').trim().to_string()),
+        "let" => {
+            // let $var = value;
+            let body = rest.trim_end_matches(';');
+            let mut parts = body.splitn(2, '=');
+            let name = parts.next().unwrap_or("").trim().trim_start_matches('$').to_string();
+            let value = parts.next().unwrap_or("").trim().to_string();
+            ControlCommand::SetVar { name, value }
+        }
+        "connection" => ControlCommand::Connection(rest.trim_end_matches(';').to_string()),
+        "connect" => ControlCommand::Connection(
+            rest.trim_start_matches('(')
+                .split(',')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_string(),
+        ),
+        "exec" => ControlCommand::ShellExec(rest),
+        _ => ControlCommand::Unknown(raw.to_string()),
+    }
+}
+
+fn find_echo(lines: &[&str], from: usize, echo: &[String]) -> Option<usize> {
+    if echo.is_empty() {
+        return None;
+    }
+    (from..lines.len()).find(|&at| {
+        echo.iter().enumerate().all(|(k, e)| {
+            lines.get(at + k).map(|l| l.trim_end() == e.trim_end()).unwrap_or(false)
+        })
+    })
+}
+
+fn next_echo_end(items: &[Item], idx: usize, lines: &[&str], from: usize) -> usize {
+    for next in &items[idx + 1..] {
+        if let Item::Sql { sql, .. } = next {
+            let echo: Vec<String> = format!("{sql};").lines().map(|l| l.to_string()).collect();
+            if let Some(at) = find_echo(lines, from, &echo) {
+                return at;
+            }
+        }
+    }
+    lines.len()
+}
+
+fn interpret_body(sql: &str, body: &[&str], pending_error: Option<String>) -> RecordKind {
+    let lines: Vec<&str> = body
+        .iter()
+        .map(|l| l.trim_end())
+        .skip_while(|l| l.is_empty())
+        .collect();
+
+    if let Some(first) = lines.first() {
+        if first.starts_with("ERROR ") {
+            return RecordKind::Statement {
+                sql: sql.to_string(),
+                expect: StatementExpect::Error { message: Some(first.to_string()) },
+            };
+        }
+    }
+    if pending_error.is_some() {
+        return RecordKind::Statement {
+            sql: sql.to_string(),
+            expect: StatementExpect::Error { message: pending_error },
+        };
+    }
+    // Query output: header line with column names, then tab-separated rows
+    // (paper Listing 2: columns joined by tabs).
+    if !lines.is_empty() {
+        let rows: Vec<Vec<String>> = lines[1..]
+            .iter()
+            .take_while(|l| !l.is_empty())
+            .map(|l| l.split('\t').map(|v| v.to_string()).collect())
+            .collect();
+        return RecordKind::Query {
+            sql: sql.to_string(),
+            types: String::new(),
+            sort: SortMode::NoSort,
+            label: None,
+            expected: QueryExpectation::Rows(rows),
+        };
+    }
+    RecordKind::Statement { sql: sql.to_string(), expect: StatementExpect::Ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST: &str = "\
+# t/example.test
+CREATE TABLE t1(a INTEGER, b INTEGER, c INTEGER);
+INSERT INTO t1(c,b,a) VALUES (3,4,2), (5,1,3), (1,6,4);
+SELECT a, b FROM t1 WHERE c > a;
+";
+
+    const RESULT: &str = "\
+CREATE TABLE t1(a INTEGER, b INTEGER, c INTEGER);
+INSERT INTO t1(c,b,a) VALUES (3,4,2), (5,1,3), (1,6,4);
+SELECT a, b FROM t1 WHERE c > a;
+a\tb
+2\t4
+3\t1
+";
+
+    #[test]
+    fn parses_paper_listing2() {
+        let f = parse_mysql_test("example.test", TEST, RESULT);
+        assert_eq!(f.suite, SuiteKind::MysqlTest);
+        assert_eq!(f.records.len(), 3);
+        let RecordKind::Statement { expect, .. } = &f.records[0].kind else { panic!() };
+        assert_eq!(*expect, StatementExpect::Ok);
+        let RecordKind::Query { expected, .. } = &f.records[2].kind else { panic!() };
+        let QueryExpectation::Rows(rows) = expected else { panic!() };
+        assert_eq!(
+            rows,
+            &vec![vec!["2".to_string(), "4".into()], vec!["3".into(), "1".into()]]
+        );
+    }
+
+    #[test]
+    fn error_directive_applies_to_next_statement() {
+        let test = "--error ER_NO_SUCH_TABLE\nSELECT * FROM missing;\nSELECT 1;\n";
+        let result = "SELECT * FROM missing;\nERROR 42S02: Table 'test.missing' doesn't exist\nSELECT 1;\n1\n1\n";
+        let f = parse_mysql_test("err.test", test, result);
+        let RecordKind::Statement { expect, .. } = &f.records[0].kind else { panic!() };
+        assert!(matches!(expect, StatementExpect::Error { .. }));
+    }
+
+    #[test]
+    fn runner_commands_recognised() {
+        let test = "\
+--disable_query_log
+let $count = 10;
+sleep 0.5;
+source include/setup.inc;
+connection con1;
+--echo all done
+";
+        let f = parse_mysql_test_only("cmds.test", test);
+        assert_eq!(f.records.len(), 6);
+        assert!(matches!(
+            &f.records[0].kind,
+            RecordKind::Control(ControlCommand::Unknown(u)) if u == "disable_query_log"
+        ));
+        let RecordKind::Control(ControlCommand::SetVar { name, value }) = &f.records[1].kind
+        else {
+            panic!()
+        };
+        assert_eq!((name.as_str(), value.as_str()), ("count", "10"));
+        assert!(matches!(
+            &f.records[2].kind,
+            RecordKind::Control(ControlCommand::Sleep(500))
+        ));
+        assert!(matches!(
+            &f.records[3].kind,
+            RecordKind::Control(ControlCommand::Include(p)) if p == "include/setup.inc"
+        ));
+        assert!(matches!(
+            &f.records[4].kind,
+            RecordKind::Control(ControlCommand::Connection(c)) if c == "con1"
+        ));
+        assert!(matches!(
+            &f.records[5].kind,
+            RecordKind::Control(ControlCommand::Echo(e)) if e == "all done"
+        ));
+    }
+
+    #[test]
+    fn multiline_statement() {
+        let test = "CREATE TABLE t1(\n  a INTEGER,\n  b TEXT\n);\n";
+        let f = parse_mysql_test_only("ml.test", test);
+        assert_eq!(f.records.len(), 1);
+        let RecordKind::Statement { sql, .. } = &f.records[0].kind else { panic!() };
+        assert!(sql.contains("a INTEGER"));
+        assert!(!sql.ends_with(';'));
+    }
+
+    #[test]
+    fn exec_and_unknown_commands_censused() {
+        let test = "--exec ls -la\n--write_file $MYSQLTEST_VARDIR/tmp/f.txt\nSELECT 1;\n";
+        let f = parse_mysql_test_only("exec.test", test);
+        assert!(matches!(
+            &f.records[0].kind,
+            RecordKind::Control(ControlCommand::ShellExec(_))
+        ));
+        let RecordKind::Control(ControlCommand::Unknown(u)) = &f.records[1].kind else {
+            panic!()
+        };
+        assert!(u.starts_with("write_file"));
+    }
+
+    #[test]
+    fn statement_without_result_defaults_ok() {
+        let f = parse_mysql_test_only("bare.test", "INSERT INTO t VALUES (1);");
+        let RecordKind::Statement { expect, .. } = &f.records[0].kind else { panic!() };
+        assert_eq!(*expect, StatementExpect::Ok);
+    }
+}

@@ -1,0 +1,282 @@
+//! Parser for the PostgreSQL regression-test format.
+//!
+//! A pg regression test is a pair: a `.sql` script and an expected `.out`
+//! transcript produced by `psql -a` (statements echoed, followed by their
+//! output). Unlike SLT, statements and expectations are not explicitly
+//! separated (paper §3) — the runner must re-derive the pairing, which this
+//! parser does by echo matching. psql meta-commands (`\d`, `\c`, `\set`...)
+//! become [`ControlCommand::CliCommand`] records; the paper counts 114 such
+//! commands and deliberately does not interpret them.
+
+use crate::ir::*;
+use squality_sqltext::{split_statements, TextDialect};
+
+/// Parse a `.sql` + `.out` pair into the unified IR.
+pub fn parse_pg_regress(name: &str, sql_text: &str, out_text: &str) -> TestFile {
+    // Split the script into ordered items: SQL statements and CLI commands.
+    let items = script_items(sql_text);
+    let out_lines: Vec<&str> = out_text.lines().collect();
+    let mut cursor = 0usize;
+
+    let mut records = Vec::new();
+    for (idx, item) in items.iter().enumerate() {
+        // Find this item's echo in the .out, from the cursor.
+        let echo_at = find_echo(&out_lines, cursor, &item.echo_lines());
+        let body_start = match echo_at {
+            Some(at) => at + item.echo_lines().len(),
+            None => cursor, // echo missing: treat following lines as output
+        };
+        // Output runs until the next item's echo (or EOF).
+        let body_end = items
+            .get(idx + 1)
+            .and_then(|next| find_echo(&out_lines, body_start, &next.echo_lines()))
+            .unwrap_or(out_lines.len());
+        let body: Vec<&str> = out_lines[body_start..body_end.min(out_lines.len())].to_vec();
+        cursor = body_end;
+
+        records.push(TestRecord {
+            conditions: Vec::new(),
+            kind: item.to_record_kind(&body),
+            line: item.line,
+        });
+    }
+
+    TestFile { name: name.to_string(), suite: SuiteKind::PgRegress, records }
+}
+
+/// Parse a standalone `.sql` script (no expected output): every query gets
+/// an empty expectation. Used when only the script survives.
+pub fn parse_pg_sql_only(name: &str, sql_text: &str) -> TestFile {
+    parse_pg_regress(name, sql_text, "")
+}
+
+struct ScriptItem {
+    text: String,
+    is_cli: bool,
+    line: usize,
+}
+
+impl ScriptItem {
+    fn echo_lines(&self) -> Vec<String> {
+        if self.is_cli {
+            vec![self.text.clone()]
+        } else {
+            format!("{};", self.text).lines().map(|l| l.to_string()).collect()
+        }
+    }
+
+    fn to_record_kind(&self, body: &[&str]) -> RecordKind {
+        if self.is_cli {
+            return RecordKind::Control(ControlCommand::CliCommand(self.text.clone()));
+        }
+        parse_output_block(&self.text, body)
+    }
+}
+
+fn script_items(sql_text: &str) -> Vec<ScriptItem> {
+    // Separate CLI lines first; everything else is SQL to split.
+    let mut items: Vec<ScriptItem> = Vec::new();
+    let mut sql_buf = String::new();
+    let mut sql_start_line = 1usize;
+
+    let flush = |buf: &mut String, start: usize, items: &mut Vec<ScriptItem>| {
+        if buf.trim().is_empty() {
+            buf.clear();
+            return;
+        }
+        for stmt in split_statements(buf, TextDialect::Postgres) {
+            let line = start + buf[..stmt.offset.min(buf.len())].matches('\n').count();
+            items.push(ScriptItem { text: stmt.text, is_cli: false, line });
+        }
+        buf.clear();
+    };
+
+    for (i, line) in sql_text.lines().enumerate() {
+        if line.trim_start().starts_with('\\') {
+            flush(&mut sql_buf, sql_start_line, &mut items);
+            items.push(ScriptItem {
+                text: line.trim().to_string(),
+                is_cli: true,
+                line: i + 1,
+            });
+            sql_start_line = i + 2;
+        } else {
+            if sql_buf.is_empty() {
+                sql_start_line = i + 1;
+            }
+            sql_buf.push_str(line);
+            sql_buf.push('\n');
+        }
+    }
+    flush(&mut sql_buf, sql_start_line, &mut items);
+    items
+}
+
+fn find_echo(out_lines: &[&str], from: usize, echo: &[String]) -> Option<usize> {
+    if echo.is_empty() {
+        return None;
+    }
+    (from..out_lines.len()).find(|&at| {
+        echo.iter()
+            .enumerate()
+            .all(|(k, e)| out_lines.get(at + k).map(|l| l.trim_end() == e.trim_end()).unwrap_or(false))
+    })
+}
+
+/// Interpret the output block that followed a statement echo.
+fn parse_output_block(sql: &str, body: &[&str]) -> RecordKind {
+    let lines: Vec<&str> = body
+        .iter()
+        .map(|l| l.trim_end())
+        .skip_while(|l| l.is_empty())
+        .collect();
+
+    // Errors: `ERROR:  message` (and continuation lines like DETAIL/LINE).
+    if let Some(first) = lines.first() {
+        if let Some(msg) = first.strip_prefix("ERROR:") {
+            return RecordKind::Statement {
+                sql: sql.to_string(),
+                expect: StatementExpect::Error { message: Some(msg.trim().to_string()) },
+            };
+        }
+    }
+
+    // Query result table: header / ----- / rows / (N rows).
+    if lines.len() >= 2 && lines[1].chars().all(|c| c == '-' || c == '+' || c == ' ')
+        && lines[1].contains('-')
+    {
+        let mut rows = Vec::new();
+        for l in &lines[2..] {
+            if l.starts_with('(') && l.ends_with("row)") || l.ends_with("rows)") {
+                break;
+            }
+            if l.is_empty() {
+                break;
+            }
+            rows.push(l.split(" | ").map(|v| v.trim().to_string()).collect());
+        }
+        return RecordKind::Query {
+            sql: sql.to_string(),
+            types: String::new(),
+            sort: SortMode::NoSort,
+            label: None,
+            expected: QueryExpectation::Rows(rows),
+        };
+    }
+
+    // Bare command tag (CREATE TABLE / INSERT 0 1 / ...) or nothing.
+    RecordKind::Statement { sql: sql.to_string(), expect: StatementExpect::Ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SQL: &str = "\
+CREATE TABLE t1 (a int, b text);
+INSERT INTO t1 VALUES (1, 'x');
+SELECT a, b FROM t1;
+\\d t1
+SELECT * FROM missing;
+";
+
+    const OUT: &str = "\
+CREATE TABLE t1 (a int, b text);
+CREATE TABLE
+INSERT INTO t1 VALUES (1, 'x');
+INSERT 0 1
+SELECT a, b FROM t1;
+ a | b
+---+---
+ 1 | x
+(1 row)
+
+\\d t1
+             Table \"public.t1\"
+SELECT * FROM missing;
+ERROR:  relation \"missing\" does not exist
+";
+
+    #[test]
+    fn parses_statement_query_cli_error() {
+        let f = parse_pg_regress("basic.sql", SQL, OUT);
+        assert_eq!(f.suite, SuiteKind::PgRegress);
+        assert_eq!(f.records.len(), 5);
+
+        let RecordKind::Statement { expect, .. } = &f.records[0].kind else { panic!() };
+        assert_eq!(*expect, StatementExpect::Ok);
+
+        let RecordKind::Query { sql, expected, .. } = &f.records[2].kind else { panic!() };
+        assert_eq!(sql, "SELECT a, b FROM t1");
+        let QueryExpectation::Rows(rows) = expected else { panic!() };
+        assert_eq!(rows, &vec![vec!["1".to_string(), "x".into()]]);
+
+        let RecordKind::Control(ControlCommand::CliCommand(c)) = &f.records[3].kind else {
+            panic!()
+        };
+        assert_eq!(c, "\\d t1");
+
+        let RecordKind::Statement { expect, .. } = &f.records[4].kind else { panic!() };
+        let StatementExpect::Error { message } = expect else { panic!() };
+        assert!(message.as_deref().unwrap().contains("missing"));
+    }
+
+    #[test]
+    fn sql_only_yields_ok_expectations() {
+        let f = parse_pg_sql_only("only.sql", "SELECT 1;\nSELECT 2;");
+        assert_eq!(f.records.len(), 2);
+        for r in &f.records {
+            assert!(matches!(
+                &r.kind,
+                RecordKind::Statement { expect: StatementExpect::Ok, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn multi_row_table() {
+        let sql = "SELECT a FROM t ORDER BY a;";
+        let out = "\
+SELECT a FROM t ORDER BY a;
+ a
+---
+ 1
+ 2
+ 3
+(3 rows)
+";
+        let f = parse_pg_regress("rows.sql", sql, out);
+        let RecordKind::Query { expected, .. } = &f.records[0].kind else { panic!() };
+        let QueryExpectation::Rows(rows) = expected else { panic!() };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec!["3".to_string()]);
+    }
+
+    #[test]
+    fn cli_heavy_script() {
+        let sql = "\\set x 1\n\\c testdb\nSELECT 1;\n\\echo done\n";
+        let f = parse_pg_sql_only("cli.sql", sql);
+        let cli_count = f
+            .records
+            .iter()
+            .filter(|r| matches!(&r.kind, RecordKind::Control(ControlCommand::CliCommand(_))))
+            .count();
+        assert_eq!(cli_count, 3);
+        assert_eq!(f.records.len(), 4);
+    }
+
+    #[test]
+    fn dollar_quoted_function_body_not_split() {
+        let sql = "CREATE FUNCTION f() RETURNS int AS $$ SELECT 1; $$ LANGUAGE sql;\nSELECT 2;";
+        let f = parse_pg_sql_only("fn.sql", sql);
+        assert_eq!(f.records.len(), 2);
+    }
+
+    #[test]
+    fn statement_line_numbers() {
+        let sql = "SELECT 1;\n\nSELECT 2;\n";
+        let f = parse_pg_sql_only("lines.sql", sql);
+        assert_eq!(f.records[0].line, 1);
+        assert_eq!(f.records[1].line, 3);
+    }
+}

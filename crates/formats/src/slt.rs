@@ -1,0 +1,542 @@
+//! Parser for the sqllogictest (SLT) format and DuckDB's extension of it.
+//!
+//! SLT is the paper's recommended format for new DBMSs (§9): simple,
+//! mostly standard-compliant content, few dependencies. DuckDB reuses the
+//! format with extra runner commands (`require`, `loop`, `foreach`,
+//! `restart`, connection labels) and row-wise expected results — the
+//! flavour flag captures the difference.
+
+use crate::ir::*;
+
+/// Which SLT flavour to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SltFlavor {
+    /// Original sqllogictest: value-wise results, 4 runner commands.
+    Classic,
+    /// DuckDB's dialect: row-wise results, loops, require, connections.
+    Duckdb,
+}
+
+/// Parse an SLT test file.
+pub fn parse_slt(name: &str, text: &str, flavor: SltFlavor) -> TestFile {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut pos = 0usize;
+    let records = parse_records(&lines, &mut pos, flavor, false);
+    let suite = match flavor {
+        SltFlavor::Classic => SuiteKind::Slt,
+        SltFlavor::Duckdb => SuiteKind::Duckdb,
+    };
+    TestFile { name: name.to_string(), suite, records }
+}
+
+fn parse_records(
+    lines: &[&str],
+    pos: &mut usize,
+    flavor: SltFlavor,
+    in_loop: bool,
+) -> Vec<TestRecord> {
+    let mut records = Vec::new();
+    let mut conditions: Vec<Condition> = Vec::new();
+
+    while *pos < lines.len() {
+        let line_no = *pos + 1;
+        let raw = lines[*pos];
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            *pos += 1;
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().unwrap_or("");
+        match head {
+            "skipif" => {
+                if let Some(db) = words.next() {
+                    conditions.push(Condition::SkipIf(db.to_lowercase()));
+                }
+                *pos += 1;
+            }
+            "onlyif" => {
+                if let Some(db) = words.next() {
+                    conditions.push(Condition::OnlyIf(db.to_lowercase()));
+                }
+                *pos += 1;
+            }
+            "halt" => {
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Halt),
+                    line: line_no,
+                });
+            }
+            "hash-threshold" => {
+                let n = words.next().and_then(|w| w.parse().ok()).unwrap_or(8);
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::HashThreshold(n)),
+                    line: line_no,
+                });
+            }
+            "statement" => {
+                let expect_word = words.next().unwrap_or("ok").to_string();
+                let _connection = words.next(); // DuckDB connection label
+                *pos += 1;
+                let sql = read_sql_block(lines, pos);
+                // DuckDB allows `statement error` + ---- + expected message.
+                let mut expected_msg = None;
+                if expect_word == "error"
+                    && flavor == SltFlavor::Duckdb
+                    && lines.get(*pos).map(|l| l.trim() == "----").unwrap_or(false)
+                {
+                    *pos += 1;
+                    let msg_lines = read_until_blank(lines, pos);
+                    if !msg_lines.is_empty() {
+                        expected_msg = Some(msg_lines.join("\n"));
+                    }
+                }
+                let expect = match expect_word.as_str() {
+                    "error" => StatementExpect::Error { message: expected_msg },
+                    "count" => StatementExpect::Count(0),
+                    _ => StatementExpect::Ok,
+                };
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Statement { sql, expect },
+                    line: line_no,
+                });
+            }
+            "query" => {
+                let types = words.next().unwrap_or("").to_string();
+                let mut sort = SortMode::NoSort;
+                let mut label = None;
+                for w in words {
+                    match w {
+                        "nosort" => sort = SortMode::NoSort,
+                        "rowsort" => sort = SortMode::RowSort,
+                        "valuesort" => sort = SortMode::ValueSort,
+                        other if other.starts_with("label-") => {
+                            label = Some(other.to_string())
+                        }
+                        _ => {} // connection labels and unknown annotations
+                    }
+                }
+                *pos += 1;
+                let sql = read_sql_block(lines, pos);
+                let mut expected = QueryExpectation::Values(Vec::new());
+                if lines.get(*pos).map(|l| l.trim() == "----").unwrap_or(false) {
+                    *pos += 1;
+                    let result_lines = read_until_blank(lines, pos);
+                    expected = parse_expected(&result_lines, flavor);
+                }
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Query { sql, types, sort, label, expected },
+                    line: line_no,
+                });
+            }
+            // ---- DuckDB extensions --------------------------------------
+            "require" if flavor == SltFlavor::Duckdb => {
+                let ext = words.next().unwrap_or("").to_string();
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Require(ext)),
+                    line: line_no,
+                });
+            }
+            "load" if flavor == SltFlavor::Duckdb => {
+                let path = words.next().unwrap_or("").to_string();
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Load(path)),
+                    line: line_no,
+                });
+            }
+            "mode" if flavor == SltFlavor::Duckdb => {
+                let m = words.next().unwrap_or("").to_string();
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Mode(m)),
+                    line: line_no,
+                });
+            }
+            "restart" if flavor == SltFlavor::Duckdb => {
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Restart),
+                    line: line_no,
+                });
+            }
+            "sleep" if flavor == SltFlavor::Duckdb => {
+                let ms = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Sleep(ms)),
+                    line: line_no,
+                });
+            }
+            "connection" if flavor == SltFlavor::Duckdb => {
+                let c = words.next().unwrap_or("").to_string();
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Connection(c)),
+                    line: line_no,
+                });
+            }
+            "set" if flavor == SltFlavor::Duckdb => {
+                let name = words.next().unwrap_or("").to_string();
+                let value = words.collect::<Vec<_>>().join(" ");
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::SetVar { name, value }),
+                    line: line_no,
+                });
+            }
+            "loop" if flavor == SltFlavor::Duckdb => {
+                let var = words.next().unwrap_or("i").to_string();
+                let start = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
+                let end = words.next().and_then(|w| w.parse().ok()).unwrap_or(0);
+                *pos += 1;
+                let body = parse_records(lines, pos, flavor, true);
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Loop { var, start, end, body }),
+                    line: line_no,
+                });
+            }
+            "foreach" if flavor == SltFlavor::Duckdb => {
+                let var = words.next().unwrap_or("x").to_string();
+                let values: Vec<String> = words.map(|w| w.to_string()).collect();
+                *pos += 1;
+                let body = parse_records(lines, pos, flavor, true);
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Foreach { var, values, body }),
+                    line: line_no,
+                });
+            }
+            "endloop" if flavor == SltFlavor::Duckdb => {
+                *pos += 1;
+                if in_loop {
+                    return records;
+                }
+                // Stray endloop outside a loop: record as unknown.
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Unknown("endloop".into())),
+                    line: line_no,
+                });
+            }
+            _ => {
+                // Unknown directive: preserved for the RQ1 census.
+                *pos += 1;
+                records.push(TestRecord {
+                    conditions: std::mem::take(&mut conditions),
+                    kind: RecordKind::Control(ControlCommand::Unknown(line.to_string())),
+                    line: line_no,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// SQL may span multiple lines, ending at `----`, a blank line, or EOF.
+fn read_sql_block(lines: &[&str], pos: &mut usize) -> String {
+    let mut sql_lines = Vec::new();
+    while *pos < lines.len() {
+        let line = lines[*pos];
+        if line.trim().is_empty() || line.trim() == "----" {
+            break;
+        }
+        sql_lines.push(line);
+        *pos += 1;
+    }
+    sql_lines.join("\n").trim().to_string()
+}
+
+fn read_until_blank(lines: &[&str], pos: &mut usize) -> Vec<String> {
+    let mut out = Vec::new();
+    while *pos < lines.len() {
+        let line = lines[*pos];
+        if line.trim().is_empty() {
+            break;
+        }
+        out.push(line.to_string());
+        *pos += 1;
+    }
+    out
+}
+
+fn parse_expected(lines: &[String], flavor: SltFlavor) -> QueryExpectation {
+    // Hash form: "N values hashing to HASH".
+    if lines.len() == 1 {
+        let words: Vec<&str> = lines[0].split_whitespace().collect();
+        if words.len() == 5 && words[1] == "values" && words[2] == "hashing" && words[3] == "to"
+        {
+            if let Ok(count) = words[0].parse::<usize>() {
+                return QueryExpectation::Hash { count, hash: words[4].to_string() };
+            }
+        }
+    }
+    match flavor {
+        SltFlavor::Classic => QueryExpectation::Values(lines.to_vec()),
+        SltFlavor::Duckdb => QueryExpectation::Rows(
+            lines
+                .iter()
+                .map(|l| l.split('\t').map(|v| v.to_string()).collect())
+                .collect(),
+        ),
+    }
+}
+
+/// Strip a trailing `#` comment from a directive line, SLT style. Only
+/// directive lines call this; SQL lines keep their `#` (MySQL comments are
+/// handled by the lexer downstream).
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING1: &str = "\
+statement ok
+CREATE TABLE t1(a INTEGER, b INTEGER, c INTEGER)
+
+statement ok
+INSERT INTO t1(c,b,a) VALUES (3,4,2), (5,1,3), (1,6,4)
+
+query I rowsort
+SELECT a, b FROM t1 WHERE c > a;
+----
+2
+4
+3
+1
+";
+
+    #[test]
+    fn parses_paper_listing1() {
+        let f = parse_slt("listing1.test", LISTING1, SltFlavor::Classic);
+        assert_eq!(f.suite, SuiteKind::Slt);
+        assert_eq!(f.records.len(), 3);
+        let RecordKind::Statement { sql, expect } = &f.records[0].kind else { panic!() };
+        assert!(sql.starts_with("CREATE TABLE t1"));
+        assert_eq!(*expect, StatementExpect::Ok);
+        let RecordKind::Query { types, sort, expected, .. } = &f.records[2].kind else {
+            panic!()
+        };
+        assert_eq!(types, "I");
+        assert_eq!(*sort, SortMode::RowSort);
+        let QueryExpectation::Values(vals) = expected else { panic!() };
+        assert_eq!(vals, &["2", "4", "3", "1"]);
+    }
+
+    #[test]
+    fn parses_paper_listing3_rowwise() {
+        let text = "\
+statement ok
+CREATE TABLE t1(a INTEGER, b INTEGER, c INTEGER)
+
+query I
+SELECT a, b FROM t1 WHERE c > a;
+----
+2\t4
+3\t1
+";
+        let f = parse_slt("listing3.test", text, SltFlavor::Duckdb);
+        let RecordKind::Query { expected, .. } = &f.records[1].kind else { panic!() };
+        let QueryExpectation::Rows(rows) = expected else { panic!() };
+        assert_eq!(rows, &vec![vec!["2".to_string(), "4".into()], vec!["3".into(), "1".into()]]);
+    }
+
+    #[test]
+    fn parses_paper_listing4_conditions() {
+        let text = "\
+onlyif mysql # DIV for integer division:
+query I rowsort label-11
+SELECT ALL 62 DIV ( + - 2 )
+----
+-31
+
+skipif mysql # not compatible
+query I rowsort label-11
+SELECT ALL 62 / ( + - 2 )
+----
+-31
+";
+        let f = parse_slt("listing4.test", text, SltFlavor::Classic);
+        assert_eq!(f.records.len(), 2);
+        assert_eq!(f.records[0].conditions, vec![Condition::OnlyIf("mysql".into())]);
+        assert_eq!(f.records[1].conditions, vec![Condition::SkipIf("mysql".into())]);
+        assert!(f.records[0].applies_to("mysql"));
+        assert!(!f.records[0].applies_to("sqlite"));
+        assert!(f.records[1].applies_to("sqlite"));
+        let RecordKind::Query { label, .. } = &f.records[0].kind else { panic!() };
+        assert_eq!(label.as_deref(), Some("label-11"));
+    }
+
+    #[test]
+    fn statement_error_with_expected_message() {
+        let text = "\
+statement error
+SELECT * FROM missing
+----
+no such table
+";
+        let f = parse_slt("err.test", text, SltFlavor::Duckdb);
+        let RecordKind::Statement { expect, .. } = &f.records[0].kind else { panic!() };
+        assert_eq!(
+            *expect,
+            StatementExpect::Error { message: Some("no such table".into()) }
+        );
+        // Classic SLT has no message support.
+        let f = parse_slt("err.test", "statement error\nSELECT 1\n", SltFlavor::Classic);
+        let RecordKind::Statement { expect, .. } = &f.records[0].kind else { panic!() };
+        assert_eq!(*expect, StatementExpect::Error { message: None });
+    }
+
+    #[test]
+    fn hash_threshold_and_hashed_results() {
+        let text = "\
+hash-threshold 8
+
+query I nosort
+SELECT * FROM big
+----
+30 values hashing to 3c13dee48d9356ae19af2515e05e6b54
+";
+        let f = parse_slt("hash.test", text, SltFlavor::Classic);
+        let RecordKind::Control(ControlCommand::HashThreshold(8)) = &f.records[0].kind else {
+            panic!()
+        };
+        let RecordKind::Query { expected, .. } = &f.records[1].kind else { panic!() };
+        assert_eq!(
+            *expected,
+            QueryExpectation::Hash {
+                count: 30,
+                hash: "3c13dee48d9356ae19af2515e05e6b54".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duckdb_require_and_loop() {
+        let text = "\
+require sqlsmith
+
+loop i 0 3
+
+statement ok
+INSERT INTO t VALUES (${i})
+
+endloop
+
+statement ok
+SELECT 1
+";
+        let f = parse_slt("loop.test", text, SltFlavor::Duckdb);
+        assert_eq!(f.records.len(), 3);
+        let RecordKind::Control(ControlCommand::Require(ext)) = &f.records[0].kind else {
+            panic!()
+        };
+        assert_eq!(ext, "sqlsmith");
+        let RecordKind::Control(ControlCommand::Loop { var, start, end, body }) =
+            &f.records[1].kind
+        else {
+            panic!()
+        };
+        assert_eq!((var.as_str(), *start, *end), ("i", 0, 3));
+        assert_eq!(body.len(), 1);
+        // Loop directives are plain unknown commands in classic SLT.
+        let f = parse_slt("loop.test", text, SltFlavor::Classic);
+        assert!(f
+            .records
+            .iter()
+            .any(|r| matches!(&r.kind, RecordKind::Control(ControlCommand::Unknown(_)))));
+    }
+
+    #[test]
+    fn foreach_loop() {
+        let text = "\
+foreach ty INTEGER BIGINT SMALLINT
+
+statement ok
+CREATE TABLE t_${ty}(a ${ty})
+
+endloop
+";
+        let f = parse_slt("foreach.test", text, SltFlavor::Duckdb);
+        let RecordKind::Control(ControlCommand::Foreach { var, values, body }) =
+            &f.records[0].kind
+        else {
+            panic!()
+        };
+        assert_eq!(var, "ty");
+        assert_eq!(values.len(), 3);
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn halt_and_unknown_directives() {
+        let f = parse_slt("h.test", "halt\n\nweird_cmd arg1\n", SltFlavor::Classic);
+        assert!(matches!(f.records[0].kind, RecordKind::Control(ControlCommand::Halt)));
+        let RecordKind::Control(ControlCommand::Unknown(s)) = &f.records[1].kind else {
+            panic!()
+        };
+        assert_eq!(s, "weird_cmd arg1");
+    }
+
+    #[test]
+    fn multiline_sql() {
+        let text = "\
+query I nosort
+SELECT a
+FROM t1
+WHERE a > 0
+----
+1
+";
+        let f = parse_slt("ml.test", text, SltFlavor::Classic);
+        let RecordKind::Query { sql, .. } = &f.records[0].kind else { panic!() };
+        assert_eq!(sql, "SELECT a\nFROM t1\nWHERE a > 0");
+    }
+
+    #[test]
+    fn empty_result_block() {
+        let text = "\
+query I nosort
+SELECT a FROM t1 WHERE 1 = 0
+----
+";
+        let f = parse_slt("empty.test", text, SltFlavor::Classic);
+        let RecordKind::Query { expected, .. } = &f.records[0].kind else { panic!() };
+        assert_eq!(*expected, QueryExpectation::Values(vec![]));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\n\n# another\nstatement ok\nSELECT 1\n";
+        let f = parse_slt("c.test", text, SltFlavor::Classic);
+        assert_eq!(f.records.len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_recorded() {
+        let text = "\n\nstatement ok\nSELECT 1\n";
+        let f = parse_slt("l.test", text, SltFlavor::Classic);
+        assert_eq!(f.records[0].line, 3);
+    }
+}

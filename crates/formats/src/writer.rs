@@ -1,0 +1,407 @@
+//! Writers: serialize IR back into each donor's native file format.
+//!
+//! The corpus generators build test files in IR form and write them out in
+//! donor-native syntax; the parsers then read them back. Round-tripping is
+//! property-tested, which keeps parser and writer honest against each other
+//! (the paper's transplantation step depends on this fidelity).
+
+use crate::ir::*;
+
+/// Render a test file as classic SLT.
+pub fn write_slt(file: &TestFile) -> String {
+    let mut out = String::new();
+    write_slt_records(&mut out, &file.records, false);
+    out
+}
+
+/// Render a test file in DuckDB's SLT dialect.
+pub fn write_duckdb(file: &TestFile) -> String {
+    let mut out = String::new();
+    write_slt_records(&mut out, &file.records, true);
+    out
+}
+
+fn write_slt_records(out: &mut String, records: &[TestRecord], duckdb: bool) {
+    for rec in records {
+        for c in &rec.conditions {
+            match c {
+                Condition::SkipIf(db) => out.push_str(&format!("skipif {db}\n")),
+                Condition::OnlyIf(db) => out.push_str(&format!("onlyif {db}\n")),
+            }
+        }
+        match &rec.kind {
+            RecordKind::Statement { sql, expect } => match expect {
+                StatementExpect::Ok => {
+                    out.push_str(&format!("statement ok\n{sql}\n\n"));
+                }
+                StatementExpect::Error { message } => {
+                    out.push_str(&format!("statement error\n{sql}\n"));
+                    if duckdb {
+                        if let Some(m) = message {
+                            out.push_str(&format!("----\n{m}\n"));
+                        }
+                    }
+                    out.push('\n');
+                }
+                StatementExpect::Count(_) => {
+                    out.push_str(&format!("statement ok\n{sql}\n\n"));
+                }
+            },
+            RecordKind::Query { sql, types, sort, label, expected } => {
+                out.push_str(&format!("query {types}"));
+                if *sort != SortMode::NoSort {
+                    out.push_str(&format!(" {}", sort.keyword()));
+                }
+                if let Some(l) = label {
+                    out.push_str(&format!(" {l}"));
+                }
+                out.push('\n');
+                out.push_str(sql);
+                out.push_str("\n----\n");
+                match expected {
+                    QueryExpectation::Values(vals) => {
+                        for v in vals {
+                            out.push_str(v);
+                            out.push('\n');
+                        }
+                    }
+                    QueryExpectation::Rows(rows) => {
+                        for row in rows {
+                            out.push_str(&row.join("\t"));
+                            out.push('\n');
+                        }
+                    }
+                    QueryExpectation::Hash { count, hash } => {
+                        out.push_str(&format!("{count} values hashing to {hash}\n"));
+                    }
+                }
+                out.push('\n');
+            }
+            RecordKind::Control(cmd) => write_slt_control(out, cmd, duckdb),
+        }
+    }
+}
+
+fn write_slt_control(out: &mut String, cmd: &ControlCommand, duckdb: bool) {
+    match cmd {
+        ControlCommand::Halt => out.push_str("halt\n\n"),
+        ControlCommand::HashThreshold(n) => out.push_str(&format!("hash-threshold {n}\n\n")),
+        ControlCommand::Require(e) if duckdb => out.push_str(&format!("require {e}\n\n")),
+        ControlCommand::Load(p) if duckdb => out.push_str(&format!("load {p}\n\n")),
+        ControlCommand::Mode(m) if duckdb => out.push_str(&format!("mode {m}\n\n")),
+        ControlCommand::Restart if duckdb => out.push_str("restart\n\n"),
+        ControlCommand::Sleep(ms) if duckdb => out.push_str(&format!("sleep {ms}\n\n")),
+        ControlCommand::Connection(c) if duckdb => {
+            out.push_str(&format!("connection {c}\n\n"))
+        }
+        ControlCommand::SetVar { name, value } if duckdb => {
+            out.push_str(&format!("set {name} {value}\n\n"))
+        }
+        ControlCommand::Loop { var, start, end, body } if duckdb => {
+            out.push_str(&format!("loop {var} {start} {end}\n\n"));
+            write_slt_records(out, body, duckdb);
+            out.push_str("endloop\n\n");
+        }
+        ControlCommand::Foreach { var, values, body } if duckdb => {
+            out.push_str(&format!("foreach {var} {}\n\n", values.join(" ")));
+            write_slt_records(out, body, duckdb);
+            out.push_str("endloop\n\n");
+        }
+        ControlCommand::Unknown(s) => out.push_str(&format!("{s}\n\n")),
+        other => out.push_str(&format!("{}\n\n", other.census_name())),
+    }
+}
+
+/// Render a test file as a PostgreSQL regression pair: (`.sql`, `.out`).
+pub fn write_pg_regress(file: &TestFile) -> (String, String) {
+    let mut sql = String::new();
+    let mut out = String::new();
+    for rec in &file.records {
+        match &rec.kind {
+            RecordKind::Statement { sql: s, expect } => {
+                sql.push_str(&format!("{s};\n"));
+                out.push_str(&format!("{s};\n"));
+                match expect {
+                    StatementExpect::Ok | StatementExpect::Count(_) => {
+                        out.push_str(&command_tag(s));
+                        out.push('\n');
+                    }
+                    StatementExpect::Error { message } => {
+                        out.push_str(&format!(
+                            "ERROR:  {}\n",
+                            message.as_deref().unwrap_or("error")
+                        ));
+                    }
+                }
+            }
+            RecordKind::Query { sql: s, expected, .. } => {
+                sql.push_str(&format!("{s};\n"));
+                out.push_str(&format!("{s};\n"));
+                let rows: Vec<Vec<String>> = match expected {
+                    QueryExpectation::Rows(rows) => rows.clone(),
+                    QueryExpectation::Values(vals) => {
+                        vals.iter().map(|v| vec![v.clone()]).collect()
+                    }
+                    QueryExpectation::Hash { .. } => Vec::new(),
+                };
+                let width = rows.first().map(|r| r.len()).unwrap_or(1);
+                let header: Vec<String> =
+                    (0..width).map(|i| format!("c{}", i + 1)).collect();
+                out.push_str(&format!(" {}\n", header.join(" | ")));
+                out.push_str(&format!(
+                    "{}\n",
+                    header.iter().map(|h| "-".repeat(h.len() + 2)).collect::<Vec<_>>().join("+")
+                ));
+                for row in &rows {
+                    out.push_str(&format!(" {}\n", row.join(" | ")));
+                }
+                out.push_str(&format!(
+                    "({} row{})\n\n",
+                    rows.len(),
+                    if rows.len() == 1 { "" } else { "s" }
+                ));
+            }
+            RecordKind::Control(ControlCommand::CliCommand(c)) => {
+                sql.push_str(&format!("{c}\n"));
+                out.push_str(&format!("{c}\n"));
+            }
+            RecordKind::Control(other) => {
+                // Non-CLI controls have no pg-native spelling; keep them as
+                // psql comments so round-trips stay lossless enough.
+                sql.push_str(&format!("\\echo {}\n", other.census_name()));
+                out.push_str(&format!("\\echo {}\n", other.census_name()));
+            }
+        }
+    }
+    (sql, out)
+}
+
+fn command_tag(sql: &str) -> String {
+    let upper = sql.trim_start().to_uppercase();
+    if upper.starts_with("INSERT") {
+        "INSERT 0 1".to_string()
+    } else if upper.starts_with("CREATE TABLE") {
+        "CREATE TABLE".to_string()
+    } else if upper.starts_with("CREATE") {
+        "CREATE".to_string()
+    } else if upper.starts_with("DROP") {
+        "DROP".to_string()
+    } else if upper.starts_with("UPDATE") {
+        "UPDATE 1".to_string()
+    } else if upper.starts_with("DELETE") {
+        "DELETE 1".to_string()
+    } else if upper.starts_with("BEGIN") {
+        "BEGIN".to_string()
+    } else if upper.starts_with("COMMIT") {
+        "COMMIT".to_string()
+    } else if upper.starts_with("ROLLBACK") {
+        "ROLLBACK".to_string()
+    } else if upper.starts_with("SET") {
+        "SET".to_string()
+    } else {
+        "OK".to_string()
+    }
+}
+
+/// Render a test file as a MySQL pair: (`.test`, `.result`).
+pub fn write_mysql_test(file: &TestFile) -> (String, String) {
+    let mut test = String::new();
+    let mut result = String::new();
+    for rec in &file.records {
+        match &rec.kind {
+            RecordKind::Statement { sql, expect } => {
+                if let StatementExpect::Error { .. } = expect {
+                    test.push_str("--error ER_GENERIC\n");
+                }
+                test.push_str(&format!("{sql};\n"));
+                result.push_str(&format!("{sql};\n"));
+                if let StatementExpect::Error { message } = expect {
+                    result.push_str(&format!(
+                        "ERROR HY000: {}\n",
+                        message.as_deref().unwrap_or("error")
+                    ));
+                }
+            }
+            RecordKind::Query { sql, expected, .. } => {
+                test.push_str(&format!("{sql};\n"));
+                result.push_str(&format!("{sql};\n"));
+                let rows: Vec<Vec<String>> = match expected {
+                    QueryExpectation::Rows(rows) => rows.clone(),
+                    QueryExpectation::Values(vals) => {
+                        vals.iter().map(|v| vec![v.clone()]).collect()
+                    }
+                    QueryExpectation::Hash { .. } => Vec::new(),
+                };
+                let width = rows.first().map(|r| r.len()).unwrap_or(1);
+                let header: Vec<String> =
+                    (0..width).map(|i| format!("c{}", i + 1)).collect();
+                result.push_str(&format!("{}\n", header.join("\t")));
+                for row in &rows {
+                    result.push_str(&format!("{}\n", row.join("\t")));
+                }
+            }
+            RecordKind::Control(cmd) => {
+                let line = match cmd {
+                    ControlCommand::Echo(e) => format!("--echo {e}"),
+                    ControlCommand::Sleep(ms) => format!("sleep {};", *ms as f64 / 1000.0),
+                    ControlCommand::Include(p) => format!("source {p};"),
+                    ControlCommand::SetVar { name, value } => {
+                        format!("let ${name} = {value};")
+                    }
+                    ControlCommand::Connection(c) => format!("connection {c};"),
+                    ControlCommand::ShellExec(c) => format!("--exec {c}"),
+                    other => format!("--{}", other.census_name()),
+                };
+                test.push_str(&line);
+                test.push('\n');
+                if let ControlCommand::Echo(e) = cmd {
+                    result.push_str(e);
+                    result.push('\n');
+                }
+            }
+        }
+    }
+    (test, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mysqltest::parse_mysql_test;
+    use crate::pgreg::parse_pg_regress;
+    use crate::slt::{parse_slt, SltFlavor};
+
+    fn sample_ir(suite: SuiteKind) -> TestFile {
+        TestFile {
+            name: "sample".into(),
+            suite,
+            records: vec![
+                TestRecord::new(RecordKind::Statement {
+                    sql: "CREATE TABLE t1(a INTEGER, b INTEGER, c INTEGER)".into(),
+                    expect: StatementExpect::Ok,
+                }),
+                TestRecord::new(RecordKind::Statement {
+                    sql: "INSERT INTO t1(c,b,a) VALUES (3,4,2), (5,1,3), (1,6,4)".into(),
+                    expect: StatementExpect::Ok,
+                }),
+                TestRecord::new(RecordKind::Query {
+                    sql: "SELECT a, b FROM t1 WHERE c > a".into(),
+                    types: "II".into(),
+                    sort: SortMode::RowSort,
+                    label: None,
+                    expected: QueryExpectation::Values(vec![
+                        "2".into(),
+                        "4".into(),
+                        "3".into(),
+                        "1".into(),
+                    ]),
+                }),
+                TestRecord::new(RecordKind::Statement {
+                    sql: "SELECT * FROM missing".into(),
+                    expect: StatementExpect::Error { message: None },
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn slt_roundtrip() {
+        let ir = sample_ir(SuiteKind::Slt);
+        let text = write_slt(&ir);
+        let back = parse_slt("sample", &text, SltFlavor::Classic);
+        assert_eq!(back.records.len(), ir.records.len());
+        for (a, b) in ir.records.iter().zip(back.records.iter()) {
+            match (&a.kind, &b.kind) {
+                (RecordKind::Statement { sql: s1, .. }, RecordKind::Statement { sql: s2, .. }) => {
+                    assert_eq!(s1, s2)
+                }
+                (
+                    RecordKind::Query { sql: s1, expected: e1, .. },
+                    RecordKind::Query { sql: s2, expected: e2, .. },
+                ) => {
+                    assert_eq!(s1, s2);
+                    assert_eq!(e1, e2);
+                }
+                other => panic!("kind mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duckdb_roundtrip_with_rows() {
+        let mut ir = sample_ir(SuiteKind::Duckdb);
+        ir.records[2] = TestRecord::new(RecordKind::Query {
+            sql: "SELECT a, b FROM t1 WHERE c > a".into(),
+            types: "II".into(),
+            sort: SortMode::NoSort,
+            label: None,
+            expected: QueryExpectation::Rows(vec![
+                vec!["2".into(), "4".into()],
+                vec!["3".into(), "1".into()],
+            ]),
+        });
+        let text = write_duckdb(&ir);
+        let back = parse_slt("sample", &text, SltFlavor::Duckdb);
+        let RecordKind::Query { expected, .. } = &back.records[2].kind else { panic!() };
+        assert_eq!(
+            *expected,
+            QueryExpectation::Rows(vec![
+                vec!["2".to_string(), "4".into()],
+                vec!["3".to_string(), "1".into()],
+            ])
+        );
+    }
+
+    #[test]
+    fn pg_pair_roundtrip() {
+        let mut ir = sample_ir(SuiteKind::PgRegress);
+        // pg expectations are row-wise.
+        ir.records[2] = TestRecord::new(RecordKind::Query {
+            sql: "SELECT a, b FROM t1 WHERE c > a".into(),
+            types: String::new(),
+            sort: SortMode::NoSort,
+            label: None,
+            expected: QueryExpectation::Rows(vec![
+                vec!["2".into(), "4".into()],
+                vec!["3".into(), "1".into()],
+            ]),
+        });
+        ir.records[3] = TestRecord::new(RecordKind::Statement {
+            sql: "SELECT * FROM missing".into(),
+            expect: StatementExpect::Error {
+                message: Some("relation \"missing\" does not exist".into()),
+            },
+        });
+        let (sql, out) = write_pg_regress(&ir);
+        let back = parse_pg_regress("sample", &sql, &out);
+        assert_eq!(back.records.len(), 4);
+        let RecordKind::Query { expected, .. } = &back.records[2].kind else { panic!() };
+        let QueryExpectation::Rows(rows) = expected else { panic!() };
+        assert_eq!(rows.len(), 2);
+        let RecordKind::Statement { expect, .. } = &back.records[3].kind else { panic!() };
+        assert!(matches!(expect, StatementExpect::Error { .. }));
+    }
+
+    #[test]
+    fn mysql_pair_roundtrip() {
+        let ir = sample_ir(SuiteKind::MysqlTest);
+        let (test, result) = write_mysql_test(&ir);
+        let back = parse_mysql_test("sample", &test, &result);
+        assert_eq!(back.records.len(), 4);
+        let RecordKind::Query { expected, .. } = &back.records[2].kind else { panic!() };
+        let QueryExpectation::Rows(rows) = expected else { panic!() };
+        assert_eq!(rows.len(), 4); // value-wise became 4 single-col rows
+        let RecordKind::Statement { expect, .. } = &back.records[3].kind else { panic!() };
+        assert!(matches!(expect, StatementExpect::Error { .. }));
+    }
+
+    #[test]
+    fn slt_writer_emits_conditions() {
+        let mut ir = sample_ir(SuiteKind::Slt);
+        ir.records[2].conditions.push(Condition::SkipIf("mysql".into()));
+        let text = write_slt(&ir);
+        assert!(text.contains("skipif mysql"));
+        let back = parse_slt("sample", &text, SltFlavor::Classic);
+        assert_eq!(back.records[2].conditions, vec![Condition::SkipIf("mysql".into())]);
+    }
+}

@@ -1,0 +1,388 @@
+//! Failure classifiers for the paper's two taxonomies.
+//!
+//! * **RQ3 (Table 5)** — why donor tests fail *on their own donor*:
+//!   environment (file paths / settings / set-up), extensions, clients
+//!   (format / numeric / exception), and runner limitations.
+//! * **RQ4 (Table 6)** — why donor tests fail *on foreign hosts*:
+//!   unsupported statements / functions / types / operators, configuration
+//!   mismatches, semantic divergences, and miscellaneous; crashes and
+//!   timeouts counted separately.
+
+use crate::outcome::{FailInfo, FailKind, Outcome, RecordResult};
+use crate::validate::{values_equal, NumericMode};
+use squality_engine::ErrorKind;
+
+/// RQ3 dependency classes (rows of paper Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DependencyClass {
+    /// Environment: hard-coded data file paths.
+    FilePaths,
+    /// Environment: locale / configuration differences.
+    Setting,
+    /// Environment: missing schedule-dependent set-up (PostgreSQL).
+    SetUp,
+    /// Required extension not loaded.
+    Extension,
+    /// Client: output-format differences (lists, structs, booleans...).
+    ClientFormat,
+    /// Client: numeric precision/rounding differences.
+    ClientNumeric,
+    /// Client: client-side exception (e.g. DuckDB Python NotImplemented).
+    ClientException,
+    /// Runner limitation (unsupported command, multi-connection, include).
+    Runner,
+}
+
+impl DependencyClass {
+    /// Table 5 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DependencyClass::FilePaths => "File Paths",
+            DependencyClass::Setting => "Setting",
+            DependencyClass::SetUp => "Set Up",
+            DependencyClass::Extension => "Extension",
+            DependencyClass::ClientFormat => "Format",
+            DependencyClass::ClientNumeric => "Numeric",
+            DependencyClass::ClientException => "Exception",
+            DependencyClass::Runner => "Runner",
+        }
+    }
+
+    /// All classes in Table 5 order.
+    pub const ALL: [DependencyClass; 8] = [
+        DependencyClass::FilePaths,
+        DependencyClass::Setting,
+        DependencyClass::SetUp,
+        DependencyClass::Extension,
+        DependencyClass::ClientFormat,
+        DependencyClass::ClientNumeric,
+        DependencyClass::ClientException,
+        DependencyClass::Runner,
+    ];
+}
+
+/// RQ4 incompatibility classes (rows of paper Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IncompatibilityClass {
+    Statements,
+    Functions,
+    Types,
+    Operators,
+    Configurations,
+    Semantic,
+    Misc,
+}
+
+impl IncompatibilityClass {
+    /// Table 6 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IncompatibilityClass::Statements => "Statements",
+            IncompatibilityClass::Functions => "Functions",
+            IncompatibilityClass::Types => "Types",
+            IncompatibilityClass::Operators => "Operators",
+            IncompatibilityClass::Configurations => "Configurations",
+            IncompatibilityClass::Semantic => "Semantic",
+            IncompatibilityClass::Misc => "Misc",
+        }
+    }
+
+    /// All classes in Table 6 order.
+    pub const ALL: [IncompatibilityClass; 7] = [
+        IncompatibilityClass::Statements,
+        IncompatibilityClass::Functions,
+        IncompatibilityClass::Types,
+        IncompatibilityClass::Operators,
+        IncompatibilityClass::Configurations,
+        IncompatibilityClass::Semantic,
+        IncompatibilityClass::Misc,
+    ];
+}
+
+/// Classify a donor-on-donor failure into a dependency class (RQ3).
+/// Returns `None` for passes/skips/crashes/hangs.
+pub fn classify_dependency(result: &RecordResult) -> Option<DependencyClass> {
+    let Outcome::Fail(info) = &result.outcome else { return None };
+    Some(match info.kind {
+        FailKind::Runner => DependencyClass::Runner,
+        FailKind::UnexpectedError | FailKind::WrongErrorMessage
+        | FailKind::ExpectedErrorButOk => match info.error_kind {
+            Some(ErrorKind::FileNotFound) => DependencyClass::FilePaths,
+            Some(ErrorKind::UnknownConfig) => DependencyClass::Setting,
+            Some(ErrorKind::ExtensionMissing) => DependencyClass::Extension,
+            // An unknown function on the *donor* is the symptom of a failed
+            // extension load earlier in the file (paper Listing 7).
+            Some(ErrorKind::UnknownFunction) => DependencyClass::Extension,
+            Some(ErrorKind::Catalog) => DependencyClass::SetUp,
+            Some(ErrorKind::NotImplemented) => DependencyClass::ClientException,
+            _ => {
+                if info.detail.contains("Not implemented")
+                    || info.detail.contains("NotImplemented")
+                {
+                    DependencyClass::ClientException
+                } else {
+                    DependencyClass::SetUp
+                }
+            }
+        },
+        FailKind::WrongResult => classify_result_mismatch(result, info),
+    })
+}
+
+/// A result mismatch on the donor itself is usually a *client* dependency
+/// (numeric precision or format differences between the original client and
+/// the unified runner's connector); configuration-probing statements and
+/// runner-level artifacts are recognised first.
+fn classify_result_mismatch(result: &RecordResult, info: &FailInfo) -> DependencyClass {
+    // A SHOW/configuration probe whose value differs is an environment
+    // Setting difference (locale etc.), not a client problem.
+    if let Some(sql) = &result.sql {
+        let upper = sql.trim_start().to_uppercase();
+        if upper.starts_with("SHOW ") || upper.starts_with("PRAGMA ") {
+            return DependencyClass::Setting;
+        }
+    }
+    // Column-count disagreements with the SLT type string are runner-level
+    // artifacts of the unified format.
+    if info.detail.contains("result columns") {
+        return DependencyClass::Runner;
+    }
+    // Numeric: every differing pair is numerically close.
+    if !info.expected.is_empty()
+        && info.expected.len() == info.actual.len()
+        && info
+            .expected
+            .iter()
+            .zip(info.actual.iter())
+            .all(|(e, a)| values_equal(e, a, NumericMode::Tolerant(0.01)))
+    {
+        return DependencyClass::ClientNumeric;
+    }
+    // Format: equal after stripping formatting chrome.
+    let strip = |s: &str| {
+        s.chars()
+            .filter(|c| !matches!(c, '[' | ']' | '{' | '}' | '\'' | '"' | ',' | ' '))
+            .collect::<String>()
+            .to_lowercase()
+    };
+    if info.expected.len() == info.actual.len()
+        && info
+            .expected
+            .iter()
+            .zip(info.actual.iter())
+            .all(|(e, a)| strip(e) == strip(a) || bool_equiv(e, a))
+    {
+        return DependencyClass::ClientFormat;
+    }
+    DependencyClass::ClientFormat
+}
+
+fn bool_equiv(e: &str, a: &str) -> bool {
+    let norm = |s: &str| match s.trim().to_lowercase().as_str() {
+        "t" | "true" | "1" => "true",
+        "f" | "false" | "0" => "false",
+        other => return other.to_string(),
+    }
+    .to_string();
+    norm(e) == norm(a)
+}
+
+/// Classify a cross-DBMS failure into an incompatibility class (RQ4).
+pub fn classify_incompatibility(result: &RecordResult) -> Option<IncompatibilityClass> {
+    let Outcome::Fail(info) = &result.outcome else { return None };
+    Some(match info.kind {
+        FailKind::WrongResult => IncompatibilityClass::Semantic,
+        FailKind::ExpectedErrorButOk => IncompatibilityClass::Semantic,
+        FailKind::Runner => IncompatibilityClass::Misc,
+        FailKind::UnexpectedError | FailKind::WrongErrorMessage => match info.error_kind {
+            Some(ErrorKind::Syntax)
+            | Some(ErrorKind::UnsupportedStatement)
+            | Some(ErrorKind::NotImplemented) => IncompatibilityClass::Statements,
+            Some(ErrorKind::UnknownFunction) => IncompatibilityClass::Functions,
+            Some(ErrorKind::UnsupportedType) | Some(ErrorKind::Conversion) => {
+                IncompatibilityClass::Types
+            }
+            Some(ErrorKind::UnsupportedOperator) => IncompatibilityClass::Operators,
+            Some(ErrorKind::UnknownConfig) => IncompatibilityClass::Configurations,
+            Some(ErrorKind::Arithmetic) => IncompatibilityClass::Semantic,
+            _ => IncompatibilityClass::Misc,
+        },
+    })
+}
+
+/// The paper Table 7 difficulty buckets, derived from the RQ4 class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReuseDifficulty {
+    /// Dialect-specific features (unique statements, functions, types).
+    DialectFeature,
+    /// Syntax differences (translatable in principle).
+    SyntaxDifference,
+    /// Semantic differences (same syntax, different meaning).
+    SemanticDifference,
+}
+
+impl ReuseDifficulty {
+    /// Table 7 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReuseDifficulty::DialectFeature => "Dialect-specific features",
+            ReuseDifficulty::SyntaxDifference => "Syntax differences",
+            ReuseDifficulty::SemanticDifference => "Semantic differences",
+        }
+    }
+
+    /// Derive from an incompatibility class. Functions/types/configurations
+    /// are dialect features, statement/operator failures are syntax-level,
+    /// result mismatches are semantic.
+    pub fn from_class(class: IncompatibilityClass) -> ReuseDifficulty {
+        match class {
+            IncompatibilityClass::Functions
+            | IncompatibilityClass::Types
+            | IncompatibilityClass::Configurations
+            | IncompatibilityClass::Misc => ReuseDifficulty::DialectFeature,
+            IncompatibilityClass::Statements | IncompatibilityClass::Operators => {
+                ReuseDifficulty::SyntaxDifference
+            }
+            IncompatibilityClass::Semantic => ReuseDifficulty::SemanticDifference,
+        }
+    }
+
+    pub const ALL: [ReuseDifficulty; 3] = [
+        ReuseDifficulty::DialectFeature,
+        ReuseDifficulty::SyntaxDifference,
+        ReuseDifficulty::SemanticDifference,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail(kind: FailKind, error_kind: Option<ErrorKind>, detail: &str) -> RecordResult {
+        RecordResult {
+            line: 1,
+            sql: Some("SELECT 1".into()),
+            outcome: Outcome::Fail(FailInfo {
+                kind,
+                error_kind,
+                detail: detail.into(),
+                expected: Vec::new(),
+                actual: Vec::new(),
+            }),
+        }
+    }
+
+    #[test]
+    fn dependency_environment_classes() {
+        let r = fail(FailKind::UnexpectedError, Some(ErrorKind::FileNotFound), "no file");
+        assert_eq!(classify_dependency(&r), Some(DependencyClass::FilePaths));
+        let r = fail(FailKind::UnexpectedError, Some(ErrorKind::UnknownConfig), "bad lc");
+        assert_eq!(classify_dependency(&r), Some(DependencyClass::Setting));
+        let r = fail(FailKind::UnexpectedError, Some(ErrorKind::Catalog), "no such table");
+        assert_eq!(classify_dependency(&r), Some(DependencyClass::SetUp));
+        let r = fail(FailKind::UnexpectedError, Some(ErrorKind::ExtensionMissing), "no lib");
+        assert_eq!(classify_dependency(&r), Some(DependencyClass::Extension));
+    }
+
+    #[test]
+    fn dependency_client_numeric() {
+        let r = RecordResult {
+            line: 1,
+            sql: None,
+            outcome: Outcome::Fail(FailInfo {
+                kind: FailKind::WrongResult,
+                error_kind: None,
+                detail: "value mismatch".into(),
+                expected: vec!["4999".into()],
+                actual: vec!["4999.5".into()],
+            }),
+        };
+        assert_eq!(classify_dependency(&r), Some(DependencyClass::ClientNumeric));
+    }
+
+    #[test]
+    fn dependency_client_format() {
+        let r = RecordResult {
+            line: 1,
+            sql: None,
+            outcome: Outcome::Fail(FailInfo {
+                kind: FailKind::WrongResult,
+                error_kind: None,
+                detail: "value mismatch".into(),
+                expected: vec!["[1, 2, 3, 4]".into()],
+                actual: vec!["['1', '2', '3', '4']".into()],
+            }),
+        };
+        assert_eq!(classify_dependency(&r), Some(DependencyClass::ClientFormat));
+    }
+
+    #[test]
+    fn incompatibility_classes_from_error_kinds() {
+        use IncompatibilityClass::*;
+        let cases = [
+            (ErrorKind::Syntax, Statements),
+            (ErrorKind::UnsupportedStatement, Statements),
+            (ErrorKind::UnknownFunction, Functions),
+            (ErrorKind::UnsupportedType, Types),
+            (ErrorKind::Conversion, Types),
+            (ErrorKind::UnsupportedOperator, Operators),
+            (ErrorKind::UnknownConfig, Configurations),
+            (ErrorKind::Constraint, Misc),
+        ];
+        for (ek, expected) in cases {
+            let r = fail(FailKind::UnexpectedError, Some(ek), "");
+            assert_eq!(classify_incompatibility(&r), Some(expected), "{ek:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_result_is_semantic() {
+        let r = fail(FailKind::WrongResult, None, "mismatch");
+        assert_eq!(
+            classify_incompatibility(&r),
+            Some(IncompatibilityClass::Semantic)
+        );
+    }
+
+    #[test]
+    fn passes_and_crashes_unclassified() {
+        let pass = RecordResult { line: 1, sql: None, outcome: Outcome::Pass };
+        assert_eq!(classify_dependency(&pass), None);
+        assert_eq!(classify_incompatibility(&pass), None);
+        let crash =
+            RecordResult { line: 1, sql: None, outcome: Outcome::Crash("boom".into()) };
+        assert_eq!(classify_incompatibility(&crash), None);
+    }
+
+    #[test]
+    fn difficulty_buckets() {
+        assert_eq!(
+            ReuseDifficulty::from_class(IncompatibilityClass::Functions),
+            ReuseDifficulty::DialectFeature
+        );
+        assert_eq!(
+            ReuseDifficulty::from_class(IncompatibilityClass::Statements),
+            ReuseDifficulty::SyntaxDifference
+        );
+        assert_eq!(
+            ReuseDifficulty::from_class(IncompatibilityClass::Semantic),
+            ReuseDifficulty::SemanticDifference
+        );
+    }
+
+    #[test]
+    fn boolean_format_equivalence() {
+        let r = RecordResult {
+            line: 1,
+            sql: None,
+            outcome: Outcome::Fail(FailInfo {
+                kind: FailKind::WrongResult,
+                error_kind: None,
+                detail: String::new(),
+                expected: vec!["t".into()],
+                actual: vec!["true".into()],
+            }),
+        };
+        assert_eq!(classify_dependency(&r), Some(DependencyClass::ClientFormat));
+    }
+}

@@ -1,0 +1,30 @@
+//! The unified cross-DBMS test runner.
+//!
+//! Paper §2: "SQuaLity executes and validates the test cases in a
+//! statement-by-statement manner" over a common connector interface. This
+//! crate provides:
+//!
+//! * [`connector`] — the DBMS abstraction (≈33 LOC to implement per engine,
+//!   matching the paper's §9 claim),
+//! * [`runner`] — conditioned, loop-expanding, halting execution,
+//! * [`validate`] — SLT sort modes, hash-threshold, exact vs tolerant
+//!   numeric comparison,
+//! * [`classify`] — the RQ3 dependency and RQ4 incompatibility taxonomies
+//!   (Tables 5 and 6), and
+//! * [`outcome`] — per-record and per-file result accounting, with crashes
+//!   and hangs tracked separately like the paper's Figure 4.
+
+pub mod classify;
+pub mod connector;
+pub mod outcome;
+pub mod runner;
+pub mod validate;
+
+pub use classify::{
+    classify_dependency, classify_incompatibility, DependencyClass, IncompatibilityClass,
+    ReuseDifficulty,
+};
+pub use connector::{Connector, EngineConnector};
+pub use outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult};
+pub use runner::{Runner, RunnerOptions};
+pub use validate::{validate_query, values_equal, NumericMode, Verdict};

@@ -1,0 +1,154 @@
+//! Execution outcomes.
+
+/// Why a record failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailKind {
+    /// The statement errored but success was expected.
+    UnexpectedError,
+    /// The statement succeeded but an error was expected.
+    ExpectedErrorButOk,
+    /// The error message did not match the expected one.
+    WrongErrorMessage,
+    /// Query executed but its result differed from the expectation.
+    WrongResult,
+    /// The runner itself could not handle the record (unsupported command,
+    /// client-level feature, include, shell...). The paper's "Runner" /
+    /// "Misc" dependency class.
+    Runner,
+}
+
+/// A failed record with its diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailInfo {
+    pub kind: FailKind,
+    /// Engine error kind, when an engine error was involved.
+    pub error_kind: Option<squality_engine::ErrorKind>,
+    /// Human detail: error message or expected-vs-actual digest.
+    pub detail: String,
+    /// For WrongResult: the expected and actual rendered values.
+    pub expected: Vec<String>,
+    pub actual: Vec<String>,
+}
+
+/// Outcome of one record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    Pass,
+    Fail(FailInfo),
+    /// Filtered by a condition, a `require`, a halt, or a runner-skipped
+    /// command. The payload is the reason.
+    Skipped(String),
+    /// The engine terminated (paper "Crashes").
+    Crash(String),
+    /// The engine exceeded its budget (paper "Hangs").
+    Hang(String),
+}
+
+impl Outcome {
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Outcome::Pass)
+    }
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Outcome::Fail(_))
+    }
+    pub fn is_skip(&self) -> bool {
+        matches!(self, Outcome::Skipped(_))
+    }
+}
+
+/// Result of one record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordResult {
+    /// Source line of the record.
+    pub line: usize,
+    /// The SQL that ran (post variable-substitution), if any.
+    pub sql: Option<String>,
+    pub outcome: Outcome,
+}
+
+/// Result of running a whole test file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FileResult {
+    pub file: String,
+    pub results: Vec<RecordResult>,
+    /// The file crashed the engine (execution stopped there).
+    pub crashed: bool,
+    /// A record hung (execution stopped there).
+    pub hung: bool,
+}
+
+impl FileResult {
+    /// Total records observed.
+    pub fn total(&self) -> usize {
+        self.results.len()
+    }
+    /// Passed records.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_pass()).count()
+    }
+    /// Failed records (crashes/hangs excluded, matching the paper's
+    /// Figure 4 which excludes them from success rates).
+    pub fn failed(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_fail()).count()
+    }
+    /// Skipped records.
+    pub fn skipped(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_skip()).count()
+    }
+    /// Executed = total - skipped.
+    pub fn executed(&self) -> usize {
+        self.total() - self.skipped()
+    }
+    /// Crash count (0 or 1 per file — execution stops).
+    pub fn crashes(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Crash(_)))
+            .count()
+    }
+    /// Hang count.
+    pub fn hangs(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Hang(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr(outcome: Outcome) -> RecordResult {
+        RecordResult { line: 1, sql: None, outcome }
+    }
+
+    #[test]
+    fn file_result_counters() {
+        let f = FileResult {
+            file: "f".into(),
+            results: vec![
+                rr(Outcome::Pass),
+                rr(Outcome::Skipped("cond".into())),
+                rr(Outcome::Fail(FailInfo {
+                    kind: FailKind::WrongResult,
+                    error_kind: None,
+                    detail: String::new(),
+                    expected: vec![],
+                    actual: vec![],
+                })),
+                rr(Outcome::Crash("boom".into())),
+                rr(Outcome::Hang("spin".into())),
+            ],
+            crashed: true,
+            hung: true,
+        };
+        assert_eq!(f.total(), 5);
+        assert_eq!(f.passed(), 1);
+        assert_eq!(f.failed(), 1);
+        assert_eq!(f.skipped(), 1);
+        assert_eq!(f.executed(), 4);
+        assert_eq!(f.crashes(), 1);
+        assert_eq!(f.hangs(), 1);
+    }
+}

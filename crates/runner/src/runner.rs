@@ -1,0 +1,582 @@
+//! The unified test runner (the paper's SQuaLity runner core).
+//!
+//! Executes unified-IR test files statement-by-statement against any
+//! [`Connector`], honouring skipif/onlyif conditions, `require`, loops with
+//! variable substitution, halt, and recording per-record outcomes. CLI
+//! meta-commands, shell execution, and includes are deliberately *not*
+//! interpreted (the paper: "We did not seek to interpret and implement
+//! these commands"), which surfaces as the Runner/Misc failure class.
+
+use crate::connector::Connector;
+use crate::outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult};
+use crate::validate::{validate_query, NumericMode, Verdict};
+use squality_engine::ErrorKind;
+use squality_formats::{
+    ControlCommand, QueryExpectation, RecordKind, StatementExpect, TestFile, TestRecord,
+};
+use std::collections::BTreeMap;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerOptions {
+    /// Numeric comparison mode (Exact = SQuaLity, Tolerant = original
+    /// DuckDB runner; see the ablation bench).
+    pub numeric: NumericMode,
+    /// Reset the connector's database before the file (donor suites assume
+    /// independent files for SLT/DuckDB).
+    pub fresh_database: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions { numeric: NumericMode::Exact, fresh_database: true }
+    }
+}
+
+/// The unified runner.
+pub struct Runner {
+    pub options: RunnerOptions,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner { options: RunnerOptions::default() }
+    }
+}
+
+impl Runner {
+    /// Runner with explicit options.
+    pub fn new(options: RunnerOptions) -> Runner {
+        Runner { options }
+    }
+
+    /// Execute a test file against a connector.
+    pub fn run_file(&self, conn: &mut dyn Connector, file: &TestFile) -> FileResult {
+        if self.options.fresh_database {
+            conn.reset();
+        }
+        let mut ctx = RunCtx {
+            conn,
+            numeric: self.options.numeric,
+            vars: BTreeMap::new(),
+            stopped: None,
+            mode_skip: false,
+            results: Vec::new(),
+        };
+        ctx.run_records(&file.records);
+        let crashed = ctx.results.iter().any(|r| matches!(r.outcome, Outcome::Crash(_)));
+        let hung = ctx.results.iter().any(|r| matches!(r.outcome, Outcome::Hang(_)));
+        FileResult { file: file.name.clone(), results: ctx.results, crashed, hung }
+    }
+}
+
+struct RunCtx<'a> {
+    conn: &'a mut dyn Connector,
+    numeric: NumericMode,
+    vars: BTreeMap<String, String>,
+    /// Some(reason) once a halt/require/crash stops the file.
+    stopped: Option<String>,
+    mode_skip: bool,
+    results: Vec<RecordResult>,
+}
+
+impl<'a> RunCtx<'a> {
+    fn run_records(&mut self, records: &[TestRecord]) {
+        for rec in records {
+            if let Some(reason) = &self.stopped {
+                self.results.push(RecordResult {
+                    line: rec.line,
+                    sql: None,
+                    outcome: Outcome::Skipped(reason.clone()),
+                });
+                continue;
+            }
+            if self.mode_skip {
+                // `mode skip` suppresses everything except `mode unskip`.
+                if let RecordKind::Control(ControlCommand::Mode(m)) = &rec.kind {
+                    if m == "unskip" {
+                        self.mode_skip = false;
+                    }
+                }
+                self.results.push(RecordResult {
+                    line: rec.line,
+                    sql: None,
+                    outcome: Outcome::Skipped("mode skip".into()),
+                });
+                continue;
+            }
+            if !rec.applies_to(self.conn.engine_name()) {
+                self.results.push(RecordResult {
+                    line: rec.line,
+                    sql: None,
+                    outcome: Outcome::Skipped(format!(
+                        "condition excludes {}",
+                        self.conn.engine_name()
+                    )),
+                });
+                continue;
+            }
+            self.run_record(rec);
+        }
+    }
+
+    fn run_record(&mut self, rec: &TestRecord) {
+        match &rec.kind {
+            RecordKind::Statement { sql, expect } => {
+                let sql = self.substitute(sql);
+                let outcome = self.run_statement(&sql, expect);
+                self.check_stop(&outcome);
+                self.results.push(RecordResult { line: rec.line, sql: Some(sql), outcome });
+            }
+            RecordKind::Query { sql, types, sort, expected, .. } => {
+                let sql = self.substitute(sql);
+                let outcome = self.run_query(&sql, types, *sort, expected);
+                self.check_stop(&outcome);
+                self.results.push(RecordResult { line: rec.line, sql: Some(sql), outcome });
+            }
+            RecordKind::Control(cmd) => self.run_control(rec.line, cmd),
+        }
+    }
+
+    fn check_stop(&mut self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Crash(m) => {
+                self.stopped = Some(format!("engine crashed: {m}"));
+            }
+            Outcome::Hang(m) => {
+                self.stopped = Some(format!("engine hung: {m}"));
+            }
+            _ => {}
+        }
+    }
+
+    fn run_statement(&mut self, sql: &str, expect: &StatementExpect) -> Outcome {
+        let result = self.conn.execute(sql);
+        match (result, expect) {
+            (Ok(_), StatementExpect::Ok) | (Ok(_), StatementExpect::Count(_)) => Outcome::Pass,
+            (Ok(_), StatementExpect::Error { .. }) => Outcome::Fail(FailInfo {
+                kind: FailKind::ExpectedErrorButOk,
+                error_kind: None,
+                detail: "statement succeeded but an error was expected".into(),
+                expected: Vec::new(),
+                actual: Vec::new(),
+            }),
+            (Err(e), expect) => {
+                if e.kind == ErrorKind::Fatal {
+                    return Outcome::Crash(e.message);
+                }
+                if e.kind == ErrorKind::Hang {
+                    return Outcome::Hang(e.message);
+                }
+                match expect {
+                    StatementExpect::Error { message } => match message {
+                        Some(m) if !e.message.contains(m.as_str()) => {
+                            Outcome::Fail(FailInfo {
+                                kind: FailKind::WrongErrorMessage,
+                                error_kind: Some(e.kind),
+                                detail: format!(
+                                    "expected error containing {m:?}, got {:?}",
+                                    e.message
+                                ),
+                                expected: vec![m.clone()],
+                                actual: vec![e.message],
+                            })
+                        }
+                        _ => Outcome::Pass,
+                    },
+                    _ => Outcome::Fail(FailInfo {
+                        kind: FailKind::UnexpectedError,
+                        error_kind: Some(e.kind),
+                        detail: e.message,
+                        expected: Vec::new(),
+                        actual: Vec::new(),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn run_query(
+        &mut self,
+        sql: &str,
+        types: &str,
+        sort: squality_formats::SortMode,
+        expected: &QueryExpectation,
+    ) -> Outcome {
+        match self.conn.execute(sql) {
+            Err(e) => {
+                if e.kind == ErrorKind::Fatal {
+                    Outcome::Crash(e.message)
+                } else if e.kind == ErrorKind::Hang {
+                    Outcome::Hang(e.message)
+                } else {
+                    Outcome::Fail(FailInfo {
+                        kind: FailKind::UnexpectedError,
+                        error_kind: Some(e.kind),
+                        detail: e.message,
+                        expected: Vec::new(),
+                        actual: Vec::new(),
+                    })
+                }
+            }
+            Ok(result) => {
+                // SLT type strings pin the column count.
+                if !types.is_empty() && result.columns.len() != types.len() {
+                    return Outcome::Fail(FailInfo {
+                        kind: FailKind::WrongResult,
+                        error_kind: None,
+                        detail: format!(
+                            "expected {} result columns, got {}",
+                            types.len(),
+                            result.columns.len()
+                        ),
+                        expected: vec![types.to_string()],
+                        actual: vec!["?".repeat(result.columns.len())],
+                    });
+                }
+                let rendered: Vec<Vec<String>> = result
+                    .rows
+                    .iter()
+                    .map(|row| row.iter().map(|v| self.conn.render(v)).collect())
+                    .collect();
+                match validate_query(&rendered, expected, sort, self.numeric) {
+                    Verdict::Match => Outcome::Pass,
+                    Verdict::Mismatch { expected, actual, detail } => {
+                        Outcome::Fail(FailInfo {
+                            kind: FailKind::WrongResult,
+                            error_kind: None,
+                            detail,
+                            expected,
+                            actual,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_control(&mut self, line: usize, cmd: &ControlCommand) {
+        let outcome = match cmd {
+            ControlCommand::Halt => {
+                self.stopped = Some("halt".into());
+                Outcome::Pass
+            }
+            ControlCommand::HashThreshold(_) => Outcome::Pass,
+            ControlCommand::Require(ext) => {
+                if self.conn.has_extension(ext) {
+                    Outcome::Pass
+                } else {
+                    // DuckDB semantics: the rest of the file is skipped
+                    // (paper: 26.2% of DuckDB cases pre-filtered this way).
+                    self.stopped = Some(format!("require {ext}: extension not loaded"));
+                    Outcome::Skipped(format!("extension {ext} not loaded"))
+                }
+            }
+            ControlCommand::SetVar { name, value } => {
+                self.vars.insert(name.clone(), value.clone());
+                Outcome::Pass
+            }
+            ControlCommand::Loop { var, start, end, body } => {
+                self.results.push(RecordResult {
+                    line,
+                    sql: None,
+                    outcome: Outcome::Pass,
+                });
+                for i in *start..*end {
+                    self.vars.insert(var.clone(), i.to_string());
+                    self.run_records(body);
+                    if self.stopped.is_some() {
+                        break;
+                    }
+                }
+                self.vars.remove(var);
+                return;
+            }
+            ControlCommand::Foreach { var, values, body } => {
+                self.results.push(RecordResult {
+                    line,
+                    sql: None,
+                    outcome: Outcome::Pass,
+                });
+                for v in values {
+                    self.vars.insert(var.clone(), v.clone());
+                    self.run_records(body);
+                    if self.stopped.is_some() {
+                        break;
+                    }
+                }
+                self.vars.remove(var);
+                return;
+            }
+            ControlCommand::Mode(m) => {
+                if m == "skip" {
+                    self.mode_skip = true;
+                }
+                Outcome::Pass
+            }
+            ControlCommand::Restart => {
+                self.conn.reset();
+                Outcome::Pass
+            }
+            ControlCommand::Sleep(_) | ControlCommand::Echo(_) => Outcome::Pass,
+            ControlCommand::Load(path) => Outcome::Skipped(format!(
+                "load {path}: external data loading is environment-dependent"
+            )),
+            ControlCommand::Connection(c) => Outcome::Skipped(format!(
+                "connection {c}: multi-connection execution not supported by the unified runner"
+            )),
+            ControlCommand::Include(p) => {
+                Outcome::Skipped(format!("source {p}: includes are not resolved"))
+            }
+            ControlCommand::CliCommand(c) => Outcome::Skipped(format!(
+                "{c}: psql meta-commands are processed by the client, not the runner"
+            )),
+            ControlCommand::ShellExec(c) => {
+                Outcome::Skipped(format!("exec {c}: shell execution is never performed"))
+            }
+            ControlCommand::Unknown(u) => {
+                Outcome::Skipped(format!("unsupported runner command: {u}"))
+            }
+        };
+        self.results.push(RecordResult { line, sql: None, outcome });
+    }
+
+    /// Substitute `${var}` and `$var` occurrences.
+    fn substitute(&self, sql: &str) -> String {
+        let mut out = sql.to_string();
+        for (k, v) in &self.vars {
+            out = out.replace(&format!("${{{k}}}"), v);
+            out = out.replace(&format!("${k}"), v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::EngineConnector;
+    use squality_engine::{ClientKind, EngineDialect};
+    use squality_formats::{parse_slt, SltFlavor};
+
+    fn run(dialect: EngineDialect, slt: &str) -> FileResult {
+        let file = parse_slt("test", slt, SltFlavor::Classic);
+        let mut conn = EngineConnector::new(dialect, ClientKind::Connector);
+        Runner::default().run_file(&mut conn, &file)
+    }
+
+    fn run_duckdb_flavor(dialect: EngineDialect, slt: &str) -> FileResult {
+        let file = parse_slt("test", slt, SltFlavor::Duckdb);
+        let mut conn = EngineConnector::new(dialect, ClientKind::Cli);
+        Runner::default().run_file(&mut conn, &file)
+    }
+
+    const LISTING1: &str = "\
+statement ok
+CREATE TABLE t1(a INTEGER, b INTEGER, c INTEGER)
+
+statement ok
+INSERT INTO t1(c,b,a) VALUES (3,4,2), (5,1,3), (1,6,4)
+
+query II rowsort
+SELECT a, b FROM t1 WHERE c > a
+----
+2
+4
+3
+1
+";
+
+    #[test]
+    fn paper_listing1_passes_on_all_engines() {
+        for d in EngineDialect::ALL {
+            let r = run(d, LISTING1);
+            assert_eq!(r.passed(), 3, "{d}: {:?}", r.results);
+        }
+    }
+
+    #[test]
+    fn conditions_route_by_engine() {
+        let slt = "\
+onlyif mysql
+query I nosort
+SELECT ALL 62 DIV ( + - 2 )
+----
+-31
+
+skipif mysql
+query I nosort
+SELECT ALL 62 / ( + - 2 )
+----
+-31
+";
+        // MySQL runs record 1 (DIV) and skips record 2.
+        let r = run(EngineDialect::Mysql, slt);
+        assert!(r.results[0].outcome.is_pass());
+        assert!(r.results[1].outcome.is_skip());
+        // SQLite skips record 1 and passes record 2 (integer division).
+        let r = run(EngineDialect::Sqlite, slt);
+        assert!(r.results[0].outcome.is_skip());
+        assert!(r.results[1].outcome.is_pass());
+        // DuckDB skips record 1, and record 2 FAILS: decimal division
+        // returns -31.0 — the paper's 104K-case semantic divergence.
+        let r = run(EngineDialect::Duckdb, slt);
+        assert!(r.results[0].outcome.is_skip());
+        let Outcome::Fail(info) = &r.results[1].outcome else {
+            panic!("{:?}", r.results[1].outcome)
+        };
+        assert_eq!(info.kind, FailKind::WrongResult);
+        assert_eq!(info.actual, vec!["-31.0"]);
+    }
+
+    #[test]
+    fn statement_error_expectation() {
+        let slt = "\
+statement error
+SELECT * FROM missing_table
+
+statement ok
+SELECT 1
+";
+        let r = run(EngineDialect::Sqlite, slt);
+        assert_eq!(r.passed(), 2);
+    }
+
+    #[test]
+    fn expected_error_but_ok_fails() {
+        let slt = "statement error\nSELECT 1\n";
+        let r = run(EngineDialect::Sqlite, slt);
+        let Outcome::Fail(info) = &r.results[0].outcome else { panic!() };
+        assert_eq!(info.kind, FailKind::ExpectedErrorButOk);
+    }
+
+    #[test]
+    fn halt_skips_remaining() {
+        let slt = "statement ok\nSELECT 1\n\nhalt\n\nstatement ok\nSELECT 2\n";
+        let r = run(EngineDialect::Sqlite, slt);
+        assert_eq!(r.passed(), 2); // SELECT 1 + halt itself
+        assert_eq!(r.skipped(), 1);
+    }
+
+    #[test]
+    fn require_missing_extension_skips_rest() {
+        let slt = "\
+require sqlsmith
+
+statement ok
+SELECT 1
+";
+        let r = run_duckdb_flavor(EngineDialect::Duckdb, slt);
+        assert_eq!(r.passed(), 0);
+        assert_eq!(r.skipped(), 2);
+    }
+
+    #[test]
+    fn loops_expand_with_variables() {
+        let slt = "\
+statement ok
+CREATE TABLE t(a INTEGER)
+
+loop i 0 4
+
+statement ok
+INSERT INTO t VALUES (${i})
+
+endloop
+
+query I nosort
+SELECT count(*) FROM t
+----
+4
+";
+        let r = run_duckdb_flavor(EngineDialect::Duckdb, slt);
+        assert_eq!(r.failed(), 0, "{:?}", r.results);
+        // 1 create + 1 loop marker + 4 inserts + 1 query = 7 records.
+        assert_eq!(r.total(), 7);
+    }
+
+    #[test]
+    fn crash_stops_file() {
+        let slt = "\
+statement ok
+ALTER SCHEMA a RENAME TO b
+
+statement ok
+SELECT 1
+";
+        let r = run_duckdb_flavor(EngineDialect::Duckdb, slt);
+        assert!(r.crashed);
+        assert_eq!(r.crashes(), 1);
+        assert!(r.results[1].outcome.is_skip());
+    }
+
+    #[test]
+    fn hang_detected() {
+        let slt = "\
+query I nosort
+SELECT count(*) FROM generate_series(9223372036854775807,9223372036854775807)
+----
+1
+";
+        let r = run(EngineDialect::Sqlite, slt);
+        assert!(r.hung);
+        assert_eq!(r.hangs(), 1);
+    }
+
+    #[test]
+    fn column_count_checked_against_types() {
+        let slt = "\
+query III nosort
+SELECT 1, 2
+----
+1
+2
+";
+        let r = run(EngineDialect::Sqlite, slt);
+        let Outcome::Fail(info) = &r.results[0].outcome else { panic!() };
+        assert_eq!(info.kind, FailKind::WrongResult);
+        assert!(info.detail.contains("columns"));
+    }
+
+    #[test]
+    fn cli_commands_are_skipped_not_failed() {
+        use squality_formats::parse_pg_sql_only;
+        let file = parse_pg_sql_only("t.sql", "\\d t1\nSELECT 1;");
+        let mut conn = EngineConnector::new(EngineDialect::Postgres, ClientKind::Connector);
+        let r = Runner::default().run_file(&mut conn, &file);
+        assert!(r.results[0].outcome.is_skip());
+    }
+
+    #[test]
+    fn tolerant_mode_accepts_close_floats() {
+        let slt = "\
+query R nosort
+SELECT 4999.5
+----
+4999
+";
+        let file = parse_slt("t", slt, SltFlavor::Classic);
+        let mut conn = EngineConnector::new(EngineDialect::Duckdb, ClientKind::Cli);
+        let exact = Runner::default().run_file(&mut conn, &file);
+        assert_eq!(exact.failed(), 1);
+        let tolerant = Runner::new(RunnerOptions {
+            numeric: NumericMode::Tolerant(0.01),
+            fresh_database: true,
+        })
+        .run_file(&mut conn, &file);
+        assert_eq!(tolerant.failed(), 0);
+    }
+
+    #[test]
+    fn fresh_database_per_file() {
+        let slt_a = "statement ok\nCREATE TABLE t(a INTEGER)\n";
+        let slt_b = "statement error\nSELECT * FROM t\n";
+        let file_a = parse_slt("a", slt_a, SltFlavor::Classic);
+        let file_b = parse_slt("b", slt_b, SltFlavor::Classic);
+        let mut conn = EngineConnector::new(EngineDialect::Sqlite, ClientKind::Cli);
+        let runner = Runner::default();
+        assert_eq!(runner.run_file(&mut conn, &file_a).passed(), 1);
+        // t must be gone in the next file.
+        assert_eq!(runner.run_file(&mut conn, &file_b).passed(), 1);
+    }
+}

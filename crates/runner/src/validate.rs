@@ -1,0 +1,300 @@
+//! Result validation: comparing rendered results against expectations.
+//!
+//! Implements SLT's three sort modes, value-wise vs row-wise layouts, the
+//! hash-threshold form, and — as an explicit ablation knob — the tolerant
+//! numeric comparison the original DuckDB runner used (matches within 1%,
+//! paper Listing 10) versus SQuaLity's exact comparison.
+
+use squality_formats::{result_hash, QueryExpectation, SortMode};
+
+/// How numeric values are compared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericMode {
+    /// SQuaLity's choice: exact string match ("it could provide consistency
+    /// and catch subtle issues").
+    Exact,
+    /// The original DuckDB runner's lenient mode: numbers within the given
+    /// relative tolerance match (the paper cites 1% ⇒ `Tolerant(0.01)`).
+    Tolerant(f64),
+}
+
+/// Validation verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    Match,
+    Mismatch { expected: Vec<String>, actual: Vec<String>, detail: String },
+}
+
+/// Compare actual rendered rows against a query expectation.
+pub fn validate_query(
+    actual_rows: &[Vec<String>],
+    expected: &QueryExpectation,
+    sort: SortMode,
+    numeric: NumericMode,
+) -> Verdict {
+    match expected {
+        QueryExpectation::Values(vals) => {
+            let actual = flatten(actual_rows, sort);
+            let expected_vals = sort_values(vals.clone(), sort, actual_rows.first().map(|r| r.len()).unwrap_or(1));
+            compare_lists(&expected_vals, &actual, numeric)
+        }
+        QueryExpectation::Rows(rows) => {
+            let mut actual: Vec<Vec<String>> = actual_rows.to_vec();
+            let mut exp: Vec<Vec<String>> = rows.clone();
+            match sort {
+                SortMode::NoSort => {}
+                SortMode::RowSort => {
+                    actual.sort();
+                    exp.sort();
+                }
+                SortMode::ValueSort => {
+                    return compare_lists(
+                        &sorted(exp.into_iter().flatten().collect()),
+                        &sorted(actual.into_iter().flatten().collect()),
+                        numeric,
+                    );
+                }
+            }
+            let a: Vec<String> = actual.iter().map(|r| r.join("\t")).collect();
+            let e: Vec<String> = exp.iter().map(|r| r.join("\t")).collect();
+            compare_lists(&e, &a, numeric)
+        }
+        QueryExpectation::Hash { count, hash } => {
+            let actual = flatten(actual_rows, sort);
+            if actual.len() != *count {
+                return Verdict::Mismatch {
+                    expected: vec![format!("{count} values")],
+                    actual: vec![format!("{} values", actual.len())],
+                    detail: format!("expected {count} values, got {}", actual.len()),
+                };
+            }
+            let h = result_hash(&actual);
+            if &h == hash {
+                Verdict::Match
+            } else {
+                Verdict::Mismatch {
+                    expected: vec![hash.clone()],
+                    actual: vec![h.clone()],
+                    detail: "result hash mismatch".to_string(),
+                }
+            }
+        }
+    }
+}
+
+/// Flatten rows into the SLT value-wise layout, honouring the sort mode.
+fn flatten(rows: &[Vec<String>], sort: SortMode) -> Vec<String> {
+    match sort {
+        SortMode::NoSort => rows.iter().flatten().cloned().collect(),
+        SortMode::RowSort => {
+            let mut sorted_rows = rows.to_vec();
+            sorted_rows.sort();
+            sorted_rows.into_iter().flatten().collect()
+        }
+        SortMode::ValueSort => sorted(rows.iter().flatten().cloned().collect()),
+    }
+}
+
+/// Expected values in SLT files are listed in row-major order; for rowsort
+/// the values must be regrouped into rows of the result's width before
+/// sorting, exactly like the original runner.
+fn sort_values(vals: Vec<String>, sort: SortMode, width: usize) -> Vec<String> {
+    match sort {
+        SortMode::NoSort => vals,
+        SortMode::ValueSort => sorted(vals),
+        SortMode::RowSort => {
+            let w = width.max(1);
+            let mut rows: Vec<Vec<String>> =
+                vals.chunks(w).map(|c| c.to_vec()).collect();
+            rows.sort();
+            rows.into_iter().flatten().collect()
+        }
+    }
+}
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+fn compare_lists(expected: &[String], actual: &[String], numeric: NumericMode) -> Verdict {
+    if expected.len() != actual.len() {
+        return Verdict::Mismatch {
+            expected: expected.to_vec(),
+            actual: actual.to_vec(),
+            detail: format!(
+                "expected {} values, got {}",
+                expected.len(),
+                actual.len()
+            ),
+        };
+    }
+    for (e, a) in expected.iter().zip(actual.iter()) {
+        if !values_equal(e, a, numeric) {
+            return Verdict::Mismatch {
+                expected: expected.to_vec(),
+                actual: actual.to_vec(),
+                detail: format!("value mismatch: expected {e:?}, got {a:?}"),
+            };
+        }
+    }
+    Verdict::Match
+}
+
+/// Single-value comparison under the numeric mode.
+pub fn values_equal(expected: &str, actual: &str, numeric: NumericMode) -> bool {
+    if expected == actual {
+        return true;
+    }
+    if let NumericMode::Tolerant(tol) = numeric {
+        if let (Ok(e), Ok(a)) = (expected.trim().parse::<f64>(), actual.trim().parse::<f64>())
+        {
+            if e == a {
+                return true;
+            }
+            let denom = e.abs().max(a.abs());
+            if denom == 0.0 {
+                return true;
+            }
+            return (e - a).abs() / denom <= tol;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(data: &[&[&str]]) -> Vec<Vec<String>> {
+        data.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect()
+    }
+
+    fn vals(data: &[&str]) -> Vec<String> {
+        data.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn value_wise_nosort() {
+        let v = validate_query(
+            &rows(&[&["1", "2"], &["3", "4"]]),
+            &QueryExpectation::Values(vals(&["1", "2", "3", "4"])),
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        assert_eq!(v, Verdict::Match);
+    }
+
+    #[test]
+    fn rowsort_reorders_rows_not_values() {
+        // Paper Listing 1: values "2 4 3 1" with rowsort — rows (2,4),(3,1).
+        let actual = rows(&[&["3", "1"], &["2", "4"]]);
+        let v = validate_query(
+            &actual,
+            &QueryExpectation::Values(vals(&["2", "4", "3", "1"])),
+            SortMode::RowSort,
+            NumericMode::Exact,
+        );
+        assert_eq!(v, Verdict::Match);
+        // nosort with the same data must fail.
+        let v = validate_query(
+            &actual,
+            &QueryExpectation::Values(vals(&["2", "4", "3", "1"])),
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        assert!(matches!(v, Verdict::Mismatch { .. }));
+    }
+
+    #[test]
+    fn valuesort_ignores_row_structure() {
+        let v = validate_query(
+            &rows(&[&["4", "1"], &["3", "2"]]),
+            &QueryExpectation::Values(vals(&["1", "2", "3", "4"])),
+            SortMode::ValueSort,
+            NumericMode::Exact,
+        );
+        assert_eq!(v, Verdict::Match);
+    }
+
+    #[test]
+    fn row_wise_comparison() {
+        let v = validate_query(
+            &rows(&[&["2", "4"], &["3", "1"]]),
+            &QueryExpectation::Rows(rows(&[&["2", "4"], &["3", "1"]])),
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        assert_eq!(v, Verdict::Match);
+        let v = validate_query(
+            &rows(&[&["3", "1"], &["2", "4"]]),
+            &QueryExpectation::Rows(rows(&[&["2", "4"], &["3", "1"]])),
+            SortMode::RowSort,
+            NumericMode::Exact,
+        );
+        assert_eq!(v, Verdict::Match);
+    }
+
+    #[test]
+    fn hash_expectation() {
+        let values = vals(&["1", "2", "3"]);
+        let h = result_hash(&values);
+        let v = validate_query(
+            &rows(&[&["1"], &["2"], &["3"]]),
+            &QueryExpectation::Hash { count: 3, hash: h },
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        assert_eq!(v, Verdict::Match);
+        let v = validate_query(
+            &rows(&[&["1"], &["2"]]),
+            &QueryExpectation::Hash { count: 3, hash: "x".into() },
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        assert!(matches!(v, Verdict::Mismatch { .. }));
+    }
+
+    #[test]
+    fn tolerant_numeric_mode_listing10() {
+        // The DuckDB runner accepted 4999 for a true median of 4999.5
+        // (paper Listing 10): within 1%.
+        assert!(values_equal("4999", "4999.5", NumericMode::Tolerant(0.01)));
+        assert!(!values_equal("4999", "4999.5", NumericMode::Exact));
+        // SQuaLity's exact mode catches the subtle issue.
+        let v = validate_query(
+            &rows(&[&["4999.5"]]),
+            &QueryExpectation::Values(vals(&["4999"])),
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        assert!(matches!(v, Verdict::Mismatch { .. }));
+        let v = validate_query(
+            &rows(&[&["4999.5"]]),
+            &QueryExpectation::Values(vals(&["4999"])),
+            SortMode::NoSort,
+            NumericMode::Tolerant(0.01),
+        );
+        assert_eq!(v, Verdict::Match);
+    }
+
+    #[test]
+    fn tolerance_bounds() {
+        assert!(!values_equal("100", "102", NumericMode::Tolerant(0.01)));
+        assert!(values_equal("100", "100.9", NumericMode::Tolerant(0.01)));
+        assert!(values_equal("0", "0.0", NumericMode::Tolerant(0.01)));
+        assert!(!values_equal("abc", "abd", NumericMode::Tolerant(0.5)));
+    }
+
+    #[test]
+    fn count_mismatch_reported() {
+        let v = validate_query(
+            &rows(&[&["1"]]),
+            &QueryExpectation::Values(vals(&["1", "2"])),
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        let Verdict::Mismatch { detail, .. } = v else { panic!() };
+        assert!(detail.contains("expected 2 values"));
+    }
+}

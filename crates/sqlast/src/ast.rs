@@ -1,0 +1,472 @@
+//! AST node definitions.
+//!
+//! The shape follows the classic query/statement split: [`Stmt`] is the
+//! top level, [`SelectStmt`] carries WITH / set-operations / ORDER BY /
+//! LIMIT around a [`SetExpr`] body, and [`Expr`] is a conventional typed
+//! expression tree. Nodes carry no dialect information — dialect decisions
+//! happen at parse time (what is accepted) and at execution time (what it
+//! means).
+
+/// A complete SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Select(SelectStmt),
+    Insert(InsertStmt),
+    Update(UpdateStmt),
+    Delete(DeleteStmt),
+    CreateTable(CreateTableStmt),
+    DropTable { names: Vec<String>, if_exists: bool },
+    AlterTable { table: String, action: AlterTableAction },
+    CreateIndex { name: String, table: String, columns: Vec<String>, unique: bool, if_not_exists: bool },
+    DropIndex { name: String, if_exists: bool },
+    CreateView { name: String, columns: Vec<String>, query: SelectStmt, or_replace: bool },
+    DropView { name: String, if_exists: bool },
+    CreateSchema { name: String, if_not_exists: bool },
+    AlterSchema { name: String, rename_to: String },
+    DropSchema { name: String, if_exists: bool, cascade: bool },
+    /// `CREATE FUNCTION name(args) RETURNS ty AS 'library', 'symbol' LANGUAGE C`
+    /// — the PostgreSQL regression suite's extension-loading statement
+    /// (paper Listing 7). The body is kept opaque.
+    CreateFunction { name: String, language: String, library: Option<String> },
+    Begin,
+    Commit,
+    Rollback,
+    Savepoint { name: String },
+    Release { name: String },
+    /// `SET [SESSION|GLOBAL|LOCAL] name = value` / `SET name TO value`.
+    Set { name: String, value: SetValue },
+    /// `PRAGMA name` / `PRAGMA name = value` / `PRAGMA name(value)`.
+    Pragma { name: String, value: Option<String> },
+    Explain { analyze: bool, inner: Box<Stmt> },
+    /// `COPY table FROM/TO 'path'` (PostgreSQL regression suite).
+    Copy { table: String, path: String, from: bool },
+    Show { name: String },
+    Use { database: String },
+    /// Standalone `VALUES (...), (...)` treated as a query.
+    Values(SelectStmt),
+    Truncate { table: String },
+    /// DuckDB `INSTALL ext` / `LOAD ext`; SQLite `.load` equivalent.
+    LoadExtension { name: String },
+    Vacuum,
+    Analyze { table: Option<String> },
+}
+
+/// `INSERT INTO t (cols) VALUES ... | SELECT ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub source: InsertSource,
+    /// `INSERT OR REPLACE` / `REPLACE INTO` flavour.
+    pub or_replace: bool,
+}
+
+/// Where inserted rows come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Query(Box<SelectStmt>),
+    DefaultValues,
+}
+
+/// `UPDATE t SET a = e, ... [WHERE p]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub where_clause: Option<Expr>,
+}
+
+/// `DELETE FROM t [WHERE p]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+}
+
+/// `CREATE TABLE t (cols...) | AS SELECT ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTableStmt {
+    pub name: String,
+    pub if_not_exists: bool,
+    pub temporary: bool,
+    pub columns: Vec<ColumnDef>,
+    pub as_query: Option<Box<SelectStmt>>,
+}
+
+/// One column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub type_name: TypeName,
+    pub not_null: bool,
+    pub primary_key: bool,
+    pub unique: bool,
+    pub default: Option<Expr>,
+}
+
+/// ALTER TABLE actions (the subset the studied suites use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlterTableAction {
+    AddColumn(ColumnDef),
+    DropColumn { name: String, if_exists: bool },
+    RenameTo(String),
+    RenameColumn { old: String, new: String },
+}
+
+/// Value of a SET statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetValue {
+    /// Bare identifier / keyword value (`SET x TO on`).
+    Ident(String),
+    /// Expression value (`SET x = 1`).
+    Expr(Expr),
+    /// `SET x TO DEFAULT`.
+    Default,
+}
+
+/// A full query: optional WITH, a body of set operations, ORDER BY, LIMIT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub with: Option<WithClause>,
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<Expr>,
+    pub offset: Option<Expr>,
+}
+
+/// WITH clause: CTE list, possibly RECURSIVE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithClause {
+    pub recursive: bool,
+    pub ctes: Vec<Cte>,
+}
+
+/// One common table expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub query: SelectStmt,
+}
+
+/// Query body: a simple SELECT core, a VALUES list, or a set operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<SelectCore>),
+    Values(Vec<Vec<Expr>>),
+    SetOp { op: SetOp, all: bool, left: Box<SetExpr>, right: Box<SetExpr> },
+    /// Parenthesised sub-query with its own ORDER BY / LIMIT.
+    Query(Box<SelectStmt>),
+}
+
+/// UNION / INTERSECT / EXCEPT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// The SELECT ... FROM ... WHERE ... core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectCore {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Plain table or view name.
+    Named { name: String, alias: Option<String> },
+    /// Derived table `(SELECT ...) alias`.
+    Subquery { query: Box<SelectStmt>, alias: Option<String> },
+    /// Table-valued function such as `generate_series(...)` or `range(...)`.
+    Function { name: String, args: Vec<Expr>, alias: Option<String> },
+    /// Explicit join.
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<Expr>,
+        using: Vec<String>,
+    },
+}
+
+impl TableRef {
+    /// The alias or base name this reference binds in scope, if any.
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } | TableRef::Function { alias, .. } => {
+                alias.as_deref()
+            }
+            TableRef::Join { .. } => None,
+        }
+    }
+}
+
+/// Join flavours; `AsOf` is DuckDB-specific (paper §6, unsupported-statement
+/// failures on other hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Right,
+    Full,
+    Cross,
+    AsOf,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+    /// NULLS FIRST (`Some(true)`), NULLS LAST (`Some(false)`), or default.
+    pub nulls_first: Option<bool>,
+}
+
+/// Scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Literal),
+    /// Column reference, optionally table-qualified.
+    Column { table: Option<String>, name: String },
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    /// Function call; `distinct` covers `COUNT(DISTINCT x)`.
+    Function { name: String, args: Vec<Expr>, distinct: bool, star: bool },
+    Cast { expr: Box<Expr>, ty: TypeName },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_branch: Option<Box<Expr>>,
+    },
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `IS [NOT] DISTINCT FROM`
+    IsDistinctFrom { left: Box<Expr>, right: Box<Expr>, negated: bool },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InSubquery { expr: Box<Expr>, query: Box<SelectStmt>, negated: bool },
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool, case_insensitive: bool },
+    Exists { query: Box<SelectStmt>, negated: bool },
+    /// Scalar subquery.
+    Subquery(Box<SelectStmt>),
+    /// Row value `(a, b)` with 2+ elements.
+    Row(Vec<Expr>),
+    /// `ARRAY[...]` (PostgreSQL/DuckDB) or `[...]` (DuckDB).
+    Array(Vec<Expr>),
+    /// DuckDB struct literal `{'k': v, ...}`.
+    Struct(Vec<(String, Expr)>),
+    /// `interval '1-2'` — kept as an opaque typed literal.
+    Interval(String),
+    /// Bind parameter (`?`, `$1`, `:x`, `@v`).
+    Parameter(String),
+}
+
+impl Expr {
+    /// Convenience integer literal.
+    pub fn integer(v: i64) -> Expr {
+        Expr::Literal(Literal::Integer(v))
+    }
+
+    /// Convenience string literal.
+    pub fn string(s: &str) -> Expr {
+        Expr::Literal(Literal::String(s.to_string()))
+    }
+
+    /// Convenience column reference.
+    pub fn column(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_string() }
+    }
+}
+
+/// Literal values as written in SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Integer(i64),
+    Float(f64),
+    String(String),
+    Blob(Vec<u8>),
+    Boolean(bool),
+    Null,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Pos,
+    Not,
+    BitNot,
+}
+
+/// Binary operators. `Div` carries dialect-dependent semantics (the paper's
+/// headline semantic divergence: integer vs decimal division); `IntDiv` is
+/// MySQL's `DIV`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IntDiv,
+    Mod,
+    Concat,
+    Eq,
+    NotEq,
+    Lt,
+    Gt,
+    LtEq,
+    GtEq,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    ShiftLeft,
+    ShiftRight,
+    /// PostgreSQL/DuckDB regex match `~`.
+    RegexMatch,
+}
+
+impl BinaryOp {
+    /// SQL spelling, used in error messages and EXPLAIN output.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::IntDiv => "DIV",
+            BinaryOp::Mod => "%",
+            BinaryOp::Concat => "||",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Gt => ">",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "#",
+            BinaryOp::ShiftLeft => "<<",
+            BinaryOp::ShiftRight => ">>",
+            BinaryOp::RegexMatch => "~",
+        }
+    }
+}
+
+/// A type name with optional arguments and nesting (DuckDB LIST / STRUCT /
+/// UNION types; paper Listing 11 uses `UNION(str VARCHAR, obj STRUCT(...))`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeName {
+    /// `INTEGER`, `VARCHAR(10)`, `DECIMAL(10, 2)`, ...
+    Simple { name: String, params: Vec<i64> },
+    /// `ty[]` or `LIST(ty)`.
+    List(Box<TypeName>),
+    /// `STRUCT(name ty, ...)`.
+    Struct(Vec<(String, TypeName)>),
+    /// `UNION(name ty, ...)` — DuckDB only.
+    Union(Vec<(String, TypeName)>),
+}
+
+impl TypeName {
+    /// Convenience constructor for an unparameterised type.
+    pub fn simple(name: &str) -> TypeName {
+        TypeName::Simple { name: name.to_uppercase(), params: Vec::new() }
+    }
+
+    /// The outermost type word (`VARCHAR` for `VARCHAR(10)`, `STRUCT` ...).
+    pub fn head(&self) -> &str {
+        match self {
+            TypeName::Simple { name, .. } => name,
+            TypeName::List(_) => "LIST",
+            TypeName::Struct(_) => "STRUCT",
+            TypeName::Union(_) => "UNION",
+        }
+    }
+}
+
+impl std::fmt::Display for TypeName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeName::Simple { name, params } => {
+                write!(f, "{name}")?;
+                if !params.is_empty() {
+                    let ps: Vec<String> = params.iter().map(|p| p.to_string()).collect();
+                    write!(f, "({})", ps.join(", "))?;
+                }
+                Ok(())
+            }
+            TypeName::List(inner) => write!(f, "{inner}[]"),
+            TypeName::Struct(fields) => {
+                let fs: Vec<String> =
+                    fields.iter().map(|(n, t)| format!("{n} {t}")).collect();
+                write!(f, "STRUCT({})", fs.join(", "))
+            }
+            TypeName::Union(fields) => {
+                let fs: Vec<String> =
+                    fields.iter().map(|(n, t)| format!("{n} {t}")).collect();
+                write!(f, "UNION({})", fs.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        assert_eq!(TypeName::simple("integer").to_string(), "INTEGER");
+        assert_eq!(
+            TypeName::Simple { name: "VARCHAR".into(), params: vec![10] }.to_string(),
+            "VARCHAR(10)"
+        );
+        assert_eq!(
+            TypeName::List(Box::new(TypeName::simple("INT"))).to_string(),
+            "INT[]"
+        );
+        let s = TypeName::Struct(vec![
+            ("k".into(), TypeName::simple("VARCHAR")),
+            ("v".into(), TypeName::simple("INT")),
+        ]);
+        assert_eq!(s.to_string(), "STRUCT(k VARCHAR, v INT)");
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Named { name: "t".into(), alias: Some("x".into()) };
+        assert_eq!(t.binding_name(), Some("x"));
+        let t = TableRef::Named { name: "t".into(), alias: None };
+        assert_eq!(t.binding_name(), Some("t"));
+    }
+
+    #[test]
+    fn op_spellings() {
+        assert_eq!(BinaryOp::Div.sql(), "/");
+        assert_eq!(BinaryOp::IntDiv.sql(), "DIV");
+        assert_eq!(BinaryOp::Concat.sql(), "||");
+    }
+}

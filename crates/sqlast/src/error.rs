@@ -1,0 +1,39 @@
+//! Parse errors.
+
+/// A syntax error with enough context for the RQ4 failure classifiers to
+/// attribute it (the classifiers look for "syntax error" / "near" shapes,
+/// like real DBMS error strings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message, DBMS style: `syntax error at or near "DIV"`.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Construct an error at a byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError { message: message.into(), offset }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_message() {
+        let e = ParseError::new("syntax error at or near \"DIV\"", 3);
+        assert_eq!(e.to_string(), "syntax error at or near \"DIV\"");
+        assert_eq!(e.offset, 3);
+    }
+}

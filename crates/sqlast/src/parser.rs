@@ -1,0 +1,2290 @@
+//! Dialect-aware recursive-descent / Pratt parser.
+//!
+//! Dialect gating happens here so that the *same* statement text can parse
+//! on one engine and raise a syntax error on another, exactly as the paper
+//! observes (RQ4 "Statements" failures). Examples: `DIV` only parses for
+//! MySQL, `PRAGMA` only for SQLite/DuckDB, `SET` is a syntax error on
+//! SQLite, struct literals only parse for DuckDB.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use squality_sqltext::{tokenize, TextDialect, Token, TokenKind};
+
+/// Parse a single statement; trailing semicolon is allowed.
+pub fn parse_statement(sql: &str, dialect: TextDialect) -> Result<Stmt, ParseError> {
+    let mut p = Parser::new(sql, dialect);
+    let stmt = p.statement()?;
+    p.skip_semicolons();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a script of `;`-separated statements.
+pub fn parse_script(sql: &str, dialect: TextDialect) -> Result<Vec<Stmt>, ParseError> {
+    let mut p = Parser::new(sql, dialect);
+    let mut stmts = Vec::new();
+    loop {
+        p.skip_semicolons();
+        if p.at_eof() {
+            break;
+        }
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+/// The parser state over a pre-lexed token stream.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    dialect: TextDialect,
+}
+
+impl Parser {
+    /// Create a parser for `sql` under `dialect` lexical + grammar rules.
+    pub fn new(sql: &str, dialect: TextDialect) -> Self {
+        Parser { tokens: tokenize(sql, dialect), pos: 0, dialect }
+    }
+
+    // ---- token helpers -------------------------------------------------
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map(|t| t.start).unwrap_or_else(|| {
+            self.tokens.last().map(|t| t.end).unwrap_or(0)
+        })
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::new(msg, self.offset()))
+    }
+
+    fn err_near<T>(&self) -> Result<T, ParseError> {
+        match self.peek() {
+            Some(t) => Err(ParseError::new(
+                format!("syntax error at or near \"{}\"", t.text),
+                t.start,
+            )),
+            None => Err(ParseError::new("syntax error at end of input", self.offset())),
+        }
+    }
+
+    /// Consume a keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_keyword(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a symbol (operator/punct) if present.
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek().map(|t| t.is_symbol(sym)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err_near()
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            self.err_near()
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_keyword(kw)).unwrap_or(false)
+    }
+
+    fn peek_sym(&self, sym: &str) -> bool {
+        self.peek().map(|t| t.is_symbol(sym)).unwrap_or(false)
+    }
+
+    fn skip_semicolons(&mut self) {
+        while self.eat_sym(";") {}
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.err_near()
+        }
+    }
+
+    /// Parse an identifier (bare word or quoted), returning its unquoted text.
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::Word => {
+                let s = t.text.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) if t.kind == TokenKind::QuotedIdent => {
+                let s = unquote_ident(&t.text);
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => self.err_near(),
+        }
+    }
+
+    /// Parse a possibly schema-qualified name, joined with '.'.
+    fn qualified_name(&mut self) -> Result<String, ParseError> {
+        let mut name = self.identifier()?;
+        while self.peek_sym(".") {
+            // Stop before `.*` (wildcard handled by the caller).
+            if self.peek_at(1).map(|t| t.is_symbol("*")).unwrap_or(false) {
+                break;
+            }
+            self.pos += 1;
+            name.push('.');
+            name.push_str(&self.identifier()?);
+        }
+        Ok(name)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    /// Parse one statement.
+    pub fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let Some(first) = self.peek() else {
+            return self.err("empty statement");
+        };
+        if first.kind != TokenKind::Word {
+            if first.is_symbol("(") {
+                return Ok(Stmt::Select(self.query()?));
+            }
+            return self.err_near();
+        }
+        let word = first.upper();
+        match word.as_str() {
+            "SELECT" | "VALUES" | "WITH" => Ok(Stmt::Select(self.query()?)),
+            "INSERT" | "REPLACE" => self.insert(),
+            "UPDATE" => self.update(),
+            "DELETE" => self.delete(),
+            "CREATE" => self.create(),
+            "DROP" => self.drop(),
+            "ALTER" => self.alter(),
+            "BEGIN" => {
+                self.pos += 1;
+                self.eat_kw("TRANSACTION");
+                self.eat_kw("WORK");
+                Ok(Stmt::Begin)
+            }
+            "START" => {
+                self.pos += 1;
+                if self.dialect == TextDialect::Sqlite {
+                    // SQLite lacks START TRANSACTION (paper §4).
+                    return self.err("syntax error at or near \"START\"");
+                }
+                self.expect_kw("TRANSACTION")?;
+                Ok(Stmt::Begin)
+            }
+            "COMMIT" | "END" => {
+                self.pos += 1;
+                self.eat_kw("TRANSACTION");
+                self.eat_kw("WORK");
+                Ok(Stmt::Commit)
+            }
+            "ROLLBACK" | "ABORT" => {
+                self.pos += 1;
+                self.eat_kw("TRANSACTION");
+                self.eat_kw("WORK");
+                Ok(Stmt::Rollback)
+            }
+            "SAVEPOINT" => {
+                self.pos += 1;
+                Ok(Stmt::Savepoint { name: self.identifier()? })
+            }
+            "RELEASE" => {
+                self.pos += 1;
+                self.eat_kw("SAVEPOINT");
+                Ok(Stmt::Release { name: self.identifier()? })
+            }
+            "SET" => self.set(),
+            "PRAGMA" => self.pragma(),
+            "EXPLAIN" => self.explain(),
+            "COPY" => self.copy(),
+            "SHOW" => self.show(),
+            "USE" => self.use_stmt(),
+            "TRUNCATE" => {
+                self.pos += 1;
+                self.eat_kw("TABLE");
+                Ok(Stmt::Truncate { table: self.qualified_name()? })
+            }
+            "VACUUM" => {
+                self.pos += 1;
+                let _ = self.qualified_name(); // optional target, ignored
+                Ok(Stmt::Vacuum)
+            }
+            "ANALYZE" | "ANALYSE" => {
+                self.pos += 1;
+                let table =
+                    if self.at_eof() || self.peek_sym(";") { None } else { Some(self.qualified_name()?) };
+                Ok(Stmt::Analyze { table })
+            }
+            "INSTALL" | "LOAD" => {
+                if !matches!(self.dialect, TextDialect::Duckdb | TextDialect::Generic) {
+                    return self.err_near();
+                }
+                self.pos += 1;
+                Ok(Stmt::LoadExtension { name: self.identifier()? })
+            }
+            _ => self.err_near(),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Stmt, ParseError> {
+        let mut or_replace = false;
+        if self.eat_kw("REPLACE") {
+            if !matches!(self.dialect, TextDialect::Mysql | TextDialect::Sqlite | TextDialect::Generic)
+            {
+                return self.err("syntax error at or near \"REPLACE\"");
+            }
+            or_replace = true;
+        } else {
+            self.expect_kw("INSERT")?;
+            if self.eat_kw("OR") {
+                self.expect_kw("REPLACE")?;
+                or_replace = true;
+            }
+        }
+        self.expect_kw("INTO")?;
+        let table = self.qualified_name()?;
+        let mut columns = Vec::new();
+        if self.peek_sym("(") {
+            self.pos += 1;
+            loop {
+                columns.push(self.identifier()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        let source = if self.eat_kw("DEFAULT") {
+            self.expect_kw("VALUES")?;
+            InsertSource::DefaultValues
+        } else if self.peek_kw("VALUES") {
+            self.pos += 1;
+            InsertSource::Values(self.values_rows()?)
+        } else if self.peek_kw("SELECT") || self.peek_kw("WITH") || self.peek_sym("(") {
+            InsertSource::Query(Box::new(self.query()?))
+        } else {
+            return self.err_near();
+        };
+        Ok(Stmt::Insert(InsertStmt { table, columns, source, or_replace }))
+    }
+
+    fn values_rows(&mut self) -> Result<Vec<Vec<Expr>>, ParseError> {
+        let mut rows = Vec::new();
+        loop {
+            // MySQL permits `VALUES ROW(...)`; accept the ROW noise word.
+            self.eat_kw("ROW");
+            self.expect_sym("(")?;
+            let mut row = Vec::new();
+            if !self.peek_sym(")") {
+                loop {
+                    row.push(self.expr(0)?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym(")")?;
+            rows.push(row);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(rows)
+    }
+
+    fn update(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("UPDATE")?;
+        let table = self.qualified_name()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_sym("=")?;
+            assignments.push((col, self.expr(0)?));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr(0)?) } else { None };
+        Ok(Stmt::Update(UpdateStmt { table, assignments, where_clause }))
+    }
+
+    fn delete(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.qualified_name()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr(0)?) } else { None };
+        Ok(Stmt::Delete(DeleteStmt { table, where_clause }))
+    }
+
+    fn create(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("CREATE")?;
+        let or_replace = self.eat_kw("OR") && {
+            self.expect_kw("REPLACE")?;
+            true
+        };
+        let temporary = self.eat_kw("TEMP") || self.eat_kw("TEMPORARY");
+        let unique = self.eat_kw("UNIQUE");
+
+        if self.eat_kw("TABLE") {
+            return self.create_table(temporary);
+        }
+        if self.eat_kw("INDEX") {
+            return self.create_index(unique);
+        }
+        if self.eat_kw("VIEW") {
+            return self.create_view(or_replace);
+        }
+        if self.eat_kw("SCHEMA") {
+            let if_not_exists = self.if_not_exists()?;
+            return Ok(Stmt::CreateSchema { name: self.qualified_name()?, if_not_exists });
+        }
+        if self.eat_kw("FUNCTION") {
+            return self.create_function();
+        }
+        self.err_near()
+    }
+
+    fn if_not_exists(&mut self) -> Result<bool, ParseError> {
+        if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn if_exists(&mut self) -> Result<bool, ParseError> {
+        if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn create_table(&mut self, temporary: bool) -> Result<Stmt, ParseError> {
+        let if_not_exists = self.if_not_exists()?;
+        let name = self.qualified_name()?;
+        if self.eat_kw("AS") {
+            let query = self.query()?;
+            return Ok(Stmt::CreateTable(CreateTableStmt {
+                name,
+                if_not_exists,
+                temporary,
+                columns: Vec::new(),
+                as_query: Some(Box::new(query)),
+            }));
+        }
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            // Table-level constraints are parsed and discarded: the engines
+            // do not enforce FK constraints, matching the suites' usage.
+            if self.peek_table_constraint() {
+                self.skip_table_constraint()?;
+            } else {
+                columns.push(self.column_def()?);
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(Stmt::CreateTable(CreateTableStmt {
+            name,
+            if_not_exists,
+            temporary,
+            columns,
+            as_query: None,
+        }))
+    }
+
+    fn peek_table_constraint(&self) -> bool {
+        self.peek()
+            .map(|t| {
+                t.is_keyword("PRIMARY")
+                    || t.is_keyword("FOREIGN")
+                    || t.is_keyword("CONSTRAINT")
+                    || t.is_keyword("CHECK")
+                    || (t.is_keyword("UNIQUE")
+                        && self.peek_at(1).map(|n| n.is_symbol("(")).unwrap_or(false))
+            })
+            .unwrap_or(false)
+    }
+
+    fn skip_table_constraint(&mut self) -> Result<(), ParseError> {
+        // Consume tokens, balancing parens, until a top-level ',' or ')'.
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if depth == 0 && (t.is_symbol(",") || t.is_symbol(")")) {
+                return Ok(());
+            }
+            if t.is_symbol("(") {
+                depth += 1;
+            } else if t.is_symbol(")") {
+                depth -= 1;
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated table constraint")
+    }
+
+    fn column_def(&mut self) -> Result<ColumnDef, ParseError> {
+        let name = self.identifier()?;
+        let type_name = self.type_name()?;
+        let mut def = ColumnDef {
+            name,
+            type_name,
+            not_null: false,
+            primary_key: false,
+            unique: false,
+            default: None,
+        };
+        loop {
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                def.not_null = true;
+            } else if self.eat_kw("NULL") {
+                // explicit nullable: no-op
+            } else if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                def.primary_key = true;
+                self.eat_kw("AUTOINCREMENT");
+                self.eat_kw("AUTO_INCREMENT");
+            } else if self.eat_kw("UNIQUE") {
+                def.unique = true;
+            } else if self.eat_kw("DEFAULT") {
+                def.default = Some(self.expr(10)?);
+            } else if self.eat_kw("CHECK") {
+                self.expect_sym("(")?;
+                let _ = self.expr(0)?;
+                self.expect_sym(")")?;
+            } else if self.eat_kw("REFERENCES") {
+                let _ = self.qualified_name()?;
+                if self.eat_sym("(") {
+                    let _ = self.identifier()?;
+                    self.expect_sym(")")?;
+                }
+            } else if self.eat_kw("COLLATE") {
+                let _ = self.identifier()?;
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    /// Parse a type name, including DuckDB nested types when the dialect
+    /// allows them.
+    pub fn type_name(&mut self) -> Result<TypeName, ParseError> {
+        let nested_ok = matches!(self.dialect, TextDialect::Duckdb | TextDialect::Generic);
+        let head = self.identifier()?.to_uppercase();
+        let mut ty = match head.as_str() {
+            "STRUCT" if nested_ok => {
+                self.expect_sym("(")?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.identifier()?;
+                    let fty = self.type_name()?;
+                    fields.push((fname, fty));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                TypeName::Struct(fields)
+            }
+            "UNION" if nested_ok => {
+                self.expect_sym("(")?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.identifier()?;
+                    let fty = self.type_name()?;
+                    fields.push((fname, fty));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                TypeName::Union(fields)
+            }
+            "LIST" if nested_ok && self.peek_sym("(") => {
+                self.pos += 1;
+                let inner = self.type_name()?;
+                self.expect_sym(")")?;
+                TypeName::List(Box::new(inner))
+            }
+            _ => {
+                // Multi-word types: DOUBLE PRECISION, CHARACTER VARYING, ...
+                let mut name = head;
+                while self.peek().map(|t| {
+                    t.is_keyword("PRECISION") || t.is_keyword("VARYING")
+                }).unwrap_or(false)
+                {
+                    name.push(' ');
+                    name.push_str(&self.advance().unwrap().upper());
+                }
+                let mut params = Vec::new();
+                if self.peek_sym("(") {
+                    self.pos += 1;
+                    loop {
+                        match self.peek() {
+                            Some(t) if t.kind == TokenKind::NumberLit => {
+                                params.push(t.text.parse::<i64>().unwrap_or(0));
+                                self.pos += 1;
+                            }
+                            _ => return self.err_near(),
+                        }
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(")")?;
+                }
+                TypeName::Simple { name, params }
+            }
+        };
+        // Array suffix `[]`, possibly repeated.
+        while self.peek_sym("[") && self.peek_at(1).map(|t| t.is_symbol("]")).unwrap_or(false) {
+            self.pos += 2;
+            ty = TypeName::List(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn create_index(&mut self, unique: bool) -> Result<Stmt, ParseError> {
+        let if_not_exists = self.if_not_exists()?;
+        let name = self.qualified_name()?;
+        self.expect_kw("ON")?;
+        let table = self.qualified_name()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.identifier()?);
+            // Ignore per-column ASC/DESC.
+            self.eat_kw("ASC");
+            self.eat_kw("DESC");
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(Stmt::CreateIndex { name, table, columns, unique, if_not_exists })
+    }
+
+    fn create_view(&mut self, or_replace: bool) -> Result<Stmt, ParseError> {
+        let name = self.qualified_name()?;
+        let mut columns = Vec::new();
+        if self.peek_sym("(") {
+            self.pos += 1;
+            loop {
+                columns.push(self.identifier()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_kw("AS")?;
+        let query = self.query()?;
+        Ok(Stmt::CreateView { name, columns, query, or_replace })
+    }
+
+    /// Loose CREATE FUNCTION parse, enough for Listing 7-style statements:
+    /// extracts the library string (if `AS 'lib' [, 'sym']`) and language.
+    fn create_function(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.qualified_name()?;
+        // Skip the parenthesised argument list.
+        if self.peek_sym("(") {
+            let mut depth = 0i32;
+            while let Some(t) = self.peek() {
+                if t.is_symbol("(") {
+                    depth += 1;
+                } else if t.is_symbol(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                self.pos += 1;
+            }
+        }
+        let mut library = None;
+        let mut language = String::from("sql");
+        while let Some(t) = self.peek() {
+            if t.is_keyword("AS") {
+                self.pos += 1;
+                // `AS 'library'` or `AS $$body$$` — also tolerate a stray
+                // ':' before the string as in the paper's Listing 7.
+                self.eat_sym(":");
+                if let Some(s) = self.peek() {
+                    if s.kind == TokenKind::StringLit {
+                        library = Some(unquote_string(&s.text));
+                        self.pos += 1;
+                        if self.eat_sym(",") {
+                            // symbol name string
+                            if self.peek().map(|t| t.kind == TokenKind::StringLit).unwrap_or(false)
+                            {
+                                self.pos += 1;
+                            }
+                        }
+                    }
+                }
+            } else if t.is_keyword("LANGUAGE") {
+                self.pos += 1;
+                language = self.identifier()?.to_lowercase();
+            } else if t.is_symbol(";") {
+                break;
+            } else {
+                self.pos += 1;
+            }
+        }
+        Ok(Stmt::CreateFunction { name, language, library })
+    }
+
+    fn drop(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("DROP")?;
+        if self.eat_kw("TABLE") {
+            let if_exists = self.if_exists()?;
+            let mut names = vec![self.qualified_name()?];
+            while self.eat_sym(",") {
+                names.push(self.qualified_name()?);
+            }
+            self.eat_kw("CASCADE");
+            self.eat_kw("RESTRICT");
+            return Ok(Stmt::DropTable { names, if_exists });
+        }
+        if self.eat_kw("INDEX") {
+            let if_exists = self.if_exists()?;
+            let name = self.qualified_name()?;
+            // MySQL: DROP INDEX i ON t
+            if self.eat_kw("ON") {
+                let _ = self.qualified_name()?;
+            }
+            return Ok(Stmt::DropIndex { name, if_exists });
+        }
+        if self.eat_kw("VIEW") {
+            let if_exists = self.if_exists()?;
+            return Ok(Stmt::DropView { name: self.qualified_name()?, if_exists });
+        }
+        if self.eat_kw("SCHEMA") {
+            let if_exists = self.if_exists()?;
+            let name = self.qualified_name()?;
+            let cascade = self.eat_kw("CASCADE");
+            self.eat_kw("RESTRICT");
+            return Ok(Stmt::DropSchema { name, if_exists, cascade });
+        }
+        self.err_near()
+    }
+
+    fn alter(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("ALTER")?;
+        if self.eat_kw("TABLE") {
+            let table = self.qualified_name()?;
+            let action = if self.eat_kw("ADD") {
+                self.eat_kw("COLUMN");
+                AlterTableAction::AddColumn(self.column_def()?)
+            } else if self.eat_kw("DROP") {
+                self.eat_kw("COLUMN");
+                let if_exists = self.if_exists()?;
+                AlterTableAction::DropColumn { name: self.identifier()?, if_exists }
+            } else if self.eat_kw("RENAME") {
+                if self.eat_kw("TO") {
+                    AlterTableAction::RenameTo(self.qualified_name()?)
+                } else {
+                    self.eat_kw("COLUMN");
+                    let old = self.identifier()?;
+                    self.expect_kw("TO")?;
+                    AlterTableAction::RenameColumn { old, new: self.identifier()? }
+                }
+            } else {
+                return self.err_near();
+            };
+            return Ok(Stmt::AlterTable { table, action });
+        }
+        if self.eat_kw("SCHEMA") {
+            let name = self.qualified_name()?;
+            self.expect_kw("RENAME")?;
+            self.expect_kw("TO")?;
+            return Ok(Stmt::AlterSchema { name, rename_to: self.qualified_name()? });
+        }
+        self.err_near()
+    }
+
+    fn set(&mut self) -> Result<Stmt, ParseError> {
+        if self.dialect == TextDialect::Sqlite {
+            // SQLite has no SET statement; its configuration is PRAGMA.
+            return self.err("syntax error at or near \"SET\"");
+        }
+        self.expect_kw("SET")?;
+        self.eat_kw("SESSION");
+        self.eat_kw("GLOBAL");
+        self.eat_kw("LOCAL");
+        let name = match self.peek() {
+            Some(t) if t.kind == TokenKind::Param => {
+                // MySQL user variable @x.
+                let s = t.text.clone();
+                self.pos += 1;
+                s
+            }
+            _ => self.qualified_name()?,
+        };
+        let value = if self.eat_sym("=") || self.eat_kw("TO") {
+            if self.eat_kw("DEFAULT") {
+                SetValue::Default
+            } else {
+                match self.peek() {
+                    Some(t)
+                        if t.kind == TokenKind::Word
+                            && !t.is_keyword("TRUE")
+                            && !t.is_keyword("FALSE")
+                            && !t.is_keyword("NULL")
+                            && !self
+                                .peek_at(1)
+                                .map(|n| n.is_symbol("(") || n.is_symbol("."))
+                                .unwrap_or(false) =>
+                    {
+                        let v = t.text.clone();
+                        self.pos += 1;
+                        // Comma-separated ident lists (search_path): join.
+                        let mut full = v;
+                        while self.eat_sym(",") {
+                            full.push(',');
+                            full.push_str(&self.identifier()?);
+                        }
+                        SetValue::Ident(full)
+                    }
+                    _ => SetValue::Expr(self.expr(0)?),
+                }
+            }
+        } else {
+            return self.err_near();
+        };
+        Ok(Stmt::Set { name, value })
+    }
+
+    fn pragma(&mut self) -> Result<Stmt, ParseError> {
+        if !matches!(
+            self.dialect,
+            TextDialect::Sqlite | TextDialect::Duckdb | TextDialect::Generic
+        ) {
+            return self.err("syntax error at or near \"PRAGMA\"");
+        }
+        self.expect_kw("PRAGMA")?;
+        let name = self.qualified_name()?;
+        let value = if self.eat_sym("=") {
+            Some(self.pragma_value()?)
+        } else if self.peek_sym("(") {
+            self.pos += 1;
+            let v = self.pragma_value()?;
+            self.expect_sym(")")?;
+            Some(v)
+        } else {
+            None
+        };
+        Ok(Stmt::Pragma { name, value })
+    }
+
+    fn pragma_value(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(t)
+                if matches!(
+                    t.kind,
+                    TokenKind::Word | TokenKind::NumberLit | TokenKind::QuotedIdent
+                ) =>
+            {
+                let v = t.text.clone();
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(t) if t.kind == TokenKind::StringLit => {
+                let v = unquote_string(&t.text);
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => self.err_near(),
+        }
+    }
+
+    fn explain(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("EXPLAIN")?;
+        if self.eat_kw("QUERY") {
+            self.expect_kw("PLAN")?; // SQLite: EXPLAIN QUERY PLAN
+        }
+        let analyze = self.eat_kw("ANALYZE");
+        let inner = self.statement()?;
+        Ok(Stmt::Explain { analyze, inner: Box::new(inner) })
+    }
+
+    fn copy(&mut self) -> Result<Stmt, ParseError> {
+        if self.dialect == TextDialect::Sqlite || self.dialect == TextDialect::Mysql {
+            return self.err("syntax error at or near \"COPY\"");
+        }
+        self.expect_kw("COPY")?;
+        let table = self.qualified_name()?;
+        // Optional column list.
+        if self.peek_sym("(") {
+            let mut depth = 0i32;
+            while let Some(t) = self.peek() {
+                if t.is_symbol("(") {
+                    depth += 1;
+                } else if t.is_symbol(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                self.pos += 1;
+            }
+        }
+        let from = if self.eat_kw("FROM") {
+            true
+        } else if self.eat_kw("TO") {
+            false
+        } else {
+            return self.err_near();
+        };
+        let path = match self.peek() {
+            Some(t) if t.kind == TokenKind::StringLit => {
+                let p = unquote_string(&t.text);
+                self.pos += 1;
+                p
+            }
+            Some(t) if t.is_keyword("STDIN") || t.is_keyword("STDOUT") => {
+                let p = t.upper();
+                self.pos += 1;
+                p
+            }
+            _ => return self.err_near(),
+        };
+        // Swallow trailing options (WITH (...), DELIMITER ..., CSV ...).
+        while !self.at_eof() && !self.peek_sym(";") {
+            self.pos += 1;
+        }
+        Ok(Stmt::Copy { table, path, from })
+    }
+
+    fn show(&mut self) -> Result<Stmt, ParseError> {
+        if self.dialect == TextDialect::Sqlite {
+            return self.err("syntax error at or near \"SHOW\"");
+        }
+        self.expect_kw("SHOW")?;
+        let name = if self.eat_kw("ALL") {
+            "ALL".to_string()
+        } else {
+            self.qualified_name()?
+        };
+        Ok(Stmt::Show { name })
+    }
+
+    fn use_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if !matches!(
+            self.dialect,
+            TextDialect::Mysql | TextDialect::Duckdb | TextDialect::Generic
+        ) {
+            return self.err("syntax error at or near \"USE\"");
+        }
+        self.expect_kw("USE")?;
+        Ok(Stmt::Use { database: self.qualified_name()? })
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// Parse a full query (`[WITH ...] body [ORDER BY ...] [LIMIT ...]`).
+    pub fn query(&mut self) -> Result<SelectStmt, ParseError> {
+        let with = if self.peek_kw("WITH") { Some(self.with_clause()?) } else { None };
+        let body = self.set_expr(0)?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr(0)?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                let nulls_first = if self.eat_kw("NULLS") {
+                    if self.eat_kw("FIRST") {
+                        Some(true)
+                    } else {
+                        self.expect_kw("LAST")?;
+                        Some(false)
+                    }
+                } else {
+                    None
+                };
+                order_by.push(OrderItem { expr, desc, nulls_first });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw("LIMIT") {
+            let first = self.expr(0)?;
+            if self.eat_sym(",") {
+                // MySQL/SQLite: LIMIT offset, count
+                offset = Some(first);
+                limit = Some(self.expr(0)?);
+            } else {
+                limit = Some(first);
+            }
+        }
+        if self.eat_kw("OFFSET") {
+            offset = Some(self.expr(0)?);
+        }
+        Ok(SelectStmt { with, body, order_by, limit, offset })
+    }
+
+    fn with_clause(&mut self) -> Result<WithClause, ParseError> {
+        self.expect_kw("WITH")?;
+        let recursive = self.eat_kw("RECURSIVE");
+        let mut ctes = Vec::new();
+        loop {
+            let name = self.identifier()?;
+            let mut columns = Vec::new();
+            if self.peek_sym("(") {
+                self.pos += 1;
+                loop {
+                    columns.push(self.identifier()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            }
+            self.expect_kw("AS")?;
+            self.eat_kw("MATERIALIZED");
+            self.expect_sym("(")?;
+            let query = self.query()?;
+            self.expect_sym(")")?;
+            ctes.push(Cte { name, columns, query });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(WithClause { recursive, ctes })
+    }
+
+    /// Set-operation precedence: INTERSECT binds tighter than UNION/EXCEPT.
+    fn set_expr(&mut self, min_prec: u8) -> Result<SetExpr, ParseError> {
+        let mut left = self.set_primary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Some(t) if t.is_keyword("UNION") => (SetOp::Union, 1u8),
+                Some(t) if t.is_keyword("EXCEPT") => (SetOp::Except, 1),
+                Some(t) if t.is_keyword("INTERSECT") => (SetOp::Intersect, 2),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let all = self.eat_kw("ALL");
+            if !all {
+                self.eat_kw("DISTINCT");
+            }
+            let right = self.set_expr(prec + 1)?;
+            left = SetExpr::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn set_primary(&mut self) -> Result<SetExpr, ParseError> {
+        if self.eat_sym("(") {
+            let q = self.query()?;
+            self.expect_sym(")")?;
+            return Ok(SetExpr::Query(Box::new(q)));
+        }
+        if self.eat_kw("VALUES") {
+            return Ok(SetExpr::Values(self.values_rows()?));
+        }
+        Ok(SetExpr::Select(Box::new(self.select_core()?)))
+    }
+
+    fn select_core(&mut self) -> Result<SelectCore, ParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = if self.eat_kw("DISTINCT") {
+            true
+        } else {
+            self.eat_kw("ALL");
+            false
+        };
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.select_item()?);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            loop {
+                from.push(self.table_ref()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr(0)?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr(0)?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr(0)?) } else { None };
+        Ok(SelectCore { distinct, projection, from, where_clause, group_by, having })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_sym("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        // t.* qualified wildcard
+        if let (Some(t0), Some(t1), Some(t2)) = (self.peek(), self.peek_at(1), self.peek_at(2)) {
+            if t0.kind == TokenKind::Word && t1.is_symbol(".") && t2.is_symbol("*") {
+                let table = t0.text.clone();
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(table));
+            }
+        }
+        let expr = self.expr(0)?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// Parse `[AS] alias` where a bare alias word must not be a clause
+    /// keyword.
+    fn alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_kw("AS") {
+            return Ok(Some(self.identifier()?));
+        }
+        if let Some(t) = self.peek() {
+            if t.kind == TokenKind::QuotedIdent {
+                let a = unquote_ident(&t.text);
+                self.pos += 1;
+                return Ok(Some(a));
+            }
+            if t.kind == TokenKind::Word && !is_reserved_after_expr(&t.upper()) {
+                let a = t.text.clone();
+                self.pos += 1;
+                return Ok(Some(a));
+            }
+        }
+        Ok(None)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let mut left = self.table_primary()?;
+        loop {
+            let kind = if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_kw("RIGHT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Right
+            } else if self.eat_kw("FULL") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Full
+            } else if self.eat_kw("CROSS") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Cross
+            } else if self.peek_kw("ASOF") {
+                if !matches!(self.dialect, TextDialect::Duckdb | TextDialect::Generic) {
+                    // ASOF JOIN is DuckDB-only (paper RQ4 failure example).
+                    return self.err_near();
+                }
+                self.pos += 1;
+                self.expect_kw("JOIN")?;
+                JoinKind::AsOf
+            } else {
+                break;
+            };
+            let right = self.table_primary()?;
+            let mut on = None;
+            let mut using = Vec::new();
+            if kind != JoinKind::Cross {
+                if self.eat_kw("ON") {
+                    on = Some(self.expr(0)?);
+                } else if self.eat_kw("USING") {
+                    self.expect_sym("(")?;
+                    loop {
+                        using.push(self.identifier()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(")")?;
+                }
+            }
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                using,
+            };
+        }
+        Ok(left)
+    }
+
+    fn table_primary(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat_sym("(") {
+            let q = self.query()?;
+            self.expect_sym(")")?;
+            let alias = self.alias()?;
+            return Ok(TableRef::Subquery { query: Box::new(q), alias });
+        }
+        let name = self.qualified_name()?;
+        // Table-valued function?
+        if self.peek_sym("(") {
+            self.pos += 1;
+            let mut args = Vec::new();
+            if !self.peek_sym(")") {
+                loop {
+                    args.push(self.expr(0)?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym(")")?;
+            let alias = self.alias()?;
+            return Ok(TableRef::Function { name, args, alias });
+        }
+        let alias = self.alias()?;
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    /// Pratt expression parser. `min_prec` is the minimum binding power.
+    pub fn expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.prefix()?;
+        loop {
+            // Postfix `::` cast binds tightest.
+            if self.peek_sym("::") {
+                self.pos += 1;
+                let ty = self.type_name()?;
+                lhs = Expr::Cast { expr: Box::new(lhs), ty };
+                continue;
+            }
+            // COLLATE postfix: parse and discard the collation name.
+            if self.peek_kw("COLLATE") {
+                self.pos += 1;
+                let _ = self.identifier()?;
+                continue;
+            }
+            let Some((op_prec, parsed)) = self.peek_infix()? else { break };
+            if op_prec < min_prec {
+                break;
+            }
+            match parsed {
+                Infix::Binary(op, toks) => {
+                    self.pos += toks;
+                    let rhs = self.expr(op_prec + 1)?;
+                    lhs = Expr::Binary { left: Box::new(lhs), op, right: Box::new(rhs) };
+                }
+                Infix::Special => {
+                    lhs = self.special_infix(lhs)?;
+                }
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// Look at the next token(s) and decide whether they begin an infix
+    /// operation, returning its precedence.
+    fn peek_infix(&self) -> Result<Option<(u8, Infix)>, ParseError> {
+        let Some(t) = self.peek() else { return Ok(None) };
+        let r = match t.kind {
+            TokenKind::Operator => match t.text.as_str() {
+                "||" => Some((8, Infix::Binary(BinaryOp::Concat, 1))),
+                "+" => Some((8, Infix::Binary(BinaryOp::Add, 1))),
+                "-" => Some((8, Infix::Binary(BinaryOp::Sub, 1))),
+                "*" => Some((9, Infix::Binary(BinaryOp::Mul, 1))),
+                "/" => Some((9, Infix::Binary(BinaryOp::Div, 1))),
+                "%" => Some((9, Infix::Binary(BinaryOp::Mod, 1))),
+                "=" | "==" => Some((4, Infix::Binary(BinaryOp::Eq, 1))),
+                "<>" | "!=" => Some((4, Infix::Binary(BinaryOp::NotEq, 1))),
+                "<" => Some((4, Infix::Binary(BinaryOp::Lt, 1))),
+                ">" => Some((4, Infix::Binary(BinaryOp::Gt, 1))),
+                "<=" => Some((4, Infix::Binary(BinaryOp::LtEq, 1))),
+                ">=" => Some((4, Infix::Binary(BinaryOp::GtEq, 1))),
+                "&" => Some((6, Infix::Binary(BinaryOp::BitAnd, 1))),
+                "|" => Some((5, Infix::Binary(BinaryOp::BitOr, 1))),
+                "#" if self.dialect != TextDialect::Mysql => {
+                    Some((5, Infix::Binary(BinaryOp::BitXor, 1)))
+                }
+                "<<" => Some((7, Infix::Binary(BinaryOp::ShiftLeft, 1))),
+                ">>" => Some((7, Infix::Binary(BinaryOp::ShiftRight, 1))),
+                "~" if matches!(
+                    self.dialect,
+                    TextDialect::Postgres | TextDialect::Duckdb | TextDialect::Generic
+                ) =>
+                {
+                    Some((4, Infix::Binary(BinaryOp::RegexMatch, 1)))
+                }
+                _ => None,
+            },
+            TokenKind::Word => match t.upper().as_str() {
+                "AND" => Some((2, Infix::Binary(BinaryOp::And, 1))),
+                "OR" => Some((1, Infix::Binary(BinaryOp::Or, 1))),
+                "DIV" if matches!(self.dialect, TextDialect::Mysql | TextDialect::Generic) => {
+                    Some((9, Infix::Binary(BinaryOp::IntDiv, 1)))
+                }
+                "MOD" if matches!(self.dialect, TextDialect::Mysql | TextDialect::Generic) => {
+                    Some((9, Infix::Binary(BinaryOp::Mod, 1)))
+                }
+                "IS" | "IN" | "BETWEEN" | "LIKE" | "NOT" => Some((4, Infix::Special)),
+                "ILIKE"
+                    if matches!(
+                        self.dialect,
+                        TextDialect::Postgres | TextDialect::Duckdb | TextDialect::Generic
+                    ) =>
+                {
+                    Some((4, Infix::Special))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        Ok(r)
+    }
+
+    /// IS [NOT] NULL / IS [NOT] DISTINCT FROM / [NOT] IN / [NOT] BETWEEN /
+    /// [NOT] LIKE / ILIKE.
+    fn special_infix(&mut self, lhs: Expr) -> Result<Expr, ParseError> {
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            if self.eat_kw("NULL") {
+                return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+            }
+            if self.eat_kw("DISTINCT") {
+                self.expect_kw("FROM")?;
+                let rhs = self.expr(5)?;
+                return Ok(Expr::IsDistinctFrom {
+                    left: Box::new(lhs),
+                    right: Box::new(rhs),
+                    negated: !negated,
+                });
+            }
+            // IS TRUE / IS FALSE
+            if self.eat_kw("TRUE") {
+                let e = Expr::Binary {
+                    left: Box::new(lhs),
+                    op: BinaryOp::Eq,
+                    right: Box::new(Expr::Literal(Literal::Boolean(true))),
+                };
+                return Ok(if negated {
+                    Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }
+                } else {
+                    e
+                });
+            }
+            if self.eat_kw("FALSE") {
+                let e = Expr::Binary {
+                    left: Box::new(lhs),
+                    op: BinaryOp::Eq,
+                    right: Box::new(Expr::Literal(Literal::Boolean(false))),
+                };
+                return Ok(if negated {
+                    Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }
+                } else {
+                    e
+                });
+            }
+            return self.err_near();
+        }
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect_sym("(")?;
+            if self.peek_kw("SELECT") || self.peek_kw("WITH") || self.peek_kw("VALUES") {
+                let q = self.query()?;
+                self.expect_sym(")")?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(lhs),
+                    query: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            if !self.peek_sym(")") {
+                loop {
+                    list.push(self.expr(0)?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Expr::InList { expr: Box::new(lhs), list, negated });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.expr(5)?;
+            self.expect_kw("AND")?;
+            let high = self.expr(5)?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.expr(5)?;
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+                negated,
+                case_insensitive: false,
+            });
+        }
+        if self.eat_kw("ILIKE") {
+            let pattern = self.expr(5)?;
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+                negated,
+                case_insensitive: true,
+            });
+        }
+        self.err_near()
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        let Some(t) = self.peek() else {
+            return self.err("unexpected end of expression");
+        };
+        match t.kind {
+            TokenKind::NumberLit => {
+                let text = t.text.clone();
+                self.pos += 1;
+                Ok(Expr::Literal(parse_number(&text)))
+            }
+            TokenKind::StringLit => {
+                let text = t.text.clone();
+                self.pos += 1;
+                if let Some(hex) = text.strip_prefix(|c| c == 'x' || c == 'X') {
+                    let inner = hex.trim_matches('\'');
+                    return Ok(Expr::Literal(Literal::Blob(parse_hex(inner))));
+                }
+                Ok(Expr::Literal(Literal::String(unquote_string(&text))))
+            }
+            TokenKind::Param => {
+                let text = t.text.clone();
+                self.pos += 1;
+                Ok(Expr::Parameter(text))
+            }
+            TokenKind::Operator | TokenKind::Punct => match t.text.as_str() {
+                "-" => {
+                    self.pos += 1;
+                    Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(self.expr(10)?) })
+                }
+                "+" => {
+                    self.pos += 1;
+                    Ok(Expr::Unary { op: UnaryOp::Pos, expr: Box::new(self.expr(10)?) })
+                }
+                "~" => {
+                    self.pos += 1;
+                    Ok(Expr::Unary { op: UnaryOp::BitNot, expr: Box::new(self.expr(10)?) })
+                }
+                "(" => self.paren_expr(),
+                "[" if matches!(self.dialect, TextDialect::Duckdb | TextDialect::Generic) => {
+                    self.pos += 1;
+                    let mut items = Vec::new();
+                    if !self.peek_sym("]") {
+                        loop {
+                            items.push(self.expr(0)?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym("]")?;
+                    Ok(Expr::Array(items))
+                }
+                "{" if matches!(self.dialect, TextDialect::Duckdb | TextDialect::Generic) => {
+                    self.pos += 1;
+                    let mut fields = Vec::new();
+                    if !self.peek_sym("}") {
+                        loop {
+                            let key = match self.peek() {
+                                Some(t) if t.kind == TokenKind::StringLit => {
+                                    let k = unquote_string(&t.text);
+                                    self.pos += 1;
+                                    k
+                                }
+                                _ => self.identifier()?,
+                            };
+                            self.expect_sym(":")?;
+                            fields.push((key, self.expr(0)?));
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym("}")?;
+                    Ok(Expr::Struct(fields))
+                }
+                _ => self.err_near(),
+            },
+            TokenKind::Word => self.word_prefix(),
+            TokenKind::QuotedIdent => {
+                let name = unquote_ident(&t.text);
+                self.pos += 1;
+                self.column_or_qualified(name)
+            }
+            TokenKind::Comment => unreachable!("comments are filtered by tokenize"),
+        }
+    }
+
+    fn word_prefix(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek().expect("caller checked");
+        let upper = t.upper();
+        match upper.as_str() {
+            "NULL" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Null))
+            }
+            "TRUE" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Boolean(true)))
+            }
+            "FALSE" => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Boolean(false)))
+            }
+            "NOT" => {
+                self.pos += 1;
+                // NOT EXISTS special-case.
+                if self.peek_kw("EXISTS") {
+                    self.pos += 1;
+                    self.expect_sym("(")?;
+                    let q = self.query()?;
+                    self.expect_sym(")")?;
+                    return Ok(Expr::Exists { query: Box::new(q), negated: true });
+                }
+                Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(self.expr(3)?) })
+            }
+            "EXISTS" => {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let q = self.query()?;
+                self.expect_sym(")")?;
+                Ok(Expr::Exists { query: Box::new(q), negated: false })
+            }
+            "CASE" => self.case_expr(),
+            "CAST" => {
+                self.pos += 1;
+                self.expect_sym("(")?;
+                let e = self.expr(0)?;
+                self.expect_kw("AS")?;
+                let ty = self.type_name()?;
+                self.expect_sym(")")?;
+                Ok(Expr::Cast { expr: Box::new(e), ty })
+            }
+            "INTERVAL" => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(t) if t.kind == TokenKind::StringLit => {
+                        let v = unquote_string(&t.text);
+                        self.pos += 1;
+                        // Optional unit word (INTERVAL '1' DAY).
+                        let unit = self.peek().and_then(|t| {
+                            if t.kind == TokenKind::Word && is_interval_unit(&t.upper()) {
+                                Some(t.text.clone())
+                            } else {
+                                None
+                            }
+                        });
+                        let text = if let Some(u) = unit {
+                            self.pos += 1;
+                            format!("{v} {u}")
+                        } else {
+                            v
+                        };
+                        Ok(Expr::Interval(text))
+                    }
+                    _ => self.err_near(),
+                }
+            }
+            "ARRAY"
+                if matches!(
+                    self.dialect,
+                    TextDialect::Postgres | TextDialect::Duckdb | TextDialect::Generic
+                ) && self.peek_at(1).map(|t| t.is_symbol("[")).unwrap_or(false) =>
+            {
+                self.pos += 2; // ARRAY [
+                let mut items = Vec::new();
+                if !self.peek_sym("]") {
+                    loop {
+                        items.push(self.expr(0)?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_sym("]")?;
+                Ok(Expr::Array(items))
+            }
+            "SELECT" => {
+                // A bare SELECT cannot start an expression; subqueries come
+                // parenthesised. Report like a DBMS would.
+                self.err_near()
+            }
+            _ => {
+                let name = self.identifier()?;
+                // Function call?
+                if self.peek_sym("(") {
+                    self.pos += 1;
+                    let mut distinct = false;
+                    let mut star = false;
+                    let mut args = Vec::new();
+                    if self.eat_sym("*") {
+                        star = true;
+                    } else if !self.peek_sym(")") {
+                        distinct = self.eat_kw("DISTINCT");
+                        loop {
+                            args.push(self.expr(0)?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(Expr::Function { name: name.to_lowercase(), args, distinct, star });
+                }
+                self.column_or_qualified(name)
+            }
+        }
+    }
+
+    fn column_or_qualified(&mut self, first: String) -> Result<Expr, ParseError> {
+        if self.peek_sym(".")
+            && self
+                .peek_at(1)
+                .map(|t| matches!(t.kind, TokenKind::Word | TokenKind::QuotedIdent))
+                .unwrap_or(false)
+        {
+            self.pos += 1;
+            let name = self.identifier()?;
+            return Ok(Expr::Column { table: Some(first), name });
+        }
+        Ok(Expr::Column { table: None, name: first })
+    }
+
+    fn paren_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_sym("(")?;
+        if self.peek_kw("SELECT") || self.peek_kw("WITH") || self.peek_kw("VALUES") {
+            let q = self.query()?;
+            self.expect_sym(")")?;
+            return Ok(Expr::Subquery(Box::new(q)));
+        }
+        let first = self.expr(0)?;
+        if self.eat_sym(",") {
+            let mut items = vec![first];
+            loop {
+                items.push(self.expr(0)?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Expr::Row(items));
+        }
+        self.expect_sym(")")?;
+        Ok(first)
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("CASE")?;
+        let operand = if self.peek_kw("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.expr(0)?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.expr(0)?;
+            self.expect_kw("THEN")?;
+            let val = self.expr(0)?;
+            branches.push((cond, val));
+        }
+        if branches.is_empty() {
+            return self.err_near();
+        }
+        let else_branch = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr(0)?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { operand, branches, else_branch })
+    }
+}
+
+enum Infix {
+    Binary(BinaryOp, usize),
+    Special,
+}
+
+/// Words that end an expression position and therefore cannot be bare
+/// aliases.
+fn is_reserved_after_expr(upper: &str) -> bool {
+    matches!(
+        upper,
+        "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET" | "UNION"
+            | "INTERSECT" | "EXCEPT" | "ON" | "JOIN" | "INNER" | "LEFT" | "RIGHT" | "FULL"
+            | "CROSS" | "ASOF" | "USING" | "AS" | "WHEN" | "THEN" | "ELSE" | "END" | "AND"
+            | "OR" | "NOT" | "SET" | "VALUES" | "SELECT" | "DESC" | "ASC" | "NULLS" | "WINDOW"
+            | "RETURNING" | "INTO" | "FETCH" | "COLLATE" | "IS" | "IN" | "BETWEEN" | "LIKE"
+            | "ILIKE" | "DIV" | "MOD"
+    )
+}
+
+fn is_interval_unit(upper: &str) -> bool {
+    matches!(
+        upper,
+        "YEAR" | "MONTH" | "DAY" | "HOUR" | "MINUTE" | "SECOND" | "YEARS" | "MONTHS" | "DAYS"
+            | "HOURS" | "MINUTES" | "SECONDS"
+    )
+}
+
+/// Parse a numeric literal; integers overflowing i64 fall back to f64,
+/// matching common DBMS lexers.
+fn parse_number(text: &str) -> Literal {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        return match i64::from_str_radix(hex, 16) {
+            Ok(v) => Literal::Integer(v),
+            Err(_) => Literal::Float(f64::INFINITY),
+        };
+    }
+    if !text.contains('.') && !text.contains('e') && !text.contains('E') {
+        if let Ok(v) = text.parse::<i64>() {
+            return Literal::Integer(v);
+        }
+    }
+    Literal::Float(text.parse::<f64>().unwrap_or(f64::NAN))
+}
+
+/// Remove quotes from a string literal and collapse doubled quotes.
+fn unquote_string(text: &str) -> String {
+    let inner = text
+        .strip_prefix(|c: char| matches!(c, 'E' | 'e' | 'N' | 'n' | 'B' | 'b' | 'X' | 'x'))
+        .unwrap_or(text);
+    let inner = if inner.starts_with('$') {
+        // dollar-quoted: strip matching $tag$ wrappers
+        if let Some(close) = inner[1..].find('$') {
+            let tag = &inner[..close + 2];
+            return inner[tag.len()..inner.len().saturating_sub(tag.len())].to_string();
+        }
+        inner
+    } else {
+        inner
+    };
+    let inner = inner.strip_prefix('\'').unwrap_or(inner);
+    let inner = inner.strip_suffix('\'').unwrap_or(inner);
+    inner.replace("''", "'")
+}
+
+/// Remove identifier quoting (double quotes, backticks, brackets).
+fn unquote_ident(text: &str) -> String {
+    let bytes = text.as_bytes();
+    if bytes.len() >= 2 {
+        match (bytes[0], bytes[bytes.len() - 1]) {
+            (b'"', b'"') => return text[1..text.len() - 1].replace("\"\"", "\""),
+            (b'`', b'`') => return text[1..text.len() - 1].replace("``", "`"),
+            (b'[', b']') => return text[1..text.len() - 1].to_string(),
+            _ => {}
+        }
+    }
+    text.to_string()
+}
+
+fn parse_hex(s: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes: Vec<u8> = s.bytes().filter(u8::is_ascii_hexdigit).collect();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16).unwrap_or(0) as u8;
+        let lo = (pair[1] as char).to_digit(16).unwrap_or(0) as u8;
+        out.push(hi << 4 | lo);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> Stmt {
+        parse_statement(sql, TextDialect::Generic)
+            .unwrap_or_else(|e| panic!("parse failed for {sql:?}: {e}"))
+    }
+
+    fn parse_d(sql: &str, d: TextDialect) -> Result<Stmt, ParseError> {
+        parse_statement(sql, d)
+    }
+
+    #[test]
+    fn select_simple() {
+        let stmt = parse("SELECT a, b FROM t1 WHERE c > a");
+        let Stmt::Select(q) = stmt else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        assert_eq!(core.projection.len(), 2);
+        assert_eq!(core.from.len(), 1);
+        assert!(core.where_clause.is_some());
+    }
+
+    #[test]
+    fn select_constant_no_from() {
+        let stmt = parse("SELECT 1 + 2");
+        let Stmt::Select(q) = stmt else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        assert!(core.from.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let Stmt::Select(q) = parse("SELECT 1 + 2 * 3") else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let SelectItem::Expr { expr, .. } = &core.projection[0] else { panic!() };
+        // Must parse as 1 + (2 * 3).
+        let Expr::Binary { op: BinaryOp::Add, right, .. } = expr else {
+            panic!("got {expr:?}")
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        let Stmt::Select(q) = parse("SELECT * FROM t WHERE a OR b AND c") else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let Some(Expr::Binary { op: BinaryOp::Or, .. }) = &core.where_clause else {
+            panic!("OR must be the top operator")
+        };
+    }
+
+    #[test]
+    fn div_keyword_mysql_only() {
+        assert!(parse_d("SELECT 62 DIV 2", TextDialect::Mysql).is_ok());
+        assert!(parse_d("SELECT 62 DIV 2", TextDialect::Generic).is_ok());
+        // On other engines DIV is a syntax error (paper Listing 4).
+        assert!(parse_d("SELECT 62 DIV 2", TextDialect::Sqlite).is_err());
+        assert!(parse_d("SELECT 62 DIV 2", TextDialect::Postgres).is_err());
+        assert!(parse_d("SELECT 62 DIV 2", TextDialect::Duckdb).is_err());
+    }
+
+    #[test]
+    fn paper_listing4_div_expression() {
+        // SELECT ALL 62 DIV ( + - 2 ) — from the paper.
+        let stmt = parse_d("SELECT ALL 62 DIV ( + - 2 )", TextDialect::Mysql).unwrap();
+        assert!(matches!(stmt, Stmt::Select(_)));
+    }
+
+    #[test]
+    fn double_colon_cast_postgres_only() {
+        let ok = parse_d("SELECT 1::text", TextDialect::Postgres).unwrap();
+        let Stmt::Select(q) = ok else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let SelectItem::Expr { expr: Expr::Cast { .. }, .. } = &core.projection[0] else {
+            panic!()
+        };
+        assert!(parse_d("SELECT 1::text", TextDialect::Mysql).is_err());
+        assert!(parse_d("SELECT 1::text", TextDialect::Sqlite).is_err());
+    }
+
+    #[test]
+    fn pragma_dialects() {
+        assert!(parse_d("PRAGMA explain_output = OPTIMIZED_ONLY", TextDialect::Duckdb).is_ok());
+        assert!(parse_d("PRAGMA table_info(t1)", TextDialect::Sqlite).is_ok());
+        assert!(parse_d("PRAGMA foo", TextDialect::Postgres).is_err());
+        assert!(parse_d("PRAGMA foo", TextDialect::Mysql).is_err());
+    }
+
+    #[test]
+    fn set_dialects() {
+        assert!(parse_d("SET search_path TO public", TextDialect::Postgres).is_ok());
+        assert!(
+            parse_d("SET default_null_order='nulls_first'", TextDialect::Duckdb).is_ok()
+        );
+        assert!(parse_d("SET optimizer_search_depth = 62", TextDialect::Mysql).is_ok());
+        assert!(parse_d("SET x = 1", TextDialect::Sqlite).is_err());
+    }
+
+    #[test]
+    fn insert_values() {
+        let Stmt::Insert(ins) = parse("INSERT INTO t1(c,b,a) VALUES (3,4,2), (5,1,3), (1,6,4)")
+        else {
+            panic!()
+        };
+        assert_eq!(ins.table, "t1");
+        assert_eq!(ins.columns, vec!["c", "b", "a"]);
+        let InsertSource::Values(rows) = ins.source else { panic!() };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 3);
+    }
+
+    #[test]
+    fn insert_select() {
+        let Stmt::Insert(ins) = parse("INSERT INTO t SELECT * FROM s") else { panic!() };
+        assert!(matches!(ins.source, InsertSource::Query(_)));
+    }
+
+    #[test]
+    fn update_stmt() {
+        let Stmt::Update(u) = parse("UPDATE a SET b = b + 10 WHERE b > 0") else { panic!() };
+        assert_eq!(u.table, "a");
+        assert_eq!(u.assignments.len(), 1);
+        assert!(u.where_clause.is_some());
+    }
+
+    #[test]
+    fn delete_stmt() {
+        let Stmt::Delete(d) = parse("DELETE FROM t WHERE a = 1") else { panic!() };
+        assert_eq!(d.table, "t");
+    }
+
+    #[test]
+    fn create_table() {
+        let Stmt::CreateTable(ct) =
+            parse("CREATE TABLE t1(a INTEGER, b INTEGER NOT NULL, c TEXT DEFAULT 'x')")
+        else {
+            panic!()
+        };
+        assert_eq!(ct.name, "t1");
+        assert_eq!(ct.columns.len(), 3);
+        assert!(ct.columns[1].not_null);
+        assert!(ct.columns[2].default.is_some());
+    }
+
+    #[test]
+    fn create_table_as() {
+        let Stmt::CreateTable(ct) =
+            parse("CREATE TABLE quantile AS SELECT 1 AS r")
+        else {
+            panic!()
+        };
+        assert!(ct.as_query.is_some());
+    }
+
+    #[test]
+    fn create_table_nested_types_duckdb() {
+        let sql = "CREATE TABLE tbl1 (union_struct UNION(str VARCHAR, obj STRUCT(k VARCHAR, v INT)))";
+        let stmt = parse_d(sql, TextDialect::Duckdb).unwrap();
+        let Stmt::CreateTable(ct) = stmt else { panic!() };
+        let TypeName::Union(fields) = &ct.columns[0].type_name else { panic!() };
+        assert_eq!(fields.len(), 2);
+        assert!(matches!(fields[1].1, TypeName::Struct(_)));
+    }
+
+    #[test]
+    fn varchar_length_param() {
+        let Stmt::CreateTable(ct) = parse("CREATE TABLE t(v VARCHAR(10))") else { panic!() };
+        let TypeName::Simple { name, params } = &ct.columns[0].type_name else { panic!() };
+        assert_eq!(name, "VARCHAR");
+        assert_eq!(params, &vec![10]);
+    }
+
+    #[test]
+    fn table_constraints_skipped() {
+        let stmt = parse("CREATE TABLE t(a INT, b INT, PRIMARY KEY (a, b), UNIQUE (b))");
+        let Stmt::CreateTable(ct) = stmt else { panic!() };
+        assert_eq!(ct.columns.len(), 2);
+    }
+
+    #[test]
+    fn alter_schema_rename() {
+        // Paper Listing 12: the DuckDB crash trigger.
+        let Stmt::AlterSchema { name, rename_to } =
+            parse("ALTER SCHEMA a RENAME TO b")
+        else {
+            panic!()
+        };
+        assert_eq!(name, "a");
+        assert_eq!(rename_to, "b");
+    }
+
+    #[test]
+    fn transactions() {
+        assert_eq!(parse("BEGIN"), Stmt::Begin);
+        assert_eq!(parse("BEGIN TRANSACTION"), Stmt::Begin);
+        assert_eq!(parse("COMMIT"), Stmt::Commit);
+        assert_eq!(parse("ROLLBACK"), Stmt::Rollback);
+        assert!(parse_d("START TRANSACTION", TextDialect::Postgres).is_ok());
+        assert!(parse_d("START TRANSACTION", TextDialect::Sqlite).is_err());
+    }
+
+    #[test]
+    fn explain() {
+        let Stmt::Explain { inner, analyze } = parse("EXPLAIN SELECT k FROM integers WHERE j=5")
+        else {
+            panic!()
+        };
+        assert!(!analyze);
+        assert!(matches!(*inner, Stmt::Select(_)));
+    }
+
+    #[test]
+    fn with_recursive_cte() {
+        // Paper Listing 15 shape.
+        let sql = "WITH RECURSIVE x(n) AS (SELECT 1 UNION ALL SELECT n+1 FROM x WHERE n IN (SELECT * FROM x)) SELECT * FROM x";
+        let Stmt::Select(q) = parse(sql) else { panic!() };
+        let with = q.with.unwrap();
+        assert!(with.recursive);
+        assert_eq!(with.ctes[0].name, "x");
+        assert_eq!(with.ctes[0].columns, vec!["n"]);
+    }
+
+    #[test]
+    fn nested_set_ops_in_cte() {
+        // Paper Listing 14 shape (the MySQL crash).
+        let sql = "WITH RECURSIVE t(x) AS (SELECT 1 UNION ALL (SELECT x+1 FROM t WHERE x < 4 UNION SELECT x*2 FROM t WHERE x >= 4 AND x < 8)) SELECT * FROM t ORDER BY x";
+        let stmt = parse(sql);
+        assert!(matches!(stmt, Stmt::Select(_)));
+    }
+
+    #[test]
+    fn union_all_with_limit() {
+        // Paper Listing 9 shape.
+        let sql =
+            "SELECT 1 UNION ALL SELECT * FROM range(2, 100) UNION ALL SELECT 999 LIMIT 5";
+        let Stmt::Select(q) = parse(sql) else { panic!() };
+        assert!(q.limit.is_some());
+        assert!(matches!(q.body, SetExpr::SetOp { .. }));
+    }
+
+    #[test]
+    fn generate_series_table_function() {
+        // Paper Listing 16 shape.
+        let sql = "SELECT count(*) FROM generate_series(9223372036854775807,9223372036854775807)";
+        let Stmt::Select(q) = parse(sql) else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let TableRef::Function { name, args, .. } = &core.from[0] else { panic!() };
+        assert_eq!(name, "generate_series");
+        assert_eq!(args.len(), 2);
+        assert_eq!(args[0], Expr::integer(9223372036854775807));
+    }
+
+    #[test]
+    fn row_value_comparison() {
+        // Paper Listing 17: SELECT (null, 0) > (0, 0).
+        let Stmt::Select(q) = parse("SELECT (null, 0) > (0, 0)") else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let SelectItem::Expr { expr, .. } = &core.projection[0] else { panic!() };
+        let Expr::Binary { left, op: BinaryOp::Gt, right } = expr else { panic!() };
+        assert!(matches!(**left, Expr::Row(_)));
+        assert!(matches!(**right, Expr::Row(_)));
+    }
+
+    #[test]
+    fn array_literal_postgres() {
+        // Paper Listing 8: SELECT ARRAY[1,2,3,'4'].
+        let stmt = parse_d("SELECT ARRAY[1,2,3,'4']", TextDialect::Postgres).unwrap();
+        let Stmt::Select(q) = stmt else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let SelectItem::Expr { expr: Expr::Array(items), .. } = &core.projection[0] else {
+            panic!()
+        };
+        assert_eq!(items.len(), 4);
+    }
+
+    #[test]
+    fn struct_literal_duckdb_only() {
+        let sql = "SELECT {'k': 'key1', 'v': 1}";
+        assert!(parse_d(sql, TextDialect::Duckdb).is_ok());
+        assert!(parse_d(sql, TextDialect::Postgres).is_err());
+    }
+
+    #[test]
+    fn case_expressions() {
+        let stmt = parse("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t");
+        assert!(matches!(stmt, Stmt::Select(_)));
+        let stmt = parse("SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t");
+        assert!(matches!(stmt, Stmt::Select(_)));
+    }
+
+    #[test]
+    fn joins() {
+        let sql = "SELECT a, test.b, c FROM test INNER JOIN test2 ON test.b = 2 ORDER BY c";
+        let Stmt::Select(q) = parse(sql) else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let TableRef::Join { kind: JoinKind::Inner, on, .. } = &core.from[0] else { panic!() };
+        assert!(on.is_some());
+        assert_eq!(q.order_by.len(), 1);
+    }
+
+    #[test]
+    fn asof_join_duckdb_only() {
+        let sql = "SELECT * FROM a ASOF JOIN b ON a.t >= b.t";
+        assert!(parse_d(sql, TextDialect::Duckdb).is_ok());
+        assert!(parse_d(sql, TextDialect::Postgres).is_err());
+        assert!(parse_d(sql, TextDialect::Sqlite).is_err());
+    }
+
+    #[test]
+    fn implicit_join_from_list() {
+        let Stmt::Select(q) = parse("SELECT unit.total_profit FROM unit, unit2") else {
+            panic!()
+        };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        assert_eq!(core.from.len(), 2);
+    }
+
+    #[test]
+    fn aggregates() {
+        let Stmt::Select(q) = parse("SELECT count(*), sum(DISTINCT a) FROM t GROUP BY b HAVING count(*) > 1")
+        else {
+            panic!()
+        };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let SelectItem::Expr { expr: Expr::Function { name, star, .. }, .. } =
+            &core.projection[0]
+        else {
+            panic!()
+        };
+        assert_eq!(name, "count");
+        assert!(star);
+        let SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } =
+            &core.projection[1]
+        else {
+            panic!()
+        };
+        assert!(distinct);
+        assert_eq!(core.group_by.len(), 1);
+        assert!(core.having.is_some());
+    }
+
+    #[test]
+    fn in_between_like() {
+        assert!(matches!(parse("SELECT * FROM t WHERE a IN (1, 2, 3)"), Stmt::Select(_)));
+        assert!(matches!(
+            parse("SELECT * FROM t WHERE a NOT IN (SELECT b FROM s)"),
+            Stmt::Select(_)
+        ));
+        assert!(matches!(
+            parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b LIKE 'x%'"),
+            Stmt::Select(_)
+        ));
+        assert!(parse_d("SELECT * FROM t WHERE a ILIKE 'x%'", TextDialect::Postgres).is_ok());
+        assert!(parse_d("SELECT * FROM t WHERE a ILIKE 'x%'", TextDialect::Mysql).is_err());
+    }
+
+    #[test]
+    fn is_null_and_distinct_from() {
+        assert!(matches!(parse("SELECT * FROM t WHERE a IS NULL"), Stmt::Select(_)));
+        assert!(matches!(parse("SELECT * FROM t WHERE a IS NOT NULL"), Stmt::Select(_)));
+        assert!(matches!(
+            parse("SELECT * FROM t WHERE a IS DISTINCT FROM b"),
+            Stmt::Select(_)
+        ));
+    }
+
+    #[test]
+    fn values_standalone() {
+        let stmt = parse("VALUES (1, 'a'), (2, 'b')");
+        let Stmt::Select(q) = stmt else { panic!() };
+        assert!(matches!(q.body, SetExpr::Values(_)));
+    }
+
+    #[test]
+    fn copy_statement() {
+        let stmt = parse_d("COPY onek FROM '/path/onek.data'", TextDialect::Postgres).unwrap();
+        let Stmt::Copy { table, path, from } = stmt else { panic!() };
+        assert_eq!(table, "onek");
+        assert_eq!(path, "/path/onek.data");
+        assert!(from);
+        assert!(parse_d("COPY t FROM 'x'", TextDialect::Sqlite).is_err());
+    }
+
+    #[test]
+    fn create_function_listing7() {
+        let sql = "CREATE FUNCTION test_opclass_options_func(internal) RETURNS void AS 'regresslib', 'test_opclass_options_func' LANGUAGE C";
+        let stmt = parse_d(sql, TextDialect::Postgres).unwrap();
+        let Stmt::CreateFunction { name, language, library } = stmt else { panic!() };
+        assert_eq!(name, "test_opclass_options_func");
+        assert_eq!(language, "c");
+        assert_eq!(library.as_deref(), Some("regresslib"));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let Stmt::Select(q) = parse("SELECT 9223372036854775807, 3.14, 1e3") else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let exprs: Vec<&Expr> = core
+            .projection
+            .iter()
+            .map(|i| match i {
+                SelectItem::Expr { expr, .. } => expr,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(*exprs[0], Expr::integer(i64::MAX));
+        assert_eq!(*exprs[1], Expr::Literal(Literal::Float(3.14)));
+        assert_eq!(*exprs[2], Expr::Literal(Literal::Float(1000.0)));
+    }
+
+    #[test]
+    fn overflowing_integer_becomes_float() {
+        let Stmt::Select(q) = parse("SELECT 99999999999999999999999999") else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let SelectItem::Expr { expr: Expr::Literal(Literal::Float(_)), .. } =
+            &core.projection[0]
+        else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn parenthesised_query_statement() {
+        assert!(matches!(parse("(((((select 1)))))"), Stmt::Select(_)));
+    }
+
+    #[test]
+    fn limit_offset_forms() {
+        let Stmt::Select(q) = parse("SELECT * FROM t LIMIT 10 OFFSET 5") else { panic!() };
+        assert!(q.limit.is_some() && q.offset.is_some());
+        let Stmt::Select(q) = parse_d("SELECT * FROM t LIMIT 5, 10", TextDialect::Mysql).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(q.offset, Some(Expr::integer(5)));
+        assert_eq!(q.limit, Some(Expr::integer(10)));
+    }
+
+    #[test]
+    fn order_by_nulls() {
+        let Stmt::Select(q) =
+            parse("SELECT * FROM t ORDER BY a DESC NULLS FIRST, b NULLS LAST")
+        else {
+            panic!()
+        };
+        assert_eq!(q.order_by[0].nulls_first, Some(true));
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.order_by[1].nulls_first, Some(false));
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        assert!(parse_d("SELECT 1 1", TextDialect::Generic).is_err());
+        assert!(parse_d("SELECT 1; SELECT 2", TextDialect::Generic).is_err());
+    }
+
+    #[test]
+    fn parse_script_multiple() {
+        let stmts = parse_script(
+            "CREATE TABLE a (b int); BEGIN; INSERT INTO a VALUES (1); UPDATE a SET b = b + 10; COMMIT;",
+            TextDialect::Generic,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 5);
+        assert_eq!(stmts[1], Stmt::Begin);
+        assert_eq!(stmts[4], Stmt::Commit);
+    }
+
+    #[test]
+    fn misspelled_verb_fails() {
+        let err = parse_d("SELEC 1", TextDialect::Generic).unwrap_err();
+        assert!(err.message.contains("SELEC"), "message: {}", err.message);
+    }
+
+    #[test]
+    fn interval_literal() {
+        let Stmt::Select(q) = parse("SELECT interval '1-2'") else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let SelectItem::Expr { expr: Expr::Interval(v), .. } = &core.projection[0] else {
+            panic!()
+        };
+        assert_eq!(v, "1-2");
+    }
+
+    #[test]
+    fn quoted_identifiers_unquoted() {
+        let Stmt::Select(q) = parse(r#"SELECT "my col" FROM "my table""#) else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        let SelectItem::Expr { expr: Expr::Column { name, .. }, .. } = &core.projection[0]
+        else {
+            panic!()
+        };
+        assert_eq!(name, "my col");
+        let TableRef::Named { name, .. } = &core.from[0] else { panic!() };
+        assert_eq!(name, "my table");
+    }
+
+    #[test]
+    fn coalesce_examples_from_paper() {
+        assert!(matches!(parse("SELECT COALESCE(1, 1.0)"), Stmt::Select(_)));
+        assert!(matches!(parse("SELECT COALESCE(1, 1)"), Stmt::Select(_)));
+    }
+
+    #[test]
+    fn many_way_join_parses() {
+        // The MySQL hang trigger joins 40+ tables; ensure deep FROM lists parse.
+        let tables: Vec<String> = (0..45).map(|i| format!("t{i}")).collect();
+        let sql = format!("SELECT * FROM {}", tables.join(", "));
+        let Stmt::Select(q) = parse(&sql) else { panic!() };
+        let SetExpr::Select(core) = &q.body else { panic!() };
+        assert_eq!(core.from.len(), 45);
+    }
+}

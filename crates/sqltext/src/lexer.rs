@@ -1,0 +1,539 @@
+//! A tolerant, dialect-aware SQL lexer.
+//!
+//! The lexer never fails: any byte it cannot attribute to a richer token
+//! class becomes a one-character `Operator` token. This mirrors the paper's
+//! best-effort methodology — test corpora intentionally contain malformed
+//! SQL, and the analyses must survive it.
+
+use crate::dialect::TextDialect;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `input`, skipping comments.
+pub fn tokenize(input: &str, dialect: TextDialect) -> Vec<Token> {
+    Lexer::new(input, dialect)
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect()
+}
+
+/// Tokenize `input`, keeping comment tokens.
+pub fn tokenize_with_comments(input: &str, dialect: TextDialect) -> Vec<Token> {
+    Lexer::new(input, dialect).collect()
+}
+
+/// Streaming lexer over a SQL string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    dialect: TextDialect,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer positioned at the start of `text`.
+    pub fn new(text: &'a str, dialect: TextDialect) -> Self {
+        Lexer { src: text.as_bytes(), text, pos: 0, dialect }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn make(&self, kind: TokenKind, start: usize) -> Token {
+        Token { kind, text: self.text[start..self.pos].to_string(), start, end: self.pos }
+    }
+
+    /// Consume until end of line (line comments).
+    fn line_comment(&mut self, start: usize) -> Token {
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.make(TokenKind::Comment, start)
+    }
+
+    /// Consume a `/* ... */` block comment; PostgreSQL-style nesting is
+    /// honoured in all dialects since it is strictly more permissive.
+    fn block_comment(&mut self, start: usize) -> Token {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.src.len() {
+            if self.starts_with("/*") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.starts_with("*/") {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.make(TokenKind::Comment, start)
+    }
+
+    /// Consume a `'...'` string literal with `''` escapes; backslash escapes
+    /// are honoured for MySQL (and Generic), matching its default SQL mode.
+    fn string_literal(&mut self, start: usize) -> Token {
+        self.pos += 1; // opening quote
+        let backslash = matches!(self.dialect, TextDialect::Mysql | TextDialect::Generic);
+        while let Some(c) = self.peek() {
+            if backslash && c == b'\\' && self.pos + 1 < self.src.len() {
+                self.pos += 2;
+                continue;
+            }
+            if c == b'\'' {
+                if self.peek_at(1) == Some(b'\'') {
+                    self.pos += 2; // escaped quote
+                    continue;
+                }
+                self.pos += 1; // closing quote
+                break;
+            }
+            self.pos += 1;
+        }
+        self.make(TokenKind::StringLit, start)
+    }
+
+    /// Consume a quoted identifier delimited by `close`, with doubled-close
+    /// escaping (`"a""b"`).
+    fn quoted_ident(&mut self, close: u8, start: usize) -> Token {
+        self.pos += 1; // opening delimiter
+        while let Some(c) = self.peek() {
+            if c == close {
+                if self.peek_at(1) == Some(close) {
+                    self.pos += 2;
+                    continue;
+                }
+                self.pos += 1;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.make(TokenKind::QuotedIdent, start)
+    }
+
+    /// Attempt to consume a dollar-quoted string starting at `$`. Returns
+    /// `None` (without consuming) if the text at the cursor is not a valid
+    /// opening tag, in which case the caller treats `$` as a parameter or
+    /// operator.
+    fn dollar_quoted(&mut self, start: usize) -> Option<Token> {
+        // Opening tag: $tag$ where tag is empty or an identifier.
+        let rest = &self.text[self.pos + 1..];
+        let tag_len = rest
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            .count();
+        if rest.as_bytes().get(tag_len) != Some(&b'$') {
+            return None;
+        }
+        let tag = &self.text[self.pos..self.pos + tag_len + 2]; // "$tag$"
+        self.pos += tag.len();
+        // Scan for the closing tag; unterminated strings run to EOF.
+        match self.text[self.pos..].find(tag) {
+            Some(off) => self.pos += off + tag.len(),
+            None => self.pos = self.src.len(),
+        }
+        Some(self.make(TokenKind::StringLit, start))
+    }
+
+    fn number(&mut self, start: usize) -> Token {
+        if self.starts_with("0x") || self.starts_with("0X") {
+            self.pos += 2;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            return self.make(TokenKind::NumberLit, start);
+        }
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !seen_dot && !seen_exp => {
+                    seen_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !seen_exp => {
+                    // Exponent only if followed by digit or sign+digit.
+                    let next = self.peek_at(1);
+                    let next2 = self.peek_at(2);
+                    let valid = match next {
+                        Some(b'0'..=b'9') => true,
+                        Some(b'+') | Some(b'-') => matches!(next2, Some(b'0'..=b'9')),
+                        _ => false,
+                    };
+                    if !valid {
+                        break;
+                    }
+                    seen_exp = true;
+                    self.pos += 2; // 'e' and sign-or-digit
+                }
+                _ => break,
+            }
+        }
+        self.make(TokenKind::NumberLit, start)
+    }
+
+    fn word(&mut self, start: usize) -> Token {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: E'..', B'..', X'..', N'..'.
+        let word = &self.text[start..self.pos];
+        if word.len() == 1
+            && matches!(word.as_bytes()[0].to_ascii_uppercase(), b'E' | b'B' | b'X' | b'N')
+            && self.peek() == Some(b'\'')
+        {
+            let t = self.string_literal(start);
+            return Token { kind: TokenKind::StringLit, ..t };
+        }
+        self.make(TokenKind::Word, start)
+    }
+
+    fn param(&mut self, start: usize) -> Token {
+        self.pos += 1; // sigil
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.make(TokenKind::Param, start)
+    }
+
+    fn operator(&mut self, start: usize) -> Token {
+        // Longest-match against the known multi-character operators of the
+        // four dialects, then fall back to a single character.
+        const MULTI: [&str; 22] = [
+            "->>", "<=>", "!==", "::", "||", "->", "<=", ">=", "<>", "!=", "==", "<<", ">>",
+            "|/", "||/", "!~*", "!~", "~*", "@>", "<@", "#>", "&&",
+        ];
+        for op in MULTI {
+            if self.starts_with(op) {
+                // Only treat "::" as one token if the dialect has the cast op;
+                // otherwise leave ":" handling to param/punct logic upstream.
+                if op == "::" && !self.dialect.double_colon_cast() {
+                    continue;
+                }
+                self.pos += op.len();
+                return self.make(TokenKind::Operator, start);
+            }
+        }
+        self.pos += 1;
+        self.make(TokenKind::Operator, start)
+    }
+}
+
+impl<'a> Iterator for Lexer<'a> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        self.skip_whitespace();
+        let start = self.pos;
+        let c = self.peek()?;
+
+        // Comments.
+        if self.starts_with("--") {
+            return Some(self.line_comment(start));
+        }
+        if c == b'#' && self.dialect.hash_comments() {
+            return Some(self.line_comment(start));
+        }
+        if self.starts_with("/*") {
+            return Some(self.block_comment(start));
+        }
+
+        // Strings and quoted identifiers.
+        if c == b'\'' {
+            return Some(self.string_literal(start));
+        }
+        if c == b'"' {
+            return Some(self.quoted_ident(b'"', start));
+        }
+        if c == b'`' && self.dialect.backtick_identifiers() {
+            return Some(self.quoted_ident(b'`', start));
+        }
+        if c == b'[' && self.dialect.bracket_identifiers() {
+            return Some(self.quoted_ident(b']', start));
+        }
+        if c == b'$' {
+            if self.dialect.dollar_quoting() {
+                if let Some(tok) = self.dollar_quoted(start) {
+                    return Some(tok);
+                }
+            }
+            if matches!(self.peek_at(1), Some(b'0'..=b'9')) {
+                return Some(self.param(start)); // $1 positional parameter
+            }
+            self.pos += 1;
+            return Some(self.make(TokenKind::Operator, start));
+        }
+
+        // Numbers (including ".5" style).
+        if c.is_ascii_digit()
+            || (c == b'.' && matches!(self.peek_at(1), Some(b'0'..=b'9')))
+        {
+            return Some(self.number(start));
+        }
+
+        // Words.
+        if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 {
+            if c >= 0x80 {
+                // Treat any non-ASCII sequence as part of a word.
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_whitespace()
+                        || (b.is_ascii_punctuation() && b != b'_')
+                            && !(b >= 0x80)
+                    {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                return Some(self.make(TokenKind::Word, start));
+            }
+            return Some(self.word(start));
+        }
+
+        // Parameters.
+        if c == b'?' {
+            return Some(self.param(start));
+        }
+        if c == b':' && !self.starts_with("::") {
+            if matches!(self.peek_at(1), Some(b) if b.is_ascii_alphabetic() || b == b'_') {
+                return Some(self.param(start)); // :name
+            }
+            self.pos += 1;
+            return Some(self.make(TokenKind::Punct, start));
+        }
+        if c == b'@' && self.dialect.at_variables() {
+            if self.peek_at(1) == Some(b'@') {
+                self.pos += 1; // @@system_var: consume one '@', param eats rest
+            }
+            return Some(self.param(start));
+        }
+
+        // Punctuation.
+        if matches!(c, b'(' | b')' | b',' | b';' | b'.' | b'{' | b'}' | b'[' | b']') {
+            self.pos += 1;
+            return Some(self.make(TokenKind::Punct, start));
+        }
+
+        Some(self.operator(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str, d: TextDialect) -> Vec<(TokenKind, String)> {
+        tokenize(sql, d).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn simple_select() {
+        let toks = kinds("SELECT a, b FROM t1 WHERE c > a;", TextDialect::Generic);
+        let words: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            words,
+            ["SELECT", "a", ",", "b", "FROM", "t1", "WHERE", "c", ">", "a", ";"]
+        );
+    }
+
+    #[test]
+    fn string_with_doubled_quote() {
+        let toks = kinds("SELECT 'it''s'", TextDialect::Postgres);
+        assert_eq!(toks[1], (TokenKind::StringLit, "'it''s'".to_string()));
+    }
+
+    #[test]
+    fn mysql_backslash_escape() {
+        let toks = kinds(r"SELECT 'a\'b'", TextDialect::Mysql);
+        assert_eq!(toks[1], (TokenKind::StringLit, r"'a\'b'".to_string()));
+    }
+
+    #[test]
+    fn postgres_no_backslash_escape() {
+        // In Postgres, the backslash is literal; string ends at the next quote.
+        let toks = kinds(r"SELECT 'a\'", TextDialect::Postgres);
+        assert_eq!(toks[1], (TokenKind::StringLit, r"'a\'".to_string()));
+    }
+
+    #[test]
+    fn dollar_quoted_string() {
+        let toks = kinds("SELECT $$he'llo$$", TextDialect::Postgres);
+        assert_eq!(toks[1], (TokenKind::StringLit, "$$he'llo$$".to_string()));
+    }
+
+    #[test]
+    fn dollar_quoted_with_tag() {
+        let toks = kinds("SELECT $fn$body $$ here$fn$", TextDialect::Postgres);
+        assert_eq!(toks[1].1, "$fn$body $$ here$fn$");
+    }
+
+    #[test]
+    fn dollar_positional_param() {
+        let toks = kinds("SELECT $1", TextDialect::Postgres);
+        assert_eq!(toks[1], (TokenKind::Param, "$1".to_string()));
+    }
+
+    #[test]
+    fn line_comments() {
+        let toks = kinds("SELECT 1 -- trailing\n, 2", TextDialect::Generic);
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["SELECT", "1", ",", "2"]);
+    }
+
+    #[test]
+    fn hash_comment_mysql_only() {
+        let my = kinds("SELECT 1 # c\n+2", TextDialect::Mysql);
+        assert_eq!(my.len(), 4); // SELECT 1 + 2
+        let pg = kinds("1 # 2", TextDialect::Postgres);
+        // '#' is an operator in PostgreSQL (bitwise xor).
+        assert_eq!(pg[1], (TokenKind::Operator, "#".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("SELECT /* a /* b */ c */ 1", TextDialect::Postgres);
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["SELECT", "1"]);
+    }
+
+    #[test]
+    fn comments_retained_when_requested() {
+        let toks = tokenize_with_comments("SELECT 1 -- hi", TextDialect::Generic);
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Comment);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            kinds(r#""Sel ect""#, TextDialect::Postgres)[0],
+            (TokenKind::QuotedIdent, r#""Sel ect""#.to_string())
+        );
+        assert_eq!(
+            kinds("`weird col`", TextDialect::Mysql)[0],
+            (TokenKind::QuotedIdent, "`weird col`".to_string())
+        );
+        assert_eq!(
+            kinds("[weird col]", TextDialect::Sqlite)[0],
+            (TokenKind::QuotedIdent, "[weird col]".to_string())
+        );
+    }
+
+    #[test]
+    fn bracket_is_punct_in_postgres() {
+        let toks = kinds("a[1]", TextDialect::Postgres);
+        assert_eq!(toks[1], (TokenKind::Punct, "[".to_string()));
+    }
+
+    #[test]
+    fn numbers() {
+        for (src, expect) in [
+            ("42", "42"),
+            ("3.14", "3.14"),
+            ("1e10", "1e10"),
+            ("1.5e-3", "1.5e-3"),
+            (".5", ".5"),
+            ("0xFF", "0xFF"),
+        ] {
+            let toks = kinds(src, TextDialect::Generic);
+            assert_eq!(toks[0], (TokenKind::NumberLit, expect.to_string()), "src={src}");
+        }
+    }
+
+    #[test]
+    fn number_then_word_boundary() {
+        // "1e" without exponent digits: number "1", word "e".
+        let toks = kinds("1e", TextDialect::Generic);
+        assert_eq!(toks[0], (TokenKind::NumberLit, "1".to_string()));
+        assert_eq!(toks[1], (TokenKind::Word, "e".to_string()));
+    }
+
+    #[test]
+    fn multichar_operators() {
+        let toks = kinds("a::int || b <> c", TextDialect::Postgres);
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Operator)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, ["::", "||", "<>"]);
+    }
+
+    #[test]
+    fn double_colon_split_in_mysql() {
+        let toks = kinds("a::b", TextDialect::Mysql);
+        // MySQL has no '::' cast operator: the first colon lexes alone and
+        // the tolerant lexer reads ':b' as a host parameter.
+        assert_eq!(toks[1], (TokenKind::Operator, ":".to_string()));
+        assert_eq!(toks[2], (TokenKind::Param, ":b".to_string()));
+    }
+
+    #[test]
+    fn params() {
+        assert_eq!(kinds("?", TextDialect::Sqlite)[0].0, TokenKind::Param);
+        assert_eq!(kinds("?3", TextDialect::Sqlite)[0].1, "?3");
+        assert_eq!(kinds(":name", TextDialect::Generic)[0].1, ":name");
+        assert_eq!(kinds("@uservar", TextDialect::Mysql)[0].1, "@uservar");
+        assert_eq!(kinds("@@global_var", TextDialect::Mysql)[0].1, "@@global_var");
+    }
+
+    #[test]
+    fn string_prefixes() {
+        for src in ["E'a\\n'", "X'DEAD'", "B'0101'", "N'text'"] {
+            let toks = kinds(src, TextDialect::Generic);
+            assert_eq!(toks[0].0, TokenKind::StringLit, "src={src}");
+        }
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof() {
+        let toks = kinds("SELECT 'oops", TextDialect::Generic);
+        assert_eq!(toks[1], (TokenKind::StringLit, "'oops".to_string()));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for garbage in ["\\\\ %%% ^&* ~~~", "'", "\"", "$tag$", "/*", "SELEC \u{1F600}"] {
+            let _ = tokenize(garbage, TextDialect::Generic);
+        }
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let src = "SELECT a + 1 FROM t";
+        for t in tokenize(src, TextDialect::Generic) {
+            assert_eq!(&src[t.start..t.end], t.text);
+        }
+    }
+}

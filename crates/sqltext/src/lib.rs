@@ -1,0 +1,42 @@
+//! Dialect-aware SQL *text* analysis: lexing, statement splitting, and
+//! best-effort statement classification.
+//!
+//! This crate plays the role that the Python `sqlparse` library plays in the
+//! SQuaLity paper (§2, "Analyzing the test cases"): it extracts individual
+//! SQL statements from test files and identifies the type of each statement
+//! without committing to any single SQL dialect's grammar. It additionally
+//! implements the paper's RQ2 metrics: SQL-standard compliance of a
+//! statement (Table 3), WHERE-predicate token counts (Figure 3), and join
+//! usage.
+//!
+//! The full recursive-descent parser that produces an executable AST lives
+//! in `squality-sqlast`; this crate is deliberately tolerant and never fails
+//! on malformed input (the paper notes test suites intentionally contain
+//! invalid statements such as `SELEC` to exercise DBMS parsers).
+//!
+//! # Example
+//!
+//! ```
+//! use squality_sqltext::{classify, StatementType, TextDialect};
+//!
+//! let ty = classify("SELECT a, b FROM t1 WHERE c > a;", TextDialect::Generic);
+//! assert_eq!(ty, StatementType::Select);
+//! ```
+
+pub mod classify;
+pub mod dialect;
+pub mod lexer;
+pub mod predicates;
+pub mod splitter;
+pub mod standard;
+pub mod token;
+
+pub use classify::{classify, StatementType};
+pub use dialect::TextDialect;
+pub use lexer::{tokenize, Lexer};
+pub use predicates::{
+    join_usage, where_token_bucket, where_token_count, JoinUsage, PredicateBucket,
+};
+pub use splitter::{split_statements, Statement};
+pub use standard::{is_standard_compliant, ComplianceOptions};
+pub use token::{Token, TokenKind};

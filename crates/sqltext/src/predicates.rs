@@ -1,0 +1,301 @@
+//! SELECT-complexity metrics: WHERE-predicate token counts (paper Figure 3)
+//! and join usage (§4 "SELECT query complexity").
+
+use crate::dialect::TextDialect;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Paper Figure 3 buckets for the number of tokens in a WHERE predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredicateBucket {
+    /// No WHERE clause at all (79.9% of queries in the paper).
+    Zero,
+    /// 1–2 tokens.
+    OneToTwo,
+    /// 3–10 tokens.
+    ThreeToTen,
+    /// 11–100 tokens.
+    ElevenToHundred,
+    /// More than 100 tokens (1.6% of SLT queries).
+    OverHundred,
+}
+
+impl PredicateBucket {
+    /// Bucket a raw token count.
+    pub fn from_count(n: usize) -> PredicateBucket {
+        match n {
+            0 => PredicateBucket::Zero,
+            1..=2 => PredicateBucket::OneToTwo,
+            3..=10 => PredicateBucket::ThreeToTen,
+            11..=100 => PredicateBucket::ElevenToHundred,
+            _ => PredicateBucket::OverHundred,
+        }
+    }
+
+    /// Figure 3 axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredicateBucket::Zero => "0",
+            PredicateBucket::OneToTwo => "1-2",
+            PredicateBucket::ThreeToTen => "3-10",
+            PredicateBucket::ElevenToHundred => "11-100",
+            PredicateBucket::OverHundred => "100+",
+        }
+    }
+
+    /// All buckets in display order.
+    pub const ALL: [PredicateBucket; 5] = [
+        PredicateBucket::Zero,
+        PredicateBucket::OneToTwo,
+        PredicateBucket::ThreeToTen,
+        PredicateBucket::ElevenToHundred,
+        PredicateBucket::OverHundred,
+    ];
+}
+
+/// Join usage of a query (paper reports 5.1% implicit, 1.1% INNER JOIN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinUsage {
+    /// Comma-separated FROM list with more than one relation.
+    pub implicit: bool,
+    /// Any explicit `JOIN` keyword.
+    pub explicit: bool,
+    /// Specifically `INNER JOIN` (or bare `JOIN`).
+    pub inner: bool,
+    /// `LEFT`/`RIGHT`/`FULL` outer joins.
+    pub outer: bool,
+    /// `CROSS JOIN`.
+    pub cross: bool,
+}
+
+impl JoinUsage {
+    /// Does the query join at all, implicitly or explicitly?
+    pub fn any(self) -> bool {
+        self.implicit || self.explicit
+    }
+}
+
+/// Count the tokens of the top-level WHERE predicate of a SELECT statement.
+///
+/// Returns 0 when there is no WHERE clause. Tokens are counted until a
+/// top-level clause keyword (GROUP, ORDER, HAVING, LIMIT, OFFSET, WINDOW,
+/// UNION, INTERSECT, EXCEPT, FETCH) or the end of the statement; parenthesised
+/// subexpressions count all their tokens, matching the paper's token metric.
+pub fn where_token_count(sql: &str, dialect: TextDialect) -> usize {
+    let tokens = tokenize(sql, dialect);
+    let mut depth = 0i32;
+    let mut counting = false;
+    let mut count = 0usize;
+    for tok in &tokens {
+        match tok.kind {
+            TokenKind::Punct if tok.text == "(" => depth += 1,
+            TokenKind::Punct if tok.text == ")" => depth -= 1,
+            _ => {}
+        }
+        if counting {
+            if depth == 0 && tok.kind == TokenKind::Word && is_clause_end(&tok.upper()) {
+                counting = false;
+                continue;
+            }
+            if depth == 0 && tok.is_symbol(";") {
+                break;
+            }
+            count += 1;
+            continue;
+        }
+        if depth == 0 && tok.is_keyword("WHERE") {
+            counting = true;
+        }
+    }
+    count
+}
+
+fn is_clause_end(upper: &str) -> bool {
+    matches!(
+        upper,
+        "GROUP" | "ORDER" | "HAVING" | "LIMIT" | "OFFSET" | "WINDOW" | "UNION" | "INTERSECT"
+            | "EXCEPT" | "FETCH" | "RETURNING" | "QUALIFY"
+    )
+}
+
+/// Bucket the WHERE-token count of a statement, per Figure 3.
+pub fn where_token_bucket(sql: &str, dialect: TextDialect) -> PredicateBucket {
+    PredicateBucket::from_count(where_token_count(sql, dialect))
+}
+
+/// Detect implicit and explicit joins in a SELECT statement.
+pub fn join_usage(sql: &str, dialect: TextDialect) -> JoinUsage {
+    let tokens = tokenize(sql, dialect);
+    let mut usage = JoinUsage::default();
+    let mut depth = 0i32;
+    // State while scanning a top-level FROM list.
+    let mut in_from = false;
+    let mut from_items = 0usize;
+    let mut saw_item = false;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokenKind::Punct if tok.text == "(" => depth += 1,
+            TokenKind::Punct if tok.text == ")" => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && tok.kind == TokenKind::Word {
+            let upper = tok.upper();
+            match upper.as_str() {
+                "FROM" => {
+                    in_from = true;
+                    from_items = 0;
+                    saw_item = false;
+                }
+                "JOIN" => {
+                    usage.explicit = true;
+                    // Bare JOIN is an inner join unless the previous join
+                    // keyword said otherwise.
+                    let prev = prev_word(&tokens, i);
+                    match prev.as_deref() {
+                        Some("LEFT") | Some("RIGHT") | Some("FULL") | Some("OUTER") => {
+                            usage.outer = true
+                        }
+                        Some("CROSS") => usage.cross = true,
+                        Some("ASOF") => {} // DuckDB ASOF JOIN: explicit only
+                        _ => usage.inner = true,
+                    }
+                }
+                "WHERE" | "GROUP" | "ORDER" | "HAVING" | "LIMIT" | "UNION" | "INTERSECT"
+                | "EXCEPT" | "WINDOW" => {
+                    if in_from && saw_item {
+                        from_items += 1;
+                    }
+                    in_from = false;
+                }
+                _ => {
+                    if in_from {
+                        saw_item = true;
+                    }
+                }
+            }
+        }
+        if in_from && depth == 0 && tok.is_symbol(",") {
+            if saw_item {
+                from_items += 1;
+                saw_item = false;
+            }
+        }
+        i += 1;
+    }
+    if in_from && saw_item {
+        from_items += 1;
+    }
+    if from_items > 1 {
+        usage.implicit = true;
+    }
+    usage
+}
+
+fn prev_word(tokens: &[Token], i: usize) -> Option<String> {
+    tokens[..i]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokenKind::Word)
+        .map(|t| t.upper())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: TextDialect = TextDialect::Generic;
+
+    #[test]
+    fn no_where_clause_is_zero() {
+        assert_eq!(where_token_count("SELECT interval '1-2'", D), 0);
+        assert_eq!(where_token_bucket("SELECT 1", D), PredicateBucket::Zero);
+    }
+
+    #[test]
+    fn paper_example_three_tokens() {
+        // "SELECT a, b FROM t1 WHERE c > a" — 3 tokens per the paper.
+        assert_eq!(where_token_count("SELECT a, b FROM t1 WHERE c > a", D), 3);
+        assert_eq!(
+            where_token_bucket("SELECT a, b FROM t1 WHERE c > a", D),
+            PredicateBucket::ThreeToTen
+        );
+    }
+
+    #[test]
+    fn where_stops_at_order_by() {
+        assert_eq!(
+            where_token_count("SELECT * FROM t WHERE a = 1 ORDER BY b LIMIT 3", D),
+            3
+        );
+    }
+
+    #[test]
+    fn nested_where_in_subquery_not_counted_as_top_level() {
+        // Outer query has no WHERE; the subquery's WHERE is inside parens.
+        let sql = "SELECT * FROM (SELECT * FROM t WHERE a = 1) s";
+        assert_eq!(where_token_count(sql, D), 0);
+    }
+
+    #[test]
+    fn subquery_inside_where_counts_fully() {
+        let sql = "SELECT * FROM x WHERE n IN (SELECT * FROM x)";
+        // n IN ( SELECT * FROM x ) = 8 tokens
+        assert_eq!(where_token_count(sql, D), 8);
+    }
+
+    #[test]
+    fn buckets() {
+        assert_eq!(PredicateBucket::from_count(0), PredicateBucket::Zero);
+        assert_eq!(PredicateBucket::from_count(2), PredicateBucket::OneToTwo);
+        assert_eq!(PredicateBucket::from_count(10), PredicateBucket::ThreeToTen);
+        assert_eq!(PredicateBucket::from_count(100), PredicateBucket::ElevenToHundred);
+        assert_eq!(PredicateBucket::from_count(101), PredicateBucket::OverHundred);
+    }
+
+    #[test]
+    fn implicit_join_detection() {
+        let u = join_usage("SELECT unit.total_profit FROM unit, unit2", D);
+        assert!(u.implicit);
+        assert!(!u.explicit);
+        assert!(u.any());
+    }
+
+    #[test]
+    fn inner_join_detection() {
+        let u = join_usage(
+            "SELECT a, test.b, c FROM test INNER JOIN test2 ON test.b = 2 ORDER BY c",
+            D,
+        );
+        assert!(u.explicit);
+        assert!(u.inner);
+        assert!(!u.implicit);
+    }
+
+    #[test]
+    fn outer_join_detection() {
+        assert!(join_usage("SELECT * FROM a LEFT JOIN b ON a.x=b.x", D).outer);
+        assert!(join_usage("SELECT * FROM a RIGHT OUTER JOIN b ON a.x=b.x", D).outer);
+        assert!(join_usage("SELECT * FROM a CROSS JOIN b", D).cross);
+    }
+
+    #[test]
+    fn single_table_no_join() {
+        let u = join_usage("SELECT * FROM t WHERE a = 1", D);
+        assert!(!u.any());
+    }
+
+    #[test]
+    fn comma_in_select_list_is_not_implicit_join() {
+        let u = join_usage("SELECT a, b, c FROM t", D);
+        assert!(!u.implicit);
+    }
+
+    #[test]
+    fn comma_in_function_args_inside_from_not_counted() {
+        let u = join_usage("SELECT * FROM generate_series(1, 10)", D);
+        assert!(!u.implicit);
+    }
+}

@@ -1,0 +1,128 @@
+//! Splitting SQL scripts into individual statements.
+//!
+//! PostgreSQL regression tests and MySQL test files are whole scripts; the
+//! paper's methodology (§2) first isolates each SQL statement before
+//! classification. Splitting honours strings, comments, and dollar quoting,
+//! so a `;` inside a `CREATE FUNCTION ... $$ ... $$` body does not split.
+
+use crate::dialect::TextDialect;
+use crate::lexer::Lexer;
+use crate::token::TokenKind;
+
+/// One statement extracted from a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// Statement text without the trailing semicolon, trimmed.
+    pub text: String,
+    /// Byte offset of the statement start in the original script.
+    pub offset: usize,
+    /// 1-based line number of the statement start.
+    pub line: usize,
+}
+
+/// Split `script` into statements at top-level semicolons.
+///
+/// Comment-only segments are dropped; a trailing statement without a
+/// semicolon is kept. Line numbers refer to the first non-whitespace
+/// character of each statement.
+pub fn split_statements(script: &str, dialect: TextDialect) -> Vec<Statement> {
+    let mut out = Vec::new();
+    let mut seg_start = 0usize;
+    let mut last_end = 0usize;
+
+    let push = |start: usize, end: usize, out: &mut Vec<Statement>| {
+        let raw = &script[start..end];
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        // Drop segments that contain only comments.
+        let has_code = Lexer::new(raw, dialect).any(|t| t.kind != TokenKind::Comment);
+        if !has_code {
+            return;
+        }
+        let lead = raw.len() - raw.trim_start().len();
+        let offset = start + lead;
+        let line = script[..offset].bytes().filter(|b| *b == b'\n').count() + 1;
+        out.push(Statement { text: trimmed.to_string(), offset, line });
+    };
+
+    for tok in Lexer::new(script, dialect) {
+        last_end = tok.end;
+        if tok.kind == TokenKind::Punct && tok.text == ";" {
+            push(seg_start, tok.start, &mut out);
+            seg_start = tok.end;
+        }
+    }
+    push(seg_start, last_end.max(script.len()), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_simple_script() {
+        let stmts = split_statements("SELECT 1; SELECT 2;", TextDialect::Generic);
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].text, "SELECT 1");
+        assert_eq!(stmts[1].text, "SELECT 2");
+    }
+
+    #[test]
+    fn keeps_trailing_statement_without_semicolon() {
+        let stmts = split_statements("SELECT 1; SELECT 2", TextDialect::Generic);
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[1].text, "SELECT 2");
+    }
+
+    #[test]
+    fn semicolon_in_string_does_not_split() {
+        let stmts = split_statements("SELECT 'a;b'; SELECT 2;", TextDialect::Generic);
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].text, "SELECT 'a;b'");
+    }
+
+    #[test]
+    fn semicolon_in_dollar_quote_does_not_split() {
+        let script = "CREATE FUNCTION f() RETURNS int AS $$ SELECT 1; $$ LANGUAGE sql; SELECT 2;";
+        let stmts = split_statements(script, TextDialect::Postgres);
+        assert_eq!(stmts.len(), 2);
+        assert!(stmts[0].text.starts_with("CREATE FUNCTION"));
+    }
+
+    #[test]
+    fn comment_only_segments_dropped() {
+        let stmts = split_statements("-- a comment\n;\nSELECT 1;", TextDialect::Generic);
+        assert_eq!(stmts.len(), 1);
+        assert_eq!(stmts[0].text, "SELECT 1");
+    }
+
+    #[test]
+    fn semicolon_in_comment_does_not_split() {
+        let stmts = split_statements("SELECT 1 -- not; here\n+ 2;", TextDialect::Generic);
+        assert_eq!(stmts.len(), 1);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let stmts = split_statements("SELECT 1;\n\nSELECT 2;", TextDialect::Generic);
+        assert_eq!(stmts[0].line, 1);
+        assert_eq!(stmts[1].line, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_statements("", TextDialect::Generic).is_empty());
+        assert!(split_statements("   \n\t ", TextDialect::Generic).is_empty());
+        assert!(split_statements(";;;", TextDialect::Generic).is_empty());
+    }
+
+    #[test]
+    fn statement_text_keeps_internal_comments() {
+        let stmts =
+            split_statements("SELECT /* keep */ 1;", TextDialect::Generic);
+        assert_eq!(stmts[0].text, "SELECT /* keep */ 1");
+    }
+}

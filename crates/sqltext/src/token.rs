@@ -1,0 +1,84 @@
+//! Token types produced by the lexer.
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Bare word: keyword, identifier, or function name. SQL keywords are not
+    /// distinguished lexically; classification happens later.
+    Word,
+    /// Quoted identifier: `"x"`, `` `x` ``, or `[x]`.
+    QuotedIdent,
+    /// String literal `'...'` (including `E'...'`, `B'...'`, `X'...'` forms)
+    /// or a dollar-quoted string.
+    StringLit,
+    /// Numeric literal: integer, decimal, scientific, or hex.
+    NumberLit,
+    /// Operator such as `+`, `-`, `=`, `<>`, `::`, `||`, `->>`.
+    Operator,
+    /// Punctuation: `(`, `)`, `,`, `;`, `.`.
+    Punct,
+    /// Bind parameter: `?`, `?1`, `$1`, `:name`, `@var`.
+    Param,
+    /// Line (`--`, `#`) or block (`/* */`) comment, with delimiters.
+    Comment,
+}
+
+/// A single lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// Byte offset of the first character in the input.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Token {
+    /// True if this token is a bare word equal to `kw`, ASCII
+    /// case-insensitively. Quoted identifiers never match keywords.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        self.kind == TokenKind::Word && self.text.eq_ignore_ascii_case(kw)
+    }
+
+    /// True if this token is the given punctuation or operator text.
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(self.kind, TokenKind::Operator | TokenKind::Punct) && self.text == sym
+    }
+
+    /// The token's text upper-cased, useful for keyword dispatch.
+    pub fn upper(&self) -> String {
+        self.text.to_ascii_uppercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(text: &str) -> Token {
+        Token { kind: TokenKind::Word, text: text.into(), start: 0, end: text.len() }
+    }
+
+    #[test]
+    fn keyword_match_is_case_insensitive() {
+        assert!(word("select").is_keyword("SELECT"));
+        assert!(word("SeLeCt").is_keyword("select"));
+        assert!(!word("selects").is_keyword("select"));
+    }
+
+    #[test]
+    fn quoted_ident_is_not_a_keyword() {
+        let t = Token { kind: TokenKind::QuotedIdent, text: "select".into(), start: 0, end: 8 };
+        assert!(!t.is_keyword("select"));
+    }
+
+    #[test]
+    fn symbol_match() {
+        let t = Token { kind: TokenKind::Operator, text: "::".into(), start: 0, end: 2 };
+        assert!(t.is_symbol("::"));
+        assert!(!t.is_symbol(":"));
+    }
+}

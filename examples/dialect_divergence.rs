@@ -1,0 +1,39 @@
+//! Run the paper's divergence listings on all four engine simulators and
+//! show how the same SQL produces different answers — the "Semantic"
+//! incompatibility class of Table 6.
+//!
+//! ```sh
+//! cargo run --example dialect_divergence
+//! ```
+
+use squality::engine::{render_value, ClientKind, Engine, EngineDialect};
+
+fn main() {
+    let probes: &[(&str, &str)] = &[
+        ("division (Listing 4 / Table 6)", "SELECT ALL 62 / ( + - 2 )"),
+        ("COALESCE typing (§6)", "SELECT COALESCE(1, 1.0)"),
+        ("row values with NULL (Listing 17)", "SELECT (null, 0) > (0, 0)"),
+        ("privilege check (Listing 18)", "select has_column_privilege(1,1,1)"),
+        ("string concat vs logical OR", "SELECT 'a' || 'b'"),
+        ("text + integer (Table 6 Operators)", "SELECT 'abc' + 1"),
+        ("type introspection", "SELECT pg_typeof(1)"),
+        ("array literal (Listing 8)", "SELECT ARRAY[1,2,3,'4']"),
+    ];
+
+    for (label, sql) in probes {
+        println!("{label}");
+        println!("  {sql}");
+        for dialect in EngineDialect::ALL {
+            let mut e = Engine::new(dialect);
+            let shown = match e.execute(sql) {
+                Ok(r) => match r.rows.first().and_then(|row| row.first()) {
+                    Some(v) => render_value(v, dialect, ClientKind::Cli),
+                    None => "(no rows)".to_string(),
+                },
+                Err(err) => format!("ERROR: {}", err.message),
+            };
+            println!("    {:<12} {}", dialect.name(), shown);
+        }
+        println!();
+    }
+}

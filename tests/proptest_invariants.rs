@@ -1,0 +1,216 @@
+//! Property-based tests over the core data structures and pipelines.
+
+use proptest::prelude::*;
+use squality::engine::{ClientKind, Engine, EngineDialect, Value};
+use squality::formats::{
+    parse_slt, result_hash, write_slt, QueryExpectation, RecordKind, SltFlavor, SortMode,
+    StatementExpect, SuiteKind, TestFile, TestRecord,
+};
+use squality::runner::{validate_query, NumericMode, Verdict};
+use squality::sqltext::{split_statements, tokenize, TextDialect};
+
+proptest! {
+    /// The lexer never panics and its spans always slice the input exactly.
+    #[test]
+    fn lexer_total_and_spans_valid(input in "\\PC{0,200}") {
+        for dialect in TextDialect::ALL {
+            for tok in tokenize(&input, dialect) {
+                prop_assert!(tok.start <= tok.end);
+                prop_assert!(tok.end <= input.len());
+                prop_assert_eq!(&input[tok.start..tok.end], tok.text.as_str());
+            }
+        }
+    }
+
+    /// Statement splitting never loses SQL words: every word of every piece
+    /// appears in the original script.
+    #[test]
+    fn splitter_preserves_content(
+        stmts in prop::collection::vec("[a-zA-Z][a-zA-Z0-9_ ]{0,30}", 1..6)
+    ) {
+        let script = stmts.join("; ");
+        let pieces = split_statements(&script, TextDialect::Generic);
+        for p in &pieces {
+            prop_assert!(script.contains(&p.text));
+        }
+        prop_assert!(pieces.len() <= stmts.len());
+    }
+
+    /// The best-effort classifier is total on arbitrary text.
+    #[test]
+    fn classifier_is_total(input in "\\PC{0,120}") {
+        let _ = squality::sqltext::classify(&input, TextDialect::Generic);
+    }
+
+    /// Value ordering is reflexive and antisymmetric under every NULL rule.
+    #[test]
+    fn value_total_cmp_is_consistent(a in value_strategy(), b in value_strategy()) {
+        for nulls_smallest in [true, false] {
+            let ab = a.total_cmp(&b, nulls_smallest);
+            let ba = b.total_cmp(&a, nulls_smallest);
+            prop_assert_eq!(ab, ba.reverse());
+            prop_assert_eq!(a.total_cmp(&a, nulls_smallest), std::cmp::Ordering::Equal);
+        }
+    }
+
+    /// rowsort validation is invariant under row permutation.
+    #[test]
+    fn rowsort_permutation_invariant(
+        mut rows in prop::collection::vec(
+            prop::collection::vec("[a-z0-9]{1,4}", 2..3), 1..6
+        )
+    ) {
+        let expected: Vec<String> = rows.iter().flatten().cloned().collect();
+        let exp = QueryExpectation::Values(expected);
+        let original = validate_query(&rows, &exp, SortMode::RowSort, NumericMode::Exact);
+        rows.reverse();
+        let permuted = validate_query(&rows, &exp, SortMode::RowSort, NumericMode::Exact);
+        prop_assert_eq!(
+            matches!(original, Verdict::Match),
+            matches!(permuted, Verdict::Match)
+        );
+    }
+
+    /// Hash expectations agree with full-value expectations.
+    #[test]
+    fn hash_threshold_equivalent_to_values(
+        values in prop::collection::vec("[a-z0-9]{1,6}", 1..20)
+    ) {
+        let rows: Vec<Vec<String>> = values.iter().map(|v| vec![v.clone()]).collect();
+        let full = validate_query(
+            &rows,
+            &QueryExpectation::Values(values.clone()),
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        let hashed = validate_query(
+            &rows,
+            &QueryExpectation::Hash { count: values.len(), hash: result_hash(&values) },
+            SortMode::NoSort,
+            NumericMode::Exact,
+        );
+        prop_assert_eq!(matches!(full, Verdict::Match), matches!(hashed, Verdict::Match));
+    }
+
+    /// SLT writer → parser round-trips statement and query SQL.
+    #[test]
+    fn slt_roundtrip_preserves_sql(
+        sqls in prop::collection::vec("SELECT [a-z0-9 ,]{1,20}", 1..8)
+    ) {
+        let file = TestFile {
+            name: "prop.test".into(),
+            suite: SuiteKind::Slt,
+            records: sqls
+                .iter()
+                .map(|s| TestRecord::new(RecordKind::Statement {
+                    sql: s.trim().to_string(),
+                    expect: StatementExpect::Ok,
+                }))
+                .collect(),
+        };
+        let text = write_slt(&file);
+        let back = parse_slt("prop.test", &text, SltFlavor::Classic);
+        prop_assert_eq!(back.records.len(), file.records.len());
+        for (a, b) in file.records.iter().zip(back.records.iter()) {
+            let (RecordKind::Statement { sql: s1, .. }, RecordKind::Statement { sql: s2, .. })
+                = (&a.kind, &b.kind) else {
+                return Err(TestCaseError::fail("kind changed"));
+            };
+            prop_assert_eq!(s1, s2);
+        }
+    }
+
+    /// Engine invariant: inserting N rows makes count(*) report N, on every
+    /// dialect, for arbitrary integer payloads.
+    #[test]
+    fn insert_count_invariant(values in prop::collection::vec(-1000i64..1000, 1..20)) {
+        for dialect in EngineDialect::ALL {
+            let mut e = Engine::new(dialect);
+            e.execute("CREATE TABLE t(a INTEGER)").unwrap();
+            for v in &values {
+                e.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+            }
+            let r = e.execute("SELECT count(*) FROM t").unwrap();
+            prop_assert_eq!(r.rows[0][0].clone(), Value::Integer(values.len() as i64));
+        }
+    }
+
+    /// Engine invariant: ORDER BY really sorts, whatever the NULL rule.
+    #[test]
+    fn order_by_sorts(values in prop::collection::vec(-100i64..100, 1..15)) {
+        for dialect in EngineDialect::ALL {
+            let mut e = Engine::new(dialect);
+            e.execute("CREATE TABLE t(a INTEGER)").unwrap();
+            for v in &values {
+                e.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+            }
+            let r = e.execute("SELECT a FROM t ORDER BY a").unwrap();
+            let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(got, sorted);
+        }
+    }
+
+    /// Rendered values never contain a newline — the SLT value-wise format
+    /// depends on one-value-per-line.
+    #[test]
+    fn rendering_is_single_line(v in value_strategy()) {
+        for dialect in EngineDialect::ALL {
+            for client in [ClientKind::Cli, ClientKind::Connector] {
+                let s = squality::engine::render_value(&v, dialect, client);
+                prop_assert!(!s.contains('\n'), "{s:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// All four format parsers are total: arbitrary text never panics and
+    /// produces a well-formed IR (the suites contain garbage on purpose).
+    #[test]
+    fn format_parsers_are_total(input in "\\PC{0,400}") {
+        let _ = parse_slt("f.test", &input, SltFlavor::Classic);
+        let _ = parse_slt("f.test", &input, SltFlavor::Duckdb);
+        let _ = squality::formats::parse_pg_sql_only("f.sql", &input);
+        let _ = squality::formats::parse_mysql_test_only("f.test", &input);
+    }
+
+    /// The SQL statement parser is total over arbitrary input in every
+    /// dialect: it may reject, never crash.
+    #[test]
+    fn sql_parser_is_total(input in "\\PC{0,200}") {
+        for d in TextDialect::ALL {
+            let _ = squality::sqlast::parse_statement(&input, d);
+        }
+    }
+
+    /// The engines are total over arbitrary statement text: any input maps
+    /// to Ok or a typed error (a panic would be a simulator crash *bug*,
+    /// not a simulated crash finding).
+    #[test]
+    fn engines_are_total_over_text(input in "\\PC{0,120}") {
+        for d in EngineDialect::ALL {
+            let mut e = Engine::new(d);
+            let _ = e.execute(&input);
+        }
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Integer),
+        (-1e12..1e12f64).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Boolean),
+        prop::collection::vec(any::<u8>(), 0..8).prop_map(Value::Blob),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            prop::collection::vec(("[a-z]{1,4}", inner), 0..3)
+                .prop_map(|fs| Value::Struct(fs)),
+        ]
+    })
+}
