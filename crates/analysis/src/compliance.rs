@@ -70,9 +70,9 @@ pub fn compliance(files: &[TestFile]) -> ComplianceReport {
 
 fn file_has_cli(file: &TestFile) -> bool {
     use squality_formats::{ControlCommand, RecordKind};
-    file.records.iter().any(|r| {
-        matches!(&r.kind, RecordKind::Control(ControlCommand::CliCommand(_)))
-    })
+    file.records
+        .iter()
+        .any(|r| matches!(&r.kind, RecordKind::Control(ControlCommand::CliCommand(_))))
 }
 
 #[cfg(test)]

@@ -23,7 +23,16 @@ pub fn loc_stats(files: &[TestFile]) -> LocStats {
     locs.sort_unstable();
     let n = locs.len();
     if n == 0 {
-        return LocStats { files: 0, min: 0, p25: 0, median: 0, p75: 0, max: 0, mean: 0.0, total: 0 };
+        return LocStats {
+            files: 0,
+            min: 0,
+            p25: 0,
+            median: 0,
+            p75: 0,
+            max: 0,
+            mean: 0.0,
+            total: 0,
+        };
     }
     let total: usize = locs.iter().sum();
     let q = |p: f64| locs[(((n - 1) as f64) * p).round() as usize];

@@ -108,11 +108,7 @@ SELECT count(*) FROM a INNER JOIN b ON a.x = b.x
 
     #[test]
     fn non_selects_ignored() {
-        let f = parse_slt(
-            "p",
-            "statement ok\nINSERT INTO t VALUES (1)\n",
-            SltFlavor::Classic,
-        );
+        let f = parse_slt("p", "statement ok\nINSERT INTO t VALUES (1)\n", SltFlavor::Classic);
         let r = predicate_distribution(&[f]);
         assert_eq!(r.selects, 0);
     }

@@ -101,7 +101,7 @@ pub fn all_sql(files: &[TestFile]) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use squality_formats::{parse_slt, SltFlavor, SuiteKind};
+    use squality_formats::{parse_slt, SltFlavor};
 
     fn sample() -> Vec<TestFile> {
         let slt = "\

@@ -9,25 +9,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use squality_engine::{ClientKind, EngineDialect, Value};
 use squality_formats::{parse_slt, result_hash, QueryExpectation, SltFlavor, SortMode};
-use squality_runner::{
-    validate_query, EngineConnector, NumericMode, Runner, RunnerOptions,
-};
+use squality_runner::{validate_query, EngineConnector, NumericMode, Runner, RunnerOptions};
 
 fn bench_numeric_modes(c: &mut Criterion) {
     // 500 float values, compared under both modes.
-    let actual: Vec<Vec<String>> =
-        (0..500).map(|i| vec![format!("{}.5", 4000 + i)]).collect();
-    let expected = QueryExpectation::Values(
-        (0..500).map(|i| format!("{}", 4000 + i)).collect(),
-    );
+    let actual: Vec<Vec<String>> = (0..500).map(|i| vec![format!("{}.5", 4000 + i)]).collect();
+    let expected = QueryExpectation::Values((0..500).map(|i| format!("{}", 4000 + i)).collect());
     let mut g = c.benchmark_group("ablation_numeric");
     g.bench_function("exact", |b| {
         b.iter(|| validate_query(&actual, &expected, SortMode::NoSort, NumericMode::Exact))
     });
     g.bench_function("tolerant_1pct", |b| {
-        b.iter(|| {
-            validate_query(&actual, &expected, SortMode::NoSort, NumericMode::Tolerant(0.01))
-        })
+        b.iter(|| validate_query(&actual, &expected, SortMode::NoSort, NumericMode::Tolerant(0.01)))
     });
     g.finish();
 }
@@ -69,10 +62,7 @@ fn bench_validation_granularity(c: &mut Criterion) {
     slt.push_str("statement ok\nCREATE TABLE t(a INTEGER)\n\n");
     for i in 0..100 {
         slt.push_str(&format!("statement ok\nINSERT INTO t VALUES ({i})\n\n"));
-        slt.push_str(&format!(
-            "query I nosort\nSELECT count(*) FROM t\n----\n{}\n\n",
-            i + 1
-        ));
+        slt.push_str(&format!("query I nosort\nSELECT count(*) FROM t\n----\n{}\n\n", i + 1));
     }
     let file = parse_slt("g.test", &slt, SltFlavor::Classic);
     let mut g = c.benchmark_group("ablation_granularity");
@@ -88,11 +78,8 @@ fn bench_validation_granularity(c: &mut Criterion) {
         b.iter(|| {
             // Whole-file: run, then reduce to a single pass/fail diff.
             let r = runner.run_file(&mut conn, &file);
-            let transcript: String = r
-                .results
-                .iter()
-                .map(|res| format!("{:?}\n", res.outcome.is_pass()))
-                .collect();
+            let transcript: String =
+                r.results.iter().map(|res| format!("{:?}\n", res.outcome.is_pass())).collect();
             transcript.contains("false")
         });
     });

@@ -15,9 +15,7 @@ fn bench_sqltext(c: &mut Criterion) {
     let mut g = c.benchmark_group("sqltext");
     g.bench_function("tokenize", |b| b.iter(|| tokenize(QUERY, TextDialect::Generic)));
     g.bench_function("classify", |b| b.iter(|| classify(QUERY, TextDialect::Generic)));
-    g.bench_function("where_tokens", |b| {
-        b.iter(|| where_token_count(QUERY, TextDialect::Generic))
-    });
+    g.bench_function("where_tokens", |b| b.iter(|| where_token_count(QUERY, TextDialect::Generic)));
     g.finish();
 }
 
@@ -47,9 +45,7 @@ fn bench_engine(c: &mut Criterion) {
             for i in 0..100 {
                 e.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
             }
-            b.iter(|| {
-                e.execute("SELECT a, b FROM t WHERE a > 50 ORDER BY b LIMIT 10").unwrap()
-            });
+            b.iter(|| e.execute("SELECT a, b FROM t WHERE a > 50 ORDER BY b LIMIT 10").unwrap());
         });
     }
     g.bench_function("aggregate_group_by", |b| {

@@ -29,7 +29,13 @@ fn bench_study_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("study");
     g.sample_size(10);
     g.bench_function("full_study_scale_0.02", |b| {
-        b.iter(|| squality_core::run_study(squality_core::StudyConfig { seed: 7, scale: 0.02 }))
+        b.iter(|| {
+            squality_core::run_study(squality_core::StudyConfig {
+                seed: 7,
+                scale: 0.02,
+                workers: 0,
+            })
+        })
     });
     g.finish();
 }

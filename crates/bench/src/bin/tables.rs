@@ -1,10 +1,13 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! squality-tables [section...] [--scale F] [--seed N]
+//! squality-tables [section...] [--scale F] [--seed N] [--workers W]
 //! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
 //!           figure4 table6 table7 table8 bugs all (default: all)
 //! ```
+//!
+//! `--workers 0` (the default) shards suite execution over all cores; any
+//! worker count produces byte-identical tables.
 
 use squality_core::{run_study, Study, StudyConfig};
 
@@ -12,6 +15,7 @@ fn main() {
     let mut sections: Vec<String> = Vec::new();
     let mut scale = squality_bench::REPORT_SCALE;
     let mut seed = 0x5C0A11u64;
+    let mut workers = 0usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,6 +32,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --seed"));
             }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --workers"));
+            }
             "--help" | "-h" => usage(""),
             s if s.starts_with('-') && !s.starts_with("--") && s.parse::<f64>().is_err() => {
                 usage(&format!("unknown flag {s}"))
@@ -39,8 +49,11 @@ fn main() {
         sections.push("all".to_string());
     }
 
-    eprintln!("generating corpora and running the study (seed={seed}, scale={scale})...");
-    let study = run_study(StudyConfig { seed, scale });
+    eprintln!(
+        "generating corpora and running the study (seed={seed}, scale={scale}, workers={})...",
+        if workers == 0 { "auto".to_string() } else { workers.to_string() }
+    );
+    let study = run_study(StudyConfig { seed, scale, workers });
     for section in &sections {
         print_section(&study, section);
     }
@@ -76,7 +89,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: squality-tables [section...] [--scale F] [--seed N]\n\
+        "usage: squality-tables [section...] [--scale F] [--seed N] [--workers W]\n\
          sections: table1..table8, figure1..figure4, bugs, all"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -2,17 +2,17 @@
 //! orchestrated over the generated corpora and the four engine simulators.
 
 use crate::transplant::{
-    run_suite_on, run_suite_with_connector, sample_failures, Incident, Provision, RunConfig,
-    SuiteRunSummary,
+    run_suite_sharded, sample_failures, Incident, Provision, RunConfig, SuiteRunSummary,
 };
 use squality_corpus::{donor_dialect, generate_suite_scaled, GeneratedSuite};
-use squality_engine::{ClientKind, EngineDialect};
+use squality_engine::{ClientKind, Coverage, EngineDialect, PlanCache, PlanCacheStats};
 use squality_formats::SuiteKind;
 use squality_runner::{
-    classify_dependency, classify_incompatibility, DependencyClass, EngineConnector,
-    IncompatibilityClass, NumericMode, ReuseDifficulty,
+    classify_dependency, classify_incompatibility, DependencyClass, IncompatibilityClass,
+    NumericMode, ReuseDifficulty,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Study parameters.
 #[derive(Debug, Clone, Copy)]
@@ -21,11 +21,15 @@ pub struct StudyConfig {
     pub seed: u64,
     /// Corpus scale: 1.0 reproduces the default sizes, benches use less.
     pub scale: f64,
+    /// Worker threads per suite × host cell (0 = all cores). The study's
+    /// results are byte-identical for every worker count; this is purely a
+    /// throughput knob.
+    pub workers: usize,
 }
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { seed: 0x5C0A11, scale: 1.0 }
+        StudyConfig { seed: 0x5C0A11, scale: 1.0, workers: 0 }
     }
 }
 
@@ -74,6 +78,9 @@ pub struct Study {
     pub coverage: Vec<CoverageRow>,
     /// Crashes and hangs discovered across all runs (§6).
     pub bugs: Vec<BugFinding>,
+    /// Statement-plan cache counters for the whole study: how much parse
+    /// work the shared cache absorbed across cells, files, and workers.
+    pub parse_cache: PlanCacheStats,
 }
 
 impl Study {
@@ -84,10 +91,7 @@ impl Study {
 
     /// Matrix cell lookup.
     pub fn cell(&self, suite: SuiteKind, host: EngineDialect) -> &MatrixCell {
-        self.matrix
-            .iter()
-            .find(|c| c.suite == suite && c.host == host)
-            .expect("matrix cell")
+        self.matrix.iter().find(|c| c.suite == suite && c.host == host).expect("matrix cell")
     }
 
     /// The donor-on-donor bare run for a suite.
@@ -97,6 +101,11 @@ impl Study {
 }
 
 /// Run the full study.
+///
+/// Every suite × host cell executes through the parallel scheduler
+/// ([`run_suite_sharded`]): `config.workers` connections per cell share one
+/// statement-plan cache, so a statement text parses once for the whole
+/// study no matter how many cells, files, or loop iterations replay it.
 pub fn run_study(config: StudyConfig) -> Study {
     // 1. Generate all four corpora (MySQL included for RQ1/Table 1-2).
     let suites: Vec<GeneratedSuite> = SuiteKind::ALL
@@ -109,11 +118,14 @@ pub fn run_study(config: StudyConfig) -> Study {
         .map(|k| suites.iter().find(|s| s.suite == *k).expect("generated"))
         .collect();
 
+    let plan_cache = PlanCache::shared();
+    let workers = config.workers;
+
     // 2. Donor validation in a bare environment (Tables 4–5).
     let donor_runs: Vec<SuiteRunSummary> = executed
         .iter()
         .map(|gs| {
-            run_suite_on(
+            run_suite_sharded(
                 gs,
                 &RunConfig {
                     host: donor_dialect(gs.suite),
@@ -121,7 +133,10 @@ pub fn run_study(config: StudyConfig) -> Study {
                     provision: Provision::Bare,
                     numeric: NumericMode::Exact,
                 },
+                workers,
+                Some(Arc::clone(&plan_cache)),
             )
+            .0
         })
         .collect();
 
@@ -139,13 +154,13 @@ pub fn run_study(config: StudyConfig) -> Study {
                 provision: if is_donor { Provision::Full } else { Provision::CrossHost },
                 numeric: NumericMode::Exact,
             };
-            let summary = run_suite_on(gs, &cfg);
+            let summary = run_suite_sharded(gs, &cfg, workers, Some(Arc::clone(&plan_cache))).0;
             matrix.push(MatrixCell { suite: gs.suite, host, summary });
         }
     }
 
     // 4. Coverage experiment (Table 8) on the three engines with own suites.
-    let coverage = coverage_experiment(&executed);
+    let coverage = coverage_experiment(&executed, workers, &plan_cache);
 
     // 5. Collect crash/hang findings across all runs (§6).
     let mut bugs = Vec::new();
@@ -169,7 +184,8 @@ pub fn run_study(config: StudyConfig) -> Study {
     }
     dedupe_bugs(&mut bugs);
 
-    Study { config, suites, donor_runs, matrix, coverage, bugs }
+    let parse_cache = plan_cache.stats();
+    Study { config, suites, donor_runs, matrix, coverage, bugs, parse_cache }
 }
 
 /// Keep one finding per (host, error-signature). The signature is the
@@ -191,29 +207,20 @@ fn dedupe_bugs(bugs: &mut Vec<BugFinding>) {
 
 /// Table 8: each engine's coverage under its original suite vs under the
 /// unified SQuaLity corpus (all three suites).
-fn coverage_experiment(executed: &[&GeneratedSuite]) -> Vec<CoverageRow> {
+///
+/// Runs through the scheduler like every other cell; per-worker coverage
+/// recorders are unioned afterwards, which equals what a single sequential
+/// connection would have accumulated (feature coverage is a monotone hit
+/// set).
+fn coverage_experiment(
+    executed: &[&GeneratedSuite],
+    workers: usize,
+    plan_cache: &Arc<PlanCache>,
+) -> Vec<CoverageRow> {
     let engines = [EngineDialect::Sqlite, EngineDialect::Duckdb, EngineDialect::Postgres];
     let mut rows = Vec::new();
     for engine in engines {
-        // Original: the engine's own suite only.
-        let own = executed
-            .iter()
-            .find(|gs| donor_dialect(gs.suite) == engine)
-            .expect("own suite");
-        let mut conn = EngineConnector::new(engine, ClientKind::Connector);
-        let cfg = RunConfig {
-            host: engine,
-            client: ClientKind::Connector,
-            provision: Provision::Full,
-            numeric: NumericMode::Exact,
-        };
-        let _ = run_suite_with_connector(own, &cfg, &mut conn);
-        let original_line = conn.engine().coverage().line_ratio();
-        let original_branch = conn.engine().coverage().branch_ratio();
-
-        // SQuaLity: the union of all three suites.
-        let mut conn = EngineConnector::new(engine, ClientKind::Connector);
-        for gs in executed {
+        let run_and_merge = |gs: &GeneratedSuite, cov: &mut Coverage| {
             let provision = if donor_dialect(gs.suite) == engine {
                 Provision::Full
             } else {
@@ -225,14 +232,29 @@ fn coverage_experiment(executed: &[&GeneratedSuite]) -> Vec<CoverageRow> {
                 provision,
                 numeric: NumericMode::Exact,
             };
-            let _ = run_suite_with_connector(gs, &cfg, &mut conn);
+            let (_, connectors) =
+                run_suite_sharded(gs, &cfg, workers, Some(Arc::clone(plan_cache)));
+            for conn in &connectors {
+                cov.union_with(conn.engine().coverage());
+            }
+        };
+
+        // Original: the engine's own suite only.
+        let own = executed.iter().find(|gs| donor_dialect(gs.suite) == engine).expect("own suite");
+        let mut original = Coverage::new();
+        run_and_merge(own, &mut original);
+
+        // SQuaLity: the union of all three suites.
+        let mut unified = Coverage::new();
+        for gs in executed {
+            run_and_merge(gs, &mut unified);
         }
         rows.push(CoverageRow {
             engine,
-            original_line,
-            original_branch,
-            squality_line: conn.engine().coverage().line_ratio(),
-            squality_branch: conn.engine().coverage().branch_ratio(),
+            original_line: original.line_ratio(),
+            original_branch: original.branch_ratio(),
+            squality_line: unified.line_ratio(),
+            squality_branch: unified.branch_ratio(),
         });
     }
     rows
@@ -261,7 +283,8 @@ pub fn incompatibility_breakdown(
 ) -> BTreeMap<IncompatibilityClass, usize> {
     let exhaustive = cell.suite == SuiteKind::Slt;
     let take = if exhaustive { usize::MAX } else { 100 };
-    let sample = sample_failures(&cell.summary.failures, take.min(cell.summary.failures.len()), seed);
+    let sample =
+        sample_failures(&cell.summary.failures, take.min(cell.summary.failures.len()), seed);
     let mut counts = BTreeMap::new();
     for case in sample {
         if let Some(class) = classify_incompatibility(&case.result) {
@@ -299,7 +322,7 @@ mod tests {
     use super::*;
 
     fn small_study() -> Study {
-        run_study(StudyConfig { seed: 21, scale: 0.08 })
+        run_study(StudyConfig { seed: 21, scale: 0.08, workers: 0 })
     }
 
     #[test]
@@ -361,7 +384,7 @@ mod tests {
     fn dependency_classes_match_paper_shape() {
         // Larger scale so every injected dependency class appears in the
         // PostgreSQL sample (the paper samples from 4,075 failures).
-        let s = run_study(StudyConfig { seed: 21, scale: 0.25 });
+        let s = run_study(StudyConfig { seed: 21, scale: 0.25, workers: 0 });
         // PostgreSQL: environment-dominated (Set Up biggest — Table 5).
         let pg = dependency_breakdown(s.donor_run(SuiteKind::PgRegress), 5);
         let setup = *pg.get(&DependencyClass::SetUp).unwrap_or(&0);
@@ -373,10 +396,7 @@ mod tests {
             + *duck.get(&DependencyClass::ClientNumeric).unwrap_or(&0)
             + *duck.get(&DependencyClass::ClientException).unwrap_or(&0);
         let total: usize = duck.values().sum();
-        assert!(
-            client_total * 2 > total,
-            "DuckDB failures must be client-dominated: {duck:?}"
-        );
+        assert!(client_total * 2 > total, "DuckDB failures must be client-dominated: {duck:?}");
     }
 
     #[test]
@@ -403,10 +423,7 @@ mod tests {
             assert!(row.original_line > 0.0);
         }
         // At least one engine strictly improves (paper Table 8: all do).
-        assert!(s
-            .coverage
-            .iter()
-            .any(|r| r.squality_line > r.original_line + 1e-12));
+        assert!(s.coverage.iter().any(|r| r.squality_line > r.original_line + 1e-12));
     }
 
     #[test]

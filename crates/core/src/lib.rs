@@ -15,7 +15,7 @@
 //! ```no_run
 //! use squality_core::{run_study, StudyConfig, full_report};
 //!
-//! let study = run_study(StudyConfig { seed: 42, scale: 0.1 });
+//! let study = run_study(StudyConfig { seed: 42, scale: 0.1, workers: 0 });
 //! println!("{}", full_report(&study));
 //! ```
 
@@ -24,14 +24,14 @@ pub mod report;
 pub mod transplant;
 
 pub use experiments::{
-    dependency_breakdown, difficulty_summary, incompatibility_breakdown, run_study,
-    BugFinding, CoverageRow, MatrixCell, Study, StudyConfig, EXECUTED_SUITES,
+    dependency_breakdown, difficulty_summary, incompatibility_breakdown, run_study, BugFinding,
+    CoverageRow, MatrixCell, Study, StudyConfig, EXECUTED_SUITES,
 };
 pub use report::{
-    bug_report, figure1, figure2, figure3, figure4, full_report, table1, table2, table3,
-    table4, table5, table6, table7, table8,
+    bug_report, figure1, figure2, figure3, figure4, full_report, table1, table2, table3, table4,
+    table5, table6, table7, table8,
 };
 pub use transplant::{
-    run_suite_on, run_suite_with_connector, sample_failures, FailureCase, Incident,
-    Provision, RunConfig, SuiteRunSummary,
+    run_suite_on, run_suite_sharded, run_suite_with_connector, sample_failures, FailureCase,
+    Incident, Provision, RunConfig, SuiteRunSummary,
 };

@@ -2,8 +2,7 @@
 //! with the paper's published values alongside for comparison.
 
 use crate::experiments::{
-    dependency_breakdown, difficulty_summary, incompatibility_breakdown, Study,
-    EXECUTED_SUITES,
+    dependency_breakdown, difficulty_summary, incompatibility_breakdown, Study, EXECUTED_SUITES,
 };
 use squality_analysis::{
     command_usage, compliance, loc_stats, predicate_distribution, statement_distribution,
@@ -129,7 +128,7 @@ pub fn figure2(study: &Study) -> String {
         let d = statement_distribution(&study.suite(suite).files);
         out.push_str(&format!("  {} ({} statements):\n", suite.donor_name(), d.total));
         for (label, frac) in d.ranked().into_iter().take(12) {
-            let bar = "#".repeat(((frac * 120.0).round() as usize).min(70).max(1));
+            let bar = "#".repeat(((frac * 120.0).round() as usize).clamp(1, 70));
             out.push_str(&format!("    {label:<16} {:>7}  {bar}\n", pct(frac)));
         }
     }
@@ -302,7 +301,9 @@ pub fn table6(study: &Study) -> String {
             ));
         }
     }
-    out.push_str("(SLT cells analysed exhaustively; others are 100-case samples, like the paper)\n");
+    out.push_str(
+        "(SLT cells analysed exhaustively; others are 100-case samples, like the paper)\n",
+    );
     out
 }
 
@@ -345,11 +346,7 @@ pub fn table8(study: &Study) -> String {
         (EngineDialect::Postgres, "62.1%/47.2% -> 63.0%/48.2%"),
     ];
     for (engine, paper_vals) in paper {
-        let row = study
-            .coverage
-            .iter()
-            .find(|r| r.engine == engine)
-            .expect("coverage row");
+        let row = study.coverage.iter().find(|r| r.engine == engine).expect("coverage row");
         out.push_str(&format!(
             "{:<12} {:<8} / {:<12} {:<8} / {:<10} ({paper_vals})\n",
             engine.name(),
@@ -412,7 +409,7 @@ mod tests {
     use crate::experiments::{run_study, StudyConfig};
 
     fn study() -> Study {
-        run_study(StudyConfig { seed: 77, scale: 0.06 })
+        run_study(StudyConfig { seed: 77, scale: 0.06, workers: 0 })
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //! | Expectation recording (corpus) | donor | `Full` | `Cli` |
 
 use squality_corpus::{donor_dialect, GeneratedSuite};
-use squality_engine::{ClientKind, EngineDialect};
+use squality_engine::{ClientKind, EngineDialect, PlanCache};
 use squality_formats::SuiteKind;
 use squality_runner::{
-    Connector, EngineConnector, NumericMode, Outcome, RecordResult, Runner, RunnerOptions,
+    Connector, EngineConnector, EngineConnectorFactory, FileResult, NumericMode, Outcome,
+    RecordResult, Runner, RunnerOptions,
 };
+use std::sync::Arc;
 
 /// How much of the donor environment the host receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,25 +96,58 @@ impl SuiteRunSummary {
     }
 }
 
-/// Run a generated suite under a transplant configuration.
+/// Run a generated suite under a transplant configuration (single worker).
 pub fn run_suite_on(suite: &GeneratedSuite, cfg: &RunConfig) -> SuiteRunSummary {
-    let mut conn = EngineConnector::new(cfg.host, cfg.client);
-    let mut summary = run_suite_with_connector(suite, cfg, &mut conn);
-    summary.host = cfg.host;
-    summary
+    run_suite_sharded(suite, cfg, 1, None).0
 }
 
-/// Run a suite on an existing connector (used by the coverage experiment,
-/// which accumulates coverage across several suites on one engine).
-pub fn run_suite_with_connector(
+/// Run a generated suite under a transplant configuration, sharding its
+/// files over `workers` parallel connections (0 = all cores) that
+/// optionally share a statement-plan cache.
+///
+/// The summary is byte-identical for every worker count: the scheduler
+/// resets + provisions a connection per file and stitches results back in
+/// input order. The retired worker connectors are returned so callers can
+/// harvest engine-level state (the coverage experiment unions their
+/// feature-coverage maps).
+pub fn run_suite_sharded(
     suite: &GeneratedSuite,
     cfg: &RunConfig,
-    conn: &mut EngineConnector,
-) -> SuiteRunSummary {
+    workers: usize,
+    plan_cache: Option<Arc<PlanCache>>,
+) -> (SuiteRunSummary, Vec<EngineConnector>) {
+    let mut factory = EngineConnectorFactory::new(cfg.host, cfg.client);
+    if let Some(cache) = plan_cache {
+        factory = factory.plan_cache(cache);
+    }
     let runner = Runner::new(RunnerOptions { numeric: cfg.numeric, fresh_database: false });
+    let execution = runner.run_suite_with(&factory, &suite.files, workers, |conn| {
+        provision_for(suite, cfg, conn);
+    });
+    (summarize(suite.suite, cfg.host, &execution.results), execution.connectors)
+}
+
+/// Apply the configured provision level to a freshly-reset connection.
+fn provision_for(suite: &GeneratedSuite, cfg: &RunConfig, conn: &mut EngineConnector) {
+    match cfg.provision {
+        Provision::Full => suite.environment.provision(conn),
+        Provision::CrossHost => {
+            for (path, lines) in &suite.environment.data_files {
+                conn.provide_file(path, lines.clone());
+            }
+            for sql in &suite.environment.setup_sql {
+                let _ = conn.execute(sql);
+            }
+        }
+        Provision::Bare => {}
+    }
+}
+
+/// Fold per-file results into the aggregate summary, in input order.
+fn summarize(suite: SuiteKind, host: EngineDialect, results: &[FileResult]) -> SuiteRunSummary {
     let mut summary = SuiteRunSummary {
-        suite: suite.suite,
-        host: cfg.host,
+        suite,
+        host,
         total: 0,
         executed: 0,
         passed: 0,
@@ -122,48 +157,59 @@ pub fn run_suite_with_connector(
         hangs: Vec::new(),
         failures: Vec::new(),
     };
+    for r in results {
+        fold_file(&mut summary, r);
+    }
+    summary
+}
 
+fn fold_file(summary: &mut SuiteRunSummary, r: &FileResult) {
+    summary.total += r.total();
+    summary.executed += r.executed();
+    summary.passed += r.passed();
+    summary.failed += r.failed();
+    summary.skipped += r.skipped();
+    for res in &r.results {
+        match &res.outcome {
+            Outcome::Crash(m) => summary.crashes.push(Incident {
+                file: r.file.clone(),
+                line: res.line,
+                sql: res.sql.clone(),
+                message: m.clone(),
+            }),
+            Outcome::Hang(m) => summary.hangs.push(Incident {
+                file: r.file.clone(),
+                line: res.line,
+                sql: res.sql.clone(),
+                message: m.clone(),
+            }),
+            Outcome::Fail(_) => {
+                summary.failures.push(FailureCase { file: r.file.clone(), result: res.clone() })
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run a suite sequentially on one existing, caller-owned connector.
+///
+/// The study itself runs through [`run_suite_sharded`]; this remains the
+/// public entry point for callers that need to accumulate engine state
+/// (coverage, extensions) across several suites on a single connection —
+/// the inherently sequential counterpart of the scheduler path.
+pub fn run_suite_with_connector(
+    suite: &GeneratedSuite,
+    cfg: &RunConfig,
+    conn: &mut EngineConnector,
+) -> SuiteRunSummary {
+    let runner = Runner::new(RunnerOptions { numeric: cfg.numeric, fresh_database: false });
+    let mut summary = summarize(suite.suite, cfg.host, &[]);
     for file in &suite.files {
         // Fresh database per file, then provision per the config.
         conn.reset();
-        match cfg.provision {
-            Provision::Full => suite.environment.provision(conn),
-            Provision::CrossHost => {
-                for (path, lines) in &suite.environment.data_files {
-                    conn.provide_file(path, lines.clone());
-                }
-                for sql in &suite.environment.setup_sql {
-                    let _ = conn.execute(sql);
-                }
-            }
-            Provision::Bare => {}
-        }
+        provision_for(suite, cfg, conn);
         let r = runner.run_file(conn, file);
-        summary.total += r.total();
-        summary.executed += r.executed();
-        summary.passed += r.passed();
-        summary.failed += r.failed();
-        summary.skipped += r.skipped();
-        for res in &r.results {
-            match &res.outcome {
-                Outcome::Crash(m) => summary.crashes.push(Incident {
-                    file: file.name.clone(),
-                    line: res.line,
-                    sql: res.sql.clone(),
-                    message: m.clone(),
-                }),
-                Outcome::Hang(m) => summary.hangs.push(Incident {
-                    file: file.name.clone(),
-                    line: res.line,
-                    sql: res.sql.clone(),
-                    message: m.clone(),
-                }),
-                Outcome::Fail(_) => summary
-                    .failures
-                    .push(FailureCase { file: file.name.clone(), result: res.clone() }),
-                _ => {}
-            }
-        }
+        fold_file(&mut summary, &r);
     }
     summary
 }
@@ -243,6 +289,27 @@ mod tests {
         let host = run_suite_on(&gs, &RunConfig::unified(EngineDialect::Mysql));
         assert!(host.success_rate() < donor.success_rate());
         assert!(host.failed > 0);
+    }
+
+    #[test]
+    fn sharded_runs_match_sequential_at_any_worker_count() {
+        let gs = generate_suite_scaled(SuiteKind::Duckdb, 11, 0.08);
+        let cfg = RunConfig::unified(EngineDialect::Sqlite);
+        let sequential = run_suite_on(&gs, &cfg);
+        let cache = std::sync::Arc::new(PlanCache::new());
+        for workers in [2, 4, 8] {
+            let (sharded, _) =
+                run_suite_sharded(&gs, &cfg, workers, Some(std::sync::Arc::clone(&cache)));
+            assert_eq!(sharded.total, sequential.total, "workers={workers}");
+            assert_eq!(sharded.passed, sequential.passed, "workers={workers}");
+            assert_eq!(sharded.failed, sequential.failed, "workers={workers}");
+            assert_eq!(sharded.skipped, sequential.skipped, "workers={workers}");
+            assert_eq!(sharded.failures, sequential.failures, "workers={workers}");
+            assert_eq!(sharded.crashes, sequential.crashes, "workers={workers}");
+            assert_eq!(sharded.hangs, sequential.hangs, "workers={workers}");
+        }
+        // The same files replayed three times: the cache must be hot.
+        assert!(cache.stats().hits > 0);
     }
 
     #[test]

@@ -15,8 +15,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use squality_engine::Value;
 use squality_formats::{
-    Condition, ControlCommand, QueryExpectation, RecordKind, SortMode, StatementExpect,
-    SuiteKind, TestFile, TestRecord,
+    Condition, ControlCommand, QueryExpectation, RecordKind, SortMode, StatementExpect, SuiteKind,
+    TestFile, TestRecord,
 };
 use squality_runner::{Connector, EngineConnector};
 
@@ -66,20 +66,11 @@ fn landmark_files(suite: SuiteKind, environment: &DonorEnvironment) -> Vec<TestF
     let mut oracle = environment.donor_connector(donor_dialect(suite));
     let mut files = Vec::new();
     let mut push_file = |name: &str, stmts: Vec<GenStatement>, oracle: &mut EngineConnector| {
-        let records =
-            stmts.iter().map(|s| record_from_oracle(oracle, s, suite)).collect();
+        let records = stmts.iter().map(|s| record_from_oracle(oracle, s, suite)).collect();
         files.push(TestFile { name: name.to_string(), suite, records });
     };
-    let q = |sql: &str| GenStatement {
-        sql: sql.to_string(),
-        is_query: true,
-        expect_error: false,
-    };
-    let s = |sql: &str| GenStatement {
-        sql: sql.to_string(),
-        is_query: false,
-        expect_error: false,
-    };
+    let q = |sql: &str| GenStatement { sql: sql.to_string(), is_query: true, expect_error: false };
+    let s = |sql: &str| GenStatement { sql: sql.to_string(), is_query: false, expect_error: false };
 
     match suite {
         SuiteKind::Slt => {
@@ -112,10 +103,7 @@ fn landmark_files(suite: SuiteKind, environment: &DonorEnvironment) -> Vec<TestF
                         types: "I".to_string(),
                         sort: squality_formats::SortMode::NoSort,
                         label: None,
-                        expected: QueryExpectation::Values(vec![
-                            "2".to_string(),
-                            "3".to_string(),
-                        ]),
+                        expected: QueryExpectation::Values(vec!["2".to_string(), "3".to_string()]),
                     }),
                 ],
             });
@@ -194,7 +182,8 @@ fn generate_file(
     index: usize,
 ) -> TestFile {
     let suite = profile.suite;
-    let mut rng = SmallRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(index as u64 + 1)));
+    let mut rng =
+        SmallRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(index as u64 + 1)));
     let mut gen = SqlGen::with_seasoning(suite, index, profile.dialect_seasoning_rate);
 
     // The donor oracle, provisioned as the donor's CI was.
@@ -279,11 +268,8 @@ fn generate_file(
             .map(|s| s.split('(').next().unwrap_or(s).to_string())
             .unwrap_or_default();
         records.push(record_from_oracle(&mut oracle, &fun, suite));
-        let call = GenStatement {
-            sql: format!("SELECT {fname}(1)"),
-            is_query: true,
-            expect_error: false,
-        };
+        let call =
+            GenStatement { sql: format!("SELECT {fname}(1)"), is_query: true, expect_error: false };
         records.push(record_from_oracle(&mut oracle, &call, suite));
     }
 
@@ -301,12 +287,19 @@ fn generate_file(
         match class {
             StatementClass::CliCommand if suite == SuiteKind::PgRegress => {
                 let stmt = gen.generate(class, 0, false, &mut rng);
-                records.push(TestRecord::new(RecordKind::Control(
-                    ControlCommand::CliCommand(stmt.sql),
-                )));
+                records.push(TestRecord::new(RecordKind::Control(ControlCommand::CliCommand(
+                    stmt.sql,
+                ))));
             }
             StatementClass::DivisionProbe => {
-                division_probe_pair(&mut gen, &mut rng, &mut oracle, &mut mysql_oracle, suite, &mut records);
+                division_probe_pair(
+                    &mut gen,
+                    &mut rng,
+                    &mut oracle,
+                    &mut mysql_oracle,
+                    suite,
+                    &mut records,
+                );
             }
             _ => {
                 let bucket = sample_bucket(&profile.predicate_mix, &mut rng);
@@ -434,7 +427,8 @@ fn record_from_oracle(
             let types = type_string(&result.rows, result.columns.len());
             let (sort, expected) = match suite {
                 SuiteKind::Slt => {
-                    let sort = if rendered.len() > 1 { SortMode::RowSort } else { SortMode::NoSort };
+                    let sort =
+                        if rendered.len() > 1 { SortMode::RowSort } else { SortMode::NoSort };
                     let values = match sort {
                         SortMode::RowSort => {
                             let mut rows = rendered.clone();
@@ -515,10 +509,8 @@ mod tests {
             for file in &gs.files {
                 let mut conn = gs.environment.donor_connector(donor_dialect(suite));
                 // The connector is freshly provisioned, so keep its state.
-                let opts = squality_runner::RunnerOptions {
-                    fresh_database: false,
-                    ..Default::default()
-                };
+                let opts =
+                    squality_runner::RunnerOptions { fresh_database: false, ..Default::default() };
                 let r = Runner::new(opts).run_file(&mut conn, file);
                 executed += r.executed();
                 for res in &r.results {
@@ -541,12 +533,8 @@ mod tests {
     #[test]
     fn slt_has_foreign_guards() {
         let gs = generate_suite_scaled(SuiteKind::Slt, 5, 0.1);
-        let guarded = gs
-            .files
-            .iter()
-            .flat_map(|f| &f.records)
-            .filter(|r| !r.conditions.is_empty())
-            .count();
+        let guarded =
+            gs.files.iter().flat_map(|f| &f.records).filter(|r| !r.conditions.is_empty()).count();
         assert!(guarded > 0, "SLT corpus must contain skipif/onlyif records");
     }
 
@@ -557,9 +545,9 @@ mod tests {
             .files
             .iter()
             .filter(|f| {
-                f.records.iter().any(|r| {
-                    matches!(&r.kind, RecordKind::Control(ControlCommand::Require(_)))
-                })
+                f.records
+                    .iter()
+                    .any(|r| matches!(&r.kind, RecordKind::Control(ControlCommand::Require(_))))
             })
             .count();
         assert!(gates > 0);

@@ -61,13 +61,7 @@ impl SqlGen {
 
     /// Generator with a dialect-seasoning probability.
     pub fn with_seasoning(suite: SuiteKind, file_index: usize, seasoning: f64) -> SqlGen {
-        SqlGen {
-            suite,
-            tables: Vec::new(),
-            next_id: file_index * 1000,
-            in_txn: false,
-            seasoning,
-        }
+        SqlGen { suite, tables: Vec::new(), next_id: file_index * 1000, in_txn: false, seasoning }
     }
 
     /// Do we have any table to query?
@@ -92,8 +86,16 @@ impl SqlGen {
         use StatementClass::*;
         let needs_table = matches!(
             class,
-            Select | Insert | Update | Delete | DropTable | AlterTable | CreateIndex
-                | CreateView | Explain | Copy
+            Select
+                | Insert
+                | Update
+                | Delete
+                | DropTable
+                | AlterTable
+                | CreateIndex
+                | CreateView
+                | Explain
+                | Copy
         );
         if needs_table && self.tables.is_empty() {
             return self.create_table(rng);
@@ -130,8 +132,13 @@ impl SqlGen {
                 let t = self.pick_table(rng).name.clone();
                 GenStatement::stmt(format!("COPY {t} FROM '/data/{t}.data'"))
             }
-            CliCommand | CreateFunction | With | ParserGarbage | DialectSelect
-            | ClientSensitiveSelect | DivisionProbe => self.special(class, rng),
+            CliCommand
+            | CreateFunction
+            | With
+            | ParserGarbage
+            | DialectSelect
+            | ClientSensitiveSelect
+            | DivisionProbe => self.special(class, rng),
         }
     }
 
@@ -198,8 +205,7 @@ impl SqlGen {
         // a syntax error on SQLite/MySQL that silently leaves the table
         // short of rows and fails every later query on it — the cascade
         // behind the pg suite's ~25-30% cross-host success band.
-        let cast_values =
-            self.suite == SuiteKind::PgRegress && rng.gen_bool(self.seasoning * 0.35);
+        let cast_values = self.suite == SuiteKind::PgRegress && rng.gen_bool(self.seasoning * 0.35);
         let mut rows = Vec::with_capacity(nrows);
         for _ in 0..nrows {
             let vals: Vec<String> = t
@@ -263,9 +269,8 @@ impl SqlGen {
             3 => {
                 // 11-100 tokens: AND-chain of comparisons (4 tokens each).
                 let n = rng.gen_range(3..=20usize);
-                let parts: Vec<String> = (0..n)
-                    .map(|i| format!("{c} <> {}", 1000 + i as i64))
-                    .collect();
+                let parts: Vec<String> =
+                    (0..n).map(|i| format!("{c} <> {}", 1000 + i as i64)).collect();
                 format!(" WHERE {}", parts.join(" AND "))
             }
             _ => {
@@ -332,10 +337,7 @@ impl SqlGen {
                 let cols: Vec<String> = t.cols.iter().map(|(c, _)| c.clone()).collect();
                 format!("SELECT {} FROM {}{pred} ORDER BY {c}", cols.join(", "), t.name)
             }
-            _ => format!(
-                "SELECT sum({c}), min({c}), max({c}) FROM {}{pred}",
-                t.name
-            ),
+            _ => format!("SELECT sum({c}), min({c}), max({c}) FROM {}{pred}", t.name),
         };
         GenStatement::query(sql)
     }
@@ -347,10 +349,7 @@ impl SqlGen {
             2 => format!("SELECT abs(-{})", rng.gen_range(1..500)),
             3 => format!("SELECT length('{}')", "x".repeat(rng.gen_range(1..12))),
             4 => format!("SELECT upper('word{}')", rng.gen_range(0..50)),
-            5 => format!(
-                "SELECT CASE WHEN {} > 50 THEN 'hi' ELSE 'lo' END",
-                rng.gen_range(0..100)
-            ),
+            5 => format!("SELECT CASE WHEN {} > 50 THEN 'hi' ELSE 'lo' END", rng.gen_range(0..100)),
             6 => format!("SELECT coalesce(NULL, {})", rng.gen_range(0..100)),
             _ => format!("SELECT nullif({}, {})", rng.gen_range(0..5), rng.gen_range(0..5)),
         };
@@ -371,11 +370,7 @@ impl SqlGen {
     fn delete(&mut self, rng: &mut SmallRng) -> GenStatement {
         let t = self.pick_table(rng).clone();
         let c = self.numeric_col(&t);
-        GenStatement::stmt(format!(
-            "DELETE FROM {} WHERE {c} > {}",
-            t.name,
-            rng.gen_range(80..120)
-        ))
+        GenStatement::stmt(format!("DELETE FROM {} WHERE {c} > {}", t.name, rng.gen_range(80..120)))
     }
 
     fn drop_table(&mut self, rng: &mut SmallRng) -> GenStatement {
@@ -641,8 +636,11 @@ mod tests {
         let got: Vec<String> = (0..20)
             .map(|_| pg.generate(StatementClass::DialectSelect, 0, false, &mut r).sql)
             .collect();
-        assert!(got.iter().any(|s| s.contains("pg_typeof") || s.contains("::")
-            || s.contains("ARRAY") || s.contains("to_json") || s.contains("generate_series")
+        assert!(got.iter().any(|s| s.contains("pg_typeof")
+            || s.contains("::")
+            || s.contains("ARRAY")
+            || s.contains("to_json")
+            || s.contains("generate_series")
             || s.contains("has_column_privilege")));
         let mut duck = SqlGen::new(SuiteKind::Duckdb, 3);
         let got: Vec<String> = (0..20)
@@ -676,7 +674,11 @@ mod tests {
             (0..30)
                 .map(|i| {
                     g.generate(
-                        if i % 7 == 0 { StatementClass::CreateTable } else { StatementClass::Select },
+                        if i % 7 == 0 {
+                            StatementClass::CreateTable
+                        } else {
+                            StatementClass::Select
+                        },
                         i % 5,
                         false,
                         &mut r,

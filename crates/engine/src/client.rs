@@ -134,11 +134,7 @@ fn render_list(items: &[Value], dialect: EngineDialect, client: ClientKind) -> S
     }
 }
 
-fn render_struct(
-    fields: &[(String, Value)],
-    dialect: EngineDialect,
-    client: ClientKind,
-) -> String {
+fn render_struct(fields: &[(String, Value)], dialect: EngineDialect, client: ClientKind) -> String {
     // DuckDB CLI style: {'k': key1, 'v': 1} (paper Listing 11).
     let inner: Vec<String> = fields
         .iter()
@@ -178,10 +174,7 @@ mod tests {
             Value::Text("3".into()),
             Value::Text("4".into()),
         ]);
-        assert_eq!(
-            render_value(&duck, EngineDialect::Duckdb, ClientKind::Cli),
-            "[1, 2, 3, 4]"
-        );
+        assert_eq!(render_value(&duck, EngineDialect::Duckdb, ClientKind::Cli), "[1, 2, 3, 4]");
         assert_eq!(
             render_value(&duck, EngineDialect::Duckdb, ClientKind::Connector),
             "['1', '2', '3', '4']"
@@ -247,10 +240,7 @@ mod tests {
             ("k".into(), Value::Text("key1".into())),
             ("v".into(), Value::Integer(1)),
         ]);
-        assert_eq!(
-            render_value(&v, EngineDialect::Duckdb, ClientKind::Cli),
-            "{'k': key1, 'v': 1}"
-        );
+        assert_eq!(render_value(&v, EngineDialect::Duckdb, ClientKind::Cli), "{'k': key1, 'v': 1}");
     }
 
     #[test]

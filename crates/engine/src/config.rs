@@ -45,8 +45,8 @@ impl ConfigStore {
             self.values.insert(key, value.to_string());
             return Ok(());
         }
-        if self.values.contains_key(&key) {
-            self.values.insert(key, value.to_string());
+        if let std::collections::btree_map::Entry::Occupied(mut e) = self.values.entry(key) {
+            e.insert(value.to_string());
             return Ok(());
         }
         Err(match self.dialect {
@@ -62,10 +62,9 @@ impl ConfigStore {
                 ErrorKind::UnknownConfig,
                 format!("Catalog Error: unrecognized configuration parameter \"{name}\""),
             ),
-            EngineDialect::Sqlite => EngineError::new(
-                ErrorKind::UnknownConfig,
-                format!("unknown setting: {name}"),
-            ),
+            EngineDialect::Sqlite => {
+                EngineError::new(ErrorKind::UnknownConfig, format!("unknown setting: {name}"))
+            }
         })
     }
 
@@ -73,9 +72,9 @@ impl ConfigStore {
     /// flags this as a reuse hazard); DuckDB errors.
     pub fn pragma(&mut self, name: &str, value: Option<&str>) -> Result<(), EngineError> {
         let key = name.to_lowercase();
-        if self.values.contains_key(&key) {
+        if let std::collections::btree_map::Entry::Occupied(mut e) = self.values.entry(key) {
             if let Some(v) = value {
-                self.values.insert(key, v.to_string());
+                e.insert(v.to_string());
             }
             return Ok(());
         }

@@ -137,8 +137,7 @@ mod tests {
 
     #[test]
     fn only_sqlite_is_dynamic() {
-        let dynamic: Vec<_> =
-            EngineDialect::ALL.iter().filter(|d| d.dynamic_typing()).collect();
+        let dynamic: Vec<_> = EngineDialect::ALL.iter().filter(|d| d.dynamic_typing()).collect();
         assert_eq!(dynamic, vec![&EngineDialect::Sqlite]);
     }
 

@@ -9,12 +9,14 @@ use crate::eval::{cast_value, eval, EvalCtx};
 use crate::exec::run_query;
 use crate::faults::{FaultId, FaultProfile};
 use crate::functions::{render_plain, scalar_function_names};
+use crate::plan_cache::PlanCache;
 use crate::schema::{Catalog, Column, Index, Table, View};
 use crate::types::{resolve_type, DataType};
 use crate::value::Value;
 use squality_sqlast::ast::*;
 use squality_sqlast::parse_statement;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Default execution budget: large enough for the synthetic corpora, small
 /// enough that the injected infinite loops resolve to hangs in milliseconds.
@@ -65,6 +67,8 @@ pub struct Engine {
     poisoned_tables: BTreeSet<String>,
     crashed: bool,
     step_budget: u64,
+    /// Shared parse cache; `None` parses every statement from scratch.
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Engine {
@@ -97,7 +101,20 @@ impl Engine {
             poisoned_tables: BTreeSet::new(),
             crashed: false,
             step_budget: DEFAULT_STEP_BUDGET,
+            plan_cache: None,
         }
+    }
+
+    /// Share a statement-plan cache with this engine. Repeated statement
+    /// texts (loops, replayed files, sibling engines of the same dialect)
+    /// then parse once process-wide.
+    pub fn set_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        self.plan_cache = Some(cache);
+    }
+
+    /// The attached plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
     }
 
     /// This engine's dialect.
@@ -154,7 +171,11 @@ impl Engine {
                 "connection to server was lost (server crashed earlier)",
             ));
         }
-        let stmt = match parse_statement(sql, self.dialect.text_dialect()) {
+        let parsed = match &self.plan_cache {
+            Some(cache) => cache.parse(self.dialect.text_dialect(), sql),
+            None => parse_statement(sql, self.dialect.text_dialect()).map(Arc::new),
+        };
+        let stmt = match parsed {
             Ok(s) => s,
             Err(e) => {
                 self.coverage.hit_branch("err:Syntax");
@@ -162,22 +183,19 @@ impl Engine {
             }
         };
         let result = self.execute_stmt(&stmt);
-        match &result {
-            Err(e) => {
-                self.coverage.hit_branch(&format!("err:{:?}", e.kind));
-                if e.kind == ErrorKind::Fatal {
-                    self.crashed = true;
-                }
-                // A statement error aborts the implicit statement, and on
-                // PostgreSQL it also aborts the open transaction.
-                if self.dialect == EngineDialect::Postgres
-                    && self.txn_snapshot.is_some()
-                    && !e.kind.is_abnormal()
-                {
-                    self.coverage.hit_branch("txn:aborted-by-error");
-                }
+        if let Err(e) = &result {
+            self.coverage.hit_branch(&format!("err:{:?}", e.kind));
+            if e.kind == ErrorKind::Fatal {
+                self.crashed = true;
             }
-            Ok(_) => {}
+            // A statement error aborts the implicit statement, and on
+            // PostgreSQL it also aborts the open transaction.
+            if self.dialect == EngineDialect::Postgres
+                && self.txn_snapshot.is_some()
+                && !e.kind.is_abnormal()
+            {
+                self.coverage.hit_branch("txn:aborted-by-error");
+            }
         }
         result
     }
@@ -209,10 +227,9 @@ impl Engine {
                 if self.catalog.views.contains_key(name) && !or_replace {
                     return Err(EngineError::catalog(format!("view {name} already exists")));
                 }
-                self.catalog.views.insert(
-                    name.clone(),
-                    View { columns: columns.clone(), query: query.clone() },
-                );
+                self.catalog
+                    .views
+                    .insert(name.clone(), View { columns: columns.clone(), query: query.clone() });
                 Ok(QueryResult::ok())
             }
             Stmt::DropView { name, if_exists } => {
@@ -229,9 +246,7 @@ impl Engine {
                     if *if_not_exists {
                         return Ok(QueryResult::ok());
                     }
-                    return Err(EngineError::catalog(format!(
-                        "schema \"{name}\" already exists"
-                    )));
+                    return Err(EngineError::catalog(format!("schema \"{name}\" already exists")));
                 }
                 self.catalog.schemas.insert(name.clone(), ());
                 Ok(QueryResult::ok())
@@ -242,9 +257,7 @@ impl Engine {
                     return Err(EngineError::syntax("near \"SCHEMA\": syntax error"));
                 }
                 if self.catalog.schemas.remove(name).is_none() && !if_exists {
-                    return Err(EngineError::catalog(format!(
-                        "schema \"{name}\" does not exist"
-                    )));
+                    return Err(EngineError::catalog(format!("schema \"{name}\" does not exist")));
                 }
                 Ok(QueryResult::ok())
             }
@@ -383,10 +396,7 @@ impl Engine {
                 let mut tys = Vec::with_capacity(ins.columns.len());
                 for c in &ins.columns {
                     let i = table.column_index(c).ok_or_else(|| {
-                        EngineError::catalog(format!(
-                            "table {} has no column named {c}",
-                            ins.table
-                        ))
+                        EngineError::catalog(format!("table {} has no column named {c}", ins.table))
                     })?;
                     idxs.push(i);
                     tys.push(table.columns[i].ty.clone());
@@ -460,10 +470,7 @@ impl Engine {
                         if clash && !ins.or_replace {
                             return Err(EngineError::new(
                                 ErrorKind::Constraint,
-                                format!(
-                                    "UNIQUE constraint failed: {}.{}",
-                                    ins.table, c.name
-                                ),
+                                format!("UNIQUE constraint failed: {}.{}", ins.table, c.name),
                             ));
                         }
                     }
@@ -481,10 +488,8 @@ impl Engine {
     }
 
     fn update(&mut self, u: &UpdateStmt) -> Result<QueryResult, EngineError> {
-        let key = self
-            .catalog
-            .resolve_table_key(&u.table)
-            .ok_or_else(|| self.no_such_table(&u.table))?;
+        let key =
+            self.catalog.resolve_table_key(&u.table).ok_or_else(|| self.no_such_table(&u.table))?;
 
         // Paper Listing 13: UPDATE after COMMIT of an insert+update txn
         // crashed DuckDB.
@@ -505,9 +510,11 @@ impl Engine {
             let table = self.catalog.tables.get(&key).expect("resolved");
             let mut idxs = Vec::with_capacity(u.assignments.len());
             for (c, _) in &u.assignments {
-                idxs.push(table.column_index(c).ok_or_else(|| {
-                    EngineError::catalog(format!("no such column: {c}"))
-                })?);
+                idxs.push(
+                    table
+                        .column_index(c)
+                        .ok_or_else(|| EngineError::catalog(format!("no such column: {c}")))?,
+                );
             }
             let cols: Vec<crate::env::ColBinding> = table
                 .columns
@@ -568,10 +575,8 @@ impl Engine {
     }
 
     fn delete(&mut self, d: &DeleteStmt) -> Result<QueryResult, EngineError> {
-        let key = self
-            .catalog
-            .resolve_table_key(&d.table)
-            .ok_or_else(|| self.no_such_table(&d.table))?;
+        let key =
+            self.catalog.resolve_table_key(&d.table).ok_or_else(|| self.no_such_table(&d.table))?;
         let dialect = self.dialect;
         let keep: Vec<bool> = {
             let table = self.catalog.tables.get(&key).expect("resolved");
@@ -614,14 +619,13 @@ impl Engine {
     // ---- DDL ------------------------------------------------------------------
 
     fn create_table(&mut self, ct: &CreateTableStmt) -> Result<QueryResult, EngineError> {
-        if self.catalog.tables.contains_key(&ct.name) || self.catalog.resolve_table_key(&ct.name).is_some() {
+        if self.catalog.tables.contains_key(&ct.name)
+            || self.catalog.resolve_table_key(&ct.name).is_some()
+        {
             if ct.if_not_exists {
                 return Ok(QueryResult::ok());
             }
-            return Err(EngineError::catalog(format!(
-                "table {} already exists",
-                ct.name
-            )));
+            return Err(EngineError::catalog(format!("table {} already exists", ct.name)));
         }
         let mut columns = Vec::with_capacity(ct.columns.len());
         for c in &ct.columns {
@@ -646,18 +650,18 @@ impl Engine {
         let mut table = Table { columns, rows: Vec::new() };
         if let Some(q) = &ct.as_query {
             let rel = self.with_env(|env| run_query(q, env, None))?;
-            table.columns = rel
-                .cols
-                .iter()
-                .map(|c| Column::new(&c.name, DataType::Any))
-                .collect();
+            table.columns = rel.cols.iter().map(|c| Column::new(&c.name, DataType::Any)).collect();
             table.rows = rel.rows;
         }
         self.catalog.tables.insert(ct.name.clone(), table);
         Ok(QueryResult::ok())
     }
 
-    fn drop_table(&mut self, names: &[String], if_exists: bool) -> Result<QueryResult, EngineError> {
+    fn drop_table(
+        &mut self,
+        names: &[String],
+        if_exists: bool,
+    ) -> Result<QueryResult, EngineError> {
         for name in names {
             match self.catalog.resolve_table_key(name) {
                 Some(key) => {
@@ -677,10 +681,7 @@ impl Engine {
         name: &str,
         action: &AlterTableAction,
     ) -> Result<QueryResult, EngineError> {
-        let key = self
-            .catalog
-            .resolve_table_key(name)
-            .ok_or_else(|| self.no_such_table(name))?;
+        let key = self.catalog.resolve_table_key(name).ok_or_else(|| self.no_such_table(name))?;
         let dialect = self.dialect;
         match action {
             AlterTableAction::AddColumn(def) => {
@@ -722,9 +723,7 @@ impl Engine {
                         }
                     }
                     None if *if_exists => {}
-                    None => {
-                        return Err(EngineError::catalog(format!("no such column: {col}")))
-                    }
+                    None => return Err(EngineError::catalog(format!("no such column: {col}"))),
                 }
             }
             AlterTableAction::RenameTo(new) => {
@@ -735,9 +734,7 @@ impl Engine {
                 let table = self.catalog.tables.get_mut(&key).expect("resolved");
                 match table.column_index(old) {
                     Some(i) => table.columns[i].name = new.clone(),
-                    None => {
-                        return Err(EngineError::catalog(format!("no such column: {old}")))
-                    }
+                    None => return Err(EngineError::catalog(format!("no such column: {old}"))),
                 }
             }
         }
@@ -762,9 +759,7 @@ impl Engine {
             }
             EngineDialect::Postgres => {
                 if self.catalog.schemas.remove(name).is_none() {
-                    return Err(EngineError::catalog(format!(
-                        "schema \"{name}\" does not exist"
-                    )));
+                    return Err(EngineError::catalog(format!("schema \"{name}\" does not exist")));
                 }
                 self.catalog.schemas.insert(rename_to.to_string(), ());
                 Ok(QueryResult::ok())
@@ -773,9 +768,7 @@ impl Engine {
                 ErrorKind::UnsupportedStatement,
                 "ALTER SCHEMA ... RENAME is not supported",
             )),
-            EngineDialect::Sqlite => {
-                Err(EngineError::syntax("near \"SCHEMA\": syntax error"))
-            }
+            EngineDialect::Sqlite => Err(EngineError::syntax("near \"SCHEMA\": syntax error")),
         }
     }
 
@@ -793,10 +786,7 @@ impl Engine {
             }
             return Err(EngineError::catalog(format!("index {name} already exists")));
         }
-        let key = self
-            .catalog
-            .resolve_table_key(table)
-            .ok_or_else(|| self.no_such_table(table))?;
+        let key = self.catalog.resolve_table_key(table).ok_or_else(|| self.no_such_table(table))?;
         {
             let t = self.catalog.tables.get(&key).expect("resolved");
             for c in columns {
@@ -805,10 +795,9 @@ impl Engine {
                 }
             }
         }
-        self.catalog.indexes.insert(
-            name.to_string(),
-            Index { table: key, columns: columns.to_vec(), unique },
-        );
+        self.catalog
+            .indexes
+            .insert(name.to_string(), Index { table: key, columns: columns.to_vec(), unique });
         Ok(QueryResult::ok())
     }
 
@@ -860,11 +849,8 @@ impl Engine {
         self.txn_snapshot = None;
         // Listing 13 bookkeeping: tables both inserted and updated in the
         // transaction become poisoned on DuckDB-with-fault.
-        let both: Vec<String> = self
-            .txn_inserted
-            .intersection(&self.txn_updated)
-            .cloned()
-            .collect();
+        let both: Vec<String> =
+            self.txn_inserted.intersection(&self.txn_updated).cloned().collect();
         for t in both {
             self.poisoned_tables.insert(t);
         }
@@ -912,10 +898,7 @@ impl Engine {
         if !from {
             return Ok(QueryResult::ok()); // COPY TO is a no-op sink
         }
-        let key = self
-            .catalog
-            .resolve_table_key(table)
-            .ok_or_else(|| self.no_such_table(table))?;
+        let key = self.catalog.resolve_table_key(table).ok_or_else(|| self.no_such_table(table))?;
         let Some(lines) = self.vfs.get(path).cloned() else {
             // The paper's "File Paths" environment dependency.
             return Err(EngineError::new(
@@ -952,12 +935,7 @@ impl Engine {
 
     fn show(&mut self, name: &str) -> Result<QueryResult, EngineError> {
         if name.eq_ignore_ascii_case("tables") {
-            let rows = self
-                .catalog
-                .tables
-                .keys()
-                .map(|k| vec![Value::Text(k.clone())])
-                .collect();
+            let rows = self.catalog.tables.keys().map(|k| vec![Value::Text(k.clone())]).collect();
             return Ok(QueryResult { columns: vec!["name".into()], rows, affected: 0 });
         }
         match self.config.get(name) {
@@ -1053,18 +1031,43 @@ fn stmt_tag(stmt: &Stmt) -> &'static str {
 /// operators, functions, type heads, and decision points.
 fn register_coverage_universe(cov: &mut Coverage, dialect: EngineDialect) {
     const STATEMENTS: [&str; 29] = [
-        "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE TABLE", "DROP TABLE", "ALTER TABLE",
-        "CREATE INDEX", "DROP INDEX", "CREATE VIEW", "DROP VIEW", "CREATE SCHEMA",
-        "ALTER SCHEMA", "DROP SCHEMA", "CREATE FUNCTION", "BEGIN", "COMMIT", "ROLLBACK",
-        "SAVEPOINT", "RELEASE", "SET", "PRAGMA", "EXPLAIN", "COPY", "SHOW", "USE", "VALUES",
-        "TRUNCATE", "VACUUM",
+        "SELECT",
+        "INSERT",
+        "UPDATE",
+        "DELETE",
+        "CREATE TABLE",
+        "DROP TABLE",
+        "ALTER TABLE",
+        "CREATE INDEX",
+        "DROP INDEX",
+        "CREATE VIEW",
+        "DROP VIEW",
+        "CREATE SCHEMA",
+        "ALTER SCHEMA",
+        "DROP SCHEMA",
+        "CREATE FUNCTION",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
+        "SAVEPOINT",
+        "RELEASE",
+        "SET",
+        "PRAGMA",
+        "EXPLAIN",
+        "COPY",
+        "SHOW",
+        "USE",
+        "VALUES",
+        "TRUNCATE",
+        "VACUUM",
     ];
     for s in STATEMENTS {
         cov.register_line(format!("stmt:{s}"));
     }
-    for op in ["+", "-", "*", "/", "DIV", "%", "||", "=", "<>", "<", ">", "<=", ">=", "&",
-        "|", "#", "<<", ">>", "~"]
-    {
+    for op in [
+        "+", "-", "*", "/", "DIV", "%", "||", "=", "<>", "<", ">", "<=", ">=", "&", "|", "#", "<<",
+        ">>", "~",
+    ] {
         cov.register_line(format!("op:{op}"));
     }
     for f in scalar_function_names(dialect) {
@@ -1081,11 +1084,32 @@ fn register_coverage_universe(cov: &mut Coverage, dialect: EngineDialect) {
     }
     // Decision points.
     for b in [
-        "where:true", "where:false", "select:distinct", "select:grouped", "having:true",
-        "having:false", "query:limit", "query:offset", "from:table", "from:view", "from:cte",
-        "cte:plain", "cte:recursive", "txn:commit", "txn:rollback", "div:zero", "div:integer",
-        "div:decimal", "concat:as-or", "rowcmp:total", "rowcmp:3vl", "case:branch",
-        "case:else", "logic:and:short", "logic:or:short", "coalesce:promoted",
+        "where:true",
+        "where:false",
+        "select:distinct",
+        "select:grouped",
+        "having:true",
+        "having:false",
+        "query:limit",
+        "query:offset",
+        "from:table",
+        "from:view",
+        "from:cte",
+        "cte:plain",
+        "cte:recursive",
+        "txn:commit",
+        "txn:rollback",
+        "div:zero",
+        "div:integer",
+        "div:decimal",
+        "concat:as-or",
+        "rowcmp:total",
+        "rowcmp:3vl",
+        "case:branch",
+        "case:else",
+        "logic:and:short",
+        "logic:or:short",
+        "coalesce:promoted",
         "subquery:first-row",
     ] {
         cov.register_branch(b);
@@ -1094,9 +1118,21 @@ fn register_coverage_universe(cov: &mut Coverage, dialect: EngineDialect) {
         cov.register_branch(format!("join:{j}"));
     }
     for e in [
-        "Syntax", "UnsupportedStatement", "UnknownFunction", "UnsupportedType",
-        "UnsupportedOperator", "UnknownConfig", "Catalog", "Constraint", "Conversion",
-        "Arithmetic", "Transaction", "ExtensionMissing", "FileNotFound", "Fatal", "Hang",
+        "Syntax",
+        "UnsupportedStatement",
+        "UnknownFunction",
+        "UnsupportedType",
+        "UnsupportedOperator",
+        "UnknownConfig",
+        "Catalog",
+        "Constraint",
+        "Conversion",
+        "Arithmetic",
+        "Transaction",
+        "ExtensionMissing",
+        "FileNotFound",
+        "Fatal",
+        "Hang",
         "NotImplemented",
     ] {
         cov.register_branch(format!("err:{e}"));

@@ -35,11 +35,9 @@ impl ColBinding {
         }
         match table {
             None => true,
-            Some(t) => self
-                .qualifier
-                .as_deref()
-                .map(|q| q.eq_ignore_ascii_case(t))
-                .unwrap_or(false),
+            Some(t) => {
+                self.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(t)).unwrap_or(false)
+            }
         }
     }
 }
@@ -71,11 +69,7 @@ impl<'a> Scope<'a> {
     /// Resolve `[table.]name`, walking outward. Returns the value, or an
     /// error for unknown/ambiguous names.
     pub fn lookup(&self, table: Option<&str>, name: &str) -> Result<Value, EngineError> {
-        let mut matches = self
-            .cols
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.matches(table, name));
+        let mut matches = self.cols.iter().enumerate().filter(|(_, c)| c.matches(table, name));
         if let Some((idx, _)) = matches.next() {
             if table.is_none() && matches.next().is_some() {
                 return Err(EngineError::catalog(format!("ambiguous column name: {name}")));
@@ -235,10 +229,9 @@ mod tests {
     fn cte_stack_lookup() {
         let (cat, cfg, faults, exts, fns) = env_fixture();
         let env = QueryEnv::new(EngineDialect::Sqlite, &cat, &cfg, &faults, &exts, &fns, 100);
-        env.ctes.borrow_mut().push((
-            "x".to_string(),
-            Relation::with_cols(vec![ColBinding::bare("n")]),
-        ));
+        env.ctes
+            .borrow_mut()
+            .push(("x".to_string(), Relation::with_cols(vec![ColBinding::bare("n")])));
         assert!(env.cte("X").is_some());
         assert!(env.cte("y").is_none());
     }

@@ -158,9 +158,7 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, EngineError> {
             let needle = eval(expr, ctx)?;
             let rel = crate::exec::run_query(query, ctx.env, ctx.scope)?;
             if rel.cols.len() != 1 {
-                return Err(EngineError::syntax(
-                    "subquery in IN must return exactly one column",
-                ));
+                return Err(EngineError::syntax("subquery in IN must return exactly one column"));
             }
             let mut any_unknown = false;
             for row in &rel.rows {
@@ -181,8 +179,10 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, EngineError> {
             let v = eval(expr, ctx)?;
             let lo = eval(low, ctx)?;
             let hi = eval(high, ctx)?;
-            let ge = sql_compare_ord(ctx.env.dialect, &v, &lo)?.map(|o| o != std::cmp::Ordering::Less);
-            let le = sql_compare_ord(ctx.env.dialect, &v, &hi)?.map(|o| o != std::cmp::Ordering::Greater);
+            let ge =
+                sql_compare_ord(ctx.env.dialect, &v, &lo)?.map(|o| o != std::cmp::Ordering::Less);
+            let le = sql_compare_ord(ctx.env.dialect, &v, &hi)?
+                .map(|o| o != std::cmp::Ordering::Greater);
             let t = truth_of_option(ge).and(truth_of_option(le));
             Ok(if *negated { t.not().to_value() } else { t.to_value() })
         }
@@ -285,10 +285,9 @@ fn eval_unary(env: &QueryEnv<'_>, op: UnaryOp, v: Value) -> Result<Value, Engine
         UnaryOp::Not => Ok(truthiness(&v).not().to_value()),
         UnaryOp::Neg => match v {
             Value::Null => Ok(Value::Null),
-            Value::Integer(i) => i
-                .checked_neg()
-                .map(Value::Integer)
-                .ok_or_else(|| overflow_error(env.dialect)),
+            Value::Integer(i) => {
+                i.checked_neg().map(Value::Integer).ok_or_else(|| overflow_error(env.dialect))
+            }
             Value::Float(f) => Ok(Value::Float(-f)),
             other => {
                 let f = numeric_coerce(env.dialect, &other)?;
@@ -339,13 +338,20 @@ pub fn eval_binary(
             }
             Ok(Value::Text(format!("{}{}", text_of(&l), text_of(&r))))
         }
-        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::Gt | BinaryOp::LtEq
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::Gt
+        | BinaryOp::LtEq
         | BinaryOp::GtEq => {
             let t = compare_with_op(env, op, &l, &r)?;
             Ok(t.to_value())
         }
         BinaryOp::And | BinaryOp::Or => unreachable!("handled with shortcut semantics"),
-        BinaryOp::BitAnd | BinaryOp::BitOr | BinaryOp::BitXor | BinaryOp::ShiftLeft
+        BinaryOp::BitAnd
+        | BinaryOp::BitOr
+        | BinaryOp::BitXor
+        | BinaryOp::ShiftLeft
         | BinaryOp::ShiftRight => {
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
@@ -451,10 +457,7 @@ fn row_compare(
             }
         }
     }
-    Ok(Truth::from_bool(matches!(
-        op,
-        BinaryOp::Eq | BinaryOp::LtEq | BinaryOp::GtEq
-    )))
+    Ok(Truth::from_bool(matches!(op, BinaryOp::Eq | BinaryOp::LtEq | BinaryOp::GtEq)))
 }
 
 /// Compare two scalars: `None` means SQL NULL (unknown).
@@ -536,11 +539,7 @@ fn text_num_compare(
 }
 
 /// Convenience equality-style compare returning three-valued truth.
-pub fn sql_compare(
-    dialect: EngineDialect,
-    l: &Value,
-    r: &Value,
-) -> Result<Truth, EngineError> {
+pub fn sql_compare(dialect: EngineDialect, l: &Value, r: &Value) -> Result<Truth, EngineError> {
     match sql_compare_ord(dialect, l, r)? {
         None => Ok(Truth::Unknown),
         Some(o) => Ok(Truth::from_bool(o == std::cmp::Ordering::Equal)),
@@ -659,14 +658,10 @@ fn numeric_coerce(dialect: EngineDialect, v: &Value) -> Result<f64, EngineError>
     };
     match dialect {
         // SQLite and MySQL silently coerce the numeric prefix (or 0).
-        EngineDialect::Sqlite | EngineDialect::Mysql => {
-            Ok(parse_leading_number(s).unwrap_or(0.0))
-        }
+        EngineDialect::Sqlite | EngineDialect::Mysql => Ok(parse_leading_number(s).unwrap_or(0.0)),
         // PostgreSQL and DuckDB demand a fully-numeric string.
         EngineDialect::Postgres => s.trim().parse::<f64>().map_err(|_| {
-            EngineError::conversion(format!(
-                "invalid input syntax for type numeric: \"{s}\""
-            ))
+            EngineError::conversion(format!("invalid input syntax for type numeric: \"{s}\""))
         }),
         EngineDialect::Duckdb => s.trim().parse::<f64>().map_err(|_| {
             EngineError::conversion(format!(
@@ -705,20 +700,20 @@ pub fn cast_value(
                 EngineDialect::Sqlite | EngineDialect::Mysql => {
                     Ok(Value::Integer(parse_leading_number(s).unwrap_or(0.0) as i64))
                 }
-                EngineDialect::Postgres => s.trim().parse::<i64>().map(Value::Integer).map_err(
-                    |_| {
+                EngineDialect::Postgres => {
+                    s.trim().parse::<i64>().map(Value::Integer).map_err(|_| {
                         EngineError::conversion(format!(
                             "invalid input syntax for type integer: \"{s}\""
                         ))
-                    },
-                ),
-                EngineDialect::Duckdb => s.trim().parse::<i64>().map(Value::Integer).map_err(
-                    |_| {
+                    })
+                }
+                EngineDialect::Duckdb => {
+                    s.trim().parse::<i64>().map(Value::Integer).map_err(|_| {
                         EngineError::conversion(format!(
                             "Conversion Error: Could not convert string '{s}' to INT64"
                         ))
-                    },
-                ),
+                    })
+                }
             },
             _ => Err(EngineError::conversion("cannot cast to INTEGER")),
         },
@@ -849,9 +844,9 @@ pub fn compute_aggregate(
         }
         return Ok(Value::Integer(agg.rows.len() as i64));
     }
-    let arg = args.first().ok_or_else(|| {
-        EngineError::syntax(format!("aggregate {name}() requires an argument"))
-    })?;
+    let arg = args
+        .first()
+        .ok_or_else(|| EngineError::syntax(format!("aggregate {name}() requires an argument")))?;
     // Evaluate the argument per row of the group.
     let mut vals = Vec::with_capacity(agg.rows.len());
     for row in agg.rows {
@@ -938,11 +933,7 @@ pub fn compute_aggregate(
             }
             nums.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             let n = nums.len();
-            let m = if n % 2 == 1 {
-                nums[n / 2]
-            } else {
-                (nums[n / 2 - 1] + nums[n / 2]) / 2.0
-            };
+            let m = if n % 2 == 1 { nums[n / 2] } else { (nums[n / 2 - 1] + nums[n / 2]) / 2.0 };
             Ok(Value::Float(m))
         }
         "quantile" => {
@@ -970,9 +961,7 @@ pub fn compute_aggregate(
                 return Ok(Value::Null);
             }
             let sep = ",";
-            Ok(Value::Text(
-                vals.iter().map(render_plain).collect::<Vec<_>>().join(sep),
-            ))
+            Ok(Value::Text(vals.iter().map(render_plain).collect::<Vec<_>>().join(sep)))
         }
         _ => Err(unknown_function_error(env.dialect, name)),
     }
@@ -995,10 +984,7 @@ pub fn unknown_function_error(dialect: EngineDialect, name: &str) -> EngineError
 /// Minimal LIKE matcher: `%` any-run, `_` any-char.
 pub fn like_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
     let (t, p): (Vec<char>, Vec<char>) = if case_insensitive {
-        (
-            text.to_lowercase().chars().collect(),
-            pattern.to_lowercase().chars().collect(),
-        )
+        (text.to_lowercase().chars().collect(), pattern.to_lowercase().chars().collect())
     } else {
         (text.chars().collect(), pattern.chars().collect())
     };
@@ -1023,11 +1009,8 @@ fn like_rec(t: &[char], p: &[char]) -> bool {
 fn regex_lite_match(text: &str, pattern: &str) -> bool {
     let anchored_start = pattern.starts_with('^');
     let anchored_end = pattern.ends_with('$');
-    let core = pattern
-        .trim_start_matches('^')
-        .trim_end_matches('$')
-        .replace(".*", "%")
-        .replace('.', "_");
+    let core =
+        pattern.trim_start_matches('^').trim_end_matches('$').replace(".*", "%").replace('.', "_");
     let like = match (anchored_start, anchored_end) {
         (true, true) => core,
         (true, false) => format!("{core}%"),

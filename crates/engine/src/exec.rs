@@ -9,8 +9,7 @@ use crate::faults::FaultId;
 use crate::functions::is_aggregate;
 use crate::value::Value;
 use squality_sqlast::ast::{
-    Cte, Expr, JoinKind, OrderItem, SelectCore, SelectItem, SelectStmt, SetExpr, SetOp,
-    TableRef,
+    Cte, Expr, JoinKind, OrderItem, SelectCore, SelectItem, SelectStmt, SetExpr, SetOp, TableRef,
 };
 
 /// Execute a full query in the given environment, with an optional outer
@@ -73,8 +72,7 @@ fn eval_const_int(
 ) -> Result<i64, EngineError> {
     let ctx = EvalCtx { env, scope: outer, agg: None };
     let v = eval(e, &ctx)?;
-    v.as_i64()
-        .ok_or_else(|| EngineError::syntax("LIMIT/OFFSET must be an integer"))
+    v.as_i64().ok_or_else(|| EngineError::syntax("LIMIT/OFFSET must be an integer"))
 }
 
 /// Evaluate a set-expression body. The second return value, when present,
@@ -92,9 +90,7 @@ fn run_set_expr(
             env.cov_line("stmt:VALUES");
             let mut out = Relation::default();
             let width = rows.first().map(|r| r.len()).unwrap_or(0);
-            out.cols = (1..=width)
-                .map(|i| ColBinding::bare(format!("column{i}")))
-                .collect();
+            out.cols = (1..=width).map(|i| ColBinding::bare(format!("column{i}"))).collect();
             for row_exprs in rows {
                 env.tick(1)?;
                 if row_exprs.len() != width {
@@ -234,18 +230,11 @@ fn run_select_core(
         None => source.rows.clone(),
     };
 
-    let has_aggregates = core
-        .projection
-        .iter()
-        .any(|item| match item {
+    let has_aggregates =
+        core.projection.iter().any(|item| match item {
             SelectItem::Expr { expr, .. } => expr_has_aggregate(expr, env.dialect),
             _ => false,
-        })
-        || core
-            .having
-            .as_ref()
-            .map(|h| expr_has_aggregate(h, env.dialect))
-            .unwrap_or(false);
+        }) || core.having.as_ref().map(|h| expr_has_aggregate(h, env.dialect)).unwrap_or(false);
 
     let mut out;
     let mut order_source = None;
@@ -257,12 +246,7 @@ fn run_select_core(
         let cols = projection_bindings(&core.projection, &source.cols)?;
         out = Relation::with_cols(cols);
         let mut extended = Relation::with_cols(
-            source
-                .cols
-                .iter()
-                .cloned()
-                .chain(out.cols.iter().cloned())
-                .collect(),
+            source.cols.iter().cloned().chain(out.cols.iter().cloned()).collect(),
         );
         for row in &filtered_rows {
             env.tick(1)?;
@@ -321,10 +305,8 @@ fn run_grouped(
 
     for (_, members) in &groups {
         env.tick(1)?;
-        let rep_row: Vec<Value> = members
-            .first()
-            .cloned()
-            .unwrap_or_else(|| vec![Value::Null; cols.len()]);
+        let rep_row: Vec<Value> =
+            members.first().cloned().unwrap_or_else(|| vec![Value::Null; cols.len()]);
         let scope = Scope { cols, row: &rep_row, parent: outer };
         let agg = AggCtx { cols, rows: members, outer };
         let ctx = EvalCtx { env, scope: Some(&scope), agg: Some(&agg) };
@@ -359,8 +341,7 @@ fn projection_bindings(
             SelectItem::QualifiedWildcard(t) => {
                 let mut any = false;
                 for c in source_cols {
-                    if c.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(t)).unwrap_or(false)
-                    {
+                    if c.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(t)).unwrap_or(false) {
                         cols.push(c.clone());
                         any = true;
                     }
@@ -398,8 +379,7 @@ fn project_row(
             SelectItem::Wildcard => out.extend(row.iter().cloned()),
             SelectItem::QualifiedWildcard(t) => {
                 for (i, c) in source_cols.iter().enumerate() {
-                    if c.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(t)).unwrap_or(false)
-                    {
+                    if c.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(t)).unwrap_or(false) {
                         out.push(row[i].clone());
                     }
                 }
@@ -438,21 +418,15 @@ fn relation_of(
             if let Some(table) = env.catalog.table(name) {
                 env.cov_branch("from:table");
                 env.tick(table.rows.len() as u64 + 1)?;
-                let cols = table
-                    .columns
-                    .iter()
-                    .map(|c| ColBinding::qualified(binding, &c.name))
-                    .collect();
+                let cols =
+                    table.columns.iter().map(|c| ColBinding::qualified(binding, &c.name)).collect();
                 return Ok(Relation { cols, rows: table.rows.clone() });
             }
             if let Some(view) = env.catalog.view(name) {
                 env.cov_branch("from:view");
                 let rel = run_query(&view.query, env, None)?;
-                let renamed = if view.columns.is_empty() {
-                    rel
-                } else {
-                    rename_columns(rel, &view.columns)?
-                };
+                let renamed =
+                    if view.columns.is_empty() { rel } else { rename_columns(rel, &view.columns)? };
                 return Ok(requalify(renamed, binding));
             }
             Err(no_such_table(env.dialect, name))
@@ -531,9 +505,7 @@ fn table_function(
             }
             let ints: Vec<i64> = vals.iter().filter_map(Value::as_i64).collect();
             if ints.len() != vals.len() || ints.is_empty() || ints.len() > 3 {
-                return Err(EngineError::syntax(format!(
-                    "invalid arguments to {name}()"
-                )));
+                return Err(EngineError::syntax(format!("invalid arguments to {name}()")));
             }
             let (start, stop_incl, step) = match ints.len() {
                 1 => {
@@ -576,10 +548,8 @@ fn table_function(
                     }
                 }
             };
-            let mut rel = Relation::with_cols(vec![ColBinding::qualified(
-                alias.unwrap_or(col),
-                col,
-            )]);
+            let mut rel =
+                Relation::with_cols(vec![ColBinding::qualified(alias.unwrap_or(col), col)]);
             let mut i = start;
             loop {
                 if (step > 0 && i > stop_incl) || (step < 0 && i < stop_incl) {
@@ -598,9 +568,10 @@ fn table_function(
             if !matches!(env.dialect, EngineDialect::Postgres | EngineDialect::Duckdb) {
                 return Err(no_such_table_function(env.dialect, name));
             }
-            let v = eval(args.first().ok_or_else(|| {
-                EngineError::syntax("unnest() requires an argument")
-            })?, &ctx)?;
+            let v = eval(
+                args.first().ok_or_else(|| EngineError::syntax("unnest() requires an argument"))?,
+                &ctx,
+            )?;
             let mut rel = Relation::with_cols(vec![ColBinding::qualified(
                 alias.unwrap_or("unnest"),
                 "unnest",
@@ -722,7 +693,7 @@ fn join(
         }
         if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
             let mut row = lrow.clone();
-            row.extend(std::iter::repeat(Value::Null).take(right.cols.len()));
+            row.extend(std::iter::repeat_n(Value::Null, right.cols.len()));
             rows.push(row);
         }
     }
@@ -730,7 +701,7 @@ fn join(
         for (ri, rrow) in right.rows.iter().enumerate() {
             if !right_matched[ri] {
                 let mut row: Vec<Value> =
-                    std::iter::repeat(Value::Null).take(left.cols.len()).collect();
+                    std::iter::repeat_n(Value::Null, left.cols.len()).collect();
                 row.extend(rrow.iter().cloned());
                 rows.push(row);
             }
@@ -752,10 +723,11 @@ fn sort_relation(
     // honours its default_null_order setting (the paper's Configurations
     // failure shows what happens when that SET fails on another engine).
     let dialect_nulls_smallest = match env.dialect {
-        EngineDialect::Duckdb => {
-            env.config.get("default_null_order").map(|v| v.eq_ignore_ascii_case("nulls_first"))
-                .unwrap_or(false)
-        }
+        EngineDialect::Duckdb => env
+            .config
+            .get("default_null_order")
+            .map(|v| v.eq_ignore_ascii_case("nulls_first"))
+            .unwrap_or(false),
         d => d.default_nulls_smallest(),
     };
 
@@ -811,9 +783,7 @@ fn order_key_value(
         if i >= 1 && (i as usize) <= rel.cols.len() {
             return Ok(row[i as usize - 1].clone());
         }
-        return Err(EngineError::syntax(format!(
-            "ORDER BY position {i} is not in select list"
-        )));
+        return Err(EngineError::syntax(format!("ORDER BY position {i} is not in select list")));
     }
     // Alias reference into the projection.
     if let Expr::Column { table: None, name } = &item.expr {
@@ -858,10 +828,7 @@ fn materialize_cte(
 
     // Paper Listing 14 (CVE-2024-20962): MySQL crashed when the recursive
     // arm was itself a nested set operation.
-    let recursive_arm_is_setop = matches!(
-        unwrap_query(right),
-        SetExpr::SetOp { .. }
-    );
+    let recursive_arm_is_setop = matches!(unwrap_query(right), SetExpr::SetOp { .. });
     if env.dialect == EngineDialect::Mysql
         && env.faults.is_enabled(FaultId::MysqlRecursiveCteCrash)
         && recursive_arm_is_setop
@@ -876,8 +843,7 @@ fn materialize_cte(
     // Self-reference inside a subquery expression: rejected by PostgreSQL,
     // MySQL, and SQLite; deliberately allowed by DuckDB (paper Listing 15),
     // where it loops until the step budget calls it a hang.
-    if self_ref_in_subquery_set(right, &cte.name)
-        && !env.dialect.allows_recursive_ref_in_subquery()
+    if self_ref_in_subquery_set(right, &cte.name) && !env.dialect.allows_recursive_ref_in_subquery()
     {
         return Err(EngineError::syntax(format!(
             "recursive reference to query \"{}\" must not appear within a subquery",
@@ -937,10 +903,7 @@ fn finish_cte_columns(rel: Relation, cte: &Cte) -> Result<Relation, EngineError>
         Ok(rel)
     } else {
         if cte.columns.len() != rel.cols.len() {
-            return Err(EngineError::syntax(format!(
-                "CTE {} column count mismatch",
-                cte.name
-            )));
+            return Err(EngineError::syntax(format!("CTE {} column count mismatch", cte.name)));
         }
         rename_columns(rel, &cte.columns)
     }
@@ -954,9 +917,7 @@ fn validate_functions(core: &SelectCore, env: &QueryEnv<'_>) -> Result<(), Engin
         if check.is_err() {
             return;
         }
-        if !is_aggregate(env.dialect, name)
-            && !crate::functions::scalar_exists(env, name)
-        {
+        if !is_aggregate(env.dialect, name) && !crate::functions::scalar_exists(env, name) {
             check = Err(crate::eval::unknown_function_error(env.dialect, name));
         }
     };
@@ -1051,9 +1012,9 @@ pub fn expr_has_aggregate(expr: &Expr, dialect: EngineDialect) -> bool {
         Expr::Cast { expr, .. } => expr_has_aggregate(expr, dialect),
         Expr::Case { operand, branches, else_branch } => {
             operand.as_ref().map(|e| expr_has_aggregate(e, dialect)).unwrap_or(false)
-                || branches.iter().any(|(c, r)| {
-                    expr_has_aggregate(c, dialect) || expr_has_aggregate(r, dialect)
-                })
+                || branches
+                    .iter()
+                    .any(|(c, r)| expr_has_aggregate(c, dialect) || expr_has_aggregate(r, dialect))
                 || else_branch.as_ref().map(|e| expr_has_aggregate(e, dialect)).unwrap_or(false)
         }
         Expr::IsNull { expr, .. } => expr_has_aggregate(expr, dialect),
@@ -1061,8 +1022,7 @@ pub fn expr_has_aggregate(expr: &Expr, dialect: EngineDialect) -> bool {
             expr_has_aggregate(left, dialect) || expr_has_aggregate(right, dialect)
         }
         Expr::InList { expr, list, .. } => {
-            expr_has_aggregate(expr, dialect)
-                || list.iter().any(|e| expr_has_aggregate(e, dialect))
+            expr_has_aggregate(expr, dialect) || list.iter().any(|e| expr_has_aggregate(e, dialect))
         }
         Expr::Between { expr, low, high, .. } => {
             expr_has_aggregate(expr, dialect)
@@ -1148,18 +1108,14 @@ fn expr_has_subquery_ref(expr: &Expr, name: &str) -> bool {
         Expr::Cast { expr, .. } => expr_has_subquery_ref(expr, name),
         Expr::Case { operand, branches, else_branch } => {
             operand.as_ref().map(|e| expr_has_subquery_ref(e, name)).unwrap_or(false)
-                || branches.iter().any(|(c, r)| {
-                    expr_has_subquery_ref(c, name) || expr_has_subquery_ref(r, name)
-                })
-                || else_branch
-                    .as_ref()
-                    .map(|e| expr_has_subquery_ref(e, name))
-                    .unwrap_or(false)
+                || branches
+                    .iter()
+                    .any(|(c, r)| expr_has_subquery_ref(c, name) || expr_has_subquery_ref(r, name))
+                || else_branch.as_ref().map(|e| expr_has_subquery_ref(e, name)).unwrap_or(false)
         }
         Expr::IsNull { expr, .. } => expr_has_subquery_ref(expr, name),
         Expr::InList { expr, list, .. } => {
-            expr_has_subquery_ref(expr, name)
-                || list.iter().any(|e| expr_has_subquery_ref(e, name))
+            expr_has_subquery_ref(expr, name) || list.iter().any(|e| expr_has_subquery_ref(e, name))
         }
         Expr::Between { expr, low, high, .. } => {
             expr_has_subquery_ref(expr, name)

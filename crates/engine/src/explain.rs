@@ -159,8 +159,7 @@ mod tests {
     #[test]
     fn four_formats_differ() {
         let sql = "SELECT k FROM integers WHERE j = 5";
-        let plans: Vec<Vec<String>> =
-            EngineDialect::ALL.iter().map(|d| plan(*d, sql)).collect();
+        let plans: Vec<Vec<String>> = EngineDialect::ALL.iter().map(|d| plan(*d, sql)).collect();
         // Pairwise distinct renderings: EXPLAIN tests cannot transfer.
         for i in 0..plans.len() {
             for j in i + 1..plans.len() {

@@ -39,9 +39,7 @@ impl FaultId {
             FaultId::DuckdbAlterSchemaCrash
             | FaultId::DuckdbUpdateAfterCommitCrash
             | FaultId::DuckdbRecursiveCteHang => EngineDialect::Duckdb,
-            FaultId::MysqlRecursiveCteCrash | FaultId::MysqlJoinSearchHang => {
-                EngineDialect::Mysql
-            }
+            FaultId::MysqlRecursiveCteCrash | FaultId::MysqlJoinSearchHang => EngineDialect::Mysql,
             FaultId::SqliteGenerateSeriesOverflowHang => EngineDialect::Sqlite,
         }
     }

@@ -31,34 +31,103 @@ pub fn is_aggregate(dialect: EngineDialect, name: &str) -> bool {
 /// and the RQ1 census.
 pub fn scalar_function_names(dialect: EngineDialect) -> Vec<&'static str> {
     let mut names = vec![
-        "abs", "length", "upper", "lower", "substr", "substring", "coalesce", "nullif",
-        "round", "replace", "trim", "ltrim", "rtrim", "floor", "ceil", "ceiling", "sqrt",
-        "power", "pow", "sign", "mod", "char_length", "reverse", "hex", "instr",
+        "abs",
+        "length",
+        "upper",
+        "lower",
+        "substr",
+        "substring",
+        "coalesce",
+        "nullif",
+        "round",
+        "replace",
+        "trim",
+        "ltrim",
+        "rtrim",
+        "floor",
+        "ceil",
+        "ceiling",
+        "sqrt",
+        "power",
+        "pow",
+        "sign",
+        "mod",
+        "char_length",
+        "reverse",
+        "hex",
+        "instr",
     ];
     match dialect {
         EngineDialect::Sqlite => {
-            names.extend(["typeof", "ifnull", "sqlite_version", "random", "quote", "unicode",
-                "zeroblob", "iif", "likelihood", "likely", "unlikely"]);
+            names.extend([
+                "typeof",
+                "ifnull",
+                "sqlite_version",
+                "random",
+                "quote",
+                "unicode",
+                "zeroblob",
+                "iif",
+                "likelihood",
+                "likely",
+                "unlikely",
+            ]);
         }
         EngineDialect::Postgres => {
             names.extend([
-                "pg_typeof", "to_json", "version", "current_database", "pg_backend_pid",
-                "has_column_privilege", "array_length", "to_char", "ascii", "chr",
-                "pg_table_size", "quote_literal", "quote_ident", "current_schema", "concat",
-                "greatest", "least",
+                "pg_typeof",
+                "to_json",
+                "version",
+                "current_database",
+                "pg_backend_pid",
+                "has_column_privilege",
+                "array_length",
+                "to_char",
+                "ascii",
+                "chr",
+                "pg_table_size",
+                "quote_literal",
+                "quote_ident",
+                "current_schema",
+                "concat",
+                "greatest",
+                "least",
             ]);
         }
         EngineDialect::Duckdb => {
             names.extend([
-                "pg_typeof", "typeof", "range", "list_value", "struct_pack", "version",
-                "current_database", "has_column_privilege", "len", "list_contains",
-                "array_length", "greatest", "least", "current_schema", "concat",
+                "pg_typeof",
+                "typeof",
+                "range",
+                "list_value",
+                "struct_pack",
+                "version",
+                "current_database",
+                "has_column_privilege",
+                "len",
+                "list_contains",
+                "array_length",
+                "greatest",
+                "least",
+                "current_schema",
+                "concat",
             ]);
         }
         EngineDialect::Mysql => {
             names.extend([
-                "database", "connection_id", "last_insert_id", "concat", "ifnull", "if",
-                "version", "ascii", "char", "greatest", "least", "truncate", "rand",
+                "database",
+                "connection_id",
+                "last_insert_id",
+                "concat",
+                "ifnull",
+                "if",
+                "version",
+                "ascii",
+                "char",
+                "greatest",
+                "least",
+                "truncate",
+                "rand",
             ]);
         }
     }
@@ -112,11 +181,7 @@ pub fn call_scalar(
             if args[0].is_null() {
                 Value::Null
             } else {
-                let digits = if args.len() == 2 {
-                    args[1].as_i64().unwrap_or(0)
-                } else {
-                    0
-                };
+                let digits = if args.len() == 2 { args[1].as_i64().unwrap_or(0) } else { 0 };
                 let f = coerce_num(&args[0], d)?;
                 let scale = 10f64.powi(digits as i32);
                 Value::Float((f * scale).round() / scale)
@@ -140,9 +205,7 @@ pub fn call_scalar(
                 (Some(_), Some(0)) => Value::Null,
                 (Some(a), Some(b)) => Value::Integer(a % b),
                 _ if args.iter().any(Value::is_null) => Value::Null,
-                _ => Value::Float(
-                    coerce_num(&args[0], d)? % coerce_num(&args[1], d)?,
-                ),
+                _ => Value::Float(coerce_num(&args[0], d)? % coerce_num(&args[1], d)?),
             }
         }
         "length" | "char_length" | "len" => {
@@ -167,13 +230,9 @@ pub fn call_scalar(
         "ltrim" => one_text(args, |s| s.trim_start().to_string())?,
         "rtrim" => one_text(args, |s| s.trim_end().to_string())?,
         "hex" => match args.first() {
-            Some(Value::Blob(b)) => {
-                Value::Text(b.iter().map(|x| format!("{x:02X}")).collect())
-            }
+            Some(Value::Blob(b)) => Value::Text(b.iter().map(|x| format!("{x:02X}")).collect()),
             Some(Value::Null) => Value::Text(String::new()),
-            Some(v) => Value::Text(
-                render_plain(v).bytes().map(|x| format!("{x:02X}")).collect(),
-            ),
+            Some(v) => Value::Text(render_plain(v).bytes().map(|x| format!("{x:02X}")).collect()),
             None => return Err(wrong_args("hex")),
         },
         "substr" | "substring" => {
@@ -216,9 +275,7 @@ pub fn call_scalar(
             } else {
                 let hay = text_of(&args[0]);
                 let needle = text_of(&args[1]);
-                Value::Integer(
-                    hay.find(&needle).map(|i| i as i64 + 1).unwrap_or(0),
-                )
+                Value::Integer(hay.find(&needle).map(|i| i as i64 + 1).unwrap_or(0))
             }
         }
         "coalesce" => {
@@ -274,10 +331,8 @@ pub fn call_scalar(
             }
         }
         "concat" => {
-            if !matches!(
-                d,
-                EngineDialect::Mysql | EngineDialect::Postgres | EngineDialect::Duckdb
-            ) {
+            if !matches!(d, EngineDialect::Mysql | EngineDialect::Postgres | EngineDialect::Duckdb)
+            {
                 return Ok(None);
             }
             if d == EngineDialect::Mysql && args.iter().any(Value::is_null) {
@@ -298,8 +353,7 @@ pub fn call_scalar(
                 return Ok(None);
             }
             let non_null: Vec<&Value> = args.iter().filter(|v| !v.is_null()).collect();
-            if non_null.is_empty() || (d == EngineDialect::Mysql && non_null.len() < args.len())
-            {
+            if non_null.is_empty() || (d == EngineDialect::Mysql && non_null.len() < args.len()) {
                 Value::Null
             } else {
                 let mut best = non_null[0].clone();
@@ -405,8 +459,7 @@ pub fn call_scalar(
                     Value::Boolean(true)
                 }
                 EngineDialect::Postgres => {
-                    let valid = args.len() >= 2
-                        && args.iter().all(|a| matches!(a, Value::Text(_)));
+                    let valid = args.len() >= 2 && args.iter().all(|a| matches!(a, Value::Text(_)));
                     if !valid {
                         return Err(EngineError::new(
                             ErrorKind::Conversion,
@@ -490,10 +543,7 @@ pub fn call_scalar(
                 return Ok(None);
             }
             Value::Struct(
-                args.iter()
-                    .enumerate()
-                    .map(|(i, v)| (format!("v{}", i + 1), v.clone()))
-                    .collect(),
+                args.iter().enumerate().map(|(i, v)| (format!("v{}", i + 1), v.clone())).collect(),
             )
         }
         "array_length" => {
@@ -521,9 +571,7 @@ pub fn call_scalar(
 
 fn range_bounds(args: &[Value]) -> Result<(i64, i64, i64), EngineError> {
     let get = |i: usize| -> Result<i64, EngineError> {
-        args.get(i)
-            .and_then(Value::as_i64)
-            .ok_or_else(|| wrong_args("range"))
+        args.get(i).and_then(Value::as_i64).ok_or_else(|| wrong_args("range"))
     };
     match args.len() {
         1 => Ok((0, get(0)?, 1)),
@@ -531,10 +579,7 @@ fn range_bounds(args: &[Value]) -> Result<(i64, i64, i64), EngineError> {
         3 => {
             let step = get(2)?;
             if step == 0 {
-                return Err(EngineError::new(
-                    ErrorKind::Arithmetic,
-                    "range step cannot be zero",
-                ));
+                return Err(EngineError::new(ErrorKind::Arithmetic, "range step cannot be zero"));
             }
             Ok((get(0)?, get(1)?, step))
         }
@@ -663,7 +708,9 @@ fn to_json(v: &Value) -> String {
         Value::Float(f) => format!("{}", f),
         Value::Text(s) => format!("\"{}\"", s.replace('"', "\\\"")),
         Value::Boolean(b) => b.to_string(),
-        Value::Blob(b) => format!("\"{}\"", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+        Value::Blob(b) => {
+            format!("\"{}\"", b.iter().map(|x| format!("{x:02x}")).collect::<String>())
+        }
         Value::List(items) => {
             let inner: Vec<String> = items.iter().map(to_json).collect();
             format!("[{}]", inner.join(","))
@@ -727,27 +774,16 @@ mod tests {
         assert!(call(EngineDialect::Postgres, "pg_typeof", &[Value::Integer(1)])
             .unwrap()
             .is_some());
-        assert!(call(EngineDialect::Duckdb, "pg_typeof", &[Value::Integer(1)])
-            .unwrap()
-            .is_some());
-        assert!(call(EngineDialect::Mysql, "pg_typeof", &[Value::Integer(1)])
-            .unwrap()
-            .is_none());
-        assert!(call(EngineDialect::Sqlite, "pg_typeof", &[Value::Integer(1)])
-            .unwrap()
-            .is_none());
+        assert!(call(EngineDialect::Duckdb, "pg_typeof", &[Value::Integer(1)]).unwrap().is_some());
+        assert!(call(EngineDialect::Mysql, "pg_typeof", &[Value::Integer(1)]).unwrap().is_none());
+        assert!(call(EngineDialect::Sqlite, "pg_typeof", &[Value::Integer(1)]).unwrap().is_none());
     }
 
     #[test]
     fn range_is_duckdb_only() {
         let r = call(EngineDialect::Duckdb, "range", &[Value::Integer(3)]).unwrap().unwrap();
-        assert_eq!(
-            r,
-            Value::List(vec![Value::Integer(0), Value::Integer(1), Value::Integer(2)])
-        );
-        assert!(call(EngineDialect::Postgres, "range", &[Value::Integer(3)])
-            .unwrap()
-            .is_none());
+        assert_eq!(r, Value::List(vec![Value::Integer(0), Value::Integer(1), Value::Integer(2)]));
+        assert!(call(EngineDialect::Postgres, "range", &[Value::Integer(3)]).unwrap().is_none());
     }
 
     #[test]
@@ -789,9 +825,7 @@ mod tests {
             call(EngineDialect::Duckdb, "typeof", &[Value::Text("x".into())]).unwrap(),
             Some(Value::Text("VARCHAR".into()))
         );
-        assert!(call(EngineDialect::Postgres, "typeof", &[Value::Integer(1)])
-            .unwrap()
-            .is_none());
+        assert!(call(EngineDialect::Postgres, "typeof", &[Value::Integer(1)]).unwrap().is_none());
     }
 
     #[test]
@@ -805,19 +839,20 @@ mod tests {
             Some(Value::Integer(5))
         );
         assert_eq!(
-            call(EngineDialect::Sqlite, "substr", &[
-                Value::Text("hello".into()),
-                Value::Integer(2),
-                Value::Integer(3)
-            ])
+            call(
+                EngineDialect::Sqlite,
+                "substr",
+                &[Value::Text("hello".into()), Value::Integer(2), Value::Integer(3)]
+            )
             .unwrap(),
             Some(Value::Text("ell".into()))
         );
         assert_eq!(
-            call(EngineDialect::Sqlite, "instr", &[
-                Value::Text("hello".into()),
-                Value::Text("ll".into())
-            ])
+            call(
+                EngineDialect::Sqlite,
+                "instr",
+                &[Value::Text("hello".into()), Value::Text("ll".into())]
+            )
             .unwrap(),
             Some(Value::Integer(3))
         );
@@ -838,26 +873,22 @@ mod tests {
     #[test]
     fn mysql_if_and_concat() {
         assert_eq!(
-            call(EngineDialect::Mysql, "if", &[
-                Value::Integer(1),
-                Value::Text("y".into()),
-                Value::Text("n".into())
-            ])
+            call(
+                EngineDialect::Mysql,
+                "if",
+                &[Value::Integer(1), Value::Text("y".into()), Value::Text("n".into())]
+            )
             .unwrap(),
             Some(Value::Text("y".into()))
         );
         assert_eq!(
-            call(EngineDialect::Mysql, "concat", &[
-                Value::Text("a".into()),
-                Value::Integer(1)
-            ])
-            .unwrap(),
+            call(EngineDialect::Mysql, "concat", &[Value::Text("a".into()), Value::Integer(1)])
+                .unwrap(),
             Some(Value::Text("a1".into()))
         );
         // MySQL concat is NULL-propagating; PostgreSQL's skips NULLs.
         assert_eq!(
-            call(EngineDialect::Mysql, "concat", &[Value::Null, Value::Text("x".into())])
-                .unwrap(),
+            call(EngineDialect::Mysql, "concat", &[Value::Null, Value::Text("x".into())]).unwrap(),
             Some(Value::Null)
         );
         assert_eq!(
@@ -884,13 +915,10 @@ mod tests {
     #[test]
     fn to_json_renders() {
         assert_eq!(
-            call(EngineDialect::Postgres, "to_json", &[Value::Text("2014-05-28".into())])
-                .unwrap(),
+            call(EngineDialect::Postgres, "to_json", &[Value::Text("2014-05-28".into())]).unwrap(),
             Some(Value::Text("\"2014-05-28\"".into()))
         );
-        assert!(call(EngineDialect::Duckdb, "to_json", &[Value::Integer(1)])
-            .unwrap()
-            .is_none());
+        assert!(call(EngineDialect::Duckdb, "to_json", &[Value::Integer(1)]).unwrap().is_none());
     }
 
     #[test]

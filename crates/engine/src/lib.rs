@@ -43,6 +43,7 @@ pub mod exec;
 pub mod explain;
 pub mod faults;
 pub mod functions;
+pub mod plan_cache;
 pub mod schema;
 pub mod types;
 pub mod value;
@@ -53,4 +54,5 @@ pub use dialect::EngineDialect;
 pub use engine::{Engine, QueryResult, DEFAULT_STEP_BUDGET};
 pub use error::{EngineError, ErrorKind};
 pub use faults::{FaultId, FaultProfile};
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use value::Value;

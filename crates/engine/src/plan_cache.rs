@@ -1,0 +1,223 @@
+//! A shared, thread-safe statement-plan cache.
+//!
+//! The paper's runner executes suites "statement-by-statement", and SLT
+//! loops replay the same statement text hundreds of times with only
+//! variable substitution between iterations; across the suite × host
+//! matrix the same file is parsed once per host. Parsing is the dominant
+//! per-statement fixed cost, so the cache keys parses by the logical pair
+//! `(TextDialect, String)` and shares the resulting [`Stmt`] behind an
+//! `Arc` — across loop iterations, files, worker threads, and the four
+//! dialect engines.
+//!
+//! The map is sharded (per dialect, then by a hash of the SQL) so parallel
+//! suite workers do not serialize on one lock, and lookups borrow the SQL
+//! as `&str` so a cache hit allocates nothing. Parse *errors* are cached
+//! too: suites deliberately contain invalid statements (`SELEC ...`) that
+//! loops replay just as often as valid ones.
+
+use squality_sqlast::{ast::Stmt, parse_statement, ParseError};
+use squality_sqltext::TextDialect;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Hash shards per dialect; must be a power of two.
+const SHARDS_PER_DIALECT: usize = 8;
+
+/// Capacity bound per shard. Loop-variable substitution mints a distinct
+/// statement text per iteration, so an unbounded map would grow linearly
+/// with total distinct statements for the process lifetime. A full shard
+/// stops admitting new entries (hot texts — loop bodies, setup SQL —
+/// recur early and are already in); lookups still hit, misses just parse.
+/// Bound: 5 dialects × 8 shards × 8192 entries.
+const MAX_ENTRIES_PER_SHARD: usize = 8192;
+
+type Shard = RwLock<HashMap<Box<str>, Result<Arc<Stmt>, ParseError>>>;
+
+/// A concurrent parse cache keyed by `(TextDialect, String)`.
+///
+/// Cheap to share: clone the surrounding [`Arc`]. One cache may serve any
+/// number of engines, connectors, and scheduler workers concurrently.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    shards: [[Shard; SHARDS_PER_DIALECT]; TextDialect::ALL.len()],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counter snapshot for reporting and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse.
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit fraction in [0, 1]; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Empty cache, pre-wrapped for sharing.
+    pub fn shared() -> Arc<PlanCache> {
+        Arc::new(PlanCache::new())
+    }
+
+    fn shard(&self, dialect: TextDialect, sql: &str) -> &Shard {
+        let d = TextDialect::ALL
+            .iter()
+            .position(|x| *x == dialect)
+            .expect("dialect registered in TextDialect::ALL");
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        sql.hash(&mut h);
+        &self.shards[d][(h.finish() as usize) & (SHARDS_PER_DIALECT - 1)]
+    }
+
+    /// Parse `sql` under `dialect`, reusing a prior parse of the identical
+    /// text when available. Hits allocate nothing.
+    pub fn parse(&self, dialect: TextDialect, sql: &str) -> Result<Arc<Stmt>, ParseError> {
+        let shard = self.shard(dialect, sql);
+        if let Some(cached) = shard.read().expect("plan cache poisoned").get(sql) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let parsed = parse_statement(sql, dialect).map(Arc::new);
+        let mut map = shard.write().expect("plan cache poisoned");
+        if map.len() < MAX_ENTRIES_PER_SHARD {
+            map.entry(Box::from(sql)).or_insert_with(|| parsed.clone());
+        }
+        parsed
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.all_shards().map(|s| s.read().expect("plan cache poisoned").len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries, keeping the counters.
+    pub fn clear(&self) {
+        for shard in self.all_shards() {
+            shard.write().expect("plan cache poisoned").clear();
+        }
+    }
+
+    fn all_shards(&self) -> impl Iterator<Item = &Shard> {
+        self.shards.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_parse_hits() {
+        let cache = PlanCache::new();
+        let a = cache.parse(TextDialect::Sqlite, "SELECT 1 + 2").unwrap();
+        let b = cache.parse(TextDialect::Sqlite, "SELECT 1 + 2").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the parsed statement");
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn dialects_are_keyed_separately() {
+        // `DIV` parses on MySQL and is a syntax error on PostgreSQL; one
+        // cache must keep both answers apart.
+        let cache = PlanCache::new();
+        let sql = "SELECT 62 DIV 2";
+        assert!(cache.parse(TextDialect::Mysql, sql).is_ok());
+        assert!(cache.parse(TextDialect::Postgres, sql).is_err());
+        assert!(cache.parse(TextDialect::Mysql, sql).is_ok());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn errors_are_cached() {
+        let cache = PlanCache::new();
+        let e1 = cache.parse(TextDialect::Sqlite, "SELEC garbage").unwrap_err();
+        let e2 = cache.parse(TextDialect::Sqlite, "SELEC garbage").unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = PlanCache::new();
+        cache.parse(TextDialect::Sqlite, "SELECT 1").ok();
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_parses_converge() {
+        let cache = PlanCache::shared();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..50 {
+                        let sql = format!("SELECT {}", i % 10);
+                        cache.parse(TextDialect::Duckdb, &sql).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 10);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 200);
+        assert!(stats.hits >= 200 - 4 * 10, "{stats:?}");
+    }
+
+    #[test]
+    fn full_shards_stop_admitting_but_keep_hitting() {
+        let cache = PlanCache::new();
+        // Overfill one dialect's shards; len must plateau at the bound.
+        let bound = SHARDS_PER_DIALECT * MAX_ENTRIES_PER_SHARD;
+        for i in 0..bound + 500 {
+            cache.parse(TextDialect::Sqlite, &format!("SELECT {i}")).unwrap();
+        }
+        assert!(cache.len() <= bound, "{} > {bound}", cache.len());
+        // Entries admitted early still hit after the cache fills.
+        let before = cache.stats().hits;
+        cache.parse(TextDialect::Sqlite, "SELECT 0").unwrap();
+        assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn hit_rate_ranges() {
+        assert_eq!(PlanCacheStats::default().hit_rate(), 0.0);
+        let s = PlanCacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

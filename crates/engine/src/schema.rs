@@ -80,9 +80,9 @@ impl Catalog {
 
     /// Case-insensitive table lookup.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables
-            .get(name)
-            .or_else(|| self.tables.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v))
+        self.tables.get(name).or_else(|| {
+            self.tables.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v)
+        })
     }
 
     /// Case-insensitive mutable table lookup.
@@ -101,9 +101,9 @@ impl Catalog {
 
     /// Case-insensitive view lookup.
     pub fn view(&self, name: &str) -> Option<&View> {
-        self.views
-            .get(name)
-            .or_else(|| self.views.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v))
+        self.views.get(name).or_else(|| {
+            self.views.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v)
+        })
     }
 }
 
@@ -113,10 +113,7 @@ mod tests {
 
     #[test]
     fn column_index_case_insensitive() {
-        let t = Table {
-            columns: vec![Column::new("Alpha", DataType::Integer)],
-            rows: vec![],
-        };
+        let t = Table { columns: vec![Column::new("Alpha", DataType::Integer)], rows: vec![] };
         assert_eq!(t.column_index("alpha"), Some(0));
         assert_eq!(t.column_index("ALPHA"), Some(0));
         assert_eq!(t.column_index("beta"), None);

@@ -16,7 +16,9 @@ pub enum DataType {
     Any,
     Integer,
     Float,
-    Text { max_len: Option<i64> },
+    Text {
+        max_len: Option<i64>,
+    },
     Blob,
     Boolean,
     List(Box<DataType>),
@@ -98,10 +100,7 @@ fn resolve_simple(
                 // SERIAL exists on PostgreSQL and (as an alias for BIGINT
                 // AUTO_INCREMENT) on MySQL; DuckDB rejects it.
                 "SERIAL" | "BIGSERIAL"
-                    if !matches!(
-                        dialect,
-                        EngineDialect::Postgres | EngineDialect::Mysql
-                    ) =>
+                    if !matches!(dialect, EngineDialect::Postgres | EngineDialect::Mysql) =>
                 {
                     Err(EngineError::unsupported_type(&upper))
                 }
@@ -195,8 +194,9 @@ mod tests {
         assert!(resolve_type(&s, EngineDialect::Duckdb).is_ok());
         assert!(resolve_type(&s, EngineDialect::Postgres).is_err());
         assert!(resolve_type(&s, EngineDialect::Mysql).is_err());
-        // SQLite's dynamic typing gives everything an affinity instead.
-        assert!(resolve_type(&s, EngineDialect::Sqlite).is_err() == false || true);
+        // SQLite has no composite types either: STRUCT columns are the
+        // paper's "Types" incompatibility class on every non-DuckDB host.
+        assert!(resolve_type(&s, EngineDialect::Sqlite).is_err());
     }
 
     #[test]
@@ -231,7 +231,10 @@ mod tests {
 
     #[test]
     fn sqlite_affinity_rules() {
-        assert_eq!(resolve_type(&simple("BIGINT"), EngineDialect::Sqlite).unwrap(), DataType::Integer);
+        assert_eq!(
+            resolve_type(&simple("BIGINT"), EngineDialect::Sqlite).unwrap(),
+            DataType::Integer
+        );
         assert_eq!(
             resolve_type(&simple("VARCHAR"), EngineDialect::Sqlite).unwrap(),
             DataType::Text { max_len: None }
@@ -241,10 +244,7 @@ mod tests {
             DataType::Float
         );
         // Unknown words get NUMERIC affinity (Any), never an error.
-        assert_eq!(
-            resolve_type(&simple("MYSTERY"), EngineDialect::Sqlite).unwrap(),
-            DataType::Any
-        );
+        assert_eq!(resolve_type(&simple("MYSTERY"), EngineDialect::Sqlite).unwrap(), DataType::Any);
     }
 
     #[test]

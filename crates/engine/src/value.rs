@@ -168,6 +168,7 @@ impl Truth {
     }
 
     /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)] // SQL 3VL NOT, not `std::ops::Not`
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,
@@ -257,23 +258,14 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(
-            Value::Integer(1).total_cmp(&Value::Float(1.5), true),
-            Ordering::Less
-        );
-        assert_eq!(
-            Value::Float(2.0).total_cmp(&Value::Integer(2), true),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Integer(1).total_cmp(&Value::Float(1.5), true), Ordering::Less);
+        assert_eq!(Value::Float(2.0).total_cmp(&Value::Integer(2), true), Ordering::Equal);
     }
 
     #[test]
     fn sqlite_storage_class_order() {
         // numeric < text < blob
-        assert_eq!(
-            Value::Integer(999).total_cmp(&Value::Text("a".into()), true),
-            Ordering::Less
-        );
+        assert_eq!(Value::Integer(999).total_cmp(&Value::Text("a".into()), true), Ordering::Less);
         assert_eq!(
             Value::Text("zzz".into()).total_cmp(&Value::Blob(vec![0]), true),
             Ordering::Less

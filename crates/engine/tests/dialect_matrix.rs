@@ -82,11 +82,7 @@ fn modulo_by_zero_matrix() {
 fn integer_overflow_matrix() {
     let sig = signature("SELECT 9223372036854775807 + 1");
     for d in EngineDialect::ALL {
-        assert!(
-            outcome_of(&sig, d).contains("Arithmetic"),
-            "{d}: {}",
-            outcome_of(&sig, d)
-        );
+        assert!(outcome_of(&sig, d).contains("Arithmetic"), "{d}: {}", outcome_of(&sig, d));
     }
 }
 

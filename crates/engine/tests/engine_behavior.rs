@@ -60,10 +60,7 @@ fn insert_column_subset_uses_defaults_and_nulls() {
     e.execute("CREATE TABLE t(a INTEGER, b INTEGER DEFAULT 7, c TEXT)").unwrap();
     e.execute("INSERT INTO t(a) VALUES (1)").unwrap();
     let r = e.execute("SELECT a, b, c FROM t").unwrap();
-    assert_eq!(
-        r.rows[0],
-        vec![Value::Integer(1), Value::Integer(7), Value::Null]
-    );
+    assert_eq!(r.rows[0], vec![Value::Integer(1), Value::Integer(7), Value::Null]);
 }
 
 #[test]
@@ -136,10 +133,7 @@ fn coalesce_cross_engine_results() {
     assert_eq!(one_value(&mut s, "SELECT COALESCE(1, 1.0)"), Value::Integer(1));
     let mut p = fresh(EngineDialect::Postgres);
     let pv = one_value(&mut p, "SELECT COALESCE(1, 1.0)");
-    assert_eq!(
-        squality_engine::render_value(&pv, EngineDialect::Postgres, ClientKind::Cli),
-        "1"
-    );
+    assert_eq!(squality_engine::render_value(&pv, EngineDialect::Postgres, ClientKind::Cli), "1");
     for d in [EngineDialect::Duckdb, EngineDialect::Mysql] {
         let mut e = fresh(d);
         let v = one_value(&mut e, "SELECT COALESCE(1, 1.0)");
@@ -170,10 +164,7 @@ fn row_value_null_comparison_listing17() {
 #[test]
 fn has_column_privilege_listing18() {
     let mut d = fresh(EngineDialect::Duckdb);
-    assert_eq!(
-        one_value(&mut d, "select has_column_privilege(1,1,1)"),
-        Value::Boolean(true)
-    );
+    assert_eq!(one_value(&mut d, "select has_column_privilege(1,1,1)"), Value::Boolean(true));
     let mut p = fresh(EngineDialect::Postgres);
     assert!(p.execute("select has_column_privilege(1,1,1)").is_err());
 }
@@ -243,10 +234,7 @@ fn duckdb_update_after_commit_crash_listing13() {
     let mut f2 = Engine::with_faults(EngineDialect::Duckdb, FaultProfile::all_fixed());
     f2.execute("CREATE TABLE a (b int)").unwrap();
     f2.execute("INSERT INTO a VALUES (1)").unwrap();
-    assert_eq!(
-        f2.execute("SELECT b FROM a").unwrap().rows[0][0],
-        Value::Integer(1)
-    );
+    assert_eq!(f2.execute("SELECT b FROM a").unwrap().rows[0][0], Value::Integer(1));
 }
 
 #[test]
@@ -346,10 +334,7 @@ fn sqlite_dynamic_typing_stores_anything() {
     let mut s = fresh(EngineDialect::Sqlite);
     s.execute("CREATE TABLE t(a INTEGER)").unwrap();
     s.execute("INSERT INTO t VALUES ('not a number')").unwrap();
-    assert_eq!(
-        one_value(&mut s, "SELECT a FROM t"),
-        Value::Text("not a number".into())
-    );
+    assert_eq!(one_value(&mut s, "SELECT a FROM t"), Value::Text("not a number".into()));
     // Strict engines reject it.
     let mut p = fresh(EngineDialect::Postgres);
     p.execute("CREATE TABLE t(a INTEGER)").unwrap();
@@ -418,10 +403,7 @@ fn pg_typeof_function_availability() {
 fn duckdb_range_function() {
     let mut d = fresh(EngineDialect::Duckdb);
     let v = one_value(&mut d, "SELECT range(3)");
-    assert_eq!(
-        v,
-        Value::List(vec![Value::Integer(0), Value::Integer(1), Value::Integer(2)])
-    );
+    assert_eq!(v, Value::List(vec![Value::Integer(0), Value::Integer(1), Value::Integer(2)]));
     // As a table function with LIMIT (paper Listing 9 shape).
     let r = d
         .execute("SELECT 1 UNION ALL SELECT * FROM range(2, 100) UNION ALL SELECT 999 LIMIT 5")
@@ -543,9 +525,7 @@ fn aggregates_and_group_by() {
     assert_eq!(r.rows[0][3], Value::Integer(30));
     assert_eq!(r.rows[1][2], Value::Integer(1)); // count(v) skips NULL
     assert_eq!(r.rows[1][4], Value::Float(5.0));
-    let r = e
-        .execute("SELECT g FROM t GROUP BY g HAVING count(v) > 1 ORDER BY g")
-        .unwrap();
+    let r = e.execute("SELECT g FROM t GROUP BY g HAVING count(v) > 1 ORDER BY g").unwrap();
     assert_eq!(r.rows.len(), 1);
 }
 
@@ -560,10 +540,7 @@ fn duckdb_median_listing10() {
     // median is DuckDB-only.
     let mut p = fresh(EngineDialect::Postgres);
     p.execute("CREATE TABLE q(r INTEGER)").unwrap();
-    assert_eq!(
-        p.execute("SELECT median(r) FROM q").unwrap_err().kind,
-        ErrorKind::UnknownFunction
-    );
+    assert_eq!(p.execute("SELECT median(r) FROM q").unwrap_err().kind, ErrorKind::UnknownFunction);
 }
 
 #[test]
@@ -588,13 +565,9 @@ fn joins_inner_left_implicit() {
     e.execute("CREATE TABLE b(x INTEGER, y TEXT)").unwrap();
     e.execute("INSERT INTO a VALUES (1), (2), (3)").unwrap();
     e.execute("INSERT INTO b VALUES (1, 'one'), (3, 'three')").unwrap();
-    let r = e
-        .execute("SELECT a.x, b.y FROM a INNER JOIN b ON a.x = b.x ORDER BY a.x")
-        .unwrap();
+    let r = e.execute("SELECT a.x, b.y FROM a INNER JOIN b ON a.x = b.x ORDER BY a.x").unwrap();
     assert_eq!(r.rows.len(), 2);
-    let r = e
-        .execute("SELECT a.x, b.y FROM a LEFT JOIN b ON a.x = b.x ORDER BY a.x")
-        .unwrap();
+    let r = e.execute("SELECT a.x, b.y FROM a LEFT JOIN b ON a.x = b.x ORDER BY a.x").unwrap();
     assert_eq!(r.rows.len(), 3);
     assert_eq!(r.rows[1][1], Value::Null);
     let r = e.execute("SELECT count(*) FROM a, b").unwrap();

@@ -16,8 +16,21 @@ pub fn slt_commands() -> &'static [&'static str] {
 /// DuckDB's sixteen runner commands.
 pub fn duckdb_commands() -> &'static [&'static str] {
     &[
-        "statement", "query", "halt", "hash-threshold", "require", "load", "loop",
-        "foreach", "endloop", "mode", "restart", "sleep", "connection", "set", "reset",
+        "statement",
+        "query",
+        "halt",
+        "hash-threshold",
+        "require",
+        "load",
+        "loop",
+        "foreach",
+        "endloop",
+        "mode",
+        "restart",
+        "sleep",
+        "connection",
+        "set",
+        "reset",
         "unzip",
     ]
 }
@@ -26,48 +39,238 @@ pub fn duckdb_commands() -> &'static [&'static str] {
 /// page the paper cites).
 pub fn mysql_commands() -> &'static [&'static str] {
     &[
-        "append_file", "assert", "cat_file", "change_user", "character_set", "chmod",
-        "connect", "connection", "copy_file", "copy_files_wildcard", "dec", "delimiter",
-        "die", "diff_files", "dirty_close", "disable_abort_on_error", "disable_async_client",
-        "disable_connect_log", "disable_info", "disable_metadata", "disable_ps_protocol",
-        "disable_query_log", "disable_reconnect", "disable_result_log", "disable_rpl_parse",
-        "disable_session_track_info", "disable_testcase", "disable_warnings", "disconnect",
-        "echo", "enable_abort_on_error", "enable_async_client", "enable_connect_log",
-        "enable_info", "enable_metadata", "enable_ps_protocol", "enable_query_log",
-        "enable_reconnect", "enable_result_log", "enable_rpl_parse",
-        "enable_session_track_info", "enable_testcase", "enable_warnings", "end", "error",
-        "eval", "exec", "exec_in_background", "execw", "exit", "expr", "file_exists",
-        "force-cpdir", "force-rmdir", "horizontal_results", "if", "inc", "let",
-        "list_files", "list_files_append_file", "list_files_write_file", "lowercase_result",
-        "mkdir", "move_file", "output", "perl", "ping", "query", "query_attributes",
-        "query_get_value", "query_horizontal", "query_vertical", "real_sleep", "reap",
-        "remove_file", "remove_files_wildcard", "replace_column", "replace_numeric_round",
-        "replace_regex", "replace_result", "reset_connection", "result_format", "rmdir",
-        "save_master_pos", "send", "send_eval", "send_quit", "send_shutdown", "shutdown_server",
-        "skip", "sleep", "sorted_result", "source", "start_timer", "sync_slave_with_master",
-        "sync_with_master", "vertical_results", "wait_for_slave_to_stop", "while",
-        "write_file", "copy_dir", "force_cpdir", "force_rmdir", "partially_sorted_result",
-        "query_log", "remove_dir", "replace_string", "restart_server", "result_log",
-        "secret", "skip_if_hypergraph", "truncate_file",
+        "append_file",
+        "assert",
+        "cat_file",
+        "change_user",
+        "character_set",
+        "chmod",
+        "connect",
+        "connection",
+        "copy_file",
+        "copy_files_wildcard",
+        "dec",
+        "delimiter",
+        "die",
+        "diff_files",
+        "dirty_close",
+        "disable_abort_on_error",
+        "disable_async_client",
+        "disable_connect_log",
+        "disable_info",
+        "disable_metadata",
+        "disable_ps_protocol",
+        "disable_query_log",
+        "disable_reconnect",
+        "disable_result_log",
+        "disable_rpl_parse",
+        "disable_session_track_info",
+        "disable_testcase",
+        "disable_warnings",
+        "disconnect",
+        "echo",
+        "enable_abort_on_error",
+        "enable_async_client",
+        "enable_connect_log",
+        "enable_info",
+        "enable_metadata",
+        "enable_ps_protocol",
+        "enable_query_log",
+        "enable_reconnect",
+        "enable_result_log",
+        "enable_rpl_parse",
+        "enable_session_track_info",
+        "enable_testcase",
+        "enable_warnings",
+        "end",
+        "error",
+        "eval",
+        "exec",
+        "exec_in_background",
+        "execw",
+        "exit",
+        "expr",
+        "file_exists",
+        "force-cpdir",
+        "force-rmdir",
+        "horizontal_results",
+        "if",
+        "inc",
+        "let",
+        "list_files",
+        "list_files_append_file",
+        "list_files_write_file",
+        "lowercase_result",
+        "mkdir",
+        "move_file",
+        "output",
+        "perl",
+        "ping",
+        "query",
+        "query_attributes",
+        "query_get_value",
+        "query_horizontal",
+        "query_vertical",
+        "real_sleep",
+        "reap",
+        "remove_file",
+        "remove_files_wildcard",
+        "replace_column",
+        "replace_numeric_round",
+        "replace_regex",
+        "replace_result",
+        "reset_connection",
+        "result_format",
+        "rmdir",
+        "save_master_pos",
+        "send",
+        "send_eval",
+        "send_quit",
+        "send_shutdown",
+        "shutdown_server",
+        "skip",
+        "sleep",
+        "sorted_result",
+        "source",
+        "start_timer",
+        "sync_slave_with_master",
+        "sync_with_master",
+        "vertical_results",
+        "wait_for_slave_to_stop",
+        "while",
+        "write_file",
+        "copy_dir",
+        "force_cpdir",
+        "force_rmdir",
+        "partially_sorted_result",
+        "query_log",
+        "remove_dir",
+        "replace_string",
+        "restart_server",
+        "result_log",
+        "secret",
+        "skip_if_hypergraph",
+        "truncate_file",
     ]
 }
 
 /// psql's 114 backslash meta-commands (paper: "CLI Commands: 114").
 pub fn psql_cli_commands() -> &'static [&'static str] {
     &[
-        "\\a", "\\bind", "\\c", "\\C", "\\cd", "\\conninfo", "\\copy", "\\copyright",
-        "\\crosstabview", "\\d", "\\dA", "\\dAc", "\\dAf", "\\dAo", "\\dAp", "\\db", "\\dc",
-        "\\dC", "\\dd", "\\dD", "\\ddp", "\\dE", "\\de", "\\des", "\\det", "\\deu", "\\dew",
-        "\\df", "\\dF", "\\dFd", "\\dFp", "\\dFt", "\\dg", "\\di", "\\dl", "\\dL", "\\dm",
-        "\\dn", "\\do", "\\dO", "\\dp", "\\dP", "\\dPi", "\\dPt", "\\drds", "\\dRp", "\\dRs",
-        "\\ds", "\\dS", "\\dt", "\\dT", "\\du", "\\dv", "\\dx", "\\dX", "\\dy", "\\e",
-        "\\echo", "\\ef", "\\encoding", "\\errverbose", "\\ev", "\\f", "\\g", "\\gdesc",
-        "\\getenv", "\\gexec", "\\gset", "\\gx", "\\h", "\\H", "\\help", "\\i", "\\if",
-        "\\elif", "\\else", "\\endif", "\\ir", "\\l", "\\lo_export", "\\lo_import",
-        "\\lo_list", "\\lo_unlink", "\\o", "\\p", "\\password", "\\prompt", "\\pset", "\\q",
-        "\\qecho", "\\r", "\\s", "\\set", "\\setenv", "\\sf", "\\sv", "\\t", "\\T",
-        "\\timing", "\\unset", "\\w", "\\warn", "\\watch", "\\x", "\\z", "\\!", "\\?",
-        "\\;", "\\dconfig", "\\dti", "\\dit", "\\dis", "\\dii", "\\diS",
+        "\\a",
+        "\\bind",
+        "\\c",
+        "\\C",
+        "\\cd",
+        "\\conninfo",
+        "\\copy",
+        "\\copyright",
+        "\\crosstabview",
+        "\\d",
+        "\\dA",
+        "\\dAc",
+        "\\dAf",
+        "\\dAo",
+        "\\dAp",
+        "\\db",
+        "\\dc",
+        "\\dC",
+        "\\dd",
+        "\\dD",
+        "\\ddp",
+        "\\dE",
+        "\\de",
+        "\\des",
+        "\\det",
+        "\\deu",
+        "\\dew",
+        "\\df",
+        "\\dF",
+        "\\dFd",
+        "\\dFp",
+        "\\dFt",
+        "\\dg",
+        "\\di",
+        "\\dl",
+        "\\dL",
+        "\\dm",
+        "\\dn",
+        "\\do",
+        "\\dO",
+        "\\dp",
+        "\\dP",
+        "\\dPi",
+        "\\dPt",
+        "\\drds",
+        "\\dRp",
+        "\\dRs",
+        "\\ds",
+        "\\dS",
+        "\\dt",
+        "\\dT",
+        "\\du",
+        "\\dv",
+        "\\dx",
+        "\\dX",
+        "\\dy",
+        "\\e",
+        "\\echo",
+        "\\ef",
+        "\\encoding",
+        "\\errverbose",
+        "\\ev",
+        "\\f",
+        "\\g",
+        "\\gdesc",
+        "\\getenv",
+        "\\gexec",
+        "\\gset",
+        "\\gx",
+        "\\h",
+        "\\H",
+        "\\help",
+        "\\i",
+        "\\if",
+        "\\elif",
+        "\\else",
+        "\\endif",
+        "\\ir",
+        "\\l",
+        "\\lo_export",
+        "\\lo_import",
+        "\\lo_list",
+        "\\lo_unlink",
+        "\\o",
+        "\\p",
+        "\\password",
+        "\\prompt",
+        "\\pset",
+        "\\q",
+        "\\qecho",
+        "\\r",
+        "\\s",
+        "\\set",
+        "\\setenv",
+        "\\sf",
+        "\\sv",
+        "\\t",
+        "\\T",
+        "\\timing",
+        "\\unset",
+        "\\w",
+        "\\warn",
+        "\\watch",
+        "\\x",
+        "\\z",
+        "\\!",
+        "\\?",
+        "\\;",
+        "\\dconfig",
+        "\\dti",
+        "\\dit",
+        "\\dis",
+        "\\dii",
+        "\\diS",
     ]
 }
 

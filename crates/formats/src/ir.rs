@@ -51,9 +51,7 @@ impl TestFile {
                 .iter()
                 .map(|r| match &r.kind {
                     RecordKind::Control(ControlCommand::Loop { body, .. })
-                    | RecordKind::Control(ControlCommand::Foreach { body, .. }) => {
-                        1 + count(body)
-                    }
+                    | RecordKind::Control(ControlCommand::Foreach { body, .. }) => 1 + count(body),
                     _ => 1,
                 })
                 .sum()
@@ -214,9 +212,7 @@ impl ControlCommand {
             ControlCommand::ShellExec(_) => "exec".into(),
             ControlCommand::Mode(_) => "mode".into(),
             ControlCommand::Restart => "restart".into(),
-            ControlCommand::Unknown(s) => {
-                s.split_whitespace().next().unwrap_or("?").to_lowercase()
-            }
+            ControlCommand::Unknown(s) => s.split_whitespace().next().unwrap_or("?").to_lowercase(),
         }
     }
 }
@@ -285,14 +281,8 @@ mod tests {
     #[test]
     fn census_names() {
         assert_eq!(ControlCommand::Halt.census_name(), "halt");
-        assert_eq!(
-            ControlCommand::CliCommand("\\d t1".into()).census_name(),
-            "\\d"
-        );
-        assert_eq!(
-            ControlCommand::Unknown("weird_cmd arg".into()).census_name(),
-            "weird_cmd"
-        );
+        assert_eq!(ControlCommand::CliCommand("\\d t1".into()).census_name(), "\\d");
+        assert_eq!(ControlCommand::Unknown("weird_cmd arg".into()).census_name(), "weird_cmd");
     }
 
     #[test]

@@ -36,8 +36,7 @@ pub fn parse_mysql_test(name: &str, test_text: &str, result_text: &str) -> TestF
             }
             Item::Sql { line, sql } => {
                 // Find this statement's echo in the result file.
-                let echo: Vec<String> =
-                    format!("{sql};").lines().map(|l| l.to_string()).collect();
+                let echo: Vec<String> = format!("{sql};").lines().map(|l| l.to_string()).collect();
                 let echo_at = find_echo(&res_lines, cursor, &echo);
                 let body_start = match echo_at {
                     Some(at) => at + echo.len(),
@@ -115,12 +114,38 @@ fn test_items(text: &str) -> Vec<Item> {
 fn is_bare_command(word: &str) -> bool {
     matches!(
         word.to_lowercase().as_str(),
-        "let" | "sleep" | "source" | "connect" | "connection" | "disconnect" | "echo"
-            | "eval" | "exec" | "while" | "if" | "inc" | "dec" | "die" | "skip"
-            | "disable_query_log" | "enable_query_log" | "disable_result_log"
-            | "enable_result_log" | "disable_warnings" | "enable_warnings" | "delimiter"
-            | "reap" | "send" | "replace_column" | "replace_regex" | "sorted_result"
-            | "shutdown_server" | "write_file" | "remove_file" | "perl" | "vertical_results"
+        "let"
+            | "sleep"
+            | "source"
+            | "connect"
+            | "connection"
+            | "disconnect"
+            | "echo"
+            | "eval"
+            | "exec"
+            | "while"
+            | "if"
+            | "inc"
+            | "dec"
+            | "die"
+            | "skip"
+            | "disable_query_log"
+            | "enable_query_log"
+            | "disable_result_log"
+            | "enable_result_log"
+            | "disable_warnings"
+            | "enable_warnings"
+            | "delimiter"
+            | "reap"
+            | "send"
+            | "replace_column"
+            | "replace_regex"
+            | "sorted_result"
+            | "shutdown_server"
+            | "write_file"
+            | "remove_file"
+            | "perl"
+            | "vertical_results"
             | "horizontal_results"
     )
 }
@@ -132,7 +157,11 @@ fn parse_command(raw: &str) -> ControlCommand {
     match head.as_str() {
         "echo" => ControlCommand::Echo(rest),
         "sleep" => ControlCommand::Sleep(
-            rest.trim_end_matches(';').trim().parse::<f64>().map(|s| (s * 1000.0) as u64).unwrap_or(0),
+            rest.trim_end_matches(';')
+                .trim()
+                .parse::<f64>()
+                .map(|s| (s * 1000.0) as u64)
+                .unwrap_or(0),
         ),
         "source" => ControlCommand::Include(rest.trim_end_matches(';').trim().to_string()),
         "let" => {
@@ -145,12 +174,7 @@ fn parse_command(raw: &str) -> ControlCommand {
         }
         "connection" => ControlCommand::Connection(rest.trim_end_matches(';').to_string()),
         "connect" => ControlCommand::Connection(
-            rest.trim_start_matches('(')
-                .split(',')
-                .next()
-                .unwrap_or("")
-                .trim()
-                .to_string(),
+            rest.trim_start_matches('(').split(',').next().unwrap_or("").trim().to_string(),
         ),
         "exec" => ControlCommand::ShellExec(rest),
         _ => ControlCommand::Unknown(raw.to_string()),
@@ -162,9 +186,9 @@ fn find_echo(lines: &[&str], from: usize, echo: &[String]) -> Option<usize> {
         return None;
     }
     (from..lines.len()).find(|&at| {
-        echo.iter().enumerate().all(|(k, e)| {
-            lines.get(at + k).map(|l| l.trim_end() == e.trim_end()).unwrap_or(false)
-        })
+        echo.iter()
+            .enumerate()
+            .all(|(k, e)| lines.get(at + k).map(|l| l.trim_end() == e.trim_end()).unwrap_or(false))
     })
 }
 
@@ -181,11 +205,7 @@ fn next_echo_end(items: &[Item], idx: usize, lines: &[&str], from: usize) -> usi
 }
 
 fn interpret_body(sql: &str, body: &[&str], pending_error: Option<String>) -> RecordKind {
-    let lines: Vec<&str> = body
-        .iter()
-        .map(|l| l.trim_end())
-        .skip_while(|l| l.is_empty())
-        .collect();
+    let lines: Vec<&str> = body.iter().map(|l| l.trim_end()).skip_while(|l| l.is_empty()).collect();
 
     if let Some(first) = lines.first() {
         if first.starts_with("ERROR ") {
@@ -249,10 +269,7 @@ a\tb
         assert_eq!(*expect, StatementExpect::Ok);
         let RecordKind::Query { expected, .. } = &f.records[2].kind else { panic!() };
         let QueryExpectation::Rows(rows) = expected else { panic!() };
-        assert_eq!(
-            rows,
-            &vec![vec!["2".to_string(), "4".into()], vec!["3".into(), "1".into()]]
-        );
+        assert_eq!(rows, &vec![vec!["2".to_string(), "4".into()], vec!["3".into(), "1".into()]]);
     }
 
     #[test]
@@ -280,15 +297,11 @@ connection con1;
             &f.records[0].kind,
             RecordKind::Control(ControlCommand::Unknown(u)) if u == "disable_query_log"
         ));
-        let RecordKind::Control(ControlCommand::SetVar { name, value }) = &f.records[1].kind
-        else {
+        let RecordKind::Control(ControlCommand::SetVar { name, value }) = &f.records[1].kind else {
             panic!()
         };
         assert_eq!((name.as_str(), value.as_str()), ("count", "10"));
-        assert!(matches!(
-            &f.records[2].kind,
-            RecordKind::Control(ControlCommand::Sleep(500))
-        ));
+        assert!(matches!(&f.records[2].kind, RecordKind::Control(ControlCommand::Sleep(500))));
         assert!(matches!(
             &f.records[3].kind,
             RecordKind::Control(ControlCommand::Include(p)) if p == "include/setup.inc"
@@ -317,13 +330,8 @@ connection con1;
     fn exec_and_unknown_commands_censused() {
         let test = "--exec ls -la\n--write_file $MYSQLTEST_VARDIR/tmp/f.txt\nSELECT 1;\n";
         let f = parse_mysql_test_only("exec.test", test);
-        assert!(matches!(
-            &f.records[0].kind,
-            RecordKind::Control(ControlCommand::ShellExec(_))
-        ));
-        let RecordKind::Control(ControlCommand::Unknown(u)) = &f.records[1].kind else {
-            panic!()
-        };
+        assert!(matches!(&f.records[0].kind, RecordKind::Control(ControlCommand::ShellExec(_))));
+        let RecordKind::Control(ControlCommand::Unknown(u)) = &f.records[1].kind else { panic!() };
         assert!(u.starts_with("write_file"));
     }
 

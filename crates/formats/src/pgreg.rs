@@ -94,11 +94,7 @@ fn script_items(sql_text: &str) -> Vec<ScriptItem> {
     for (i, line) in sql_text.lines().enumerate() {
         if line.trim_start().starts_with('\\') {
             flush(&mut sql_buf, sql_start_line, &mut items);
-            items.push(ScriptItem {
-                text: line.trim().to_string(),
-                is_cli: true,
-                line: i + 1,
-            });
+            items.push(ScriptItem { text: line.trim().to_string(), is_cli: true, line: i + 1 });
             sql_start_line = i + 2;
         } else {
             if sql_buf.is_empty() {
@@ -117,19 +113,15 @@ fn find_echo(out_lines: &[&str], from: usize, echo: &[String]) -> Option<usize> 
         return None;
     }
     (from..out_lines.len()).find(|&at| {
-        echo.iter()
-            .enumerate()
-            .all(|(k, e)| out_lines.get(at + k).map(|l| l.trim_end() == e.trim_end()).unwrap_or(false))
+        echo.iter().enumerate().all(|(k, e)| {
+            out_lines.get(at + k).map(|l| l.trim_end() == e.trim_end()).unwrap_or(false)
+        })
     })
 }
 
 /// Interpret the output block that followed a statement echo.
 fn parse_output_block(sql: &str, body: &[&str]) -> RecordKind {
-    let lines: Vec<&str> = body
-        .iter()
-        .map(|l| l.trim_end())
-        .skip_while(|l| l.is_empty())
-        .collect();
+    let lines: Vec<&str> = body.iter().map(|l| l.trim_end()).skip_while(|l| l.is_empty()).collect();
 
     // Errors: `ERROR:  message` (and continuation lines like DETAIL/LINE).
     if let Some(first) = lines.first() {
@@ -142,7 +134,8 @@ fn parse_output_block(sql: &str, body: &[&str]) -> RecordKind {
     }
 
     // Query result table: header / ----- / rows / (N rows).
-    if lines.len() >= 2 && lines[1].chars().all(|c| c == '-' || c == '+' || c == ' ')
+    if lines.len() >= 2
+        && lines[1].chars().all(|c| c == '-' || c == '+' || c == ' ')
         && lines[1].contains('-')
     {
         let mut rows = Vec::new();
@@ -226,10 +219,7 @@ ERROR:  relation \"missing\" does not exist
         let f = parse_pg_sql_only("only.sql", "SELECT 1;\nSELECT 2;");
         assert_eq!(f.records.len(), 2);
         for r in &f.records {
-            assert!(matches!(
-                &r.kind,
-                RecordKind::Statement { expect: StatementExpect::Ok, .. }
-            ));
+            assert!(matches!(&r.kind, RecordKind::Statement { expect: StatementExpect::Ok, .. }));
         }
     }
 

@@ -115,9 +115,7 @@ fn parse_records(
                         "nosort" => sort = SortMode::NoSort,
                         "rowsort" => sort = SortMode::RowSort,
                         "valuesort" => sort = SortMode::ValueSort,
-                        other if other.starts_with("label-") => {
-                            label = Some(other.to_string())
-                        }
+                        other if other.starts_with("label-") => label = Some(other.to_string()),
                         _ => {} // connection labels and unknown annotations
                     }
                 }
@@ -279,8 +277,7 @@ fn parse_expected(lines: &[String], flavor: SltFlavor) -> QueryExpectation {
     // Hash form: "N values hashing to HASH".
     if lines.len() == 1 {
         let words: Vec<&str> = lines[0].split_whitespace().collect();
-        if words.len() == 5 && words[1] == "values" && words[2] == "hashing" && words[3] == "to"
-        {
+        if words.len() == 5 && words[1] == "values" && words[2] == "hashing" && words[3] == "to" {
             if let Ok(count) = words[0].parse::<usize>() {
                 return QueryExpectation::Hash { count, hash: words[4].to_string() };
             }
@@ -289,10 +286,7 @@ fn parse_expected(lines: &[String], flavor: SltFlavor) -> QueryExpectation {
     match flavor {
         SltFlavor::Classic => QueryExpectation::Values(lines.to_vec()),
         SltFlavor::Duckdb => QueryExpectation::Rows(
-            lines
-                .iter()
-                .map(|l| l.split('\t').map(|v| v.to_string()).collect())
-                .collect(),
+            lines.iter().map(|l| l.split('\t').map(|v| v.to_string()).collect()).collect(),
         ),
     }
 }
@@ -335,9 +329,7 @@ SELECT a, b FROM t1 WHERE c > a;
         let RecordKind::Statement { sql, expect } = &f.records[0].kind else { panic!() };
         assert!(sql.starts_with("CREATE TABLE t1"));
         assert_eq!(*expect, StatementExpect::Ok);
-        let RecordKind::Query { types, sort, expected, .. } = &f.records[2].kind else {
-            panic!()
-        };
+        let RecordKind::Query { types, sort, expected, .. } = &f.records[2].kind else { panic!() };
         assert_eq!(types, "I");
         assert_eq!(*sort, SortMode::RowSort);
         let QueryExpectation::Values(vals) = expected else { panic!() };
@@ -398,10 +390,7 @@ no such table
 ";
         let f = parse_slt("err.test", text, SltFlavor::Duckdb);
         let RecordKind::Statement { expect, .. } = &f.records[0].kind else { panic!() };
-        assert_eq!(
-            *expect,
-            StatementExpect::Error { message: Some("no such table".into()) }
-        );
+        assert_eq!(*expect, StatementExpect::Error { message: Some("no such table".into()) });
         // Classic SLT has no message support.
         let f = parse_slt("err.test", "statement error\nSELECT 1\n", SltFlavor::Classic);
         let RecordKind::Statement { expect, .. } = &f.records[0].kind else { panic!() };
@@ -425,10 +414,7 @@ SELECT * FROM big
         let RecordKind::Query { expected, .. } = &f.records[1].kind else { panic!() };
         assert_eq!(
             *expected,
-            QueryExpectation::Hash {
-                count: 30,
-                hash: "3c13dee48d9356ae19af2515e05e6b54".into()
-            }
+            QueryExpectation::Hash { count: 30, hash: "3c13dee48d9356ae19af2515e05e6b54".into() }
         );
     }
 
@@ -479,8 +465,7 @@ CREATE TABLE t_${ty}(a ${ty})
 endloop
 ";
         let f = parse_slt("foreach.test", text, SltFlavor::Duckdb);
-        let RecordKind::Control(ControlCommand::Foreach { var, values, body }) =
-            &f.records[0].kind
+        let RecordKind::Control(ControlCommand::Foreach { var, values, body }) = &f.records[0].kind
         else {
             panic!()
         };
@@ -493,9 +478,7 @@ endloop
     fn halt_and_unknown_directives() {
         let f = parse_slt("h.test", "halt\n\nweird_cmd arg1\n", SltFlavor::Classic);
         assert!(matches!(f.records[0].kind, RecordKind::Control(ControlCommand::Halt)));
-        let RecordKind::Control(ControlCommand::Unknown(s)) = &f.records[1].kind else {
-            panic!()
-        };
+        let RecordKind::Control(ControlCommand::Unknown(s)) = &f.records[1].kind else { panic!() };
         assert_eq!(s, "weird_cmd arg1");
     }
 

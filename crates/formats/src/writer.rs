@@ -91,9 +91,7 @@ fn write_slt_control(out: &mut String, cmd: &ControlCommand, duckdb: bool) {
         ControlCommand::Mode(m) if duckdb => out.push_str(&format!("mode {m}\n\n")),
         ControlCommand::Restart if duckdb => out.push_str("restart\n\n"),
         ControlCommand::Sleep(ms) if duckdb => out.push_str(&format!("sleep {ms}\n\n")),
-        ControlCommand::Connection(c) if duckdb => {
-            out.push_str(&format!("connection {c}\n\n"))
-        }
+        ControlCommand::Connection(c) if duckdb => out.push_str(&format!("connection {c}\n\n")),
         ControlCommand::SetVar { name, value } if duckdb => {
             out.push_str(&format!("set {name} {value}\n\n"))
         }
@@ -145,8 +143,7 @@ pub fn write_pg_regress(file: &TestFile) -> (String, String) {
                     QueryExpectation::Hash { .. } => Vec::new(),
                 };
                 let width = rows.first().map(|r| r.len()).unwrap_or(1);
-                let header: Vec<String> =
-                    (0..width).map(|i| format!("c{}", i + 1)).collect();
+                let header: Vec<String> = (0..width).map(|i| format!("c{}", i + 1)).collect();
                 out.push_str(&format!(" {}\n", header.join(" | ")));
                 out.push_str(&format!(
                     "{}\n",
@@ -233,8 +230,7 @@ pub fn write_mysql_test(file: &TestFile) -> (String, String) {
                     QueryExpectation::Hash { .. } => Vec::new(),
                 };
                 let width = rows.first().map(|r| r.len()).unwrap_or(1);
-                let header: Vec<String> =
-                    (0..width).map(|i| format!("c{}", i + 1)).collect();
+                let header: Vec<String> = (0..width).map(|i| format!("c{}", i + 1)).collect();
                 result.push_str(&format!("{}\n", header.join("\t")));
                 for row in &rows {
                     result.push_str(&format!("{}\n", row.join("\t")));

@@ -105,26 +105,27 @@ pub fn classify_dependency(result: &RecordResult) -> Option<DependencyClass> {
     let Outcome::Fail(info) = &result.outcome else { return None };
     Some(match info.kind {
         FailKind::Runner => DependencyClass::Runner,
-        FailKind::UnexpectedError | FailKind::WrongErrorMessage
-        | FailKind::ExpectedErrorButOk => match info.error_kind {
-            Some(ErrorKind::FileNotFound) => DependencyClass::FilePaths,
-            Some(ErrorKind::UnknownConfig) => DependencyClass::Setting,
-            Some(ErrorKind::ExtensionMissing) => DependencyClass::Extension,
-            // An unknown function on the *donor* is the symptom of a failed
-            // extension load earlier in the file (paper Listing 7).
-            Some(ErrorKind::UnknownFunction) => DependencyClass::Extension,
-            Some(ErrorKind::Catalog) => DependencyClass::SetUp,
-            Some(ErrorKind::NotImplemented) => DependencyClass::ClientException,
-            _ => {
-                if info.detail.contains("Not implemented")
-                    || info.detail.contains("NotImplemented")
-                {
-                    DependencyClass::ClientException
-                } else {
-                    DependencyClass::SetUp
+        FailKind::UnexpectedError | FailKind::WrongErrorMessage | FailKind::ExpectedErrorButOk => {
+            match info.error_kind {
+                Some(ErrorKind::FileNotFound) => DependencyClass::FilePaths,
+                Some(ErrorKind::UnknownConfig) => DependencyClass::Setting,
+                Some(ErrorKind::ExtensionMissing) => DependencyClass::Extension,
+                // An unknown function on the *donor* is the symptom of a failed
+                // extension load earlier in the file (paper Listing 7).
+                Some(ErrorKind::UnknownFunction) => DependencyClass::Extension,
+                Some(ErrorKind::Catalog) => DependencyClass::SetUp,
+                Some(ErrorKind::NotImplemented) => DependencyClass::ClientException,
+                _ => {
+                    if info.detail.contains("Not implemented")
+                        || info.detail.contains("NotImplemented")
+                    {
+                        DependencyClass::ClientException
+                    } else {
+                        DependencyClass::SetUp
+                    }
                 }
             }
-        },
+        }
         FailKind::WrongResult => classify_result_mismatch(result, info),
     })
 }
@@ -178,12 +179,14 @@ fn classify_result_mismatch(result: &RecordResult, info: &FailInfo) -> Dependenc
 }
 
 fn bool_equiv(e: &str, a: &str) -> bool {
-    let norm = |s: &str| match s.trim().to_lowercase().as_str() {
-        "t" | "true" | "1" => "true",
-        "f" | "false" | "0" => "false",
-        other => return other.to_string(),
-    }
-    .to_string();
+    let norm = |s: &str| {
+        match s.trim().to_lowercase().as_str() {
+            "t" | "true" | "1" => "true",
+            "f" | "false" | "0" => "false",
+            other => return other.to_string(),
+        }
+        .to_string()
+    };
     norm(e) == norm(a)
 }
 
@@ -338,10 +341,7 @@ mod tests {
     #[test]
     fn wrong_result_is_semantic() {
         let r = fail(FailKind::WrongResult, None, "mismatch");
-        assert_eq!(
-            classify_incompatibility(&r),
-            Some(IncompatibilityClass::Semantic)
-        );
+        assert_eq!(classify_incompatibility(&r), Some(IncompatibilityClass::Semantic));
     }
 
     #[test]
@@ -349,8 +349,7 @@ mod tests {
         let pass = RecordResult { line: 1, sql: None, outcome: Outcome::Pass };
         assert_eq!(classify_dependency(&pass), None);
         assert_eq!(classify_incompatibility(&pass), None);
-        let crash =
-            RecordResult { line: 1, sql: None, outcome: Outcome::Crash("boom".into()) };
+        let crash = RecordResult { line: 1, sql: None, outcome: Outcome::Crash("boom".into()) };
         assert_eq!(classify_incompatibility(&crash), None);
     }
 

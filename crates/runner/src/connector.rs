@@ -5,10 +5,16 @@
 //! Supporting a new DBMS means implementing this trait — the paper reports
 //! ~33 LOC per DBMS for the same interface (§9 "Supporting a new DBMS");
 //! [`EngineConnector`]'s trait impl is about that size.
+//!
+//! For parallel suite execution a caller hands the scheduler a
+//! [`ConnectorFactory`] instead of a single `&mut dyn Connector`: every
+//! worker thread mints its own connection, the way one process-per-worker
+//! harnesses open one DBMS connection per worker.
 
 use squality_engine::{
-    ClientKind, Engine, EngineDialect, EngineError, FaultProfile, QueryResult, Value,
+    ClientKind, Engine, EngineDialect, EngineError, FaultProfile, PlanCache, QueryResult, Value,
 };
+use std::sync::Arc;
 
 /// A connection to a DBMS under test.
 pub trait Connector {
@@ -29,6 +35,106 @@ pub trait Connector {
     fn has_extension(&self, name: &str) -> bool;
 }
 
+/// Mints fresh connections for scheduler workers.
+///
+/// Implementations must be cheap to call and produce connections that
+/// behave identically — the scheduler's determinism guarantee (identical
+/// results at any worker count) holds exactly when every connection starts
+/// from the same state.
+pub trait ConnectorFactory: Sync {
+    /// The connection type produced.
+    type Conn: Connector + Send;
+
+    /// Open a fresh connection.
+    fn connect(&self) -> Self::Conn;
+}
+
+/// Factory for [`EngineConnector`]s: captures dialect, client, faults, the
+/// provisioned environment, and an optional shared plan cache.
+#[derive(Debug, Clone)]
+pub struct EngineConnectorFactory {
+    dialect: EngineDialect,
+    client: ClientKind,
+    faults: FaultProfile,
+    files: Vec<(String, Vec<String>)>,
+    extensions: Vec<String>,
+    plan_cache: Option<Arc<PlanCache>>,
+}
+
+impl EngineConnectorFactory {
+    /// Factory with the paper-version fault profile.
+    pub fn new(dialect: EngineDialect, client: ClientKind) -> EngineConnectorFactory {
+        Self::with_faults(dialect, client, FaultProfile::default())
+    }
+
+    /// Factory with an explicit fault profile.
+    pub fn with_faults(
+        dialect: EngineDialect,
+        client: ClientKind,
+        faults: FaultProfile,
+    ) -> EngineConnectorFactory {
+        EngineConnectorFactory {
+            dialect,
+            client,
+            faults,
+            files: Vec::new(),
+            extensions: Vec::new(),
+            plan_cache: None,
+        }
+    }
+
+    /// Share a statement-plan cache across every minted connection.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Every minted connection sees this data file (survives resets).
+    pub fn provide_file(mut self, path: &str, lines: Vec<String>) -> Self {
+        self.files.push((path.to_string(), lines));
+        self
+    }
+
+    /// Every minted connection has this extension loaded (survives resets).
+    pub fn provide_extension(mut self, name: &str) -> Self {
+        self.extensions.push(name.to_string());
+        self
+    }
+}
+
+impl ConnectorFactory for EngineConnectorFactory {
+    type Conn = EngineConnector;
+
+    fn connect(&self) -> EngineConnector {
+        let mut conn = EngineConnector::with_faults(self.dialect, self.client, self.faults);
+        if let Some(cache) = &self.plan_cache {
+            conn.set_plan_cache(Arc::clone(cache));
+        }
+        for (path, lines) in &self.files {
+            conn.provide_file(path, lines.clone());
+        }
+        for ext in &self.extensions {
+            conn.provide_extension(ext);
+        }
+        conn
+    }
+}
+
+/// Adapter: any `Fn() -> C` closure as a factory.
+pub struct FnFactory<F>(pub F);
+
+impl<C, F> ConnectorFactory for FnFactory<F>
+where
+    C: Connector + Send,
+    F: Fn() -> C + Sync,
+{
+    type Conn = C;
+
+    fn connect(&self) -> C {
+        (self.0)()
+    }
+}
+
 /// A connector over an in-process engine simulator.
 pub struct EngineConnector {
     engine: Engine,
@@ -37,6 +143,8 @@ pub struct EngineConnector {
     /// Environment carried across resets: registered files/extensions.
     files: Vec<(String, Vec<String>)>,
     extensions: Vec<String>,
+    /// Shared parse cache, re-attached to the engine on every reset.
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl EngineConnector {
@@ -57,7 +165,15 @@ impl EngineConnector {
             faults,
             files: Vec::new(),
             extensions: Vec::new(),
+            plan_cache: None,
         }
+    }
+
+    /// Share a statement-plan cache with the wrapped engine (kept across
+    /// resets).
+    pub fn set_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        self.engine.set_plan_cache(Arc::clone(&cache));
+        self.plan_cache = Some(cache);
     }
 
     /// The wrapped engine's dialect.
@@ -111,10 +227,7 @@ impl Connector for EngineConnector {
         // CLI printed fine — the RQ3 "client exception" dependency.
         if self.client == ClientKind::Connector
             && self.engine.dialect() == EngineDialect::Duckdb
-            && result
-                .rows
-                .iter()
-                .any(|row| row.iter().any(|v| matches!(v, Value::Struct(_))))
+            && result.rows.iter().any(|row| row.iter().any(|v| matches!(v, Value::Struct(_))))
         {
             return Err(EngineError::new(
                 squality_engine::ErrorKind::NotImplemented,
@@ -135,6 +248,9 @@ impl Connector for EngineConnector {
         let coverage = self.engine.coverage().clone();
         self.engine = Engine::with_faults(dialect, self.faults);
         *self.engine.coverage_mut() = coverage;
+        if let Some(cache) = &self.plan_cache {
+            self.engine.set_plan_cache(Arc::clone(cache));
+        }
         for (path, lines) in &self.files {
             self.engine.register_file(path, lines.clone());
         }

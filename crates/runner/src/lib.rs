@@ -5,8 +5,11 @@
 //! crate provides:
 //!
 //! * [`connector`] — the DBMS abstraction (≈33 LOC to implement per engine,
-//!   matching the paper's §9 claim),
+//!   matching the paper's §9 claim) and the [`ConnectorFactory`] that mints
+//!   per-worker connections,
 //! * [`runner`] — conditioned, loop-expanding, halting execution,
+//! * [`scheduler`] — parallel, deterministic suite execution over a
+//!   worker pool,
 //! * [`validate`] — SLT sort modes, hash-threshold, exact vs tolerant
 //!   numeric comparison,
 //! * [`classify`] — the RQ3 dependency and RQ4 incompatibility taxonomies
@@ -18,13 +21,17 @@ pub mod classify;
 pub mod connector;
 pub mod outcome;
 pub mod runner;
+pub mod scheduler;
 pub mod validate;
 
 pub use classify::{
     classify_dependency, classify_incompatibility, DependencyClass, IncompatibilityClass,
     ReuseDifficulty,
 };
-pub use connector::{Connector, EngineConnector};
-pub use outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult};
+pub use connector::{
+    Connector, ConnectorFactory, EngineConnector, EngineConnectorFactory, FnFactory,
+};
+pub use outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult, SkipReason};
 pub use runner::{Runner, RunnerOptions};
+pub use scheduler::SuiteExecution;
 pub use validate::{validate_query, values_equal, NumericMode, Verdict};

@@ -1,5 +1,13 @@
 //! Execution outcomes.
 
+/// An interned skip reason.
+///
+/// Skips are the highest-volume outcome (a halted file marks every
+/// remaining record skipped with the same reason; paper Table 4 reports
+/// skip rates up to 26.2%), so the reason is a shared `Arc<str>` rather
+/// than a per-record `String` clone.
+pub type SkipReason = std::sync::Arc<str>;
+
 /// Why a record failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FailKind {
@@ -36,8 +44,8 @@ pub enum Outcome {
     Pass,
     Fail(FailInfo),
     /// Filtered by a condition, a `require`, a halt, or a runner-skipped
-    /// command. The payload is the reason.
-    Skipped(String),
+    /// command. The payload is the (interned) reason.
+    Skipped(SkipReason),
     /// The engine terminated (paper "Crashes").
     Crash(String),
     /// The engine exceeded its budget (paper "Hangs").
@@ -101,17 +109,11 @@ impl FileResult {
     }
     /// Crash count (0 or 1 per file — execution stops).
     pub fn crashes(&self) -> usize {
-        self.results
-            .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Crash(_)))
-            .count()
+        self.results.iter().filter(|r| matches!(r.outcome, Outcome::Crash(_))).count()
     }
     /// Hang count.
     pub fn hangs(&self) -> usize {
-        self.results
-            .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Hang(_)))
-            .count()
+        self.results.iter().filter(|r| matches!(r.outcome, Outcome::Hang(_))).count()
     }
 }
 

@@ -8,7 +8,7 @@
 //! these commands"), which surfaces as the Runner/Misc failure class.
 
 use crate::connector::Connector;
-use crate::outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult};
+use crate::outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult, SkipReason};
 use crate::validate::{validate_query, NumericMode, Verdict};
 use squality_engine::ErrorKind;
 use squality_formats::{
@@ -34,14 +34,9 @@ impl Default for RunnerOptions {
 }
 
 /// The unified runner.
+#[derive(Default)]
 pub struct Runner {
     pub options: RunnerOptions,
-}
-
-impl Default for Runner {
-    fn default() -> Self {
-        Runner { options: RunnerOptions::default() }
-    }
 }
 
 impl Runner {
@@ -61,6 +56,7 @@ impl Runner {
             vars: BTreeMap::new(),
             stopped: None,
             mode_skip: false,
+            cond_reason: None,
             results: Vec::new(),
         };
         ctx.run_records(&file.records);
@@ -74,13 +70,32 @@ struct RunCtx<'a> {
     conn: &'a mut dyn Connector,
     numeric: NumericMode,
     vars: BTreeMap<String, String>,
-    /// Some(reason) once a halt/require/crash stops the file.
-    stopped: Option<String>,
+    /// Some(reason) once a halt/require/crash stops the file. Interned:
+    /// every remaining record clones the `Arc`, not the text.
+    stopped: Option<SkipReason>,
     mode_skip: bool,
+    /// Interned "condition excludes <engine>" reason for this connection.
+    cond_reason: Option<SkipReason>,
     results: Vec<RecordResult>,
 }
 
+/// Interned reason for `mode skip` suppression (one allocation per
+/// process, not one per suppressed record).
+fn mode_skip_reason() -> SkipReason {
+    use std::sync::OnceLock;
+    static REASON: OnceLock<SkipReason> = OnceLock::new();
+    SkipReason::clone(REASON.get_or_init(|| SkipReason::from("mode skip")))
+}
+
 impl<'a> RunCtx<'a> {
+    fn condition_excludes_reason(&mut self) -> SkipReason {
+        if self.cond_reason.is_none() {
+            self.cond_reason =
+                Some(SkipReason::from(format!("condition excludes {}", self.conn.engine_name())));
+        }
+        SkipReason::clone(self.cond_reason.as_ref().expect("just set"))
+    }
+
     fn run_records(&mut self, records: &[TestRecord]) {
         for rec in records {
             if let Some(reason) = &self.stopped {
@@ -101,18 +116,16 @@ impl<'a> RunCtx<'a> {
                 self.results.push(RecordResult {
                     line: rec.line,
                     sql: None,
-                    outcome: Outcome::Skipped("mode skip".into()),
+                    outcome: Outcome::Skipped(mode_skip_reason()),
                 });
                 continue;
             }
             if !rec.applies_to(self.conn.engine_name()) {
+                let reason = self.condition_excludes_reason();
                 self.results.push(RecordResult {
                     line: rec.line,
                     sql: None,
-                    outcome: Outcome::Skipped(format!(
-                        "condition excludes {}",
-                        self.conn.engine_name()
-                    )),
+                    outcome: Outcome::Skipped(reason),
                 });
                 continue;
             }
@@ -141,10 +154,10 @@ impl<'a> RunCtx<'a> {
     fn check_stop(&mut self, outcome: &Outcome) {
         match outcome {
             Outcome::Crash(m) => {
-                self.stopped = Some(format!("engine crashed: {m}"));
+                self.stopped = Some(format!("engine crashed: {m}").into());
             }
             Outcome::Hang(m) => {
-                self.stopped = Some(format!("engine hung: {m}"));
+                self.stopped = Some(format!("engine hung: {m}").into());
             }
             _ => {}
         }
@@ -170,18 +183,13 @@ impl<'a> RunCtx<'a> {
                 }
                 match expect {
                     StatementExpect::Error { message } => match message {
-                        Some(m) if !e.message.contains(m.as_str()) => {
-                            Outcome::Fail(FailInfo {
-                                kind: FailKind::WrongErrorMessage,
-                                error_kind: Some(e.kind),
-                                detail: format!(
-                                    "expected error containing {m:?}, got {:?}",
-                                    e.message
-                                ),
-                                expected: vec![m.clone()],
-                                actual: vec![e.message],
-                            })
-                        }
+                        Some(m) if !e.message.contains(m.as_str()) => Outcome::Fail(FailInfo {
+                            kind: FailKind::WrongErrorMessage,
+                            error_kind: Some(e.kind),
+                            detail: format!("expected error containing {m:?}, got {:?}", e.message),
+                            expected: vec![m.clone()],
+                            actual: vec![e.message],
+                        }),
                         _ => Outcome::Pass,
                     },
                     _ => Outcome::Fail(FailInfo {
@@ -241,15 +249,13 @@ impl<'a> RunCtx<'a> {
                     .collect();
                 match validate_query(&rendered, expected, sort, self.numeric) {
                     Verdict::Match => Outcome::Pass,
-                    Verdict::Mismatch { expected, actual, detail } => {
-                        Outcome::Fail(FailInfo {
-                            kind: FailKind::WrongResult,
-                            error_kind: None,
-                            detail,
-                            expected,
-                            actual,
-                        })
-                    }
+                    Verdict::Mismatch { expected, actual, detail } => Outcome::Fail(FailInfo {
+                        kind: FailKind::WrongResult,
+                        error_kind: None,
+                        detail,
+                        expected,
+                        actual,
+                    }),
                 }
             }
         }
@@ -268,8 +274,8 @@ impl<'a> RunCtx<'a> {
                 } else {
                     // DuckDB semantics: the rest of the file is skipped
                     // (paper: 26.2% of DuckDB cases pre-filtered this way).
-                    self.stopped = Some(format!("require {ext}: extension not loaded"));
-                    Outcome::Skipped(format!("extension {ext} not loaded"))
+                    self.stopped = Some(format!("require {ext}: extension not loaded").into());
+                    Outcome::Skipped(format!("extension {ext} not loaded").into())
                 }
             }
             ControlCommand::SetVar { name, value } => {
@@ -277,11 +283,7 @@ impl<'a> RunCtx<'a> {
                 Outcome::Pass
             }
             ControlCommand::Loop { var, start, end, body } => {
-                self.results.push(RecordResult {
-                    line,
-                    sql: None,
-                    outcome: Outcome::Pass,
-                });
+                self.results.push(RecordResult { line, sql: None, outcome: Outcome::Pass });
                 for i in *start..*end {
                     self.vars.insert(var.clone(), i.to_string());
                     self.run_records(body);
@@ -293,11 +295,7 @@ impl<'a> RunCtx<'a> {
                 return;
             }
             ControlCommand::Foreach { var, values, body } => {
-                self.results.push(RecordResult {
-                    line,
-                    sql: None,
-                    outcome: Outcome::Pass,
-                });
+                self.results.push(RecordResult { line, sql: None, outcome: Outcome::Pass });
                 for v in values {
                     self.vars.insert(var.clone(), v.clone());
                     self.run_records(body);
@@ -319,23 +317,27 @@ impl<'a> RunCtx<'a> {
                 Outcome::Pass
             }
             ControlCommand::Sleep(_) | ControlCommand::Echo(_) => Outcome::Pass,
-            ControlCommand::Load(path) => Outcome::Skipped(format!(
-                "load {path}: external data loading is environment-dependent"
-            )),
-            ControlCommand::Connection(c) => Outcome::Skipped(format!(
-                "connection {c}: multi-connection execution not supported by the unified runner"
-            )),
+            ControlCommand::Load(path) => Outcome::Skipped(
+                format!("load {path}: external data loading is environment-dependent").into(),
+            ),
+            ControlCommand::Connection(c) => Outcome::Skipped(
+                format!(
+                    "connection {c}: multi-connection execution not supported by the unified runner"
+                )
+                .into(),
+            ),
             ControlCommand::Include(p) => {
-                Outcome::Skipped(format!("source {p}: includes are not resolved"))
+                Outcome::Skipped(format!("source {p}: includes are not resolved").into())
             }
-            ControlCommand::CliCommand(c) => Outcome::Skipped(format!(
-                "{c}: psql meta-commands are processed by the client, not the runner"
-            )),
+            ControlCommand::CliCommand(c) => Outcome::Skipped(
+                format!("{c}: psql meta-commands are processed by the client, not the runner")
+                    .into(),
+            ),
             ControlCommand::ShellExec(c) => {
-                Outcome::Skipped(format!("exec {c}: shell execution is never performed"))
+                Outcome::Skipped(format!("exec {c}: shell execution is never performed").into())
             }
             ControlCommand::Unknown(u) => {
-                Outcome::Skipped(format!("unsupported runner command: {u}"))
+                Outcome::Skipped(format!("unsupported runner command: {u}").into())
             }
         };
         self.results.push(RecordResult { line, sql: None, outcome });

@@ -1,0 +1,242 @@
+//! Parallel suite execution: shard test files across a worker pool.
+//!
+//! The paper's runner executes suites statement-by-statement over one
+//! connection; the follow-up work on scaling automated DBMS testing shows
+//! the same loop fans out naturally at *file* granularity, because donor
+//! suites assume independent files (each starts from a fresh database).
+//! [`Runner::run_suite`] exploits exactly that: a [`ConnectorFactory`]
+//! mints one connection per worker, workers pull files from a shared
+//! queue, and results are stitched back **in input order**, so the output
+//! is byte-identical whatever the worker count — parallelism is purely a
+//! throughput knob, never an observability one.
+//!
+//! Files that need cross-file state (`fresh_database: false` carry-over)
+//! are inherently sequential and must keep using [`Runner::run_file`];
+//! the scheduler resets every connection before every file.
+
+use crate::connector::{Connector, ConnectorFactory};
+use crate::outcome::FileResult;
+use crate::runner::{Runner, RunnerOptions};
+use squality_formats::TestFile;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Everything a parallel suite run produces: per-file results in input
+/// order plus the retired worker connections (whose engines carry
+/// accumulated coverage and other run-scoped state).
+pub struct SuiteExecution<C> {
+    /// One result per input file, ordered by input index.
+    pub results: Vec<FileResult>,
+    /// The retired worker connections — one per worker that claimed at
+    /// least one file (workers connect lazily, so a worker that never got
+    /// a file contributes nothing here).
+    pub connectors: Vec<C>,
+}
+
+impl Runner {
+    /// Execute `files` on `workers` parallel connections minted by
+    /// `factory`. `workers == 0` uses the machine's available parallelism.
+    ///
+    /// Results are ordered by input index and byte-identical for every
+    /// worker count. Each file runs on a freshly-reset connection.
+    pub fn run_suite<F: ConnectorFactory>(
+        &self,
+        factory: &F,
+        files: &[TestFile],
+        workers: usize,
+    ) -> Vec<FileResult> {
+        self.run_suite_with(factory, files, workers, |_| {}).results
+    }
+
+    /// [`Runner::run_suite`] with a per-file `prepare` hook, invoked on the
+    /// freshly-reset connection before each file — the seam for environment
+    /// provisioning (data files, extensions, set-up SQL).
+    pub fn run_suite_with<F: ConnectorFactory>(
+        &self,
+        factory: &F,
+        files: &[TestFile],
+        workers: usize,
+        prepare: impl Fn(&mut F::Conn) + Sync,
+    ) -> SuiteExecution<F::Conn> {
+        let workers = effective_workers(workers, files.len());
+        // The scheduler owns the per-file reset (reset → prepare → run), so
+        // the inner runner must not reset again and wipe the preparation.
+        let per_file = Runner::new(RunnerOptions { fresh_database: false, ..self.options });
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<FileResult>>> =
+            files.iter().map(|_| Mutex::new(None)).collect();
+        let retired = Mutex::new(Vec::with_capacity(workers));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Connect lazily on the first claimed file: a worker
+                    // that loses the queue race entirely never pays engine
+                    // construction and retires no connection.
+                    let mut conn: Option<F::Conn> = None;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(file) = files.get(i) else { break };
+                        let conn = conn.get_or_insert_with(|| factory.connect());
+                        conn.reset();
+                        prepare(conn);
+                        let result = per_file.run_file(conn, file);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    }
+                    if let Some(conn) = conn {
+                        retired.lock().expect("retired list poisoned").push(conn);
+                    }
+                });
+            }
+        });
+
+        SuiteExecution {
+            results: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("scheduler ran every file")
+                })
+                .collect(),
+            connectors: retired.into_inner().expect("retired list poisoned"),
+        }
+    }
+}
+
+/// Clamp a requested worker count: 0 means "all cores", and there is never
+/// a point in more workers than files.
+fn effective_workers(requested: usize, n_files: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    };
+    requested.clamp(1, n_files.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::{EngineConnectorFactory, FnFactory};
+    use crate::EngineConnector;
+    use squality_engine::{ClientKind, EngineDialect, PlanCache};
+    use squality_formats::{parse_slt, SltFlavor};
+
+    /// A small synthetic suite with loops, passes, and skips. The first
+    /// loop substitutes its variable (distinct SQL each iteration); the
+    /// second replays one constant statement many times — the loop-heavy
+    /// shape that makes a parse cache pay off.
+    fn suite(n_files: usize) -> Vec<TestFile> {
+        (0..n_files)
+            .map(|i| {
+                let slt = format!(
+                    "statement ok\n\
+                     CREATE TABLE t{i}(a INTEGER)\n\n\
+                     loop v 0 {vreps}\n\n\
+                     statement ok\n\
+                     INSERT INTO t{i} VALUES (${{v}})\n\n\
+                     endloop\n\n\
+                     loop v 0 25\n\n\
+                     statement ok\n\
+                     INSERT INTO t{i} VALUES (7)\n\n\
+                     endloop\n\n\
+                     query I nosort\n\
+                     SELECT count(*) FROM t{i}\n\
+                     ----\n\
+                     {total}\n\n\
+                     skipif sqlite\n\
+                     statement ok\n\
+                     SELECT 1\n",
+                    vreps = 3 + i % 5,
+                    total = 25 + 3 + i % 5,
+                );
+                parse_slt(&format!("file{i}.test"), &slt, SltFlavor::Duckdb)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let files = suite(13);
+        let factory = EngineConnectorFactory::new(EngineDialect::Sqlite, ClientKind::Cli);
+        let runner = Runner::default();
+        let baseline = runner.run_suite(&factory, &files, 1);
+        for workers in [2, 3, 8] {
+            let got = runner.run_suite(&factory, &files, workers);
+            assert_eq!(got, baseline, "worker count {workers} changed results");
+        }
+    }
+
+    #[test]
+    fn plan_cache_does_not_change_results_and_hits() {
+        let files = suite(6);
+        let runner = Runner::default();
+        let plain = EngineConnectorFactory::new(EngineDialect::Duckdb, ClientKind::Cli);
+        let cache = PlanCache::shared();
+        let cached = EngineConnectorFactory::new(EngineDialect::Duckdb, ClientKind::Cli)
+            .plan_cache(std::sync::Arc::clone(&cache));
+        let a = runner.run_suite(&plain, &files, 4);
+        let b = runner.run_suite(&cached, &files, 4);
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        // The loop bodies replay the same INSERT text: hits must dominate.
+        assert!(stats.hits > stats.misses, "{stats:?}");
+    }
+
+    #[test]
+    fn prepare_hook_runs_before_every_file() {
+        let files = suite(5);
+        let factory = EngineConnectorFactory::new(EngineDialect::Postgres, ClientKind::Cli);
+        let runner = Runner::default();
+        let bare = runner.run_suite(&factory, &files, 2);
+        // Provision a marker table; every file must then see it.
+        let exec = runner.run_suite_with(&factory, &files, 2, |conn: &mut EngineConnector| {
+            conn.execute("CREATE TABLE provisioned(x INTEGER)").unwrap();
+        });
+        assert_eq!(exec.results.len(), bare.len());
+        // Workers connect lazily, so every retired connector claimed at
+        // least one file and carries accumulated coverage.
+        assert!(!exec.connectors.is_empty());
+        assert!(exec.connectors.iter().all(|conn| conn.engine().coverage().line_ratio() > 0.0));
+        let probe = parse_slt(
+            "probe.test",
+            "statement ok\nSELECT * FROM provisioned\n",
+            SltFlavor::Classic,
+        );
+        let with_env = runner.run_suite_with(&factory, std::slice::from_ref(&probe), 1, |conn| {
+            conn.execute("CREATE TABLE provisioned(x INTEGER)").unwrap();
+        });
+        assert_eq!(with_env.results[0].passed(), 1);
+        let without_env = runner.run_suite(&factory, &[probe], 1);
+        assert_eq!(without_env[0].failed(), 1);
+    }
+
+    #[test]
+    fn closure_factories_work() {
+        let files = suite(4);
+        let factory =
+            FnFactory(|| EngineConnector::new(EngineDialect::Mysql, ClientKind::Connector));
+        let results = Runner::default().run_suite(&factory, &files, 3);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.failed() == 0), "{results:?}");
+    }
+
+    #[test]
+    fn zero_workers_means_auto_and_empty_suites_are_fine() {
+        let factory = EngineConnectorFactory::new(EngineDialect::Sqlite, ClientKind::Cli);
+        let results = Runner::default().run_suite(&factory, &[], 0);
+        assert!(results.is_empty());
+        let files = suite(2);
+        let results = Runner::default().run_suite(&factory, &files, 0);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(effective_workers(4, 2), 2);
+        assert_eq!(effective_workers(1, 100), 1);
+        assert_eq!(effective_workers(8, 0), 1);
+        assert!(effective_workers(0, 64) >= 1);
+    }
+}

@@ -35,7 +35,8 @@ pub fn validate_query(
     match expected {
         QueryExpectation::Values(vals) => {
             let actual = flatten(actual_rows, sort);
-            let expected_vals = sort_values(vals.clone(), sort, actual_rows.first().map(|r| r.len()).unwrap_or(1));
+            let expected_vals =
+                sort_values(vals.clone(), sort, actual_rows.first().map(|r| r.len()).unwrap_or(1));
             compare_lists(&expected_vals, &actual, numeric)
         }
         QueryExpectation::Rows(rows) => {
@@ -104,8 +105,7 @@ fn sort_values(vals: Vec<String>, sort: SortMode, width: usize) -> Vec<String> {
         SortMode::ValueSort => sorted(vals),
         SortMode::RowSort => {
             let w = width.max(1);
-            let mut rows: Vec<Vec<String>> =
-                vals.chunks(w).map(|c| c.to_vec()).collect();
+            let mut rows: Vec<Vec<String>> = vals.chunks(w).map(|c| c.to_vec()).collect();
             rows.sort();
             rows.into_iter().flatten().collect()
         }
@@ -122,11 +122,7 @@ fn compare_lists(expected: &[String], actual: &[String], numeric: NumericMode) -
         return Verdict::Mismatch {
             expected: expected.to_vec(),
             actual: actual.to_vec(),
-            detail: format!(
-                "expected {} values, got {}",
-                expected.len(),
-                actual.len()
-            ),
+            detail: format!("expected {} values, got {}", expected.len(), actual.len()),
         };
     }
     for (e, a) in expected.iter().zip(actual.iter()) {
@@ -147,8 +143,7 @@ pub fn values_equal(expected: &str, actual: &str, numeric: NumericMode) -> bool 
         return true;
     }
     if let NumericMode::Tolerant(tol) = numeric {
-        if let (Ok(e), Ok(a)) = (expected.trim().parse::<f64>(), actual.trim().parse::<f64>())
-        {
+        if let (Ok(e), Ok(a)) = (expected.trim().parse::<f64>(), actual.trim().parse::<f64>()) {
             if e == a {
                 return true;
             }

@@ -15,40 +15,104 @@ pub enum Stmt {
     Update(UpdateStmt),
     Delete(DeleteStmt),
     CreateTable(CreateTableStmt),
-    DropTable { names: Vec<String>, if_exists: bool },
-    AlterTable { table: String, action: AlterTableAction },
-    CreateIndex { name: String, table: String, columns: Vec<String>, unique: bool, if_not_exists: bool },
-    DropIndex { name: String, if_exists: bool },
-    CreateView { name: String, columns: Vec<String>, query: SelectStmt, or_replace: bool },
-    DropView { name: String, if_exists: bool },
-    CreateSchema { name: String, if_not_exists: bool },
-    AlterSchema { name: String, rename_to: String },
-    DropSchema { name: String, if_exists: bool, cascade: bool },
+    DropTable {
+        names: Vec<String>,
+        if_exists: bool,
+    },
+    AlterTable {
+        table: String,
+        action: AlterTableAction,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        unique: bool,
+        if_not_exists: bool,
+    },
+    DropIndex {
+        name: String,
+        if_exists: bool,
+    },
+    CreateView {
+        name: String,
+        columns: Vec<String>,
+        query: SelectStmt,
+        or_replace: bool,
+    },
+    DropView {
+        name: String,
+        if_exists: bool,
+    },
+    CreateSchema {
+        name: String,
+        if_not_exists: bool,
+    },
+    AlterSchema {
+        name: String,
+        rename_to: String,
+    },
+    DropSchema {
+        name: String,
+        if_exists: bool,
+        cascade: bool,
+    },
     /// `CREATE FUNCTION name(args) RETURNS ty AS 'library', 'symbol' LANGUAGE C`
     /// — the PostgreSQL regression suite's extension-loading statement
     /// (paper Listing 7). The body is kept opaque.
-    CreateFunction { name: String, language: String, library: Option<String> },
+    CreateFunction {
+        name: String,
+        language: String,
+        library: Option<String>,
+    },
     Begin,
     Commit,
     Rollback,
-    Savepoint { name: String },
-    Release { name: String },
+    Savepoint {
+        name: String,
+    },
+    Release {
+        name: String,
+    },
     /// `SET [SESSION|GLOBAL|LOCAL] name = value` / `SET name TO value`.
-    Set { name: String, value: SetValue },
+    Set {
+        name: String,
+        value: SetValue,
+    },
     /// `PRAGMA name` / `PRAGMA name = value` / `PRAGMA name(value)`.
-    Pragma { name: String, value: Option<String> },
-    Explain { analyze: bool, inner: Box<Stmt> },
+    Pragma {
+        name: String,
+        value: Option<String>,
+    },
+    Explain {
+        analyze: bool,
+        inner: Box<Stmt>,
+    },
     /// `COPY table FROM/TO 'path'` (PostgreSQL regression suite).
-    Copy { table: String, path: String, from: bool },
-    Show { name: String },
-    Use { database: String },
+    Copy {
+        table: String,
+        path: String,
+        from: bool,
+    },
+    Show {
+        name: String,
+    },
+    Use {
+        database: String,
+    },
     /// Standalone `VALUES (...), (...)` treated as a query.
     Values(SelectStmt),
-    Truncate { table: String },
+    Truncate {
+        table: String,
+    },
     /// DuckDB `INSTALL ext` / `LOAD ext`; SQLite `.load` equivalent.
-    LoadExtension { name: String },
+    LoadExtension {
+        name: String,
+    },
     Vacuum,
-    Analyze { table: Option<String> },
+    Analyze {
+        table: Option<String>,
+    },
 }
 
 /// `INSERT INTO t (cols) VALUES ... | SELECT ...`
@@ -155,7 +219,12 @@ pub struct Cte {
 pub enum SetExpr {
     Select(Box<SelectCore>),
     Values(Vec<Vec<Expr>>),
-    SetOp { op: SetOp, all: bool, left: Box<SetExpr>, right: Box<SetExpr> },
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
     /// Parenthesised sub-query with its own ORDER BY / LIMIT.
     Query(Box<SelectStmt>),
 }
@@ -214,9 +283,7 @@ impl TableRef {
     pub fn binding_name(&self) -> Option<&str> {
         match self {
             TableRef::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
-            TableRef::Subquery { alias, .. } | TableRef::Function { alias, .. } => {
-                alias.as_deref()
-            }
+            TableRef::Subquery { alias, .. } | TableRef::Function { alias, .. } => alias.as_deref(),
             TableRef::Join { .. } => None,
         }
     }
@@ -248,25 +315,71 @@ pub struct OrderItem {
 pub enum Expr {
     Literal(Literal),
     /// Column reference, optionally table-qualified.
-    Column { table: Option<String>, name: String },
-    Unary { op: UnaryOp, expr: Box<Expr> },
-    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    Column {
+        table: Option<String>,
+        name: String,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
     /// Function call; `distinct` covers `COUNT(DISTINCT x)`.
-    Function { name: String, args: Vec<Expr>, distinct: bool, star: bool },
-    Cast { expr: Box<Expr>, ty: TypeName },
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+        star: bool,
+    },
+    Cast {
+        expr: Box<Expr>,
+        ty: TypeName,
+    },
     Case {
         operand: Option<Box<Expr>>,
         branches: Vec<(Expr, Expr)>,
         else_branch: Option<Box<Expr>>,
     },
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `IS [NOT] DISTINCT FROM`
-    IsDistinctFrom { left: Box<Expr>, right: Box<Expr>, negated: bool },
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    InSubquery { expr: Box<Expr>, query: Box<SelectStmt>, negated: bool },
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
-    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool, case_insensitive: bool },
-    Exists { query: Box<SelectStmt>, negated: bool },
+    IsDistinctFrom {
+        left: Box<Expr>,
+        right: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+        case_insensitive: bool,
+    },
+    Exists {
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
     /// Scalar subquery.
     Subquery(Box<SelectStmt>),
     /// Row value `(a, b)` with 2+ elements.
@@ -420,13 +533,11 @@ impl std::fmt::Display for TypeName {
             }
             TypeName::List(inner) => write!(f, "{inner}[]"),
             TypeName::Struct(fields) => {
-                let fs: Vec<String> =
-                    fields.iter().map(|(n, t)| format!("{n} {t}")).collect();
+                let fs: Vec<String> = fields.iter().map(|(n, t)| format!("{n} {t}")).collect();
                 write!(f, "STRUCT({})", fs.join(", "))
             }
             TypeName::Union(fields) => {
-                let fs: Vec<String> =
-                    fields.iter().map(|(n, t)| format!("{n} {t}")).collect();
+                let fs: Vec<String> = fields.iter().map(|(n, t)| format!("{n} {t}")).collect();
                 write!(f, "UNION({})", fs.join(", "))
             }
         }
@@ -444,10 +555,7 @@ mod tests {
             TypeName::Simple { name: "VARCHAR".into(), params: vec![10] }.to_string(),
             "VARCHAR(10)"
         );
-        assert_eq!(
-            TypeName::List(Box::new(TypeName::simple("INT"))).to_string(),
-            "INT[]"
-        );
+        assert_eq!(TypeName::List(Box::new(TypeName::simple("INT"))).to_string(), "INT[]");
         let s = TypeName::Struct(vec![
             ("k".into(), TypeName::simple("VARCHAR")),
             ("v".into(), TypeName::simple("INT")),

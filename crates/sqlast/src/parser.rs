@@ -69,9 +69,9 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.peek().map(|t| t.start).unwrap_or_else(|| {
-            self.tokens.last().map(|t| t.end).unwrap_or(0)
-        })
+        self.peek()
+            .map(|t| t.start)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.end).unwrap_or(0))
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
@@ -80,10 +80,9 @@ impl Parser {
 
     fn err_near<T>(&self) -> Result<T, ParseError> {
         match self.peek() {
-            Some(t) => Err(ParseError::new(
-                format!("syntax error at or near \"{}\"", t.text),
-                t.start,
-            )),
+            Some(t) => {
+                Err(ParseError::new(format!("syntax error at or near \"{}\"", t.text), t.start))
+            }
             None => Err(ParseError::new("syntax error at end of input", self.offset())),
         }
     }
@@ -252,8 +251,11 @@ impl Parser {
             }
             "ANALYZE" | "ANALYSE" => {
                 self.pos += 1;
-                let table =
-                    if self.at_eof() || self.peek_sym(";") { None } else { Some(self.qualified_name()?) };
+                let table = if self.at_eof() || self.peek_sym(";") {
+                    None
+                } else {
+                    Some(self.qualified_name()?)
+                };
                 Ok(Stmt::Analyze { table })
             }
             "INSTALL" | "LOAD" => {
@@ -270,8 +272,10 @@ impl Parser {
     fn insert(&mut self) -> Result<Stmt, ParseError> {
         let mut or_replace = false;
         if self.eat_kw("REPLACE") {
-            if !matches!(self.dialect, TextDialect::Mysql | TextDialect::Sqlite | TextDialect::Generic)
-            {
+            if !matches!(
+                self.dialect,
+                TextDialect::Mysql | TextDialect::Sqlite | TextDialect::Generic
+            ) {
                 return self.err("syntax error at or near \"REPLACE\"");
             }
             or_replace = true;
@@ -560,9 +564,10 @@ impl Parser {
             _ => {
                 // Multi-word types: DOUBLE PRECISION, CHARACTER VARYING, ...
                 let mut name = head;
-                while self.peek().map(|t| {
-                    t.is_keyword("PRECISION") || t.is_keyword("VARYING")
-                }).unwrap_or(false)
+                while self
+                    .peek()
+                    .map(|t| t.is_keyword("PRECISION") || t.is_keyword("VARYING"))
+                    .unwrap_or(false)
                 {
                     name.push(' ');
                     name.push_str(&self.advance().unwrap().upper());
@@ -808,10 +813,8 @@ impl Parser {
     }
 
     fn pragma(&mut self) -> Result<Stmt, ParseError> {
-        if !matches!(
-            self.dialect,
-            TextDialect::Sqlite | TextDialect::Duckdb | TextDialect::Generic
-        ) {
+        if !matches!(self.dialect, TextDialect::Sqlite | TextDialect::Duckdb | TextDialect::Generic)
+        {
             return self.err("syntax error at or near \"PRAGMA\"");
         }
         self.expect_kw("PRAGMA")?;
@@ -914,19 +917,13 @@ impl Parser {
             return self.err("syntax error at or near \"SHOW\"");
         }
         self.expect_kw("SHOW")?;
-        let name = if self.eat_kw("ALL") {
-            "ALL".to_string()
-        } else {
-            self.qualified_name()?
-        };
+        let name = if self.eat_kw("ALL") { "ALL".to_string() } else { self.qualified_name()? };
         Ok(Stmt::Show { name })
     }
 
     fn use_stmt(&mut self) -> Result<Stmt, ParseError> {
-        if !matches!(
-            self.dialect,
-            TextDialect::Mysql | TextDialect::Duckdb | TextDialect::Generic
-        ) {
+        if !matches!(self.dialect, TextDialect::Mysql | TextDialect::Duckdb | TextDialect::Generic)
+        {
             return self.err("syntax error at or near \"USE\"");
         }
         self.expect_kw("USE")?;
@@ -1178,13 +1175,7 @@ impl Parser {
                     self.expect_sym(")")?;
                 }
             }
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-                using,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on, using };
         }
         Ok(left)
     }
@@ -1363,11 +1354,7 @@ impl Parser {
             if self.peek_kw("SELECT") || self.peek_kw("WITH") || self.peek_kw("VALUES") {
                 let q = self.query()?;
                 self.expect_sym(")")?;
-                return Ok(Expr::InSubquery {
-                    expr: Box::new(lhs),
-                    query: Box::new(q),
-                    negated,
-                });
+                return Ok(Expr::InSubquery { expr: Box::new(lhs), query: Box::new(q), negated });
             }
             let mut list = Vec::new();
             if !self.peek_sym(")") {
@@ -1660,11 +1647,7 @@ impl Parser {
 
     fn case_expr(&mut self) -> Result<Expr, ParseError> {
         self.expect_kw("CASE")?;
-        let operand = if self.peek_kw("WHEN") {
-            None
-        } else {
-            Some(Box::new(self.expr(0)?))
-        };
+        let operand = if self.peek_kw("WHEN") { None } else { Some(Box::new(self.expr(0)?)) };
         let mut branches = Vec::new();
         while self.eat_kw("WHEN") {
             let cond = self.expr(0)?;
@@ -1675,11 +1658,7 @@ impl Parser {
         if branches.is_empty() {
             return self.err_near();
         }
-        let else_branch = if self.eat_kw("ELSE") {
-            Some(Box::new(self.expr(0)?))
-        } else {
-            None
-        };
+        let else_branch = if self.eat_kw("ELSE") { Some(Box::new(self.expr(0)?)) } else { None };
         self.expect_kw("END")?;
         Ok(Expr::Case { operand, branches, else_branch })
     }
@@ -1695,20 +1674,69 @@ enum Infix {
 fn is_reserved_after_expr(upper: &str) -> bool {
     matches!(
         upper,
-        "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET" | "UNION"
-            | "INTERSECT" | "EXCEPT" | "ON" | "JOIN" | "INNER" | "LEFT" | "RIGHT" | "FULL"
-            | "CROSS" | "ASOF" | "USING" | "AS" | "WHEN" | "THEN" | "ELSE" | "END" | "AND"
-            | "OR" | "NOT" | "SET" | "VALUES" | "SELECT" | "DESC" | "ASC" | "NULLS" | "WINDOW"
-            | "RETURNING" | "INTO" | "FETCH" | "COLLATE" | "IS" | "IN" | "BETWEEN" | "LIKE"
-            | "ILIKE" | "DIV" | "MOD"
+        "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "HAVING"
+            | "ORDER"
+            | "LIMIT"
+            | "OFFSET"
+            | "UNION"
+            | "INTERSECT"
+            | "EXCEPT"
+            | "ON"
+            | "JOIN"
+            | "INNER"
+            | "LEFT"
+            | "RIGHT"
+            | "FULL"
+            | "CROSS"
+            | "ASOF"
+            | "USING"
+            | "AS"
+            | "WHEN"
+            | "THEN"
+            | "ELSE"
+            | "END"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "SET"
+            | "VALUES"
+            | "SELECT"
+            | "DESC"
+            | "ASC"
+            | "NULLS"
+            | "WINDOW"
+            | "RETURNING"
+            | "INTO"
+            | "FETCH"
+            | "COLLATE"
+            | "IS"
+            | "IN"
+            | "BETWEEN"
+            | "LIKE"
+            | "ILIKE"
+            | "DIV"
+            | "MOD"
     )
 }
 
 fn is_interval_unit(upper: &str) -> bool {
     matches!(
         upper,
-        "YEAR" | "MONTH" | "DAY" | "HOUR" | "MINUTE" | "SECOND" | "YEARS" | "MONTHS" | "DAYS"
-            | "HOURS" | "MINUTES" | "SECONDS"
+        "YEAR"
+            | "MONTH"
+            | "DAY"
+            | "HOUR"
+            | "MINUTE"
+            | "SECOND"
+            | "YEARS"
+            | "MONTHS"
+            | "DAYS"
+            | "HOURS"
+            | "MINUTES"
+            | "SECONDS"
     )
 }
 
@@ -1730,6 +1758,7 @@ fn parse_number(text: &str) -> Literal {
 }
 
 /// Remove quotes from a string literal and collapse doubled quotes.
+#[allow(clippy::manual_strip)] // the `$tag$` wrapper length is reused on both ends
 fn unquote_string(text: &str) -> String {
     let inner = text
         .strip_prefix(|c: char| matches!(c, 'E' | 'e' | 'N' | 'n' | 'B' | 'b' | 'X' | 'x'))
@@ -1811,9 +1840,7 @@ mod tests {
         let SetExpr::Select(core) = &q.body else { panic!() };
         let SelectItem::Expr { expr, .. } = &core.projection[0] else { panic!() };
         // Must parse as 1 + (2 * 3).
-        let Expr::Binary { op: BinaryOp::Add, right, .. } = expr else {
-            panic!("got {expr:?}")
-        };
+        let Expr::Binary { op: BinaryOp::Add, right, .. } = expr else { panic!("got {expr:?}") };
         assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
     }
 
@@ -1866,9 +1893,7 @@ mod tests {
     #[test]
     fn set_dialects() {
         assert!(parse_d("SET search_path TO public", TextDialect::Postgres).is_ok());
-        assert!(
-            parse_d("SET default_null_order='nulls_first'", TextDialect::Duckdb).is_ok()
-        );
+        assert!(parse_d("SET default_null_order='nulls_first'", TextDialect::Duckdb).is_ok());
         assert!(parse_d("SET optimizer_search_depth = 62", TextDialect::Mysql).is_ok());
         assert!(parse_d("SET x = 1", TextDialect::Sqlite).is_err());
     }
@@ -1921,9 +1946,7 @@ mod tests {
 
     #[test]
     fn create_table_as() {
-        let Stmt::CreateTable(ct) =
-            parse("CREATE TABLE quantile AS SELECT 1 AS r")
-        else {
+        let Stmt::CreateTable(ct) = parse("CREATE TABLE quantile AS SELECT 1 AS r") else {
             panic!()
         };
         assert!(ct.as_query.is_some());
@@ -1931,7 +1954,8 @@ mod tests {
 
     #[test]
     fn create_table_nested_types_duckdb() {
-        let sql = "CREATE TABLE tbl1 (union_struct UNION(str VARCHAR, obj STRUCT(k VARCHAR, v INT)))";
+        let sql =
+            "CREATE TABLE tbl1 (union_struct UNION(str VARCHAR, obj STRUCT(k VARCHAR, v INT)))";
         let stmt = parse_d(sql, TextDialect::Duckdb).unwrap();
         let Stmt::CreateTable(ct) = stmt else { panic!() };
         let TypeName::Union(fields) = &ct.columns[0].type_name else { panic!() };
@@ -1957,9 +1981,7 @@ mod tests {
     #[test]
     fn alter_schema_rename() {
         // Paper Listing 12: the DuckDB crash trigger.
-        let Stmt::AlterSchema { name, rename_to } =
-            parse("ALTER SCHEMA a RENAME TO b")
-        else {
+        let Stmt::AlterSchema { name, rename_to } = parse("ALTER SCHEMA a RENAME TO b") else {
             panic!()
         };
         assert_eq!(name, "a");
@@ -2008,8 +2030,7 @@ mod tests {
     #[test]
     fn union_all_with_limit() {
         // Paper Listing 9 shape.
-        let sql =
-            "SELECT 1 UNION ALL SELECT * FROM range(2, 100) UNION ALL SELECT 999 LIMIT 5";
+        let sql = "SELECT 1 UNION ALL SELECT * FROM range(2, 100) UNION ALL SELECT 999 LIMIT 5";
         let Stmt::Select(q) = parse(sql) else { panic!() };
         assert!(q.limit.is_some());
         assert!(matches!(q.body, SetExpr::SetOp { .. }));
@@ -2085,29 +2106,26 @@ mod tests {
 
     #[test]
     fn implicit_join_from_list() {
-        let Stmt::Select(q) = parse("SELECT unit.total_profit FROM unit, unit2") else {
-            panic!()
-        };
+        let Stmt::Select(q) = parse("SELECT unit.total_profit FROM unit, unit2") else { panic!() };
         let SetExpr::Select(core) = &q.body else { panic!() };
         assert_eq!(core.from.len(), 2);
     }
 
     #[test]
     fn aggregates() {
-        let Stmt::Select(q) = parse("SELECT count(*), sum(DISTINCT a) FROM t GROUP BY b HAVING count(*) > 1")
+        let Stmt::Select(q) =
+            parse("SELECT count(*), sum(DISTINCT a) FROM t GROUP BY b HAVING count(*) > 1")
         else {
             panic!()
         };
         let SetExpr::Select(core) = &q.body else { panic!() };
-        let SelectItem::Expr { expr: Expr::Function { name, star, .. }, .. } =
-            &core.projection[0]
+        let SelectItem::Expr { expr: Expr::Function { name, star, .. }, .. } = &core.projection[0]
         else {
             panic!()
         };
         assert_eq!(name, "count");
         assert!(star);
-        let SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } =
-            &core.projection[1]
+        let SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } = &core.projection[1]
         else {
             panic!()
         };
@@ -2135,10 +2153,7 @@ mod tests {
     fn is_null_and_distinct_from() {
         assert!(matches!(parse("SELECT * FROM t WHERE a IS NULL"), Stmt::Select(_)));
         assert!(matches!(parse("SELECT * FROM t WHERE a IS NOT NULL"), Stmt::Select(_)));
-        assert!(matches!(
-            parse("SELECT * FROM t WHERE a IS DISTINCT FROM b"),
-            Stmt::Select(_)
-        ));
+        assert!(matches!(parse("SELECT * FROM t WHERE a IS DISTINCT FROM b"), Stmt::Select(_)));
     }
 
     #[test]
@@ -2170,7 +2185,7 @@ mod tests {
 
     #[test]
     fn numeric_literals() {
-        let Stmt::Select(q) = parse("SELECT 9223372036854775807, 3.14, 1e3") else { panic!() };
+        let Stmt::Select(q) = parse("SELECT 9223372036854775807, 3.25, 1e3") else { panic!() };
         let SetExpr::Select(core) = &q.body else { panic!() };
         let exprs: Vec<&Expr> = core
             .projection
@@ -2181,7 +2196,7 @@ mod tests {
             })
             .collect();
         assert_eq!(*exprs[0], Expr::integer(i64::MAX));
-        assert_eq!(*exprs[1], Expr::Literal(Literal::Float(3.14)));
+        assert_eq!(*exprs[1], Expr::Literal(Literal::Float(3.25)));
         assert_eq!(*exprs[2], Expr::Literal(Literal::Float(1000.0)));
     }
 
@@ -2189,8 +2204,7 @@ mod tests {
     fn overflowing_integer_becomes_float() {
         let Stmt::Select(q) = parse("SELECT 99999999999999999999999999") else { panic!() };
         let SetExpr::Select(core) = &q.body else { panic!() };
-        let SelectItem::Expr { expr: Expr::Literal(Literal::Float(_)), .. } =
-            &core.projection[0]
+        let SelectItem::Expr { expr: Expr::Literal(Literal::Float(_)), .. } = &core.projection[0]
         else {
             panic!()
         };
@@ -2215,8 +2229,7 @@ mod tests {
 
     #[test]
     fn order_by_nulls() {
-        let Stmt::Select(q) =
-            parse("SELECT * FROM t ORDER BY a DESC NULLS FIRST, b NULLS LAST")
+        let Stmt::Select(q) = parse("SELECT * FROM t ORDER BY a DESC NULLS FIRST, b NULLS LAST")
         else {
             panic!()
         };
@@ -2263,8 +2276,7 @@ mod tests {
     fn quoted_identifiers_unquoted() {
         let Stmt::Select(q) = parse(r#"SELECT "my col" FROM "my table""#) else { panic!() };
         let SetExpr::Select(core) = &q.body else { panic!() };
-        let SelectItem::Expr { expr: Expr::Column { name, .. }, .. } = &core.projection[0]
-        else {
+        let SelectItem::Expr { expr: Expr::Column { name, .. }, .. } = &core.projection[0] else {
             panic!()
         };
         assert_eq!(name, "my col");

@@ -408,10 +408,7 @@ mod tests {
 
     #[test]
     fn with_statement() {
-        assert_eq!(
-            c("WITH RECURSIVE x(n) AS (SELECT 1) SELECT * FROM x"),
-            StatementType::With
-        );
+        assert_eq!(c("WITH RECURSIVE x(n) AS (SELECT 1) SELECT * FROM x"), StatementType::With);
     }
 
     #[test]

@@ -31,10 +31,7 @@ impl TextDialect {
 
     /// Backtick-quoted identifiers are recognised.
     pub fn backtick_identifiers(self) -> bool {
-        matches!(
-            self,
-            TextDialect::Mysql | TextDialect::Sqlite | TextDialect::Generic
-        )
+        matches!(self, TextDialect::Mysql | TextDialect::Sqlite | TextDialect::Generic)
     }
 
     /// `[bracket]` identifiers are recognised (SQLite / SQL Server style).
@@ -44,18 +41,12 @@ impl TextDialect {
 
     /// Dollar-quoted strings (`$$ ... $$`, `$tag$ ... $tag$`) are recognised.
     pub fn dollar_quoting(self) -> bool {
-        matches!(
-            self,
-            TextDialect::Postgres | TextDialect::Duckdb | TextDialect::Generic
-        )
+        matches!(self, TextDialect::Postgres | TextDialect::Duckdb | TextDialect::Generic)
     }
 
     /// The `::` cast operator is a single token.
     pub fn double_colon_cast(self) -> bool {
-        matches!(
-            self,
-            TextDialect::Postgres | TextDialect::Duckdb | TextDialect::Generic
-        )
+        matches!(self, TextDialect::Postgres | TextDialect::Duckdb | TextDialect::Generic)
     }
 
     /// `@name` user variables are single tokens (MySQL).

@@ -10,9 +10,7 @@ use crate::token::{Token, TokenKind};
 
 /// Tokenize `input`, skipping comments.
 pub fn tokenize(input: &str, dialect: TextDialect) -> Vec<Token> {
-    Lexer::new(input, dialect)
-        .filter(|t| t.kind != TokenKind::Comment)
-        .collect()
+    Lexer::new(input, dialect).filter(|t| t.kind != TokenKind::Comment).collect()
 }
 
 /// Tokenize `input`, keeping comment tokens.
@@ -138,10 +136,7 @@ impl<'a> Lexer<'a> {
     fn dollar_quoted(&mut self, start: usize) -> Option<Token> {
         // Opening tag: $tag$ where tag is empty or an identifier.
         let rest = &self.text[self.pos + 1..];
-        let tag_len = rest
-            .bytes()
-            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
-            .count();
+        let tag_len = rest.bytes().take_while(|b| b.is_ascii_alphanumeric() || *b == b'_').count();
         if rest.as_bytes().get(tag_len) != Some(&b'$') {
             return None;
         }
@@ -233,8 +228,8 @@ impl<'a> Lexer<'a> {
         // Longest-match against the known multi-character operators of the
         // four dialects, then fall back to a single character.
         const MULTI: [&str; 22] = [
-            "->>", "<=>", "!==", "::", "||", "->", "<=", ">=", "<>", "!=", "==", "<<", ">>",
-            "|/", "||/", "!~*", "!~", "~*", "@>", "<@", "#>", "&&",
+            "->>", "<=>", "!==", "::", "||", "->", "<=", ">=", "<>", "!=", "==", "<<", ">>", "|/",
+            "||/", "!~*", "!~", "~*", "@>", "<@", "#>", "&&",
         ];
         for op in MULTI {
             if self.starts_with(op) {
@@ -298,9 +293,7 @@ impl<'a> Iterator for Lexer<'a> {
         }
 
         // Numbers (including ".5" style).
-        if c.is_ascii_digit()
-            || (c == b'.' && matches!(self.peek_at(1), Some(b'0'..=b'9')))
-        {
+        if c.is_ascii_digit() || (c == b'.' && matches!(self.peek_at(1), Some(b'0'..=b'9'))) {
             return Some(self.number(start));
         }
 
@@ -310,8 +303,7 @@ impl<'a> Iterator for Lexer<'a> {
                 // Treat any non-ASCII sequence as part of a word.
                 while let Some(b) = self.peek() {
                     if b.is_ascii_whitespace()
-                        || (b.is_ascii_punctuation() && b != b'_')
-                            && !(b >= 0x80)
+                        || (b.is_ascii_punctuation() && b != b'_') && (b < 0x80)
                     {
                         break;
                     }
@@ -362,10 +354,7 @@ mod tests {
     fn simple_select() {
         let toks = kinds("SELECT a, b FROM t1 WHERE c > a;", TextDialect::Generic);
         let words: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
-        assert_eq!(
-            words,
-            ["SELECT", "a", ",", "b", "FROM", "t1", "WHERE", "c", ">", "a", ";"]
-        );
+        assert_eq!(words, ["SELECT", "a", ",", "b", "FROM", "t1", "WHERE", "c", ">", "a", ";"]);
     }
 
     #[test]

@@ -113,8 +113,18 @@ pub fn where_token_count(sql: &str, dialect: TextDialect) -> usize {
 fn is_clause_end(upper: &str) -> bool {
     matches!(
         upper,
-        "GROUP" | "ORDER" | "HAVING" | "LIMIT" | "OFFSET" | "WINDOW" | "UNION" | "INTERSECT"
-            | "EXCEPT" | "FETCH" | "RETURNING" | "QUALIFY"
+        "GROUP"
+            | "ORDER"
+            | "HAVING"
+            | "LIMIT"
+            | "OFFSET"
+            | "WINDOW"
+            | "UNION"
+            | "INTERSECT"
+            | "EXCEPT"
+            | "FETCH"
+            | "RETURNING"
+            | "QUALIFY"
     )
 }
 
@@ -177,11 +187,9 @@ pub fn join_usage(sql: &str, dialect: TextDialect) -> JoinUsage {
                 }
             }
         }
-        if in_from && depth == 0 && tok.is_symbol(",") {
-            if saw_item {
-                from_items += 1;
-                saw_item = false;
-            }
+        if in_from && depth == 0 && tok.is_symbol(",") && saw_item {
+            from_items += 1;
+            saw_item = false;
         }
         i += 1;
     }
@@ -195,11 +203,7 @@ pub fn join_usage(sql: &str, dialect: TextDialect) -> JoinUsage {
 }
 
 fn prev_word(tokens: &[Token], i: usize) -> Option<String> {
-    tokens[..i]
-        .iter()
-        .rev()
-        .find(|t| t.kind == TokenKind::Word)
-        .map(|t| t.upper())
+    tokens[..i].iter().rev().find(|t| t.kind == TokenKind::Word).map(|t| t.upper())
 }
 
 #[cfg(test)]
@@ -226,10 +230,7 @@ mod tests {
 
     #[test]
     fn where_stops_at_order_by() {
-        assert_eq!(
-            where_token_count("SELECT * FROM t WHERE a = 1 ORDER BY b LIMIT 3", D),
-            3
-        );
+        assert_eq!(where_token_count("SELECT * FROM t WHERE a = 1 ORDER BY b LIMIT 3", D), 3);
     }
 
     #[test]

@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn statement_text_keeps_internal_comments() {
-        let stmts =
-            split_statements("SELECT /* keep */ 1;", TextDialect::Generic);
+        let stmts = split_statements("SELECT /* keep */ 1;", TextDialect::Generic);
         assert_eq!(stmts[0].text, "SELECT /* keep */ 1");
     }
 }

@@ -13,28 +13,22 @@
 use crate::classify::StatementType;
 
 /// Tuning knobs for the compliance judgement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ComplianceOptions {
     /// Count `CREATE INDEX` / `DROP INDEX` as standard (the paper's
     /// alternative reading for SLT file-level compliance).
     pub create_index_is_standard: bool,
 }
 
-impl Default for ComplianceOptions {
-    fn default() -> Self {
-        ComplianceOptions { create_index_is_standard: false }
-    }
-}
-
 /// Is a statement of this type standard-compliant SQL?
 pub fn is_standard_compliant(ty: &StatementType, opts: ComplianceOptions) -> bool {
     use StatementType::*;
     match ty {
-        Select | Insert | Update | Delete | CreateTable | CreateView | CreateSchema
-        | DropTable | DropView | DropSchema | AlterTable | Begin | Commit | Rollback
-        | Savepoint | Grant | Revoke | Values | With | Truncate | Call | Declare | Fetch
-        | Close | Merge | CreateSequence | CreateTrigger | CreateType | CreateFunction
-        | Execute | Prepare | Deallocate => true,
+        Select | Insert | Update | Delete | CreateTable | CreateView | CreateSchema | DropTable
+        | DropView | DropSchema | AlterTable | Begin | Commit | Rollback | Savepoint | Grant
+        | Revoke | Values | With | Truncate | Call | Declare | Fetch | Close | Merge
+        | CreateSequence | CreateTrigger | CreateType | CreateFunction | Execute | Prepare
+        | Deallocate => true,
         CreateIndex | DropIndex => opts.create_index_is_standard,
         // Everything else is vendor territory: PRAGMA, SET, EXPLAIN, COPY,
         // SHOW, USE, VACUUM, ANALYZE, CLI commands, extension management, ...
@@ -81,10 +75,7 @@ mod tests {
     fn create_index_option() {
         let ty = StatementType::CreateIndex;
         assert!(!is_standard_compliant(&ty, ComplianceOptions::default()));
-        assert!(is_standard_compliant(
-            &ty,
-            ComplianceOptions { create_index_is_standard: true }
-        ));
+        assert!(is_standard_compliant(&ty, ComplianceOptions { create_index_is_standard: true }));
     }
 
     #[test]

@@ -13,12 +13,9 @@
 use squality::core::{run_study, StudyConfig};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.1);
-    eprintln!("running the cross-DBMS execution matrix (scale {scale})...");
-    let study = run_study(StudyConfig { seed: 0xB16B00, scale });
+    let scale = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    eprintln!("running the cross-DBMS execution matrix (scale {scale}, all cores)...");
+    let study = run_study(StudyConfig { seed: 0xB16B00, scale, workers: 0 });
 
     let crashes: Vec<_> = study.bugs.iter().filter(|b| b.is_crash).collect();
     let hangs: Vec<_> = study.bugs.iter().filter(|b| !b.is_crash).collect();
@@ -44,10 +41,7 @@ fn main() {
 
     // The paper's §9 advice: "INTERNAL Error" messages are never expected
     // and indicate bugs — show the pattern-matching workflow.
-    let internal = study
-        .bugs
-        .iter()
-        .filter(|b| b.incident.message.contains("INTERNAL Error"))
-        .count();
+    let internal =
+        study.bugs.iter().filter(|b| b.incident.message.contains("INTERNAL Error")).count();
     println!("{internal} finding(s) match the \"INTERNAL Error\" bug pattern (paper §9).");
 }

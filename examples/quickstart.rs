@@ -4,9 +4,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use squality::engine::{ClientKind, EngineDialect};
+use squality::engine::{ClientKind, EngineDialect, PlanCache};
 use squality::formats::{parse_slt, SltFlavor};
-use squality::runner::{EngineConnector, Runner};
+use squality::runner::{EngineConnector, EngineConnectorFactory, Runner};
+use std::sync::Arc;
 
 // The paper's Listing 1, with a Listing 4-style division pair appended.
 const SLT: &str = "\
@@ -58,10 +59,7 @@ fn main() {
             if let squality::runner::Outcome::Fail(info) = &r.outcome {
                 println!(
                     "    line {}: {} — expected {:?}, got {:?}",
-                    r.line,
-                    info.detail,
-                    info.expected,
-                    info.actual
+                    r.line, info.detail, info.expected, info.actual
                 );
             }
         }
@@ -70,5 +68,25 @@ fn main() {
         "\nThe DuckDB failure is the paper's headline semantic divergence:\n\
          `/` is integer division on SQLite/PostgreSQL but decimal on DuckDB\n\
          (104,033 failing SLT cases in the paper's Table 6)."
+    );
+
+    // 3. Scale up: shard many files over a worker pool. A factory mints one
+    // connection per worker, a shared plan cache parses each statement text
+    // once, and results come back in input order — byte-identical whatever
+    // the worker count.
+    let files: Vec<_> =
+        (0..16).map(|i| parse_slt(&format!("file{i}.test"), SLT, SltFlavor::Classic)).collect();
+    let cache = PlanCache::shared();
+    let factory = EngineConnectorFactory::new(EngineDialect::Sqlite, ClientKind::Connector)
+        .plan_cache(Arc::clone(&cache));
+    let results = runner.run_suite(&factory, &files, 4);
+    let passed: usize = results.iter().map(|r| r.passed()).sum();
+    let stats = cache.stats();
+    println!(
+        "\nparallel: {} files on 4 workers — {passed} records passed, \
+         plan cache {} hits / {} misses",
+        results.len(),
+        stats.hits,
+        stats.misses,
     );
 }

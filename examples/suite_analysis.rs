@@ -12,10 +12,7 @@ use squality::corpus::generate_suite_scaled;
 use squality::formats::{command_count, SuiteKind};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.15);
+    let scale = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0.15);
 
     for suite in SuiteKind::ALL {
         let gs = generate_suite_scaled(suite, 7, scale);

@@ -5,9 +5,7 @@
 use squality::core::{run_study, StudyConfig};
 use squality::corpus::{donor_dialect, generate_suite_scaled};
 use squality::engine::{ClientKind, EngineDialect};
-use squality::formats::{
-    parse_mysql_test, parse_pg_regress, parse_slt, SltFlavor, SuiteKind,
-};
+use squality::formats::{parse_mysql_test, parse_pg_regress, parse_slt, SltFlavor, SuiteKind};
 use squality::runner::{EngineConnector, Outcome, Runner};
 
 #[test]
@@ -143,7 +141,7 @@ fn donor_environments_control_dependency_failures() {
 
 #[test]
 fn full_study_smoke() {
-    let study = run_study(StudyConfig { seed: 123, scale: 0.04 });
+    let study = run_study(StudyConfig { seed: 123, scale: 0.04, workers: 0 });
     // All four suites generated; the three executed ones have matrix rows.
     assert_eq!(study.suites.len(), 4);
     assert_eq!(study.matrix.len(), 12);
@@ -151,6 +149,41 @@ fn full_study_smoke() {
     let report = squality::core::full_report(&study);
     assert!(report.contains("Figure 4"));
     assert!(report.contains("Table 8"));
+}
+
+#[test]
+fn study_results_identical_across_worker_counts() {
+    // The parallel pipeline is a pure throughput knob: the whole study —
+    // matrix, donor runs, coverage, bug findings — must be byte-identical
+    // at any worker count.
+    let a = run_study(StudyConfig { seed: 9, scale: 0.03, workers: 1 });
+    let b = run_study(StudyConfig { seed: 9, scale: 0.03, workers: 3 });
+    assert_eq!(a.matrix.len(), b.matrix.len());
+    for (ca, cb) in a.matrix.iter().zip(&b.matrix) {
+        assert_eq!(ca.suite, cb.suite);
+        assert_eq!(ca.host, cb.host);
+        assert_eq!(ca.summary.total, cb.summary.total);
+        assert_eq!(ca.summary.passed, cb.summary.passed);
+        assert_eq!(ca.summary.failed, cb.summary.failed);
+        assert_eq!(ca.summary.skipped, cb.summary.skipped);
+        assert_eq!(ca.summary.failures, cb.summary.failures);
+        assert_eq!(ca.summary.crashes, cb.summary.crashes);
+        assert_eq!(ca.summary.hangs, cb.summary.hangs);
+    }
+    for (da, db) in a.donor_runs.iter().zip(&b.donor_runs) {
+        assert_eq!(da.failures, db.failures);
+    }
+    for (ra, rb) in a.coverage.iter().zip(&b.coverage) {
+        assert_eq!(ra.engine, rb.engine);
+        assert!((ra.original_line - rb.original_line).abs() < 1e-12);
+        assert!((ra.original_branch - rb.original_branch).abs() < 1e-12);
+        assert!((ra.squality_line - rb.squality_line).abs() < 1e-12);
+        assert!((ra.squality_branch - rb.squality_branch).abs() < 1e-12);
+    }
+    assert_eq!(a.bugs.len(), b.bugs.len());
+    // The shared plan cache must absorb a meaningful share of the study's
+    // parse work (suites replay across donor runs, the matrix, coverage).
+    assert!(a.parse_cache.hit_rate() > 0.3, "{:?}", a.parse_cache);
 }
 
 #[test]
@@ -178,9 +211,10 @@ fn skip_semantics_match_paper_table4() {
     for f in &duck.files {
         let mut conn = EngineConnector::new(EngineDialect::Duckdb, ClientKind::Connector);
         let r = runner.run_file(&mut conn, f);
-        if r.results.iter().any(|x| {
-            matches!(&x.outcome, Outcome::Skipped(reason) if reason.contains("extension"))
-        }) {
+        if r.results
+            .iter()
+            .any(|x| matches!(&x.outcome, Outcome::Skipped(reason) if reason.contains("extension")))
+        {
             any_require_skip = true;
         }
     }

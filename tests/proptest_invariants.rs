@@ -1,13 +1,14 @@
 //! Property-based tests over the core data structures and pipelines.
 
 use proptest::prelude::*;
-use squality::engine::{ClientKind, Engine, EngineDialect, Value};
+use squality::engine::{ClientKind, Engine, EngineDialect, PlanCache, Value};
 use squality::formats::{
     parse_slt, result_hash, write_slt, QueryExpectation, RecordKind, SltFlavor, SortMode,
     StatementExpect, SuiteKind, TestFile, TestRecord,
 };
 use squality::runner::{validate_query, NumericMode, Verdict};
 use squality::sqltext::{split_statements, tokenize, TextDialect};
+use std::sync::Arc;
 
 proptest! {
     /// The lexer never panics and its spans always slice the input exactly.
@@ -195,6 +196,47 @@ proptest! {
             let _ = e.execute(&input);
         }
     }
+
+    /// Plan-cached execution is observationally identical to uncached
+    /// execution: for any generated statement sequence (valid and garbage
+    /// alike), a cache-sharing engine and a plain engine agree result for
+    /// result — and the second replay is answered from the cache.
+    #[test]
+    fn plan_cached_execution_matches_uncached(
+        stmts in prop::collection::vec(sql_statement_strategy(), 1..25)
+    ) {
+        for dialect in EngineDialect::ALL {
+            let cache = PlanCache::shared();
+            let mut cached = Engine::new(dialect);
+            cached.set_plan_cache(Arc::clone(&cache));
+            let mut plain = Engine::new(dialect);
+            for _pass in 0..2 {
+                for sql in &stmts {
+                    let a = cached.execute(sql);
+                    let b = plain.execute(sql);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            // Pass 2 re-executes every statement text: all cache hits.
+            prop_assert!(cache.stats().hits >= stmts.len() as u64);
+        }
+    }
+}
+
+/// Statements across DDL, DML, queries, and deliberate garbage — the mix a
+/// loop-heavy SLT file replays.
+fn sql_statement_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "CREATE TABLE t[0-3](a INTEGER, b INTEGER)",
+        "INSERT INTO t[0-3] VALUES ([0-9]{1,3}, [0-9]{1,3})",
+        "SELECT [0-9]{1,2} + [0-9]{1,2}",
+        "SELECT [0-9]{1,2} / [0-9]{1,2}",
+        "SELECT a, b FROM t[0-3] WHERE a > [0-9]{1,2}",
+        "SELECT count(*) FROM t[0-3]",
+        "DROP TABLE t[0-3]",
+        "SELEC [a-z]{1,8}",
+        "UPDATE t[0-3] SET a = [0-9]{1,2} WHERE b < [0-9]{1,2}",
+    ]
 }
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -209,8 +251,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(2, 8, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
-            prop::collection::vec(("[a-z]{1,4}", inner), 0..3)
-                .prop_map(|fs| Value::Struct(fs)),
+            prop::collection::vec(("[a-z]{1,4}", inner), 0..3).prop_map(Value::Struct),
         ]
     })
 }

@@ -1,0 +1,432 @@
+//! Value-generation strategies: the subset of proptest's combinator algebra
+//! the workspace's property tests use.
+
+use crate::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Something that can generate values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive structures: `depth` levels of `branch` applied over
+    /// this leaf strategy. The `_desired_size` and `_expected_branch_size`
+    /// tuning knobs of real proptest are accepted and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            depth,
+            leaf: self.boxed(),
+            branch: Arc::new(move |inner| branch(inner).boxed()),
+        }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Mapped strategy (`prop_map`).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// From a non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.range_usize(0, self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Recursive strategy produced by [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    pub(crate) depth: u32,
+    pub(crate) leaf: BoxedStrategy<T>,
+    pub(crate) branch: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Terminate at depth 0; above that, sometimes take the leaf anyway
+        // so shallow values stay common (real proptest weights similarly).
+        if self.depth == 0 || rng.unit_f64() < 0.25 {
+            return self.leaf.generate(rng);
+        }
+        let inner = Recursive {
+            depth: self.depth - 1,
+            leaf: self.leaf.clone(),
+            branch: Arc::clone(&self.branch),
+        };
+        (self.branch)(inner.boxed()).generate(rng)
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// Strategy for the full domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        let span = self.end.wrapping_sub(self.start);
+        if span <= 0 {
+            self.start
+        } else {
+            self.start + rng.below(span as u64) as i64
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+/// Vec strategy with a size range (`prop::collection::vec`).
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `prop::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.range_usize(self.size.start, self.size.end);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ---- string patterns ---------------------------------------------------------
+
+/// `&str` patterns are strategies: a regex-like subset with literal
+/// characters, `[...]` classes (ranges and literals), `{m,n}` repetition,
+/// and `\PC` (any printable character).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[a-z0-9 ,]`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_pattern(pattern);
+    let mut out = String::new();
+    for (atom, (lo, hi)) in atoms {
+        let n = rng.range_usize(lo, hi + 1);
+        for _ in 0..n {
+            out.push(gen_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for (a, b) in ranges {
+                let span = (*b as u64) - (*a as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+        // Printable ASCII: space through tilde.
+        Atom::Printable => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or(' '),
+    }
+}
+
+/// Parse a pattern into atoms with `{m,n}` repetition counts (1,1 default).
+fn parse_pattern(pattern: &str) -> Vec<(Atom, (usize, usize))> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Atom, (usize, usize))> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                // Only `\PC` and escaped literals are supported.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Some(Atom::Printable)
+                } else {
+                    let lit = chars.get(i + 1).copied().unwrap_or('\\');
+                    i += 2;
+                    Some(Atom::Literal(lit))
+                }
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let a = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']'
+                    {
+                        ranges.push((a, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((a, a));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                Some(Atom::Class(ranges))
+            }
+            '{' => {
+                // A `{` with no preceding atom is literal.
+                i += 1;
+                Some(Atom::Literal('{'))
+            }
+            c => {
+                i += 1;
+                Some(Atom::Literal(c))
+            }
+        };
+        let Some(atom) = atom else { break };
+
+        // Optional {m,n} / {n} quantifier.
+        let mut reps = (1usize, 1usize);
+        if chars.get(i) == Some(&'{') {
+            if let Some(close) = chars[i..].iter().position(|c| *c == '}') {
+                let body: String = chars[i + 1..i + close].iter().collect();
+                let parsed = if let Some((lo, hi)) = body.split_once(',') {
+                    lo.trim().parse::<usize>().ok().zip(hi.trim().parse::<usize>().ok())
+                } else {
+                    body.trim().parse::<usize>().ok().map(|n| (n, n))
+                };
+                if let Some(r) = parsed {
+                    reps = r;
+                    i += close + 1;
+                }
+            }
+        }
+        atoms.push((atom, reps));
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn class_pattern_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,4}".generate(&mut r);
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literal_prefix_kept() {
+        let mut r = rng();
+        let s = "SELECT [a-z]{1,3}".generate(&mut r);
+        assert!(s.starts_with("SELECT "), "{s:?}");
+    }
+
+    #[test]
+    fn printable_is_printable() {
+        let mut r = rng();
+        let s = "\\PC{0,50}".generate(&mut r);
+        assert!(s.chars().all(|c| !c.is_control()));
+        assert!(s.len() <= 50);
+    }
+
+    #[test]
+    fn ranges_stay_in_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (-100i64..100).generate(&mut r);
+            assert!((-100..100).contains(&v));
+            let f = (-1.0f64..1.0).generate(&mut r);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let mut r = rng();
+        let v = vec(("[a-z]{1,2}", 0i64..5), 2..4).generate(&mut r);
+        assert!((2..4).contains(&v.len()));
+    }
+
+    #[test]
+    fn union_picks_all_arms() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => usize::from(*v >= 0),
+                Tree::Node(children) => 1 + children.iter().map(size).sum::<usize>(),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 4, |inner| vec(inner, 0..3).prop_map(Tree::Node));
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(size(&strat.generate(&mut r)) >= 1);
+        }
+    }
+}
