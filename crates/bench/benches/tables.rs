@@ -34,6 +34,7 @@ fn bench_study_pipeline(c: &mut Criterion) {
                 seed: 7,
                 scale: 0.02,
                 workers: 0,
+                translated_arm: false,
             })
         })
     });

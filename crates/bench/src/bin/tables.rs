@@ -3,7 +3,7 @@
 //! ```text
 //! squality-tables [section...] [--scale F] [--seed N] [--workers W]
 //! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
-//!           figure4 table6 table7 table8 bugs all (default: all)
+//!           figure4 table6 table7 table8 translation bugs all (default: all)
 //! ```
 //!
 //! `--workers 0` (the default) shards suite execution over all cores; any
@@ -49,11 +49,15 @@ fn main() {
         sections.push("all".to_string());
     }
 
+    // The translated arm doubles matrix execution; only pay for it when a
+    // requested section renders it.
+    let translated_arm = sections.iter().any(|s| s == "translation" || s == "all");
+
     eprintln!(
         "generating corpora and running the study (seed={seed}, scale={scale}, workers={})...",
         if workers == 0 { "auto".to_string() } else { workers.to_string() }
     );
-    let study = run_study(StudyConfig { seed, scale, workers });
+    let study = run_study(StudyConfig { seed, scale, workers, translated_arm });
     for section in &sections {
         print_section(&study, section);
     }
@@ -74,6 +78,7 @@ fn print_section(study: &Study, section: &str) {
         "table6" => table6(study),
         "table7" => table7(study),
         "table8" => table8(study),
+        "translation" => translation_table(study),
         "bugs" => bug_report(study),
         "all" => full_report(study),
         other => {
@@ -90,7 +95,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: squality-tables [section...] [--scale F] [--seed N] [--workers W]\n\
-         sections: table1..table8, figure1..figure4, bugs, all"
+         sections: table1..table8, figure1..figure4, translation, bugs, all"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

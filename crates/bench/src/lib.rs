@@ -5,13 +5,13 @@ use squality_core::{run_study, Study, StudyConfig};
 
 /// Build a study at the given scale (deterministic seed, all cores).
 pub fn study_at_scale(scale: f64) -> Study {
-    run_study(StudyConfig { seed: 0x5C0A11, scale, workers: 0 })
+    run_study(StudyConfig { seed: 0x5C0A11, scale, workers: 0, translated_arm: false })
 }
 
 /// Build a study at the given scale with an explicit worker count (the
 /// `parallel_scale` bench sweeps this; results are identical either way).
 pub fn study_at_scale_with_workers(scale: f64, workers: usize) -> Study {
-    run_study(StudyConfig { seed: 0x5C0A11, scale, workers })
+    run_study(StudyConfig { seed: 0x5C0A11, scale, workers, translated_arm: false })
 }
 
 /// The scale used by benches: small enough to iterate, large enough that

@@ -21,15 +21,28 @@ pub struct StudyConfig {
     pub seed: u64,
     /// Corpus scale: 1.0 reproduces the default sizes, benches use less.
     pub scale: f64,
-    /// Worker threads per suite × host cell (0 = all cores). The study's
-    /// results are byte-identical for every worker count; this is purely a
-    /// throughput knob.
+    /// Worker threads per suite × host cell.
+    ///
+    /// `0` means "all cores": the scheduler resolves it to the machine's
+    /// available parallelism (falling back to 1 when that cannot be
+    /// queried). Whatever is requested is then clamped to the cell's file
+    /// count — extra workers beyond the number of files would never claim
+    /// a file, so `workers > files` behaves exactly like `workers ==
+    /// files`, and an empty suite resolves to a single idle worker. The
+    /// study's results are byte-identical for every worker count; this is
+    /// purely a throughput knob.
     pub workers: usize,
+    /// Also run the **translated arm** of the suite × host matrix: every
+    /// cell re-executed with cross-dialect statement translation enabled,
+    /// populating [`Study::translated_matrix`] (the reproduction's
+    /// analogue of the paper's "what if we adapt the statements?"
+    /// discussion).
+    pub translated_arm: bool,
 }
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { seed: 0x5C0A11, scale: 1.0, workers: 0 }
+        StudyConfig { seed: 0x5C0A11, scale: 1.0, workers: 0, translated_arm: true }
     }
 }
 
@@ -74,6 +87,9 @@ pub struct Study {
     /// Suite × host matrix (Figure 4, Tables 6–7). Diagonal runs use the
     /// full donor environment, off-diagonal the cross-host provision.
     pub matrix: Vec<MatrixCell>,
+    /// The translated arm: the same 12 cells re-run with statement
+    /// translation enabled (empty when `config.translated_arm` is false).
+    pub translated_matrix: Vec<MatrixCell>,
     /// Coverage comparison (Table 8).
     pub coverage: Vec<CoverageRow>,
     /// Crashes and hangs discovered across all runs (§6).
@@ -92,6 +108,20 @@ impl Study {
     /// Matrix cell lookup.
     pub fn cell(&self, suite: SuiteKind, host: EngineDialect) -> &MatrixCell {
         self.matrix.iter().find(|c| c.suite == suite && c.host == host).expect("matrix cell")
+    }
+
+    /// Translated-arm cell lookup (None when the arm was not run).
+    pub fn translated_cell(&self, suite: SuiteKind, host: EngineDialect) -> Option<&MatrixCell> {
+        self.translated_matrix.iter().find(|c| c.suite == suite && c.host == host)
+    }
+
+    /// Study-wide translation counters, aggregated over the translated arm.
+    pub fn translation_counts(&self) -> squality_runner::TranslationCounts {
+        let mut total = squality_runner::TranslationCounts::default();
+        for cell in &self.translated_matrix {
+            total.merge(&cell.summary.translation);
+        }
+        total
     }
 
     /// The donor-on-donor bare run for a suite.
@@ -132,6 +162,7 @@ pub fn run_study(config: StudyConfig) -> Study {
                     client: ClientKind::Connector,
                     provision: Provision::Bare,
                     numeric: NumericMode::Exact,
+                    translate: false,
                 },
                 workers,
                 Some(Arc::clone(&plan_cache)),
@@ -144,20 +175,30 @@ pub fn run_study(config: StudyConfig) -> Study {
     // the donor suite as its own framework would — full environment and the
     // original client — which is why Figure 4's diagonal reads 100% even
     // though Table 4 reports donor failures under the unified runner.
-    let mut matrix = Vec::new();
-    for gs in &executed {
-        for host in EngineDialect::ALL {
-            let is_donor = host == donor_dialect(gs.suite);
-            let cfg = RunConfig {
-                host,
-                client: if is_donor { ClientKind::Cli } else { ClientKind::Connector },
-                provision: if is_donor { Provision::Full } else { Provision::CrossHost },
-                numeric: NumericMode::Exact,
-            };
-            let summary = run_suite_sharded(gs, &cfg, workers, Some(Arc::clone(&plan_cache))).0;
-            matrix.push(MatrixCell { suite: gs.suite, host, summary });
+    let run_arm = |translate: bool| -> Vec<MatrixCell> {
+        let mut cells = Vec::new();
+        for gs in &executed {
+            for host in EngineDialect::ALL {
+                let is_donor = host == donor_dialect(gs.suite);
+                let cfg = RunConfig {
+                    host,
+                    client: if is_donor { ClientKind::Cli } else { ClientKind::Connector },
+                    provision: if is_donor { Provision::Full } else { Provision::CrossHost },
+                    numeric: NumericMode::Exact,
+                    translate,
+                };
+                let summary = run_suite_sharded(gs, &cfg, workers, Some(Arc::clone(&plan_cache))).0;
+                cells.push(MatrixCell { suite: gs.suite, host, summary });
+            }
         }
-    }
+        cells
+    };
+    let matrix = run_arm(false);
+
+    // 3b. The translated arm: the same 12 cells with cross-dialect
+    // statement translation. Translated text is just another key in the
+    // shared plan cache, so the arm reuses the study-wide cache too.
+    let translated_matrix = if config.translated_arm { run_arm(true) } else { Vec::new() };
 
     // 4. Coverage experiment (Table 8) on the three engines with own suites.
     let coverage = coverage_experiment(&executed, workers, &plan_cache);
@@ -185,7 +226,7 @@ pub fn run_study(config: StudyConfig) -> Study {
     dedupe_bugs(&mut bugs);
 
     let parse_cache = plan_cache.stats();
-    Study { config, suites, donor_runs, matrix, coverage, bugs, parse_cache }
+    Study { config, suites, donor_runs, matrix, translated_matrix, coverage, bugs, parse_cache }
 }
 
 /// Keep one finding per (host, error-signature). The signature is the
@@ -231,6 +272,7 @@ fn coverage_experiment(
                 client: ClientKind::Connector,
                 provision,
                 numeric: NumericMode::Exact,
+                translate: false,
             };
             let (_, connectors) =
                 run_suite_sharded(gs, &cfg, workers, Some(Arc::clone(plan_cache)));
@@ -322,7 +364,7 @@ mod tests {
     use super::*;
 
     fn small_study() -> Study {
-        run_study(StudyConfig { seed: 21, scale: 0.08, workers: 0 })
+        run_study(StudyConfig { seed: 21, scale: 0.08, workers: 0, translated_arm: true })
     }
 
     #[test]
@@ -331,7 +373,70 @@ mod tests {
         assert_eq!(s.suites.len(), 4);
         assert_eq!(s.donor_runs.len(), 3);
         assert_eq!(s.matrix.len(), 12); // 3 suites × 4 hosts
+        assert_eq!(s.translated_matrix.len(), 12);
         assert_eq!(s.coverage.len(), 3);
+    }
+
+    #[test]
+    fn translated_arm_never_adds_syntax_errors_and_fixes_some() {
+        let s = small_study();
+        let mut verbatim_total = 0usize;
+        let mut translated_total = 0usize;
+        for suite in EXECUTED_SUITES {
+            for host in EngineDialect::ALL {
+                let v = s.cell(suite, host).summary.syntax_failures();
+                let t = s.translated_cell(suite, host).expect("arm ran").summary.syntax_failures();
+                assert!(t <= v, "{suite:?} on {host}: translation added syntax errors {v} -> {t}");
+                verbatim_total += v;
+                translated_total += t;
+            }
+        }
+        assert!(
+            translated_total < verbatim_total,
+            "translation must strictly reduce syntax errors: {verbatim_total} -> {translated_total}"
+        );
+        // The cells where the rules demonstrably bite: PostgreSQL and
+        // DuckDB donors carry `::` casts onto hosts that reject them.
+        for (suite, host) in [
+            (SuiteKind::PgRegress, EngineDialect::Sqlite),
+            (SuiteKind::PgRegress, EngineDialect::Mysql),
+            (SuiteKind::Duckdb, EngineDialect::Sqlite),
+            (SuiteKind::Duckdb, EngineDialect::Mysql),
+        ] {
+            let v = s.cell(suite, host).summary.syntax_failures();
+            let t = s.translated_cell(suite, host).unwrap().summary.syntax_failures();
+            assert!(v > 0, "{suite:?} on {host}: expected verbatim syntax failures");
+            assert!(t < v, "{suite:?} on {host}: {v} -> {t} not a strict reduction");
+        }
+    }
+
+    #[test]
+    fn translated_arm_diagonal_matches_verbatim() {
+        let s = small_study();
+        for suite in EXECUTED_SUITES {
+            let donor = donor_dialect(suite);
+            let v = &s.cell(suite, donor).summary;
+            let t = &s.translated_cell(suite, donor).unwrap().summary;
+            assert_eq!(v.passed, t.passed, "{suite:?} diagonal changed under translation");
+            assert_eq!(v.failed, t.failed);
+            // Identity: nothing was rewritten on the donor's own engine.
+            assert_eq!(t.translation.applied_total(), 0);
+        }
+    }
+
+    #[test]
+    fn translation_counters_are_consistent() {
+        let s = small_study();
+        let total = s.translation_counts();
+        assert!(total.applied_total() > 0, "study-wide counters empty: {total:?}");
+        // The study-wide snapshot is exactly the sum of the per-cell ones.
+        let mut applied_sum = 0u64;
+        for cell in &s.translated_matrix {
+            applied_sum += cell.summary.translation.applied_total();
+        }
+        assert_eq!(total.applied_total(), applied_sum);
+        // Verbatim cells never count anything.
+        assert!(s.matrix.iter().all(|c| c.summary.translation.applied_total() == 0));
     }
 
     #[test]
@@ -384,7 +489,7 @@ mod tests {
     fn dependency_classes_match_paper_shape() {
         // Larger scale so every injected dependency class appears in the
         // PostgreSQL sample (the paper samples from 4,075 failures).
-        let s = run_study(StudyConfig { seed: 21, scale: 0.25, workers: 0 });
+        let s = run_study(StudyConfig { seed: 21, scale: 0.25, workers: 0, translated_arm: false });
         // PostgreSQL: environment-dominated (Set Up biggest — Table 5).
         let pg = dependency_breakdown(s.donor_run(SuiteKind::PgRegress), 5);
         let setup = *pg.get(&DependencyClass::SetUp).unwrap_or(&0);

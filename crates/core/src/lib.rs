@@ -15,7 +15,8 @@
 //! ```no_run
 //! use squality_core::{run_study, StudyConfig, full_report};
 //!
-//! let study = run_study(StudyConfig { seed: 42, scale: 0.1, workers: 0 });
+//! let study =
+//!     run_study(StudyConfig { seed: 42, scale: 0.1, workers: 0, translated_arm: true });
 //! println!("{}", full_report(&study));
 //! ```
 
@@ -29,7 +30,7 @@ pub use experiments::{
 };
 pub use report::{
     bug_report, figure1, figure2, figure3, figure4, full_report, table1, table2, table3, table4,
-    table5, table6, table7, table8,
+    table5, table6, table7, table8, translation_table,
 };
 pub use transplant::{
     run_suite_on, run_suite_sharded, run_suite_with_connector, sample_failures, FailureCase,

@@ -11,11 +11,11 @@
 //! | Expectation recording (corpus) | donor | `Full` | `Cli` |
 
 use squality_corpus::{donor_dialect, GeneratedSuite};
-use squality_engine::{ClientKind, EngineDialect, PlanCache};
+use squality_engine::{ClientKind, EngineDialect, ErrorKind, PlanCache};
 use squality_formats::SuiteKind;
 use squality_runner::{
     Connector, EngineConnector, EngineConnectorFactory, FileResult, NumericMode, Outcome,
-    RecordResult, Runner, RunnerOptions,
+    RecordResult, Runner, RunnerOptions, TranslationCounts, TranslationMode,
 };
 use std::sync::Arc;
 
@@ -38,6 +38,10 @@ pub struct RunConfig {
     pub client: ClientKind,
     pub provision: Provision,
     pub numeric: NumericMode,
+    /// Adapt each statement from the donor dialect to the host dialect
+    /// before execution (the translated arm of the matrix). A donor running
+    /// on itself is unaffected: same-dialect translation is the identity.
+    pub translate: bool,
 }
 
 impl RunConfig {
@@ -48,7 +52,25 @@ impl RunConfig {
             client: ClientKind::Connector,
             provision: Provision::CrossHost,
             numeric: NumericMode::Exact,
+            translate: false,
         }
+    }
+
+    /// Unified-runner defaults with statement translation enabled.
+    pub fn unified_translated(host: EngineDialect) -> RunConfig {
+        RunConfig { translate: true, ..RunConfig::unified(host) }
+    }
+}
+
+/// The runner translation mode for a suite × config pair.
+fn translation_mode(suite: &GeneratedSuite, cfg: &RunConfig) -> TranslationMode {
+    if cfg.translate {
+        TranslationMode::Translated {
+            from: donor_dialect(suite.suite).text_dialect(),
+            to: cfg.host.text_dialect(),
+        }
+    } else {
+        TranslationMode::Verbatim
     }
 }
 
@@ -81,6 +103,9 @@ pub struct SuiteRunSummary {
     pub crashes: Vec<Incident>,
     pub hangs: Vec<Incident>,
     pub failures: Vec<FailureCase>,
+    /// Per-rule translation counters for this run (all zero when the run
+    /// was verbatim or the donor ran on itself).
+    pub translation: TranslationCounts,
 }
 
 impl SuiteRunSummary {
@@ -93,6 +118,18 @@ impl SuiteRunSummary {
         } else {
             self.passed as f64 / denom as f64
         }
+    }
+
+    /// Failures the host rejected at the syntax level (the paper's
+    /// "Statements" class core) — the metric the translated arm targets.
+    pub fn syntax_failures(&self) -> usize {
+        self.failures
+            .iter()
+            .filter(|f| match &f.result.outcome {
+                Outcome::Fail(info) => info.error_kind == Some(ErrorKind::Syntax),
+                _ => false,
+            })
+            .count()
     }
 }
 
@@ -120,11 +157,17 @@ pub fn run_suite_sharded(
     if let Some(cache) = plan_cache {
         factory = factory.plan_cache(cache);
     }
-    let runner = Runner::new(RunnerOptions { numeric: cfg.numeric, fresh_database: false });
+    let runner = Runner::new(RunnerOptions {
+        numeric: cfg.numeric,
+        fresh_database: false,
+        translation: translation_mode(suite, cfg),
+    });
     let execution = runner.run_suite_with(&factory, &suite.files, workers, |conn| {
         provision_for(suite, cfg, conn);
     });
-    (summarize(suite.suite, cfg.host, &execution.results), execution.connectors)
+    let mut summary = summarize(suite.suite, cfg.host, &execution.results);
+    summary.translation = runner.translation_stats.counts();
+    (summary, execution.connectors)
 }
 
 /// Apply the configured provision level to a freshly-reset connection.
@@ -156,6 +199,7 @@ fn summarize(suite: SuiteKind, host: EngineDialect, results: &[FileResult]) -> S
         crashes: Vec::new(),
         hangs: Vec::new(),
         failures: Vec::new(),
+        translation: TranslationCounts::default(),
     };
     for r in results {
         fold_file(&mut summary, r);
@@ -202,7 +246,11 @@ pub fn run_suite_with_connector(
     cfg: &RunConfig,
     conn: &mut EngineConnector,
 ) -> SuiteRunSummary {
-    let runner = Runner::new(RunnerOptions { numeric: cfg.numeric, fresh_database: false });
+    let runner = Runner::new(RunnerOptions {
+        numeric: cfg.numeric,
+        fresh_database: false,
+        translation: translation_mode(suite, cfg),
+    });
     let mut summary = summarize(suite.suite, cfg.host, &[]);
     for file in &suite.files {
         // Fresh database per file, then provision per the config.
@@ -211,6 +259,7 @@ pub fn run_suite_with_connector(
         let r = runner.run_file(conn, file);
         fold_file(&mut summary, &r);
     }
+    summary.translation = runner.translation_stats.counts();
     summary
 }
 
@@ -250,6 +299,7 @@ mod tests {
             client: ClientKind::Cli,
             provision: Provision::Full,
             numeric: NumericMode::Exact,
+            translate: false,
         };
         let s = run_suite_on(&gs, &cfg);
         // The only tolerated failures are SLT's two runner-format
@@ -268,6 +318,7 @@ mod tests {
             client: ClientKind::Connector,
             provision: Provision::Bare,
             numeric: NumericMode::Exact,
+            translate: false,
         };
         let s = run_suite_on(&gs, &cfg);
         assert!(s.failed > 0, "bare environment must expose dependencies");
@@ -284,6 +335,7 @@ mod tests {
                 client: ClientKind::Cli,
                 provision: Provision::Full,
                 numeric: NumericMode::Exact,
+                translate: false,
             },
         );
         let host = run_suite_on(&gs, &RunConfig::unified(EngineDialect::Mysql));
@@ -310,6 +362,40 @@ mod tests {
         }
         // The same files replayed three times: the cache must be hot.
         assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn translated_arm_reduces_syntax_failures_cross_dialect() {
+        let pg = generate_suite_scaled(SuiteKind::PgRegress, 7, 0.15);
+        let duck = generate_suite_scaled(SuiteKind::Duckdb, 7, 0.15);
+        for (gs, host) in [
+            (&pg, EngineDialect::Sqlite),
+            (&pg, EngineDialect::Mysql),
+            (&duck, EngineDialect::Sqlite),
+            (&duck, EngineDialect::Mysql),
+        ] {
+            let verbatim = run_suite_on(gs, &RunConfig::unified(host));
+            let translated = run_suite_on(gs, &RunConfig::unified_translated(host));
+            let (v, t) = (verbatim.syntax_failures(), translated.syntax_failures());
+            assert!(v > 0, "{:?} on {host}: no verbatim syntax failures to fix", gs.suite);
+            assert!(t < v, "{:?} on {host}: syntax failures {v} -> {t}", gs.suite);
+            assert!(translated.translation.applied_total() > 0);
+            assert_eq!(verbatim.translation, TranslationCounts::default());
+        }
+    }
+
+    #[test]
+    fn translated_arm_on_donor_is_identity() {
+        let gs = generate_suite_scaled(SuiteKind::PgRegress, 5, 0.08);
+        let host = EngineDialect::Postgres;
+        let verbatim = run_suite_on(&gs, &RunConfig::unified(host));
+        let translated = run_suite_on(&gs, &RunConfig::unified_translated(host));
+        assert_eq!(translated.passed, verbatim.passed);
+        assert_eq!(translated.failed, verbatim.failed);
+        assert_eq!(translated.failures, verbatim.failures);
+        // Same-dialect translation never rewrites anything.
+        assert_eq!(translated.translation.applied_total(), 0);
+        assert_eq!(translated.translation.translated, 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! This module is where the paper's "Semantic" incompatibility class comes
 //! from: the same expression, evaluated under different
-//! [`EngineDialect`](crate::dialect::EngineDialect)s, legitimately produces
+//! [`EngineDialect`]s, legitimately produces
 //! different values (`/` division, `||`, COALESCE typing, row-value
 //! comparisons with NULL, text coercion rules).
 

@@ -32,6 +32,9 @@ pub use connector::{
     Connector, ConnectorFactory, EngineConnector, EngineConnectorFactory, FnFactory,
 };
 pub use outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult, SkipReason};
-pub use runner::{Runner, RunnerOptions};
+pub use runner::{Runner, RunnerOptions, TranslationMode};
 pub use scheduler::SuiteExecution;
+pub use squality_sqlast::translate::{
+    TranslationCache, TranslationCounts, TranslationRule, TranslationStats,
+};
 pub use validate::{validate_query, values_equal, NumericMode, Verdict};

@@ -14,7 +14,28 @@ use squality_engine::ErrorKind;
 use squality_formats::{
     ControlCommand, QueryExpectation, RecordKind, StatementExpect, TestFile, TestRecord,
 };
+use squality_sqlast::translate::{TranslationCache, TranslationStats};
+use squality_sqltext::TextDialect;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Whether the runner adapts donor statements to the host dialect before
+/// executing them (the paper's "what if we translate?" counterfactual).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TranslationMode {
+    /// Execute donor statement text as written (the paper's methodology).
+    #[default]
+    Verbatim,
+    /// Rewrite each statement from the donor dialect to the host dialect
+    /// via `parse → translate → print`. A same-dialect pair is the
+    /// identity: the original text runs byte-for-byte unchanged.
+    Translated {
+        /// The donor suite's dialect (what the statement text is written in).
+        from: TextDialect,
+        /// The host engine's dialect (what the text must run on).
+        to: TextDialect,
+    },
+}
 
 /// Runner configuration.
 #[derive(Debug, Clone, Copy)]
@@ -25,11 +46,17 @@ pub struct RunnerOptions {
     /// Reset the connector's database before the file (donor suites assume
     /// independent files for SLT/DuckDB).
     pub fresh_database: bool,
+    /// Statement translation applied before execution.
+    pub translation: TranslationMode,
 }
 
 impl Default for RunnerOptions {
     fn default() -> Self {
-        RunnerOptions { numeric: NumericMode::Exact, fresh_database: true }
+        RunnerOptions {
+            numeric: NumericMode::Exact,
+            fresh_database: true,
+            translation: TranslationMode::Verbatim,
+        }
     }
 }
 
@@ -37,12 +64,25 @@ impl Default for RunnerOptions {
 #[derive(Default)]
 pub struct Runner {
     pub options: RunnerOptions,
+    /// Per-rule translation counters. Cloned (shared) into the per-file
+    /// runners the scheduler spawns, so one set of counters aggregates a
+    /// whole suite run across workers — the same sharing pattern as the
+    /// statement-plan cache. Counters record per execution; memoisation
+    /// through [`Runner::translation_cache`] never changes the totals.
+    pub translation_stats: Arc<TranslationStats>,
+    /// Memoised text → translated-text cache shared across workers, so a
+    /// loop-replayed statement is parsed and printed once per suite run.
+    pub translation_cache: Arc<TranslationCache>,
 }
 
 impl Runner {
-    /// Runner with explicit options.
+    /// Runner with explicit options and fresh translation counters.
     pub fn new(options: RunnerOptions) -> Runner {
-        Runner { options }
+        Runner {
+            options,
+            translation_stats: Arc::new(TranslationStats::new()),
+            translation_cache: Arc::new(TranslationCache::new()),
+        }
     }
 
     /// Execute a test file against a connector.
@@ -53,6 +93,9 @@ impl Runner {
         let mut ctx = RunCtx {
             conn,
             numeric: self.options.numeric,
+            translation: self.options.translation,
+            tstats: &self.translation_stats,
+            tcache: &self.translation_cache,
             vars: BTreeMap::new(),
             stopped: None,
             mode_skip: false,
@@ -69,6 +112,9 @@ impl Runner {
 struct RunCtx<'a> {
     conn: &'a mut dyn Connector,
     numeric: NumericMode,
+    translation: TranslationMode,
+    tstats: &'a TranslationStats,
+    tcache: &'a TranslationCache,
     vars: BTreeMap<String, String>,
     /// Some(reason) once a halt/require/crash stops the file. Interned:
     /// every remaining record clones the `Arc`, not the text.
@@ -136,13 +182,13 @@ impl<'a> RunCtx<'a> {
     fn run_record(&mut self, rec: &TestRecord) {
         match &rec.kind {
             RecordKind::Statement { sql, expect } => {
-                let sql = self.substitute(sql);
+                let sql = self.prepare_sql(sql);
                 let outcome = self.run_statement(&sql, expect);
                 self.check_stop(&outcome);
                 self.results.push(RecordResult { line: rec.line, sql: Some(sql), outcome });
             }
             RecordKind::Query { sql, types, sort, expected, .. } => {
-                let sql = self.substitute(sql);
+                let sql = self.prepare_sql(sql);
                 let outcome = self.run_query(&sql, types, *sort, expected);
                 self.check_stop(&outcome);
                 self.results.push(RecordResult { line: rec.line, sql: Some(sql), outcome });
@@ -341,6 +387,18 @@ impl<'a> RunCtx<'a> {
             }
         };
         self.results.push(RecordResult { line, sql: None, outcome });
+    }
+
+    /// Variable substitution followed by optional dialect translation —
+    /// the text a record actually executes (and what its result records).
+    fn prepare_sql(&self, sql: &str) -> String {
+        let sql = self.substitute(sql);
+        match self.translation {
+            TranslationMode::Verbatim => sql,
+            TranslationMode::Translated { from, to } => {
+                self.tcache.translate_sql(&sql, from, to, self.tstats).unwrap_or(sql)
+            }
+        }
     }
 
     /// Substitute `${var}` and `$var` occurrences.
@@ -564,9 +622,56 @@ SELECT 4999.5
         let tolerant = Runner::new(RunnerOptions {
             numeric: NumericMode::Tolerant(0.01),
             fresh_database: true,
+            translation: TranslationMode::Verbatim,
         })
         .run_file(&mut conn, &file);
         assert_eq!(tolerant.failed(), 0);
+    }
+
+    #[test]
+    fn translated_mode_fixes_cross_dialect_syntax() {
+        use squality_sqltext::TextDialect;
+        // PostgreSQL-style `::` casts are syntax errors on SQLite verbatim;
+        // translation rewrites them to CAST(...) and the file passes.
+        let slt = "\
+statement ok
+CREATE TABLE t(a INTEGER)
+
+statement ok
+INSERT INTO t VALUES (1::integer)
+
+query I nosort
+SELECT count(*) FROM t
+----
+1
+";
+        let file = parse_slt("t", slt, SltFlavor::Classic);
+        let mut conn = EngineConnector::new(EngineDialect::Sqlite, ClientKind::Connector);
+        let verbatim = Runner::default().run_file(&mut conn, &file);
+        assert_eq!(verbatim.failed(), 2, "{:?}", verbatim.results);
+
+        let translated = Runner::new(RunnerOptions {
+            translation: TranslationMode::Translated {
+                from: TextDialect::Postgres,
+                to: TextDialect::Sqlite,
+            },
+            ..RunnerOptions::default()
+        });
+        let r = translated.run_file(&mut conn, &file);
+        assert_eq!(r.failed(), 0, "{:?}", r.results);
+        assert_eq!(r.passed(), 3);
+        // The executed SQL recorded for the insert is the translated text.
+        assert!(r.results[1].sql.as_deref().unwrap().contains("CAST(1 AS INTEGER)"));
+        let counts = translated.translation_stats.counts();
+        assert_eq!(counts.translated, 3);
+        // Translation is memoised per unique text, but counters stay
+        // per-execution: replaying the file doubles them exactly (hits
+        // replay the stored delta).
+        let again = translated.run_file(&mut conn, &file);
+        assert_eq!(again.failed(), 0);
+        let replayed = translated.translation_stats.counts();
+        assert_eq!(replayed.translated, 2 * counts.translated);
+        assert_eq!(replayed.applied_total(), 2 * counts.applied_total());
     }
 
     #[test]

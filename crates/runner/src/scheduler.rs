@@ -61,7 +61,14 @@ impl Runner {
         let workers = effective_workers(workers, files.len());
         // The scheduler owns the per-file reset (reset → prepare → run), so
         // the inner runner must not reset again and wipe the preparation.
-        let per_file = Runner::new(RunnerOptions { fresh_database: false, ..self.options });
+        // Translation counters and the memo cache are shared, not forked:
+        // the whole suite run aggregates into this runner's stats and
+        // translates each unique text once, whatever the worker count.
+        let per_file = Runner {
+            options: RunnerOptions { fresh_database: false, ..self.options },
+            translation_stats: std::sync::Arc::clone(&self.translation_stats),
+            translation_cache: std::sync::Arc::clone(&self.translation_cache),
+        };
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<FileResult>>> =
             files.iter().map(|_| Mutex::new(None)).collect();
@@ -104,8 +111,11 @@ impl Runner {
     }
 }
 
-/// Clamp a requested worker count: 0 means "all cores", and there is never
-/// a point in more workers than files.
+/// Clamp a requested worker count: `0` means "all cores" (the machine's
+/// available parallelism, falling back to 1 when it cannot be queried), and
+/// there is never a point in more workers than files — the count is clamped
+/// to `max(1, n_files)`, so an empty suite still gets one (idle) worker and
+/// `workers > files` never spawns threads that could not claim a file.
 fn effective_workers(requested: usize, n_files: usize) -> usize {
     let requested = if requested == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -238,5 +248,46 @@ mod tests {
         assert_eq!(effective_workers(1, 100), 1);
         assert_eq!(effective_workers(8, 0), 1);
         assert!(effective_workers(0, 64) >= 1);
+    }
+
+    #[test]
+    fn effective_workers_edge_cases() {
+        // 0 files: every request resolves to exactly one (idle) worker,
+        // including the "all cores" request.
+        assert_eq!(effective_workers(0, 0), 1);
+        assert_eq!(effective_workers(1, 0), 1);
+        assert_eq!(effective_workers(usize::MAX, 0), 1);
+        // workers > files: clamped to the file count.
+        assert_eq!(effective_workers(100, 3), 3);
+        assert_eq!(effective_workers(2, 1), 1);
+        // "all cores" never exceeds the file count either.
+        let auto = effective_workers(0, 2);
+        assert!((1..=2).contains(&auto), "auto workers {auto} not clamped to 2 files");
+    }
+
+    #[test]
+    fn translated_same_dialect_pair_is_byte_identical_to_verbatim() {
+        use crate::runner::TranslationMode;
+        use squality_sqltext::TextDialect;
+        // The satellite invariant: Translated on a same-dialect pair must
+        // equal Verbatim exactly, across the scheduler at 1 and 4 workers.
+        let files = suite(9);
+        let factory = EngineConnectorFactory::new(EngineDialect::Duckdb, ClientKind::Cli);
+        let verbatim = Runner::default().run_suite(&factory, &files, 1);
+        let translated = Runner::new(RunnerOptions {
+            translation: TranslationMode::Translated {
+                from: TextDialect::Duckdb,
+                to: TextDialect::Duckdb,
+            },
+            ..RunnerOptions::default()
+        });
+        for workers in [1, 4] {
+            let got = translated.run_suite(&factory, &files, workers);
+            assert_eq!(got, verbatim, "workers={workers}");
+        }
+        // Identity means no statement was rewritten at all.
+        let counts = translated.translation_stats.counts();
+        assert_eq!(counts.translated, 0);
+        assert_eq!(counts.applied_total(), 0);
     }
 }

@@ -21,6 +21,13 @@
 pub mod ast;
 pub mod error;
 pub mod parser;
+pub mod print;
+pub mod translate;
 
 pub use error::ParseError;
 pub use parser::{parse_script, parse_statement, Parser};
+pub use print::print_statement;
+pub use translate::{
+    translate_sql, translate_statement, TranslationCache, TranslationCounts, TranslationRule,
+    TranslationStats,
+};

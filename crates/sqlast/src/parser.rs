@@ -1669,6 +1669,52 @@ enum Infix {
     Special,
 }
 
+/// Words the printer must quote to use as identifiers: everything that ends
+/// an expression position plus keywords with a prefix/statement meaning.
+pub(crate) fn is_reserved_word(upper: &str) -> bool {
+    is_reserved_after_expr(upper)
+        || matches!(
+            upper,
+            "NULL"
+                | "TRUE"
+                | "FALSE"
+                | "CASE"
+                | "CAST"
+                | "EXISTS"
+                | "INTERVAL"
+                | "ARRAY"
+                | "DISTINCT"
+                | "HAVING"
+                | "LIMIT"
+                | "PRIMARY"
+                | "FOREIGN"
+                | "CONSTRAINT"
+                | "CHECK"
+                | "REFERENCES"
+                | "DEFAULT"
+                | "UNIQUE"
+                | "TABLE"
+                | "INDEX"
+                | "VIEW"
+                | "SCHEMA"
+                | "CREATE"
+                | "DROP"
+                | "ALTER"
+                | "INSERT"
+                | "UPDATE"
+                | "DELETE"
+                | "REPLACE"
+                | "WITH"
+                | "GROUP"
+                | "ORDER"
+                | "BY"
+                | "ALL"
+                | "ANY"
+                | "EXCEPT"
+                | "ROW"
+        )
+}
+
 /// Words that end an expression position and therefore cannot be bare
 /// aliases.
 fn is_reserved_after_expr(upper: &str) -> bool {

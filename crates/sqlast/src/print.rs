@@ -1,0 +1,956 @@
+//! AST → SQL printer.
+//!
+//! The printer is the inverse of the parser in the round-trip sense: for any
+//! statement the parser produced, `parse(print(stmt)) == stmt` under the
+//! same dialect (a property test over generated corpora holds this). It
+//! prints *canonical* SQL — `CAST(x AS T)` instead of `x::T`,
+//! `LIMIT n OFFSET m` instead of `LIMIT m, n`, compound expressions fully
+//! parenthesised — which already erases the purely *notational* dialect
+//! differences (the `::` cast style is the paper's most common RQ4
+//! "Statements" failure among translatable ones). Genuinely dialect-specific
+//! constructs (`DIV`, struct literals, `PRAGMA`) print in their native
+//! spelling; rewriting those is the job of [`crate::translate`].
+//!
+//! The only dialect-dependent choice the printer itself makes is identifier
+//! quoting: backticks for MySQL, double quotes everywhere else, and quoting
+//! only when the name needs it (non-word characters or a reserved word).
+
+use crate::ast::*;
+use squality_sqltext::TextDialect;
+
+/// Render a statement as SQL that re-parses to the same AST.
+pub fn print_statement(stmt: &Stmt, dialect: TextDialect) -> String {
+    let mut p = Printer { out: String::new(), dialect };
+    p.stmt(stmt);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    dialect: TextDialect,
+}
+
+impl Printer {
+    fn push(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    // ---- identifiers ---------------------------------------------------
+
+    /// Print one identifier, quoting it only when required.
+    fn ident(&mut self, name: &str) {
+        if ident_needs_quoting(name) {
+            let (open, close, escaped) = match self.dialect {
+                TextDialect::Mysql => ('`', '`', name.replace('`', "``")),
+                _ => ('"', '"', name.replace('"', "\"\"")),
+            };
+            self.out.push(open);
+            self.push(&escaped);
+            self.out.push(close);
+        } else {
+            self.push(name);
+        }
+    }
+
+    /// Print a possibly schema-qualified name (`a.b` stored dot-joined).
+    fn qualified(&mut self, name: &str) {
+        for (i, part) in name.split('.').enumerate() {
+            if i > 0 {
+                self.out.push('.');
+            }
+            self.ident(part);
+        }
+    }
+
+    /// Function names print bare, never quoted: the parser recognises a
+    /// call only as a word directly followed by `(` — `"replace"(x)` does
+    /// not parse — and every parser-produced function name is a plain
+    /// lowercased word, reserved-looking ones included.
+    fn function_name(&mut self, name: &str) {
+        self.push(name);
+    }
+
+    fn ident_list(&mut self, names: &[String]) {
+        for (i, n) in names.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.ident(n);
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Select(q) | Stmt::Values(q) => self.query(q),
+            Stmt::Insert(ins) => self.insert(ins),
+            Stmt::Update(u) => self.update(u),
+            Stmt::Delete(d) => self.delete(d),
+            Stmt::CreateTable(ct) => self.create_table(ct),
+            Stmt::DropTable { names, if_exists } => {
+                self.push("DROP TABLE ");
+                if *if_exists {
+                    self.push("IF EXISTS ");
+                }
+                for (i, n) in names.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.qualified(n);
+                }
+            }
+            Stmt::AlterTable { table, action } => {
+                self.push("ALTER TABLE ");
+                self.qualified(table);
+                match action {
+                    AlterTableAction::AddColumn(def) => {
+                        self.push(" ADD COLUMN ");
+                        self.column_def(def);
+                    }
+                    AlterTableAction::DropColumn { name, if_exists } => {
+                        self.push(" DROP COLUMN ");
+                        if *if_exists {
+                            self.push("IF EXISTS ");
+                        }
+                        self.ident(name);
+                    }
+                    AlterTableAction::RenameTo(n) => {
+                        self.push(" RENAME TO ");
+                        self.qualified(n);
+                    }
+                    AlterTableAction::RenameColumn { old, new } => {
+                        self.push(" RENAME COLUMN ");
+                        self.ident(old);
+                        self.push(" TO ");
+                        self.ident(new);
+                    }
+                }
+            }
+            Stmt::CreateIndex { name, table, columns, unique, if_not_exists } => {
+                self.push("CREATE ");
+                if *unique {
+                    self.push("UNIQUE ");
+                }
+                self.push("INDEX ");
+                if *if_not_exists {
+                    self.push("IF NOT EXISTS ");
+                }
+                self.qualified(name);
+                self.push(" ON ");
+                self.qualified(table);
+                self.push("(");
+                self.ident_list(columns);
+                self.push(")");
+            }
+            Stmt::DropIndex { name, if_exists } => {
+                self.push("DROP INDEX ");
+                if *if_exists {
+                    self.push("IF EXISTS ");
+                }
+                self.qualified(name);
+            }
+            Stmt::CreateView { name, columns, query, or_replace } => {
+                self.push("CREATE ");
+                if *or_replace {
+                    self.push("OR REPLACE ");
+                }
+                self.push("VIEW ");
+                self.qualified(name);
+                if !columns.is_empty() {
+                    self.push("(");
+                    self.ident_list(columns);
+                    self.push(")");
+                }
+                self.push(" AS ");
+                self.query(query);
+            }
+            Stmt::DropView { name, if_exists } => {
+                self.push("DROP VIEW ");
+                if *if_exists {
+                    self.push("IF EXISTS ");
+                }
+                self.qualified(name);
+            }
+            Stmt::CreateSchema { name, if_not_exists } => {
+                self.push("CREATE SCHEMA ");
+                if *if_not_exists {
+                    self.push("IF NOT EXISTS ");
+                }
+                self.qualified(name);
+            }
+            Stmt::AlterSchema { name, rename_to } => {
+                self.push("ALTER SCHEMA ");
+                self.qualified(name);
+                self.push(" RENAME TO ");
+                self.qualified(rename_to);
+            }
+            Stmt::DropSchema { name, if_exists, cascade } => {
+                self.push("DROP SCHEMA ");
+                if *if_exists {
+                    self.push("IF EXISTS ");
+                }
+                self.qualified(name);
+                if *cascade {
+                    self.push(" CASCADE");
+                }
+            }
+            Stmt::CreateFunction { name, language, library } => {
+                self.push("CREATE FUNCTION ");
+                self.qualified(name);
+                self.push("()");
+                if let Some(lib) = library {
+                    self.push(" AS ");
+                    self.string_lit(lib);
+                }
+                self.push(" LANGUAGE ");
+                self.ident(language);
+            }
+            Stmt::Begin => self.push("BEGIN"),
+            Stmt::Commit => self.push("COMMIT"),
+            Stmt::Rollback => self.push("ROLLBACK"),
+            Stmt::Savepoint { name } => {
+                self.push("SAVEPOINT ");
+                self.ident(name);
+            }
+            Stmt::Release { name } => {
+                self.push("RELEASE SAVEPOINT ");
+                self.ident(name);
+            }
+            Stmt::Set { name, value } => {
+                self.push("SET ");
+                // MySQL user variables (@x) are lexed whole; print raw.
+                if name.starts_with('@') {
+                    self.push(name);
+                } else {
+                    self.qualified(name);
+                }
+                match value {
+                    SetValue::Default => self.push(" TO DEFAULT"),
+                    SetValue::Ident(v) => {
+                        self.push(" = ");
+                        self.push(v);
+                    }
+                    SetValue::Expr(e) => {
+                        self.push(" = ");
+                        self.expr(e);
+                    }
+                }
+            }
+            Stmt::Pragma { name, value } => {
+                self.push("PRAGMA ");
+                self.qualified(name);
+                if let Some(v) = value {
+                    self.push(" = ");
+                    self.pragma_value(v);
+                }
+            }
+            Stmt::Explain { analyze, inner } => {
+                self.push("EXPLAIN ");
+                if *analyze {
+                    self.push("ANALYZE ");
+                }
+                self.stmt(inner);
+            }
+            Stmt::Copy { table, path, from } => {
+                self.push("COPY ");
+                self.qualified(table);
+                self.push(if *from { " FROM " } else { " TO " });
+                if path == "STDIN" || path == "STDOUT" {
+                    self.push(path);
+                } else {
+                    self.string_lit(path);
+                }
+            }
+            Stmt::Show { name } => {
+                self.push("SHOW ");
+                if name == "ALL" {
+                    self.push("ALL");
+                } else {
+                    self.qualified(name);
+                }
+            }
+            Stmt::Use { database } => {
+                self.push("USE ");
+                self.qualified(database);
+            }
+            Stmt::Truncate { table } => {
+                self.push("TRUNCATE TABLE ");
+                self.qualified(table);
+            }
+            Stmt::LoadExtension { name } => {
+                self.push("LOAD ");
+                self.ident(name);
+            }
+            Stmt::Vacuum => self.push("VACUUM"),
+            Stmt::Analyze { table } => {
+                self.push("ANALYZE");
+                if let Some(t) = table {
+                    self.push(" ");
+                    self.qualified(t);
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, ins: &InsertStmt) {
+        self.push("INSERT ");
+        if ins.or_replace {
+            self.push("OR REPLACE ");
+        }
+        self.push("INTO ");
+        self.qualified(&ins.table);
+        if !ins.columns.is_empty() {
+            self.push("(");
+            self.ident_list(&ins.columns);
+            self.push(")");
+        }
+        match &ins.source {
+            InsertSource::DefaultValues => self.push(" DEFAULT VALUES"),
+            InsertSource::Values(rows) => {
+                self.push(" VALUES ");
+                self.value_rows(rows);
+            }
+            InsertSource::Query(q) => {
+                self.push(" ");
+                self.query(q);
+            }
+        }
+    }
+
+    fn value_rows(&mut self, rows: &[Vec<Expr>]) {
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.push("(");
+            self.expr_list(row);
+            self.push(")");
+        }
+    }
+
+    fn update(&mut self, u: &UpdateStmt) {
+        self.push("UPDATE ");
+        self.qualified(&u.table);
+        self.push(" SET ");
+        for (i, (col, e)) in u.assignments.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.ident(col);
+            self.push(" = ");
+            self.expr(e);
+        }
+        if let Some(w) = &u.where_clause {
+            self.push(" WHERE ");
+            self.expr(w);
+        }
+    }
+
+    fn delete(&mut self, d: &DeleteStmt) {
+        self.push("DELETE FROM ");
+        self.qualified(&d.table);
+        if let Some(w) = &d.where_clause {
+            self.push(" WHERE ");
+            self.expr(w);
+        }
+    }
+
+    fn create_table(&mut self, ct: &CreateTableStmt) {
+        self.push("CREATE ");
+        if ct.temporary {
+            self.push("TEMPORARY ");
+        }
+        self.push("TABLE ");
+        if ct.if_not_exists {
+            self.push("IF NOT EXISTS ");
+        }
+        self.qualified(&ct.name);
+        if let Some(q) = &ct.as_query {
+            self.push(" AS ");
+            self.query(q);
+            return;
+        }
+        self.push("(");
+        for (i, def) in ct.columns.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.column_def(def);
+        }
+        self.push(")");
+    }
+
+    fn column_def(&mut self, def: &ColumnDef) {
+        self.ident(&def.name);
+        self.push(" ");
+        self.push(&def.type_name.to_string());
+        if def.not_null {
+            self.push(" NOT NULL");
+        }
+        if def.primary_key {
+            self.push(" PRIMARY KEY");
+        }
+        if def.unique {
+            self.push(" UNIQUE");
+        }
+        if let Some(e) = &def.default {
+            self.push(" DEFAULT ");
+            // The parser reads defaults at prefix precedence; parenthesise
+            // anything that is not a plain prefix form.
+            match e {
+                Expr::Literal(_) | Expr::Column { .. } | Expr::Function { .. } => self.expr(e),
+                _ => {
+                    self.push("(");
+                    self.expr(e);
+                    self.push(")");
+                }
+            }
+        }
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    fn query(&mut self, q: &SelectStmt) {
+        if let Some(w) = &q.with {
+            self.push("WITH ");
+            if w.recursive {
+                self.push("RECURSIVE ");
+            }
+            for (i, cte) in w.ctes.iter().enumerate() {
+                if i > 0 {
+                    self.push(", ");
+                }
+                self.ident(&cte.name);
+                if !cte.columns.is_empty() {
+                    self.push("(");
+                    self.ident_list(&cte.columns);
+                    self.push(")");
+                }
+                self.push(" AS (");
+                self.query(&cte.query);
+                self.push(")");
+            }
+            self.push(" ");
+        }
+        self.set_expr(&q.body);
+        if !q.order_by.is_empty() {
+            self.push(" ORDER BY ");
+            for (i, item) in q.order_by.iter().enumerate() {
+                if i > 0 {
+                    self.push(", ");
+                }
+                self.expr(&item.expr);
+                if item.desc {
+                    self.push(" DESC");
+                }
+                match item.nulls_first {
+                    Some(true) => self.push(" NULLS FIRST"),
+                    Some(false) => self.push(" NULLS LAST"),
+                    None => {}
+                }
+            }
+        }
+        if let Some(l) = &q.limit {
+            self.push(" LIMIT ");
+            self.expr(l);
+        }
+        if let Some(o) = &q.offset {
+            self.push(" OFFSET ");
+            self.expr(o);
+        }
+    }
+
+    fn set_expr(&mut self, body: &SetExpr) {
+        match body {
+            SetExpr::Select(core) => self.select_core(core),
+            SetExpr::Values(rows) => {
+                self.push("VALUES ");
+                self.value_rows(rows);
+            }
+            SetExpr::Query(q) => {
+                self.push("(");
+                self.query(q);
+                self.push(")");
+            }
+            SetExpr::SetOp { op, all, left, right } => {
+                self.set_expr(left);
+                self.push(match op {
+                    SetOp::Union => " UNION ",
+                    SetOp::Intersect => " INTERSECT ",
+                    SetOp::Except => " EXCEPT ",
+                });
+                if *all {
+                    self.push("ALL ");
+                }
+                self.set_expr(right);
+            }
+        }
+    }
+
+    fn select_core(&mut self, core: &SelectCore) {
+        self.push("SELECT ");
+        if core.distinct {
+            self.push("DISTINCT ");
+        }
+        for (i, item) in core.projection.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            match item {
+                SelectItem::Wildcard => self.push("*"),
+                SelectItem::QualifiedWildcard(t) => {
+                    self.ident(t);
+                    self.push(".*");
+                }
+                SelectItem::Expr { expr, alias } => {
+                    self.expr(expr);
+                    if let Some(a) = alias {
+                        self.push(" AS ");
+                        self.ident(a);
+                    }
+                }
+            }
+        }
+        if !core.from.is_empty() {
+            self.push(" FROM ");
+            for (i, t) in core.from.iter().enumerate() {
+                if i > 0 {
+                    self.push(", ");
+                }
+                self.table_ref(t);
+            }
+        }
+        if let Some(w) = &core.where_clause {
+            self.push(" WHERE ");
+            self.expr(w);
+        }
+        if !core.group_by.is_empty() {
+            self.push(" GROUP BY ");
+            self.expr_list(&core.group_by);
+        }
+        if let Some(h) = &core.having {
+            self.push(" HAVING ");
+            self.expr(h);
+        }
+    }
+
+    fn table_ref(&mut self, t: &TableRef) {
+        match t {
+            TableRef::Named { name, alias } => {
+                self.qualified(name);
+                if let Some(a) = alias {
+                    self.push(" AS ");
+                    self.ident(a);
+                }
+            }
+            TableRef::Subquery { query, alias } => {
+                self.push("(");
+                self.query(query);
+                self.push(")");
+                if let Some(a) = alias {
+                    self.push(" AS ");
+                    self.ident(a);
+                }
+            }
+            TableRef::Function { name, args, alias } => {
+                self.function_name(name);
+                self.push("(");
+                self.expr_list(args);
+                self.push(")");
+                if let Some(a) = alias {
+                    self.push(" AS ");
+                    self.ident(a);
+                }
+            }
+            TableRef::Join { left, right, kind, on, using } => {
+                self.table_ref(left);
+                self.push(match kind {
+                    JoinKind::Inner => " INNER JOIN ",
+                    JoinKind::Left => " LEFT JOIN ",
+                    JoinKind::Right => " RIGHT JOIN ",
+                    JoinKind::Full => " FULL JOIN ",
+                    JoinKind::Cross => " CROSS JOIN ",
+                    JoinKind::AsOf => " ASOF JOIN ",
+                });
+                self.table_ref(right);
+                if let Some(e) = on {
+                    self.push(" ON ");
+                    self.expr(e);
+                }
+                if !using.is_empty() {
+                    self.push(" USING (");
+                    self.ident_list(using);
+                    self.push(")");
+                }
+            }
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr_list(&mut self, exprs: &[Expr]) {
+        for (i, e) in exprs.iter().enumerate() {
+            if i > 0 {
+                self.push(", ");
+            }
+            self.expr(e);
+        }
+    }
+
+    /// Print an expression. Compound forms are fully parenthesised, which
+    /// makes the output precedence-independent: the parser unwraps the
+    /// parentheses back to the same tree.
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Literal(l) => self.literal(l),
+            Expr::Column { table, name } => {
+                if let Some(t) = table {
+                    self.ident(t);
+                    self.push(".");
+                }
+                self.ident(name);
+            }
+            Expr::Parameter(p) => self.push(p),
+            Expr::Interval(text) => {
+                self.push("INTERVAL ");
+                self.string_lit(text);
+            }
+            Expr::Unary { op, expr } => {
+                self.push("(");
+                self.push(match op {
+                    UnaryOp::Neg => "-",
+                    UnaryOp::Pos => "+",
+                    UnaryOp::Not => "NOT ",
+                    UnaryOp::BitNot => "~",
+                });
+                self.expr(expr);
+                self.push(")");
+            }
+            Expr::Binary { left, op, right } => {
+                self.push("(");
+                self.expr(left);
+                self.push(" ");
+                self.push(op.sql());
+                self.push(" ");
+                self.expr(right);
+                self.push(")");
+            }
+            Expr::Function { name, args, distinct, star } => {
+                self.function_name(name);
+                self.push("(");
+                if *star {
+                    self.push("*");
+                } else {
+                    if *distinct {
+                        self.push("DISTINCT ");
+                    }
+                    self.expr_list(args);
+                }
+                self.push(")");
+            }
+            Expr::Cast { expr, ty } => {
+                self.push("CAST(");
+                self.expr(expr);
+                self.push(" AS ");
+                self.push(&ty.to_string());
+                self.push(")");
+            }
+            Expr::Case { operand, branches, else_branch } => {
+                self.push("CASE");
+                if let Some(op) = operand {
+                    self.push(" ");
+                    self.expr(op);
+                }
+                for (cond, val) in branches {
+                    self.push(" WHEN ");
+                    self.expr(cond);
+                    self.push(" THEN ");
+                    self.expr(val);
+                }
+                if let Some(e) = else_branch {
+                    self.push(" ELSE ");
+                    self.expr(e);
+                }
+                self.push(" END");
+            }
+            Expr::IsNull { expr, negated } => {
+                self.push("(");
+                self.expr(expr);
+                self.push(if *negated { " IS NOT NULL" } else { " IS NULL" });
+                self.push(")");
+            }
+            Expr::IsDistinctFrom { left, right, negated } => {
+                // Mirrors the parser: `negated == true` is the plain
+                // `IS DISTINCT FROM` form.
+                self.push("(");
+                self.expr(left);
+                self.push(if *negated { " IS DISTINCT FROM " } else { " IS NOT DISTINCT FROM " });
+                self.expr(right);
+                self.push(")");
+            }
+            Expr::InList { expr, list, negated } => {
+                self.push("(");
+                self.expr(expr);
+                self.push(if *negated { " NOT IN (" } else { " IN (" });
+                self.expr_list(list);
+                self.push("))");
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                self.push("(");
+                self.expr(expr);
+                self.push(if *negated { " NOT IN (" } else { " IN (" });
+                self.query(query);
+                self.push("))");
+            }
+            Expr::Between { expr, low, high, negated } => {
+                self.push("(");
+                self.expr(expr);
+                self.push(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+                self.expr(low);
+                self.push(" AND ");
+                self.expr(high);
+                self.push(")");
+            }
+            Expr::Like { expr, pattern, negated, case_insensitive } => {
+                self.push("(");
+                self.expr(expr);
+                match (negated, case_insensitive) {
+                    (false, false) => self.push(" LIKE "),
+                    (true, false) => self.push(" NOT LIKE "),
+                    (false, true) => self.push(" ILIKE "),
+                    (true, true) => self.push(" NOT ILIKE "),
+                }
+                self.expr(pattern);
+                self.push(")");
+            }
+            Expr::Exists { query, negated } => {
+                self.push("(");
+                if *negated {
+                    self.push("NOT ");
+                }
+                self.push("EXISTS (");
+                self.query(query);
+                self.push("))");
+            }
+            Expr::Subquery(q) => {
+                self.push("(");
+                self.query(q);
+                self.push(")");
+            }
+            Expr::Row(items) => {
+                self.push("(");
+                self.expr_list(items);
+                self.push(")");
+            }
+            Expr::Array(items) => {
+                self.push("ARRAY[");
+                self.expr_list(items);
+                self.push("]");
+            }
+            Expr::Struct(fields) => {
+                self.push("{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.string_lit(k);
+                    self.push(": ");
+                    self.expr(v);
+                }
+                self.push("}");
+            }
+        }
+    }
+
+    fn literal(&mut self, l: &Literal) {
+        match l {
+            Literal::Null => self.push("NULL"),
+            Literal::Boolean(true) => self.push("TRUE"),
+            Literal::Boolean(false) => self.push("FALSE"),
+            Literal::Integer(v) => self.push(&v.to_string()),
+            Literal::Float(v) => self.push(&fmt_float(*v)),
+            Literal::String(s) => self.string_lit(s),
+            Literal::Blob(bytes) => {
+                self.push("X'");
+                for b in bytes {
+                    self.push(&format!("{b:02X}"));
+                }
+                self.push("'");
+            }
+        }
+    }
+
+    fn string_lit(&mut self, s: &str) {
+        self.out.push('\'');
+        self.push(&s.replace('\'', "''"));
+        self.out.push('\'');
+    }
+
+    /// PRAGMA values are stored as raw text; bare words and numbers print
+    /// unquoted, anything else as a string literal.
+    fn pragma_value(&mut self, v: &str) {
+        let bare_word = is_plain_word(v);
+        let bare_number = !v.is_empty() && v.chars().all(|c| c.is_ascii_digit() || c == '-');
+        if bare_word || bare_number {
+            self.push(v);
+        } else {
+            self.string_lit(v);
+        }
+    }
+}
+
+/// Render a float so it re-parses to the identical value *and* stays a
+/// float: integral values get a `.0` suffix (plain `2` would re-parse as an
+/// integer literal). Non-finite values have no SQL literal form; they print
+/// as an overflowing literal, which the numeric lexer reads back as an
+/// (infinite) float.
+fn fmt_float(v: f64) -> String {
+    if !v.is_finite() {
+        return if v.is_sign_negative() && !v.is_nan() { "-9e999".into() } else { "9e999".into() };
+    }
+    let mut s = format!("{v}");
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        s.push_str(".0");
+    }
+    s
+}
+
+fn is_plain_word(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Does this identifier need quoting to survive a round trip?
+fn ident_needs_quoting(name: &str) -> bool {
+    !is_plain_word(name) || crate::parser::is_reserved_word(&name.to_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn roundtrip(sql: &str, dialect: TextDialect) {
+        let ast = parse_statement(sql, dialect).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let printed = print_statement(&ast, dialect);
+        let reparsed = parse_statement(&printed, dialect)
+            .unwrap_or_else(|e| panic!("printed {printed:?} from {sql:?}: {e}"));
+        assert_eq!(ast, reparsed, "round trip changed the AST\n  in: {sql}\n  out: {printed}");
+    }
+
+    #[test]
+    fn roundtrip_selects() {
+        for sql in [
+            "SELECT a, b FROM t1 WHERE c > a",
+            "SELECT 1 + 2 * 3",
+            "SELECT DISTINCT a AS x FROM t ORDER BY a DESC NULLS LAST LIMIT 3 OFFSET 1",
+            "SELECT count(*) FROM t AS x INNER JOIN u AS y ON x.a = y.b",
+            "SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT IN (SELECT b FROM u)",
+            "SELECT CASE WHEN a > 5 THEN 'hi' ELSE 'lo' END FROM t",
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 9 OR a IS NOT NULL",
+            "SELECT sum(a), min(a), max(a) FROM t GROUP BY b HAVING count(*) > 1",
+            "WITH RECURSIVE cnt(x) AS (SELECT 1 UNION ALL SELECT x+1 FROM cnt WHERE x < 5) SELECT count(*) FROM cnt",
+            "SELECT 1 UNION SELECT 2 UNION ALL SELECT 3 INTERSECT SELECT 3",
+            "VALUES (1, 'a'), (2, 'b')",
+            "SELECT count(*) FROM generate_series(1, 5)",
+            "SELECT t.* FROM t",
+            "SELECT EXISTS (SELECT 1 FROM t), NOT EXISTS (SELECT 2 FROM t)",
+            "SELECT (1, 2) = (3, 4)",
+            "SELECT x'AB12'",
+            "SELECT -1.5e10, 2.0, .5",
+            "SELECT CAST(a AS INTEGER) FROM t",
+            // Function names that double as reserved words must stay bare:
+            // quoting them (`"replace"(...)`) would not re-parse as a call.
+            "SELECT replace('a', 'b', 'c')",
+            "SELECT \"values\" FROM t WHERE replace(x, 'a', 'b') = 'c'",
+        ] {
+            roundtrip(sql, TextDialect::Generic);
+        }
+    }
+
+    #[test]
+    fn roundtrip_ddl_and_dml() {
+        for sql in [
+            "CREATE TABLE t(a INTEGER NOT NULL, b VARCHAR(10) UNIQUE, c TEXT DEFAULT 'x')",
+            "CREATE TEMPORARY TABLE IF NOT EXISTS t(a INTEGER PRIMARY KEY)",
+            "CREATE TABLE t AS SELECT 1 AS a",
+            "INSERT INTO t(a, b) VALUES (1, 'x'), (2, 'y')",
+            "INSERT OR REPLACE INTO t VALUES (1)",
+            "INSERT INTO t SELECT * FROM u",
+            "INSERT INTO t DEFAULT VALUES",
+            "UPDATE t SET a = a + 1, b = 'z' WHERE a < 10",
+            "DELETE FROM t WHERE a > 100",
+            "DROP TABLE IF EXISTS a, b",
+            "ALTER TABLE t ADD COLUMN x INTEGER",
+            "ALTER TABLE t RENAME COLUMN a TO b",
+            "CREATE UNIQUE INDEX idx ON t(a, b)",
+            "DROP INDEX IF EXISTS idx",
+            "CREATE VIEW v(a) AS SELECT a FROM t",
+            "CREATE SCHEMA IF NOT EXISTS s",
+            "ALTER SCHEMA s RENAME TO s2",
+            "DROP SCHEMA IF EXISTS s CASCADE",
+            "BEGIN",
+            "COMMIT",
+            "ROLLBACK",
+            "SAVEPOINT sp",
+            "RELEASE SAVEPOINT sp",
+            "TRUNCATE TABLE t",
+            "VACUUM",
+            "ANALYZE t",
+            "EXPLAIN SELECT * FROM t",
+        ] {
+            roundtrip(sql, TextDialect::Generic);
+        }
+    }
+
+    #[test]
+    fn roundtrip_dialect_constructs() {
+        roundtrip("SELECT 62 DIV 2", TextDialect::Mysql);
+        roundtrip("SET @usr_var = 62", TextDialect::Mysql);
+        roundtrip("SELECT 1::text", TextDialect::Postgres);
+        roundtrip("SET search_path TO public", TextDialect::Postgres);
+        roundtrip("SET x TO DEFAULT", TextDialect::Postgres);
+        roundtrip("SHOW lc_messages", TextDialect::Postgres);
+        roundtrip("COPY t FROM '/data/t.data'", TextDialect::Postgres);
+        roundtrip("SELECT a FROM t WHERE a ~ 'x' OR b ILIKE 'Y%'", TextDialect::Postgres);
+        roundtrip(
+            "CREATE FUNCTION f(internal) RETURNS void AS 'lib', 'f' LANGUAGE C",
+            TextDialect::Postgres,
+        );
+        roundtrip("PRAGMA table_info(t1)", TextDialect::Sqlite);
+        roundtrip("PRAGMA cache_size = 2000", TextDialect::Sqlite);
+        roundtrip("SELECT [1, 2, 3]", TextDialect::Duckdb);
+        roundtrip("SELECT {'k': 'v', 'n': 1}", TextDialect::Duckdb);
+        roundtrip("SELECT ARRAY[1, 2]", TextDialect::Duckdb);
+        roundtrip(
+            "CREATE TABLE t(a HUGEINT, s STRUCT(k VARCHAR, v INT), u INT[])",
+            TextDialect::Duckdb,
+        );
+        roundtrip("PRAGMA memory_limit = unlimited", TextDialect::Duckdb);
+        roundtrip("LOAD sqlsmith", TextDialect::Duckdb);
+        roundtrip("SELECT a IS DISTINCT FROM b FROM t", TextDialect::Duckdb);
+        roundtrip("SELECT interval '1' DAY", TextDialect::Postgres);
+    }
+
+    #[test]
+    fn reserved_identifiers_are_quoted() {
+        let ast =
+            parse_statement("SELECT \"select\" FROM \"table\"", TextDialect::Postgres).unwrap();
+        let printed = print_statement(&ast, TextDialect::Postgres);
+        assert_eq!(printed, "SELECT \"select\" FROM \"table\"");
+        let my = print_statement(&ast, TextDialect::Mysql);
+        assert_eq!(my, "SELECT `select` FROM `table`");
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        assert_eq!(fmt_float(2.0), "2.0");
+        assert_eq!(fmt_float(0.5), "0.5");
+        assert!(fmt_float(f64::INFINITY).parse::<f64>().unwrap().is_infinite());
+    }
+}

@@ -1,0 +1,895 @@
+//! Cross-dialect statement translation.
+//!
+//! The paper's RQ4 finds that most cross-DBMS failures are *mundane*:
+//! unsupported syntax, type-name and function-name differences — not real
+//! bugs. This module implements the "what if we adapt?" counterfactual: a
+//! rule-driven rewrite of a donor-dialect AST into a form the host dialect
+//! accepts, leaving genuinely untranslatable constructs untouched (they
+//! keep failing on the host, which is the honest outcome).
+//!
+//! The pipeline is `parse(donor) → rewrite(AST) → print(host)`:
+//!
+//! * parsing under the **donor** dialect accepts the donor's syntax
+//!   (`::` casts, `DIV`, struct literals, ...);
+//! * the rewrite applies the rule table below, counting every decision in a
+//!   shared [`TranslationStats`] (one atomic counter pair per rule);
+//! * printing emits canonical SQL (see [`crate::print`]), which by itself
+//!   translates notational differences such as the `::` cast style.
+//!
+//! A same-dialect pair is the identity: [`translate_sql`] returns `None`
+//! and the caller keeps the original text byte-for-byte, so a translated
+//! run on the donor's own engine equals a verbatim run exactly.
+
+use crate::ast::*;
+use crate::parser::parse_statement;
+use crate::print::print_statement;
+use squality_sqltext::TextDialect;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One family of rewrites; rows of the DESIGN.md rule table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TranslationRule {
+    /// Type-name mapping: `HUGEINT`→`BIGINT`, `SERIAL`→`INTEGER`,
+    /// `MEDIUMINT`→`INTEGER`, bare `VARCHAR`→`VARCHAR(255)` for MySQL.
+    TypeName,
+    /// Function renames and emulations: `pg_typeof`↔`typeof`,
+    /// `ifnull`→`coalesce`, `if`↔`iif`/`CASE`, `len`→`length`, ...
+    FunctionName,
+    /// MySQL `DIV` → `/` on hosts whose `/` is integer division.
+    IntegerDivision,
+    /// `||` → `concat(...)` on MySQL, `concat(...)` → `||` on SQLite.
+    ConcatOperator,
+    /// `TRUE`/`FALSE` → `1`/`0` on engines with numeric booleans.
+    BooleanLiteral,
+    /// `PRAGMA`↔`SET` between the embedded engines and the servers.
+    ConfigStatement,
+    /// `ILIKE` → `lower() LIKE lower()` where ILIKE does not parse.
+    LikeCase,
+}
+
+impl TranslationRule {
+    /// Human label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TranslationRule::TypeName => "type names",
+            TranslationRule::FunctionName => "function renames",
+            TranslationRule::IntegerDivision => "integer division",
+            TranslationRule::ConcatOperator => "concat operator",
+            TranslationRule::BooleanLiteral => "boolean literals",
+            TranslationRule::ConfigStatement => "config statements",
+            TranslationRule::LikeCase => "ILIKE emulation",
+        }
+    }
+
+    /// All rules, in report order.
+    pub const ALL: [TranslationRule; 7] = [
+        TranslationRule::TypeName,
+        TranslationRule::FunctionName,
+        TranslationRule::IntegerDivision,
+        TranslationRule::ConcatOperator,
+        TranslationRule::BooleanLiteral,
+        TranslationRule::ConfigStatement,
+        TranslationRule::LikeCase,
+    ];
+}
+
+const N_RULES: usize = TranslationRule::ALL.len();
+
+/// Thread-safe per-rule counters, shared across scheduler workers the same
+/// way the plan cache is. `applied` counts rewrites performed, `skipped`
+/// counts constructs a rule recognised as host-incompatible but could not
+/// rewrite; `translated`/`passthrough` count whole statements.
+#[derive(Debug, Default)]
+pub struct TranslationStats {
+    applied: [AtomicU64; N_RULES],
+    skipped: [AtomicU64; N_RULES],
+    translated: AtomicU64,
+    passthrough: AtomicU64,
+}
+
+impl TranslationStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> TranslationStats {
+        TranslationStats::default()
+    }
+
+    fn record(&self, rule: TranslationRule, applied: bool) {
+        let slot = rule as usize;
+        if applied {
+            self.applied[slot].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.skipped[slot].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fold a snapshot into these counters (cache hits replay the entry's
+    /// recorded delta).
+    pub fn add(&self, delta: &TranslationCounts) {
+        for i in 0..N_RULES {
+            self.applied[i].fetch_add(delta.applied[i], Ordering::Relaxed);
+            self.skipped[i].fetch_add(delta.skipped[i], Ordering::Relaxed);
+        }
+        self.translated.fetch_add(delta.translated, Ordering::Relaxed);
+        self.passthrough.fetch_add(delta.passthrough, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn counts(&self) -> TranslationCounts {
+        let mut c = TranslationCounts::default();
+        for i in 0..N_RULES {
+            c.applied[i] = self.applied[i].load(Ordering::Relaxed);
+            c.skipped[i] = self.skipped[i].load(Ordering::Relaxed);
+        }
+        c.translated = self.translated.load(Ordering::Relaxed);
+        c.passthrough = self.passthrough.load(Ordering::Relaxed);
+        c
+    }
+}
+
+/// A plain-value snapshot of [`TranslationStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationCounts {
+    /// Rewrites performed, indexed by [`TranslationRule`] order.
+    pub applied: [u64; N_RULES],
+    /// Host-incompatible constructs left untranslated, same indexing.
+    pub skipped: [u64; N_RULES],
+    /// Statement executions that went through parse → rewrite → print
+    /// (cache hits replay their stored delta, so memoisation never changes
+    /// the totals).
+    pub translated: u64,
+    /// Statement executions passed through verbatim (donor-side parse
+    /// failure).
+    pub passthrough: u64,
+}
+
+impl TranslationCounts {
+    /// Applied count for one rule.
+    pub fn applied_for(&self, rule: TranslationRule) -> u64 {
+        self.applied[rule as usize]
+    }
+
+    /// Skipped count for one rule.
+    pub fn skipped_for(&self, rule: TranslationRule) -> u64 {
+        self.skipped[rule as usize]
+    }
+
+    /// Total rewrites across all rules.
+    pub fn applied_total(&self) -> u64 {
+        self.applied.iter().sum()
+    }
+
+    /// Total skips across all rules.
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped.iter().sum()
+    }
+
+    /// Accumulate another snapshot into this one.
+    pub fn merge(&mut self, other: &TranslationCounts) {
+        for i in 0..N_RULES {
+            self.applied[i] += other.applied[i];
+            self.skipped[i] += other.skipped[i];
+        }
+        self.translated += other.translated;
+        self.passthrough += other.passthrough;
+    }
+}
+
+/// Translate one statement text from the donor dialect to the host dialect.
+///
+/// Returns `None` when the text should run verbatim: same-dialect pairs
+/// (identity by construction — the caller keeps the original bytes) and
+/// statements that do not parse under the donor dialect (they were going to
+/// fail anyway; translation must not invent behaviour).
+pub fn translate_sql(
+    sql: &str,
+    from: TextDialect,
+    to: TextDialect,
+    stats: &TranslationStats,
+) -> Option<String> {
+    if from == to {
+        return None;
+    }
+    match parse_statement(sql, from) {
+        Err(_) => {
+            stats.passthrough.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        Ok(mut stmt) => {
+            translate_statement(&mut stmt, to, stats);
+            stats.translated.fetch_add(1, Ordering::Relaxed);
+            Some(print_statement(&stmt, to))
+        }
+    }
+}
+
+const CACHE_SHARDS: usize = 8;
+
+/// Admission bound per shard, mirroring the statement-plan cache: loop
+/// variable substitution mints a distinct text per iteration, so an
+/// unbounded map would grow linearly with loop trip counts. Overflow texts
+/// simply re-translate.
+const MAX_ENTRIES_PER_SHARD: usize = 8192;
+
+/// One memoised translation: the output text (or the pass-through
+/// decision) plus the counter delta its compute produced, replayed into
+/// the shared stats on every hit so counters stay per-execution.
+type CacheEntry = (Option<Arc<str>>, TranslationCounts);
+
+/// Memoised translation: statement text → translated text, the donor-side
+/// analogue of the engine's statement-plan cache. An SLT loop that replays
+/// one statement hundreds of times parses and prints it once per suite
+/// run, not once per execution. Sharded by text hash so scheduler workers
+/// do not serialise on one lock.
+///
+/// A cache instance serves a single `(from, to)` dialect pair — the key is
+/// the statement text alone — which is exactly the runner's situation: one
+/// `TranslationMode` per runner, one cache per suite × host run.
+#[derive(Debug, Default)]
+pub struct TranslationCache {
+    shards: [Mutex<HashMap<String, CacheEntry>>; CACHE_SHARDS],
+}
+
+impl TranslationCache {
+    /// Fresh empty cache.
+    pub fn new() -> TranslationCache {
+        TranslationCache::default()
+    }
+
+    /// Memoised [`translate_sql`]. Counters in `stats` record exactly what
+    /// uncached translation would: each entry stores the counter delta its
+    /// compute produced and replays it on every hit, so the totals are
+    /// per-execution and independent of cache admission, hit order, and
+    /// worker count.
+    pub fn translate_sql(
+        &self,
+        sql: &str,
+        from: TextDialect,
+        to: TextDialect,
+        stats: &TranslationStats,
+    ) -> Option<String> {
+        if from == to {
+            return None;
+        }
+        let mut hasher = DefaultHasher::new();
+        sql.hash(&mut hasher);
+        let shard = hasher.finish() as usize % CACHE_SHARDS;
+        let mut map = self.shards[shard].lock().expect("translation cache poisoned");
+        if let Some((out, delta)) = map.get(sql) {
+            stats.add(delta);
+            return out.as_deref().map(str::to_string);
+        }
+        // Miss: compute into a scratch recorder so the delta can be stored
+        // with the entry, then fold it into the shared stats.
+        let scratch = TranslationStats::new();
+        let out = translate_sql(sql, from, to, &scratch);
+        let delta = scratch.counts();
+        stats.add(&delta);
+        if map.len() < MAX_ENTRIES_PER_SHARD {
+            map.insert(sql.to_string(), (out.as_deref().map(Arc::from), delta));
+        }
+        out
+    }
+}
+
+/// Rewrite a donor AST in place for the host dialect.
+pub fn translate_statement(stmt: &mut Stmt, to: TextDialect, stats: &TranslationStats) {
+    Translator { to, stats }.stmt(stmt);
+}
+
+struct Translator<'a> {
+    to: TextDialect,
+    stats: &'a TranslationStats,
+}
+
+impl Translator<'_> {
+    fn stmt(&self, stmt: &mut Stmt) {
+        // Statement-level rules first: PRAGMA↔SET.
+        self.config_statement(stmt);
+        match stmt {
+            Stmt::Select(q) | Stmt::Values(q) => self.query(q),
+            Stmt::Insert(ins) => match &mut ins.source {
+                InsertSource::Values(rows) => self.rows(rows),
+                InsertSource::Query(q) => self.query(q),
+                InsertSource::DefaultValues => {}
+            },
+            Stmt::Update(u) => {
+                for (_, e) in &mut u.assignments {
+                    self.expr(e);
+                }
+                if let Some(w) = &mut u.where_clause {
+                    self.expr(w);
+                }
+            }
+            Stmt::Delete(d) => {
+                if let Some(w) = &mut d.where_clause {
+                    self.expr(w);
+                }
+            }
+            Stmt::CreateTable(ct) => {
+                for def in &mut ct.columns {
+                    self.type_name(&mut def.type_name);
+                    if let Some(e) = &mut def.default {
+                        self.expr(e);
+                    }
+                }
+                if let Some(q) = &mut ct.as_query {
+                    self.query(q);
+                }
+            }
+            Stmt::AlterTable { action: AlterTableAction::AddColumn(def), .. } => {
+                self.type_name(&mut def.type_name);
+                if let Some(e) = &mut def.default {
+                    self.expr(e);
+                }
+            }
+            Stmt::CreateView { query, .. } => self.query(query),
+            Stmt::Explain { inner, .. } => self.stmt(inner),
+            _ => {}
+        }
+    }
+
+    /// `PRAGMA` ↔ `SET`. DuckDB treats the two forms interchangeably; the
+    /// rewrite carries a donor configuration statement into whichever form
+    /// the host parses. On SQLite the gain is real: unknown pragmas are
+    /// silently ignored, so a donor `SET` becomes a harmless no-op instead
+    /// of a syntax error (the paper flags exactly this SQLite behaviour).
+    fn config_statement(&self, stmt: &mut Stmt) {
+        match stmt {
+            Stmt::Pragma { name, value }
+                if matches!(self.to, TextDialect::Postgres | TextDialect::Mysql) =>
+            {
+                match value {
+                    Some(v) => {
+                        *stmt = Stmt::Set {
+                            name: std::mem::take(name),
+                            value: SetValue::Ident(std::mem::take(v)),
+                        };
+                        self.stats.record(TranslationRule::ConfigStatement, true);
+                    }
+                    // A value-less PRAGMA is a read; there is no SET form.
+                    None => self.stats.record(TranslationRule::ConfigStatement, false),
+                }
+            }
+            Stmt::Set { name, value } if self.to == TextDialect::Sqlite => {
+                if name.starts_with('@') {
+                    self.stats.record(TranslationRule::ConfigStatement, false);
+                    return;
+                }
+                let rendered = match value {
+                    SetValue::Ident(v) => Some(std::mem::take(v)),
+                    SetValue::Expr(Expr::Literal(l)) => match l {
+                        Literal::Integer(v) => Some(v.to_string()),
+                        Literal::Float(v) => Some(v.to_string()),
+                        Literal::String(s) => Some(std::mem::take(s)),
+                        Literal::Boolean(b) => Some(if *b { "1" } else { "0" }.to_string()),
+                        Literal::Null => None,
+                        Literal::Blob(_) => None,
+                    },
+                    SetValue::Expr(_) | SetValue::Default => None,
+                };
+                match rendered {
+                    Some(v) => {
+                        *stmt = Stmt::Pragma { name: std::mem::take(name), value: Some(v) };
+                        self.stats.record(TranslationRule::ConfigStatement, true);
+                    }
+                    None => self.stats.record(TranslationRule::ConfigStatement, false),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn query(&self, q: &mut SelectStmt) {
+        if let Some(w) = &mut q.with {
+            for cte in &mut w.ctes {
+                self.query(&mut cte.query);
+            }
+        }
+        self.set_expr(&mut q.body);
+        for item in &mut q.order_by {
+            self.expr(&mut item.expr);
+        }
+        if let Some(l) = &mut q.limit {
+            self.expr(l);
+        }
+        if let Some(o) = &mut q.offset {
+            self.expr(o);
+        }
+    }
+
+    fn set_expr(&self, body: &mut SetExpr) {
+        match body {
+            SetExpr::Select(core) => {
+                for item in &mut core.projection {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        self.expr(expr);
+                    }
+                }
+                for t in &mut core.from {
+                    self.table_ref(t);
+                }
+                if let Some(w) = &mut core.where_clause {
+                    self.expr(w);
+                }
+                for e in &mut core.group_by {
+                    self.expr(e);
+                }
+                if let Some(h) = &mut core.having {
+                    self.expr(h);
+                }
+            }
+            SetExpr::Values(rows) => self.rows(rows),
+            SetExpr::Query(q) => self.query(q),
+            SetExpr::SetOp { left, right, .. } => {
+                self.set_expr(left);
+                self.set_expr(right);
+            }
+        }
+    }
+
+    fn table_ref(&self, t: &mut TableRef) {
+        match t {
+            TableRef::Named { .. } => {}
+            TableRef::Subquery { query, .. } => self.query(query),
+            TableRef::Function { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            TableRef::Join { left, right, on, .. } => {
+                self.table_ref(left);
+                self.table_ref(right);
+                if let Some(e) = on {
+                    self.expr(e);
+                }
+            }
+        }
+    }
+
+    fn rows(&self, rows: &mut [Vec<Expr>]) {
+        for row in rows {
+            for e in row {
+                self.expr(e);
+            }
+        }
+    }
+
+    fn expr(&self, e: &mut Expr) {
+        // Node-level rules that replace the whole expression come first.
+        self.rewrite_node(e);
+        match e {
+            Expr::Unary { expr, .. } => self.expr(expr),
+            Expr::Binary { left, right, .. } => {
+                self.expr(left);
+                self.expr(right);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Cast { expr, ty } => {
+                self.expr(expr);
+                self.type_name(ty);
+            }
+            Expr::Case { operand, branches, else_branch } => {
+                if let Some(op) = operand {
+                    self.expr(op);
+                }
+                for (c, v) in branches {
+                    self.expr(c);
+                    self.expr(v);
+                }
+                if let Some(el) = else_branch {
+                    self.expr(el);
+                }
+            }
+            Expr::IsNull { expr, .. } => self.expr(expr),
+            Expr::IsDistinctFrom { left, right, .. } => {
+                self.expr(left);
+                self.expr(right);
+            }
+            Expr::InList { expr, list, .. } => {
+                self.expr(expr);
+                for i in list {
+                    self.expr(i);
+                }
+            }
+            Expr::InSubquery { expr, query, .. } => {
+                self.expr(expr);
+                self.query(query);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                self.expr(expr);
+                self.expr(low);
+                self.expr(high);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                self.expr(expr);
+                self.expr(pattern);
+            }
+            Expr::Exists { query, .. } | Expr::Subquery(query) => self.query(query),
+            Expr::Row(items) | Expr::Array(items) => {
+                for i in items {
+                    self.expr(i);
+                }
+            }
+            Expr::Struct(fields) => {
+                for (_, v) in fields {
+                    self.expr(v);
+                }
+            }
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Parameter(_) | Expr::Interval(_) => {}
+        }
+    }
+
+    /// Apply expression-level rules to this node (not its children).
+    fn rewrite_node(&self, e: &mut Expr) {
+        match e {
+            // MySQL `DIV` → `/` where `/` already divides integers
+            // (SQLite, PostgreSQL: identical semantics). DuckDB's `/` is
+            // decimal, so the rewrite would change results there: skip.
+            Expr::Binary { op: op @ BinaryOp::IntDiv, .. } => match self.to {
+                TextDialect::Sqlite | TextDialect::Postgres => {
+                    *op = BinaryOp::Div;
+                    self.stats.record(TranslationRule::IntegerDivision, true);
+                }
+                TextDialect::Duckdb => {
+                    self.stats.record(TranslationRule::IntegerDivision, false);
+                }
+                _ => {}
+            },
+            // `||` reads as logical OR under MySQL's default SQL mode; the
+            // portable spelling is concat().
+            Expr::Binary { op: BinaryOp::Concat, left, right } if self.to == TextDialect::Mysql => {
+                let args = vec![
+                    std::mem::replace(&mut **left, Expr::Literal(Literal::Null)),
+                    std::mem::replace(&mut **right, Expr::Literal(Literal::Null)),
+                ];
+                *e = Expr::Function { name: "concat".into(), args, distinct: false, star: false };
+                self.stats.record(TranslationRule::ConcatOperator, true);
+            }
+            Expr::Literal(l @ Literal::Boolean(_))
+                if matches!(self.to, TextDialect::Sqlite | TextDialect::Mysql) =>
+            {
+                let Literal::Boolean(b) = *l else { unreachable!() };
+                *l = Literal::Integer(if b { 1 } else { 0 });
+                self.stats.record(TranslationRule::BooleanLiteral, true);
+            }
+            // ILIKE does not parse on SQLite/MySQL; fold both sides.
+            Expr::Like { expr, pattern, case_insensitive: ci @ true, .. }
+                if matches!(self.to, TextDialect::Sqlite | TextDialect::Mysql) =>
+            {
+                *ci = false;
+                wrap_lower(expr);
+                wrap_lower(pattern);
+                self.stats.record(TranslationRule::LikeCase, true);
+            }
+            Expr::Function { name, args, .. } => {
+                let (name, argc) = (name.clone(), args.len());
+                self.function(e, name, argc);
+            }
+            _ => {}
+        }
+    }
+
+    /// Function renames and emulations. Unknown-but-donor-specific names
+    /// with no host equivalent count as skipped.
+    fn function(&self, e: &mut Expr, name: String, argc: usize) {
+        let renamed: Option<&str> = match (name.as_str(), self.to) {
+            ("pg_typeof", TextDialect::Sqlite) => Some("typeof"),
+            ("typeof", TextDialect::Postgres) => Some("pg_typeof"),
+            ("len", d) if d != TextDialect::Duckdb => Some("length"),
+            ("char_length", _) => None,
+            ("ifnull", TextDialect::Postgres | TextDialect::Duckdb) => Some("coalesce"),
+            ("database", TextDialect::Postgres | TextDialect::Duckdb) => Some("current_database"),
+            ("current_database", TextDialect::Mysql) => Some("database"),
+            (
+                "sqlite_version",
+                TextDialect::Postgres | TextDialect::Duckdb | TextDialect::Mysql,
+            ) => Some("version"),
+            ("iif", TextDialect::Mysql) => Some("if"),
+            ("if", TextDialect::Sqlite) => Some("iif"),
+            _ => None,
+        };
+        if let Some(new_name) = renamed {
+            if let Expr::Function { name, .. } = e {
+                *name = new_name.to_string();
+            }
+            self.stats.record(TranslationRule::FunctionName, true);
+            return;
+        }
+        // `if`/`iif` on hosts with neither form: CASE WHEN emulation.
+        if (name == "if" || name == "iif")
+            && matches!(self.to, TextDialect::Postgres | TextDialect::Duckdb)
+            && argc == 3
+        {
+            let Expr::Function { args, .. } = e else { return };
+            let mut it = args.drain(..);
+            let (cond, then_v, else_v) =
+                (it.next().expect("argc"), it.next().expect("argc"), it.next().expect("argc"));
+            drop(it);
+            *e = Expr::Case {
+                operand: None,
+                branches: vec![(cond, then_v)],
+                else_branch: Some(Box::new(else_v)),
+            };
+            self.stats.record(TranslationRule::FunctionName, true);
+            return;
+        }
+        // concat() on SQLite: fold into a `||` chain (SQLite has no
+        // concat() but `||` concatenates natively).
+        if name == "concat" && self.to == TextDialect::Sqlite && argc >= 2 {
+            let Expr::Function { args, .. } = e else { return };
+            let mut it = args.drain(..);
+            let mut acc = it.next().expect("argc >= 2");
+            for next in it.by_ref() {
+                acc = Expr::Binary {
+                    left: Box::new(acc),
+                    op: BinaryOp::Concat,
+                    right: Box::new(next),
+                };
+            }
+            drop(it);
+            *e = acc;
+            self.stats.record(TranslationRule::ConcatOperator, true);
+            return;
+        }
+        if is_untranslatable_function(&name, self.to) {
+            self.stats.record(TranslationRule::FunctionName, false);
+        }
+    }
+
+    /// Type-name mapping (the Table 6 "Types" class).
+    fn type_name(&self, ty: &mut TypeName) {
+        match ty {
+            TypeName::Simple { name, params } => {
+                let mapped = match (name.as_str(), self.to) {
+                    ("HUGEINT" | "UBIGINT", d) if d != TextDialect::Duckdb => Some("BIGINT"),
+                    ("UINTEGER", d) if d != TextDialect::Duckdb => Some("INTEGER"),
+                    ("MEDIUMINT", d) if d != TextDialect::Mysql => Some("INTEGER"),
+                    ("SERIAL", TextDialect::Sqlite | TextDialect::Duckdb) => Some("INTEGER"),
+                    ("BIGSERIAL", TextDialect::Sqlite | TextDialect::Duckdb) => Some("BIGINT"),
+                    _ => None,
+                };
+                if let Some(new_name) = mapped {
+                    *name = new_name.to_string();
+                    self.stats.record(TranslationRule::TypeName, true);
+                } else if name == "VARCHAR" && params.is_empty() && self.to == TextDialect::Mysql {
+                    // MySQL demands a length; 255 is the conventional cap.
+                    params.push(255);
+                    self.stats.record(TranslationRule::TypeName, true);
+                }
+            }
+            TypeName::List(inner) => {
+                if matches!(self.to, TextDialect::Sqlite | TextDialect::Mysql) {
+                    // No array types on the host; nothing to map to.
+                    self.stats.record(TranslationRule::TypeName, false);
+                }
+                self.type_name(inner);
+            }
+            TypeName::Struct(fields) | TypeName::Union(fields) => {
+                if self.to != TextDialect::Duckdb {
+                    self.stats.record(TranslationRule::TypeName, false);
+                }
+                for (_, t) in fields {
+                    self.type_name(t);
+                }
+            }
+        }
+    }
+}
+
+fn wrap_lower(e: &mut Box<Expr>) {
+    let inner = std::mem::replace(&mut **e, Expr::Literal(Literal::Null));
+    **e = Expr::Function { name: "lower".into(), args: vec![inner], distinct: false, star: false };
+}
+
+/// Donor-specific functions with no equivalent on the host — recognised so
+/// the skipped counter reflects genuinely untranslatable calls.
+fn is_untranslatable_function(name: &str, to: TextDialect) -> bool {
+    let duckdb_only = matches!(
+        name,
+        "median" | "quantile" | "range" | "list_value" | "struct_pack" | "list_contains"
+    );
+    let pg_only = matches!(
+        name,
+        "to_json"
+            | "pg_table_size"
+            | "has_column_privilege"
+            | "quote_literal"
+            | "quote_ident"
+            | "pg_backend_pid"
+            | "to_char"
+    );
+    let sqlite_only = matches!(name, "zeroblob" | "likelihood" | "likely" | "unlikely" | "quote");
+    match to {
+        TextDialect::Sqlite => duckdb_only || pg_only,
+        TextDialect::Postgres => duckdb_only || sqlite_only,
+        TextDialect::Duckdb => {
+            sqlite_only
+                || matches!(
+                    name,
+                    "to_json"
+                        | "pg_table_size"
+                        | "quote_literal"
+                        | "quote_ident"
+                        | "pg_backend_pid"
+                        | "to_char"
+                )
+        }
+        TextDialect::Mysql => {
+            duckdb_only || pg_only || sqlite_only || matches!(name, "typeof" | "pg_typeof")
+        }
+        TextDialect::Generic => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(sql: &str, from: TextDialect, to: TextDialect) -> (Option<String>, TranslationCounts) {
+        let stats = TranslationStats::new();
+        let out = translate_sql(sql, from, to, &stats);
+        (out, stats.counts())
+    }
+
+    #[test]
+    fn same_dialect_is_identity() {
+        let stats = TranslationStats::new();
+        assert_eq!(
+            translate_sql("SELECT 1::text", TextDialect::Postgres, TextDialect::Postgres, &stats),
+            None
+        );
+        assert_eq!(stats.counts(), TranslationCounts::default());
+    }
+
+    #[test]
+    fn unparsable_donor_text_passes_through() {
+        let (out, counts) = tr("SELEC 1", TextDialect::Postgres, TextDialect::Sqlite);
+        assert_eq!(out, None);
+        assert_eq!(counts.passthrough, 1);
+        assert_eq!(counts.translated, 0);
+    }
+
+    #[test]
+    fn double_colon_cast_becomes_cast_call() {
+        let (out, counts) = tr("SELECT 7::integer", TextDialect::Postgres, TextDialect::Sqlite);
+        let out = out.unwrap();
+        assert!(out.contains("CAST(7 AS INTEGER)"), "{out}");
+        assert_eq!(counts.translated, 1);
+        // Canonical printing handles `::`; no rule fires.
+        assert_eq!(counts.applied_total(), 0);
+        // And the output now parses on the host.
+        assert!(parse_statement(&out, TextDialect::Sqlite).is_ok());
+    }
+
+    #[test]
+    fn div_translates_to_integer_division_hosts_only() {
+        let (out, counts) = tr("SELECT 62 DIV 2", TextDialect::Mysql, TextDialect::Sqlite);
+        assert_eq!(out.unwrap(), "SELECT (62 / 2)");
+        assert_eq!(counts.applied_for(TranslationRule::IntegerDivision), 1);
+        let (out, counts) = tr("SELECT 62 DIV 2", TextDialect::Mysql, TextDialect::Duckdb);
+        assert!(out.unwrap().contains("DIV"));
+        assert_eq!(counts.skipped_for(TranslationRule::IntegerDivision), 1);
+    }
+
+    #[test]
+    fn type_names_map_per_host() {
+        let (out, counts) =
+            tr("CREATE TABLE t(a HUGEINT, b VARCHAR)", TextDialect::Duckdb, TextDialect::Mysql);
+        let out = out.unwrap();
+        assert!(out.contains("BIGINT"), "{out}");
+        assert!(out.contains("VARCHAR(255)"), "{out}");
+        assert_eq!(counts.applied_for(TranslationRule::TypeName), 2);
+        let (out, _) = tr("CREATE TABLE t(a SERIAL)", TextDialect::Postgres, TextDialect::Duckdb);
+        assert!(out.unwrap().contains("INTEGER"));
+    }
+
+    #[test]
+    fn struct_types_are_skipped_not_mangled() {
+        let (out, counts) = tr(
+            "CREATE TABLE t(s STRUCT(k VARCHAR, v INT))",
+            TextDialect::Duckdb,
+            TextDialect::Postgres,
+        );
+        assert!(out.unwrap().contains("STRUCT"));
+        assert_eq!(counts.skipped_for(TranslationRule::TypeName), 1);
+    }
+
+    #[test]
+    fn function_renames() {
+        let (out, _) = tr("SELECT pg_typeof(1)", TextDialect::Postgres, TextDialect::Sqlite);
+        assert_eq!(out.unwrap(), "SELECT typeof(1)");
+        let (out, _) = tr("SELECT typeof(1)", TextDialect::Sqlite, TextDialect::Postgres);
+        assert_eq!(out.unwrap(), "SELECT pg_typeof(1)");
+        let (out, _) = tr("SELECT ifnull(NULL, 2)", TextDialect::Sqlite, TextDialect::Postgres);
+        assert_eq!(out.unwrap(), "SELECT coalesce(NULL, 2)");
+        let (out, counts) = tr("SELECT median(1)", TextDialect::Duckdb, TextDialect::Postgres);
+        assert!(out.unwrap().contains("median"));
+        assert_eq!(counts.skipped_for(TranslationRule::FunctionName), 1);
+    }
+
+    #[test]
+    fn if_emulates_as_case_on_pg() {
+        let (out, counts) =
+            tr("SELECT if(1 > 0, 'y', 'n')", TextDialect::Mysql, TextDialect::Postgres);
+        let out = out.unwrap();
+        assert!(out.contains("CASE WHEN"), "{out}");
+        assert!(parse_statement(&out, TextDialect::Postgres).is_ok());
+        assert_eq!(counts.applied_for(TranslationRule::FunctionName), 1);
+    }
+
+    #[test]
+    fn concat_folds_both_ways() {
+        let (out, _) = tr("SELECT a || b FROM t", TextDialect::Postgres, TextDialect::Mysql);
+        assert_eq!(out.unwrap(), "SELECT concat(a, b) FROM t");
+        let (out, _) = tr("SELECT concat(a, b, c) FROM t", TextDialect::Mysql, TextDialect::Sqlite);
+        assert_eq!(out.unwrap(), "SELECT ((a || b) || c) FROM t");
+    }
+
+    #[test]
+    fn set_becomes_pragma_on_sqlite() {
+        let (out, counts) =
+            tr("SET default_null_order='nulls_first'", TextDialect::Duckdb, TextDialect::Sqlite);
+        let out = out.unwrap();
+        assert!(out.starts_with("PRAGMA default_null_order"), "{out}");
+        assert!(parse_statement(&out, TextDialect::Sqlite).is_ok());
+        assert_eq!(counts.applied_for(TranslationRule::ConfigStatement), 1);
+        // PostgreSQL ident-style SET translates too.
+        let (out, _) = tr("SET search_path TO public", TextDialect::Postgres, TextDialect::Sqlite);
+        assert!(out.unwrap().starts_with("PRAGMA search_path"));
+    }
+
+    #[test]
+    fn pragma_becomes_set_on_servers() {
+        let (out, counts) = tr("PRAGMA threads = 1", TextDialect::Duckdb, TextDialect::Postgres);
+        let out = out.unwrap();
+        assert!(out.starts_with("SET threads"), "{out}");
+        assert!(parse_statement(&out, TextDialect::Postgres).is_ok());
+        assert_eq!(counts.applied_for(TranslationRule::ConfigStatement), 1);
+        // Value-less PRAGMA reads cannot be carried over.
+        let (_, counts) = tr("PRAGMA memory_limit", TextDialect::Duckdb, TextDialect::Mysql);
+        assert_eq!(counts.skipped_for(TranslationRule::ConfigStatement), 1);
+    }
+
+    #[test]
+    fn ilike_emulates_with_lower() {
+        let (out, counts) =
+            tr("SELECT a FROM t WHERE a ILIKE 'X%'", TextDialect::Postgres, TextDialect::Mysql);
+        let out = out.unwrap();
+        assert!(out.contains("lower(a) LIKE lower('X%')"), "{out}");
+        assert!(parse_statement(&out, TextDialect::Mysql).is_ok());
+        assert_eq!(counts.applied_for(TranslationRule::LikeCase), 1);
+    }
+
+    #[test]
+    fn booleans_become_integers_on_sqlite_and_mysql() {
+        let (out, counts) =
+            tr("SELECT * FROM t WHERE true", TextDialect::Postgres, TextDialect::Sqlite);
+        assert_eq!(out.unwrap(), "SELECT * FROM t WHERE 1");
+        assert_eq!(counts.applied_for(TranslationRule::BooleanLiteral), 1);
+    }
+
+    #[test]
+    fn counters_sum_consistently() {
+        let stats = TranslationStats::new();
+        for sql in ["SELECT 62 DIV 2", "SELECT if(1, 2, 3)", "SELECT median(1)", "BROKEN("] {
+            let _ = translate_sql(sql, TextDialect::Generic, TextDialect::Postgres, &stats);
+        }
+        let c = stats.counts();
+        assert_eq!(c.translated + c.passthrough, 4);
+        assert_eq!(
+            c.applied_total(),
+            TranslationRule::ALL.iter().map(|r| c.applied_for(*r)).sum::<u64>()
+        );
+        assert_eq!(
+            c.skipped_total(),
+            TranslationRule::ALL.iter().map(|r| c.skipped_for(*r)).sum::<u64>()
+        );
+    }
+}

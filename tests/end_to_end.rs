@@ -141,14 +141,16 @@ fn donor_environments_control_dependency_failures() {
 
 #[test]
 fn full_study_smoke() {
-    let study = run_study(StudyConfig { seed: 123, scale: 0.04, workers: 0 });
+    let study = run_study(StudyConfig { seed: 123, scale: 0.04, workers: 0, translated_arm: true });
     // All four suites generated; the three executed ones have matrix rows.
     assert_eq!(study.suites.len(), 4);
     assert_eq!(study.matrix.len(), 12);
-    // The report renders.
+    assert_eq!(study.translated_matrix.len(), 12);
+    // The report renders, including the translated-arm comparison.
     let report = squality::core::full_report(&study);
     assert!(report.contains("Figure 4"));
     assert!(report.contains("Table 8"));
+    assert!(report.contains("Translation arm"));
 }
 
 #[test]
@@ -156,8 +158,8 @@ fn study_results_identical_across_worker_counts() {
     // The parallel pipeline is a pure throughput knob: the whole study —
     // matrix, donor runs, coverage, bug findings — must be byte-identical
     // at any worker count.
-    let a = run_study(StudyConfig { seed: 9, scale: 0.03, workers: 1 });
-    let b = run_study(StudyConfig { seed: 9, scale: 0.03, workers: 3 });
+    let a = run_study(StudyConfig { seed: 9, scale: 0.03, workers: 1, translated_arm: true });
+    let b = run_study(StudyConfig { seed: 9, scale: 0.03, workers: 3, translated_arm: true });
     assert_eq!(a.matrix.len(), b.matrix.len());
     for (ca, cb) in a.matrix.iter().zip(&b.matrix) {
         assert_eq!(ca.suite, cb.suite);
@@ -169,6 +171,16 @@ fn study_results_identical_across_worker_counts() {
         assert_eq!(ca.summary.failures, cb.summary.failures);
         assert_eq!(ca.summary.crashes, cb.summary.crashes);
         assert_eq!(ca.summary.hangs, cb.summary.hangs);
+    }
+    // The translated arm is part of the contract too: outcomes and the
+    // per-rule translation counters are worker-count independent.
+    assert_eq!(a.translated_matrix.len(), b.translated_matrix.len());
+    for (ca, cb) in a.translated_matrix.iter().zip(&b.translated_matrix) {
+        assert_eq!(ca.summary.passed, cb.summary.passed);
+        assert_eq!(ca.summary.failed, cb.summary.failed);
+        assert_eq!(ca.summary.failures, cb.summary.failures);
+        assert_eq!(ca.summary.translation, cb.summary.translation);
+        assert_eq!(ca.summary.syntax_failures(), cb.summary.syntax_failures());
     }
     for (da, db) in a.donor_runs.iter().zip(&b.donor_runs) {
         assert_eq!(da.failures, db.failures);

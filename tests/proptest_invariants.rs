@@ -1,14 +1,41 @@
 //! Property-based tests over the core data structures and pipelines.
 
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use squality::corpus::{donor_dialect, SqlGen, StatementClass};
 use squality::engine::{ClientKind, Engine, EngineDialect, PlanCache, Value};
 use squality::formats::{
     parse_slt, result_hash, write_slt, QueryExpectation, RecordKind, SltFlavor, SortMode,
     StatementExpect, SuiteKind, TestFile, TestRecord,
 };
 use squality::runner::{validate_query, NumericMode, Verdict};
+use squality::sqlast::{parse_statement, print_statement, translate_sql, TranslationStats};
 use squality::sqltext::{split_statements, tokenize, TextDialect};
 use std::sync::Arc;
+
+/// Statement classes whose generated SQL is meant to parse on the donor
+/// (ParserGarbage and CliCommand are deliberately unparsable).
+const PRINTABLE_CLASSES: [StatementClass; 18] = [
+    StatementClass::CreateTable,
+    StatementClass::Insert,
+    StatementClass::Select,
+    StatementClass::Update,
+    StatementClass::Delete,
+    StatementClass::DropTable,
+    StatementClass::AlterTable,
+    StatementClass::CreateIndex,
+    StatementClass::CreateView,
+    StatementClass::Begin,
+    StatementClass::Commit,
+    StatementClass::Rollback,
+    StatementClass::Set,
+    StatementClass::Pragma,
+    StatementClass::Explain,
+    StatementClass::With,
+    StatementClass::DialectSelect,
+    StatementClass::DivisionProbe,
+];
 
 proptest! {
     /// The lexer never panics and its spans always slice the input exactly.
@@ -41,6 +68,59 @@ proptest! {
     #[test]
     fn classifier_is_total(input in "\\PC{0,120}") {
         let _ = squality::sqltext::classify(&input, TextDialect::Generic);
+    }
+
+    /// The AST→SQL printer is round-trip stable over the statement shapes
+    /// the corpus generators emit: `parse(print(ast)) == ast` under the
+    /// donor's own dialect.
+    #[test]
+    fn printer_roundtrip_is_stable(seed in 0i64..192) {
+        for suite in SuiteKind::ALL {
+            let dialect = donor_dialect(suite).text_dialect();
+            let mut gen = SqlGen::with_seasoning(suite, seed as usize, 0.6);
+            let mut rng = SmallRng::seed_from_u64(seed as u64);
+            for (i, class) in PRINTABLE_CLASSES.into_iter().enumerate() {
+                let stmt = gen.generate(class, (seed as usize + i) % 5, i % 3 == 0, &mut rng);
+                // Some generated statements are donor-invalid on purpose
+                // (e.g. SET on SQLite); only parsed statements are in scope.
+                let Ok(ast) = parse_statement(&stmt.sql, dialect) else { continue };
+                let printed = print_statement(&ast, dialect);
+                let reparsed = match parse_statement(&printed, dialect) {
+                    Ok(r) => r,
+                    Err(e) => return Err(TestCaseError::fail(format!(
+                        "printed SQL no longer parses under {dialect}\n  in:  {}\n  out: {printed}\n  err: {e}",
+                        stmt.sql
+                    ))),
+                };
+                prop_assert!(
+                    reparsed == ast,
+                    "round trip changed the AST\n  in:  {}\n  out: {printed}",
+                    stmt.sql
+                );
+            }
+        }
+    }
+
+    /// Same-dialect translation is the identity for any statement text:
+    /// the runner keeps the original bytes, so a translated run on the
+    /// donor's own engine can never diverge from a verbatim one.
+    #[test]
+    fn translation_same_dialect_is_identity(seed in 0i64..128) {
+        let stats = TranslationStats::new();
+        for suite in SuiteKind::ALL {
+            let dialect = donor_dialect(suite).text_dialect();
+            let mut gen = SqlGen::with_seasoning(suite, seed as usize, 0.6);
+            let mut rng = SmallRng::seed_from_u64(seed as u64 ^ 0xA5A5);
+            for (i, class) in PRINTABLE_CLASSES.into_iter().enumerate() {
+                let stmt = gen.generate(class, i % 5, false, &mut rng);
+                prop_assert!(
+                    translate_sql(&stmt.sql, dialect, dialect, &stats).is_none(),
+                    "same-dialect translation must be identity: {}",
+                    stmt.sql
+                );
+            }
+        }
+        prop_assert!(stats.counts().applied_total() == 0);
     }
 
     /// Value ordering is reflexive and antisymmetric under every NULL rule.
