@@ -1,0 +1,31 @@
+//! The `engine_hot_paths` group: grouped aggregation, DISTINCT, equi-join,
+//! and set operations at 1k/10k rows, each measured under both executor
+//! strategies — `naive` is the retained pre-hash implementation (linear
+//! group scans, nested-loop joins), `hash` is the production path.
+//!
+//! `squality-tables bench-engine` runs the same workload outside criterion
+//! and emits the checked-in `BENCH_engine.json` medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squality_bench::hot_paths::{cases, prepare};
+use squality_engine::ExecStrategy;
+
+fn bench_engine_hot_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_hot_paths");
+    g.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        for case in cases(rows) {
+            for (label, strategy) in [("hash", ExecStrategy::Hash), ("naive", ExecStrategy::Naive)]
+            {
+                let mut e = prepare(&case, strategy);
+                g.bench_function(format!("{}_{rows}_{label}", case.name), |b| {
+                    b.iter(|| e.execute(&case.query).unwrap());
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_hot_paths);
+criterion_main!(benches);

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! squality-tables [section...] [--scale F] [--seed N] [--workers W]
+//!                 [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]
 //! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
 //!           figure4 table6 table7 table8 translation bugs all (default: all)
+//!           bench-engine (hot-path perf comparison → BENCH_engine.json)
 //! ```
 //!
 //! `--workers 0` (the default) shards suite execution over all cores; any
 //! worker count produces byte-identical tables.
+//!
+//! `bench-engine` measures the execution-core hot paths (grouping,
+//! DISTINCT, equi-join, set-ops) under both executor strategies and writes
+//! before/after medians to `--bench-out` (default `BENCH_engine.json`).
 
 use squality_core::{run_study, Study, StudyConfig};
 
@@ -16,6 +22,9 @@ fn main() {
     let mut scale = squality_bench::REPORT_SCALE;
     let mut seed = 0x5C0A11u64;
     let mut workers = 0usize;
+    let mut bench_rows: Vec<usize> = vec![1_000, 10_000];
+    let mut bench_samples = 7usize;
+    let mut bench_out = "BENCH_engine.json".to_string();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +47,22 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --workers"));
             }
+            "--bench-rows" => {
+                let spec = args.next().unwrap_or_else(|| usage("missing value for --bench-rows"));
+                bench_rows = spec.split(',').filter_map(|v| v.trim().parse().ok()).collect();
+                if bench_rows.is_empty() {
+                    usage("--bench-rows needs a comma-separated list of row counts");
+                }
+            }
+            "--bench-samples" => {
+                bench_samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --bench-samples"));
+            }
+            "--bench-out" => {
+                bench_out = args.next().unwrap_or_else(|| usage("missing value for --bench-out"));
+            }
             "--help" | "-h" => usage(""),
             s if s.starts_with('-') && !s.starts_with("--") && s.parse::<f64>().is_err() => {
                 usage(&format!("unknown flag {s}"))
@@ -47,6 +72,15 @@ fn main() {
     }
     if sections.is_empty() {
         sections.push("all".to_string());
+    }
+
+    // The engine hot-path bench runs standalone (no study needed).
+    if sections.iter().any(|s| s == "bench-engine") {
+        sections.retain(|s| s != "bench-engine");
+        run_bench_engine(&bench_rows, bench_samples, &bench_out);
+        if sections.is_empty() {
+            return;
+        }
     }
 
     // The translated arm doubles matrix execution; only pay for it when a
@@ -89,13 +123,42 @@ fn print_section(study: &Study, section: &str) {
     println!("{text}");
 }
 
+fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str) {
+    use squality_bench::hot_paths::{render_json, run_comparison};
+    eprintln!(
+        "measuring engine hot paths (rows: {rows:?}, {samples} samples/case, both strategies)..."
+    );
+    let results = run_comparison(rows, samples);
+    println!(
+        "{:<20} {:>8} {:>16} {:>16} {:>9}",
+        "case", "rows", "naive median ms", "hash median ms", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:>8} {:>16.3} {:>16.3} {:>8.1}x",
+            r.case,
+            r.rows,
+            r.naive_median_ns / 1e6,
+            r.hash_median_ns / 1e6,
+            r.speedup()
+        );
+    }
+    let json = render_json(&results);
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
     eprintln!(
         "usage: squality-tables [section...] [--scale F] [--seed N] [--workers W]\n\
-         sections: table1..table8, figure1..figure4, translation, bugs, all"
+         \x20                      [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]\n\
+         sections: table1..table8, figure1..figure4, translation, bugs, all, bench-engine"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -3,6 +3,8 @@
 
 use squality_core::{run_study, Study, StudyConfig};
 
+pub mod hot_paths;
+
 /// Build a study at the given scale (deterministic seed, all cores).
 pub fn study_at_scale(scale: f64) -> Study {
     run_study(StudyConfig { seed: 0x5C0A11, scale, workers: 0, translated_arm: false })

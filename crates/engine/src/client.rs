@@ -34,7 +34,7 @@ pub fn render_value(v: &Value, dialect: EngineDialect, client: ClientKind) -> St
         Value::Null => "NULL".to_string(),
         Value::Integer(i) => i.to_string(),
         Value::Float(f) => render_float(*f, dialect, client),
-        Value::Text(s) => s.clone(),
+        Value::Text(s) => s.to_string(),
         Value::Blob(b) => match dialect {
             EngineDialect::Postgres => {
                 format!("\\x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>())
@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn empty_string_is_marked_in_slt() {
         assert_eq!(
-            render_slt_value(&Value::Text(String::new()), EngineDialect::Sqlite, ClientKind::Cli),
+            render_slt_value(&Value::text(""), EngineDialect::Sqlite, ClientKind::Cli),
             "(empty)"
         );
     }

@@ -3,7 +3,7 @@
 use crate::config::ConfigStore;
 use crate::coverage::Coverage;
 use crate::dialect::EngineDialect;
-use crate::env::{QueryEnv, Relation};
+use crate::env::{ExecStrategy, QueryEnv, Relation};
 use crate::error::{EngineError, ErrorKind};
 use crate::eval::{cast_value, eval, EvalCtx};
 use crate::exec::run_query;
@@ -67,6 +67,9 @@ pub struct Engine {
     poisoned_tables: BTreeSet<String>,
     crashed: bool,
     step_budget: u64,
+    /// Executor algorithm selection; `Naive` replays the pre-hash paths
+    /// (the differential oracle and benchmark baseline).
+    exec_strategy: ExecStrategy,
     /// Shared parse cache; `None` parses every statement from scratch.
     plan_cache: Option<Arc<PlanCache>>,
 }
@@ -101,8 +104,22 @@ impl Engine {
             poisoned_tables: BTreeSet::new(),
             crashed: false,
             step_budget: DEFAULT_STEP_BUDGET,
+            exec_strategy: ExecStrategy::default(),
             plan_cache: None,
         }
+    }
+
+    /// Select the executor algorithms (hash-based vs the retained naive
+    /// oracle). Both strategies are required to produce byte-identical
+    /// results; `Naive` exists for differential testing and as the
+    /// benchmark baseline.
+    pub fn set_exec_strategy(&mut self, strategy: ExecStrategy) {
+        self.exec_strategy = strategy;
+    }
+
+    /// The current executor strategy.
+    pub fn exec_strategy(&self) -> ExecStrategy {
+        self.exec_strategy
     }
 
     /// Share a statement-plan cache with this engine. Repeated statement
@@ -295,8 +312,8 @@ impl Engine {
                             .map(|(i, c)| {
                                 vec![
                                     Value::Integer(i as i64),
-                                    Value::Text(c.name.clone()),
-                                    Value::Text(c.ty.name()),
+                                    Value::text(c.name.as_str()),
+                                    Value::text(c.ty.name()),
                                 ]
                             })
                             .collect();
@@ -313,7 +330,7 @@ impl Engine {
                 let text = crate::explain::render_plan(self.dialect, inner, &self.config);
                 Ok(QueryResult {
                     columns: vec!["explain".to_string()],
-                    rows: text.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                    rows: text.into_iter().map(|l| vec![Value::text(l)]).collect(),
                     affected: 0,
                 })
             }
@@ -355,7 +372,7 @@ impl Engine {
         &mut self,
         f: impl FnOnce(&QueryEnv<'_>) -> Result<T, EngineError>,
     ) -> Result<T, EngineError> {
-        let env = QueryEnv::new(
+        let mut env = QueryEnv::new(
             self.dialect,
             &self.catalog,
             &self.config,
@@ -364,6 +381,7 @@ impl Engine {
             &self.user_functions,
             self.step_budget,
         );
+        env.strategy = self.exec_strategy;
         let result = f(&env);
         for (is_line, point) in env.hits.borrow().iter() {
             if *is_line {
@@ -522,7 +540,7 @@ impl Engine {
                 .map(|c| crate::env::ColBinding::qualified(&u.table, &c.name))
                 .collect();
             let mut planned = Vec::new();
-            let env = QueryEnv::new(
+            let mut env = QueryEnv::new(
                 dialect,
                 &self.catalog,
                 &self.config,
@@ -531,10 +549,13 @@ impl Engine {
                 &self.user_functions,
                 self.step_budget,
             );
+            env.strategy = self.exec_strategy;
+            let binder = crate::eval::Binder::new();
             for (ri, row) in table.rows.iter().enumerate() {
                 env.tick(1)?;
                 let scope = crate::env::Scope { cols: &cols, row, parent: None };
-                let ctx = EvalCtx { env: &env, scope: Some(&scope), agg: None };
+                let ctx =
+                    EvalCtx { env: &env, scope: Some(&scope), agg: None, binder: Some(&binder) };
                 let hit = match &u.where_clause {
                     Some(p) => {
                         crate::value::truthiness(&eval(p, &ctx)?) == crate::value::Truth::True
@@ -585,7 +606,7 @@ impl Engine {
                 .iter()
                 .map(|c| crate::env::ColBinding::qualified(&d.table, &c.name))
                 .collect();
-            let env = QueryEnv::new(
+            let mut env = QueryEnv::new(
                 dialect,
                 &self.catalog,
                 &self.config,
@@ -594,13 +615,20 @@ impl Engine {
                 &self.user_functions,
                 self.step_budget,
             );
+            env.strategy = self.exec_strategy;
+            let binder = crate::eval::Binder::new();
             let mut keep = Vec::with_capacity(table.rows.len());
             for row in &table.rows {
                 env.tick(1)?;
                 let retain = match &d.where_clause {
                     Some(p) => {
                         let scope = crate::env::Scope { cols: &cols, row, parent: None };
-                        let ctx = EvalCtx { env: &env, scope: Some(&scope), agg: None };
+                        let ctx = EvalCtx {
+                            env: &env,
+                            scope: Some(&scope),
+                            agg: None,
+                            binder: Some(&binder),
+                        };
                         crate::value::truthiness(&eval(p, &ctx)?) != crate::value::Truth::True
                     }
                     None => false,
@@ -923,7 +951,7 @@ impl Engine {
                 let v = if part.eq_ignore_ascii_case("\\n") || part.is_empty() {
                     Value::Null
                 } else {
-                    Value::Text(part.to_string())
+                    Value::text(*part)
                 };
                 row.push(coerce_for_storage(dialect, v, &col.ty)?);
             }
@@ -935,13 +963,13 @@ impl Engine {
 
     fn show(&mut self, name: &str) -> Result<QueryResult, EngineError> {
         if name.eq_ignore_ascii_case("tables") {
-            let rows = self.catalog.tables.keys().map(|k| vec![Value::Text(k.clone())]).collect();
+            let rows = self.catalog.tables.keys().map(|k| vec![Value::text(k.as_str())]).collect();
             return Ok(QueryResult { columns: vec!["name".into()], rows, affected: 0 });
         }
         match self.config.get(name) {
             Some(v) => Ok(QueryResult {
                 columns: vec![name.to_string()],
-                rows: vec![vec![Value::Text(v.to_string())]],
+                rows: vec![vec![Value::text(v)]],
                 affected: 0,
             }),
             None => Err(EngineError::new(
@@ -983,7 +1011,7 @@ fn coerce_for_storage(
             },
             (DataType::Float, Value::Integer(i)) => Value::Float(*i as f64),
             (DataType::Text { .. }, Value::Integer(_) | Value::Float(_)) => {
-                Value::Text(render_plain(&v))
+                Value::text(render_plain(&v))
             }
             _ => v,
         });

@@ -6,8 +6,25 @@ use crate::error::EngineError;
 use crate::faults::FaultProfile;
 use crate::schema::Catalog;
 use crate::value::Value;
+use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeSet;
+
+/// Which algorithms the executor uses for grouping, deduplication, set
+/// operations, and joins.
+///
+/// `Hash` is the production default. `Naive` replays the original
+/// linear-scan / nested-loop implementations; it is retained as the
+/// differential-testing oracle (the two must produce byte-identical
+/// results) and as the "before" arm of the `engine_hot_paths` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// Hash-based grouping/dedup/set-ops and build–probe equi-joins.
+    #[default]
+    Hash,
+    /// Linear scans over groups and nested-loop joins (the oracle).
+    Naive,
+}
 
 /// A column binding inside a relation: optional qualifier (table alias) and
 /// column name.
@@ -69,21 +86,49 @@ impl<'a> Scope<'a> {
     /// Resolve `[table.]name`, walking outward. Returns the value, or an
     /// error for unknown/ambiguous names.
     pub fn lookup(&self, table: Option<&str>, name: &str) -> Result<Value, EngineError> {
-        let mut matches = self.cols.iter().enumerate().filter(|(_, c)| c.matches(table, name));
-        if let Some((idx, _)) = matches.next() {
-            if table.is_none() && matches.next().is_some() {
-                return Err(EngineError::catalog(format!("ambiguous column name: {name}")));
+        let (depth, idx) = self.resolve(table, name)?;
+        Ok(self.at_depth(depth).row[idx].clone())
+    }
+
+    /// Resolve `[table.]name` to a (scope depth, column index) pair —
+    /// depth 0 is this scope, 1 its parent, and so on. The pair is stable
+    /// for every row of a scan loop (only `row` varies between iterations,
+    /// never the column layouts), which is what lets the expression binder
+    /// cache it and skip the per-row name scans.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<(u32, usize), EngineError> {
+        let mut scope = self;
+        let mut depth = 0u32;
+        loop {
+            let mut matches = scope.cols.iter().enumerate().filter(|(_, c)| c.matches(table, name));
+            if let Some((idx, _)) = matches.next() {
+                if table.is_none() && matches.next().is_some() {
+                    return Err(EngineError::catalog(format!("ambiguous column name: {name}")));
+                }
+                return Ok((depth, idx));
             }
-            return Ok(self.row[idx].clone());
+            match scope.parent {
+                Some(parent) => {
+                    scope = parent;
+                    depth += 1;
+                }
+                None => {
+                    let full = match table {
+                        Some(t) => format!("{t}.{name}"),
+                        None => name.to_string(),
+                    };
+                    return Err(EngineError::catalog(format!("no such column: {full}")));
+                }
+            }
         }
-        if let Some(parent) = self.parent {
-            return parent.lookup(table, name);
+    }
+
+    /// The scope `depth` levels up the parent chain.
+    pub fn at_depth(&self, depth: u32) -> &Scope<'a> {
+        let mut scope = self;
+        for _ in 0..depth {
+            scope = scope.parent.expect("resolved depth stays within the scope chain");
         }
-        let full = match table {
-            Some(t) => format!("{t}.{name}"),
-            None => name.to_string(),
-        };
-        Err(EngineError::catalog(format!("no such column: {full}")))
+        scope
     }
 }
 
@@ -98,8 +143,11 @@ pub struct QueryEnv<'a> {
     pub user_functions: &'a BTreeSet<String>,
     steps: Cell<u64>,
     budget: u64,
+    /// Executor algorithm selection (hash-based vs the naive oracle).
+    pub strategy: ExecStrategy,
     /// Coverage hits buffered for the engine to apply: (is_line, point).
-    pub hits: RefCell<Vec<(bool, String)>>,
+    /// Static points borrow; only dynamically-built names allocate.
+    pub hits: RefCell<Vec<(bool, Cow<'static, str>)>>,
     /// CTE bindings, innermost last.
     pub ctes: RefCell<Vec<(String, Relation)>>,
 }
@@ -125,6 +173,7 @@ impl<'a> QueryEnv<'a> {
             user_functions,
             steps: Cell::new(0),
             budget,
+            strategy: ExecStrategy::Hash,
             hits: RefCell::new(Vec::new()),
             ctes: RefCell::new(Vec::new()),
         }
@@ -152,13 +201,24 @@ impl<'a> QueryEnv<'a> {
     }
 
     /// Record a feature ("line") coverage point.
-    pub fn cov_line(&self, point: impl Into<String>) {
-        self.hits.borrow_mut().push((true, point.into()));
+    pub fn cov_line(&self, point: impl Into<Cow<'static, str>>) {
+        self.push_hit(true, point.into());
     }
 
     /// Record a decision ("branch") coverage point.
-    pub fn cov_branch(&self, point: impl Into<String>) {
-        self.hits.borrow_mut().push((false, point.into()));
+    pub fn cov_branch(&self, point: impl Into<Cow<'static, str>>) {
+        self.push_hit(false, point.into());
+    }
+
+    /// Buffer a hit. Coverage is a set of flags, so consecutive repeats of
+    /// the same point (the common shape inside row loops) collapse to one
+    /// entry instead of growing the buffer per row.
+    fn push_hit(&self, is_line: bool, point: Cow<'static, str>) {
+        let mut hits = self.hits.borrow_mut();
+        if hits.last().map(|(l, p)| *l == is_line && *p == point).unwrap_or(false) {
+            return;
+        }
+        hits.push((is_line, point));
     }
 
     /// Find a CTE binding by name (innermost first).

@@ -13,11 +13,16 @@ use crate::functions::{call_scalar, is_aggregate, render_plain};
 use crate::types::{resolve_type, DataType};
 use crate::value::{parse_leading_number, truthiness, Truth, Value};
 use squality_sqlast::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
-/// Aggregate-evaluation context: the rows of the current group.
+/// Aggregate-evaluation context: the rows of the current group (borrowed
+/// from the source relation — grouping no longer deep-copies member rows).
 pub struct AggCtx<'a> {
     pub cols: &'a [ColBinding],
-    pub rows: &'a [Vec<Value>],
+    pub rows: &'a [&'a [Value]],
     pub outer: Option<&'a Scope<'a>>,
 }
 
@@ -26,13 +31,78 @@ pub struct EvalCtx<'a> {
     pub env: &'a QueryEnv<'a>,
     pub scope: Option<&'a Scope<'a>>,
     pub agg: Option<&'a AggCtx<'a>>,
+    /// Expression binder shared by every row of one scan loop; `None`
+    /// falls back to per-row name resolution.
+    pub binder: Option<&'a Binder>,
 }
 
 impl<'a> EvalCtx<'a> {
     /// Context with only an environment (constant expressions).
     pub fn constant(env: &'a QueryEnv<'a>) -> EvalCtx<'a> {
-        EvalCtx { env, scope: None, agg: None }
+        EvalCtx { env, scope: None, agg: None, binder: None }
     }
+}
+
+/// Per-scan-loop expression binder.
+///
+/// A scan loop (WHERE filter, projection, grouped evaluation, join
+/// predicate, ORDER BY keys, UPDATE/DELETE predicates) evaluates the same
+/// expression tree once per row against scopes whose *column layouts* never
+/// change — only the row data does. The binder exploits that: the first row
+/// resolves each `Expr::Column` via the usual outward name walk and caches
+/// the resulting `(scope depth, column index)` under the AST node's
+/// address; every later row is one pointer-keyed hash probe plus an indexed
+/// load, with no `eq_ignore_ascii_case` scans. LIKE patterns built from
+/// literals are compiled once per loop the same way.
+///
+/// A binder must only be shared across evaluations whose scope chain
+/// layout is identical (the loop owning it guarantees that); AST nodes are
+/// pinned by the `Arc<Stmt>` plan for the whole execution, so node
+/// addresses are stable keys.
+#[derive(Default)]
+pub struct Binder {
+    slots: RefCell<HashMap<usize, Slot>>,
+}
+
+#[derive(Clone)]
+enum Slot {
+    /// Cached column resolution (or its stable resolution error).
+    Col(Result<(u32, usize), EngineError>),
+    /// Compiled LIKE pattern for a literal pattern expression.
+    Like(Rc<LikePattern>),
+}
+
+impl Binder {
+    /// Fresh binder for one scan loop.
+    pub fn new() -> Binder {
+        Binder::default()
+    }
+
+    fn col(
+        &self,
+        key: usize,
+        resolve: impl FnOnce() -> Result<(u32, usize), EngineError>,
+    ) -> Result<(u32, usize), EngineError> {
+        if let Some(Slot::Col(r)) = self.slots.borrow().get(&key) {
+            return r.clone();
+        }
+        let r = resolve();
+        self.slots.borrow_mut().insert(key, Slot::Col(r.clone()));
+        r
+    }
+
+    fn like(&self, key: usize, compile: impl FnOnce() -> LikePattern) -> Rc<LikePattern> {
+        if let Some(Slot::Like(p)) = self.slots.borrow().get(&key) {
+            return Rc::clone(p);
+        }
+        let p = Rc::new(compile());
+        self.slots.borrow_mut().insert(key, Slot::Like(Rc::clone(&p)));
+        p
+    }
+}
+
+fn expr_key(e: &Expr) -> usize {
+    e as *const Expr as usize
 }
 
 /// Evaluate an expression to a value.
@@ -41,7 +111,14 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, EngineError> {
     match expr {
         Expr::Literal(lit) => Ok(literal_value(lit)),
         Expr::Column { table, name } => match ctx.scope {
-            Some(scope) => scope.lookup(table.as_deref(), name),
+            Some(scope) => match ctx.binder {
+                Some(binder) => {
+                    let (depth, idx) =
+                        binder.col(expr_key(expr), || scope.resolve(table.as_deref(), name))?;
+                    Ok(scope.at_depth(depth).row[idx].clone())
+                }
+                None => scope.lookup(table.as_deref(), name),
+            },
             None => Err(EngineError::catalog(format!("no such column: {name}"))),
         },
         Expr::Unary { op, expr } => {
@@ -83,7 +160,7 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, EngineError> {
                         "misuse of aggregate function {name}()"
                     )));
                 };
-                return compute_aggregate(ctx.env, name, args, *distinct, *star, agg);
+                return compute_aggregate(ctx, name, args, *distinct, *star, agg);
             }
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -195,7 +272,14 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, EngineError> {
             // SQLite and MySQL LIKE are case-insensitive by default.
             let ci = *case_insensitive
                 || matches!(ctx.env.dialect, EngineDialect::Sqlite | EngineDialect::Mysql);
-            let matched = like_match(&text_of(&v), &text_of(&p), ci);
+            // Literal patterns compile once per scan loop; dynamic patterns
+            // (computed from row data) compile per row as before.
+            let matched = match ctx.binder {
+                Some(binder) if matches!(&**pattern, Expr::Literal(_)) => binder
+                    .like(expr_key(pattern), || LikePattern::compile(&text_of(&p), ci))
+                    .matches(&text_of(&v)),
+                _ => LikePattern::compile(&text_of(&p), ci).matches(&text_of(&v)),
+            };
             Ok(Value::Boolean(matched != *negated))
         }
         Expr::Exists { query, negated } => {
@@ -253,7 +337,7 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, EngineError> {
             }
             Ok(Value::Struct(out))
         }
-        Expr::Interval(text) => Ok(Value::Text(text.clone())),
+        Expr::Interval(text) => Ok(Value::text(text.as_str())),
         Expr::Parameter(p) => Err(EngineError::syntax(format!(
             "bind parameter {p} is not supported in direct execution"
         ))),
@@ -272,7 +356,7 @@ fn literal_value(lit: &Literal) -> Value {
     match lit {
         Literal::Integer(i) => Value::Integer(*i),
         Literal::Float(f) => Value::Float(*f),
-        Literal::String(s) => Value::Text(s.clone()),
+        Literal::String(s) => Value::text(s.as_str()),
         Literal::Blob(b) => Value::Blob(b.clone()),
         Literal::Boolean(b) => Value::Boolean(*b),
         Literal::Null => Value::Null,
@@ -280,7 +364,12 @@ fn literal_value(lit: &Literal) -> Value {
 }
 
 fn eval_unary(env: &QueryEnv<'_>, op: UnaryOp, v: Value) -> Result<Value, EngineError> {
-    env.cov_line(format!("unary:{op:?}"));
+    env.cov_line(match op {
+        UnaryOp::Not => "unary:Not",
+        UnaryOp::Neg => "unary:Neg",
+        UnaryOp::Pos => "unary:Pos",
+        UnaryOp::BitNot => "unary:BitNot",
+    });
     match op {
         UnaryOp::Not => Ok(truthiness(&v).not().to_value()),
         UnaryOp::Neg => match v {
@@ -314,7 +403,7 @@ pub fn eval_binary(
     l: Value,
     r: Value,
 ) -> Result<Value, EngineError> {
-    env.cov_line(format!("op:{}", op.sql()));
+    env.cov_line(op_cov_key(op));
     let d = env.dialect;
     match op {
         BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul => arith(env, op, l, r),
@@ -336,7 +425,7 @@ pub fn eval_binary(
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
-            Ok(Value::Text(format!("{}{}", text_of(&l), text_of(&r))))
+            Ok(Value::text(format!("{}{}", text_of(&l), text_of(&r))))
         }
         BinaryOp::Eq
         | BinaryOp::NotEq
@@ -379,6 +468,35 @@ pub fn eval_binary(
             }
             Ok(Value::Boolean(regex_lite_match(&text_of(&l), &text_of(&r))))
         }
+    }
+}
+
+/// The coverage point for a binary operator — same spelling as the old
+/// `format!("op:{}", op.sql())`, but a static key: this is recorded per
+/// operator evaluation, i.e. per row, so it must not allocate.
+pub(crate) fn op_cov_key(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Add => "op:+",
+        BinaryOp::Sub => "op:-",
+        BinaryOp::Mul => "op:*",
+        BinaryOp::Div => "op:/",
+        BinaryOp::IntDiv => "op:DIV",
+        BinaryOp::Mod => "op:%",
+        BinaryOp::Concat => "op:||",
+        BinaryOp::Eq => "op:=",
+        BinaryOp::NotEq => "op:<>",
+        BinaryOp::Lt => "op:<",
+        BinaryOp::Gt => "op:>",
+        BinaryOp::LtEq => "op:<=",
+        BinaryOp::GtEq => "op:>=",
+        BinaryOp::And => "op:AND",
+        BinaryOp::Or => "op:OR",
+        BinaryOp::BitAnd => "op:&",
+        BinaryOp::BitOr => "op:|",
+        BinaryOp::BitXor => "op:#",
+        BinaryOp::ShiftLeft => "op:<<",
+        BinaryOp::ShiftRight => "op:>>",
+        BinaryOp::RegexMatch => "op:~",
     }
 }
 
@@ -474,7 +592,7 @@ pub fn sql_compare_ord(
         (Value::Text(a), Value::Text(b)) => {
             // MySQL's default collation is case-insensitive.
             if dialect == EngineDialect::Mysql {
-                Ok(Some(a.to_lowercase().cmp(&b.to_lowercase())))
+                Ok(Some(ci_text_cmp(a, b)))
             } else {
                 Ok(Some(a.cmp(b)))
             }
@@ -494,6 +612,21 @@ pub fn sql_compare_ord(
             l.sqlite_type_name(),
             r.sqlite_type_name()
         ))),
+    }
+}
+
+/// Case-insensitive text comparison (MySQL's default collation) without
+/// per-row `to_lowercase` allocations: ASCII strings — the overwhelmingly
+/// common case in the suites — compare byte-wise through
+/// `to_ascii_lowercase`, which is exactly the order the old
+/// `a.to_lowercase().cmp(&b.to_lowercase())` produced for them (UTF-8 is
+/// order-preserving). Non-ASCII input falls back to the allocating path so
+/// Unicode special-casing stays bit-for-bit identical.
+pub(crate) fn ci_text_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    if a.is_ascii() && b.is_ascii() {
+        a.bytes().map(|c| c.to_ascii_lowercase()).cmp(b.bytes().map(|c| c.to_ascii_lowercase()))
+    } else {
+        a.to_lowercase().cmp(&b.to_lowercase())
     }
 }
 
@@ -738,20 +871,20 @@ pub fn cast_value(
                 if s.chars().count() as i64 > *n {
                     return match dialect {
                         EngineDialect::Mysql => {
-                            Ok(Value::Text(s.chars().take(*n as usize).collect()))
+                            Ok(Value::text(s.chars().take(*n as usize).collect::<String>()))
                         }
-                        EngineDialect::Sqlite => Ok(Value::Text(s)),
+                        EngineDialect::Sqlite => Ok(Value::text(s)),
                         _ => Err(EngineError::conversion(format!(
                             "value too long for type character varying({n})"
                         ))),
                     };
                 }
             }
-            Ok(Value::Text(s))
+            Ok(Value::text(s))
         }
         DataType::Blob => match v {
             Value::Blob(_) => Ok(v),
-            Value::Text(s) => Ok(Value::Blob(s.into_bytes())),
+            Value::Text(s) => Ok(Value::Blob(s.as_bytes().to_vec())),
             other => Ok(Value::Blob(render_plain(&other).into_bytes())),
         },
         DataType::Boolean => match &v {
@@ -820,7 +953,7 @@ fn unify_array(dialect: EngineDialect, vals: Vec<Value>) -> Result<Value, Engine
                 vals.into_iter()
                     .map(|v| match v {
                         Value::Text(_) | Value::Null => v,
-                        other => Value::Text(render_plain(&other)),
+                        other => Value::text(render_plain(&other)),
                     })
                     .collect(),
             ))
@@ -830,13 +963,14 @@ fn unify_array(dialect: EngineDialect, vals: Vec<Value>) -> Result<Value, Engine
 
 /// Compute an aggregate over the rows of a group.
 pub fn compute_aggregate(
-    env: &QueryEnv<'_>,
+    outer_ctx: &EvalCtx<'_>,
     name: &str,
     args: &[Expr],
     distinct: bool,
     star: bool,
     agg: &AggCtx<'_>,
 ) -> Result<Value, EngineError> {
+    let env = outer_ctx.env;
     env.cov_line(format!("agg:{name}"));
     if star {
         if name != "count" {
@@ -847,25 +981,41 @@ pub fn compute_aggregate(
     let arg = args
         .first()
         .ok_or_else(|| EngineError::syntax(format!("aggregate {name}() requires an argument")))?;
-    // Evaluate the argument per row of the group.
+    // Evaluate the argument per row of the group. The member-row scopes
+    // have the same layout as the caller's group scope (same cols, same
+    // outer chain), so the caller's binder carries over.
     let mut vals = Vec::with_capacity(agg.rows.len());
-    for row in agg.rows {
+    for &row in agg.rows {
         env.tick(1)?;
         let scope = Scope { cols: agg.cols, row, parent: agg.outer };
-        let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+        let ctx = EvalCtx { env, scope: Some(&scope), agg: None, binder: outer_ctx.binder };
         let v = eval(arg, &ctx)?;
         if !v.is_null() {
             vals.push(v);
         }
     }
     if distinct {
-        let mut unique: Vec<Value> = Vec::new();
-        for v in vals {
-            if !unique.iter().any(|u| u.sql_grouping_eq(&v)) {
-                unique.push(v);
+        // Hash-dedupe when every value has a grouping key; hash-unsafe
+        // values (and the naive oracle) keep the linear scan.
+        let hash_keys = (env.strategy == crate::env::ExecStrategy::Hash)
+            .then(|| vals.iter().map(Value::try_group_key).collect::<Option<Vec<_>>>())
+            .flatten();
+        match hash_keys {
+            Some(keys) => {
+                let mut seen = std::collections::HashSet::with_capacity(vals.len());
+                let mut keys = keys.into_iter();
+                vals.retain(|_| seen.insert(keys.next().expect("one key per value")));
+            }
+            None => {
+                let mut unique: Vec<Value> = Vec::new();
+                for v in vals {
+                    if !unique.iter().any(|u| u.sql_grouping_eq(&v)) {
+                        unique.push(v);
+                    }
+                }
+                vals = unique;
             }
         }
-        vals = unique;
     }
     match name {
         "count" => Ok(Value::Integer(vals.len() as i64)),
@@ -943,7 +1093,10 @@ pub fn compute_aggregate(
             let q = args
                 .get(1)
                 .map(|e| {
-                    let ctx = EvalCtx { env, scope: agg.outer.map(|s| s as _), agg: None };
+                    // Evaluated against the *outer* scope — a different
+                    // layout than the group scope, so no shared binder.
+                    let ctx =
+                        EvalCtx { env, scope: agg.outer.map(|s| s as _), agg: None, binder: None };
                     eval(e, &ctx).map(|v| v.as_f64().unwrap_or(0.5))
                 })
                 .transpose()?
@@ -961,7 +1114,7 @@ pub fn compute_aggregate(
                 return Ok(Value::Null);
             }
             let sep = ",";
-            Ok(Value::Text(vals.iter().map(render_plain).collect::<Vec<_>>().join(sep)))
+            Ok(Value::text(vals.iter().map(render_plain).collect::<Vec<_>>().join(sep)))
         }
         _ => Err(unknown_function_error(env.dialect, name)),
     }
@@ -981,26 +1134,76 @@ pub fn unknown_function_error(dialect: EngineDialect, name: &str) -> EngineError
     EngineError::new(ErrorKind::UnknownFunction, msg)
 }
 
-/// Minimal LIKE matcher: `%` any-run, `_` any-char.
-pub fn like_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
-    let (t, p): (Vec<char>, Vec<char>) = if case_insensitive {
-        (text.to_lowercase().chars().collect(), pattern.to_lowercase().chars().collect())
-    } else {
-        (text.chars().collect(), pattern.chars().collect())
-    };
-    like_rec(&t, &p)
+/// A LIKE pattern compiled to a token list: `%` any-run, `_` any-char,
+/// everything else a literal. Compiling once per scan loop replaces the
+/// old per-row `to_lowercase` + `Vec<char>` collection of *both* operands.
+pub struct LikePattern {
+    toks: Vec<LikeTok>,
+    case_insensitive: bool,
 }
 
-fn like_rec(t: &[char], p: &[char]) -> bool {
+enum LikeTok {
+    AnyRun,
+    AnyChar,
+    Lit(char),
+}
+
+impl LikePattern {
+    /// Compile a pattern (lowercased here, once, when case-insensitive).
+    pub fn compile(pattern: &str, case_insensitive: bool) -> LikePattern {
+        let src: Cow<'_, str> =
+            if case_insensitive { Cow::Owned(pattern.to_lowercase()) } else { pattern.into() };
+        let toks = src
+            .chars()
+            .map(|c| match c {
+                '%' => LikeTok::AnyRun,
+                '_' => LikeTok::AnyChar,
+                c => LikeTok::Lit(c),
+            })
+            .collect();
+        LikePattern { toks, case_insensitive }
+    }
+
+    /// Match a text against the compiled pattern.
+    pub fn matches(&self, text: &str) -> bool {
+        if self.case_insensitive {
+            like_toks(&text.to_lowercase(), &self.toks)
+        } else {
+            like_toks(text, &self.toks)
+        }
+    }
+}
+
+/// Minimal LIKE matcher: `%` any-run, `_` any-char.
+pub fn like_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
+    LikePattern::compile(pattern, case_insensitive).matches(text)
+}
+
+fn like_toks(t: &str, p: &[LikeTok]) -> bool {
     match p.first() {
         None => t.is_empty(),
-        Some('%') => {
-            // Collapse consecutive %.
+        Some(LikeTok::AnyRun) => {
+            // Try every suffix of `t` at a char boundary (incl. empty).
             let rest = &p[1..];
-            (0..=t.len()).any(|i| like_rec(&t[i..], rest))
+            let mut at = 0usize;
+            loop {
+                if like_toks(&t[at..], rest) {
+                    return true;
+                }
+                match t[at..].chars().next() {
+                    Some(c) => at += c.len_utf8(),
+                    None => return false,
+                }
+            }
         }
-        Some('_') => !t.is_empty() && like_rec(&t[1..], &p[1..]),
-        Some(c) => t.first() == Some(c) && like_rec(&t[1..], &p[1..]),
+        Some(LikeTok::AnyChar) => {
+            let mut cs = t.chars();
+            cs.next().is_some() && like_toks(cs.as_str(), &p[1..])
+        }
+        Some(LikeTok::Lit(c)) => {
+            let mut cs = t.chars();
+            cs.next() == Some(*c) && like_toks(cs.as_str(), &p[1..])
+        }
     }
 }
 
@@ -1020,9 +1223,9 @@ fn regex_lite_match(text: &str, pattern: &str) -> bool {
     like_match(text, &like, false)
 }
 
-fn text_of(v: &Value) -> String {
+fn text_of(v: &Value) -> Cow<'_, str> {
     match v {
-        Value::Text(s) => s.clone(),
-        other => render_plain(other),
+        Value::Text(s) => Cow::Borrowed(&**s),
+        other => Cow::Owned(render_plain(other)),
     }
 }

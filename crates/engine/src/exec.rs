@@ -2,15 +2,17 @@
 //! ordering, CTEs (including recursive ones with the paper's fault hooks).
 
 use crate::dialect::EngineDialect;
-use crate::env::{ColBinding, QueryEnv, Relation, Scope};
+use crate::env::{ColBinding, ExecStrategy, QueryEnv, Relation, Scope};
 use crate::error::{EngineError, ErrorKind};
-use crate::eval::{eval, AggCtx, EvalCtx};
+use crate::eval::{eval, AggCtx, Binder, EvalCtx};
 use crate::faults::FaultId;
 use crate::functions::is_aggregate;
-use crate::value::Value;
+use crate::value::{comparison_f64_bits, try_row_group_key, GroupKey, Value};
 use squality_sqlast::ast::{
-    Cte, Expr, JoinKind, OrderItem, SelectCore, SelectItem, SelectStmt, SetExpr, SetOp, TableRef,
+    BinaryOp, Cte, Expr, JoinKind, OrderItem, SelectCore, SelectItem, SelectStmt, SetExpr, SetOp,
+    TableRef,
 };
+use std::collections::{HashMap, HashSet};
 
 /// Execute a full query in the given environment, with an optional outer
 /// scope for correlated subqueries.
@@ -40,7 +42,10 @@ fn run_body_ordered(
     env: &QueryEnv<'_>,
     outer: Option<&Scope<'_>>,
 ) -> Result<Relation, EngineError> {
-    let (mut rel, order_source) = run_set_expr(&q.body, env, outer)?;
+    // The extended order-source relation is only materialized when an
+    // ORDER BY can actually reference it — otherwise every projected row
+    // would be deep-copied a second time for nothing.
+    let (mut rel, order_source) = run_set_expr(&q.body, env, outer, !q.order_by.is_empty())?;
 
     if !q.order_by.is_empty() {
         sort_relation(&mut rel, order_source.as_ref(), &q.order_by, env, outer)?;
@@ -70,7 +75,7 @@ fn eval_const_int(
     env: &QueryEnv<'_>,
     outer: Option<&Scope<'_>>,
 ) -> Result<i64, EngineError> {
-    let ctx = EvalCtx { env, scope: outer, agg: None };
+    let ctx = EvalCtx { env, scope: outer, agg: None, binder: None };
     let v = eval(e, &ctx)?;
     v.as_i64().ok_or_else(|| EngineError::syntax("LIMIT/OFFSET must be an integer"))
 }
@@ -78,14 +83,16 @@ fn eval_const_int(
 /// Evaluate a set-expression body. The second return value, when present,
 /// is an "extended" relation (source columns + projection columns) whose
 /// rows align 1:1 with the primary relation — it lets ORDER BY reference
-/// un-projected source columns.
+/// un-projected source columns. It is built only when `want_order_source`
+/// is set (i.e. an ORDER BY exists to consume it).
 fn run_set_expr(
     body: &SetExpr,
     env: &QueryEnv<'_>,
     outer: Option<&Scope<'_>>,
+    want_order_source: bool,
 ) -> Result<(Relation, Option<Relation>), EngineError> {
     match body {
-        SetExpr::Select(core) => run_select_core(core, env, outer),
+        SetExpr::Select(core) => run_select_core(core, env, outer, want_order_source),
         SetExpr::Values(rows) => {
             env.cov_line("stmt:VALUES");
             let mut out = Relation::default();
@@ -98,7 +105,7 @@ fn run_set_expr(
                         "all VALUES rows must have the same number of terms",
                     ));
                 }
-                let ctx = EvalCtx { env, scope: outer, agg: None };
+                let ctx = EvalCtx { env, scope: outer, agg: None, binder: None };
                 let mut row = Vec::with_capacity(width);
                 for e in row_exprs {
                     row.push(eval(e, &ctx)?);
@@ -109,14 +116,14 @@ fn run_set_expr(
         }
         SetExpr::Query(q) => Ok((run_query(q, env, outer)?, None)),
         SetExpr::SetOp { op, all, left, right } => {
-            let (l, _) = run_set_expr(left, env, outer)?;
-            let (r, _) = run_set_expr(right, env, outer)?;
+            let (l, _) = run_set_expr(left, env, outer, false)?;
+            let (r, _) = run_set_expr(right, env, outer, false)?;
             if l.cols.len() != r.cols.len() {
                 return Err(EngineError::syntax(
                     "SELECTs to the left and right of a set operation do not have the same number of result columns",
                 ));
             }
-            env.cov_branch(format!("setop:{op:?}:{}", if *all { "all" } else { "distinct" }));
+            env.cov_branch(setop_cov_key(*op, *all));
             let mut out = Relation::with_cols(l.cols.clone());
             match (op, all) {
                 (SetOp::Union, true) => {
@@ -126,31 +133,54 @@ fn run_set_expr(
                 (SetOp::Union, false) => {
                     out.rows = l.rows;
                     out.rows.extend(r.rows);
-                    dedupe_rows(&mut out.rows);
+                    dedupe_rows(env, &mut out.rows);
                 }
-                (SetOp::Intersect, _) => {
+                (SetOp::Intersect, _) | (SetOp::Except, _) => {
+                    // Keep the left rows that are (INTERSECT) / are not
+                    // (EXCEPT) members of the right side. Membership uses
+                    // grouping equality, so the hash path probes a set of
+                    // grouping keys; left-to-right output order and the
+                    // one-tick-per-left-row step cost match the scan. Any
+                    // hash-unsafe cell (no grouping key) drops the whole
+                    // operation back onto the scan.
+                    let keep_if_member = *op == SetOp::Intersect;
+                    let hashed = if env.strategy == ExecStrategy::Hash {
+                        r.rows
+                            .iter()
+                            .map(|row| try_row_group_key(row))
+                            .collect::<Option<HashSet<Vec<GroupKey>>>>()
+                            .and_then(|right_keys| {
+                                l.rows
+                                    .iter()
+                                    .map(|row| try_row_group_key(row))
+                                    .collect::<Option<Vec<_>>>()
+                                    .map(|left_keys| (right_keys, left_keys))
+                            })
+                    } else {
+                        None
+                    };
                     let mut rows = Vec::new();
-                    for row in &l.rows {
-                        env.tick(1)?;
-                        if r.rows.iter().any(|other| rows_eq(row, other)) {
-                            rows.push(row.clone());
+                    match hashed {
+                        Some((right_keys, left_keys)) => {
+                            for (row, key) in l.rows.into_iter().zip(left_keys) {
+                                env.tick(1)?;
+                                if right_keys.contains(&key) == keep_if_member {
+                                    rows.push(row);
+                                }
+                            }
+                        }
+                        None => {
+                            for row in &l.rows {
+                                env.tick(1)?;
+                                let member = r.rows.iter().any(|other| rows_eq(row, other));
+                                if member == keep_if_member {
+                                    rows.push(row.clone());
+                                }
+                            }
                         }
                     }
                     if !*all {
-                        dedupe_rows(&mut rows);
-                    }
-                    out.rows = rows;
-                }
-                (SetOp::Except, _) => {
-                    let mut rows = Vec::new();
-                    for row in &l.rows {
-                        env.tick(1)?;
-                        if !r.rows.iter().any(|other| rows_eq(row, other)) {
-                            rows.push(row.clone());
-                        }
-                    }
-                    if !*all {
-                        dedupe_rows(&mut rows);
+                        dedupe_rows(env, &mut rows);
                     }
                     out.rows = rows;
                 }
@@ -160,11 +190,36 @@ fn run_set_expr(
     }
 }
 
+fn setop_cov_key(op: SetOp, all: bool) -> &'static str {
+    match (op, all) {
+        (SetOp::Union, true) => "setop:Union:all",
+        (SetOp::Union, false) => "setop:Union:distinct",
+        (SetOp::Intersect, true) => "setop:Intersect:all",
+        (SetOp::Intersect, false) => "setop:Intersect:distinct",
+        (SetOp::Except, true) => "setop:Except:all",
+        (SetOp::Except, false) => "setop:Except:distinct",
+    }
+}
+
 fn rows_eq(a: &[Value], b: &[Value]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.sql_grouping_eq(y))
 }
 
-fn dedupe_rows(rows: &mut Vec<Vec<Value>>) {
+/// Drop duplicate rows under grouping equality, keeping first occurrences
+/// in order. The hash path and the retained linear-scan oracle produce
+/// identical output (insertion-ordered in both); hash-unsafe cells fall
+/// back to the scan.
+fn dedupe_rows(env: &QueryEnv<'_>, rows: &mut Vec<Vec<Value>>) {
+    if env.strategy == ExecStrategy::Hash {
+        if let Some(keys) =
+            rows.iter().map(|row| try_row_group_key(row)).collect::<Option<Vec<_>>>()
+        {
+            let mut seen: HashSet<Vec<GroupKey>> = HashSet::with_capacity(rows.len());
+            let mut keys = keys.into_iter();
+            rows.retain(|_| seen.insert(keys.next().expect("one key per row")));
+            return;
+        }
+    }
     let mut seen: Vec<Vec<Value>> = Vec::new();
     rows.retain(|row| {
         if seen.iter().any(|s| rows_eq(s, row)) {
@@ -180,6 +235,7 @@ fn run_select_core(
     core: &SelectCore,
     env: &QueryEnv<'_>,
     outer: Option<&Scope<'_>>,
+    want_order_source: bool,
 ) -> Result<(Relation, Option<Relation>), EngineError> {
     env.cov_line("stmt:SELECT");
     validate_functions(core, env)?;
@@ -208,26 +264,29 @@ fn run_select_core(
         source = cross_product(env, source, rel)?;
     }
 
-    // WHERE.
+    // WHERE. Rows move (not clone) from the source into the filtered set;
+    // one binder serves every per-row evaluation of the predicate.
+    let source_rows = std::mem::take(&mut source.rows);
     let filtered_rows = match &core.where_clause {
         Some(pred) => {
-            let mut kept = Vec::new();
-            for row in &source.rows {
+            let binder = Binder::new();
+            let mut kept = Vec::with_capacity(source_rows.len());
+            for row in source_rows {
                 env.tick(1)?;
-                let scope = Scope { cols: &source.cols, row, parent: outer };
-                let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+                let scope = Scope { cols: &source.cols, row: &row, parent: outer };
+                let ctx = EvalCtx { env, scope: Some(&scope), agg: None, binder: Some(&binder) };
                 let v = eval(pred, &ctx)?;
                 let t = crate::value::truthiness(&v);
                 if t == crate::value::Truth::True {
                     env.cov_branch("where:true");
-                    kept.push(row.clone());
+                    kept.push(row);
                 } else {
                     env.cov_branch("where:false");
                 }
             }
             kept
         }
-        None => source.rows.clone(),
+        None => source_rows,
     };
 
     let has_aggregates =
@@ -245,27 +304,31 @@ fn run_select_core(
         // Plain projection.
         let cols = projection_bindings(&core.projection, &source.cols)?;
         out = Relation::with_cols(cols);
-        let mut extended = Relation::with_cols(
-            source.cols.iter().cloned().chain(out.cols.iter().cloned()).collect(),
-        );
+        let want_extended = want_order_source && !core.distinct;
+        let mut extended = want_extended.then(|| {
+            Relation::with_cols(
+                source.cols.iter().cloned().chain(out.cols.iter().cloned()).collect(),
+            )
+        });
+        let binder = Binder::new();
         for row in &filtered_rows {
             env.tick(1)?;
             let scope = Scope { cols: &source.cols, row, parent: outer };
-            let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+            let ctx = EvalCtx { env, scope: Some(&scope), agg: None, binder: Some(&binder) };
             let projected = project_row(&core.projection, &source.cols, row, &ctx)?;
-            let mut ext = row.clone();
-            ext.extend(projected.iter().cloned());
-            extended.rows.push(ext);
+            if let Some(extended) = &mut extended {
+                let mut ext = row.clone();
+                ext.extend(projected.iter().cloned());
+                extended.rows.push(ext);
+            }
             out.rows.push(projected);
         }
-        if !core.distinct {
-            order_source = Some(extended);
-        }
+        order_source = extended;
     }
 
     if core.distinct {
         env.cov_branch("select:distinct");
-        dedupe_rows(&mut out.rows);
+        dedupe_rows(env, &mut out.rows);
     }
 
     Ok((out, order_source))
@@ -279,23 +342,60 @@ fn run_grouped(
     rows: &[Vec<Value>],
 ) -> Result<Relation, EngineError> {
     env.cov_branch("select:grouped");
-    // Compute group keys.
-    let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
+    // One binder serves key evaluation, HAVING, and the projection: all of
+    // them evaluate against scopes with the same layout (source columns,
+    // same outer chain).
+    let binder = Binder::new();
+
+    // Compute groups as (key values, member row indices): members borrow
+    // the filtered rows instead of deep-copying them. Keys are evaluated
+    // for every row first (same tick sequence as the scan, which never
+    // ticked while grouping), then grouped — hashed when every key is
+    // hash-safe, by linear scan otherwise. Both fill groups in first-seen
+    // order, so output order is identical.
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
     if core.group_by.is_empty() {
         // Implicit single group over all rows (even when empty).
-        groups.push((Vec::new(), rows.to_vec()));
+        groups.push((Vec::new(), (0..rows.len()).collect()));
     } else {
+        let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
         for row in rows {
             env.tick(1)?;
             let scope = Scope { cols, row, parent: outer };
-            let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+            let ctx = EvalCtx { env, scope: Some(&scope), agg: None, binder: Some(&binder) };
             let mut key = Vec::with_capacity(core.group_by.len());
             for g in &core.group_by {
                 key.push(eval(g, &ctx)?);
             }
-            match groups.iter_mut().find(|(k, _)| rows_eq(k, &key)) {
-                Some((_, members)) => members.push(row.clone()),
-                None => groups.push((key, vec![row.clone()])),
+            row_keys.push(key);
+        }
+        let hash_keys = if env.strategy == ExecStrategy::Hash {
+            row_keys.iter().map(|key| try_row_group_key(key)).collect::<Option<Vec<_>>>()
+        } else {
+            None
+        };
+        match hash_keys {
+            Some(hash_keys) => {
+                let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+                for (ri, (key, hkey)) in row_keys.into_iter().zip(hash_keys).enumerate() {
+                    match index.entry(hkey) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            groups[*e.get()].1.push(ri);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(groups.len());
+                            groups.push((key, vec![ri]));
+                        }
+                    }
+                }
+            }
+            None => {
+                for (ri, key) in row_keys.into_iter().enumerate() {
+                    match groups.iter_mut().find(|(k, _)| rows_eq(k, &key)) {
+                        Some((_, members)) => members.push(ri),
+                        None => groups.push((key, vec![ri])),
+                    }
+                }
             }
         }
     }
@@ -305,11 +405,14 @@ fn run_grouped(
 
     for (_, members) in &groups {
         env.tick(1)?;
-        let rep_row: Vec<Value> =
-            members.first().cloned().unwrap_or_else(|| vec![Value::Null; cols.len()]);
+        let member_rows: Vec<&[Value]> = members.iter().map(|&ri| rows[ri].as_slice()).collect();
+        let rep_row: Vec<Value> = member_rows
+            .first()
+            .map(|r| r.to_vec())
+            .unwrap_or_else(|| vec![Value::Null; cols.len()]);
         let scope = Scope { cols, row: &rep_row, parent: outer };
-        let agg = AggCtx { cols, rows: members, outer };
-        let ctx = EvalCtx { env, scope: Some(&scope), agg: Some(&agg) };
+        let agg = AggCtx { cols, rows: &member_rows, outer };
+        let ctx = EvalCtx { env, scope: Some(&scope), agg: Some(&agg), binder: Some(&binder) };
 
         if let Some(having) = &core.having {
             let v = eval(having, &ctx)?;
@@ -488,7 +591,7 @@ fn table_function(
     alias: Option<&str>,
     outer: Option<&Scope<'_>>,
 ) -> Result<Relation, EngineError> {
-    let ctx = EvalCtx { env, scope: outer, agg: None };
+    let ctx = EvalCtx { env, scope: outer, agg: None, binder: None };
     let lname = name.to_lowercase();
     env.cov_line(format!("tablefn:{lname}"));
     match lname.as_str() {
@@ -630,10 +733,20 @@ fn join(
     using: &[String],
     outer: Option<&Scope<'_>>,
 ) -> Result<Relation, EngineError> {
-    env.cov_branch(format!("join:{kind:?}"));
+    env.cov_branch(join_cov_key(kind));
     let mut cols = left.cols.clone();
     cols.extend(right.cols.clone());
 
+    // Equi-joins execute as build/probe hash joins when the plan proves
+    // the rewrite unobservable (see `plan_hash_join`); everything else —
+    // and the naive oracle strategy — takes the nested loop below.
+    if env.strategy == ExecStrategy::Hash {
+        if let Some(plan) = plan_hash_join(env, &left, &right, kind, on, using) {
+            return hash_join(env, &left, &right, cols, kind, &plan);
+        }
+    }
+
+    let on_binder = Binder::new();
     let match_pred = |lrow: &[Value], rrow: &[Value]| -> Result<bool, EngineError> {
         if !using.is_empty() {
             for u in using {
@@ -660,7 +773,7 @@ fn join(
                 let mut row = lrow.to_vec();
                 row.extend(rrow.iter().cloned());
                 let scope = Scope { cols: &cols, row: &row, parent: outer };
-                let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+                let ctx = EvalCtx { env, scope: Some(&scope), agg: None, binder: Some(&on_binder) };
                 let v = eval(pred, &ctx)?;
                 Ok(crate::value::truthiness(&v) == crate::value::Truth::True)
             }
@@ -710,6 +823,247 @@ fn join(
     Ok(Relation { cols, rows })
 }
 
+fn join_cov_key(kind: JoinKind) -> &'static str {
+    match kind {
+        JoinKind::Inner => "join:Inner",
+        JoinKind::Left => "join:Left",
+        JoinKind::Right => "join:Right",
+        JoinKind::Full => "join:Full",
+        JoinKind::Cross => "join:Cross",
+        JoinKind::AsOf => "join:AsOf",
+    }
+}
+
+/// A proven-safe hash-join execution plan for one join node.
+struct HashJoinPlan {
+    /// Equi-key column pairs: (index into left cols, index into right cols).
+    keys: Vec<(usize, usize)>,
+    /// Case-fold text keys (MySQL's case-insensitive comparison collation).
+    fold_text_case: bool,
+    /// Steps the nested loop would consume per (left, right) row pair —
+    /// replayed in O(1) per left row so the hang-budget behaviour of a
+    /// statement does not depend on the execution strategy.
+    pair_ticks: u64,
+    /// The nested loop would have evaluated an `=` expression per pair;
+    /// emit its (set-semantics) coverage point once if any pair exists.
+    covers_eq_op: bool,
+}
+
+/// Decide whether this join can run as a build/probe hash join *without
+/// any observable difference* from the nested loop. Returns `None` — fall
+/// back to the nested loop — unless all of the following hold:
+///
+/// * the join kind is INNER/LEFT/RIGHT/FULL (CROSS and AsOf keep their
+///   existing paths);
+/// * the predicate is `USING(col, ...)`, or `ON` is a single
+///   `column = column` conjunct with one side resolving (unambiguously)
+///   into each input — multi-conjunct `AND`s fall back because their
+///   short-circuit coverage and step accounting are data-dependent;
+/// * every key column is class-homogeneous across both inputs (all
+///   numeric, all text, or all blob, NULLs aside, NaN-free): mixed-class
+///   key pairs hit the dialect's text-vs-number coercion/error semantics,
+///   which only the row-at-a-time comparison reproduces.
+///
+/// Resolution failures (unknown/ambiguous columns) also fall back, so the
+/// nested loop raises exactly the error it always raised.
+fn plan_hash_join(
+    env: &QueryEnv<'_>,
+    left: &Relation,
+    right: &Relation,
+    kind: JoinKind,
+    on: Option<&Expr>,
+    using: &[String],
+) -> Option<HashJoinPlan> {
+    if !matches!(kind, JoinKind::Inner | JoinKind::Left | JoinKind::Right | JoinKind::Full) {
+        return None;
+    }
+    let mut plan = HashJoinPlan {
+        keys: Vec::new(),
+        fold_text_case: env.dialect == EngineDialect::Mysql,
+        pair_ticks: 1, // the nested loop's own tick per pair
+        covers_eq_op: false,
+    };
+    if !using.is_empty() {
+        for u in using {
+            let li = left.cols.iter().position(|c| c.name.eq_ignore_ascii_case(u))?;
+            let ri = right.cols.iter().position(|c| c.name.eq_ignore_ascii_case(u))?;
+            plan.keys.push((li, ri));
+        }
+    } else {
+        let Some(Expr::Binary { left: le, op: BinaryOp::Eq, right: re }) = on else {
+            return None;
+        };
+        let a = resolve_join_column(left, right, le)?;
+        let b = resolve_join_column(left, right, re)?;
+        let (li, ri) = match (a, b) {
+            (JoinSide::Left(li), JoinSide::Right(ri))
+            | (JoinSide::Right(ri), JoinSide::Left(li)) => (li, ri),
+            _ => return None, // both keys on one side: a filter, not a join key
+        };
+        plan.keys.push((li, ri));
+        // eval(Binary) + eval(Column) + eval(Column) = 3 ticks per pair.
+        plan.pair_ticks += 3;
+        plan.covers_eq_op = true;
+    }
+    for &(li, ri) in &plan.keys {
+        let lc = key_class(&left.rows, li)?;
+        let rc = key_class(&right.rows, ri)?;
+        match (lc, rc) {
+            (Some(a), Some(b)) if a != b => return None,
+            _ => {}
+        }
+    }
+    Some(plan)
+}
+
+/// Which input relation a column reference lands in.
+enum JoinSide {
+    Left(usize),
+    Right(usize),
+}
+
+/// Resolve an ON-clause operand the way the per-pair `Scope` would: it
+/// must be a plain column reference matching exactly one column of the
+/// concatenated layout (ambiguity or resolution through an outer scope
+/// falls back to the nested loop, preserving error/correlation semantics).
+fn resolve_join_column(left: &Relation, right: &Relation, e: &Expr) -> Option<JoinSide> {
+    let Expr::Column { table, name } = e else {
+        return None;
+    };
+    let mut found: Option<usize> = None;
+    for (i, c) in left.cols.iter().chain(right.cols.iter()).enumerate() {
+        if c.matches(table.as_deref(), name) {
+            if found.is_some() {
+                return None; // ambiguous (qualified refs can shadow too)
+            }
+            found = Some(i);
+        }
+    }
+    let i = found?;
+    Some(if i < left.cols.len() { JoinSide::Left(i) } else { JoinSide::Right(i - left.cols.len()) })
+}
+
+/// Storage class of a join-key column.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum KeyClass {
+    Num,
+    Text,
+    Blob,
+}
+
+/// Classify a key column: `Some(Some(class))` — uniform non-NULL class;
+/// `Some(None)` — empty or all NULL; `None` — unsafe to hash (mixed
+/// classes, nested values, or NaN).
+fn key_class(rows: &[Vec<Value>], idx: usize) -> Option<Option<KeyClass>> {
+    let mut class: Option<KeyClass> = None;
+    for row in rows {
+        let c = match &row[idx] {
+            Value::Null => continue,
+            Value::Integer(_) | Value::Boolean(_) => KeyClass::Num,
+            Value::Float(f) if !f.is_nan() => KeyClass::Num,
+            Value::Float(_) => return None,
+            Value::Text(_) => KeyClass::Text,
+            Value::Blob(_) => KeyClass::Blob,
+            Value::List(_) | Value::Struct(_) => return None,
+        };
+        match class {
+            None => class = Some(c),
+            Some(prev) if prev != c => return None,
+            Some(_) => {}
+        }
+    }
+    Some(class)
+}
+
+/// The comparison key of one join side's row, or `None` when any key
+/// column is NULL (NULL keys never satisfy an equality predicate, exactly
+/// as the three-valued comparison decides).
+///
+/// Join keys follow `sql_compare` — not grouping — semantics: *every*
+/// numeric pair (integer–integer included) compares as f64 there, so
+/// numerics key by comparison bit pattern. NaN and nested values never
+/// reach here (`key_class` rejects them at plan time).
+fn join_key(
+    row: &[Value],
+    key_cols: impl Iterator<Item = usize>,
+    fold_case: bool,
+) -> Option<Vec<GroupKey>> {
+    let mut key = Vec::new();
+    for idx in key_cols {
+        let k = match &row[idx] {
+            Value::Null => return None,
+            v @ (Value::Integer(_) | Value::Float(_) | Value::Boolean(_)) => {
+                GroupKey::Number(comparison_f64_bits(v.as_f64().expect("numeric")))
+            }
+            Value::Text(s) if fold_case => GroupKey::Text(s.to_lowercase().into()),
+            Value::Text(s) => GroupKey::Text(std::sync::Arc::clone(s)),
+            Value::Blob(b) => GroupKey::Blob(b.clone()),
+            Value::List(_) | Value::Struct(_) => return None, // plan-excluded
+        };
+        key.push(k);
+    }
+    Some(key)
+}
+
+/// Build/probe execution of a planned equi-join. Builds on the right
+/// input, probes left rows in order, and emits matches in right-row order
+/// per probe — the exact output order of the nested loop — while replaying
+/// the loop's step costs in O(1) per left row.
+fn hash_join(
+    env: &QueryEnv<'_>,
+    left: &Relation,
+    right: &Relation,
+    cols: Vec<ColBinding>,
+    kind: JoinKind,
+    plan: &HashJoinPlan,
+) -> Result<Relation, EngineError> {
+    if plan.covers_eq_op && !left.rows.is_empty() && !right.rows.is_empty() {
+        // The nested loop would have evaluated the `=` at least once.
+        env.cov_line(crate::eval::op_cov_key(BinaryOp::Eq));
+    }
+    let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+    for (ri, rrow) in right.rows.iter().enumerate() {
+        if let Some(key) = join_key(rrow, plan.keys.iter().map(|&(_, r)| r), plan.fold_text_case) {
+            table.entry(key).or_default().push(ri);
+        }
+    }
+
+    let per_left_ticks = plan.pair_ticks * right.rows.len() as u64;
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; right.rows.len()];
+    for lrow in &left.rows {
+        env.tick(per_left_ticks)?;
+        let mut matched = false;
+        if let Some(key) = join_key(lrow, plan.keys.iter().map(|&(l, _)| l), plan.fold_text_case) {
+            if let Some(ris) = table.get(&key) {
+                for &ri in ris {
+                    matched = true;
+                    right_matched[ri] = true;
+                    let mut row = lrow.clone();
+                    row.extend(right.rows[ri].iter().cloned());
+                    rows.push(row);
+                }
+            }
+        }
+        if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat_n(Value::Null, right.cols.len()));
+            rows.push(row);
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in right.rows.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut row: Vec<Value> =
+                    std::iter::repeat_n(Value::Null, left.cols.len()).collect();
+                row.extend(rrow.iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Ok(Relation { cols, rows })
+}
+
 // ---- ORDER BY --------------------------------------------------------------
 
 fn sort_relation(
@@ -731,13 +1085,15 @@ fn sort_relation(
         d => d.default_nulls_smallest(),
     };
 
-    // Precompute sort keys per row.
+    // Precompute sort keys per row, binding expression references once for
+    // the whole pass (every row evaluates against the same layout).
+    let binder = Binder::new();
     let mut keys: Vec<Vec<Value>> = Vec::with_capacity(rel.rows.len());
     for (idx, row) in rel.rows.iter().enumerate() {
         env.tick(1)?;
         let mut key_row = Vec::with_capacity(order_by.len());
         for item in order_by {
-            let v = order_key_value(item, rel, order_source, idx, row, env, outer)?;
+            let v = order_key_value(item, rel, order_source, idx, row, env, outer, &binder)?;
             key_row.push(v);
         }
         keys.push(key_row);
@@ -768,6 +1124,7 @@ fn sort_relation(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn order_key_value(
     item: &OrderItem,
     rel: &Relation,
@@ -776,6 +1133,7 @@ fn order_key_value(
     row: &[Value],
     env: &QueryEnv<'_>,
     outer: Option<&Scope<'_>>,
+    binder: &Binder,
 ) -> Result<Value, EngineError> {
     // Ordinal reference: ORDER BY 2.
     if let Expr::Literal(squality_sqlast::ast::Literal::Integer(n)) = &item.expr {
@@ -792,14 +1150,16 @@ fn order_key_value(
         }
     }
     // General expression against the extended source row when available.
+    // Exactly one of the two layouts below is used for a given sort pass,
+    // so the shared binder stays layout-consistent.
     if let Some(src) = order_source {
         let src_row = &src.rows[row_idx];
         let scope = Scope { cols: &src.cols, row: src_row, parent: outer };
-        let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+        let ctx = EvalCtx { env, scope: Some(&scope), agg: None, binder: Some(binder) };
         return eval(&item.expr, &ctx);
     }
     let scope = Scope { cols: &rel.cols, row, parent: outer };
-    let ctx = EvalCtx { env, scope: Some(&scope), agg: None };
+    let ctx = EvalCtx { env, scope: Some(&scope), agg: None, binder: Some(binder) };
     eval(&item.expr, &ctx)
 }
 
@@ -856,6 +1216,18 @@ fn materialize_cte(
     let mut result = finish_cte_columns(base, cte)?;
     let mut working = result.clone();
 
+    // UNION DISTINCT fixpoints keep a hash set of every accumulated row so
+    // each step is O(step) instead of O(result × step). The naive oracle
+    // keeps the original scan, and a hash-unsafe row (no grouping key)
+    // permanently degrades the set back to that scan. Both check a step's
+    // rows against the rows accumulated *before* the step (in-step
+    // duplicates survive, as ever).
+    let mut seen: Option<HashSet<Vec<GroupKey>>> = if !*all && env.strategy == ExecStrategy::Hash {
+        result.rows.iter().map(|r| try_row_group_key(r)).collect::<Option<HashSet<_>>>()
+    } else {
+        None
+    };
+
     loop {
         env.tick(working.rows.len() as u64 + 1)?;
         if working.rows.is_empty() {
@@ -869,12 +1241,35 @@ fn materialize_cte(
 
         let mut new_rows = Vec::new();
         for row in step.rows {
-            if *all || !result.rows.iter().any(|r| rows_eq(r, &row)) {
+            let fresh = if *all {
+                true
+            } else {
+                let probed =
+                    seen.as_ref().and_then(|s| try_row_group_key(&row).map(|k| !s.contains(&k)));
+                match probed {
+                    Some(fresh) => fresh,
+                    None => {
+                        seen = None; // unsafe row: scan from here on
+                        !result.rows.iter().any(|r| rows_eq(r, &row))
+                    }
+                }
+            };
+            if fresh {
                 new_rows.push(row);
             }
         }
         if new_rows.is_empty() {
             break;
+        }
+        if let Some(set) = &mut seen {
+            for row in &new_rows {
+                match try_row_group_key(row) {
+                    Some(k) => {
+                        set.insert(k);
+                    }
+                    None => unreachable!("unsafe rows cleared `seen` during admission"),
+                }
+            }
         }
         result.rows.extend(new_rows.iter().cloned());
         working = Relation { cols: result.cols.clone(), rows: new_rows };
@@ -894,7 +1289,7 @@ fn run_set_query(
     env: &QueryEnv<'_>,
     outer: Option<&Scope<'_>>,
 ) -> Result<Relation, EngineError> {
-    let (rel, _) = run_set_expr(body, env, outer)?;
+    let (rel, _) = run_set_expr(body, env, outer, false)?;
     Ok(rel)
 }
 

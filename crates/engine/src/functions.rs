@@ -230,9 +230,13 @@ pub fn call_scalar(
         "ltrim" => one_text(args, |s| s.trim_start().to_string())?,
         "rtrim" => one_text(args, |s| s.trim_end().to_string())?,
         "hex" => match args.first() {
-            Some(Value::Blob(b)) => Value::Text(b.iter().map(|x| format!("{x:02X}")).collect()),
-            Some(Value::Null) => Value::Text(String::new()),
-            Some(v) => Value::Text(render_plain(v).bytes().map(|x| format!("{x:02X}")).collect()),
+            Some(Value::Blob(b)) => {
+                Value::text(b.iter().map(|x| format!("{x:02X}")).collect::<String>())
+            }
+            Some(Value::Null) => Value::text(""),
+            Some(v) => {
+                Value::text(render_plain(v).bytes().map(|x| format!("{x:02X}")).collect::<String>())
+            }
             None => return Err(wrong_args("hex")),
         },
         "substr" | "substring" => {
@@ -253,7 +257,7 @@ pub fn call_scalar(
                     }
                     None => chars[from..].iter().collect(),
                 };
-                Value::Text(taken)
+                Value::text(taken)
             }
         }
         "replace" => {
@@ -263,7 +267,7 @@ pub fn call_scalar(
             if args.iter().any(Value::is_null) {
                 Value::Null
             } else {
-                Value::Text(text_of(&args[0]).replace(&text_of(&args[1]), &text_of(&args[2])))
+                Value::text(text_of(&args[0]).replace(&*text_of(&args[1]), &text_of(&args[2])))
             }
         }
         "instr" => {
@@ -275,7 +279,7 @@ pub fn call_scalar(
             } else {
                 let hay = text_of(&args[0]);
                 let needle = text_of(&args[1]);
-                Value::Integer(hay.find(&needle).map(|i| i as i64 + 1).unwrap_or(0))
+                Value::Integer(hay.find(&*needle).map(|i| i as i64 + 1).unwrap_or(0))
             }
         }
         "coalesce" => {
@@ -338,7 +342,7 @@ pub fn call_scalar(
             if d == EngineDialect::Mysql && args.iter().any(Value::is_null) {
                 Value::Null
             } else {
-                Value::Text(
+                Value::text(
                     args.iter()
                         .filter(|v| !v.is_null())
                         .map(render_plain)
@@ -377,10 +381,8 @@ pub fn call_scalar(
                 return Ok(None);
             }
             match args.first() {
-                Some(v) if d == EngineDialect::Sqlite => {
-                    Value::Text(v.sqlite_type_name().to_string())
-                }
-                Some(v) => Value::Text(duckdb_type_name(v).to_string()),
+                Some(v) if d == EngineDialect::Sqlite => Value::text(v.sqlite_type_name()),
+                Some(v) => Value::text(duckdb_type_name(v)),
                 None => return Err(wrong_args("typeof")),
             }
         }
@@ -390,11 +392,11 @@ pub fn call_scalar(
             // implementation reports its own type names.
             match d {
                 EngineDialect::Postgres => match args.first() {
-                    Some(v) => Value::Text(pg_type_name(v).to_string()),
+                    Some(v) => Value::text(pg_type_name(v)),
                     None => return Err(wrong_args("pg_typeof")),
                 },
                 EngineDialect::Duckdb => match args.first() {
-                    Some(v) => Value::Text(duckdb_type_name(v).to_string()),
+                    Some(v) => Value::text(duckdb_type_name(v)),
                     None => return Err(wrong_args("pg_typeof")),
                 },
                 _ => return Ok(None),
@@ -476,7 +478,7 @@ pub fn call_scalar(
                 return Ok(None);
             }
             match args.first() {
-                Some(v) => Value::Text(to_json(v)),
+                Some(v) => Value::text(to_json(v)),
                 None => return Err(wrong_args("to_json")),
             }
         }
@@ -486,7 +488,7 @@ pub fn call_scalar(
             }
             match args.first() {
                 Some(Value::Null) => Value::Null,
-                Some(v) => Value::Text(format!("'{}'", render_plain(v).replace('\'', "''"))),
+                Some(v) => Value::text(format!("'{}'", render_plain(v).replace('\'', "''"))),
                 None => return Err(wrong_args("quote_literal")),
             }
         }
@@ -597,7 +599,7 @@ fn wrong_args(name: &str) -> EngineError {
 fn one_text(args: &[Value], f: impl Fn(&str) -> String) -> Result<Value, EngineError> {
     match args.first() {
         Some(Value::Null) => Ok(Value::Null),
-        Some(v) => Ok(Value::Text(f(&text_of(v)))),
+        Some(v) => Ok(Value::text(f(&text_of(v)))),
         None => Err(wrong_args("text function")),
     }
 }
@@ -653,7 +655,7 @@ pub fn render_plain(v: &Value) -> String {
                 format!("{}", f)
             }
         }
-        Value::Text(s) => s.clone(),
+        Value::Text(s) => s.to_string(),
         Value::Blob(b) => b.iter().map(|x| format!("{x:02X}")).collect(),
         Value::Boolean(b) => if *b { "true" } else { "false" }.to_string(),
         Value::List(items) => {
@@ -668,10 +670,10 @@ pub fn render_plain(v: &Value) -> String {
     }
 }
 
-fn text_of(v: &Value) -> String {
+fn text_of(v: &Value) -> std::borrow::Cow<'_, str> {
     match v {
-        Value::Text(s) => s.clone(),
-        other => render_plain(other),
+        Value::Text(s) => std::borrow::Cow::Borrowed(&**s),
+        other => std::borrow::Cow::Owned(render_plain(other)),
     }
 }
 

@@ -52,7 +52,8 @@ pub use client::{render_value, ClientKind};
 pub use coverage::Coverage;
 pub use dialect::EngineDialect;
 pub use engine::{Engine, QueryResult, DEFAULT_STEP_BUDGET};
+pub use env::ExecStrategy;
 pub use error::{EngineError, ErrorKind};
 pub use faults::{FaultId, FaultProfile};
 pub use plan_cache::{PlanCache, PlanCacheStats};
-pub use value::Value;
+pub use value::{GroupKey, Value};

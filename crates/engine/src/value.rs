@@ -1,18 +1,25 @@
-//! Runtime values and their dialect-sensitive comparison semantics.
+//! Runtime values, their dialect-sensitive comparison semantics, and the
+//! hashable grouping normal form ([`GroupKey`]) that the hash-based
+//! execution paths key on.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// A runtime SQL value.
 ///
 /// `List` and `Struct` exist for DuckDB's nested types (and PostgreSQL
 /// arrays); the other engines reject them at the type level, which is
 /// exactly the paper's "Types" incompatibility class.
+///
+/// Text is reference-counted: rows are cloned on every scan, filter, join,
+/// and projection, so string payloads share one allocation instead of being
+/// deep-copied through the pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     Null,
     Integer(i64),
     Float(f64),
-    Text(String),
+    Text(Arc<str>),
     Blob(Vec<u8>),
     Boolean(bool),
     List(Vec<Value>),
@@ -20,6 +27,13 @@ pub enum Value {
 }
 
 impl Value {
+    /// Text value from anything string-like (the `Arc<str>` payload makes
+    /// `Value::Text(owned_string)` a type error at call sites; this keeps
+    /// them one call).
+    pub fn text(s: impl Into<Arc<str>>) -> Value {
+        Value::Text(s.into())
+    }
+
     /// SQL NULL test.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
@@ -129,6 +143,110 @@ impl Value {
     pub fn sql_grouping_eq(&self, other: &Value) -> bool {
         self.total_cmp(other, true) == Ordering::Equal
     }
+
+    /// The hashable grouping normal form of this value, or `None` when the
+    /// value is **hash-unsafe** — every hash-based execution path falls
+    /// back to the retained linear scan on `None`, so results stay
+    /// byte-identical to the naive oracle on all inputs.
+    ///
+    /// For `Some` values the contract is exact: two values map to the same
+    /// [`GroupKey`] **iff** [`Value::sql_grouping_eq`] holds.
+    ///
+    /// * NULL maps to a dedicated variant, so NULLs group together;
+    /// * integers and booleans key exactly (`total_cmp` compares
+    ///   integer-vs-integer with full 64-bit precision, so keys must too);
+    /// * floats that are whole numbers under 2⁵³ normalize to the integer
+    ///   they equal (`2.0` groups with `2`; `-0.0` with `0`); other finite
+    ///   floats and infinities key by bit pattern;
+    /// * text keys keep their bytes — `total_cmp` is case-sensitive for
+    ///   grouping on every dialect (MySQL's case-insensitive collation
+    ///   applies to comparison *predicates*, not to the grouping order);
+    /// * nested values recurse element-wise, mirroring the lexicographic
+    ///   walk of `total_cmp` (struct field names are ignored, as there).
+    ///
+    /// Hash-unsafe (`None`): NaN — `partial_cmp(..).unwrap_or(Equal)` ties
+    /// it with *every* number — and whole-number floats at or above 2⁵³,
+    /// which are f64-equal to more than one distinct integer. Both make
+    /// `sql_grouping_eq` non-transitive, so no hash key can represent
+    /// them; the scan's order-dependent merging is the defined behaviour.
+    pub fn try_group_key(&self) -> Option<GroupKey> {
+        Some(match self {
+            Value::Null => GroupKey::Null,
+            Value::Integer(i) => GroupKey::Int(*i),
+            Value::Boolean(b) => GroupKey::Int(if *b { 1 } else { 0 }),
+            Value::Float(f) => float_group_key(*f)?,
+            Value::Text(s) => GroupKey::Text(Arc::clone(s)),
+            Value::Blob(b) => GroupKey::Blob(b.clone()),
+            Value::List(items) => {
+                GroupKey::List(items.iter().map(Value::try_group_key).collect::<Option<Vec<_>>>()?)
+            }
+            Value::Struct(fields) => GroupKey::Struct(
+                fields.iter().map(|(_, v)| v.try_group_key()).collect::<Option<Vec<_>>>()?,
+            ),
+        })
+    }
+}
+
+/// Exact whole-number range of f64: every float below 2⁵³ in magnitude
+/// with a zero fraction equals exactly one i64.
+const F64_EXACT_INT_LIMIT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+fn float_group_key(f: f64) -> Option<GroupKey> {
+    if f.is_nan() {
+        return None;
+    }
+    if f.fract() == 0.0 && f.is_finite() {
+        if f.abs() < F64_EXACT_INT_LIMIT {
+            return Some(GroupKey::Int(f as i64));
+        }
+        return None; // equals more than one i64 — non-transitive zone
+    }
+    // Non-whole finite floats and ±infinity: distinct bits ⇔ distinct
+    // values (the only bitwise-unequal f64 pair comparing equal, -0.0 vs
+    // 0.0, is whole and handled above).
+    Some(GroupKey::Number(f.to_bits()))
+}
+
+/// Fold a float to the bit pattern SQL *comparison* equality (`=`, which
+/// coerces every numeric pair to f64 — unlike grouping's exact
+/// integer-vs-integer rule) treats as its identity: `-0.0` folds into
+/// `0.0`. Used for hash-join keys, whose semantics are `sql_compare`;
+/// NaN never reaches here (the join planner rejects NaN key columns).
+pub(crate) fn comparison_f64_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+/// Hashable normal form of a [`Value`] under grouping equality — the key
+/// type of every hash-based execution path (GROUP BY, DISTINCT, set
+/// operations, recursive-CTE dedup, and hash-join build/probe keys; the
+/// join paths key numerics through the comparison bit pattern instead of the
+/// grouping normalization, matching `=`'s all-pairs f64 coercion).
+///
+/// Variant identity encodes the storage-class rank `total_cmp` orders by,
+/// so cross-class values can never collide (`Int` and `Number` never
+/// coexist in one grouping table: whole numbers always normalize to
+/// `Int`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    Null,
+    /// Exact integer key (integers, booleans, and whole floats < 2⁵³).
+    Int(i64),
+    /// f64 bit pattern (non-whole floats, infinities, and join keys).
+    Number(u64),
+    Text(Arc<str>),
+    Blob(Vec<u8>),
+    List(Vec<GroupKey>),
+    Struct(Vec<GroupKey>),
+}
+
+/// The grouping normal form of a whole row, or `None` if any cell is
+/// hash-unsafe (callers fall back to the linear scan).
+pub fn try_row_group_key(row: &[Value]) -> Option<Vec<GroupKey>> {
+    row.iter().map(Value::try_group_key).collect()
 }
 
 /// Three-valued logic result of a SQL comparison.
@@ -316,6 +434,63 @@ mod tests {
         assert!(Value::Null.sql_grouping_eq(&Value::Null));
         assert!(!Value::Null.sql_grouping_eq(&Value::Integer(0)));
         assert!(Value::Integer(2).sql_grouping_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn group_key_agrees_with_grouping_eq() {
+        // Every hash-safe sample: key equality must equal sql_grouping_eq,
+        // including exact large integers beyond f64's 2^53 precision.
+        let samples = [
+            Value::Null,
+            Value::Integer(0),
+            Value::Integer(2),
+            Value::Integer(9_007_199_254_740_992), // 2^53
+            Value::Integer(9_007_199_254_740_993), // 2^53 + 1
+            Value::Float(2.0),
+            Value::Float(2.5),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Boolean(true),
+            Value::Boolean(false),
+            Value::text("a"),
+            Value::text("A"),
+            Value::Blob(vec![1, 2]),
+            Value::List(vec![Value::Null, Value::Integer(1)]),
+            Value::List(vec![Value::Null, Value::Float(1.0)]),
+            Value::Struct(vec![("x".into(), Value::Integer(3))]),
+            Value::Struct(vec![("y".into(), Value::Integer(3))]),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let (ka, kb) = (a.try_group_key().unwrap(), b.try_group_key().unwrap());
+                assert_eq!(
+                    ka == kb,
+                    a.sql_grouping_eq(b),
+                    "group_key/grouping_eq disagree on {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_unsafe_values_have_no_group_key() {
+        // NaN ties with every number under the scan's unwrap_or(Equal);
+        // whole floats ≥ 2^53 are f64-equal to several distinct integers.
+        // Both must force the hash paths back onto the linear scan.
+        assert_eq!(Value::Float(f64::NAN).try_group_key(), None);
+        assert_eq!(Value::Float(9_007_199_254_740_992.0).try_group_key(), None);
+        assert_eq!(Value::Float(-1e300).try_group_key(), None);
+        assert_eq!(
+            Value::List(vec![Value::Integer(1), Value::Float(f64::NAN)]).try_group_key(),
+            None
+        );
+        // ...while the values one ulp inside the exact range stay hashable.
+        assert_eq!(
+            Value::Float(9_007_199_254_740_991.0).try_group_key(),
+            Some(GroupKey::Int(9_007_199_254_740_991))
+        );
     }
 
     #[test]

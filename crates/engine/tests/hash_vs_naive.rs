@@ -1,0 +1,118 @@
+//! Differential property tests for the execution core: the hash-based
+//! paths (grouping, DISTINCT, set operations, equi-joins, DISTINCT
+//! aggregates) must be *observationally identical* — same rows, same
+//! order, same errors — to the retained naive linear-scan/nested-loop
+//! implementations, on every dialect.
+//!
+//! The oracle is selected per engine with
+//! [`Engine::set_exec_strategy`]`(ExecStrategy::Naive)`; both engines then
+//! replay one generated statement sequence result-for-result.
+
+use proptest::prelude::*;
+use squality_engine::{Engine, EngineDialect, ExecStrategy};
+
+/// SQL literals for table cells: small domains force key collisions
+/// (grouping merges, duplicate elimination, join fan-out), cross-type
+/// numeric ties (`2` vs `2.0`), case pairs (`'a'` vs `'A'`), and NULLs.
+/// Text-into-INTEGER inserts exercise SQLite's dynamic typing (mixed-class
+/// join keys → nested-loop fallback) and strict-engine insert errors
+/// (which both strategies must raise identically).
+fn cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("NULL".to_string()),
+        (-3i64..4).prop_map(|i| i.to_string()),
+        (0i64..3).prop_map(|i| format!("{i}.0")),
+        (-2i64..3).prop_map(|i| format!("{i}.5")),
+        "[aAbB]{1,2}".prop_map(|s| format!("'{s}'")),
+        // Integers beyond f64's 2^53 precision: grouping compares them
+        // exactly, so the hash keys must too (adjacent values collide as
+        // f64 but are distinct groups).
+        Just("9007199254740992".to_string()),
+        Just("9007199254740993".to_string()),
+    ]
+}
+
+/// The hot-path query shapes this PR rewired, plus fallback shapes
+/// (non-equi joins, mixed conjuncts) that must keep nested-loop behavior.
+const QUERIES: &[&str] = &[
+    "SELECT b, count(*), sum(a) FROM t GROUP BY b",
+    "SELECT a, b, count(*) FROM t GROUP BY a, b",
+    "SELECT b, min(a), max(a) FROM t GROUP BY b HAVING count(*) > 1",
+    "SELECT count(DISTINCT a), count(DISTINCT b) FROM t",
+    "SELECT DISTINCT a, b FROM t",
+    "SELECT DISTINCT b FROM t",
+    "SELECT a FROM t UNION SELECT a FROM u",
+    "SELECT a FROM t UNION ALL SELECT a FROM u",
+    "SELECT a, b FROM t INTERSECT SELECT a, b FROM u",
+    "SELECT a, b FROM t INTERSECT ALL SELECT a, b FROM u",
+    "SELECT a, b FROM t EXCEPT SELECT a, b FROM u",
+    "SELECT a, b FROM t EXCEPT ALL SELECT a, b FROM u",
+    "SELECT * FROM t INNER JOIN u ON t.a = u.a",
+    "SELECT * FROM t LEFT JOIN u ON t.a = u.a",
+    "SELECT * FROM t INNER JOIN u ON t.b = u.b",
+    "SELECT * FROM t LEFT JOIN u ON t.b = u.b",
+    "SELECT * FROM t JOIN u USING (a)",
+    "SELECT * FROM t JOIN u USING (a, b)",
+    "SELECT * FROM t JOIN u ON t.a < u.a",
+    "SELECT * FROM t JOIN u ON t.a = u.a AND t.b = u.b",
+    "SELECT t.b, count(*) FROM t JOIN u ON t.a = u.a GROUP BY t.b",
+    "SELECT DISTINCT t.a FROM t JOIN u ON t.a = u.a ORDER BY 1",
+    // NaN is hash-unsafe (it ties with every number under the scan's
+    // comparison): these must agree by falling back to the scan.
+    "SELECT DISTINCT a * (1e308 * 1e308 - 1e308 * 1e308) FROM t",
+    "SELECT count(*) FROM t GROUP BY a * (1e308 * 1e308 - 1e308 * 1e308)",
+];
+
+proptest! {
+    #[test]
+    fn hash_execution_matches_naive_oracle(
+        rows_t in prop::collection::vec((cell(), cell()), 0..25),
+        rows_u in prop::collection::vec((cell(), cell()), 0..25),
+    ) {
+        let mut stmts: Vec<String> = vec![
+            "CREATE TABLE t(a INTEGER, b TEXT)".into(),
+            "CREATE TABLE u(a INTEGER, b TEXT)".into(),
+        ];
+        for (a, b) in &rows_t {
+            stmts.push(format!("INSERT INTO t VALUES ({a}, {b})"));
+        }
+        for (a, b) in &rows_u {
+            stmts.push(format!("INSERT INTO u VALUES ({a}, {b})"));
+        }
+        stmts.extend(QUERIES.iter().map(|q| q.to_string()));
+
+        for dialect in EngineDialect::ALL {
+            let mut hashed = Engine::new(dialect);
+            let mut naive = Engine::new(dialect);
+            naive.set_exec_strategy(ExecStrategy::Naive);
+            for sql in &stmts {
+                // Compare rendered results: `Value`'s derived PartialEq has
+                // NaN != NaN, which is stricter than output identity.
+                let a = format!("{:?}", hashed.execute(sql));
+                let b = format!("{:?}", naive.execute(sql));
+                prop_assert!(
+                    a == b,
+                    "strategies diverge on {dialect}: {sql}\n  hash:  {a}\n  naive: {b}"
+                );
+            }
+        }
+    }
+
+    /// Recursive-CTE fixpoints use a seen-set in the hash strategy; both
+    /// strategies must agree on rows and iteration outcomes.
+    #[test]
+    fn recursive_cte_matches_naive_oracle(limit in 1i64..30) {
+        let sql = format!(
+            "WITH RECURSIVE cnt(x) AS (SELECT 1 UNION SELECT (x % {limit}) + 1 FROM cnt) \
+             SELECT count(*), min(x), max(x) FROM cnt"
+        );
+        for dialect in EngineDialect::ALL {
+            let mut hashed = Engine::new(dialect);
+            let mut naive = Engine::new(dialect);
+            naive.set_exec_strategy(ExecStrategy::Naive);
+            let a = hashed.execute(&sql);
+            let b = naive.execute(&sql);
+            prop_assert!(a == b, "recursive CTE diverges on {dialect}: {a:?} vs {b:?}");
+        }
+    }
+}

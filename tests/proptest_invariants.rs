@@ -324,7 +324,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<i64>().prop_map(Value::Integer),
         (-1e12..1e12f64).prop_map(Value::Float),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Text),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::text),
         any::<bool>().prop_map(Value::Boolean),
         prop::collection::vec(any::<u8>(), 0..8).prop_map(Value::Blob),
     ];
