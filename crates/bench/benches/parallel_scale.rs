@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use squality_bench::study_at_scale_with_workers;
-use squality_core::{run_suite_sharded, RunConfig};
+use squality_core::Harness;
 use squality_corpus::generate_suite_scaled;
 use squality_engine::{ClientKind, EngineDialect, PlanCache};
 use squality_formats::{parse_slt, SltFlavor, SuiteKind};
@@ -33,13 +33,16 @@ fn bench_cell_workers(c: &mut Criterion) {
     // One hot cell (the largest suite on a cross host) isolates scheduler
     // scaling from corpus generation, which bench_matrix_workers includes.
     let suite = generate_suite_scaled(SuiteKind::Slt, 0x5C0A11, 0.2);
-    let cfg = RunConfig::unified(EngineDialect::Duckdb);
     let mut g = c.benchmark_group("parallel_scale_cell");
     g.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
-        g.bench_function(format!("slt_on_duckdb_{workers}_workers"), |b| {
-            b.iter(|| run_suite_sharded(&suite, &cfg, workers, None))
-        });
+        let harness = Harness::builder()
+            .suite(&suite)
+            .host(EngineDialect::Duckdb)
+            .workers(workers)
+            .build()
+            .expect("suite set");
+        g.bench_function(format!("slt_on_duckdb_{workers}_workers"), |b| b.iter(|| harness.run()));
     }
     g.finish();
 }

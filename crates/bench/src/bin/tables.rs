@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! squality-tables [section...] [--scale F] [--seed N] [--workers W]
+//!                 [--events PATH] [--progress]
 //!                 [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]
 //! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
 //!           figure4 table6 table7 table8 translation bugs all (default: all)
@@ -11,17 +12,24 @@
 //! `--workers 0` (the default) shards suite execution over all cores; any
 //! worker count produces byte-identical tables.
 //!
+//! `--events PATH` streams every study cell's run events to a JSONL log
+//! (byte-identical at any worker count); `--progress` reports per-file
+//! progress live on stderr.
+//!
 //! `bench-engine` measures the execution-core hot paths (grouping,
 //! DISTINCT, equi-join, set-ops) under both executor strategies and writes
 //! before/after medians to `--bench-out` (default `BENCH_engine.json`).
 
-use squality_core::{run_study, Study, StudyConfig};
+use squality_core::{run_study_with_observers, Study, StudyConfig};
+use squality_runner::{JsonlObserver, ProgressObserver, RunObserver};
 
 fn main() {
     let mut sections: Vec<String> = Vec::new();
     let mut scale = squality_bench::REPORT_SCALE;
     let mut seed = 0x5C0A11u64;
     let mut workers = 0usize;
+    let mut events_path: Option<String> = None;
+    let mut progress = false;
     let mut bench_rows: Vec<usize> = vec![1_000, 10_000];
     let mut bench_samples = 7usize;
     let mut bench_out = "BENCH_engine.json".to_string();
@@ -29,6 +37,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--events" => {
+                events_path =
+                    Some(args.next().unwrap_or_else(|| usage("missing value for --events")));
+            }
+            "--progress" => progress = true,
             "--scale" => {
                 scale = args
                     .next()
@@ -91,7 +104,29 @@ fn main() {
         "generating corpora and running the study (seed={seed}, scale={scale}, workers={})...",
         if workers == 0 { "auto".to_string() } else { workers.to_string() }
     );
-    let study = run_study(StudyConfig { seed, scale, workers, translated_arm });
+    let jsonl = events_path.as_deref().map(|path| {
+        JsonlObserver::to_path(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create events log {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+    let progress_obs = progress.then(ProgressObserver::stderr);
+    let mut observers: Vec<&dyn RunObserver> = Vec::new();
+    if let Some(obs) = &jsonl {
+        observers.push(obs);
+    }
+    if let Some(obs) = &progress_obs {
+        observers.push(obs);
+    }
+    let config = StudyConfig::default()
+        .with_seed(seed)
+        .with_scale(scale)
+        .with_workers(workers)
+        .with_translated_arm(translated_arm);
+    let study = run_study_with_observers(config, &observers);
+    if let Some(path) = &events_path {
+        eprintln!("wrote run events to {path}");
+    }
     for section in &sections {
         print_section(&study, section);
     }
@@ -157,6 +192,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: squality-tables [section...] [--scale F] [--seed N] [--workers W]\n\
+         \x20                      [--events PATH] [--progress]\n\
          \x20                      [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]\n\
          sections: table1..table8, figure1..figure4, translation, bugs, all, bench-engine"
     );

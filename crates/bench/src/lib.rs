@@ -7,13 +7,15 @@ pub mod hot_paths;
 
 /// Build a study at the given scale (deterministic seed, all cores).
 pub fn study_at_scale(scale: f64) -> Study {
-    run_study(StudyConfig { seed: 0x5C0A11, scale, workers: 0, translated_arm: false })
+    study_at_scale_with_workers(scale, 0)
 }
 
 /// Build a study at the given scale with an explicit worker count (the
 /// `parallel_scale` bench sweeps this; results are identical either way).
 pub fn study_at_scale_with_workers(scale: f64, workers: usize) -> Study {
-    run_study(StudyConfig { seed: 0x5C0A11, scale, workers, translated_arm: false })
+    let config =
+        StudyConfig::default().with_scale(scale).with_workers(workers).with_translated_arm(false);
+    run_study(config)
 }
 
 /// The scale used by benches: small enough to iterate, large enough that

@@ -1,21 +1,32 @@
 //! The full empirical study: every experiment from the paper's evaluation,
 //! orchestrated over the generated corpora and the four engine simulators.
 
-use crate::transplant::{
-    run_suite_sharded, sample_failures, Incident, Provision, RunConfig, SuiteRunSummary,
-};
+use crate::harness::{Harness, HarnessBuilder, Run};
+use crate::transplant::{sample_failures, Incident, Provision, SuiteRunSummary};
 use squality_corpus::{donor_dialect, generate_suite_scaled, GeneratedSuite};
 use squality_engine::{ClientKind, Coverage, EngineDialect, PlanCache, PlanCacheStats};
 use squality_formats::SuiteKind;
 use squality_runner::{
     classify_dependency, classify_incompatibility, DependencyClass, IncompatibilityClass,
-    NumericMode, ReuseDifficulty,
+    ReuseDifficulty, RunObserver,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Study parameters.
+///
+/// `#[non_exhaustive]`: future knobs can land without breaking callers.
+/// Outside this crate, start from [`StudyConfig::default`] and chain the
+/// setters you need:
+///
+/// ```
+/// use squality_core::StudyConfig;
+///
+/// let config = StudyConfig::default().with_scale(0.05).with_workers(2);
+/// assert_eq!(config.workers, 2);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct StudyConfig {
     /// Corpus generation seed (the study is deterministic given it).
     pub seed: u64,
@@ -43,6 +54,32 @@ pub struct StudyConfig {
 impl Default for StudyConfig {
     fn default() -> Self {
         StudyConfig { seed: 0x5C0A11, scale: 1.0, workers: 0, translated_arm: true }
+    }
+}
+
+impl StudyConfig {
+    /// Replace the corpus-generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the corpus scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Replace the per-cell worker count (0 = all cores).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enable or disable the translated arm.
+    pub fn with_translated_arm(mut self, translated_arm: bool) -> Self {
+        self.translated_arm = translated_arm;
+        self
     }
 }
 
@@ -130,13 +167,45 @@ impl Study {
     }
 }
 
+/// A pre-configured [`HarnessBuilder`] for one study cell: the shared
+/// worker count, study-wide plan cache, and observer set applied.
+fn cell_builder<'a>(
+    gs: &'a GeneratedSuite,
+    workers: usize,
+    plan_cache: &Arc<PlanCache>,
+    observers: &[&'a dyn RunObserver],
+) -> HarnessBuilder<'a> {
+    let mut builder =
+        Harness::builder().suite(gs).workers(workers).plan_cache(Arc::clone(plan_cache));
+    for obs in observers {
+        builder = builder.observer(*obs);
+    }
+    builder
+}
+
 /// Run the full study.
 ///
-/// Every suite × host cell executes through the parallel scheduler
-/// ([`run_suite_sharded`]): `config.workers` connections per cell share one
-/// statement-plan cache, so a statement text parses once for the whole
-/// study no matter how many cells, files, or loop iterations replay it.
+/// Every suite × host cell executes through a [`Harness`]: the study is
+/// [`run_study_with_observers`] with no observers attached.
 pub fn run_study(config: StudyConfig) -> Study {
+    run_study_with_observers(config, &[])
+}
+
+/// Run the full study, streaming every cell's [`RunEvent`] stream — donor
+/// validation, both matrix arms, and the coverage runs, in their fixed
+/// execution order — to the given observers (e.g. a
+/// [`JsonlObserver`](squality_runner::JsonlObserver) for a
+/// machine-readable run log, a
+/// [`ProgressObserver`](squality_runner::ProgressObserver) for the CLI).
+///
+/// Every cell executes through the parallel scheduler: `config.workers`
+/// connections per cell share one statement-plan cache, so a statement
+/// text parses once for the whole study no matter how many cells, files,
+/// or loop iterations replay it. Observers never change results — the
+/// study is byte-identical with or without them, at any worker count.
+///
+/// [`RunEvent`]: squality_runner::RunEvent
+pub fn run_study_with_observers(config: StudyConfig, observers: &[&dyn RunObserver]) -> Study {
     // 1. Generate all four corpora (MySQL included for RQ1/Table 1-2).
     let suites: Vec<GeneratedSuite> = SuiteKind::ALL
         .iter()
@@ -155,19 +224,15 @@ pub fn run_study(config: StudyConfig) -> Study {
     let donor_runs: Vec<SuiteRunSummary> = executed
         .iter()
         .map(|gs| {
-            run_suite_sharded(
-                gs,
-                &RunConfig {
-                    host: donor_dialect(gs.suite),
-                    client: ClientKind::Connector,
-                    provision: Provision::Bare,
-                    numeric: NumericMode::Exact,
-                    translate: false,
-                },
-                workers,
-                Some(Arc::clone(&plan_cache)),
-            )
-            .0
+            cell_builder(gs, workers, &plan_cache, observers)
+                .label(format!("donor {} (bare)", gs.suite.donor_name()))
+                .host(donor_dialect(gs.suite))
+                .client(ClientKind::Connector)
+                .provision(Provision::Bare)
+                .build()
+                .expect("suite is always set")
+                .run()
+                .summary
         })
         .collect();
 
@@ -180,14 +245,14 @@ pub fn run_study(config: StudyConfig) -> Study {
         for gs in &executed {
             for host in EngineDialect::ALL {
                 let is_donor = host == donor_dialect(gs.suite);
-                let cfg = RunConfig {
-                    host,
-                    client: if is_donor { ClientKind::Cli } else { ClientKind::Connector },
-                    provision: if is_donor { Provision::Full } else { Provision::CrossHost },
-                    numeric: NumericMode::Exact,
-                    translate,
-                };
-                let summary = run_suite_sharded(gs, &cfg, workers, Some(Arc::clone(&plan_cache))).0;
+                let Run { summary, .. } = cell_builder(gs, workers, &plan_cache, observers)
+                    .host(host)
+                    .client(if is_donor { ClientKind::Cli } else { ClientKind::Connector })
+                    .provision(if is_donor { Provision::Full } else { Provision::CrossHost })
+                    .translate(translate)
+                    .build()
+                    .expect("suite is always set")
+                    .run();
                 cells.push(MatrixCell { suite: gs.suite, host, summary });
             }
         }
@@ -201,7 +266,7 @@ pub fn run_study(config: StudyConfig) -> Study {
     let translated_matrix = if config.translated_arm { run_arm(true) } else { Vec::new() };
 
     // 4. Coverage experiment (Table 8) on the three engines with own suites.
-    let coverage = coverage_experiment(&executed, workers, &plan_cache);
+    let coverage = coverage_experiment(&executed, workers, &plan_cache, observers);
 
     // 5. Collect crash/hang findings across all runs (§6).
     let mut bugs = Vec::new();
@@ -257,6 +322,7 @@ fn coverage_experiment(
     executed: &[&GeneratedSuite],
     workers: usize,
     plan_cache: &Arc<PlanCache>,
+    observers: &[&dyn RunObserver],
 ) -> Vec<CoverageRow> {
     let engines = [EngineDialect::Sqlite, EngineDialect::Duckdb, EngineDialect::Postgres];
     let mut rows = Vec::new();
@@ -267,15 +333,13 @@ fn coverage_experiment(
             } else {
                 Provision::CrossHost
             };
-            let cfg = RunConfig {
-                host: engine,
-                client: ClientKind::Connector,
-                provision,
-                numeric: NumericMode::Exact,
-                translate: false,
-            };
-            let (_, connectors) =
-                run_suite_sharded(gs, &cfg, workers, Some(Arc::clone(plan_cache)));
+            let Run { connectors, .. } = cell_builder(gs, workers, plan_cache, observers)
+                .label(format!("coverage {}@{}", gs.suite.donor_name(), engine.name()))
+                .host(engine)
+                .provision(provision)
+                .build()
+                .expect("suite is always set")
+                .run();
             for conn in &connectors {
                 cov.union_with(conn.engine().coverage());
             }

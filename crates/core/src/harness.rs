@@ -1,0 +1,487 @@
+//! The unified public entry point: a builder for suite × host runs.
+//!
+//! PRs 1–3 each widened the free-function surface (`run_suite_on`,
+//! `run_suite_sharded`, `run_suite_with_connector`) and its struct-literal
+//! configs, breaking callers every time a knob landed. [`Harness`]
+//! replaces that scatter with one builder — suite → host engine → client →
+//! faults → translation → workers → plan cache, all defaulted — whose
+//! [`Run`]s execute through the existing parallel scheduler and emit the
+//! typed [`RunEvent`] stream to any number of
+//! [`RunObserver`] sinks.
+//!
+//! The determinism contract carries over unchanged: summaries and the
+//! event multiset are byte-identical at every worker count (timing fields
+//! aside); see [`squality_runner::events`].
+
+use crate::transplant::{summarize, Provision, RunConfig, SuiteRunSummary};
+use squality_corpus::{donor_dialect, GeneratedSuite};
+use squality_engine::{ClientKind, EngineDialect, FaultProfile, PlanCache};
+use squality_formats::{SuiteKind, TestFile};
+use squality_runner::{
+    Connector, EngineConnector, EngineConnectorFactory, FanoutObserver, NumericMode, RunEvent,
+    RunObserver, Runner, RunnerOptions, TranslationMode,
+};
+use std::sync::Arc;
+
+/// What a harness executes: a generated donor suite (with its recorded
+/// environment) or a bare slice of parsed test files.
+enum SuiteSource<'a> {
+    Generated(&'a GeneratedSuite),
+    Files { kind: SuiteKind, files: &'a [TestFile] },
+}
+
+impl SuiteSource<'_> {
+    fn kind(&self) -> SuiteKind {
+        match self {
+            SuiteSource::Generated(gs) => gs.suite,
+            SuiteSource::Files { kind, .. } => *kind,
+        }
+    }
+
+    fn files(&self) -> &[TestFile] {
+        match self {
+            SuiteSource::Generated(gs) => &gs.files,
+            SuiteSource::Files { files, .. } => files,
+        }
+    }
+}
+
+/// Why a [`HarnessBuilder`] could not produce a [`Harness`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// No suite was given: call [`HarnessBuilder::suite`] or
+    /// [`HarnessBuilder::files`] before [`HarnessBuilder::build`].
+    MissingSuite,
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::MissingSuite => {
+                write!(f, "no suite configured: call .suite(..) or .files(..) before .build()")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Builder for a [`Harness`]. Every knob is defaulted; only the suite is
+/// required. See [`Harness::builder`] for a complete example.
+pub struct HarnessBuilder<'a> {
+    source: Option<SuiteSource<'a>>,
+    host: Option<EngineDialect>,
+    client: ClientKind,
+    provision: Option<Provision>,
+    numeric: NumericMode,
+    faults: FaultProfile,
+    translate: bool,
+    workers: usize,
+    plan_cache: Option<Arc<PlanCache>>,
+    observers: Vec<&'a dyn RunObserver>,
+    label: Option<String>,
+}
+
+impl<'a> HarnessBuilder<'a> {
+    fn new() -> HarnessBuilder<'a> {
+        HarnessBuilder {
+            source: None,
+            host: None,
+            client: ClientKind::Connector,
+            provision: None,
+            numeric: NumericMode::Exact,
+            faults: FaultProfile::default(),
+            translate: false,
+            workers: 1,
+            plan_cache: None,
+            observers: Vec::new(),
+            label: None,
+        }
+    }
+
+    /// The donor suite to execute, with its recorded environment
+    /// (provisioned per [`HarnessBuilder::provision`]).
+    pub fn suite(mut self, suite: &'a GeneratedSuite) -> Self {
+        self.source = Some(SuiteSource::Generated(suite));
+        self
+    }
+
+    /// Execute bare parsed test files of donor format `kind` instead of a
+    /// generated suite. There is no environment to provision, so the run
+    /// behaves like [`Provision::Bare`].
+    pub fn files(mut self, kind: SuiteKind, files: &'a [TestFile]) -> Self {
+        self.source = Some(SuiteSource::Files { kind, files });
+        self
+    }
+
+    /// Host engine the suite runs on. Default: the suite's own donor
+    /// engine.
+    pub fn host(mut self, host: EngineDialect) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// Client the results are rendered through. Default:
+    /// [`ClientKind::Connector`] (the paper's unified runner).
+    pub fn client(mut self, client: ClientKind) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// How much of the donor environment the host receives. Default:
+    /// [`Provision::CrossHost`] for a generated suite, [`Provision::Bare`]
+    /// for bare files.
+    pub fn provision(mut self, provision: Provision) -> Self {
+        self.provision = Some(provision);
+        self
+    }
+
+    /// Numeric comparison mode. Default: [`NumericMode::Exact`].
+    pub fn numeric(mut self, numeric: NumericMode) -> Self {
+        self.numeric = numeric;
+        self
+    }
+
+    /// Fault profile of the host engine. Default: the paper-version
+    /// profile (every studied bug present).
+    pub fn faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Adapt each statement from the donor dialect to the host dialect
+    /// before execution (the translated arm). Default: off — donor text
+    /// runs verbatim, the paper's methodology. A same-dialect pair is the
+    /// identity either way.
+    pub fn translate(mut self, translate: bool) -> Self {
+        self.translate = translate;
+        self
+    }
+
+    /// Worker connections to shard files over (`0` = all cores, clamped
+    /// to the file count). Default: 1. Purely a throughput knob: results
+    /// and events are byte-identical at every count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Share a statement-plan cache across this run's connections (and,
+    /// by passing the same `Arc`, across runs). Default: none.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Register an event sink. May be called repeatedly; observers
+    /// receive every [`RunEvent`] in registration order.
+    pub fn observer(mut self, observer: &'a dyn RunObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Human-readable label carried in `SuiteStarted`/`SuiteFinished`
+    /// events. Default: `"<donor>→<host>"`, with a ` (translated)`
+    /// suffix when translation is on.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Resolve defaults and produce the [`Harness`].
+    pub fn build(self) -> Result<Harness<'a>, HarnessError> {
+        let source = self.source.ok_or(HarnessError::MissingSuite)?;
+        let host = self.host.unwrap_or_else(|| donor_dialect(source.kind()));
+        let provision = self.provision.unwrap_or(match source {
+            SuiteSource::Generated(_) => Provision::CrossHost,
+            SuiteSource::Files { .. } => Provision::Bare,
+        });
+        let label = self.label.unwrap_or_else(|| {
+            format!(
+                "{}→{}{}",
+                source.kind().donor_name(),
+                host.name(),
+                if self.translate { " (translated)" } else { "" }
+            )
+        });
+        Ok(Harness {
+            source,
+            host,
+            client: self.client,
+            provision,
+            numeric: self.numeric,
+            faults: self.faults,
+            translate: self.translate,
+            workers: self.workers,
+            plan_cache: self.plan_cache,
+            observers: self.observers,
+            label,
+        })
+    }
+}
+
+/// A fully-configured suite × host execution. Build one with
+/// [`Harness::builder`], then call [`Harness::run`] (scheduler-backed,
+/// any worker count) or [`Harness::run_on`] (a caller-owned connection).
+pub struct Harness<'a> {
+    source: SuiteSource<'a>,
+    host: EngineDialect,
+    client: ClientKind,
+    provision: Provision,
+    numeric: NumericMode,
+    faults: FaultProfile,
+    translate: bool,
+    workers: usize,
+    plan_cache: Option<Arc<PlanCache>>,
+    observers: Vec<&'a dyn RunObserver>,
+    label: String,
+}
+
+/// Everything one [`Harness::run`] produces: the aggregate summary plus
+/// the retired worker connections (whose engines carry accumulated
+/// coverage and other run-scoped state).
+pub struct Run {
+    /// Aggregate result of the run, in input order.
+    pub summary: SuiteRunSummary,
+    /// The retired worker connections — one per worker that claimed at
+    /// least one file.
+    pub connectors: Vec<EngineConnector>,
+}
+
+impl<'a> Harness<'a> {
+    /// Start configuring a run. Everything except the suite is defaulted.
+    ///
+    /// ```
+    /// use squality_core::Harness;
+    /// use squality_corpus::generate_suite_scaled;
+    /// use squality_engine::EngineDialect;
+    /// use squality_formats::SuiteKind;
+    /// use squality_runner::JsonlObserver;
+    ///
+    /// let suite = generate_suite_scaled(SuiteKind::Slt, 7, 0.02);
+    /// let events = JsonlObserver::new();
+    /// let run = Harness::builder()
+    ///     .suite(&suite)
+    ///     .host(EngineDialect::Duckdb)
+    ///     .workers(2)
+    ///     .observer(&events)
+    ///     .build()
+    ///     .expect("a suite was configured")
+    ///     .run();
+    /// assert_eq!(run.summary.host, EngineDialect::Duckdb);
+    /// assert!(events.log().contains("\"event\":\"suite_finished\""));
+    /// ```
+    pub fn builder() -> HarnessBuilder<'a> {
+        HarnessBuilder::new()
+    }
+
+    /// The resolved host engine.
+    pub fn host(&self) -> EngineDialect {
+        self.host
+    }
+
+    /// The run label used in suite events.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The equivalent legacy [`RunConfig`] (what the deprecated free
+    /// functions used to take).
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            host: self.host,
+            client: self.client,
+            provision: self.provision,
+            numeric: self.numeric,
+            translate: self.translate,
+        }
+    }
+
+    fn translation_mode(&self) -> TranslationMode {
+        if self.translate {
+            TranslationMode::Translated {
+                from: donor_dialect(self.source.kind()).text_dialect(),
+                to: self.host.text_dialect(),
+            }
+        } else {
+            TranslationMode::Verbatim
+        }
+    }
+
+    /// Apply the configured provision level to a freshly-reset connection.
+    fn provision_conn(&self, conn: &mut EngineConnector) {
+        let SuiteSource::Generated(gs) = &self.source else { return };
+        match self.provision {
+            Provision::Full => gs.environment.provision(conn),
+            Provision::CrossHost => {
+                for (path, lines) in &gs.environment.data_files {
+                    conn.provide_file(path, lines.clone());
+                }
+                for sql in &gs.environment.setup_sql {
+                    let _ = conn.execute(sql);
+                }
+            }
+            Provision::Bare => {}
+        }
+    }
+
+    fn runner(&self) -> Runner {
+        Runner::new(RunnerOptions {
+            numeric: self.numeric,
+            fresh_database: false,
+            translation: self.translation_mode(),
+        })
+    }
+
+    /// Execute through the parallel scheduler: the configured worker
+    /// count, a fresh provisioned connection per file, results stitched
+    /// in input order, events streamed to every registered observer.
+    pub fn run(&self) -> Run {
+        let mut factory = EngineConnectorFactory::with_faults(self.host, self.client, self.faults);
+        if let Some(cache) = &self.plan_cache {
+            factory = factory.plan_cache(Arc::clone(cache));
+        }
+        let runner = self.runner();
+        let files = self.source.files();
+        let prepare = |conn: &mut EngineConnector| self.provision_conn(conn);
+        let execution = if self.observers.is_empty() {
+            runner.run_suite_with(&factory, files, self.workers, prepare)
+        } else {
+            let fanout = FanoutObserver(&self.observers);
+            runner.run_suite_observed(&factory, files, self.workers, &self.label, prepare, &fanout)
+        };
+        let mut summary = summarize(self.source.kind(), self.host, &execution.results);
+        summary.translation = runner.translation_stats.counts();
+        Run { summary, connectors: execution.connectors }
+    }
+
+    /// Execute sequentially on one existing, caller-owned connection —
+    /// for callers that accumulate engine state (coverage, extensions)
+    /// across several suites on a single connection. Emits the same event
+    /// stream as a 1-worker [`Harness::run`].
+    pub fn run_on(&self, conn: &mut EngineConnector) -> SuiteRunSummary {
+        let runner = self.runner();
+        let files = self.source.files();
+        let fanout = FanoutObserver(&self.observers);
+        let observed = !self.observers.is_empty();
+        let started = std::time::Instant::now();
+        if observed {
+            let info = conn.info();
+            fanout.on_event(&RunEvent::SuiteStarted {
+                label: &self.label,
+                files: files.len(),
+                connector: &info,
+            });
+        }
+        let mut results = Vec::with_capacity(files.len());
+        for (i, file) in files.iter().enumerate() {
+            // Fresh database per file, then provision per the config.
+            conn.reset();
+            self.provision_conn(conn);
+            results.push(if observed {
+                runner.run_file_observed(conn, file, i, &fanout)
+            } else {
+                runner.run_file(conn, file)
+            });
+        }
+        if observed {
+            squality_runner::events::emit_suite_finished(
+                &fanout,
+                &self.label,
+                &results,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
+        let mut summary = summarize(self.source.kind(), self.host, &results);
+        summary.translation = runner.translation_stats.counts();
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use squality_corpus::generate_suite_scaled;
+    use squality_runner::JsonlObserver;
+
+    #[test]
+    fn builder_requires_a_suite() {
+        let err = Harness::builder().build().err().expect("suite missing must error");
+        assert_eq!(err, HarnessError::MissingSuite);
+        assert!(err.to_string().contains("suite"));
+    }
+
+    #[test]
+    fn defaults_are_the_unified_runner_on_the_donor() {
+        let gs = generate_suite_scaled(SuiteKind::PgRegress, 3, 0.05);
+        let h = Harness::builder().suite(&gs).build().unwrap();
+        assert_eq!(h.host(), EngineDialect::Postgres);
+        assert_eq!(h.label(), "PostgreSQL→PostgreSQL");
+        let cfg = h.run_config();
+        assert_eq!(cfg.client, ClientKind::Connector);
+        assert_eq!(cfg.provision, Provision::CrossHost);
+        assert!(!cfg.translate);
+    }
+
+    #[test]
+    fn run_matches_any_worker_count_and_run_on() {
+        let gs = generate_suite_scaled(SuiteKind::Duckdb, 5, 0.06);
+        let build = |workers: usize| {
+            Harness::builder()
+                .suite(&gs)
+                .host(EngineDialect::Sqlite)
+                .workers(workers)
+                .build()
+                .unwrap()
+        };
+        let base = build(1).run().summary;
+        for workers in [2, 4] {
+            let got = build(workers).run().summary;
+            assert_eq!(got.passed, base.passed, "workers={workers}");
+            assert_eq!(got.failed, base.failed, "workers={workers}");
+            assert_eq!(got.failures, base.failures, "workers={workers}");
+            assert_eq!(got.skip_reasons, base.skip_reasons, "workers={workers}");
+        }
+        let mut conn = EngineConnector::new(EngineDialect::Sqlite, ClientKind::Connector);
+        let seq = build(1).run_on(&mut conn);
+        assert_eq!(seq.passed, base.passed);
+        assert_eq!(seq.failures, base.failures);
+    }
+
+    #[test]
+    fn files_source_runs_bare() {
+        use squality_formats::{parse_slt, SltFlavor};
+        let files = vec![parse_slt("probe.test", "statement ok\nSELECT 1\n", SltFlavor::Classic)];
+        let events = JsonlObserver::new();
+        let run = Harness::builder()
+            .files(SuiteKind::Slt, &files)
+            .host(EngineDialect::Mysql)
+            .label("probe")
+            .observer(&events)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(run.summary.passed, 1);
+        let log = events.log();
+        assert!(log.contains("\"label\":\"probe\""), "{log}");
+        assert!(log.contains("\"engine\":\"mysql\""), "{log}");
+        assert!(log.contains("\"outcome\":\"pass\""), "{log}");
+    }
+
+    #[test]
+    fn translated_harness_counts_rules() {
+        let gs = generate_suite_scaled(SuiteKind::PgRegress, 5, 0.08);
+        let verbatim =
+            Harness::builder().suite(&gs).host(EngineDialect::Sqlite).build().unwrap().run();
+        let translated = Harness::builder()
+            .suite(&gs)
+            .host(EngineDialect::Sqlite)
+            .translate(true)
+            .build()
+            .unwrap()
+            .run();
+        assert!(translated.summary.syntax_failures() < verbatim.summary.syntax_failures());
+        assert!(translated.summary.translation.applied_total() > 0);
+    }
+}

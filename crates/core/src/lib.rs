@@ -2,8 +2,13 @@
 //!
 //! This crate ties the substrates together into the paper's contribution:
 //!
-//! * [`transplant`] — run any donor suite on any host engine under
-//!   controlled environment provisioning and client choice (§2),
+//! * [`harness`] — **the public entry point**: [`Harness::builder`]
+//!   configures any suite × host run (client, faults, translation,
+//!   workers, plan cache, observers — all defaulted) and executes it
+//!   through the parallel scheduler with a typed, deterministic run-event
+//!   stream,
+//! * [`transplant`] — run configurations, summaries, and failure/skip
+//!   accounting for donor-suite transplants (§2),
 //! * [`experiments`] — the complete study: donor validation (RQ3),
 //!   the cross-DBMS matrix (RQ4), the coverage experiment, and the
 //!   crash/hang findings (§6),
@@ -12,27 +17,52 @@
 //!
 //! # Example
 //!
-//! ```no_run
-//! use squality_core::{run_study, StudyConfig, full_report};
+//! Run one suite on one host through the builder:
 //!
-//! let study =
-//!     run_study(StudyConfig { seed: 42, scale: 0.1, workers: 0, translated_arm: true });
+//! ```no_run
+//! use squality_core::Harness;
+//! use squality_corpus::generate_suite_scaled;
+//! use squality_engine::EngineDialect;
+//! use squality_formats::SuiteKind;
+//!
+//! let suite = generate_suite_scaled(SuiteKind::PgRegress, 42, 0.1);
+//! let run = Harness::builder()
+//!     .suite(&suite)
+//!     .host(EngineDialect::Duckdb)
+//!     .workers(0) // all cores; results are identical at any count
+//!     .build()?
+//!     .run();
+//! println!("success rate: {:.1}%", run.summary.success_rate() * 100.0);
+//! # Ok::<(), squality_core::HarnessError>(())
+//! ```
+//!
+//! Or reproduce the whole evaluation:
+//!
+//! ```no_run
+//! use squality_core::{full_report, run_study, StudyConfig};
+//!
+//! let config = StudyConfig::default().with_seed(42).with_scale(0.1);
+//! let study = run_study(config);
 //! println!("{}", full_report(&study));
 //! ```
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod transplant;
 
 pub use experiments::{
-    dependency_breakdown, difficulty_summary, incompatibility_breakdown, run_study, BugFinding,
-    CoverageRow, MatrixCell, Study, StudyConfig, EXECUTED_SUITES,
+    dependency_breakdown, difficulty_summary, incompatibility_breakdown, run_study,
+    run_study_with_observers, BugFinding, CoverageRow, MatrixCell, Study, StudyConfig,
+    EXECUTED_SUITES,
 };
+pub use harness::{Harness, HarnessBuilder, HarnessError, Run};
 pub use report::{
     bug_report, figure1, figure2, figure3, figure4, full_report, table1, table2, table3, table4,
     table5, table6, table7, table8, translation_table,
 };
+#[allow(deprecated)]
 pub use transplant::{
     run_suite_on, run_suite_sharded, run_suite_with_connector, sample_failures, FailureCase,
-    Incident, Provision, RunConfig, SuiteRunSummary,
+    Incident, Provision, RunConfig, SkipBreakdown, SuiteRunSummary,
 };

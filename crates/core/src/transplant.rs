@@ -10,12 +10,12 @@
 //! | Cross-DBMS matrix (Fig. 4, Tables 6–7) | others | `CrossHost` | `Connector` |
 //! | Expectation recording (corpus) | donor | `Full` | `Cli` |
 
+use crate::harness::Harness;
 use squality_corpus::{donor_dialect, GeneratedSuite};
 use squality_engine::{ClientKind, EngineDialect, ErrorKind, PlanCache};
-use squality_formats::SuiteKind;
+use squality_formats::{RecordId, SuiteKind};
 use squality_runner::{
-    Connector, EngineConnector, EngineConnectorFactory, FileResult, NumericMode, Outcome,
-    RecordResult, Runner, RunnerOptions, TranslationCounts, TranslationMode,
+    EngineConnector, FileResult, NumericMode, Outcome, RecordResult, SkipReason, TranslationCounts,
 };
 use std::sync::Arc;
 
@@ -32,7 +32,13 @@ pub enum Provision {
 }
 
 /// One transplant configuration.
+///
+/// `#[non_exhaustive]`: future knobs can land without breaking callers.
+/// Outside this crate, start from [`RunConfig::default`] (or
+/// [`RunConfig::unified`]) and set fields — or skip the struct entirely
+/// and use [`Harness::builder`], the primary API.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct RunConfig {
     pub host: EngineDialect,
     pub client: ClientKind,
@@ -42,6 +48,13 @@ pub struct RunConfig {
     /// before execution (the translated arm of the matrix). A donor running
     /// on itself is unaffected: same-dialect translation is the identity.
     pub translate: bool,
+}
+
+impl Default for RunConfig {
+    /// The unified-runner defaults on SQLite (the most permissive host).
+    fn default() -> Self {
+        RunConfig::unified(EngineDialect::Sqlite)
+    }
 }
 
 impl RunConfig {
@@ -62,18 +75,6 @@ impl RunConfig {
     }
 }
 
-/// The runner translation mode for a suite × config pair.
-fn translation_mode(suite: &GeneratedSuite, cfg: &RunConfig) -> TranslationMode {
-    if cfg.translate {
-        TranslationMode::Translated {
-            from: donor_dialect(suite.suite).text_dialect(),
-            to: cfg.host.text_dialect(),
-        }
-    } else {
-        TranslationMode::Verbatim
-    }
-}
-
 /// A crash or hang observed while running a suite (paper §6).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Incident {
@@ -90,6 +91,22 @@ pub struct FailureCase {
     pub result: RecordResult,
 }
 
+/// One distinct skip reason observed during a run, with its volume and
+/// the first record (input order) that produced it — enough to trace an
+/// aggregate count back to a concrete record, the way sampled failures
+/// are traced through [`FailureCase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkipBreakdown {
+    /// The interned reason, exactly as the runner recorded it.
+    pub reason: SkipReason,
+    /// How many records were skipped with this reason.
+    pub count: usize,
+    /// File of the first record skipped for this reason.
+    pub first_file: String,
+    /// Stable id of that record within its file.
+    pub first: RecordId,
+}
+
 /// Aggregated result of one suite × host run.
 #[derive(Debug, Clone)]
 pub struct SuiteRunSummary {
@@ -103,6 +120,9 @@ pub struct SuiteRunSummary {
     pub crashes: Vec<Incident>,
     pub hangs: Vec<Incident>,
     pub failures: Vec<FailureCase>,
+    /// Per-reason skip accounting, ordered by first occurrence (input
+    /// order). Sums to `skipped`.
+    pub skip_reasons: Vec<SkipBreakdown>,
     /// Per-rule translation counters for this run (all zero when the run
     /// was verbatim or the donor ran on itself).
     pub translation: TranslationCounts,
@@ -133,61 +153,60 @@ impl SuiteRunSummary {
     }
 }
 
+/// Configure a [`Harness`] from a legacy `RunConfig` (the deprecated
+/// shims' delegation path).
+fn harness_for<'a>(
+    suite: &'a GeneratedSuite,
+    cfg: &RunConfig,
+    workers: usize,
+    plan_cache: Option<Arc<PlanCache>>,
+) -> Harness<'a> {
+    let mut builder = Harness::builder()
+        .suite(suite)
+        .host(cfg.host)
+        .client(cfg.client)
+        .provision(cfg.provision)
+        .numeric(cfg.numeric)
+        .translate(cfg.translate)
+        .workers(workers);
+    if let Some(cache) = plan_cache {
+        builder = builder.plan_cache(cache);
+    }
+    builder.build().expect("suite is always set")
+}
+
 /// Run a generated suite under a transplant configuration (single worker).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Harness::builder().suite(..).host(..).build()?.run()` instead"
+)]
 pub fn run_suite_on(suite: &GeneratedSuite, cfg: &RunConfig) -> SuiteRunSummary {
-    run_suite_sharded(suite, cfg, 1, None).0
+    harness_for(suite, cfg, 1, None).run().summary
 }
 
 /// Run a generated suite under a transplant configuration, sharding its
 /// files over `workers` parallel connections (0 = all cores) that
 /// optionally share a statement-plan cache.
-///
-/// The summary is byte-identical for every worker count: the scheduler
-/// resets + provisions a connection per file and stitches results back in
-/// input order. The retired worker connectors are returned so callers can
-/// harvest engine-level state (the coverage experiment unions their
-/// feature-coverage maps).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Harness::builder().suite(..).workers(..).plan_cache(..).build()?.run()` instead"
+)]
 pub fn run_suite_sharded(
     suite: &GeneratedSuite,
     cfg: &RunConfig,
     workers: usize,
     plan_cache: Option<Arc<PlanCache>>,
 ) -> (SuiteRunSummary, Vec<EngineConnector>) {
-    let mut factory = EngineConnectorFactory::new(cfg.host, cfg.client);
-    if let Some(cache) = plan_cache {
-        factory = factory.plan_cache(cache);
-    }
-    let runner = Runner::new(RunnerOptions {
-        numeric: cfg.numeric,
-        fresh_database: false,
-        translation: translation_mode(suite, cfg),
-    });
-    let execution = runner.run_suite_with(&factory, &suite.files, workers, |conn| {
-        provision_for(suite, cfg, conn);
-    });
-    let mut summary = summarize(suite.suite, cfg.host, &execution.results);
-    summary.translation = runner.translation_stats.counts();
-    (summary, execution.connectors)
-}
-
-/// Apply the configured provision level to a freshly-reset connection.
-fn provision_for(suite: &GeneratedSuite, cfg: &RunConfig, conn: &mut EngineConnector) {
-    match cfg.provision {
-        Provision::Full => suite.environment.provision(conn),
-        Provision::CrossHost => {
-            for (path, lines) in &suite.environment.data_files {
-                conn.provide_file(path, lines.clone());
-            }
-            for sql in &suite.environment.setup_sql {
-                let _ = conn.execute(sql);
-            }
-        }
-        Provision::Bare => {}
-    }
+    let run = harness_for(suite, cfg, workers, plan_cache).run();
+    (run.summary, run.connectors)
 }
 
 /// Fold per-file results into the aggregate summary, in input order.
-fn summarize(suite: SuiteKind, host: EngineDialect, results: &[FileResult]) -> SuiteRunSummary {
+pub(crate) fn summarize(
+    suite: SuiteKind,
+    host: EngineDialect,
+    results: &[FileResult],
+) -> SuiteRunSummary {
     let mut summary = SuiteRunSummary {
         suite,
         host,
@@ -199,6 +218,7 @@ fn summarize(suite: SuiteKind, host: EngineDialect, results: &[FileResult]) -> S
         crashes: Vec::new(),
         hangs: Vec::new(),
         failures: Vec::new(),
+        skip_reasons: Vec::new(),
         translation: TranslationCounts::default(),
     };
     for r in results {
@@ -213,7 +233,7 @@ fn fold_file(summary: &mut SuiteRunSummary, r: &FileResult) {
     summary.passed += r.passed();
     summary.failed += r.failed();
     summary.skipped += r.skipped();
-    for res in &r.results {
+    for (ordinal, res) in r.results.iter().enumerate() {
         match &res.outcome {
             Outcome::Crash(m) => summary.crashes.push(Incident {
                 file: r.file.clone(),
@@ -230,37 +250,35 @@ fn fold_file(summary: &mut SuiteRunSummary, r: &FileResult) {
             Outcome::Fail(_) => {
                 summary.failures.push(FailureCase { file: r.file.clone(), result: res.clone() })
             }
-            _ => {}
+            Outcome::Skipped(reason) => {
+                // Interned reasons come from per-connection `Arc`s, so
+                // compare by text; distinct reasons stay few per run.
+                match summary.skip_reasons.iter_mut().find(|s| *s.reason == **reason) {
+                    Some(entry) => entry.count += 1,
+                    None => summary.skip_reasons.push(SkipBreakdown {
+                        reason: reason.clone(),
+                        count: 1,
+                        first_file: r.file.clone(),
+                        first: RecordId::new(res.line, ordinal),
+                    }),
+                }
+            }
+            Outcome::Pass => {}
         }
     }
 }
 
 /// Run a suite sequentially on one existing, caller-owned connector.
-///
-/// The study itself runs through [`run_suite_sharded`]; this remains the
-/// public entry point for callers that need to accumulate engine state
-/// (coverage, extensions) across several suites on a single connection —
-/// the inherently sequential counterpart of the scheduler path.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Harness::builder().suite(..).build()?.run_on(conn)` instead"
+)]
 pub fn run_suite_with_connector(
     suite: &GeneratedSuite,
     cfg: &RunConfig,
     conn: &mut EngineConnector,
 ) -> SuiteRunSummary {
-    let runner = Runner::new(RunnerOptions {
-        numeric: cfg.numeric,
-        fresh_database: false,
-        translation: translation_mode(suite, cfg),
-    });
-    let mut summary = summarize(suite.suite, cfg.host, &[]);
-    for file in &suite.files {
-        // Fresh database per file, then provision per the config.
-        conn.reset();
-        provision_for(suite, cfg, conn);
-        let r = runner.run_file(conn, file);
-        fold_file(&mut summary, &r);
-    }
-    summary.translation = runner.translation_stats.counts();
-    summary
+    harness_for(suite, cfg, 1, None).run_on(conn)
 }
 
 /// Deterministically sample up to `n` failures (the paper samples 100 per
@@ -291,6 +309,11 @@ mod tests {
     use super::*;
     use squality_corpus::generate_suite_scaled;
 
+    /// Builder-path equivalent of the old `run_suite_on`.
+    fn run_one(suite: &GeneratedSuite, cfg: &RunConfig) -> SuiteRunSummary {
+        harness_for(suite, cfg, 1, None).run().summary
+    }
+
     #[test]
     fn donor_full_provision_passes_everything() {
         let gs = generate_suite_scaled(SuiteKind::Slt, 3, 0.05);
@@ -301,7 +324,7 @@ mod tests {
             numeric: NumericMode::Exact,
             translate: false,
         };
-        let s = run_suite_on(&gs, &cfg);
+        let s = run_one(&gs, &cfg);
         // The only tolerated failures are SLT's two runner-format
         // artifacts (paper Table 4: 2 failures).
         assert_eq!(s.failed, 2, "failures: {:?}", s.failures.first());
@@ -320,7 +343,7 @@ mod tests {
             numeric: NumericMode::Exact,
             translate: false,
         };
-        let s = run_suite_on(&gs, &cfg);
+        let s = run_one(&gs, &cfg);
         assert!(s.failed > 0, "bare environment must expose dependencies");
         assert!(s.success_rate() < 1.0);
     }
@@ -328,7 +351,7 @@ mod tests {
     #[test]
     fn cross_host_run_fails_more_than_donor() {
         let gs = generate_suite_scaled(SuiteKind::PgRegress, 3, 0.1);
-        let donor = run_suite_on(
+        let donor = run_one(
             &gs,
             &RunConfig {
                 host: EngineDialect::Postgres,
@@ -338,7 +361,7 @@ mod tests {
                 translate: false,
             },
         );
-        let host = run_suite_on(&gs, &RunConfig::unified(EngineDialect::Mysql));
+        let host = run_one(&gs, &RunConfig::unified(EngineDialect::Mysql));
         assert!(host.success_rate() < donor.success_rate());
         assert!(host.failed > 0);
     }
@@ -347,11 +370,11 @@ mod tests {
     fn sharded_runs_match_sequential_at_any_worker_count() {
         let gs = generate_suite_scaled(SuiteKind::Duckdb, 11, 0.08);
         let cfg = RunConfig::unified(EngineDialect::Sqlite);
-        let sequential = run_suite_on(&gs, &cfg);
+        let sequential = run_one(&gs, &cfg);
         let cache = std::sync::Arc::new(PlanCache::new());
         for workers in [2, 4, 8] {
-            let (sharded, _) =
-                run_suite_sharded(&gs, &cfg, workers, Some(std::sync::Arc::clone(&cache)));
+            let sharded =
+                harness_for(&gs, &cfg, workers, Some(std::sync::Arc::clone(&cache))).run().summary;
             assert_eq!(sharded.total, sequential.total, "workers={workers}");
             assert_eq!(sharded.passed, sequential.passed, "workers={workers}");
             assert_eq!(sharded.failed, sequential.failed, "workers={workers}");
@@ -359,9 +382,57 @@ mod tests {
             assert_eq!(sharded.failures, sequential.failures, "workers={workers}");
             assert_eq!(sharded.crashes, sequential.crashes, "workers={workers}");
             assert_eq!(sharded.hangs, sequential.hangs, "workers={workers}");
+            assert_eq!(sharded.skip_reasons, sequential.skip_reasons, "workers={workers}");
         }
         // The same files replayed three times: the cache must be hot.
         assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder_path() {
+        let gs = generate_suite_scaled(SuiteKind::Duckdb, 5, 0.06);
+        let cfg = RunConfig::unified(EngineDialect::Sqlite);
+        let builder = harness_for(&gs, &cfg, 2, None).run().summary;
+
+        let shim_on = run_suite_on(&gs, &cfg);
+        let (shim_sharded, connectors) = run_suite_sharded(&gs, &cfg, 2, None);
+        let mut conn = EngineConnector::new(cfg.host, cfg.client);
+        let shim_conn = run_suite_with_connector(&gs, &cfg, &mut conn);
+
+        for (name, shim) in
+            [("run_suite_on", &shim_on), ("sharded", &shim_sharded), ("connector", &shim_conn)]
+        {
+            assert_eq!(shim.total, builder.total, "{name}");
+            assert_eq!(shim.passed, builder.passed, "{name}");
+            assert_eq!(shim.failed, builder.failed, "{name}");
+            assert_eq!(shim.skipped, builder.skipped, "{name}");
+            assert_eq!(shim.failures, builder.failures, "{name}");
+            assert_eq!(shim.crashes, builder.crashes, "{name}");
+            assert_eq!(shim.hangs, builder.hangs, "{name}");
+            assert_eq!(shim.skip_reasons, builder.skip_reasons, "{name}");
+        }
+        assert!(!connectors.is_empty());
+    }
+
+    #[test]
+    fn skip_reasons_trace_to_records() {
+        // SLT suites carry skipif/onlyif conditions, so a cross-host run
+        // must surface at least the "condition excludes" reason.
+        let gs = generate_suite_scaled(SuiteKind::Slt, 5, 0.05);
+        let s = run_one(&gs, &RunConfig::unified(EngineDialect::Mysql));
+        assert!(s.skipped > 0);
+        let counted: usize = s.skip_reasons.iter().map(|b| b.count).sum();
+        assert_eq!(counted, s.skipped, "{:?}", s.skip_reasons);
+        for b in &s.skip_reasons {
+            assert!(!b.first_file.is_empty());
+            assert!(b.count > 0);
+        }
+        assert!(
+            s.skip_reasons.iter().any(|b| b.reason.contains("condition excludes mysql")),
+            "{:?}",
+            s.skip_reasons
+        );
     }
 
     #[test]
@@ -374,8 +445,8 @@ mod tests {
             (&duck, EngineDialect::Sqlite),
             (&duck, EngineDialect::Mysql),
         ] {
-            let verbatim = run_suite_on(gs, &RunConfig::unified(host));
-            let translated = run_suite_on(gs, &RunConfig::unified_translated(host));
+            let verbatim = run_one(gs, &RunConfig::unified(host));
+            let translated = run_one(gs, &RunConfig::unified_translated(host));
             let (v, t) = (verbatim.syntax_failures(), translated.syntax_failures());
             assert!(v > 0, "{:?} on {host}: no verbatim syntax failures to fix", gs.suite);
             assert!(t < v, "{:?} on {host}: syntax failures {v} -> {t}", gs.suite);
@@ -388,8 +459,8 @@ mod tests {
     fn translated_arm_on_donor_is_identity() {
         let gs = generate_suite_scaled(SuiteKind::PgRegress, 5, 0.08);
         let host = EngineDialect::Postgres;
-        let verbatim = run_suite_on(&gs, &RunConfig::unified(host));
-        let translated = run_suite_on(&gs, &RunConfig::unified_translated(host));
+        let verbatim = run_one(&gs, &RunConfig::unified(host));
+        let translated = run_one(&gs, &RunConfig::unified_translated(host));
         assert_eq!(translated.passed, verbatim.passed);
         assert_eq!(translated.failed, verbatim.failed);
         assert_eq!(translated.failures, verbatim.failures);

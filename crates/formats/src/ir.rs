@@ -60,6 +60,36 @@ impl TestFile {
     }
 }
 
+/// Stable identity of one executed record within a file.
+///
+/// The source `line` alone is ambiguous: loop bodies replay the same line
+/// once per iteration. Pairing it with the execution `ordinal` (the
+/// record's position in the file's deterministic execution order) yields an
+/// id that is stable across runs, worker counts, and host engines — the
+/// anchor the event stream and failure sampling use to point at a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// 1-based source line of the record.
+    pub line: u32,
+    /// 0-based position in the file's execution order (loop iterations
+    /// expanded).
+    pub ordinal: u32,
+}
+
+impl RecordId {
+    /// Id for the `ordinal`-th executed record, which came from `line`.
+    pub fn new(line: usize, ordinal: usize) -> RecordId {
+        RecordId { line: line as u32, ordinal: ordinal as u32 }
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    /// Rendered as `L<line>#<ordinal>`, e.g. `L42#7`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}#{}", self.line, self.ordinal)
+    }
+}
+
 /// One record: a conditioned statement, query, or control command.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TestRecord {

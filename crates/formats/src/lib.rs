@@ -22,7 +22,7 @@ pub mod writer;
 
 pub use commands::{command_count, feature_matrix, FeatureSupport};
 pub use ir::{
-    result_hash, Condition, ControlCommand, QueryExpectation, RecordKind, SortMode,
+    result_hash, Condition, ControlCommand, QueryExpectation, RecordId, RecordKind, SortMode,
     StatementExpect, SuiteKind, TestFile, TestRecord,
 };
 pub use mysqltest::{parse_mysql_test, parse_mysql_test_only};

@@ -11,6 +11,7 @@
 //! worker thread mints its own connection, the way one process-per-worker
 //! harnesses open one DBMS connection per worker.
 
+use crate::events::ConnectorInfo;
 use squality_engine::{
     ClientKind, Engine, EngineDialect, EngineError, FaultProfile, PlanCache, QueryResult, Value,
 };
@@ -21,6 +22,14 @@ pub trait Connector {
     /// Lowercase engine name as used in skipif/onlyif conditions
     /// ("sqlite", "postgresql", "duckdb", "mysql").
     fn engine_name(&self) -> &'static str;
+
+    /// Metadata describing this connection, reported in
+    /// [`RunEvent::SuiteStarted`](crate::RunEvent::SuiteStarted) events.
+    /// The default is the engine name alone; implementations that know
+    /// their client or server version should say so.
+    fn info(&self) -> ConnectorInfo {
+        ConnectorInfo::named(self.engine_name())
+    }
 
     /// Execute one SQL statement.
     fn execute(&mut self, sql: &str) -> Result<QueryResult, EngineError>;
@@ -47,6 +56,14 @@ pub trait ConnectorFactory: Sync {
 
     /// Open a fresh connection.
     fn connect(&self) -> Self::Conn;
+
+    /// Metadata of the connections this factory mints, reported in
+    /// `SuiteStarted` events. The default mints (and drops) a probe
+    /// connection; factories that know their metadata statically should
+    /// override to skip that cost.
+    fn info(&self) -> ConnectorInfo {
+        self.connect().info()
+    }
 }
 
 /// Factory for [`EngineConnector`]s: captures dialect, client, faults, the
@@ -102,8 +119,46 @@ impl EngineConnectorFactory {
     }
 }
 
+/// The lowercase engine name a dialect goes by in skipif/onlyif
+/// conditions — the single source for both condition matching
+/// ([`Connector::engine_name`]) and event metadata.
+fn engine_token(dialect: EngineDialect) -> &'static str {
+    match dialect {
+        EngineDialect::Sqlite => "sqlite",
+        EngineDialect::Postgres => "postgresql",
+        EngineDialect::Duckdb => "duckdb",
+        EngineDialect::Mysql => "mysql",
+    }
+}
+
+/// Connection metadata for a dialect × client pair — shared by the
+/// connector and its factory so both report identical `SuiteStarted`
+/// metadata.
+fn engine_info(dialect: EngineDialect, client: ClientKind) -> ConnectorInfo {
+    // The simulated versions are the ones the paper studied.
+    let version = match dialect {
+        EngineDialect::Sqlite => "3.39.0 (simulated)",
+        EngineDialect::Postgres => "15.2 (simulated)",
+        EngineDialect::Duckdb => "0.7.0 (simulated)",
+        EngineDialect::Mysql => "8.0.32 (simulated)",
+    };
+    let client = match client {
+        ClientKind::Cli => "cli",
+        ClientKind::Connector => "connector",
+    };
+    ConnectorInfo {
+        engine: engine_token(dialect).to_string(),
+        client: Some(client.to_string()),
+        version: Some(version.to_string()),
+    }
+}
+
 impl ConnectorFactory for EngineConnectorFactory {
     type Conn = EngineConnector;
+
+    fn info(&self) -> ConnectorInfo {
+        engine_info(self.dialect, self.client)
+    }
 
     fn connect(&self) -> EngineConnector {
         let mut conn = EngineConnector::with_faults(self.dialect, self.client, self.faults);
@@ -212,12 +267,11 @@ impl EngineConnector {
 
 impl Connector for EngineConnector {
     fn engine_name(&self) -> &'static str {
-        match self.engine.dialect() {
-            EngineDialect::Sqlite => "sqlite",
-            EngineDialect::Postgres => "postgresql",
-            EngineDialect::Duckdb => "duckdb",
-            EngineDialect::Mysql => "mysql",
-        }
+        engine_token(self.engine.dialect())
+    }
+
+    fn info(&self) -> ConnectorInfo {
+        engine_info(self.engine.dialect(), self.client)
     }
 
     fn execute(&mut self, sql: &str) -> Result<QueryResult, EngineError> {
@@ -283,6 +337,36 @@ mod tests {
             EngineConnector::new(EngineDialect::Mysql, ClientKind::Cli).engine_name(),
             "mysql"
         );
+    }
+
+    #[test]
+    fn info_reports_engine_client_and_version() {
+        let conn = EngineConnector::new(EngineDialect::Duckdb, ClientKind::Connector);
+        let info = conn.info();
+        assert_eq!(info.engine, "duckdb");
+        assert_eq!(info.client.as_deref(), Some("connector"));
+        assert!(info.version.as_deref().unwrap_or_default().contains("0.7.0"));
+        // The trait-level default carries the engine name only.
+        struct Bare;
+        impl Connector for Bare {
+            fn engine_name(&self) -> &'static str {
+                "bare"
+            }
+            fn execute(&mut self, _sql: &str) -> Result<QueryResult, EngineError> {
+                unimplemented!()
+            }
+            fn render(&self, _v: &Value) -> String {
+                unimplemented!()
+            }
+            fn reset(&mut self) {}
+            fn has_extension(&self, _name: &str) -> bool {
+                false
+            }
+        }
+        let info = Bare.info();
+        assert_eq!(info.engine, "bare");
+        assert_eq!(info.client, None);
+        assert_eq!(info.version, None);
     }
 
     #[test]

@@ -1,0 +1,650 @@
+//! The typed run-event stream and its observer sinks.
+//!
+//! Every suite execution — through the scheduler or a single caller-owned
+//! connection — can emit a stream of [`RunEvent`]s to any number of
+//! [`RunObserver`]s: `SuiteStarted → (FileStarted → RecordFinished* →
+//! FileFinished)* → SuiteFinished`. Observers power progress reporting,
+//! machine-readable run logs, and early diagnosis without touching the
+//! result-aggregation path.
+//!
+//! # Determinism contract
+//!
+//! Parallelism is a throughput knob, never an observability one: for a
+//! given suite and configuration, the **multiset of events is identical at
+//! every worker count** in every field except the advisory
+//! `elapsed_nanos` timings, and per-file event *order* is identical too
+//! (a file always runs on one connection). Only the interleaving of
+//! different files' events varies with scheduling. [`JsonlObserver`]
+//! restores a canonical order by buffering per-file blocks and writing
+//! them by input index, and omits timing fields by default — so its log is
+//! **byte-identical** at any worker count.
+
+use crate::outcome::{FileResult, Outcome};
+use squality_formats::RecordId;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Metadata describing a connection, reported by
+/// [`Connector::info`](crate::Connector::info).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectorInfo {
+    /// Lowercase engine name ("sqlite", "postgresql", "duckdb", "mysql").
+    pub engine: String,
+    /// Client kind label ("cli", "connector"), when the connector has one.
+    pub client: Option<String>,
+    /// Engine version string, when the connector knows one.
+    pub version: Option<String>,
+}
+
+impl ConnectorInfo {
+    /// Minimal info: an engine name and nothing else.
+    pub fn named(engine: &str) -> ConnectorInfo {
+        ConnectorInfo { engine: engine.to_string(), client: None, version: None }
+    }
+}
+
+/// One event in a suite run's lifecycle.
+///
+/// Events borrow from the run in progress (file names, outcomes), so
+/// observers that retain data copy what they need.
+#[derive(Debug)]
+pub enum RunEvent<'a> {
+    /// The run is about to execute `files` test files.
+    SuiteStarted {
+        /// Human-readable run label (e.g. `"pg_regress→SQLite"`).
+        label: &'a str,
+        /// Number of input files.
+        files: usize,
+        /// Metadata of the connections the run executes on.
+        connector: &'a ConnectorInfo,
+    },
+    /// A worker claimed file `index` and is about to execute it.
+    FileStarted {
+        /// Input index of the file.
+        index: usize,
+        /// File name.
+        file: &'a str,
+    },
+    /// One record finished with `outcome` (pass, fail, skip with its
+    /// interned reason, crash, or hang).
+    RecordFinished {
+        /// Input index of the file the record belongs to.
+        index: usize,
+        /// File name.
+        file: &'a str,
+        /// Stable record id (source line + execution ordinal).
+        id: RecordId,
+        /// The record's outcome, including skip reasons and failure detail.
+        outcome: &'a Outcome,
+        /// Advisory wall-clock execution time. Excluded from the
+        /// determinism contract.
+        elapsed_nanos: u64,
+    },
+    /// A file finished; `result` holds its per-record outcomes.
+    FileFinished {
+        /// Input index of the file.
+        index: usize,
+        /// File name.
+        file: &'a str,
+        /// The complete per-record results of the file.
+        result: &'a FileResult,
+        /// Advisory wall-clock time for the whole file.
+        elapsed_nanos: u64,
+    },
+    /// The run finished; aggregate counts over every file.
+    SuiteFinished {
+        /// The label from [`RunEvent::SuiteStarted`].
+        label: &'a str,
+        /// Number of input files.
+        files: usize,
+        /// Total records across files.
+        total: usize,
+        /// Passed records.
+        passed: usize,
+        /// Failed records (crashes/hangs excluded).
+        failed: usize,
+        /// Skipped records.
+        skipped: usize,
+        /// Crash count.
+        crashes: usize,
+        /// Hang count.
+        hangs: usize,
+        /// Advisory wall-clock time for the whole run.
+        elapsed_nanos: u64,
+    },
+}
+
+/// A sink for [`RunEvent`]s.
+///
+/// Observers are shared across scheduler workers, so `on_event` takes
+/// `&self` and implementations must be internally synchronised (the
+/// built-in ones use a mutex or atomics). Events for one *file* always
+/// arrive from a single thread in deterministic order; events of
+/// different files interleave arbitrarily.
+pub trait RunObserver: Sync {
+    /// Receive one event. Must not panic; keep it cheap — it runs on the
+    /// worker's execution path.
+    fn on_event(&self, event: &RunEvent<'_>);
+}
+
+/// Emit a [`RunEvent::SuiteFinished`] whose counts are aggregated from
+/// the per-file results — the one place the suite-level bookkeeping is
+/// derived, shared by the scheduler and sequential execution paths.
+pub fn emit_suite_finished(
+    observer: &dyn RunObserver,
+    label: &str,
+    results: &[FileResult],
+    elapsed_nanos: u64,
+) {
+    observer.on_event(&RunEvent::SuiteFinished {
+        label,
+        files: results.len(),
+        total: results.iter().map(FileResult::total).sum(),
+        passed: results.iter().map(FileResult::passed).sum(),
+        failed: results.iter().map(FileResult::failed).sum(),
+        skipped: results.iter().map(FileResult::skipped).sum(),
+        crashes: results.iter().map(FileResult::crashes).sum(),
+        hangs: results.iter().map(FileResult::hangs).sum(),
+        elapsed_nanos,
+    });
+}
+
+/// An observer that discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {
+    fn on_event(&self, _event: &RunEvent<'_>) {}
+}
+
+/// Fan an event stream out to several observers, in registration order.
+pub struct FanoutObserver<'a>(pub &'a [&'a dyn RunObserver]);
+
+impl RunObserver for FanoutObserver<'_> {
+    fn on_event(&self, event: &RunEvent<'_>) {
+        for obs in self.0 {
+            obs.on_event(event);
+        }
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one event as a single JSON object line (no trailing newline).
+/// Timing fields are included only when `timing` is set.
+fn event_to_json(event: &RunEvent<'_>, timing: bool) -> String {
+    let mut line = String::with_capacity(96);
+    let push_time = |line: &mut String, nanos: u64| {
+        if timing {
+            line.push_str(&format!(",\"elapsed_nanos\":{nanos}"));
+        }
+    };
+    match event {
+        RunEvent::SuiteStarted { label, files, connector } => {
+            line.push_str(&format!(
+                "{{\"event\":\"suite_started\",\"label\":\"{}\",\"files\":{},\"engine\":\"{}\"",
+                json_escape(label),
+                files,
+                json_escape(&connector.engine)
+            ));
+            if let Some(client) = &connector.client {
+                line.push_str(&format!(",\"client\":\"{}\"", json_escape(client)));
+            }
+            if let Some(version) = &connector.version {
+                line.push_str(&format!(",\"version\":\"{}\"", json_escape(version)));
+            }
+            line.push('}');
+        }
+        RunEvent::FileStarted { index, file } => {
+            line.push_str(&format!(
+                "{{\"event\":\"file_started\",\"index\":{},\"file\":\"{}\"}}",
+                index,
+                json_escape(file)
+            ));
+        }
+        RunEvent::RecordFinished { index, file, id, outcome, elapsed_nanos } => {
+            line.push_str(&format!(
+                "{{\"event\":\"record\",\"index\":{},\"file\":\"{}\",\"id\":\"{}\",\
+                 \"line\":{},\"ordinal\":{}",
+                index,
+                json_escape(file),
+                id,
+                id.line,
+                id.ordinal
+            ));
+            match outcome {
+                Outcome::Pass => line.push_str(",\"outcome\":\"pass\""),
+                Outcome::Fail(info) => {
+                    line.push_str(&format!(
+                        ",\"outcome\":\"fail\",\"kind\":\"{:?}\",\"detail\":\"{}\"",
+                        info.kind,
+                        json_escape(&info.detail)
+                    ));
+                    if let Some(ek) = info.error_kind {
+                        line.push_str(&format!(",\"error_kind\":\"{ek:?}\""));
+                    }
+                }
+                Outcome::Skipped(reason) => {
+                    line.push_str(&format!(
+                        ",\"outcome\":\"skip\",\"reason\":\"{}\"",
+                        json_escape(reason)
+                    ));
+                }
+                Outcome::Crash(m) => {
+                    line.push_str(&format!(
+                        ",\"outcome\":\"crash\",\"message\":\"{}\"",
+                        json_escape(m)
+                    ));
+                }
+                Outcome::Hang(m) => {
+                    line.push_str(&format!(
+                        ",\"outcome\":\"hang\",\"message\":\"{}\"",
+                        json_escape(m)
+                    ));
+                }
+            }
+            push_time(&mut line, *elapsed_nanos);
+            line.push('}');
+        }
+        RunEvent::FileFinished { index, file, result, elapsed_nanos } => {
+            line.push_str(&format!(
+                "{{\"event\":\"file_finished\",\"index\":{},\"file\":\"{}\",\"total\":{},\
+                 \"passed\":{},\"failed\":{},\"skipped\":{},\"crashes\":{},\"hangs\":{}",
+                index,
+                json_escape(file),
+                result.total(),
+                result.passed(),
+                result.failed(),
+                result.skipped(),
+                result.crashes(),
+                result.hangs()
+            ));
+            push_time(&mut line, *elapsed_nanos);
+            line.push('}');
+        }
+        RunEvent::SuiteFinished {
+            label,
+            files,
+            total,
+            passed,
+            failed,
+            skipped,
+            crashes,
+            hangs,
+            elapsed_nanos,
+        } => {
+            line.push_str(&format!(
+                "{{\"event\":\"suite_finished\",\"label\":\"{}\",\"files\":{},\"total\":{},\
+                 \"passed\":{},\"failed\":{},\"skipped\":{},\"crashes\":{},\"hangs\":{}",
+                json_escape(label),
+                files,
+                total,
+                passed,
+                failed,
+                skipped,
+                crashes,
+                hangs
+            ));
+            push_time(&mut line, *elapsed_nanos);
+            line.push('}');
+        }
+    }
+    line
+}
+
+/// Where finished JSONL lines go.
+enum JsonlSink {
+    /// Retained in memory; read back with [`JsonlObserver::log`].
+    Memory(Vec<String>),
+    /// Streamed to a writer as each suite finishes.
+    Writer(Box<dyn Write + Send>),
+}
+
+struct JsonlState {
+    sink: JsonlSink,
+    /// The pending `suite_started` line of the suite in progress.
+    header: Option<String>,
+    /// Per-file event blocks of the suite in progress, keyed by input
+    /// index. Each block is `[file_started, record*, file_finished]`.
+    blocks: Vec<Vec<String>>,
+}
+
+/// Writes the event stream as JSON Lines, one object per event.
+///
+/// Events are buffered per file and flushed at `SuiteFinished` in **input
+/// index order**, and timing fields are omitted unless enabled with
+/// [`JsonlObserver::with_timing`] — so for a given run configuration the
+/// log is byte-identical at every worker count. The observer can be
+/// reused across consecutive suite runs (a study appends one block of
+/// lines per run).
+pub struct JsonlObserver {
+    timing: bool,
+    state: Mutex<JsonlState>,
+}
+
+impl Default for JsonlObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonlObserver {
+    /// In-memory log, read back with [`JsonlObserver::log`].
+    pub fn new() -> JsonlObserver {
+        JsonlObserver {
+            timing: false,
+            state: Mutex::new(JsonlState {
+                sink: JsonlSink::Memory(Vec::new()),
+                header: None,
+                blocks: Vec::new(),
+            }),
+        }
+    }
+
+    /// Stream the log to a writer (flushed once per finished suite).
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> JsonlObserver {
+        JsonlObserver {
+            timing: false,
+            state: Mutex::new(JsonlState {
+                sink: JsonlSink::Writer(writer),
+                header: None,
+                blocks: Vec::new(),
+            }),
+        }
+    }
+
+    /// Stream the log to a file created at `path`.
+    pub fn to_path(path: &str) -> std::io::Result<JsonlObserver> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Include advisory `elapsed_nanos` fields in every line. Timing is
+    /// wall-clock and therefore **outside the determinism contract**: a
+    /// timed log is not byte-stable across runs or worker counts.
+    pub fn with_timing(mut self, timing: bool) -> JsonlObserver {
+        self.timing = timing;
+        self
+    }
+
+    /// The complete in-memory log (empty when streaming to a writer).
+    /// Lines are newline-terminated.
+    pub fn log(&self) -> String {
+        let state = self.state.lock().expect("jsonl state poisoned");
+        match &state.sink {
+            JsonlSink::Memory(lines) => {
+                let mut out = String::new();
+                for l in lines {
+                    out.push_str(l);
+                    out.push('\n');
+                }
+                out
+            }
+            JsonlSink::Writer(_) => String::new(),
+        }
+    }
+
+    fn emit_lines(state: &mut JsonlState, lines: Vec<String>) {
+        match &mut state.sink {
+            JsonlSink::Memory(all) => all.extend(lines),
+            JsonlSink::Writer(w) => {
+                for l in &lines {
+                    let _ = writeln!(w, "{l}");
+                }
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+impl RunObserver for JsonlObserver {
+    fn on_event(&self, event: &RunEvent<'_>) {
+        let line = event_to_json(event, self.timing);
+        let mut state = self.state.lock().expect("jsonl state poisoned");
+        let ensure_block = |state: &mut JsonlState, index: usize| {
+            if state.blocks.len() <= index {
+                state.blocks.resize_with(index + 1, Vec::new);
+            }
+        };
+        match event {
+            RunEvent::SuiteStarted { files, .. } => {
+                state.header = Some(line);
+                state.blocks = Vec::with_capacity(*files);
+            }
+            RunEvent::FileStarted { index, .. } | RunEvent::RecordFinished { index, .. } => {
+                ensure_block(&mut state, *index);
+                state.blocks[*index].push(line);
+            }
+            RunEvent::FileFinished { index, .. } => {
+                ensure_block(&mut state, *index);
+                state.blocks[*index].push(line);
+                // Outside a suite (a bare `run_file_observed`), flush the
+                // file's block immediately — there is no SuiteFinished.
+                if state.header.is_none() {
+                    let block = std::mem::take(&mut state.blocks[*index]);
+                    Self::emit_lines(&mut state, block);
+                }
+            }
+            RunEvent::SuiteFinished { .. } => {
+                let mut out = Vec::new();
+                if let Some(header) = state.header.take() {
+                    out.push(header);
+                }
+                for block in std::mem::take(&mut state.blocks) {
+                    out.extend(block);
+                }
+                out.push(line);
+                Self::emit_lines(&mut state, out);
+            }
+        }
+    }
+}
+
+/// Live progress reporting for CLI use, one line per finished file.
+///
+/// Writes to stderr by default so it composes with report output on
+/// stdout. File lines arrive in *completion* order (this observer shows
+/// what is happening now; use [`JsonlObserver`] for the canonical log).
+pub struct ProgressObserver {
+    files: AtomicUsize,
+    done: AtomicUsize,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Default for ProgressObserver {
+    fn default() -> Self {
+        Self::stderr()
+    }
+}
+
+impl ProgressObserver {
+    /// Progress to stderr.
+    pub fn stderr() -> ProgressObserver {
+        Self::to_writer(Box::new(std::io::stderr()))
+    }
+
+    /// Progress to an arbitrary writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> ProgressObserver {
+        ProgressObserver {
+            files: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            out: Mutex::new(out),
+        }
+    }
+
+    fn say(&self, line: &str) {
+        let mut out = self.out.lock().expect("progress writer poisoned");
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+impl RunObserver for ProgressObserver {
+    fn on_event(&self, event: &RunEvent<'_>) {
+        match event {
+            RunEvent::SuiteStarted { label, files, connector } => {
+                self.files.store(*files, Ordering::Relaxed);
+                self.done.store(0, Ordering::Relaxed);
+                self.say(&format!("▶ {label}: {files} files on {}", connector.engine));
+            }
+            RunEvent::FileFinished { file, result, .. } => {
+                let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+                let files = self.files.load(Ordering::Relaxed);
+                self.say(&format!(
+                    "  [{done}/{files}] {file}: {} passed, {} failed, {} skipped",
+                    result.passed(),
+                    result.failed(),
+                    result.skipped()
+                ));
+            }
+            RunEvent::SuiteFinished {
+                label,
+                passed,
+                failed,
+                skipped,
+                crashes,
+                hangs,
+                elapsed_nanos,
+                ..
+            } => {
+                self.say(&format!(
+                    "✔ {label}: {passed} passed, {failed} failed, {skipped} skipped, \
+                     {crashes} crashes, {hangs} hangs in {:.1}ms",
+                    *elapsed_nanos as f64 / 1e6
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Test helper: collect owned copies of every event.
+#[cfg(test)]
+pub(crate) struct CollectingObserver(pub Mutex<Vec<String>>);
+
+#[cfg(test)]
+impl CollectingObserver {
+    pub fn new() -> CollectingObserver {
+        CollectingObserver(Mutex::new(Vec::new()))
+    }
+    pub fn lines(&self) -> Vec<String> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+impl RunObserver for CollectingObserver {
+    fn on_event(&self, event: &RunEvent<'_>) {
+        self.0.lock().unwrap().push(event_to_json(event, false));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{FailInfo, FailKind};
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn record_event_serializes_outcomes() {
+        let outcome = Outcome::Fail(FailInfo {
+            kind: FailKind::WrongResult,
+            error_kind: None,
+            detail: "expected \"1\"".into(),
+            expected: vec![],
+            actual: vec![],
+        });
+        let ev = RunEvent::RecordFinished {
+            index: 0,
+            file: "f.test",
+            id: RecordId::new(12, 4),
+            outcome: &outcome,
+            elapsed_nanos: 99,
+        };
+        let line = event_to_json(&ev, false);
+        assert!(line.contains("\"id\":\"L12#4\""), "{line}");
+        assert!(line.contains("\"outcome\":\"fail\""), "{line}");
+        assert!(line.contains("\"kind\":\"WrongResult\""), "{line}");
+        assert!(line.contains("expected \\\"1\\\""), "{line}");
+        assert!(!line.contains("elapsed_nanos"), "{line}");
+        let timed = event_to_json(&ev, true);
+        assert!(timed.contains("\"elapsed_nanos\":99"), "{timed}");
+    }
+
+    #[test]
+    fn skip_reason_appears_in_event() {
+        let outcome = Outcome::Skipped("condition excludes sqlite".into());
+        let ev = RunEvent::RecordFinished {
+            index: 3,
+            file: "f.test",
+            id: RecordId::new(1, 0),
+            outcome: &outcome,
+            elapsed_nanos: 0,
+        };
+        let line = event_to_json(&ev, false);
+        assert!(line.contains("\"outcome\":\"skip\""), "{line}");
+        assert!(line.contains("\"reason\":\"condition excludes sqlite\""), "{line}");
+    }
+
+    #[test]
+    fn jsonl_observer_orders_blocks_by_input_index() {
+        let obs = JsonlObserver::new();
+        let info = ConnectorInfo::named("sqlite");
+        let fr = FileResult { file: "b".into(), ..FileResult::default() };
+        obs.on_event(&RunEvent::SuiteStarted { label: "t", files: 2, connector: &info });
+        // File 1 finishes before file 0 (out-of-order completion).
+        obs.on_event(&RunEvent::FileStarted { index: 1, file: "b" });
+        obs.on_event(&RunEvent::FileFinished {
+            index: 1,
+            file: "b",
+            result: &fr,
+            elapsed_nanos: 0,
+        });
+        obs.on_event(&RunEvent::FileStarted { index: 0, file: "a" });
+        obs.on_event(&RunEvent::FileFinished {
+            index: 0,
+            file: "a",
+            result: &fr,
+            elapsed_nanos: 0,
+        });
+        obs.on_event(&RunEvent::SuiteFinished {
+            label: "t",
+            files: 2,
+            total: 0,
+            passed: 0,
+            failed: 0,
+            skipped: 0,
+            crashes: 0,
+            hangs: 0,
+            elapsed_nanos: 1,
+        });
+        let log = obs.log();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("suite_started"));
+        assert!(lines[1].contains("\"index\":0"), "{}", lines[1]);
+        assert!(lines[3].contains("\"index\":1"), "{}", lines[3]);
+        assert!(lines[5].contains("suite_finished"));
+    }
+}

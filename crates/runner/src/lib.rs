@@ -8,6 +8,8 @@
 //!   matching the paper's §9 claim) and the [`ConnectorFactory`] that mints
 //!   per-worker connections,
 //! * [`runner`] — conditioned, loop-expanding, halting execution,
+//! * [`events`] — the typed [`RunEvent`] stream ([`RunObserver`] sinks,
+//!   JSONL logging, CLI progress) every suite run can emit,
 //! * [`scheduler`] — parallel, deterministic suite execution over a
 //!   worker pool,
 //! * [`validate`] — SLT sort modes, hash-threshold, exact vs tolerant
@@ -19,6 +21,7 @@
 
 pub mod classify;
 pub mod connector;
+pub mod events;
 pub mod outcome;
 pub mod runner;
 pub mod scheduler;
@@ -30,6 +33,10 @@ pub use classify::{
 };
 pub use connector::{
     Connector, ConnectorFactory, EngineConnector, EngineConnectorFactory, FnFactory,
+};
+pub use events::{
+    ConnectorInfo, FanoutObserver, JsonlObserver, NullObserver, ProgressObserver, RunEvent,
+    RunObserver,
 };
 pub use outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult, SkipReason};
 pub use runner::{Runner, RunnerOptions, TranslationMode};

@@ -8,11 +8,12 @@
 //! these commands"), which surfaces as the Runner/Misc failure class.
 
 use crate::connector::Connector;
+use crate::events::{RunEvent, RunObserver};
 use crate::outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult, SkipReason};
 use crate::validate::{validate_query, NumericMode, Verdict};
 use squality_engine::ErrorKind;
 use squality_formats::{
-    ControlCommand, QueryExpectation, RecordKind, StatementExpect, TestFile, TestRecord,
+    ControlCommand, QueryExpectation, RecordId, RecordKind, StatementExpect, TestFile, TestRecord,
 };
 use squality_sqlast::translate::{TranslationCache, TranslationStats};
 use squality_sqltext::TextDialect;
@@ -87,6 +88,38 @@ impl Runner {
 
     /// Execute a test file against a connector.
     pub fn run_file(&self, conn: &mut dyn Connector, file: &TestFile) -> FileResult {
+        self.run_file_inner(conn, file, 0, None)
+    }
+
+    /// [`Runner::run_file`] emitting [`RunEvent`]s to `observer`:
+    /// `FileStarted`, one `RecordFinished` per record (in execution
+    /// order, with its stable [`RecordId`]), then `FileFinished`. `index`
+    /// is the file's input index within its suite run (0 when running a
+    /// file standalone).
+    pub fn run_file_observed(
+        &self,
+        conn: &mut dyn Connector,
+        file: &TestFile,
+        index: usize,
+        observer: &dyn RunObserver,
+    ) -> FileResult {
+        self.run_file_inner(conn, file, index, Some(observer))
+    }
+
+    /// The execution loop. `observer: None` skips event emission *and*
+    /// the per-record wall-clock reads, keeping the unobserved hot path
+    /// exactly as cheap as before events existed.
+    fn run_file_inner(
+        &self,
+        conn: &mut dyn Connector,
+        file: &TestFile,
+        index: usize,
+        observer: Option<&dyn RunObserver>,
+    ) -> FileResult {
+        let started = observer.is_some().then(std::time::Instant::now);
+        if let Some(obs) = observer {
+            obs.on_event(&RunEvent::FileStarted { index, file: &file.name });
+        }
         if self.options.fresh_database {
             conn.reset();
         }
@@ -101,11 +134,23 @@ impl Runner {
             mode_skip: false,
             cond_reason: None,
             results: Vec::new(),
+            observer,
+            file_index: index,
+            file_name: &file.name,
         };
         ctx.run_records(&file.records);
         let crashed = ctx.results.iter().any(|r| matches!(r.outcome, Outcome::Crash(_)));
         let hung = ctx.results.iter().any(|r| matches!(r.outcome, Outcome::Hang(_)));
-        FileResult { file: file.name.clone(), results: ctx.results, crashed, hung }
+        let result = FileResult { file: file.name.clone(), results: ctx.results, crashed, hung };
+        if let Some(obs) = observer {
+            obs.on_event(&RunEvent::FileFinished {
+                index,
+                file: &file.name,
+                result: &result,
+                elapsed_nanos: started.map_or(0, |s| s.elapsed().as_nanos() as u64),
+            });
+        }
+        result
     }
 }
 
@@ -123,6 +168,10 @@ struct RunCtx<'a> {
     /// Interned "condition excludes <engine>" reason for this connection.
     cond_reason: Option<SkipReason>,
     results: Vec<RecordResult>,
+    /// `None` = no event emission and no per-record clock reads.
+    observer: Option<&'a dyn RunObserver>,
+    file_index: usize,
+    file_name: &'a str,
 }
 
 /// Interned reason for `mode skip` suppression (one allocation per
@@ -134,6 +183,21 @@ fn mode_skip_reason() -> SkipReason {
 }
 
 impl<'a> RunCtx<'a> {
+    /// Record one outcome: emit the `RecordFinished` event (the ordinal is
+    /// the record's position in execution order), then store the result.
+    fn record(&mut self, line: usize, sql: Option<String>, outcome: Outcome, elapsed_nanos: u64) {
+        if let Some(obs) = self.observer {
+            obs.on_event(&RunEvent::RecordFinished {
+                index: self.file_index,
+                file: self.file_name,
+                id: RecordId::new(line, self.results.len()),
+                outcome: &outcome,
+                elapsed_nanos,
+            });
+        }
+        self.results.push(RecordResult { line, sql, outcome });
+    }
+
     fn condition_excludes_reason(&mut self) -> SkipReason {
         if self.cond_reason.is_none() {
             self.cond_reason =
@@ -144,12 +208,8 @@ impl<'a> RunCtx<'a> {
 
     fn run_records(&mut self, records: &[TestRecord]) {
         for rec in records {
-            if let Some(reason) = &self.stopped {
-                self.results.push(RecordResult {
-                    line: rec.line,
-                    sql: None,
-                    outcome: Outcome::Skipped(reason.clone()),
-                });
+            if let Some(reason) = self.stopped.clone() {
+                self.record(rec.line, None, Outcome::Skipped(reason), 0);
                 continue;
             }
             if self.mode_skip {
@@ -159,20 +219,12 @@ impl<'a> RunCtx<'a> {
                         self.mode_skip = false;
                     }
                 }
-                self.results.push(RecordResult {
-                    line: rec.line,
-                    sql: None,
-                    outcome: Outcome::Skipped(mode_skip_reason()),
-                });
+                self.record(rec.line, None, Outcome::Skipped(mode_skip_reason()), 0);
                 continue;
             }
             if !rec.applies_to(self.conn.engine_name()) {
                 let reason = self.condition_excludes_reason();
-                self.results.push(RecordResult {
-                    line: rec.line,
-                    sql: None,
-                    outcome: Outcome::Skipped(reason),
-                });
+                self.record(rec.line, None, Outcome::Skipped(reason), 0);
                 continue;
             }
             self.run_record(rec);
@@ -183,15 +235,19 @@ impl<'a> RunCtx<'a> {
         match &rec.kind {
             RecordKind::Statement { sql, expect } => {
                 let sql = self.prepare_sql(sql);
+                let started = self.observer.is_some().then(std::time::Instant::now);
                 let outcome = self.run_statement(&sql, expect);
+                let elapsed = started.map_or(0, |s| s.elapsed().as_nanos() as u64);
                 self.check_stop(&outcome);
-                self.results.push(RecordResult { line: rec.line, sql: Some(sql), outcome });
+                self.record(rec.line, Some(sql), outcome, elapsed);
             }
             RecordKind::Query { sql, types, sort, expected, .. } => {
                 let sql = self.prepare_sql(sql);
+                let started = self.observer.is_some().then(std::time::Instant::now);
                 let outcome = self.run_query(&sql, types, *sort, expected);
+                let elapsed = started.map_or(0, |s| s.elapsed().as_nanos() as u64);
                 self.check_stop(&outcome);
-                self.results.push(RecordResult { line: rec.line, sql: Some(sql), outcome });
+                self.record(rec.line, Some(sql), outcome, elapsed);
             }
             RecordKind::Control(cmd) => self.run_control(rec.line, cmd),
         }
@@ -329,7 +385,7 @@ impl<'a> RunCtx<'a> {
                 Outcome::Pass
             }
             ControlCommand::Loop { var, start, end, body } => {
-                self.results.push(RecordResult { line, sql: None, outcome: Outcome::Pass });
+                self.record(line, None, Outcome::Pass, 0);
                 for i in *start..*end {
                     self.vars.insert(var.clone(), i.to_string());
                     self.run_records(body);
@@ -341,7 +397,7 @@ impl<'a> RunCtx<'a> {
                 return;
             }
             ControlCommand::Foreach { var, values, body } => {
-                self.results.push(RecordResult { line, sql: None, outcome: Outcome::Pass });
+                self.record(line, None, Outcome::Pass, 0);
                 for v in values {
                     self.vars.insert(var.clone(), v.clone());
                     self.run_records(body);
@@ -386,7 +442,7 @@ impl<'a> RunCtx<'a> {
                 Outcome::Skipped(format!("unsupported runner command: {u}").into())
             }
         };
-        self.results.push(RecordResult { line, sql: None, outcome });
+        self.record(line, None, outcome, 0);
     }
 
     /// Variable substitution followed by optional dialect translation —

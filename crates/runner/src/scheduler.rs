@@ -15,6 +15,7 @@
 //! the scheduler resets every connection before every file.
 
 use crate::connector::{Connector, ConnectorFactory};
+use crate::events::{RunEvent, RunObserver};
 use crate::outcome::FileResult;
 use crate::runner::{Runner, RunnerOptions};
 use squality_formats::TestFile;
@@ -58,6 +59,47 @@ impl Runner {
         workers: usize,
         prepare: impl Fn(&mut F::Conn) + Sync,
     ) -> SuiteExecution<F::Conn> {
+        self.run_suite_inner(factory, files, workers, prepare, None)
+    }
+
+    /// [`Runner::run_suite_with`] emitting the typed event stream to
+    /// `observer`: one `SuiteStarted` (carrying `label` and the factory's
+    /// connection metadata from [`Connector::info`]), per-file
+    /// `FileStarted`/`RecordFinished`/`FileFinished` events as workers
+    /// execute, and a final `SuiteFinished` with aggregate counts.
+    ///
+    /// The event *multiset* is identical at every worker count (timings
+    /// aside); see [`crate::events`] for the full contract. The metadata
+    /// comes from [`ConnectorFactory::info`] before the workers start.
+    pub fn run_suite_observed<F: ConnectorFactory>(
+        &self,
+        factory: &F,
+        files: &[TestFile],
+        workers: usize,
+        label: &str,
+        prepare: impl Fn(&mut F::Conn) + Sync,
+        observer: &dyn RunObserver,
+    ) -> SuiteExecution<F::Conn> {
+        self.run_suite_inner(factory, files, workers, prepare, Some((label, observer)))
+    }
+
+    fn run_suite_inner<F: ConnectorFactory>(
+        &self,
+        factory: &F,
+        files: &[TestFile],
+        workers: usize,
+        prepare: impl Fn(&mut F::Conn) + Sync,
+        observed: Option<(&str, &dyn RunObserver)>,
+    ) -> SuiteExecution<F::Conn> {
+        let started = std::time::Instant::now();
+        if let Some((label, observer)) = observed {
+            let info = factory.info();
+            observer.on_event(&RunEvent::SuiteStarted {
+                label,
+                files: files.len(),
+                connector: &info,
+            });
+        }
         let workers = effective_workers(workers, files.len());
         // The scheduler owns the per-file reset (reset → prepare → run), so
         // the inner runner must not reset again and wipe the preparation.
@@ -87,7 +129,12 @@ impl Runner {
                         let conn = conn.get_or_insert_with(|| factory.connect());
                         conn.reset();
                         prepare(conn);
-                        let result = per_file.run_file(conn, file);
+                        let result = match observed {
+                            Some((_, observer)) => {
+                                per_file.run_file_observed(conn, file, i, observer)
+                            }
+                            None => per_file.run_file(conn, file),
+                        };
                         *slots[i].lock().expect("result slot poisoned") = Some(result);
                     }
                     if let Some(conn) = conn {
@@ -97,7 +144,7 @@ impl Runner {
             }
         });
 
-        SuiteExecution {
+        let execution = SuiteExecution {
             results: slots
                 .into_iter()
                 .map(|slot| {
@@ -107,7 +154,16 @@ impl Runner {
                 })
                 .collect(),
             connectors: retired.into_inner().expect("retired list poisoned"),
+        };
+        if let Some((label, observer)) = observed {
+            crate::events::emit_suite_finished(
+                observer,
+                label,
+                &execution.results,
+                started.elapsed().as_nanos() as u64,
+            );
         }
+        execution
     }
 }
 
@@ -263,6 +319,44 @@ mod tests {
         // "all cores" never exceeds the file count either.
         let auto = effective_workers(0, 2);
         assert!((1..=2).contains(&auto), "auto workers {auto} not clamped to 2 files");
+    }
+
+    #[test]
+    fn observed_run_emits_deterministic_event_multiset() {
+        use crate::events::CollectingObserver;
+        let files = suite(7);
+        let factory = EngineConnectorFactory::new(EngineDialect::Sqlite, ClientKind::Cli);
+        let runner = Runner::default();
+        let collect = |workers: usize| {
+            let obs = CollectingObserver::new();
+            let exec = runner.run_suite_observed(&factory, &files, workers, "det", |_| {}, &obs);
+            (exec.results, obs.lines())
+        };
+        let (base_results, base_lines) = collect(1);
+        // Event bookkeeping against the stitched results.
+        let records: usize = base_results.iter().map(FileResult::total).sum();
+        assert_eq!(
+            base_lines.iter().filter(|l| l.contains("\"event\":\"record\"")).count(),
+            records
+        );
+        assert_eq!(
+            base_lines.iter().filter(|l| l.contains("\"event\":\"file_started\"")).count(),
+            files.len()
+        );
+        assert!(base_lines.first().unwrap().contains("suite_started"));
+        assert!(base_lines.last().unwrap().contains("suite_finished"));
+        assert!(base_lines.last().unwrap().contains("\"label\":\"det\""));
+        // The multiset contract: identical events at any worker count,
+        // whatever the interleaving.
+        let mut base_sorted = base_lines.clone();
+        base_sorted.sort();
+        for workers in [2, 8] {
+            let (results, lines) = collect(workers);
+            assert_eq!(results, base_results, "workers={workers}");
+            let mut sorted = lines;
+            sorted.sort();
+            assert_eq!(sorted, base_sorted, "workers={workers}");
+        }
     }
 
     #[test]

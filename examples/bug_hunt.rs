@@ -15,7 +15,9 @@ use squality::core::{run_study, StudyConfig};
 fn main() {
     let scale = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0.1);
     eprintln!("running the cross-DBMS execution matrix (scale {scale}, all cores)...");
-    let study = run_study(StudyConfig { seed: 0xB16B00, scale, workers: 0, translated_arm: false });
+    let config =
+        StudyConfig::default().with_seed(0xB16B00).with_scale(scale).with_translated_arm(false);
+    let study = run_study(config);
 
     let crashes: Vec<_> = study.bugs.iter().filter(|b| b.is_crash).collect();
     let hangs: Vec<_> = study.bugs.iter().filter(|b| !b.is_crash).collect();

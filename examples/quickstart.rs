@@ -4,9 +4,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use squality::core::Harness;
 use squality::engine::{ClientKind, EngineDialect, PlanCache};
-use squality::formats::{parse_slt, SltFlavor};
-use squality::runner::{EngineConnector, EngineConnectorFactory, Runner};
+use squality::formats::{parse_slt, SltFlavor, SuiteKind};
+use squality::runner::{EngineConnector, JsonlObserver, Runner};
 use std::sync::Arc;
 
 // The paper's Listing 1, with a Listing 4-style division pair appended.
@@ -70,23 +71,37 @@ fn main() {
          (104,033 failing SLT cases in the paper's Table 6)."
     );
 
-    // 3. Scale up: shard many files over a worker pool. A factory mints one
-    // connection per worker, a shared plan cache parses each statement text
-    // once, and results come back in input order — byte-identical whatever
-    // the worker count.
+    // 3. Scale up through the Harness builder: shard many files over a
+    // worker pool with a shared plan cache, and stream typed run events to
+    // an observer. Results and the (untimed) event log are byte-identical
+    // whatever the worker count.
     let files: Vec<_> =
         (0..16).map(|i| parse_slt(&format!("file{i}.test"), SLT, SltFlavor::Classic)).collect();
     let cache = PlanCache::shared();
-    let factory = EngineConnectorFactory::new(EngineDialect::Sqlite, ClientKind::Connector)
-        .plan_cache(Arc::clone(&cache));
-    let results = runner.run_suite(&factory, &files, 4);
-    let passed: usize = results.iter().map(|r| r.passed()).sum();
+    let events = JsonlObserver::new();
+    let run = Harness::builder()
+        .files(SuiteKind::Slt, &files)
+        .host(EngineDialect::Sqlite)
+        .workers(4)
+        .plan_cache(Arc::clone(&cache))
+        .observer(&events)
+        .label("quickstart")
+        .build()
+        .expect("a suite was configured")
+        .run();
     let stats = cache.stats();
     println!(
-        "\nparallel: {} files on 4 workers — {passed} records passed, \
+        "\nparallel: {} files on 4 workers — {} records passed, \
          plan cache {} hits / {} misses",
-        results.len(),
+        files.len(),
+        run.summary.passed,
         stats.hits,
         stats.misses,
+    );
+    let log = events.log();
+    println!(
+        "the run emitted {} events; last: {}",
+        log.lines().count(),
+        log.lines().last().unwrap_or_default()
     );
 }

@@ -141,7 +141,7 @@ fn donor_environments_control_dependency_failures() {
 
 #[test]
 fn full_study_smoke() {
-    let study = run_study(StudyConfig { seed: 123, scale: 0.04, workers: 0, translated_arm: true });
+    let study = run_study(StudyConfig::default().with_seed(123).with_scale(0.04));
     // All four suites generated; the three executed ones have matrix rows.
     assert_eq!(study.suites.len(), 4);
     assert_eq!(study.matrix.len(), 12);
@@ -158,8 +158,8 @@ fn study_results_identical_across_worker_counts() {
     // The parallel pipeline is a pure throughput knob: the whole study —
     // matrix, donor runs, coverage, bug findings — must be byte-identical
     // at any worker count.
-    let a = run_study(StudyConfig { seed: 9, scale: 0.03, workers: 1, translated_arm: true });
-    let b = run_study(StudyConfig { seed: 9, scale: 0.03, workers: 3, translated_arm: true });
+    let a = run_study(StudyConfig::default().with_seed(9).with_scale(0.03).with_workers(1));
+    let b = run_study(StudyConfig::default().with_seed(9).with_scale(0.03).with_workers(3));
     assert_eq!(a.matrix.len(), b.matrix.len());
     for (ca, cb) in a.matrix.iter().zip(&b.matrix) {
         assert_eq!(ca.suite, cb.suite);
