@@ -3,10 +3,12 @@
 //! ```text
 //! squality-tables [section...] [--scale F] [--seed N] [--workers W]
 //!                 [--events PATH] [--progress]
+//!                 [--reduce] [--out DIR] [--max-probes N]
 //!                 [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]
 //! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
 //!           figure4 table6 table7 table8 translation bugs all (default: all)
-//!           bench-engine (hot-path perf comparison → BENCH_engine.json)
+//!           triage (signature clustering [+ --reduce ddmin repros → --out])
+//!           bench-engine (hot-path + reduction perf → BENCH_engine.json)
 //! ```
 //!
 //! `--workers 0` (the default) shards suite execution over all cores; any
@@ -16,11 +18,20 @@
 //! (byte-identical at any worker count); `--progress` reports per-file
 //! progress live on stderr.
 //!
+//! `triage` clusters every study failure by its `FailureSignature` and
+//! prints the triage table; with `--reduce` it also ddmin-minimizes one
+//! exemplar per cluster (fanned out over `--workers`) and writes each
+//! **verified** repro — re-parsed and re-executed standalone to the same
+//! signature — as a self-contained `.test` file under `--out` (default
+//! `triage-repros`).
+//!
 //! `bench-engine` measures the execution-core hot paths (grouping,
-//! DISTINCT, equi-join, set-ops) under both executor strategies and writes
-//! before/after medians to `--bench-out` (default `BENCH_engine.json`).
+//! DISTINCT, equi-join, set-ops) under both executor strategies plus the
+//! triage reduction loop, and writes the numbers to `--bench-out`
+//! (default `BENCH_engine.json`).
 
-use squality_core::{run_study_with_observers, Study, StudyConfig};
+use squality_core::triage::{triage_study_with_observers, TriageConfig};
+use squality_core::{run_study_with_observers, triage_table, Study, StudyConfig};
 use squality_runner::{JsonlObserver, ProgressObserver, RunObserver};
 
 fn main() {
@@ -30,6 +41,9 @@ fn main() {
     let mut workers = 0usize;
     let mut events_path: Option<String> = None;
     let mut progress = false;
+    let mut reduce = false;
+    let mut out_dir = "triage-repros".to_string();
+    let mut max_probes = 192usize;
     let mut bench_rows: Vec<usize> = vec![1_000, 10_000];
     let mut bench_samples = 7usize;
     let mut bench_out = "BENCH_engine.json".to_string();
@@ -42,6 +56,16 @@ fn main() {
                     Some(args.next().unwrap_or_else(|| usage("missing value for --events")));
             }
             "--progress" => progress = true,
+            "--reduce" => reduce = true,
+            "--out" => {
+                out_dir = args.next().unwrap_or_else(|| usage("missing value for --out"));
+            }
+            "--max-probes" => {
+                max_probes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --max-probes"));
+            }
             "--scale" => {
                 scale = args
                     .next()
@@ -128,8 +152,58 @@ fn main() {
         eprintln!("wrote run events to {path}");
     }
     for section in &sections {
-        print_section(&study, section);
+        if section == "triage" {
+            run_triage(&study, reduce, workers, max_probes, &out_dir, progress);
+        } else {
+            print_section(&study, section);
+        }
     }
+}
+
+/// The triage section: cluster, optionally reduce, emit verified repros.
+fn run_triage(
+    study: &Study,
+    reduce: bool,
+    workers: usize,
+    max_probes: usize,
+    out_dir: &str,
+    progress: bool,
+) {
+    let config = TriageConfig::default()
+        .with_reduce(reduce)
+        .with_workers(workers)
+        .with_max_probes(max_probes);
+    // Only the progress observer follows into triage: reduction probes run
+    // in parallel across clusters, and the JSONL observer's per-suite
+    // buffering assumes one suite at a time.
+    let progress_obs = progress.then(ProgressObserver::stderr);
+    let observers: Vec<&dyn RunObserver> = match &progress_obs {
+        Some(obs) => vec![obs],
+        None => Vec::new(),
+    };
+    let report = triage_study_with_observers(study, &config, &observers);
+    print!("{}", triage_table(&report));
+    if !reduce {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("error: cannot create repro dir {out_dir}: {e}");
+        std::process::exit(1);
+    }
+    let mut written = 0usize;
+    for r in report.verified_repros() {
+        let path = format!("{out_dir}/{}", r.repro_name);
+        if let Err(e) = std::fs::write(&path, &r.repro_text) {
+            eprintln!("error: cannot write repro {path}: {e}");
+            std::process::exit(1);
+        }
+        written += 1;
+    }
+    let unverified = report.reductions.len() - written;
+    println!(
+        "Emitted {written} verified repro files to {out_dir}/ \
+         ({unverified} reductions withheld as unverified)"
+    );
 }
 
 fn print_section(study: &Study, section: &str) {
@@ -160,6 +234,7 @@ fn print_section(study: &Study, section: &str) {
 
 fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str) {
     use squality_bench::hot_paths::{render_json, run_comparison};
+    use squality_bench::reduction::run_reduction_bench;
     eprintln!(
         "measuring engine hot paths (rows: {rows:?}, {samples} samples/case, both strategies)..."
     );
@@ -178,7 +253,26 @@ fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str) {
             r.speedup()
         );
     }
-    let json = render_json(&results);
+    // The triage reducer's probe loop is a hot path too: measure ddmin
+    // throughput on synthetic failing files.
+    eprintln!("measuring triage reduction throughput...");
+    let reduction = run_reduction_bench(&[64, 256], 512);
+    println!(
+        "{:<20} {:>8} {:>10} {:>8} {:>14} {:>12}",
+        "case", "records", "reduced", "probes", "probes/sec", "eliminated"
+    );
+    for r in &reduction {
+        println!(
+            "{:<20} {:>8} {:>10} {:>8} {:>14.1} {:>12}",
+            "reduction",
+            r.records,
+            r.reduced_records,
+            r.probes,
+            r.probes_per_sec(),
+            r.records_eliminated()
+        );
+    }
+    let json = render_json(&results, &reduction);
     if let Err(e) = std::fs::write(out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -193,8 +287,10 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: squality-tables [section...] [--scale F] [--seed N] [--workers W]\n\
          \x20                      [--events PATH] [--progress]\n\
+         \x20                      [--reduce] [--out DIR] [--max-probes N]\n\
          \x20                      [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]\n\
-         sections: table1..table8, figure1..figure4, translation, bugs, all, bench-engine"
+         sections: table1..table8, figure1..figure4, translation, bugs, all, triage,\n\
+         \x20         bench-engine"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -147,8 +147,14 @@ pub fn run_comparison(row_counts: &[usize], samples: usize) -> Vec<HotPathResult
     out
 }
 
-/// Render the comparison as the `BENCH_engine.json` document.
-pub fn render_json(results: &[HotPathResult]) -> String {
+/// Render the comparison as the `BENCH_engine.json` document. When
+/// reduction rows are given (see [`crate::reduction`]), they are included
+/// as a `"reduction"` section so the perf trajectory covers the triage
+/// reducer's probe loop too.
+pub fn render_json(
+    results: &[HotPathResult],
+    reduction: &[crate::reduction::ReductionBenchResult],
+) -> String {
     let mut s = String::from(
         "{\n  \"bench\": \"engine_hot_paths\",\n  \"unit\": \"ms (median per query execution)\",\n  \"cases\": [\n",
     );
@@ -163,6 +169,12 @@ pub fn render_json(results: &[HotPathResult]) -> String {
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    s.push_str("  ]\n}\n");
+    if reduction.is_empty() {
+        s.push_str("  ]\n}\n");
+    } else {
+        s.push_str("  ],\n");
+        s.push_str(&crate::reduction::render_reduction_json(reduction));
+        s.push_str("}\n");
+    }
     s
 }

@@ -4,6 +4,7 @@
 use squality_core::{run_study, Study, StudyConfig};
 
 pub mod hot_paths;
+pub mod reduction;
 
 /// Build a study at the given scale (deterministic seed, all cores).
 pub fn study_at_scale(scale: f64) -> Study {

@@ -1,0 +1,147 @@
+//! The reduction-throughput workload: how fast the triage ddmin loop
+//! probes candidate slices on the in-process engine.
+//!
+//! Reduction probes are the new hot loop the triage subsystem adds: each
+//! probe re-executes a sliced test file, and because slices replay the
+//! same statement texts over and over, nearly every statement is a
+//! statement-plan-cache hit. This workload builds a synthetic failing
+//! file of a given size, reduces it with
+//! [`squality_core::triage::reduce_file`], and reports probes/sec and
+//! records eliminated — the numbers `BENCH_engine.json` tracks so the
+//! perf trajectory covers the reducer.
+
+use squality_core::triage::reduce_file;
+use squality_engine::EngineDialect;
+use squality_formats::{parse_slt, SltFlavor, SuiteKind, TestFile};
+use std::time::Instant;
+
+/// One measured reduction run.
+pub struct ReductionBenchResult {
+    /// Records in the synthetic failing file.
+    pub records: usize,
+    /// Records in the minimized slice.
+    pub reduced_records: usize,
+    /// Probes the ddmin loop spent.
+    pub probes: usize,
+    /// Wall-clock nanoseconds for the whole reduction.
+    pub elapsed_ns: f64,
+}
+
+impl ReductionBenchResult {
+    /// Probe throughput.
+    pub fn probes_per_sec(&self) -> f64 {
+        if self.elapsed_ns > 0.0 {
+            self.probes as f64 / (self.elapsed_ns / 1e9)
+        } else {
+            0.0
+        }
+    }
+
+    /// Records the reducer eliminated.
+    pub fn records_eliminated(&self) -> usize {
+        self.records.saturating_sub(self.reduced_records)
+    }
+}
+
+/// A failing file of `records` records with a **hidden dependency**, the
+/// shape that forces ddmin to actually search:
+///
+/// * a `set` defines a variable holding a table name,
+/// * a `CREATE TABLE ${d}` at one quarter of the file creates `dep`
+///   *through the variable* — invisible to the slicer's textual def-use
+///   scan, so the exemplar's setup closure cannot find it,
+/// * a `statement error / DROP TABLE dep` at three quarters fails
+///   (`ExpectedErrorButOk`: the drop succeeds because `dep` exists),
+/// * everything else is self-consistent passing noise.
+///
+/// The exemplar alone reproduces nothing (without the hidden CREATE the
+/// drop errors as expected and the record *passes*), so the reducer must
+/// binary-search the record set for the one hidden dependency.
+pub fn synthetic_failing_file(records: usize) -> TestFile {
+    let records = records.max(8);
+    let create_at = records / 4;
+    let fail_at = records * 3 / 4;
+    let mut text = String::from("set d dep\n\n");
+    for i in 1..records {
+        if i == create_at {
+            text.push_str("statement ok\nCREATE TABLE ${d}(a INTEGER)\n\n");
+        } else if i == fail_at {
+            text.push_str("statement error\nDROP TABLE dep\n\n");
+        } else if i % 3 == 0 {
+            text.push_str(&format!("statement ok\nCREATE TABLE noise{i}(a INTEGER)\n\n"));
+        } else if i % 3 == 1 {
+            text.push_str(&format!("statement ok\nSELECT {i}\n\n"));
+        } else {
+            text.push_str(&format!("query I nosort\nSELECT {i}\n----\n{i}\n\n"));
+        }
+    }
+    parse_slt("reduction-bench.test", &text, SltFlavor::Duckdb)
+}
+
+/// Reduce synthetic files of each size once and measure.
+pub fn run_reduction_bench(
+    record_counts: &[usize],
+    max_probes: usize,
+) -> Vec<ReductionBenchResult> {
+    let mut out = Vec::new();
+    for &records in record_counts {
+        let file = synthetic_failing_file(records);
+        let start = Instant::now();
+        let r = reduce_file(&file, SuiteKind::Slt, EngineDialect::Sqlite, max_probes)
+            .expect("the synthetic file always fails");
+        out.push(ReductionBenchResult {
+            records: file.record_count(),
+            reduced_records: r.reduced_records,
+            probes: r.probes,
+            elapsed_ns: start.elapsed().as_nanos() as f64,
+        });
+    }
+    out
+}
+
+/// Render the reduction rows for `BENCH_engine.json`.
+pub fn render_reduction_json(results: &[ReductionBenchResult]) -> String {
+    let mut s = String::from("  \"reduction\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"records\": {}, \"reduced_records\": {}, \"eliminated\": {}, \"probes\": {}, \"ms_total\": {:.3}, \"probes_per_sec\": {:.1}}}{}\n",
+            r.records,
+            r.reduced_records,
+            r.records_eliminated(),
+            r.probes,
+            r.elapsed_ns / 1e6,
+            r.probes_per_sec(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_file_reduces_to_the_hidden_dependency() {
+        let file = synthetic_failing_file(32);
+        let r = reduce_file(&file, SuiteKind::Slt, EngineDialect::Sqlite, 256).unwrap();
+        // The minimum is the failing DROP, the variable-indirected CREATE
+        // ddmin has to hunt down, and the `set` the CREATE pulls in via
+        // the variable closure.
+        assert_eq!(r.reduced_records, 3, "reduced to {} records", r.reduced_records);
+        // Finding one hidden record among 32 takes a real search.
+        assert!(r.probes > 3, "quick win should be impossible: {} probes", r.probes);
+        assert_eq!(&*r.signature.statement, "DROP TABLE");
+    }
+
+    #[test]
+    fn bench_rows_render() {
+        let results = run_reduction_bench(&[16], 64);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].records_eliminated() > 0);
+        let json = render_reduction_json(&results);
+        assert!(json.contains("\"probes\""), "{json}");
+        assert!(json.contains("probes_per_sec"), "{json}");
+    }
+}

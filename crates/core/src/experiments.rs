@@ -7,8 +7,7 @@ use squality_corpus::{donor_dialect, generate_suite_scaled, GeneratedSuite};
 use squality_engine::{ClientKind, Coverage, EngineDialect, PlanCache, PlanCacheStats};
 use squality_formats::SuiteKind;
 use squality_runner::{
-    classify_dependency, classify_incompatibility, DependencyClass, IncompatibilityClass,
-    ReuseDifficulty, RunObserver,
+    normalize_error, DependencyClass, IncompatibilityClass, Outcome, ReuseDifficulty, RunObserver,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -295,13 +294,15 @@ pub fn run_study_with_observers(config: StudyConfig, observers: &[&dyn RunObserv
 }
 
 /// Keep one finding per (host, error-signature). The signature is the
-/// message head — long enough to separate distinct bugs that share an
-/// "INTERNAL Error" prefix (the paper notes that prefix marks DuckDB bugs).
+/// message under the same normalization the failure taxonomy uses
+/// ([`normalize_error`]): digits, quoted literals, and paths abstract
+/// away, so the same crash triggered from two generated files counts
+/// once, while distinct bugs sharing an "INTERNAL Error" prefix (the
+/// paper notes that prefix marks DuckDB bugs) stay separate.
 fn dedupe_bugs(bugs: &mut Vec<BugFinding>) {
     let mut seen: Vec<(EngineDialect, String)> = Vec::new();
     bugs.retain(|b| {
-        let head: String = b.incident.message.chars().take(60).collect();
-        let key = (b.host, head);
+        let key = (b.host, normalize_error(&b.incident.message));
         if seen.contains(&key) {
             false
         } else {
@@ -367,6 +368,11 @@ fn coverage_experiment(
 }
 
 /// Table 5: classify a 100-case sample of a donor run's failures.
+///
+/// The class is read off each failure's precomputed
+/// [`FailureSignature`](squality_runner::FailureSignature) — the ad-hoc
+/// per-table string matching this helper once carried lives (once) in
+/// signature construction now.
 pub fn dependency_breakdown(
     summary: &SuiteRunSummary,
     seed: u64,
@@ -374,15 +380,16 @@ pub fn dependency_breakdown(
     let sample = sample_failures(&summary.failures, 100, seed);
     let mut counts = BTreeMap::new();
     for case in sample {
-        if let Some(class) = classify_dependency(&case.result) {
-            *counts.entry(class).or_insert(0) += 1;
+        if let Outcome::Fail(info) = &case.result.outcome {
+            *counts.entry(info.signature.dependency).or_insert(0) += 1;
         }
     }
     counts
 }
 
-/// Table 6: classify cross-host failures. SLT cells are analysed
-/// exhaustively (the paper does the same); others use 100-case samples.
+/// Table 6: classify cross-host failures off the precomputed signature.
+/// SLT cells are analysed exhaustively (the paper does the same); others
+/// use 100-case samples.
 pub fn incompatibility_breakdown(
     cell: &MatrixCell,
     seed: u64,
@@ -393,15 +400,15 @@ pub fn incompatibility_breakdown(
         sample_failures(&cell.summary.failures, take.min(cell.summary.failures.len()), seed);
     let mut counts = BTreeMap::new();
     for case in sample {
-        if let Some(class) = classify_incompatibility(&case.result) {
-            *counts.entry(class).or_insert(0) += 1;
+        if let Outcome::Fail(info) = &case.result.outcome {
+            *counts.entry(info.signature.incompatibility).or_insert(0) += 1;
         }
     }
     counts
 }
 
 /// Table 7: difficulty-bucket percentages over all cross-host failures of a
-/// suite.
+/// suite, derived from the precomputed signature classes.
 pub fn difficulty_summary(study: &Study, suite: SuiteKind) -> BTreeMap<ReuseDifficulty, f64> {
     let mut counts: BTreeMap<ReuseDifficulty, usize> = BTreeMap::new();
     let mut total = 0usize;
@@ -410,8 +417,9 @@ pub fn difficulty_summary(study: &Study, suite: SuiteKind) -> BTreeMap<ReuseDiff
             continue;
         }
         for case in &cell.summary.failures {
-            if let Some(class) = classify_incompatibility(&case.result) {
-                *counts.entry(ReuseDifficulty::from_class(class)).or_insert(0) += 1;
+            if let Outcome::Fail(info) = &case.result.outcome {
+                let class = ReuseDifficulty::from_class(info.signature.incompatibility);
+                *counts.entry(class).or_insert(0) += 1;
                 total += 1;
             }
         }

@@ -14,7 +14,7 @@
 //! aside); see [`squality_runner::events`].
 
 use crate::transplant::{summarize, Provision, RunConfig, SuiteRunSummary};
-use squality_corpus::{donor_dialect, GeneratedSuite};
+use squality_corpus::{donor_dialect, DonorEnvironment, GeneratedSuite};
 use squality_engine::{ClientKind, EngineDialect, FaultProfile, PlanCache};
 use squality_formats::{SuiteKind, TestFile};
 use squality_runner::{
@@ -71,6 +71,7 @@ impl std::error::Error for HarnessError {}
 /// required. See [`Harness::builder`] for a complete example.
 pub struct HarnessBuilder<'a> {
     source: Option<SuiteSource<'a>>,
+    environment: Option<&'a DonorEnvironment>,
     host: Option<EngineDialect>,
     client: ClientKind,
     provision: Option<Provision>,
@@ -87,6 +88,7 @@ impl<'a> HarnessBuilder<'a> {
     fn new() -> HarnessBuilder<'a> {
         HarnessBuilder {
             source: None,
+            environment: None,
             host: None,
             client: ClientKind::Connector,
             provision: None,
@@ -112,6 +114,16 @@ impl<'a> HarnessBuilder<'a> {
     /// behaves like [`Provision::Bare`].
     pub fn files(mut self, kind: SuiteKind, files: &'a [TestFile]) -> Self {
         self.source = Some(SuiteSource::Files { kind, files });
+        self
+    }
+
+    /// Provision runs from this donor environment instead of the suite's
+    /// own. This is what lets a [`HarnessBuilder::files`] run — a triage
+    /// reduction probe, a minimized repro re-execution — replay under the
+    /// exact environment its cell observed. A generated suite defaults to
+    /// its recorded environment; bare files default to none.
+    pub fn environment(mut self, env: &'a DonorEnvironment) -> Self {
+        self.environment = Some(env);
         self
     }
 
@@ -207,6 +219,7 @@ impl<'a> HarnessBuilder<'a> {
         });
         Ok(Harness {
             source,
+            environment: self.environment,
             host,
             client: self.client,
             provision,
@@ -226,6 +239,7 @@ impl<'a> HarnessBuilder<'a> {
 /// any worker count) or [`Harness::run_on`] (a caller-owned connection).
 pub struct Harness<'a> {
     source: SuiteSource<'a>,
+    environment: Option<&'a DonorEnvironment>,
     host: EngineDialect,
     client: ClientKind,
     provision: Provision,
@@ -310,15 +324,21 @@ impl<'a> Harness<'a> {
     }
 
     /// Apply the configured provision level to a freshly-reset connection.
+    /// An explicit [`HarnessBuilder::environment`] wins; a generated suite
+    /// falls back to its recorded environment; bare files have none.
     fn provision_conn(&self, conn: &mut EngineConnector) {
-        let SuiteSource::Generated(gs) = &self.source else { return };
+        let env = match (&self.environment, &self.source) {
+            (Some(env), _) => *env,
+            (None, SuiteSource::Generated(gs)) => &gs.environment,
+            (None, SuiteSource::Files { .. }) => return,
+        };
         match self.provision {
-            Provision::Full => gs.environment.provision(conn),
+            Provision::Full => env.provision(conn),
             Provision::CrossHost => {
-                for (path, lines) in &gs.environment.data_files {
+                for (path, lines) in &env.data_files {
                     conn.provide_file(path, lines.clone());
                 }
-                for sql in &gs.environment.setup_sql {
+                for sql in &env.setup_sql {
                     let _ = conn.execute(sql);
                 }
             }

@@ -13,7 +13,10 @@
 //!   the cross-DBMS matrix (RQ4), the coverage experiment, and the
 //!   crash/hang findings (§6),
 //! * [`report`] — regenerate every table and figure of the evaluation with
-//!   the paper's published values alongside.
+//!   the paper's published values alongside,
+//! * [`triage`] — signature clustering of every study failure into
+//!   root-cause clusters, plus a parallel ddmin reducer that shrinks one
+//!   exemplar per cluster into a minimal, verified repro file.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ pub mod experiments;
 pub mod harness;
 pub mod report;
 pub mod transplant;
+pub mod triage;
 
 pub use experiments::{
     dependency_breakdown, difficulty_summary, incompatibility_breakdown, run_study,
@@ -59,7 +63,7 @@ pub use experiments::{
 pub use harness::{Harness, HarnessBuilder, HarnessError, Run};
 pub use report::{
     bug_report, figure1, figure2, figure3, figure4, full_report, table1, table2, table3, table4,
-    table5, table6, table7, table8, translation_table,
+    table5, table6, table7, table8, translation_table, triage_table,
 };
 #[allow(deprecated)]
 pub use transplant::{

@@ -439,6 +439,64 @@ pub fn bug_report(study: &Study) -> String {
     out
 }
 
+/// The triage table: every root-cause signature cluster across the whole
+/// study (donor-bare runs plus both matrix arms), largest first, with the
+/// taxonomy class, the cells it afflicts, and an exemplar record to look
+/// at — the mechanized version of the paper's manual failure analysis
+/// (§7). When the report carries reductions, a ddmin summary follows:
+/// per-cluster record counts before/after and whether the emitted repro
+/// re-failed standalone with the identical signature.
+pub fn triage_table(report: &crate::triage::TriageReport) -> String {
+    let mut out = String::from("Failure triage. Root-cause signature clusters\n");
+    out.push_str(&format!(
+        "{} raw failures -> {} clusters (dedup {:.1}x)\n",
+        report.total_failures,
+        report.clusters.len(),
+        report.dedup_factor()
+    ));
+    out.push_str(&format!(
+        "{:<5} {:<15} {:<7} {:<6} {:<28} Signature\n",
+        "#", "Class", "Count", "Cells", "Exemplar"
+    ));
+    for (i, c) in report.clusters.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<5} {:<15} {:<7} {:<6} {:<28} [{}] {}\n",
+            format!("#{i:03}"),
+            c.class_label(),
+            c.count,
+            c.cells.len(),
+            format!("{} {} ({})", c.exemplar.file, c.exemplar.id, c.exemplar.cell.label()),
+            c.signature.statement,
+            c.signature.normalized,
+        ));
+    }
+    if !report.reductions.is_empty() {
+        let verified = report.verified_repros().count();
+        out.push_str(&format!(
+            "Reduction (ddmin): {} clusters reduced, {} probes, {} -> {} records \
+             ({} eliminated), {} verified repros\n",
+            report.reductions.len(),
+            report.stats.probes,
+            report.stats.records_before,
+            report.stats.records_after,
+            report.stats.records_eliminated(),
+            verified,
+        ));
+        for r in &report.reductions {
+            out.push_str(&format!(
+                "  {:<36} {} {:>4} -> {:<4} records, {:>3} probes, {}\n",
+                r.repro_name,
+                r.file,
+                r.original_records,
+                r.reduced_records,
+                r.probes,
+                if r.verified { "verified" } else { "UNVERIFIED" },
+            ));
+        }
+    }
+    out
+}
+
 /// Render the full study report (all tables and figures).
 pub fn full_report(study: &Study) -> String {
     let sections = [

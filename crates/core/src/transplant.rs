@@ -84,10 +84,15 @@ pub struct Incident {
     pub message: String,
 }
 
-/// A failed record with its file, for sampling and classification.
+/// A failed record with its file, for sampling, classification, and
+/// triage clustering.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FailureCase {
     pub file: String,
+    /// Stable id of the failing record within its file (source line plus
+    /// execution ordinal) — what the triage table prints and the reducer
+    /// anchors on.
+    pub id: RecordId,
     pub result: RecordResult,
 }
 
@@ -247,9 +252,11 @@ fn fold_file(summary: &mut SuiteRunSummary, r: &FileResult) {
                 sql: res.sql.clone(),
                 message: m.clone(),
             }),
-            Outcome::Fail(_) => {
-                summary.failures.push(FailureCase { file: r.file.clone(), result: res.clone() })
-            }
+            Outcome::Fail(_) => summary.failures.push(FailureCase {
+                file: r.file.clone(),
+                id: RecordId::new(res.line, ordinal),
+                result: res.clone(),
+            }),
             Outcome::Skipped(reason) => {
                 // Interned reasons come from per-connection `Arc`s, so
                 // compare by text; distinct reasons stay few per run.
@@ -474,6 +481,7 @@ mod tests {
         let fc: Vec<FailureCase> = (0..250)
             .map(|i| FailureCase {
                 file: format!("f{i}"),
+                id: RecordId::new(i, i),
                 result: RecordResult { line: i, sql: None, outcome: Outcome::Pass },
             })
             .collect();

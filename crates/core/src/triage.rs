@@ -1,0 +1,804 @@
+//! Failure triage: signature clustering and ddmin test-case reduction.
+//!
+//! The paper's authors classified thousands of cross-DBMS failures by hand
+//! and manually shrank failing files into minimal bug reports (§7, Tables
+//! 5–6). This module mechanizes both steps over a finished [`Study`]:
+//!
+//! 1. **Clustering** — every failure in the study (donor-bare runs, both
+//!    matrix arms) carries a precomputed
+//!    [`FailureSignature`]; grouping by signature collapses the raw
+//!    failure volume into root-cause clusters, each knowing which cells
+//!    it afflicts and an exemplar record to point at.
+//! 2. **Reduction** — for each cluster's exemplar, a delta-debugging
+//!    (`ddmin`) loop probes record subsets of the failing file, sliced
+//!    with their setup closure via [`slice()`](squality_formats::slice()), until the
+//!    file is minimal while *still failing with the identical signature*.
+//!    Probes re-execute through a [`Harness`] on the in-process engine
+//!    under the exemplar cell's exact configuration (host, client,
+//!    provision, translation); clusters fan out over a worker pool, and
+//!    every probe of the same statement text is a statement-plan-cache
+//!    hit, which is what makes reduction fast.
+//!
+//! The result is the reusable asset the BugForge line of work argues for:
+//! a deduplicated, minimized corpus of self-contained repro files, each
+//! verified to re-fail standalone with its cluster's signature.
+//!
+//! # Example
+//!
+//! ```
+//! use squality_core::{run_study, StudyConfig};
+//! use squality_core::triage::{triage_study, TriageConfig};
+//!
+//! let study = run_study(StudyConfig::default().with_scale(0.04).with_seed(7));
+//! let report = triage_study(&study, &TriageConfig::default());
+//! assert!(report.clusters.len() > 0);
+//! assert!(report.dedup_factor() > 1.0);
+//! // Every cluster knows its taxonomy class and an exemplar record.
+//! let top = &report.clusters[0];
+//! println!("{} × {} ({})", top.count, top.signature.normalized, top.class_label());
+//! ```
+
+use crate::experiments::Study;
+use crate::harness::Harness;
+use crate::transplant::{Provision, SuiteRunSummary};
+use squality_corpus::{donor_dialect, DonorEnvironment};
+use squality_engine::{ClientKind, EngineDialect, PlanCache};
+use squality_formats::{
+    parse_slt, slice, write_duckdb, ControlCommand, RecordId, RecordKind, SltFlavor, SuiteKind,
+    TestFile, TestRecord,
+};
+use squality_runner::{EngineConnector, FailureSignature, Outcome, RunObserver, TaxonomyContext};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which execution arm of the study a failure came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arm {
+    /// Donor suite on its own engine, bare environment (Tables 4–5).
+    DonorBare,
+    /// The verbatim suite × host matrix (Figure 4, Table 6).
+    Verbatim,
+    /// The translated arm of the matrix.
+    Translated,
+}
+
+impl Arm {
+    fn suffix(self) -> &'static str {
+        match self {
+            Arm::DonorBare => " (bare)",
+            Arm::Verbatim => "",
+            Arm::Translated => " (translated)",
+        }
+    }
+}
+
+/// One cell of the study a cluster was observed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellRef {
+    pub suite: SuiteKind,
+    pub host: EngineDialect,
+    pub arm: Arm,
+}
+
+impl CellRef {
+    /// Which failure taxonomy reads this cell (Table 5 vs Table 6).
+    pub fn taxonomy(self) -> TaxonomyContext {
+        match self.arm {
+            Arm::DonorBare => TaxonomyContext::DonorDependency,
+            Arm::Verbatim | Arm::Translated => TaxonomyContext::CrossHost,
+        }
+    }
+
+    /// `"PostgreSQL→sqlite (translated)"`-style display label.
+    pub fn label(self) -> String {
+        format!("{}→{}{}", self.suite.donor_name(), self.host.name(), self.arm.suffix())
+    }
+
+    /// The study's execution configuration for this cell: client,
+    /// provision level, and whether translation was on — what a reduction
+    /// probe must replicate to reproduce the cell's failure.
+    fn exec(self) -> (ClientKind, Provision, bool) {
+        match self.arm {
+            Arm::DonorBare => (ClientKind::Connector, Provision::Bare, false),
+            arm => {
+                let translated = arm == Arm::Translated;
+                if self.host == donor_dialect(self.suite) {
+                    (ClientKind::Cli, Provision::Full, translated)
+                } else {
+                    (ClientKind::Connector, Provision::CrossHost, translated)
+                }
+            }
+        }
+    }
+}
+
+/// The failure a cluster points at: one concrete record to reduce from.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    pub cell: CellRef,
+    /// Name of the failing test file within its suite.
+    pub file: String,
+    /// Stable record id of the failure inside that file.
+    pub id: RecordId,
+}
+
+/// One root-cause cluster: all study failures sharing a signature.
+#[derive(Debug, Clone)]
+pub struct FailureCluster {
+    pub signature: FailureSignature,
+    /// Total failing records across every cell.
+    pub count: usize,
+    /// The cells this cluster afflicts, with per-cell counts, in study
+    /// execution order.
+    pub cells: Vec<(CellRef, usize)>,
+    /// The first failure observed (study execution order).
+    pub exemplar: Exemplar,
+}
+
+impl FailureCluster {
+    /// The taxonomy row label for this cluster, read in the exemplar
+    /// cell's context: a Table 5 class for donor-bare clusters, a Table 6
+    /// class cross-host.
+    pub fn class_label(&self) -> &'static str {
+        self.signature.class_label(self.exemplar.cell.taxonomy())
+    }
+}
+
+/// Triage parameters.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct TriageConfig {
+    /// Also run the ddmin reducer over one exemplar per cluster.
+    pub reduce: bool,
+    /// Worker threads the reducer fans clusters out over (`0` = all
+    /// cores). Purely a throughput knob: the report and the emitted
+    /// repro files are byte-identical at every worker count.
+    pub workers: usize,
+    /// Probe budget per cluster. ddmin stops early when the budget runs
+    /// out, leaving a (correct, possibly non-minimal) larger slice.
+    pub max_probes: usize,
+}
+
+impl Default for TriageConfig {
+    fn default() -> Self {
+        TriageConfig { reduce: false, workers: 0, max_probes: 192 }
+    }
+}
+
+impl TriageConfig {
+    /// Enable or disable the reducer.
+    pub fn with_reduce(mut self, reduce: bool) -> Self {
+        self.reduce = reduce;
+        self
+    }
+
+    /// Replace the reducer worker count (0 = all cores).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replace the per-cluster probe budget.
+    pub fn with_max_probes(mut self, max_probes: usize) -> Self {
+        self.max_probes = max_probes;
+        self
+    }
+}
+
+/// The outcome of reducing one cluster's exemplar file.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Index of the cluster in [`TriageReport::clusters`].
+    pub cluster: usize,
+    /// The exemplar file that was reduced.
+    pub file: String,
+    /// Flattened record count of the original file.
+    pub original_records: usize,
+    /// Record count of the minimized slice.
+    pub reduced_records: usize,
+    /// Probes spent (initial check, ddmin, and standalone verification).
+    pub probes: usize,
+    /// File name the repro is emitted under.
+    pub repro_name: String,
+    /// The self-contained repro file, in DuckDB-flavor SLT (the richest
+    /// of the writers — it round-trips loops, variables, and expected
+    /// error messages).
+    pub repro_text: String,
+    /// The emitted text was parsed back and re-executed standalone under
+    /// the exemplar cell's configuration, and failed with the identical
+    /// signature.
+    pub verified: bool,
+}
+
+/// Aggregate reducer throughput, for the perf trajectory (BENCH output).
+/// `elapsed_nanos` is wall-clock and therefore advisory — everything else
+/// is deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReductionStats {
+    pub probes: usize,
+    pub records_before: usize,
+    pub records_after: usize,
+    pub elapsed_nanos: u64,
+}
+
+impl ReductionStats {
+    /// Probes per second (0 when nothing ran).
+    pub fn probes_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.probes as f64 / (self.elapsed_nanos as f64 / 1e9)
+        }
+    }
+
+    /// Records the reducer eliminated across all clusters.
+    pub fn records_eliminated(&self) -> usize {
+        self.records_before.saturating_sub(self.records_after)
+    }
+}
+
+/// Everything triage produces.
+#[derive(Debug, Clone, Default)]
+pub struct TriageReport {
+    /// Raw failing records across the whole study.
+    pub total_failures: usize,
+    /// Signature clusters, largest first.
+    pub clusters: Vec<FailureCluster>,
+    /// Per-cluster reductions (empty unless [`TriageConfig::reduce`]),
+    /// ordered by cluster index.
+    pub reductions: Vec<Reduction>,
+    /// Aggregate reducer throughput.
+    pub stats: ReductionStats,
+}
+
+impl TriageReport {
+    /// How many raw failures each cluster absorbs on average — the
+    /// dedup factor the acceptance bar measures (≥ 10× at full scale).
+    pub fn dedup_factor(&self) -> f64 {
+        if self.clusters.is_empty() {
+            1.0
+        } else {
+            self.total_failures as f64 / self.clusters.len() as f64
+        }
+    }
+
+    /// The verified repro files, in cluster order.
+    pub fn verified_repros(&self) -> impl Iterator<Item = &Reduction> {
+        self.reductions.iter().filter(|r| r.verified)
+    }
+}
+
+/// Cluster every failure of a finished study by signature. Returns the
+/// raw failure total and the clusters, largest first (ties keep study
+/// execution order).
+pub fn cluster_failures(study: &Study) -> (usize, Vec<FailureCluster>) {
+    let mut clusters: Vec<FailureCluster> = Vec::new();
+    let mut index: HashMap<FailureSignature, usize> = HashMap::new();
+    let mut total = 0usize;
+
+    let mut absorb = |cell: CellRef, summary: &SuiteRunSummary| {
+        for case in &summary.failures {
+            let Outcome::Fail(info) = &case.result.outcome else { continue };
+            total += 1;
+            let at = *index.entry(info.signature.clone()).or_insert_with(|| {
+                clusters.push(FailureCluster {
+                    signature: info.signature.clone(),
+                    count: 0,
+                    cells: Vec::new(),
+                    exemplar: Exemplar { cell, file: case.file.clone(), id: case.id },
+                });
+                clusters.len() - 1
+            });
+            let cluster = &mut clusters[at];
+            cluster.count += 1;
+            match cluster.cells.iter_mut().find(|(c, _)| *c == cell) {
+                Some((_, n)) => *n += 1,
+                None => cluster.cells.push((cell, 1)),
+            }
+        }
+    };
+
+    for run in &study.donor_runs {
+        absorb(CellRef { suite: run.suite, host: run.host, arm: Arm::DonorBare }, run);
+    }
+    for cell in &study.matrix {
+        absorb(CellRef { suite: cell.suite, host: cell.host, arm: Arm::Verbatim }, &cell.summary);
+    }
+    for cell in &study.translated_matrix {
+        absorb(CellRef { suite: cell.suite, host: cell.host, arm: Arm::Translated }, &cell.summary);
+    }
+
+    // Largest first; the insertion index breaks ties deterministically.
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(clusters[i].count), i));
+    let clusters = order.into_iter().map(|i| clusters[i].clone()).collect();
+    (total, clusters)
+}
+
+/// Run the full triage pipeline over a finished study: cluster, then (when
+/// configured) reduce one exemplar per cluster. See the module docs.
+pub fn triage_study(study: &Study, config: &TriageConfig) -> TriageReport {
+    triage_study_with_observers(study, config, &[])
+}
+
+/// [`triage_study`], streaming each cluster's standalone verification run
+/// as [`RunEvent`](squality_runner::RunEvent)s to the observers — a
+/// [`ProgressObserver`](squality_runner::ProgressObserver) shows one line
+/// per verified cluster. (Inner ddmin probes are not streamed: clusters
+/// reduce in parallel and probe volume is high.)
+///
+/// Clusters reduce concurrently, but observed verification runs are
+/// serialized through an internal lock: observers see whole suites one
+/// at a time (in cluster *completion* order, which varies with worker
+/// count), so per-suite-buffering sinks like
+/// [`JsonlObserver`](squality_runner::JsonlObserver) stay well-formed.
+pub fn triage_study_with_observers(
+    study: &Study,
+    config: &TriageConfig,
+    observers: &[&dyn RunObserver],
+) -> TriageReport {
+    let (total_failures, clusters) = cluster_failures(study);
+    let mut report = TriageReport {
+        total_failures,
+        clusters,
+        reductions: Vec::new(),
+        stats: ReductionStats::default(),
+    };
+    if !config.reduce || report.clusters.is_empty() {
+        return report;
+    }
+
+    let started = std::time::Instant::now();
+    let plan_cache = PlanCache::shared();
+    let workers = effective_workers(config.workers, report.clusters.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Reduction>>> =
+        report.clusters.iter().map(|_| Mutex::new(None)).collect();
+    // Serializes the observed verification runs (see the rustdoc above).
+    let observer_gate = Mutex::new(());
+    let clusters = &report.clusters;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cluster) = clusters.get(i) else { break };
+                let reduction = reduce_cluster(
+                    study,
+                    cluster,
+                    i,
+                    config,
+                    &plan_cache,
+                    observers,
+                    &observer_gate,
+                );
+                *slots[i].lock().expect("reduction slot poisoned") = reduction;
+            });
+        }
+    });
+
+    for slot in slots {
+        if let Some(reduction) = slot.into_inner().expect("reduction slot poisoned") {
+            report.stats.probes += reduction.probes;
+            report.stats.records_before += reduction.original_records;
+            report.stats.records_after += reduction.reduced_records;
+            report.reductions.push(reduction);
+        }
+    }
+    // Advisory only — excluded from the determinism contract.
+    report.stats.elapsed_nanos = started.elapsed().as_nanos() as u64;
+    report
+}
+
+fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    };
+    requested.clamp(1, jobs.max(1))
+}
+
+/// Reduce one cluster's exemplar file to a minimal slice still failing
+/// with the cluster signature. Returns `None` when the exemplar file is
+/// gone from the suite (cannot happen for a study's own clusters) or the
+/// full file no longer reproduces the signature under the replayed cell
+/// configuration (a state-dependent failure the slicer cannot close
+/// over — left unreduced rather than misreported).
+fn reduce_cluster(
+    study: &Study,
+    cluster: &FailureCluster,
+    cluster_index: usize,
+    config: &TriageConfig,
+    plan_cache: &Arc<PlanCache>,
+    observers: &[&dyn RunObserver],
+    observer_gate: &Mutex<()>,
+) -> Option<Reduction> {
+    let exemplar = &cluster.exemplar;
+    let gs = study.suite(exemplar.cell.suite);
+    let file = gs.files.iter().find(|f| f.name == exemplar.file)?;
+    let env = &gs.environment;
+    let probe = Prober {
+        kind: exemplar.cell.suite,
+        cell: exemplar.cell,
+        env,
+        signature: &cluster.signature,
+        plan_cache,
+    };
+
+    let mut probes = 0usize;
+    let exemplar_line = exemplar.id.line as usize;
+    let candidates: Vec<usize> =
+        statement_lines(&file.records).into_iter().filter(|l| *l != exemplar_line).collect();
+
+    // The whole file must reproduce the signature before ddmin can trust
+    // a "probe fails ⇒ subset insufficient" reading.
+    probes += 1;
+    if !probe.fails_with_signature(&probe.slice_of(file, exemplar_line, &candidates), &[]) {
+        return None;
+    }
+
+    let mut budget = config.max_probes.saturating_sub(probes);
+    let kept = ddmin(
+        &candidates,
+        &mut |subset| probe.fails_with_signature(&probe.slice_of(file, exemplar_line, subset), &[]),
+        &mut budget,
+    );
+    probes += config.max_probes.saturating_sub(probes) - budget;
+
+    let minimized = probe.slice_of(file, exemplar_line, &kept);
+    let repro_name = format!(
+        "cluster-{:03}-{}.test",
+        cluster_index,
+        cluster.class_label().to_lowercase().replace(' ', "-")
+    );
+    let repro_text = write_duckdb(&minimized);
+
+    // Standalone verification: parse the emitted text back and re-run it
+    // under the cell's configuration. This is the one observed run per
+    // cluster; the gate keeps concurrent clusters' event streams from
+    // interleaving inside per-suite-buffering observers.
+    probes += 1;
+    let mut reparsed = parse_slt(&repro_name, &repro_text, SltFlavor::Duckdb);
+    reparsed.suite = exemplar.cell.suite;
+    let verified = if observers.is_empty() {
+        probe.fails_with_signature(&reparsed, observers)
+    } else {
+        let _serialized = observer_gate.lock().expect("observer gate poisoned");
+        probe.fails_with_signature(&reparsed, observers)
+    };
+
+    Some(Reduction {
+        cluster: cluster_index,
+        file: exemplar.file.clone(),
+        original_records: file.record_count(),
+        reduced_records: minimized.record_count(),
+        probes,
+        repro_name,
+        repro_text,
+        verified,
+    })
+}
+
+/// One cluster's probe environment: enough to execute any record slice
+/// under the exemplar cell's configuration and ask "does it still fail
+/// with the target signature?".
+struct Prober<'a> {
+    kind: SuiteKind,
+    cell: CellRef,
+    env: &'a DonorEnvironment,
+    signature: &'a FailureSignature,
+    plan_cache: &'a Arc<PlanCache>,
+}
+
+impl Prober<'_> {
+    fn slice_of(&self, file: &TestFile, exemplar_line: usize, extra: &[usize]) -> TestFile {
+        let mut keep: Vec<RecordId> = extra.iter().map(|l| RecordId::new(*l, 0)).collect();
+        keep.push(RecordId::new(exemplar_line, 0));
+        slice(file, &keep)
+    }
+
+    fn fails_with_signature(&self, candidate: &TestFile, observers: &[&dyn RunObserver]) -> bool {
+        let (client, provision, translate) = self.cell.exec();
+        let files = std::slice::from_ref(candidate);
+        let mut builder = Harness::builder()
+            .files(self.kind, files)
+            .environment(self.env)
+            .host(self.cell.host)
+            .client(client)
+            .provision(provision)
+            .translate(translate)
+            .label(format!("triage {} {}", self.cell.label(), candidate.name));
+        for obs in observers {
+            builder = builder.observer(*obs);
+        }
+        let harness = builder.build().expect("files are always set");
+        // One connection per probe batch, sharing the triage-wide plan
+        // cache: replayed statement texts parse once across all probes.
+        let mut conn = EngineConnector::new(self.cell.host, client);
+        conn.set_plan_cache(Arc::clone(self.plan_cache));
+        let summary = harness.run_on(&mut conn);
+        summary.failures.iter().any(|f| match &f.result.outcome {
+            Outcome::Fail(info) => info.signature == *self.signature,
+            _ => false,
+        })
+    }
+}
+
+/// Source lines of every statement/query record, loop bodies included.
+fn statement_lines(records: &[TestRecord]) -> Vec<usize> {
+    let mut out = Vec::new();
+    fn walk(records: &[TestRecord], out: &mut Vec<usize>) {
+        for rec in records {
+            match &rec.kind {
+                RecordKind::Statement { .. } | RecordKind::Query { .. } => out.push(rec.line),
+                RecordKind::Control(ControlCommand::Loop { body, .. })
+                | RecordKind::Control(ControlCommand::Foreach { body, .. }) => walk(body, out),
+                RecordKind::Control(_) => {}
+            }
+        }
+    }
+    walk(records, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Delta-debugging minimization over `candidates`: find a small subset for
+/// which `probe` still returns `true`, assuming `probe(candidates)` holds.
+/// Deterministic; spends at most `budget` probes (decremented in place).
+fn ddmin(
+    candidates: &[usize],
+    probe: &mut dyn FnMut(&[usize]) -> bool,
+    budget: &mut usize,
+) -> Vec<usize> {
+    let mut current: Vec<usize> = candidates.to_vec();
+    if current.is_empty() || *budget == 0 {
+        return current;
+    }
+    // Quick win first: the exemplar plus its setup closure alone.
+    *budget -= 1;
+    if probe(&[]) {
+        return Vec::new();
+    }
+    let mut n = 2usize;
+    while current.len() >= 2 && *budget > 0 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() && *budget > 0 {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<usize> =
+                current[..start].iter().chain(&current[end..]).copied().collect();
+            *budget -= 1;
+            if probe(&complement) {
+                current = complement;
+                n = 2.max(n - 1);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// The simplest reducer entry point, for benches and standalone use: run
+/// `file` bare on `host`, take the **first** failure as the reduction
+/// target, and ddmin the file down to a minimal slice still failing with
+/// that signature. Returns `None` when the file does not fail at all.
+///
+/// ```
+/// use squality_core::triage::reduce_file;
+/// use squality_engine::EngineDialect;
+/// use squality_formats::{parse_slt, SltFlavor, SuiteKind};
+///
+/// let text = "\
+/// statement ok
+/// CREATE TABLE t(a INTEGER)
+///
+/// statement ok
+/// INSERT INTO t VALUES (1)
+///
+/// query I nosort
+/// SELECT count(*) FROM missing_table
+/// ----
+/// 1
+/// ";
+/// let file = parse_slt("probe.test", text, SltFlavor::Classic);
+/// let r = reduce_file(&file, SuiteKind::Slt, EngineDialect::Sqlite, 64).unwrap();
+/// // The failing query needs neither the CREATE nor the INSERT.
+/// assert_eq!(r.reduced.record_count(), 1);
+/// assert!(r.probes >= 1);
+/// ```
+pub fn reduce_file(
+    file: &TestFile,
+    kind: SuiteKind,
+    host: EngineDialect,
+    max_probes: usize,
+) -> Option<FileReduction> {
+    let env = DonorEnvironment::default();
+    let plan_cache = PlanCache::shared();
+    let cell = CellRef { suite: kind, host, arm: Arm::DonorBare };
+
+    // Find the target: the first failure of the bare run.
+    let mut conn = EngineConnector::new(host, ClientKind::Connector);
+    conn.set_plan_cache(Arc::clone(&plan_cache));
+    let summary = Harness::builder()
+        .files(kind, std::slice::from_ref(file))
+        .host(host)
+        .build()
+        .expect("files are set")
+        .run_on(&mut conn);
+    let target = summary.failures.first()?;
+    let Outcome::Fail(info) = &target.result.outcome else { return None };
+    let signature = info.signature.clone();
+    let exemplar_line = target.id.line as usize;
+
+    let probe = Prober { kind, cell, env: &env, signature: &signature, plan_cache: &plan_cache };
+    let candidates: Vec<usize> =
+        statement_lines(&file.records).into_iter().filter(|l| *l != exemplar_line).collect();
+    let mut budget = max_probes;
+    let kept = ddmin(
+        &candidates,
+        &mut |subset| probe.fails_with_signature(&probe.slice_of(file, exemplar_line, subset), &[]),
+        &mut budget,
+    );
+    let reduced = probe.slice_of(file, exemplar_line, &kept);
+    Some(FileReduction {
+        probes: max_probes - budget,
+        original_records: file.record_count(),
+        reduced_records: reduced.record_count(),
+        signature,
+        reduced,
+    })
+}
+
+/// What [`reduce_file`] produces.
+#[derive(Debug, Clone)]
+pub struct FileReduction {
+    /// Probes spent.
+    pub probes: usize,
+    pub original_records: usize,
+    pub reduced_records: usize,
+    /// The reduction target.
+    pub signature: FailureSignature,
+    /// The minimized file (exemplar + surviving records + setup closure).
+    pub reduced: TestFile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_study, StudyConfig};
+
+    fn study() -> Study {
+        run_study(StudyConfig { seed: 21, scale: 0.06, workers: 0, translated_arm: true })
+    }
+
+    #[test]
+    fn clustering_dedupes_heavily() {
+        let s = study();
+        let (total, clusters) = cluster_failures(&s);
+        assert!(total > 0);
+        assert!(!clusters.is_empty());
+        assert!(
+            clusters.len() * 10 <= total,
+            "dedup below 10x: {total} failures -> {} clusters",
+            clusters.len()
+        );
+        // Largest-first ordering.
+        for pair in clusters.windows(2) {
+            assert!(pair[0].count >= pair[1].count);
+        }
+        // Counts are consistent.
+        assert_eq!(clusters.iter().map(|c| c.count).sum::<usize>(), total);
+        for c in &clusters {
+            assert_eq!(c.cells.iter().map(|(_, n)| n).sum::<usize>(), c.count);
+        }
+    }
+
+    #[test]
+    fn clusters_span_cells() {
+        let s = study();
+        let (_, clusters) = cluster_failures(&s);
+        // Cross-DBMS root causes afflict several cells (the same missing
+        // function fails on every non-donor host).
+        assert!(
+            clusters.iter().any(|c| c.cells.len() >= 3),
+            "no cluster spans 3+ cells: {:?}",
+            clusters.iter().map(|c| c.cells.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reduction_minimizes_and_verifies() {
+        let s = study();
+        let config = TriageConfig::default().with_reduce(true).with_workers(2).with_max_probes(96);
+        let report = triage_study(&s, &config);
+        assert!(!report.reductions.is_empty(), "no cluster reduced");
+        let verified = report.verified_repros().count();
+        assert!(verified > 0, "no reduction verified standalone");
+        for r in &report.reductions {
+            assert!(r.reduced_records <= r.original_records, "{:?}", r.file);
+            assert!(r.probes >= 1);
+            if r.verified {
+                assert!(!r.repro_text.is_empty());
+            }
+        }
+        // The bulk of the records must be gone: reduction is the point.
+        assert!(
+            report.stats.records_after * 2 < report.stats.records_before,
+            "weak reduction: {} -> {}",
+            report.stats.records_before,
+            report.stats.records_after
+        );
+        assert_eq!(report.stats.probes, report.reductions.iter().map(|r| r.probes).sum());
+    }
+
+    #[test]
+    fn triage_is_deterministic_across_worker_counts() {
+        let s = study();
+        let run = |workers: usize| {
+            triage_study(
+                &s,
+                &TriageConfig::default()
+                    .with_reduce(true)
+                    .with_workers(workers)
+                    .with_max_probes(48),
+            )
+        };
+        let base = run(1);
+        let base_table = crate::report::triage_table(&base);
+        assert!(base_table.contains("raw failures ->"), "{base_table}");
+        for workers in [2, 8] {
+            let got = run(workers);
+            assert_eq!(got.total_failures, base.total_failures, "workers={workers}");
+            assert_eq!(got.clusters.len(), base.clusters.len(), "workers={workers}");
+            for (a, b) in base.clusters.iter().zip(got.clusters.iter()) {
+                assert_eq!(a.signature, b.signature, "workers={workers}");
+                assert_eq!(a.count, b.count, "workers={workers}");
+                assert_eq!(a.cells, b.cells, "workers={workers}");
+            }
+            assert_eq!(got.reductions.len(), base.reductions.len(), "workers={workers}");
+            for (a, b) in base.reductions.iter().zip(got.reductions.iter()) {
+                assert_eq!(a.repro_name, b.repro_name, "workers={workers}");
+                assert_eq!(a.repro_text, b.repro_text, "workers={workers}");
+                assert_eq!(a.probes, b.probes, "workers={workers}");
+                assert_eq!(a.verified, b.verified, "workers={workers}");
+            }
+            // The rendered triage table — and therefore the emitted repro
+            // set — is byte-identical at every worker count.
+            assert_eq!(crate::report::triage_table(&got), base_table, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn ddmin_finds_single_culprits() {
+        // Probe: "true iff 7 is in the set" — minimal subset is {7}.
+        let candidates: Vec<usize> = (0..32).collect();
+        let mut budget = 256;
+        let kept = ddmin(&candidates, &mut |s| s.contains(&7), &mut budget);
+        assert_eq!(kept, vec![7]);
+        // Empty needs: minimal is the empty set, found in one probe.
+        let mut budget = 8;
+        let kept = ddmin(&candidates, &mut |_| true, &mut budget);
+        assert!(kept.is_empty());
+        assert_eq!(budget, 7);
+    }
+
+    #[test]
+    fn ddmin_respects_budget() {
+        let candidates: Vec<usize> = (0..64).collect();
+        let mut budget = 3;
+        let _ = ddmin(&candidates, &mut |s| s.len() >= 60, &mut budget);
+        assert_eq!(budget, 0);
+    }
+}

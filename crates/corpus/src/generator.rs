@@ -53,6 +53,12 @@ pub fn generate_suite_scaled(suite: SuiteKind, seed: u64, scale: f64) -> Generat
         files.push(generate_file(&profile, &mut environment, seed, i));
     }
     files.extend(landmark_files(suite, &environment));
+    // IR-built records default to line 0; give every record a unique
+    // synthetic line so RecordIds (events, failure sampling, triage
+    // slicing) can address individual records.
+    for file in &mut files {
+        file.assign_synthetic_lines();
+    }
     GeneratedSuite { suite, files, environment }
 }
 

@@ -44,6 +44,29 @@ pub struct TestFile {
 }
 
 impl TestFile {
+    /// Assign synthetic, unique 1-based `line` numbers to every record in
+    /// definition order (loop bodies included). Files parsed from text
+    /// carry their true source lines; files built directly in IR (the
+    /// generated corpora) default every record to line 0, which breaks
+    /// anything that keys on the line — the event stream's [`RecordId`]s
+    /// and, critically, record-level [`slice()`](crate::slice())-ing.
+    pub fn assign_synthetic_lines(&mut self) {
+        fn number(records: &mut [TestRecord], next: &mut usize) {
+            for rec in records {
+                rec.line = *next;
+                *next += 1;
+                if let RecordKind::Control(
+                    ControlCommand::Loop { body, .. } | ControlCommand::Foreach { body, .. },
+                ) = &mut rec.kind
+                {
+                    number(body, next);
+                }
+            }
+        }
+        let mut next = 1usize;
+        number(&mut self.records, &mut next);
+    }
+
     /// Count records of every kind, including those nested in loops.
     pub fn record_count(&self) -> usize {
         fn count(records: &[TestRecord]) -> usize {

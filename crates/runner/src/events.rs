@@ -239,6 +239,14 @@ fn event_to_json(event: &RunEvent<'_>, timing: bool) -> String {
                     if let Some(ek) = info.error_kind {
                         line.push_str(&format!(",\"error_kind\":\"{ek:?}\""));
                     }
+                    // The precomputed signature: the clustering key triage
+                    // uses, so a log consumer can group failures without
+                    // re-deriving normalization.
+                    line.push_str(&format!(
+                        ",\"signature\":\"{}\",\"statement\":\"{}\"",
+                        json_escape(&info.signature.normalized),
+                        json_escape(&info.signature.statement)
+                    ));
                 }
                 Outcome::Skipped(reason) => {
                     line.push_str(&format!(
@@ -568,13 +576,14 @@ mod tests {
 
     #[test]
     fn record_event_serializes_outcomes() {
-        let outcome = Outcome::Fail(FailInfo {
-            kind: FailKind::WrongResult,
-            error_kind: None,
-            detail: "expected \"1\"".into(),
-            expected: vec![],
-            actual: vec![],
-        });
+        let outcome = Outcome::Fail(FailInfo::new(
+            FailKind::WrongResult,
+            None,
+            "expected \"1\"",
+            vec![],
+            vec![],
+            Some("SELECT 1"),
+        ));
         let ev = RunEvent::RecordFinished {
             index: 0,
             file: "f.test",
@@ -587,6 +596,8 @@ mod tests {
         assert!(line.contains("\"outcome\":\"fail\""), "{line}");
         assert!(line.contains("\"kind\":\"WrongResult\""), "{line}");
         assert!(line.contains("expected \\\"1\\\""), "{line}");
+        assert!(line.contains("\"signature\":\"expected <q>\""), "{line}");
+        assert!(line.contains("\"statement\":\"SELECT\""), "{line}");
         assert!(!line.contains("elapsed_nanos"), "{line}");
         let timed = event_to_json(&ev, true);
         assert!(timed.contains("\"elapsed_nanos\":99"), "{timed}");

@@ -28,8 +28,8 @@ pub mod scheduler;
 pub mod validate;
 
 pub use classify::{
-    classify_dependency, classify_incompatibility, DependencyClass, IncompatibilityClass,
-    ReuseDifficulty,
+    classify_dependency, classify_incompatibility, normalize_error, DependencyClass,
+    FailureSignature, IncompatibilityClass, ReuseDifficulty, TaxonomyContext,
 };
 pub use connector::{
     Connector, ConnectorFactory, EngineConnector, EngineConnectorFactory, FnFactory,

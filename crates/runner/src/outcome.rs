@@ -1,5 +1,8 @@
 //! Execution outcomes.
 
+use crate::classify::FailureSignature;
+use squality_engine::ErrorKind;
+
 /// An interned skip reason.
 ///
 /// Skips are the highest-volume outcome (a halted file marks every
@@ -9,7 +12,7 @@
 pub type SkipReason = std::sync::Arc<str>;
 
 /// Why a record failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailKind {
     /// The statement errored but success was expected.
     UnexpectedError,
@@ -26,16 +29,42 @@ pub enum FailKind {
 }
 
 /// A failed record with its diagnosis.
+///
+/// Construct through [`FailInfo::new`], which computes the
+/// [`FailureSignature`] exactly once — every downstream consumer (study
+/// aggregation, report tables, event stream, triage clustering) reads the
+/// precomputed signature instead of re-deriving classes from raw strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailInfo {
     pub kind: FailKind,
     /// Engine error kind, when an engine error was involved.
-    pub error_kind: Option<squality_engine::ErrorKind>,
+    pub error_kind: Option<ErrorKind>,
     /// Human detail: error message or expected-vs-actual digest.
     pub detail: String,
     /// For WrongResult: the expected and actual rendered values.
     pub expected: Vec<String>,
     pub actual: Vec<String>,
+    /// The normalized root-cause identity, computed once at construction.
+    pub signature: FailureSignature,
+}
+
+impl FailInfo {
+    /// Build a failure diagnosis and compute its signature. `sql` is the
+    /// statement text that ran (post variable-substitution), when the
+    /// failing record had one.
+    pub fn new(
+        kind: FailKind,
+        error_kind: Option<ErrorKind>,
+        detail: impl Into<String>,
+        expected: Vec<String>,
+        actual: Vec<String>,
+        sql: Option<&str>,
+    ) -> FailInfo {
+        let detail = detail.into();
+        let signature =
+            FailureSignature::compute(kind, error_kind, &detail, &expected, &actual, sql);
+        FailInfo { kind, error_kind, detail, expected, actual, signature }
+    }
 }
 
 /// Outcome of one record.
@@ -132,13 +161,14 @@ mod tests {
             results: vec![
                 rr(Outcome::Pass),
                 rr(Outcome::Skipped("cond".into())),
-                rr(Outcome::Fail(FailInfo {
-                    kind: FailKind::WrongResult,
-                    error_kind: None,
-                    detail: String::new(),
-                    expected: vec![],
-                    actual: vec![],
-                })),
+                rr(Outcome::Fail(FailInfo::new(
+                    FailKind::WrongResult,
+                    None,
+                    "",
+                    vec![],
+                    vec![],
+                    None,
+                ))),
                 rr(Outcome::Crash("boom".into())),
                 rr(Outcome::Hang("spin".into())),
             ],

@@ -269,13 +269,14 @@ impl<'a> RunCtx<'a> {
         let result = self.conn.execute(sql);
         match (result, expect) {
             (Ok(_), StatementExpect::Ok) | (Ok(_), StatementExpect::Count(_)) => Outcome::Pass,
-            (Ok(_), StatementExpect::Error { .. }) => Outcome::Fail(FailInfo {
-                kind: FailKind::ExpectedErrorButOk,
-                error_kind: None,
-                detail: "statement succeeded but an error was expected".into(),
-                expected: Vec::new(),
-                actual: Vec::new(),
-            }),
+            (Ok(_), StatementExpect::Error { .. }) => Outcome::Fail(FailInfo::new(
+                FailKind::ExpectedErrorButOk,
+                None,
+                "statement succeeded but an error was expected",
+                Vec::new(),
+                Vec::new(),
+                Some(sql),
+            )),
             (Err(e), expect) => {
                 if e.kind == ErrorKind::Fatal {
                     return Outcome::Crash(e.message);
@@ -285,22 +286,24 @@ impl<'a> RunCtx<'a> {
                 }
                 match expect {
                     StatementExpect::Error { message } => match message {
-                        Some(m) if !e.message.contains(m.as_str()) => Outcome::Fail(FailInfo {
-                            kind: FailKind::WrongErrorMessage,
-                            error_kind: Some(e.kind),
-                            detail: format!("expected error containing {m:?}, got {:?}", e.message),
-                            expected: vec![m.clone()],
-                            actual: vec![e.message],
-                        }),
+                        Some(m) if !e.message.contains(m.as_str()) => Outcome::Fail(FailInfo::new(
+                            FailKind::WrongErrorMessage,
+                            Some(e.kind),
+                            format!("expected error containing {m:?}, got {:?}", e.message),
+                            vec![m.clone()],
+                            vec![e.message],
+                            Some(sql),
+                        )),
                         _ => Outcome::Pass,
                     },
-                    _ => Outcome::Fail(FailInfo {
-                        kind: FailKind::UnexpectedError,
-                        error_kind: Some(e.kind),
-                        detail: e.message,
-                        expected: Vec::new(),
-                        actual: Vec::new(),
-                    }),
+                    _ => Outcome::Fail(FailInfo::new(
+                        FailKind::UnexpectedError,
+                        Some(e.kind),
+                        e.message,
+                        Vec::new(),
+                        Vec::new(),
+                        Some(sql),
+                    )),
                 }
             }
         }
@@ -320,29 +323,31 @@ impl<'a> RunCtx<'a> {
                 } else if e.kind == ErrorKind::Hang {
                     Outcome::Hang(e.message)
                 } else {
-                    Outcome::Fail(FailInfo {
-                        kind: FailKind::UnexpectedError,
-                        error_kind: Some(e.kind),
-                        detail: e.message,
-                        expected: Vec::new(),
-                        actual: Vec::new(),
-                    })
+                    Outcome::Fail(FailInfo::new(
+                        FailKind::UnexpectedError,
+                        Some(e.kind),
+                        e.message,
+                        Vec::new(),
+                        Vec::new(),
+                        Some(sql),
+                    ))
                 }
             }
             Ok(result) => {
                 // SLT type strings pin the column count.
                 if !types.is_empty() && result.columns.len() != types.len() {
-                    return Outcome::Fail(FailInfo {
-                        kind: FailKind::WrongResult,
-                        error_kind: None,
-                        detail: format!(
+                    return Outcome::Fail(FailInfo::new(
+                        FailKind::WrongResult,
+                        None,
+                        format!(
                             "expected {} result columns, got {}",
                             types.len(),
                             result.columns.len()
                         ),
-                        expected: vec![types.to_string()],
-                        actual: vec!["?".repeat(result.columns.len())],
-                    });
+                        vec![types.to_string()],
+                        vec!["?".repeat(result.columns.len())],
+                        Some(sql),
+                    ));
                 }
                 let rendered: Vec<Vec<String>> = result
                     .rows
@@ -351,13 +356,14 @@ impl<'a> RunCtx<'a> {
                     .collect();
                 match validate_query(&rendered, expected, sort, self.numeric) {
                     Verdict::Match => Outcome::Pass,
-                    Verdict::Mismatch { expected, actual, detail } => Outcome::Fail(FailInfo {
-                        kind: FailKind::WrongResult,
-                        error_kind: None,
+                    Verdict::Mismatch { expected, actual, detail } => Outcome::Fail(FailInfo::new(
+                        FailKind::WrongResult,
+                        None,
                         detail,
                         expected,
                         actual,
-                    }),
+                        Some(sql),
+                    )),
                 }
             }
         }

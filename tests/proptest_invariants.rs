@@ -303,6 +303,87 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The triage reducer's contract: for a generated failing file, the
+    /// ddmin output (a) is a subset of the original records, and (b) still
+    /// fails with the **identical** `FailureSignature` when re-executed
+    /// standalone under the same configuration.
+    #[test]
+    fn reduced_file_preserves_signature(
+        noise in prop::collection::vec(noise_record_strategy(), 2..12),
+        fail_kind in 0i64..3,
+        fail_pos_frac in 0.0f64..1.0,
+    ) {
+        use squality::core::triage::reduce_file;
+        use squality::core::Harness;
+        use squality::runner::{EngineConnector, Outcome};
+
+        // Assemble the file as SLT text so records carry real line numbers.
+        let failing = match fail_kind {
+            0 => "query I nosort\nSELECT count(*) FROM no_such_table\n----\n0\n\n",
+            1 => "statement ok\nSELECT definitely_not_a_function(1)\n\n",
+            _ => "query I nosort\nSELECT 1\n----\n2\n\n",
+        };
+        let fail_at = ((noise.len() as f64) * fail_pos_frac) as usize;
+        let mut text = String::new();
+        for (i, rec) in noise.iter().enumerate() {
+            if i == fail_at {
+                text.push_str(failing);
+            }
+            text.push_str(rec);
+        }
+        if fail_at >= noise.len() {
+            text.push_str(failing);
+        }
+        let file = parse_slt("prop-reduce.test", &text, SltFlavor::Classic);
+
+        let Some(r) = reduce_file(&file, SuiteKind::Slt, EngineDialect::Sqlite, 128) else {
+            // Noise prefixes can mask the intended failure (e.g. an earlier
+            // record fails first with a state-dependent signature the full
+            // file cannot reproduce in isolation); reduce_file declining is
+            // the documented behaviour, not a property violation.
+            return Ok(());
+        };
+
+        // (a) Subset: every reduced record's SQL text occurs in the original.
+        prop_assert!(r.reduced_records <= file.record_count());
+        for rec in &r.reduced.records {
+            let (RecordKind::Statement { sql, .. } | RecordKind::Query { sql, .. }) = &rec.kind
+            else { continue };
+            prop_assert!(text.contains(sql), "reduced record not from the original: {sql}");
+        }
+
+        // (b) Standalone re-execution fails with the identical signature.
+        let files = [r.reduced.clone()];
+        let mut conn = EngineConnector::new(EngineDialect::Sqlite, ClientKind::Connector);
+        let summary = Harness::builder()
+            .files(SuiteKind::Slt, &files)
+            .host(EngineDialect::Sqlite)
+            .build()
+            .unwrap()
+            .run_on(&mut conn);
+        let preserved = summary.failures.iter().any(|f| match &f.result.outcome {
+            Outcome::Fail(info) => info.signature == r.signature,
+            _ => false,
+        });
+        prop_assert!(preserved, "signature lost: {:?}", r.signature.normalized);
+    }
+}
+
+/// Benign SLT records for the reduction property: DDL/DML/query noise that
+/// passes on SQLite.
+fn noise_record_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-d]".prop_map(|t| format!(
+            "statement ok\nCREATE TABLE IF NOT EXISTS n_{t}(a INTEGER)\n\n"
+        )),
+        ("[a-d]", 0i64..50).prop_map(|(t, v)| format!(
+            "statement ok\nCREATE TABLE IF NOT EXISTS n_{t}(a INTEGER)\n\nstatement ok\nINSERT INTO n_{t} VALUES ({v})\n\n"
+        )),
+        (1i64..9).prop_map(|v| format!("query I nosort\nSELECT {v}\n----\n{v}\n\n")),
+    ]
+}
+
 /// Statements across DDL, DML, queries, and deliberate garbage — the mix a
 /// loop-heavy SLT file replays.
 fn sql_statement_strategy() -> impl Strategy<Value = String> {
