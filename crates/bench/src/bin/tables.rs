@@ -3,12 +3,15 @@
 //! ```text
 //! squality-tables [section...] [--scale F] [--seed N] [--workers W]
 //!                 [--events PATH] [--progress]
+//!                 [--cache] [--cache-dir DIR] [--no-cache]
 //!                 [--reduce] [--out DIR] [--max-probes N]
 //!                 [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]
 //! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
 //!           figure4 table6 table7 table8 translation bugs all (default: all)
 //!           triage (signature clustering [+ --reduce ddmin repros → --out])
-//!           bench-engine (hot-path + reduction perf → BENCH_engine.json)
+//!           bench-engine (hot-path + reduction + incremental perf
+//!                         → BENCH_engine.json)
+//! squality-tables cache stats|clear [--cache-dir DIR]
 //! ```
 //!
 //! `--workers 0` (the default) shards suite execution over all cores; any
@@ -27,12 +30,20 @@
 //!
 //! `bench-engine` measures the execution-core hot paths (grouping,
 //! DISTINCT, equi-join, set-ops) under both executor strategies plus the
-//! triage reduction loop, and writes the numbers to `--bench-out`
-//! (default `BENCH_engine.json`).
+//! triage reduction loop and the incremental-study cold/warm/dirty
+//! triple, and writes the numbers to `--bench-out` (default
+//! `BENCH_engine.json`).
+//!
+//! `--cache` replays study cells from the content-addressed result cache
+//! (default `.squality-cache/`, override with `--cache-dir`): a repeated
+//! run skips every unchanged file and produces byte-identical tables and
+//! event logs. `cache stats` / `cache clear` introspect the store.
 
 use squality_core::triage::{triage_study_with_observers, TriageConfig};
-use squality_core::{run_study_with_observers, triage_table, Study, StudyConfig};
+use squality_core::{run_study_cached, triage_table, ResultCache, Study, StudyConfig};
 use squality_runner::{JsonlObserver, ProgressObserver, RunObserver};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 fn main() {
     let mut sections: Vec<String> = Vec::new();
@@ -47,10 +58,23 @@ fn main() {
     let mut bench_rows: Vec<usize> = vec![1_000, 10_000];
     let mut bench_samples = 7usize;
     let mut bench_out = "BENCH_engine.json".to_string();
+    let mut use_cache = false;
+    let mut cache_dir: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--cache" => use_cache = true,
+            "--no-cache" => {
+                use_cache = false;
+                cache_dir = None;
+            }
+            "--cache-dir" => {
+                use_cache = true;
+                cache_dir = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("missing value for --cache-dir")),
+                ));
+            }
             "--events" => {
                 events_path =
                     Some(args.next().unwrap_or_else(|| usage("missing value for --events")));
@@ -111,10 +135,24 @@ fn main() {
         sections.push("all".to_string());
     }
 
+    // The `cache` subcommand introspects the store without running anything.
+    if sections.first().map(String::as_str) == Some("cache") {
+        let root = cache_dir.unwrap_or_else(ResultCache::default_dir);
+        match sections.get(1).map(String::as_str) {
+            Some("stats") => cache_stats(&root),
+            Some("clear") => cache_clear(&root),
+            other => usage(&format!(
+                "cache subcommand must be `stats` or `clear`, got {}",
+                other.unwrap_or("nothing")
+            )),
+        }
+        return;
+    }
+
     // The engine hot-path bench runs standalone (no study needed).
     if sections.iter().any(|s| s == "bench-engine") {
         sections.retain(|s| s != "bench-engine");
-        run_bench_engine(&bench_rows, bench_samples, &bench_out);
+        run_bench_engine(&bench_rows, bench_samples, &bench_out, workers);
         if sections.is_empty() {
             return;
         }
@@ -147,7 +185,23 @@ fn main() {
         .with_scale(scale)
         .with_workers(workers)
         .with_translated_arm(translated_arm);
-    let study = run_study_with_observers(config, &observers);
+    let cache = use_cache.then(|| {
+        let root = cache_dir.clone().unwrap_or_else(ResultCache::default_dir);
+        eprintln!("result cache: {}", root.display());
+        Arc::new(ResultCache::new(root))
+    });
+    let study = run_study_cached(config, &observers, cache.clone());
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        eprintln!(
+            "result cache: {} hits, {} misses, {} stored ({:.1}% hit rate)",
+            s.hits,
+            s.misses,
+            s.stores,
+            s.hit_rate() * 100.0
+        );
+        cache.persist_stats();
+    }
     if let Some(path) = &events_path {
         eprintln!("wrote run events to {path}");
     }
@@ -232,8 +286,43 @@ fn print_section(study: &Study, section: &str) {
     println!("{text}");
 }
 
-fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str) {
+/// `cache stats`: entry count, bytes on disk, and the counters persisted
+/// by the last cached study run.
+fn cache_stats(root: &std::path::Path) {
+    let cache = ResultCache::new(root);
+    let (entries, bytes) = cache.disk_usage();
+    println!("cache directory: {}", root.display());
+    println!("entries: {entries}");
+    println!("bytes: {bytes}");
+    match ResultCache::last_run_stats(root) {
+        Some(s) => {
+            println!(
+                "last run: {} hits, {} misses, {} stored, {} corrupt ({:.1}% hit rate)",
+                s.hits,
+                s.misses,
+                s.stores,
+                s.corrupt,
+                s.hit_rate() * 100.0
+            );
+        }
+        None => println!("last run: no recorded stats"),
+    }
+}
+
+/// `cache clear`: drop every stored entry.
+fn cache_clear(root: &std::path::Path) {
+    let cache = ResultCache::new(root);
+    let (entries, bytes) = cache.disk_usage();
+    if let Err(e) = cache.clear() {
+        eprintln!("error: cannot clear cache {}: {e}", root.display());
+        std::process::exit(1);
+    }
+    println!("cleared {entries} entries ({bytes} bytes) from {}", root.display());
+}
+
+fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str, workers: usize) {
     use squality_bench::hot_paths::{render_json, run_comparison};
+    use squality_bench::incremental::run_incremental_bench;
     use squality_bench::reduction::run_reduction_bench;
     eprintln!(
         "measuring engine hot paths (rows: {rows:?}, {samples} samples/case, both strategies)..."
@@ -272,7 +361,23 @@ fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str) {
             r.records_eliminated()
         );
     }
-    let json = render_json(&results, &reduction);
+    // Cold/warm/dirty study wall-clock through the result cache.
+    eprintln!("measuring incremental study replay (cold vs warm vs dirty)...");
+    let incremental = run_incremental_bench(squality_bench::BENCH_SCALE, 7, workers);
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "case", "cold ms", "warm ms", "dirty ms", "warm", "dirty"
+    );
+    println!(
+        "{:<20} {:>10.1} {:>10.1} {:>10.1} {:>8.1}x {:>8.1}x",
+        "study_incremental",
+        incremental.cold_ms,
+        incremental.warm_ms,
+        incremental.dirty_ms,
+        incremental.warm_speedup(),
+        incremental.dirty_speedup()
+    );
+    let json = render_json(&results, &reduction, Some(&incremental));
     if let Err(e) = std::fs::write(out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -287,8 +392,10 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: squality-tables [section...] [--scale F] [--seed N] [--workers W]\n\
          \x20                      [--events PATH] [--progress]\n\
+         \x20                      [--cache] [--cache-dir DIR] [--no-cache]\n\
          \x20                      [--reduce] [--out DIR] [--max-probes N]\n\
          \x20                      [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]\n\
+         \x20      squality-tables cache stats|clear [--cache-dir DIR]\n\
          sections: table1..table8, figure1..figure4, translation, bugs, all, triage,\n\
          \x20         bench-engine"
     );

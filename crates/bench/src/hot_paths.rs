@@ -150,10 +150,12 @@ pub fn run_comparison(row_counts: &[usize], samples: usize) -> Vec<HotPathResult
 /// Render the comparison as the `BENCH_engine.json` document. When
 /// reduction rows are given (see [`crate::reduction`]), they are included
 /// as a `"reduction"` section so the perf trajectory covers the triage
-/// reducer's probe loop too.
+/// reducer's probe loop too; an incremental-study triple (see
+/// [`crate::incremental`]) adds the `"study_incremental"` section.
 pub fn render_json(
     results: &[HotPathResult],
     reduction: &[crate::reduction::ReductionBenchResult],
+    incremental: Option<&crate::incremental::IncrementalBenchResult>,
 ) -> String {
     let mut s = String::from(
         "{\n  \"bench\": \"engine_hot_paths\",\n  \"unit\": \"ms (median per query execution)\",\n  \"cases\": [\n",
@@ -169,11 +171,21 @@ pub fn render_json(
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    if reduction.is_empty() {
+    if reduction.is_empty() && incremental.is_none() {
         s.push_str("  ]\n}\n");
     } else {
         s.push_str("  ],\n");
-        s.push_str(&crate::reduction::render_reduction_json(reduction));
+        if !reduction.is_empty() {
+            s.push_str(&crate::reduction::render_reduction_json(reduction));
+            if incremental.is_some() {
+                // Turn the section's closing newline into a separator.
+                s.truncate(s.len() - 1);
+                s.push_str(",\n");
+            }
+        }
+        if let Some(inc) = incremental {
+            s.push_str(&crate::incremental::render_incremental_json(inc));
+        }
         s.push_str("}\n");
     }
     s

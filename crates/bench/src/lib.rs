@@ -4,6 +4,7 @@
 use squality_core::{run_study, Study, StudyConfig};
 
 pub mod hot_paths;
+pub mod incremental;
 pub mod reduction;
 
 /// Build a study at the given scale (deterministic seed, all cores).

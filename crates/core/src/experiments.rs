@@ -1,6 +1,7 @@
 //! The full empirical study: every experiment from the paper's evaluation,
 //! orchestrated over the generated corpora and the four engine simulators.
 
+use crate::cache::{CacheStats, ResultCache};
 use crate::harness::{Harness, HarnessBuilder, Run};
 use crate::transplant::{sample_failures, Incident, Provision, SuiteRunSummary};
 use squality_corpus::{donor_dialect, generate_suite_scaled, GeneratedSuite};
@@ -133,6 +134,10 @@ pub struct Study {
     /// Statement-plan cache counters for the whole study: how much parse
     /// work the shared cache absorbed across cells, files, and workers.
     pub parse_cache: PlanCacheStats,
+    /// Result-cache counters for the whole study (all zero when the study
+    /// ran without a cache): how many per-file executions were replayed
+    /// from disk instead of re-run.
+    pub result_cache: CacheStats,
 }
 
 impl Study {
@@ -167,15 +172,20 @@ impl Study {
 }
 
 /// A pre-configured [`HarnessBuilder`] for one study cell: the shared
-/// worker count, study-wide plan cache, and observer set applied.
+/// worker count, study-wide plan cache, optional study-wide result
+/// cache, and observer set applied.
 fn cell_builder<'a>(
     gs: &'a GeneratedSuite,
     workers: usize,
     plan_cache: &Arc<PlanCache>,
+    result_cache: Option<&Arc<ResultCache>>,
     observers: &[&'a dyn RunObserver],
 ) -> HarnessBuilder<'a> {
     let mut builder =
         Harness::builder().suite(gs).workers(workers).plan_cache(Arc::clone(plan_cache));
+    if let Some(cache) = result_cache {
+        builder = builder.result_cache(Arc::clone(cache));
+    }
     for obs in observers {
         builder = builder.observer(*obs);
     }
@@ -205,6 +215,21 @@ pub fn run_study(config: StudyConfig) -> Study {
 ///
 /// [`RunEvent`]: squality_runner::RunEvent
 pub fn run_study_with_observers(config: StudyConfig, observers: &[&dyn RunObserver]) -> Study {
+    run_study_cached(config, observers, None)
+}
+
+/// [`run_study_with_observers`] with an optional content-addressed result
+/// cache shared across every cell: files already cached under the same
+/// (configuration, content) key replay from disk instead of executing, so
+/// a repeated study is near-instant and an incremental one only re-runs
+/// what changed. Results, reports, event logs, and coverage rows are
+/// byte-identical with or without the cache, warm or cold.
+pub fn run_study_cached(
+    config: StudyConfig,
+    observers: &[&dyn RunObserver],
+    result_cache: Option<Arc<ResultCache>>,
+) -> Study {
+    let result_cache = result_cache.as_ref();
     // 1. Generate all four corpora (MySQL included for RQ1/Table 1-2).
     let suites: Vec<GeneratedSuite> = SuiteKind::ALL
         .iter()
@@ -223,7 +248,7 @@ pub fn run_study_with_observers(config: StudyConfig, observers: &[&dyn RunObserv
     let donor_runs: Vec<SuiteRunSummary> = executed
         .iter()
         .map(|gs| {
-            cell_builder(gs, workers, &plan_cache, observers)
+            cell_builder(gs, workers, &plan_cache, result_cache, observers)
                 .label(format!("donor {} (bare)", gs.suite.donor_name()))
                 .host(donor_dialect(gs.suite))
                 .client(ClientKind::Connector)
@@ -244,14 +269,15 @@ pub fn run_study_with_observers(config: StudyConfig, observers: &[&dyn RunObserv
         for gs in &executed {
             for host in EngineDialect::ALL {
                 let is_donor = host == donor_dialect(gs.suite);
-                let Run { summary, .. } = cell_builder(gs, workers, &plan_cache, observers)
-                    .host(host)
-                    .client(if is_donor { ClientKind::Cli } else { ClientKind::Connector })
-                    .provision(if is_donor { Provision::Full } else { Provision::CrossHost })
-                    .translate(translate)
-                    .build()
-                    .expect("suite is always set")
-                    .run();
+                let Run { summary, .. } =
+                    cell_builder(gs, workers, &plan_cache, result_cache, observers)
+                        .host(host)
+                        .client(if is_donor { ClientKind::Cli } else { ClientKind::Connector })
+                        .provision(if is_donor { Provision::Full } else { Provision::CrossHost })
+                        .translate(translate)
+                        .build()
+                        .expect("suite is always set")
+                        .run();
                 cells.push(MatrixCell { suite: gs.suite, host, summary });
             }
         }
@@ -265,7 +291,7 @@ pub fn run_study_with_observers(config: StudyConfig, observers: &[&dyn RunObserv
     let translated_matrix = if config.translated_arm { run_arm(true) } else { Vec::new() };
 
     // 4. Coverage experiment (Table 8) on the three engines with own suites.
-    let coverage = coverage_experiment(&executed, workers, &plan_cache, observers);
+    let coverage = coverage_experiment(&executed, workers, &plan_cache, result_cache, observers);
 
     // 5. Collect crash/hang findings across all runs (§6).
     let mut bugs = Vec::new();
@@ -290,7 +316,18 @@ pub fn run_study_with_observers(config: StudyConfig, observers: &[&dyn RunObserv
     dedupe_bugs(&mut bugs);
 
     let parse_cache = plan_cache.stats();
-    Study { config, suites, donor_runs, matrix, translated_matrix, coverage, bugs, parse_cache }
+    let result_cache = result_cache.map(|c| c.stats()).unwrap_or_default();
+    Study {
+        config,
+        suites,
+        donor_runs,
+        matrix,
+        translated_matrix,
+        coverage,
+        bugs,
+        parse_cache,
+        result_cache,
+    }
 }
 
 /// Keep one finding per (host, error-signature). The signature is the
@@ -323,6 +360,7 @@ fn coverage_experiment(
     executed: &[&GeneratedSuite],
     workers: usize,
     plan_cache: &Arc<PlanCache>,
+    result_cache: Option<&Arc<ResultCache>>,
     observers: &[&dyn RunObserver],
 ) -> Vec<CoverageRow> {
     let engines = [EngineDialect::Sqlite, EngineDialect::Duckdb, EngineDialect::Postgres];
@@ -334,16 +372,21 @@ fn coverage_experiment(
             } else {
                 Provision::CrossHost
             };
-            let Run { connectors, .. } = cell_builder(gs, workers, plan_cache, observers)
-                .label(format!("coverage {}@{}", gs.suite.donor_name(), engine.name()))
-                .host(engine)
-                .provision(provision)
-                .build()
-                .expect("suite is always set")
-                .run();
+            let Run { connectors, replayed_coverage, .. } =
+                cell_builder(gs, workers, plan_cache, result_cache, observers)
+                    .label(format!("coverage {}@{}", gs.suite.donor_name(), engine.name()))
+                    .host(engine)
+                    .provision(provision)
+                    .build()
+                    .expect("suite is always set")
+                    .run();
+            // Live workers carry coverage on their engines; cache hits
+            // carry it in the rehydrated recorder. Their union equals a
+            // fully-live run's (coverage is a monotone hit set).
             for conn in &connectors {
                 cov.union_with(conn.engine().coverage());
             }
+            cov.union_with(&replayed_coverage);
         };
 
         // Original: the engine's own suite only.

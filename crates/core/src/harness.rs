@@ -13,15 +13,20 @@
 //! event multiset are byte-identical at every worker count (timing fields
 //! aside); see [`squality_runner::events`].
 
+use crate::cache::{CachedFileRun, CellSpec, FileKey, ResultCache};
 use crate::transplant::{summarize, Provision, RunConfig, SuiteRunSummary};
 use squality_corpus::{donor_dialect, DonorEnvironment, GeneratedSuite};
-use squality_engine::{ClientKind, EngineDialect, FaultProfile, PlanCache};
-use squality_formats::{SuiteKind, TestFile};
-use squality_runner::{
-    Connector, EngineConnector, EngineConnectorFactory, FanoutObserver, NumericMode, RunEvent,
-    RunObserver, Runner, RunnerOptions, TranslationMode,
+use squality_engine::{
+    execution_fingerprint, ClientKind, Coverage, EngineDialect, ExecStrategy, FaultProfile,
+    PlanCache,
 };
-use std::sync::Arc;
+use squality_formats::{file_content_hash, SuiteKind, TestFile};
+use squality_runner::{
+    emit_suite_finished, replay_file_events, Connector, EngineConnector, EngineConnectorFactory,
+    FanoutObserver, FileRunRecord, NumericMode, RunEvent, RunObserver, Runner, RunnerOptions,
+    TranslationCounts, TranslationMode,
+};
+use std::sync::{Arc, Mutex};
 
 /// What a harness executes: a generated donor suite (with its recorded
 /// environment) or a bare slice of parsed test files.
@@ -80,6 +85,7 @@ pub struct HarnessBuilder<'a> {
     translate: bool,
     workers: usize,
     plan_cache: Option<Arc<PlanCache>>,
+    result_cache: Option<Arc<ResultCache>>,
     observers: Vec<&'a dyn RunObserver>,
     label: Option<String>,
 }
@@ -97,6 +103,7 @@ impl<'a> HarnessBuilder<'a> {
             translate: false,
             workers: 1,
             plan_cache: None,
+            result_cache: None,
             observers: Vec::new(),
             label: None,
         }
@@ -186,6 +193,16 @@ impl<'a> HarnessBuilder<'a> {
         self
     }
 
+    /// Use a content-addressed result cache: files whose content and run
+    /// configuration match a cached entry are **not executed** — their
+    /// recorded results are replayed through the observer path instead,
+    /// byte-identical to a live run. Share one cache `Arc` across runs
+    /// (and across studies) for cross-run reuse. Default: off.
+    pub fn result_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.result_cache = Some(cache);
+        self
+    }
+
     /// Register an event sink. May be called repeatedly; observers
     /// receive every [`RunEvent`] in registration order.
     pub fn observer(mut self, observer: &'a dyn RunObserver) -> Self {
@@ -228,6 +245,7 @@ impl<'a> HarnessBuilder<'a> {
             translate: self.translate,
             workers: self.workers,
             plan_cache: self.plan_cache,
+            result_cache: self.result_cache,
             observers: self.observers,
             label,
         })
@@ -248,6 +266,7 @@ pub struct Harness<'a> {
     translate: bool,
     workers: usize,
     plan_cache: Option<Arc<PlanCache>>,
+    result_cache: Option<Arc<ResultCache>>,
     observers: Vec<&'a dyn RunObserver>,
     label: String,
 }
@@ -259,8 +278,13 @@ pub struct Run {
     /// Aggregate result of the run, in input order.
     pub summary: SuiteRunSummary,
     /// The retired worker connections — one per worker that claimed at
-    /// least one file.
+    /// least one file. A fully-cached run retires none.
     pub connectors: Vec<EngineConnector>,
+    /// Coverage rehydrated from cache hits (empty unless a result cache
+    /// replayed files). The union of this recorder with the retired
+    /// connectors' coverage equals a cold run's connector coverage, so
+    /// coverage experiments read both.
+    pub replayed_coverage: Coverage,
 }
 
 impl<'a> Harness<'a> {
@@ -323,15 +347,20 @@ impl<'a> Harness<'a> {
         }
     }
 
+    /// The donor environment this run provisions from: an explicit
+    /// [`HarnessBuilder::environment`] wins; a generated suite falls back
+    /// to its recorded environment; bare files have none.
+    fn resolved_environment(&self) -> Option<&DonorEnvironment> {
+        match (&self.environment, &self.source) {
+            (Some(env), _) => Some(env),
+            (None, SuiteSource::Generated(gs)) => Some(&gs.environment),
+            (None, SuiteSource::Files { .. }) => None,
+        }
+    }
+
     /// Apply the configured provision level to a freshly-reset connection.
-    /// An explicit [`HarnessBuilder::environment`] wins; a generated suite
-    /// falls back to its recorded environment; bare files have none.
     fn provision_conn(&self, conn: &mut EngineConnector) {
-        let env = match (&self.environment, &self.source) {
-            (Some(env), _) => *env,
-            (None, SuiteSource::Generated(gs)) => &gs.environment,
-            (None, SuiteSource::Files { .. }) => return,
-        };
+        let Some(env) = self.resolved_environment() else { return };
         match self.provision {
             Provision::Full => env.provision(conn),
             Provision::CrossHost => {
@@ -354,14 +383,50 @@ impl<'a> Harness<'a> {
         })
     }
 
-    /// Execute through the parallel scheduler: the configured worker
-    /// count, a fresh provisioned connection per file, results stitched
-    /// in input order, events streamed to every registered observer.
-    pub fn run(&self) -> Run {
+    fn factory(&self) -> EngineConnectorFactory {
         let mut factory = EngineConnectorFactory::with_faults(self.host, self.client, self.faults);
         if let Some(cache) = &self.plan_cache {
             factory = factory.plan_cache(Arc::clone(cache));
         }
+        factory
+    }
+
+    /// The content-addressed keys this run's files cache under. The cell
+    /// half hashes every outcome-relevant knob of this harness; the file
+    /// half hashes each file's canonical content.
+    fn file_keys(&self) -> Vec<FileKey> {
+        let fingerprint = execution_fingerprint(self.host, ExecStrategy::default());
+        let cell = CellSpec {
+            suite: self.source.kind(),
+            engine_fingerprint: &fingerprint,
+            client: self.client,
+            provision: self.provision,
+            numeric: self.numeric,
+            translation: self.translation_mode(),
+            faults: self.faults,
+            environment: self.resolved_environment(),
+        }
+        .cell_hash();
+        self.source.files().iter().map(|f| FileKey { cell, file: file_content_hash(f) }).collect()
+    }
+
+    /// Execute through the parallel scheduler: the configured worker
+    /// count, a fresh provisioned connection per file, results stitched
+    /// in input order, events streamed to every registered observer.
+    ///
+    /// With a [`HarnessBuilder::result_cache`], files whose key matches a
+    /// cached entry are replayed instead of executed; everything
+    /// observable (summary, events, tables, coverage unions) is
+    /// byte-identical either way.
+    pub fn run(&self) -> Run {
+        match &self.result_cache {
+            Some(cache) => self.run_cached(Arc::clone(cache)),
+            None => self.run_uncached(),
+        }
+    }
+
+    fn run_uncached(&self) -> Run {
+        let factory = self.factory();
         let runner = self.runner();
         let files = self.source.files();
         let prepare = |conn: &mut EngineConnector| self.provision_conn(conn);
@@ -373,7 +438,119 @@ impl<'a> Harness<'a> {
         };
         let mut summary = summarize(self.source.kind(), self.host, &execution.results);
         summary.translation = runner.translation_stats.counts();
-        Run { summary, connectors: execution.connectors }
+        Run { summary, connectors: execution.connectors, replayed_coverage: Coverage::new() }
+    }
+
+    /// The cache-aware execution path: replay hits, execute only stale
+    /// files (recording per-file results, translation deltas, and
+    /// coverage for storage), and stitch everything back in input order.
+    ///
+    /// Suite-level events are always emitted live — only per-file event
+    /// blocks replay — and the [`JsonlObserver`](squality_runner::JsonlObserver)
+    /// orders blocks by input index, so the log is byte-identical to a
+    /// cold run's whatever mix of hits and misses occurred. Summary
+    /// translation counters are summed from per-file deltas, which equals
+    /// the shared-counter total of an uncached run because counters record
+    /// per execution.
+    fn run_cached(&self, cache: Arc<ResultCache>) -> Run {
+        let started = std::time::Instant::now();
+        let files = self.source.files();
+        let keys = self.file_keys();
+        let fanout = FanoutObserver(&self.observers);
+        let observed = !self.observers.is_empty();
+        let factory = self.factory();
+        if observed {
+            let info = squality_runner::ConnectorFactory::info(&factory);
+            fanout.on_event(&RunEvent::SuiteStarted {
+                label: &self.label,
+                files: files.len(),
+                connector: &info,
+            });
+        }
+
+        let mut cached: Vec<Option<CachedFileRun>> = keys.iter().map(|k| cache.lookup(k)).collect();
+        let stale: Vec<(usize, &TestFile)> = cached
+            .iter()
+            .enumerate()
+            .filter(|(_, entry)| entry.is_none())
+            .map(|(i, _)| (i, &files[i]))
+            .collect();
+        if observed {
+            for (i, entry) in cached.iter().enumerate() {
+                if let Some(run) = entry {
+                    replay_file_events(&fanout, i, &run.result);
+                }
+            }
+        }
+
+        let (records, connectors) = if stale.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            let runner = self.runner();
+            let captured: Mutex<Vec<(usize, Coverage)>> = Mutex::new(Vec::new());
+            let (records, connectors) = runner.run_files_recorded(
+                &factory,
+                &stale,
+                self.workers,
+                |conn: &mut EngineConnector| {
+                    // Open the per-file coverage window before provisioning
+                    // so provision hits are captured too — a cold run's
+                    // connector accumulates them the same way.
+                    conn.begin_coverage_capture();
+                    self.provision_conn(conn);
+                },
+                |conn: &mut EngineConnector, index: usize| {
+                    let window = conn.end_coverage_capture();
+                    captured.lock().expect("coverage capture poisoned").push((index, window));
+                },
+                observed.then_some(&fanout as &dyn RunObserver),
+            );
+            let captured = captured.into_inner().expect("coverage capture poisoned");
+            for record in &records {
+                let coverage = captured
+                    .iter()
+                    .find(|(i, _)| *i == record.index)
+                    .map(|(_, c)| c.clone())
+                    .unwrap_or_default();
+                cache.store(
+                    &keys[record.index],
+                    &CachedFileRun {
+                        result: record.result.clone(),
+                        translation: record.translation,
+                        coverage,
+                    },
+                );
+            }
+            (records, connectors)
+        };
+
+        let mut fresh: std::collections::BTreeMap<usize, FileRunRecord> =
+            records.into_iter().map(|r| (r.index, r)).collect();
+        let mut results = Vec::with_capacity(files.len());
+        let mut translation = TranslationCounts::default();
+        let mut replayed_coverage = Coverage::new();
+        for (i, entry) in cached.iter_mut().enumerate() {
+            if let Some(run) = entry.take() {
+                translation.merge(&run.translation);
+                replayed_coverage.union_with(&run.coverage);
+                results.push(run.result);
+            } else {
+                let record = fresh.remove(&i).expect("scheduler ran every stale file");
+                translation.merge(&record.translation);
+                results.push(record.result);
+            }
+        }
+        if observed {
+            emit_suite_finished(
+                &fanout,
+                &self.label,
+                &results,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
+        let mut summary = summarize(self.source.kind(), self.host, &results);
+        summary.translation = translation;
+        Run { summary, connectors, replayed_coverage }
     }
 
     /// Execute sequentially on one existing, caller-owned connection —

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 /// Coverage recorder with a fixed registered universe.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Coverage {
     lines: BTreeMap<String, bool>,
     branches: BTreeMap<String, bool>,
@@ -90,6 +90,29 @@ impl Coverage {
         for v in self.branches.values_mut() {
             *v = false;
         }
+    }
+
+    /// Iterate feature points as `(point, hit)`, in sorted order. The
+    /// study result cache serializes recorders through these entry
+    /// iterators and rebuilds them with [`set_line`](Coverage::set_line) /
+    /// [`set_branch`](Coverage::set_branch).
+    pub fn line_entries(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.lines.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate decision points as `(point, hit)`, in sorted order.
+    pub fn branch_entries(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.branches.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Insert a feature point with an explicit hit bit (deserialization).
+    pub fn set_line(&mut self, point: impl Into<String>, hit: bool) {
+        self.lines.insert(point.into(), hit);
+    }
+
+    /// Insert a decision point with an explicit hit bit (deserialization).
+    pub fn set_branch(&mut self, point: impl Into<String>, hit: bool) {
+        self.branches.insert(point.into(), hit);
     }
 
     /// Merge another recorder's hits into this one (union coverage).

@@ -22,6 +22,24 @@ use std::sync::Arc;
 /// enough that the injected infinite loops resolve to hangs in milliseconds.
 pub const DEFAULT_STEP_BUDGET: u64 = 2_000_000;
 
+/// Version of the simulators' observable semantics. Bump whenever an
+/// engine change can alter any record outcome, rendered value, error
+/// message, or coverage point — the study result cache folds this into
+/// its keys, so a bump invalidates every cached result at once.
+pub const ENGINE_SEMANTICS_VERSION: u32 = 1;
+
+/// Stable fingerprint of everything about the execution backend that can
+/// change a result: dialect, executor strategy, and the semantics version.
+/// Plan caching is deliberately absent — it memoizes parsing only and is
+/// required to be outcome-invisible.
+pub fn execution_fingerprint(dialect: EngineDialect, strategy: ExecStrategy) -> String {
+    let strategy = match strategy {
+        ExecStrategy::Hash => "hash",
+        ExecStrategy::Naive => "naive",
+    };
+    format!("{}/{}/v{}", dialect.name(), strategy, ENGINE_SEMANTICS_VERSION)
+}
+
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryResult {

@@ -51,7 +51,9 @@ pub mod value;
 pub use client::{render_value, ClientKind};
 pub use coverage::Coverage;
 pub use dialect::EngineDialect;
-pub use engine::{Engine, QueryResult, DEFAULT_STEP_BUDGET};
+pub use engine::{
+    execution_fingerprint, Engine, QueryResult, DEFAULT_STEP_BUDGET, ENGINE_SEMANTICS_VERSION,
+};
 pub use env::ExecStrategy;
 pub use error::{EngineError, ErrorKind};
 pub use faults::{FaultId, FaultProfile};

@@ -12,8 +12,10 @@
 //! * [`ir`] — the unified IR every parser targets
 //! * [`writer`] — IR back to native formats (round-trip tested)
 //! * [`commands`] — the RQ1 runner-command censuses (Table 2)
+//! * [`hash`] — canonical content hashing of the IR (study cache keys)
 
 pub mod commands;
+pub mod hash;
 pub mod ir;
 pub mod mysqltest;
 pub mod pgreg;
@@ -22,6 +24,7 @@ pub mod slt;
 pub mod writer;
 
 pub use commands::{command_count, feature_matrix, FeatureSupport};
+pub use hash::{file_content_hash, ContentHasher};
 pub use ir::{
     result_hash, Condition, ControlCommand, QueryExpectation, RecordId, RecordKind, SortMode,
     StatementExpect, SuiteKind, TestFile, TestRecord,

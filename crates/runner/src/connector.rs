@@ -200,6 +200,9 @@ pub struct EngineConnector {
     extensions: Vec<String>,
     /// Shared parse cache, re-attached to the engine on every reset.
     plan_cache: Option<Arc<PlanCache>>,
+    /// Coverage accumulated before a capture window opened (see
+    /// [`EngineConnector::begin_coverage_capture`]).
+    parked_coverage: Option<squality_engine::Coverage>,
 }
 
 impl EngineConnector {
@@ -221,7 +224,31 @@ impl EngineConnector {
             files: Vec::new(),
             extensions: Vec::new(),
             plan_cache: None,
+            parked_coverage: None,
         }
+    }
+
+    /// Open a coverage capture window: park the coverage accumulated so
+    /// far and clear the hit bits, so everything hit until
+    /// [`end_coverage_capture`](EngineConnector::end_coverage_capture) is
+    /// attributable to the window alone. The study result cache uses this
+    /// to record *per-file* coverage deltas alongside results.
+    pub fn begin_coverage_capture(&mut self) {
+        let parked = self.engine.coverage().clone();
+        self.engine.coverage_mut().reset_hits();
+        self.parked_coverage = Some(parked);
+    }
+
+    /// Close the capture window: return the coverage hit inside it
+    /// (universe included) and union the parked pre-window hits back, so
+    /// the connector's cumulative coverage is identical to a run without
+    /// any capture windows.
+    pub fn end_coverage_capture(&mut self) -> squality_engine::Coverage {
+        let captured = self.engine.coverage().clone();
+        if let Some(parked) = self.parked_coverage.take() {
+            self.engine.coverage_mut().union_with(&parked);
+        }
+        captured
     }
 
     /// Share a statement-plan cache with the wrapped engine (kept across

@@ -150,6 +150,36 @@ pub fn emit_suite_finished(
     });
 }
 
+/// Replay the event block of an already-computed [`FileResult`] through
+/// an observer: `FileStarted`, one `RecordFinished` per record, then
+/// `FileFinished` — exactly the stream a live run of the same file emits.
+///
+/// Record ids reproduce the live numbering because the runner assigns
+/// ordinals by emission order, which is the order results are stored in.
+/// Timings are advisory and excluded from the determinism contract, so
+/// replayed events carry `elapsed_nanos: 0`; with timing fields disabled
+/// (the [`JsonlObserver`] default) the replayed log is byte-identical to
+/// the live one. The study result cache uses this to rehydrate event
+/// logs, tables, and triage input from cached results.
+pub fn replay_file_events(observer: &dyn RunObserver, index: usize, result: &FileResult) {
+    observer.on_event(&RunEvent::FileStarted { index, file: &result.file });
+    for (ordinal, r) in result.results.iter().enumerate() {
+        observer.on_event(&RunEvent::RecordFinished {
+            index,
+            file: &result.file,
+            id: RecordId::new(r.line, ordinal),
+            outcome: &r.outcome,
+            elapsed_nanos: 0,
+        });
+    }
+    observer.on_event(&RunEvent::FileFinished {
+        index,
+        file: &result.file,
+        result,
+        elapsed_nanos: 0,
+    });
+}
+
 /// An observer that discards every event.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;

@@ -35,12 +35,12 @@ pub use connector::{
     Connector, ConnectorFactory, EngineConnector, EngineConnectorFactory, FnFactory,
 };
 pub use events::{
-    ConnectorInfo, FanoutObserver, JsonlObserver, NullObserver, ProgressObserver, RunEvent,
-    RunObserver,
+    emit_suite_finished, replay_file_events, ConnectorInfo, FanoutObserver, JsonlObserver,
+    NullObserver, ProgressObserver, RunEvent, RunObserver,
 };
 pub use outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult, SkipReason};
 pub use runner::{Runner, RunnerOptions, TranslationMode};
-pub use scheduler::SuiteExecution;
+pub use scheduler::{FileRunRecord, SuiteExecution};
 pub use squality_sqlast::translate::{
     TranslationCache, TranslationCounts, TranslationRule, TranslationStats,
 };

@@ -19,6 +19,7 @@ use crate::events::{RunEvent, RunObserver};
 use crate::outcome::FileResult;
 use crate::runner::{Runner, RunnerOptions};
 use squality_formats::TestFile;
+use squality_sqlast::translate::{TranslationCounts, TranslationStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -32,6 +33,20 @@ pub struct SuiteExecution<C> {
     /// least one file (workers connect lazily, so a worker that never got
     /// a file contributes nothing here).
     pub connectors: Vec<C>,
+}
+
+/// One file's complete execution record from
+/// [`Runner::run_files_recorded`]: everything the study result cache
+/// needs to persist so the file can be skipped — and its effects replayed
+/// — on the next run.
+pub struct FileRunRecord {
+    /// The caller's index for this file (its position in the *original*
+    /// suite, not in the possibly-partial slice that ran).
+    pub index: usize,
+    /// The per-record outcomes.
+    pub result: FileResult,
+    /// Translation counter deltas attributable to this file alone.
+    pub translation: TranslationCounts,
 }
 
 impl Runner {
@@ -81,6 +96,82 @@ impl Runner {
         observer: &dyn RunObserver,
     ) -> SuiteExecution<F::Conn> {
         self.run_suite_inner(factory, files, workers, prepare, Some((label, observer)))
+    }
+
+    /// Execute a *subset* of a suite's files — `(original_index, file)`
+    /// pairs — recording per-file translation counter deltas alongside the
+    /// results. This is the cache-miss path of the incremental study
+    /// cache: only the stale files run, their events carry the original
+    /// indices (so an observer's log interleaves correctly with replayed
+    /// cache hits), and each record is self-contained enough to persist.
+    ///
+    /// Unlike [`Runner::run_suite_observed`] this emits **no suite-level
+    /// events** — the caller owns `SuiteStarted`/`SuiteFinished`, because
+    /// only it knows the full suite. `prepare` runs on the freshly-reset
+    /// connection before each file; `epilogue` runs right after the file,
+    /// with its original index (the harness closes its per-file coverage
+    /// capture window there). Records are returned in slice order; each
+    /// file's translation counters are measured with a private counter set
+    /// so the deltas are per-file exact, while the memoisation cache stays
+    /// shared (it replays counter deltas on hit, so totals are unchanged).
+    pub fn run_files_recorded<F: ConnectorFactory>(
+        &self,
+        factory: &F,
+        files: &[(usize, &TestFile)],
+        workers: usize,
+        prepare: impl Fn(&mut F::Conn) + Sync,
+        epilogue: impl Fn(&mut F::Conn, usize) + Sync,
+        observer: Option<&dyn RunObserver>,
+    ) -> (Vec<FileRunRecord>, Vec<F::Conn>) {
+        let workers = effective_workers(workers, files.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<FileRunRecord>>> =
+            files.iter().map(|_| Mutex::new(None)).collect();
+        let retired = Mutex::new(Vec::with_capacity(workers));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut conn: Option<F::Conn> = None;
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(index, file)) = files.get(slot) else { break };
+                        let conn = conn.get_or_insert_with(|| factory.connect());
+                        conn.reset();
+                        prepare(conn);
+                        // A private counter set per file isolates this
+                        // file's translation deltas; the shared memo cache
+                        // still deduplicates the parse/print work.
+                        let stats = std::sync::Arc::new(TranslationStats::new());
+                        let per_file = Runner {
+                            options: RunnerOptions { fresh_database: false, ..self.options },
+                            translation_stats: std::sync::Arc::clone(&stats),
+                            translation_cache: std::sync::Arc::clone(&self.translation_cache),
+                        };
+                        let result = match observer {
+                            Some(observer) => {
+                                per_file.run_file_observed(conn, file, index, observer)
+                            }
+                            None => per_file.run_file(conn, file),
+                        };
+                        epilogue(conn, index);
+                        *slots[slot].lock().expect("record slot poisoned") =
+                            Some(FileRunRecord { index, result, translation: stats.counts() });
+                    }
+                    if let Some(conn) = conn {
+                        retired.lock().expect("retired list poisoned").push(conn);
+                    }
+                });
+            }
+        });
+
+        let records = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("record slot poisoned").expect("scheduler ran every file")
+            })
+            .collect();
+        (records, retired.into_inner().expect("retired list poisoned"))
     }
 
     fn run_suite_inner<F: ConnectorFactory>(

@@ -304,6 +304,43 @@ proptest! {
 }
 
 proptest! {
+    /// Content addressing: perturbing any hashed field of one file's
+    /// records changes that file's content hash — and nobody else's. The
+    /// result cache keys files by this hash, so an incremental study
+    /// re-runs exactly the edited file.
+    #[test]
+    fn file_mutation_invalidates_exactly_that_file(
+        seed in 0i64..32,
+        victim_frac in 0.0f64..1.0,
+        record_frac in 0.0f64..1.0,
+        bump in 1i64..100_000,
+    ) {
+        use squality::formats::file_content_hash;
+        let suite = SuiteKind::ALL[(seed % 4) as usize];
+        let gs = squality::corpus::generate_suite_scaled(suite, seed as u64, 0.03);
+        if gs.files.is_empty() {
+            return Ok(());
+        }
+        let before: Vec<u64> = gs.files.iter().map(file_content_hash).collect();
+
+        let mut files = gs.files.clone();
+        let victim = ((files.len() - 1) as f64 * victim_frac) as usize;
+        if files[victim].records.is_empty() {
+            return Ok(());
+        }
+        let r = ((files[victim].records.len() - 1) as f64 * record_frac) as usize;
+        files[victim].records[r].line += bump as usize;
+
+        let after: Vec<u64> = files.iter().map(file_content_hash).collect();
+        for (i, (a, b)) in before.iter().zip(after.iter()).enumerate() {
+            if i == victim {
+                prop_assert!(a != b, "edited file {} kept its hash", i);
+            } else {
+                prop_assert!(a == b, "untouched file {} changed hash", i);
+            }
+        }
+    }
+
     /// The triage reducer's contract: for a generated failing file, the
     /// ddmin output (a) is a subset of the original records, and (b) still
     /// fails with the **identical** `FailureSignature` when re-executed
