@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! squality-tables [section...] [--scale F] [--seed N] [--workers W]
+//!                 [--backend in-process|subprocess]
 //!                 [--events PATH] [--progress]
 //!                 [--cache] [--cache-dir DIR] [--no-cache]
 //!                 [--reduce] [--out DIR] [--max-probes N]
@@ -16,6 +17,13 @@
 //!
 //! `--workers 0` (the default) shards suite execution over all cores; any
 //! worker count produces byte-identical tables.
+//!
+//! `--backend subprocess` runs every study cell against
+//! `squality-backend-worker` child processes instead of the in-process
+//! engine: worker crashes, hangs, and protocol breaks become classified
+//! failures with bounded restarts, and a fault breakdown is reported on
+//! stderr after the run. Subprocess cells are never served from the
+//! result cache, and the coverage experiment always runs in-process.
 //!
 //! `--events PATH` streams every study cell's run events to a JSONL log
 //! (byte-identical at any worker count); `--progress` reports per-file
@@ -40,7 +48,7 @@
 //! event logs. `cache stats` / `cache clear` introspect the store.
 
 use squality_core::triage::{triage_study_with_observers, TriageConfig};
-use squality_core::{run_study_cached, triage_table, ResultCache, Study, StudyConfig};
+use squality_core::{run_study_cached, triage_table, BackendSpec, ResultCache, Study, StudyConfig};
 use squality_runner::{JsonlObserver, ProgressObserver, RunObserver};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -60,6 +68,7 @@ fn main() {
     let mut bench_out = "BENCH_engine.json".to_string();
     let mut use_cache = false;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut backend = BackendSpec::InProcess;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +116,16 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --workers"));
+            }
+            "--backend" => {
+                backend = match args.next().as_deref() {
+                    Some("in-process") => BackendSpec::InProcess,
+                    Some("subprocess") => BackendSpec::subprocess(),
+                    other => usage(&format!(
+                        "--backend must be `in-process` or `subprocess`, got {}",
+                        other.unwrap_or("nothing")
+                    )),
+                };
             }
             "--bench-rows" => {
                 let spec = args.next().unwrap_or_else(|| usage("missing value for --bench-rows"));
@@ -163,8 +182,9 @@ fn main() {
     let translated_arm = sections.iter().any(|s| s == "translation" || s == "all");
 
     eprintln!(
-        "generating corpora and running the study (seed={seed}, scale={scale}, workers={})...",
-        if workers == 0 { "auto".to_string() } else { workers.to_string() }
+        "generating corpora and running the study (seed={seed}, scale={scale}, workers={}, backend={})...",
+        if workers == 0 { "auto".to_string() } else { workers.to_string() },
+        backend.tag()
     );
     let jsonl = events_path.as_deref().map(|path| {
         JsonlObserver::to_path(path).unwrap_or_else(|e| {
@@ -184,7 +204,8 @@ fn main() {
         .with_seed(seed)
         .with_scale(scale)
         .with_workers(workers)
-        .with_translated_arm(translated_arm);
+        .with_translated_arm(translated_arm)
+        .with_backend(backend.clone());
     let cache = use_cache.then(|| {
         let root = cache_dir.clone().unwrap_or_else(ResultCache::default_dir);
         eprintln!("result cache: {}", root.display());
@@ -202,12 +223,20 @@ fn main() {
         );
         cache.persist_stats();
     }
+    if matches!(backend, BackendSpec::Subprocess { .. }) {
+        let f = &study.backend_faults;
+        eprintln!(
+            "backend faults: {} crashes, {} timeouts, {} protocol errors \
+             ({} restarts, {} worker spawns)",
+            f.crashes, f.timeouts, f.protocol_errors, f.restarts, f.spawns
+        );
+    }
     if let Some(path) = &events_path {
         eprintln!("wrote run events to {path}");
     }
     for section in &sections {
         if section == "triage" {
-            run_triage(&study, reduce, workers, max_probes, &out_dir, progress);
+            run_triage(&study, reduce, workers, max_probes, &out_dir, progress, &backend);
         } else {
             print_section(&study, section);
         }
@@ -215,6 +244,7 @@ fn main() {
 }
 
 /// The triage section: cluster, optionally reduce, emit verified repros.
+#[allow(clippy::too_many_arguments)]
 fn run_triage(
     study: &Study,
     reduce: bool,
@@ -222,11 +252,13 @@ fn run_triage(
     max_probes: usize,
     out_dir: &str,
     progress: bool,
+    backend: &BackendSpec,
 ) {
     let config = TriageConfig::default()
         .with_reduce(reduce)
         .with_workers(workers)
-        .with_max_probes(max_probes);
+        .with_max_probes(max_probes)
+        .with_backend(backend.clone());
     // Only the progress observer follows into triage: reduction probes run
     // in parallel across clusters, and the JSONL observer's per-suite
     // buffering assumes one suite at a time.
@@ -391,6 +423,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: squality-tables [section...] [--scale F] [--seed N] [--workers W]\n\
+         \x20                      [--backend in-process|subprocess]\n\
          \x20                      [--events PATH] [--progress]\n\
          \x20                      [--cache] [--cache-dir DIR] [--no-cache]\n\
          \x20                      [--reduce] [--out DIR] [--max-probes N]\n\

@@ -72,7 +72,7 @@ pub fn run_incremental_bench(scale: f64, seed: u64, workers: usize) -> Increment
     // hit/miss counters per-phase while sharing the stored entries.
     let run = |cache: Arc<ResultCache>| {
         let start = Instant::now();
-        let study = run_study_cached(config, &[], Some(cache));
+        let study = run_study_cached(config.clone(), &[], Some(cache));
         (start.elapsed().as_nanos() as f64 / 1e6, study.result_cache)
     };
 

@@ -71,6 +71,10 @@ pub struct CellSpec<'a> {
     pub faults: FaultProfile,
     /// The resolved donor environment, when the run has one.
     pub environment: Option<&'a DonorEnvironment>,
+    /// Execution backend ([`squality_backend::BackendSpec::tag`]):
+    /// in-process and subprocess runs must never share entries, even
+    /// though the in-process path is today the only one that caches.
+    pub backend: &'a str,
 }
 
 impl CellSpec<'_> {
@@ -121,6 +125,7 @@ impl CellSpec<'_> {
         for fault in FaultId::ALL {
             h.write_tag(self.faults.is_enabled(fault) as u8);
         }
+        h.write_str(self.backend);
         match (self.environment, self.provision) {
             (None, _) | (_, Provision::Bare) => h.write_tag(0),
             (Some(env), level) => {
@@ -504,6 +509,9 @@ fn parse_fail_kind(s: &str) -> Option<FailKind> {
         "WrongErrorMessage" => FailKind::WrongErrorMessage,
         "WrongResult" => FailKind::WrongResult,
         "Runner" => FailKind::Runner,
+        "BackendCrash" => FailKind::BackendCrash,
+        "BackendTimeout" => FailKind::BackendTimeout,
+        "BackendProtocol" => FailKind::BackendProtocol,
         _ => return None,
     })
 }
@@ -851,9 +859,15 @@ mod tests {
             translation: TranslationMode::Verbatim,
             faults: FaultProfile::default(),
             environment: Some(&env),
+            backend: "in-process",
         };
         let h = base.cell_hash();
         assert_eq!(h, base.cell_hash(), "hash must be stable");
+        assert_ne!(
+            h,
+            CellSpec { backend: "subprocess", ..base }.cell_hash(),
+            "backend participates"
+        );
         assert_ne!(
             h,
             CellSpec { engine_fingerprint: "SQLite/naive/v1", ..base }.cell_hash(),

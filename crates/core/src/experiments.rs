@@ -4,6 +4,7 @@
 use crate::cache::{CacheStats, ResultCache};
 use crate::harness::{Harness, HarnessBuilder, Run};
 use crate::transplant::{sample_failures, Incident, Provision, SuiteRunSummary};
+use squality_backend::{BackendFaultBreakdown, BackendSpec};
 use squality_corpus::{donor_dialect, generate_suite_scaled, GeneratedSuite};
 use squality_engine::{ClientKind, Coverage, EngineDialect, PlanCache, PlanCacheStats};
 use squality_formats::SuiteKind;
@@ -25,7 +26,7 @@ use std::sync::Arc;
 /// let config = StudyConfig::default().with_scale(0.05).with_workers(2);
 /// assert_eq!(config.workers, 2);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct StudyConfig {
     /// Corpus generation seed (the study is deterministic given it).
@@ -49,11 +50,25 @@ pub struct StudyConfig {
     /// analogue of the paper's "what if we adapt the statements?"
     /// discussion).
     pub translated_arm: bool,
+    /// Where the study's cells execute. [`BackendSpec::InProcess`]
+    /// (default) keeps the engine in the harness process —
+    /// byte-identical results to every prior release.
+    /// [`BackendSpec::Subprocess`] puts every worker connection behind a
+    /// `squality-backend-worker` child process; the coverage experiment
+    /// always runs in-process, since line coverage is engine
+    /// instrumentation read from the harness side.
+    pub backend: BackendSpec,
 }
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { seed: 0x5C0A11, scale: 1.0, workers: 0, translated_arm: true }
+        StudyConfig {
+            seed: 0x5C0A11,
+            scale: 1.0,
+            workers: 0,
+            translated_arm: true,
+            backend: BackendSpec::InProcess,
+        }
     }
 }
 
@@ -79,6 +94,12 @@ impl StudyConfig {
     /// Enable or disable the translated arm.
     pub fn with_translated_arm(mut self, translated_arm: bool) -> Self {
         self.translated_arm = translated_arm;
+        self
+    }
+
+    /// Replace the execution backend.
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -138,6 +159,10 @@ pub struct Study {
     /// ran without a cache): how many per-file executions were replayed
     /// from disk instead of re-run.
     pub result_cache: CacheStats,
+    /// Backend fault counters summed over every cell (all zero when the
+    /// study ran in-process): worker crashes, deadline kills, protocol
+    /// errors, and the restarts that contained them.
+    pub backend_faults: BackendFaultBreakdown,
 }
 
 impl Study {
@@ -177,12 +202,16 @@ impl Study {
 fn cell_builder<'a>(
     gs: &'a GeneratedSuite,
     workers: usize,
+    backend: &BackendSpec,
     plan_cache: &Arc<PlanCache>,
     result_cache: Option<&Arc<ResultCache>>,
     observers: &[&'a dyn RunObserver],
 ) -> HarnessBuilder<'a> {
-    let mut builder =
-        Harness::builder().suite(gs).workers(workers).plan_cache(Arc::clone(plan_cache));
+    let mut builder = Harness::builder()
+        .suite(gs)
+        .workers(workers)
+        .backend(backend.clone())
+        .plan_cache(Arc::clone(plan_cache));
     if let Some(cache) = result_cache {
         builder = builder.result_cache(Arc::clone(cache));
     }
@@ -245,50 +274,63 @@ pub fn run_study_cached(
     let workers = config.workers;
 
     // 2. Donor validation in a bare environment (Tables 4–5).
-    let donor_runs: Vec<SuiteRunSummary> = executed
-        .iter()
-        .map(|gs| {
-            cell_builder(gs, workers, &plan_cache, result_cache, observers)
-                .label(format!("donor {} (bare)", gs.suite.donor_name()))
-                .host(donor_dialect(gs.suite))
-                .client(ClientKind::Connector)
-                .provision(Provision::Bare)
-                .build()
-                .expect("suite is always set")
-                .run()
-                .summary
-        })
-        .collect();
+    let mut backend_faults = BackendFaultBreakdown::default();
+    let mut donor_runs: Vec<SuiteRunSummary> = Vec::with_capacity(executed.len());
+    for gs in &executed {
+        let run = cell_builder(gs, workers, &config.backend, &plan_cache, result_cache, observers)
+            .label(format!("donor {} (bare)", gs.suite.donor_name()))
+            .host(donor_dialect(gs.suite))
+            .client(ClientKind::Connector)
+            .provision(Provision::Bare)
+            .build()
+            .expect("suite is always set")
+            .run();
+        if let Some(faults) = &run.backend_faults {
+            backend_faults.merge(faults);
+        }
+        donor_runs.push(run.summary);
+    }
 
     // 3. The cross-DBMS matrix (Figure 4 / Tables 6–7). The diagonal runs
     // the donor suite as its own framework would — full environment and the
     // original client — which is why Figure 4's diagonal reads 100% even
     // though Table 4 reports donor failures under the unified runner.
-    let run_arm = |translate: bool| -> Vec<MatrixCell> {
-        let mut cells = Vec::new();
-        for gs in &executed {
-            for host in EngineDialect::ALL {
-                let is_donor = host == donor_dialect(gs.suite);
-                let Run { summary, .. } =
-                    cell_builder(gs, workers, &plan_cache, result_cache, observers)
-                        .host(host)
-                        .client(if is_donor { ClientKind::Cli } else { ClientKind::Connector })
-                        .provision(if is_donor { Provision::Full } else { Provision::CrossHost })
-                        .translate(translate)
-                        .build()
-                        .expect("suite is always set")
-                        .run();
-                cells.push(MatrixCell { suite: gs.suite, host, summary });
+    let run_arm =
+        |translate: bool, backend_faults: &mut BackendFaultBreakdown| -> Vec<MatrixCell> {
+            let mut cells = Vec::new();
+            for gs in &executed {
+                for host in EngineDialect::ALL {
+                    let is_donor = host == donor_dialect(gs.suite);
+                    let run = cell_builder(
+                        gs,
+                        workers,
+                        &config.backend,
+                        &plan_cache,
+                        result_cache,
+                        observers,
+                    )
+                    .host(host)
+                    .client(if is_donor { ClientKind::Cli } else { ClientKind::Connector })
+                    .provision(if is_donor { Provision::Full } else { Provision::CrossHost })
+                    .translate(translate)
+                    .build()
+                    .expect("suite is always set")
+                    .run();
+                    if let Some(faults) = &run.backend_faults {
+                        backend_faults.merge(faults);
+                    }
+                    cells.push(MatrixCell { suite: gs.suite, host, summary: run.summary });
+                }
             }
-        }
-        cells
-    };
-    let matrix = run_arm(false);
+            cells
+        };
+    let matrix = run_arm(false, &mut backend_faults);
 
     // 3b. The translated arm: the same 12 cells with cross-dialect
     // statement translation. Translated text is just another key in the
     // shared plan cache, so the arm reuses the study-wide cache too.
-    let translated_matrix = if config.translated_arm { run_arm(true) } else { Vec::new() };
+    let translated_matrix =
+        if config.translated_arm { run_arm(true, &mut backend_faults) } else { Vec::new() };
 
     // 4. Coverage experiment (Table 8) on the three engines with own suites.
     let coverage = coverage_experiment(&executed, workers, &plan_cache, result_cache, observers);
@@ -327,6 +369,7 @@ pub fn run_study_cached(
         bugs,
         parse_cache,
         result_cache,
+        backend_faults,
     }
 }
 
@@ -372,14 +415,22 @@ fn coverage_experiment(
             } else {
                 Provision::CrossHost
             };
-            let Run { connectors, replayed_coverage, .. } =
-                cell_builder(gs, workers, plan_cache, result_cache, observers)
-                    .label(format!("coverage {}@{}", gs.suite.donor_name(), engine.name()))
-                    .host(engine)
-                    .provision(provision)
-                    .build()
-                    .expect("suite is always set")
-                    .run();
+            // Always in-process: line coverage is engine instrumentation
+            // read from the harness side of the process boundary.
+            let Run { connectors, replayed_coverage, .. } = cell_builder(
+                gs,
+                workers,
+                &BackendSpec::InProcess,
+                plan_cache,
+                result_cache,
+                observers,
+            )
+            .label(format!("coverage {}@{}", gs.suite.donor_name(), engine.name()))
+            .host(engine)
+            .provision(provision)
+            .build()
+            .expect("suite is always set")
+            .run();
             // Live workers carry coverage on their engines; cache hits
             // carry it in the rehydrated recorder. Their union equals a
             // fully-live run's (coverage is a monotone hit set).
@@ -479,7 +530,7 @@ mod tests {
     use super::*;
 
     fn small_study() -> Study {
-        run_study(StudyConfig { seed: 21, scale: 0.08, workers: 0, translated_arm: true })
+        run_study(StudyConfig::default().with_seed(21).with_scale(0.08))
     }
 
     #[test]
@@ -604,7 +655,9 @@ mod tests {
     fn dependency_classes_match_paper_shape() {
         // Larger scale so every injected dependency class appears in the
         // PostgreSQL sample (the paper samples from 4,075 failures).
-        let s = run_study(StudyConfig { seed: 21, scale: 0.25, workers: 0, translated_arm: false });
+        let s = run_study(
+            StudyConfig::default().with_seed(21).with_scale(0.25).with_translated_arm(false),
+        );
         // PostgreSQL: environment-dominated (Set Up biggest — Table 5).
         let pg = dependency_breakdown(s.donor_run(SuiteKind::PgRegress), 5);
         let setup = *pg.get(&DependencyClass::SetUp).unwrap_or(&0);

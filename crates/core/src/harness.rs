@@ -15,6 +15,10 @@
 
 use crate::cache::{CachedFileRun, CellSpec, FileKey, ResultCache};
 use crate::transplant::{summarize, Provision, RunConfig, SuiteRunSummary};
+use squality_backend::{
+    discover_worker_bin, BackendFaultBreakdown, BackendSpec, SubprocessConnector,
+    SubprocessConnectorFactory,
+};
 use squality_corpus::{donor_dialect, DonorEnvironment, GeneratedSuite};
 use squality_engine::{
     execution_fingerprint, ClientKind, Coverage, EngineDialect, ExecStrategy, FaultProfile,
@@ -84,6 +88,7 @@ pub struct HarnessBuilder<'a> {
     faults: FaultProfile,
     translate: bool,
     workers: usize,
+    backend: BackendSpec,
     plan_cache: Option<Arc<PlanCache>>,
     result_cache: Option<Arc<ResultCache>>,
     observers: Vec<&'a dyn RunObserver>,
@@ -102,6 +107,7 @@ impl<'a> HarnessBuilder<'a> {
             faults: FaultProfile::default(),
             translate: false,
             workers: 1,
+            backend: BackendSpec::InProcess,
             plan_cache: None,
             result_cache: None,
             observers: Vec::new(),
@@ -186,6 +192,17 @@ impl<'a> HarnessBuilder<'a> {
         self
     }
 
+    /// Where host engines run. Default: [`BackendSpec::InProcess`] — the
+    /// engine as a library call, byte-identical to every prior release.
+    /// [`BackendSpec::Subprocess`] puts each worker connection behind a
+    /// `squality-backend-worker` child process with per-statement
+    /// deadlines and bounded restart: an engine crash or hang becomes a
+    /// classified failure instead of taking the harness down.
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Share a statement-plan cache across this run's connections (and,
     /// by passing the same `Arc`, across runs). Default: none.
     pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
@@ -244,6 +261,7 @@ impl<'a> HarnessBuilder<'a> {
             faults: self.faults,
             translate: self.translate,
             workers: self.workers,
+            backend: self.backend,
             plan_cache: self.plan_cache,
             result_cache: self.result_cache,
             observers: self.observers,
@@ -265,6 +283,7 @@ pub struct Harness<'a> {
     faults: FaultProfile,
     translate: bool,
     workers: usize,
+    backend: BackendSpec,
     plan_cache: Option<Arc<PlanCache>>,
     result_cache: Option<Arc<ResultCache>>,
     observers: Vec<&'a dyn RunObserver>,
@@ -285,6 +304,9 @@ pub struct Run {
     /// connectors' coverage equals a cold run's connector coverage, so
     /// coverage experiments read both.
     pub replayed_coverage: Coverage,
+    /// Backend fault counters (crashes, timeouts, restarts) when the run
+    /// executed on [`BackendSpec::Subprocess`]; `None` in-process.
+    pub backend_faults: Option<BackendFaultBreakdown>,
 }
 
 impl<'a> Harness<'a> {
@@ -405,6 +427,7 @@ impl<'a> Harness<'a> {
             translation: self.translation_mode(),
             faults: self.faults,
             environment: self.resolved_environment(),
+            backend: self.backend.tag(),
         }
         .cell_hash();
         self.source.files().iter().map(|f| FileKey { cell, file: file_content_hash(f) }).collect()
@@ -419,9 +442,79 @@ impl<'a> Harness<'a> {
     /// observable (summary, events, tables, coverage unions) is
     /// byte-identical either way.
     pub fn run(&self) -> Run {
+        if matches!(self.backend, BackendSpec::Subprocess { .. }) {
+            // Subprocess runs are never cached: their point is observing
+            // live process faults, and coverage stays worker-side.
+            return self.run_subprocess();
+        }
         match &self.result_cache {
             Some(cache) => self.run_cached(Arc::clone(cache)),
             None => self.run_uncached(),
+        }
+    }
+
+    /// Provision a subprocess connection the way [`Harness::provision_conn`]
+    /// provisions an in-process one.
+    fn provision_subprocess(&self, conn: &mut SubprocessConnector) {
+        let Some(env) = self.resolved_environment() else { return };
+        if matches!(self.provision, Provision::Bare) {
+            return;
+        }
+        for (path, lines) in &env.data_files {
+            conn.provide_file(path, lines.clone());
+        }
+        if matches!(self.provision, Provision::Full) {
+            for ext in &env.extensions {
+                conn.provide_extension(ext);
+            }
+        }
+        for sql in &env.setup_sql {
+            let _ = conn.execute(sql);
+        }
+    }
+
+    /// Execute on out-of-process workers. The scheduler, runner, and
+    /// event paths are the same as in-process — only the connector
+    /// factory differs, which is the whole point of the redesign: a
+    /// worker process dying mid-file surfaces as transport faults in the
+    /// results, and the suite keeps going.
+    fn run_subprocess(&self) -> Run {
+        let BackendSpec::Subprocess { bin, deadline, max_restarts } = &self.backend else {
+            unreachable!("run_subprocess is only called for subprocess backends");
+        };
+        let bin = bin
+            .clone()
+            .or_else(discover_worker_bin)
+            // Last resort: let the OS search PATH at spawn time.
+            .unwrap_or_else(|| std::path::PathBuf::from("squality-backend-worker"));
+        let mut factory = SubprocessConnectorFactory::new(bin, self.host, self.client)
+            .with_faults(self.faults)
+            .deadline(*deadline)
+            .max_restarts(*max_restarts);
+        for (key, value) in std::env::vars() {
+            // Forward the fault-injection hooks so crash-containment
+            // tests (and CI fault legs) reach the workers.
+            if key == "SQUALITY_CRASH_AFTER" || key == "SQUALITY_HANG_AFTER" {
+                factory = factory.env(&key, &value);
+            }
+        }
+        let stats = factory.stats();
+        let runner = self.runner();
+        let files = self.source.files();
+        let prepare = |conn: &mut SubprocessConnector| self.provision_subprocess(conn);
+        let execution = if self.observers.is_empty() {
+            runner.run_suite_with(&factory, files, self.workers, prepare)
+        } else {
+            let fanout = FanoutObserver(&self.observers);
+            runner.run_suite_observed(&factory, files, self.workers, &self.label, prepare, &fanout)
+        };
+        let mut summary = summarize(self.source.kind(), self.host, &execution.results);
+        summary.translation = runner.translation_stats.counts();
+        Run {
+            summary,
+            connectors: Vec::new(),
+            replayed_coverage: Coverage::new(),
+            backend_faults: Some(stats.snapshot()),
         }
     }
 
@@ -438,7 +531,12 @@ impl<'a> Harness<'a> {
         };
         let mut summary = summarize(self.source.kind(), self.host, &execution.results);
         summary.translation = runner.translation_stats.counts();
-        Run { summary, connectors: execution.connectors, replayed_coverage: Coverage::new() }
+        Run {
+            summary,
+            connectors: execution.connectors,
+            replayed_coverage: Coverage::new(),
+            backend_faults: None,
+        }
     }
 
     /// The cache-aware execution path: replay hits, execute only stale
@@ -550,7 +648,7 @@ impl<'a> Harness<'a> {
         }
         let mut summary = summarize(self.source.kind(), self.host, &results);
         summary.translation = translation;
-        Run { summary, connectors, replayed_coverage }
+        Run { summary, connectors, replayed_coverage, backend_faults: None }
     }
 
     /// Execute sequentially on one existing, caller-owned connection —

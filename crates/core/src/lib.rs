@@ -18,6 +18,12 @@
 //!   root-cause clusters, plus a parallel ddmin reducer that shrinks one
 //!   exemplar per cluster into a minimal, verified repro file.
 //!
+//! Runs execute in-process by default; [`BackendSpec::Subprocess`] (via
+//! [`HarnessBuilder::backend`](harness::HarnessBuilder::backend)) moves
+//! each worker connection into a `squality-backend-worker` child process
+//! with per-statement deadlines and bounded restart, so engine crashes
+//! and hangs become classified failures instead of harness aborts.
+//!
 //! # Example
 //!
 //! Run one suite on one host through the builder:
@@ -67,8 +73,7 @@ pub use report::{
     bug_report, figure1, figure2, figure3, figure4, full_report, table1, table2, table3, table4,
     table5, table6, table7, table8, translation_table, triage_table,
 };
-#[allow(deprecated)]
+pub use squality_backend::{BackendFaultBreakdown, BackendSpec};
 pub use transplant::{
-    run_suite_on, run_suite_sharded, run_suite_with_connector, sample_failures, FailureCase,
-    Incident, Provision, RunConfig, SkipBreakdown, SuiteRunSummary,
+    sample_failures, FailureCase, Incident, Provision, RunConfig, SkipBreakdown, SuiteRunSummary,
 };

@@ -524,7 +524,7 @@ mod tests {
     use crate::experiments::{run_study, StudyConfig};
 
     fn study() -> Study {
-        run_study(StudyConfig { seed: 77, scale: 0.06, workers: 0, translated_arm: true })
+        run_study(StudyConfig::default().with_seed(77).with_scale(0.06))
     }
 
     #[test]
@@ -559,8 +559,9 @@ mod tests {
         assert!(t.contains("function renames"));
         assert!(t.contains("Statement executions translated"));
         // Without the arm, the table degrades gracefully.
-        let bare =
-            run_study(StudyConfig { seed: 77, scale: 0.04, workers: 0, translated_arm: false });
+        let bare = run_study(
+            StudyConfig::default().with_seed(77).with_scale(0.04).with_translated_arm(false),
+        );
         assert!(translation_table(&bare).contains("translated arm not run"));
     }
 

@@ -10,14 +10,12 @@
 //! | Cross-DBMS matrix (Fig. 4, Tables 6–7) | others | `CrossHost` | `Connector` |
 //! | Expectation recording (corpus) | donor | `Full` | `Cli` |
 
-use crate::harness::Harness;
 use squality_corpus::{donor_dialect, GeneratedSuite};
-use squality_engine::{ClientKind, EngineDialect, ErrorKind, PlanCache};
+use squality_engine::{ClientKind, EngineDialect, ErrorKind};
 use squality_formats::{RecordId, SuiteKind};
 use squality_runner::{
-    EngineConnector, FileResult, NumericMode, Outcome, RecordResult, SkipReason, TranslationCounts,
+    FileResult, NumericMode, Outcome, RecordResult, SkipReason, TranslationCounts,
 };
-use std::sync::Arc;
 
 /// How much of the donor environment the host receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +34,8 @@ pub enum Provision {
 /// `#[non_exhaustive]`: future knobs can land without breaking callers.
 /// Outside this crate, start from [`RunConfig::default`] (or
 /// [`RunConfig::unified`]) and set fields — or skip the struct entirely
-/// and use [`Harness::builder`], the primary API.
+/// and use [`Harness::builder`](crate::harness::Harness::builder), the
+/// primary API.
 #[derive(Debug, Clone, Copy)]
 #[non_exhaustive]
 pub struct RunConfig {
@@ -158,54 +157,6 @@ impl SuiteRunSummary {
     }
 }
 
-/// Configure a [`Harness`] from a legacy `RunConfig` (the deprecated
-/// shims' delegation path).
-fn harness_for<'a>(
-    suite: &'a GeneratedSuite,
-    cfg: &RunConfig,
-    workers: usize,
-    plan_cache: Option<Arc<PlanCache>>,
-) -> Harness<'a> {
-    let mut builder = Harness::builder()
-        .suite(suite)
-        .host(cfg.host)
-        .client(cfg.client)
-        .provision(cfg.provision)
-        .numeric(cfg.numeric)
-        .translate(cfg.translate)
-        .workers(workers);
-    if let Some(cache) = plan_cache {
-        builder = builder.plan_cache(cache);
-    }
-    builder.build().expect("suite is always set")
-}
-
-/// Run a generated suite under a transplant configuration (single worker).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Harness::builder().suite(..).host(..).build()?.run()` instead"
-)]
-pub fn run_suite_on(suite: &GeneratedSuite, cfg: &RunConfig) -> SuiteRunSummary {
-    harness_for(suite, cfg, 1, None).run().summary
-}
-
-/// Run a generated suite under a transplant configuration, sharding its
-/// files over `workers` parallel connections (0 = all cores) that
-/// optionally share a statement-plan cache.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Harness::builder().suite(..).workers(..).plan_cache(..).build()?.run()` instead"
-)]
-pub fn run_suite_sharded(
-    suite: &GeneratedSuite,
-    cfg: &RunConfig,
-    workers: usize,
-    plan_cache: Option<Arc<PlanCache>>,
-) -> (SuiteRunSummary, Vec<EngineConnector>) {
-    let run = harness_for(suite, cfg, workers, plan_cache).run();
-    (run.summary, run.connectors)
-}
-
 /// Fold per-file results into the aggregate summary, in input order.
 pub(crate) fn summarize(
     suite: SuiteKind,
@@ -275,19 +226,6 @@ fn fold_file(summary: &mut SuiteRunSummary, r: &FileResult) {
     }
 }
 
-/// Run a suite sequentially on one existing, caller-owned connector.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Harness::builder().suite(..).build()?.run_on(conn)` instead"
-)]
-pub fn run_suite_with_connector(
-    suite: &GeneratedSuite,
-    cfg: &RunConfig,
-    conn: &mut EngineConnector,
-) -> SuiteRunSummary {
-    harness_for(suite, cfg, 1, None).run_on(conn)
-}
-
 /// Deterministically sample up to `n` failures (the paper samples 100 per
 /// cell, following standard SE sampling methodology).
 pub fn sample_failures(failures: &[FailureCase], n: usize, seed: u64) -> Vec<&FailureCase> {
@@ -314,9 +252,34 @@ pub fn donor_of(suite: &GeneratedSuite) -> EngineDialect {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::harness::Harness;
     use squality_corpus::generate_suite_scaled;
+    use squality_engine::PlanCache;
+    use squality_runner::EngineConnector;
+    use std::sync::Arc;
 
-    /// Builder-path equivalent of the old `run_suite_on`.
+    /// Configure a [`Harness`] from a `RunConfig`.
+    fn harness_for<'a>(
+        suite: &'a GeneratedSuite,
+        cfg: &RunConfig,
+        workers: usize,
+        plan_cache: Option<Arc<PlanCache>>,
+    ) -> Harness<'a> {
+        let mut builder = Harness::builder()
+            .suite(suite)
+            .host(cfg.host)
+            .client(cfg.client)
+            .provision(cfg.provision)
+            .numeric(cfg.numeric)
+            .translate(cfg.translate)
+            .workers(workers);
+        if let Some(cache) = plan_cache {
+            builder = builder.plan_cache(cache);
+        }
+        builder.build().expect("suite is always set")
+    }
+
+    /// Single-worker builder run.
     fn run_one(suite: &GeneratedSuite, cfg: &RunConfig) -> SuiteRunSummary {
         harness_for(suite, cfg, 1, None).run().summary
     }
@@ -396,30 +359,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder_path() {
+    fn caller_owned_connection_matches_the_scheduler_path() {
         let gs = generate_suite_scaled(SuiteKind::Duckdb, 5, 0.06);
         let cfg = RunConfig::unified(EngineDialect::Sqlite);
-        let builder = harness_for(&gs, &cfg, 2, None).run().summary;
-
-        let shim_on = run_suite_on(&gs, &cfg);
-        let (shim_sharded, connectors) = run_suite_sharded(&gs, &cfg, 2, None);
+        let scheduled = harness_for(&gs, &cfg, 2, None).run().summary;
         let mut conn = EngineConnector::new(cfg.host, cfg.client);
-        let shim_conn = run_suite_with_connector(&gs, &cfg, &mut conn);
-
-        for (name, shim) in
-            [("run_suite_on", &shim_on), ("sharded", &shim_sharded), ("connector", &shim_conn)]
-        {
-            assert_eq!(shim.total, builder.total, "{name}");
-            assert_eq!(shim.passed, builder.passed, "{name}");
-            assert_eq!(shim.failed, builder.failed, "{name}");
-            assert_eq!(shim.skipped, builder.skipped, "{name}");
-            assert_eq!(shim.failures, builder.failures, "{name}");
-            assert_eq!(shim.crashes, builder.crashes, "{name}");
-            assert_eq!(shim.hangs, builder.hangs, "{name}");
-            assert_eq!(shim.skip_reasons, builder.skip_reasons, "{name}");
-        }
-        assert!(!connectors.is_empty());
+        let sequential = harness_for(&gs, &cfg, 1, None).run_on(&mut conn);
+        assert_eq!(sequential.total, scheduled.total);
+        assert_eq!(sequential.passed, scheduled.passed);
+        assert_eq!(sequential.failed, scheduled.failed);
+        assert_eq!(sequential.skipped, scheduled.skipped);
+        assert_eq!(sequential.failures, scheduled.failures);
+        assert_eq!(sequential.crashes, scheduled.crashes);
+        assert_eq!(sequential.hangs, scheduled.hangs);
+        assert_eq!(sequential.skip_reasons, scheduled.skip_reasons);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 use crate::experiments::Study;
 use crate::harness::Harness;
 use crate::transplant::{Provision, SuiteRunSummary};
+use squality_backend::BackendSpec;
 use squality_corpus::{donor_dialect, DonorEnvironment};
 use squality_engine::{ClientKind, EngineDialect, PlanCache};
 use squality_formats::{
@@ -146,7 +147,7 @@ impl FailureCluster {
 }
 
 /// Triage parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct TriageConfig {
     /// Also run the ddmin reducer over one exemplar per cluster.
@@ -158,11 +159,15 @@ pub struct TriageConfig {
     /// Probe budget per cluster. ddmin stops early when the budget runs
     /// out, leaving a (correct, possibly non-minimal) larger slice.
     pub max_probes: usize,
+    /// Where probe runs execute. A study run on
+    /// [`BackendSpec::Subprocess`] should re-verify through the same
+    /// backend, so repros are confirmed against a live worker process.
+    pub backend: BackendSpec,
 }
 
 impl Default for TriageConfig {
     fn default() -> Self {
-        TriageConfig { reduce: false, workers: 0, max_probes: 192 }
+        TriageConfig { reduce: false, workers: 0, max_probes: 192, backend: BackendSpec::InProcess }
     }
 }
 
@@ -182,6 +187,12 @@ impl TriageConfig {
     /// Replace the per-cluster probe budget.
     pub fn with_max_probes(mut self, max_probes: usize) -> Self {
         self.max_probes = max_probes;
+        self
+    }
+
+    /// Replace the probe execution backend.
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -425,6 +436,7 @@ fn reduce_cluster(
         env,
         signature: &cluster.signature,
         plan_cache,
+        backend: &config.backend,
     };
 
     let mut probes = 0usize;
@@ -490,6 +502,7 @@ struct Prober<'a> {
     env: &'a DonorEnvironment,
     signature: &'a FailureSignature,
     plan_cache: &'a Arc<PlanCache>,
+    backend: &'a BackendSpec,
 }
 
 impl Prober<'_> {
@@ -513,12 +526,18 @@ impl Prober<'_> {
         for obs in observers {
             builder = builder.observer(*obs);
         }
-        let harness = builder.build().expect("files are always set");
-        // One connection per probe batch, sharing the triage-wide plan
-        // cache: replayed statement texts parse once across all probes.
-        let mut conn = EngineConnector::new(self.cell.host, client);
-        conn.set_plan_cache(Arc::clone(self.plan_cache));
-        let summary = harness.run_on(&mut conn);
+        let harness = builder.backend(self.backend.clone()).build().expect("files are always set");
+        let summary = if matches!(self.backend, BackendSpec::Subprocess { .. }) {
+            // Re-verify against a live worker process: the repro must
+            // reproduce across the process boundary too.
+            harness.run().summary
+        } else {
+            // One connection per probe batch, sharing the triage-wide plan
+            // cache: replayed statement texts parse once across all probes.
+            let mut conn = EngineConnector::new(self.cell.host, client);
+            conn.set_plan_cache(Arc::clone(self.plan_cache));
+            harness.run_on(&mut conn)
+        };
         summary.failures.iter().any(|f| match &f.result.outcome {
             Outcome::Fail(info) => info.signature == *self.signature,
             _ => false,
@@ -642,7 +661,14 @@ pub fn reduce_file(
     let signature = info.signature.clone();
     let exemplar_line = target.id.line as usize;
 
-    let probe = Prober { kind, cell, env: &env, signature: &signature, plan_cache: &plan_cache };
+    let probe = Prober {
+        kind,
+        cell,
+        env: &env,
+        signature: &signature,
+        plan_cache: &plan_cache,
+        backend: &BackendSpec::InProcess,
+    };
     let candidates: Vec<usize> =
         statement_lines(&file.records).into_iter().filter(|l| *l != exemplar_line).collect();
     let mut budget = max_probes;
@@ -680,7 +706,7 @@ mod tests {
     use crate::experiments::{run_study, StudyConfig};
 
     fn study() -> Study {
-        run_study(StudyConfig { seed: 21, scale: 0.06, workers: 0, translated_arm: true })
+        run_study(StudyConfig::default().with_seed(21).with_scale(0.06))
     }
 
     #[test]

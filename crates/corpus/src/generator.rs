@@ -412,7 +412,9 @@ fn record_from_oracle(
             sql: stmt.sql.clone(),
             expect: StatementExpect::Error {
                 message: if suite == SuiteKind::Duckdb || suite == SuiteKind::PgRegress {
-                    Some(truncate_message(&e.message))
+                    // The in-process oracle only ever reports engine
+                    // errors; Display renders the engine message.
+                    Some(truncate_message(&e.to_string()))
                 } else {
                     None
                 },

@@ -290,7 +290,12 @@ fn dependency_class(
     statement: &StatementType,
 ) -> DependencyClass {
     match kind {
-        FailKind::Runner => DependencyClass::Runner,
+        // Backend transport faults are harness-side limitations like
+        // runner-unsupported commands: the statement never got a verdict.
+        FailKind::Runner
+        | FailKind::BackendCrash
+        | FailKind::BackendTimeout
+        | FailKind::BackendProtocol => DependencyClass::Runner,
         FailKind::UnexpectedError | FailKind::WrongErrorMessage | FailKind::ExpectedErrorButOk => {
             match error_kind {
                 Some(ErrorKind::FileNotFound) => DependencyClass::FilePaths,
@@ -363,7 +368,10 @@ fn incompatibility_class(kind: FailKind, error_kind: Option<ErrorKind>) -> Incom
     match kind {
         FailKind::WrongResult => IncompatibilityClass::Semantic,
         FailKind::ExpectedErrorButOk => IncompatibilityClass::Semantic,
-        FailKind::Runner => IncompatibilityClass::Misc,
+        FailKind::Runner
+        | FailKind::BackendCrash
+        | FailKind::BackendTimeout
+        | FailKind::BackendProtocol => IncompatibilityClass::Misc,
         FailKind::UnexpectedError | FailKind::WrongErrorMessage => match error_kind {
             Some(ErrorKind::Syntax)
             | Some(ErrorKind::UnsupportedStatement)
@@ -512,6 +520,15 @@ mod tests {
         for (ek, expected) in cases {
             let r = fail(FailKind::UnexpectedError, Some(ek), "");
             assert_eq!(classify_incompatibility(&r), Some(expected), "{ek:?}");
+        }
+    }
+
+    #[test]
+    fn backend_faults_classify_as_runner_misc() {
+        for kind in [FailKind::BackendCrash, FailKind::BackendTimeout, FailKind::BackendProtocol] {
+            let r = fail(kind, None, "backend worker exited with signal 9");
+            assert_eq!(classify_dependency(&r), Some(DependencyClass::Runner), "{kind:?}");
+            assert_eq!(classify_incompatibility(&r), Some(IncompatibilityClass::Misc), "{kind:?}");
         }
     }
 

@@ -17,6 +17,102 @@ use squality_engine::{
 };
 use std::sync::Arc;
 
+/// What kind of transport fault an out-of-process backend suffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportErrorKind {
+    /// The backend process died (exit, signal, closed pipe).
+    Crash,
+    /// A statement exceeded its per-statement deadline.
+    Timeout,
+    /// The backend broke the wire protocol (malformed frame).
+    Protocol,
+    /// A fresh backend connection could not be established.
+    Connect,
+}
+
+impl TransportErrorKind {
+    /// Short lowercase label ("crash", "timeout", "protocol", "connect").
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportErrorKind::Crash => "crash",
+            TransportErrorKind::Timeout => "timeout",
+            TransportErrorKind::Protocol => "protocol",
+            TransportErrorKind::Connect => "connect",
+        }
+    }
+}
+
+/// A fault in the transport between the harness and a backend — the
+/// backend process crashed, hung past its deadline, or spoke garbage —
+/// as opposed to the engine *rejecting a statement*, which is the normal
+/// [`EngineError`] path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    pub kind: TransportErrorKind,
+    /// Human-readable fault description (exit status, deadline, ...).
+    pub message: String,
+    /// Whether the connection recovered: the backend was restarted within
+    /// its restart budget and can execute the *next* statement. A
+    /// recovered fault becomes a classified failure; an unrecovered one
+    /// stops the file like an engine crash.
+    pub recovered: bool,
+}
+
+impl TransportError {
+    pub fn new(kind: TransportErrorKind, message: impl Into<String>) -> TransportError {
+        TransportError { kind, message: message.into(), recovered: false }
+    }
+
+    /// Mark the fault as recovered (the backend restarted).
+    pub fn recovered(mut self) -> TransportError {
+        self.recovered = true;
+        self
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backend {}: {}", self.kind.label(), self.message)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Why a connector call failed: the engine refused the statement (the
+/// semantically meaningful error every expectation check consumes), or
+/// the transport to the backend faulted (only possible for
+/// out-of-process backends; in-process connectors never produce it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConnectorError {
+    /// The engine executed the statement and reported an error.
+    Engine(EngineError),
+    /// The transport faulted before a verdict existed.
+    Transport(TransportError),
+}
+
+impl From<EngineError> for ConnectorError {
+    fn from(e: EngineError) -> ConnectorError {
+        ConnectorError::Engine(e)
+    }
+}
+
+impl From<TransportError> for ConnectorError {
+    fn from(e: TransportError) -> ConnectorError {
+        ConnectorError::Transport(e)
+    }
+}
+
+impl std::fmt::Display for ConnectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectorError::Engine(e) => write!(f, "{}", e.message),
+            ConnectorError::Transport(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectorError {}
+
 /// A connection to a DBMS under test.
 pub trait Connector {
     /// Lowercase engine name as used in skipif/onlyif conditions
@@ -31,8 +127,11 @@ pub trait Connector {
         ConnectorInfo::named(self.engine_name())
     }
 
-    /// Execute one SQL statement.
-    fn execute(&mut self, sql: &str) -> Result<QueryResult, EngineError>;
+    /// Execute one SQL statement. An [`ConnectorError::Engine`] error is
+    /// the engine's verdict on the statement (checked against the
+    /// record's expectation); an [`ConnectorError::Transport`] error
+    /// means the backend itself faulted before a verdict existed.
+    fn execute(&mut self, sql: &str) -> Result<QueryResult, ConnectorError>;
 
     /// Render a result value the way this connection's client prints it.
     fn render(&self, v: &Value) -> String;
@@ -54,15 +153,22 @@ pub trait ConnectorFactory: Sync {
     /// The connection type produced.
     type Conn: Connector + Send;
 
-    /// Open a fresh connection.
-    fn connect(&self) -> Self::Conn;
+    /// Open a fresh connection. Fails with
+    /// [`ConnectorError::Transport`] (kind
+    /// [`TransportErrorKind::Connect`]) when the backend cannot be
+    /// reached — in-process factories never fail.
+    fn connect(&self) -> Result<Self::Conn, ConnectorError>;
 
     /// Metadata of the connections this factory mints, reported in
     /// `SuiteStarted` events. The default mints (and drops) a probe
     /// connection; factories that know their metadata statically should
-    /// override to skip that cost.
+    /// override to skip that cost (mandatory for factories whose connect
+    /// can fail, so metadata stays available when the backend is down).
     fn info(&self) -> ConnectorInfo {
-        self.connect().info()
+        match self.connect() {
+            Ok(conn) => conn.info(),
+            Err(_) => ConnectorInfo::named("unavailable"),
+        }
     }
 }
 
@@ -121,8 +227,10 @@ impl EngineConnectorFactory {
 
 /// The lowercase engine name a dialect goes by in skipif/onlyif
 /// conditions — the single source for both condition matching
-/// ([`Connector::engine_name`]) and event metadata.
-fn engine_token(dialect: EngineDialect) -> &'static str {
+/// ([`Connector::engine_name`]) and event metadata. Shared with the
+/// out-of-process backend layer, whose connectors must report the same
+/// names for the same dialects.
+pub fn engine_token(dialect: EngineDialect) -> &'static str {
     match dialect {
         EngineDialect::Sqlite => "sqlite",
         EngineDialect::Postgres => "postgresql",
@@ -132,9 +240,9 @@ fn engine_token(dialect: EngineDialect) -> &'static str {
 }
 
 /// Connection metadata for a dialect × client pair — shared by the
-/// connector and its factory so both report identical `SuiteStarted`
-/// metadata.
-fn engine_info(dialect: EngineDialect, client: ClientKind) -> ConnectorInfo {
+/// connector and its factory (and the out-of-process backend layer) so
+/// all report identical `SuiteStarted` metadata.
+pub fn engine_info(dialect: EngineDialect, client: ClientKind) -> ConnectorInfo {
     // The simulated versions are the ones the paper studied.
     let version = match dialect {
         EngineDialect::Sqlite => "3.39.0 (simulated)",
@@ -147,9 +255,9 @@ fn engine_info(dialect: EngineDialect, client: ClientKind) -> ConnectorInfo {
         ClientKind::Connector => "connector",
     };
     ConnectorInfo {
-        engine: engine_token(dialect).to_string(),
         client: Some(client.to_string()),
         version: Some(version.to_string()),
+        ..ConnectorInfo::named(engine_token(dialect))
     }
 }
 
@@ -160,7 +268,7 @@ impl ConnectorFactory for EngineConnectorFactory {
         engine_info(self.dialect, self.client)
     }
 
-    fn connect(&self) -> EngineConnector {
+    fn connect(&self) -> Result<EngineConnector, ConnectorError> {
         let mut conn = EngineConnector::with_faults(self.dialect, self.client, self.faults);
         if let Some(cache) = &self.plan_cache {
             conn.set_plan_cache(Arc::clone(cache));
@@ -171,11 +279,11 @@ impl ConnectorFactory for EngineConnectorFactory {
         for ext in &self.extensions {
             conn.provide_extension(ext);
         }
-        conn
+        Ok(conn)
     }
 }
 
-/// Adapter: any `Fn() -> C` closure as a factory.
+/// Adapter: any infallible `Fn() -> C` closure as a factory.
 pub struct FnFactory<F>(pub F);
 
 impl<C, F> ConnectorFactory for FnFactory<F>
@@ -185,8 +293,8 @@ where
 {
     type Conn = C;
 
-    fn connect(&self) -> C {
-        (self.0)()
+    fn connect(&self) -> Result<C, ConnectorError> {
+        Ok((self.0)())
     }
 }
 
@@ -292,6 +400,30 @@ impl EngineConnector {
     }
 }
 
+/// Client-level result post-processing, applied to every successful
+/// execution regardless of where the engine runs.
+///
+/// Paper Listing 11: DuckDB's Python connector raised a `Not Implemented
+/// Error` materialising UNION/STRUCT values that the CLI printed fine —
+/// the RQ3 "client exception" dependency. The simulation lives in the
+/// client layer (not the engine), so out-of-process backends must apply
+/// it on the harness side of the boundary, exactly like rendering.
+pub fn client_result_error(
+    client: ClientKind,
+    dialect: EngineDialect,
+    result: &QueryResult,
+) -> Option<EngineError> {
+    (client == ClientKind::Connector
+        && dialect == EngineDialect::Duckdb
+        && result.rows.iter().any(|row| row.iter().any(|v| matches!(v, Value::Struct(_)))))
+    .then(|| {
+        EngineError::new(
+            squality_engine::ErrorKind::NotImplemented,
+            "Not Implemented Error: unsupported result type in Python client",
+        )
+    })
+}
+
 impl Connector for EngineConnector {
     fn engine_name(&self) -> &'static str {
         engine_token(self.engine.dialect())
@@ -301,19 +433,10 @@ impl Connector for EngineConnector {
         engine_info(self.engine.dialect(), self.client)
     }
 
-    fn execute(&mut self, sql: &str) -> Result<QueryResult, EngineError> {
+    fn execute(&mut self, sql: &str) -> Result<QueryResult, ConnectorError> {
         let result = self.engine.execute(sql)?;
-        // Paper Listing 11: DuckDB's Python connector raised a
-        // `Not Implemented Error` materialising UNION/STRUCT values that the
-        // CLI printed fine — the RQ3 "client exception" dependency.
-        if self.client == ClientKind::Connector
-            && self.engine.dialect() == EngineDialect::Duckdb
-            && result.rows.iter().any(|row| row.iter().any(|v| matches!(v, Value::Struct(_))))
-        {
-            return Err(EngineError::new(
-                squality_engine::ErrorKind::NotImplemented,
-                "Not Implemented Error: unsupported result type in Python client",
-            ));
+        if let Some(error) = client_result_error(self.client, self.engine.dialect(), &result) {
+            return Err(error.into());
         }
         Ok(result)
     }
@@ -379,7 +502,7 @@ mod tests {
             fn engine_name(&self) -> &'static str {
                 "bare"
             }
-            fn execute(&mut self, _sql: &str) -> Result<QueryResult, EngineError> {
+            fn execute(&mut self, _sql: &str) -> Result<QueryResult, ConnectorError> {
                 unimplemented!()
             }
             fn render(&self, _v: &Value) -> String {
@@ -415,6 +538,23 @@ mod tests {
         c.reset();
         let (hit_after, _) = c.engine().coverage().line_counts();
         assert_eq!(hit_before, hit_after);
+    }
+
+    #[test]
+    fn connector_error_distinguishes_engine_from_transport() {
+        let mut c = EngineConnector::new(EngineDialect::Sqlite, ClientKind::Cli);
+        // In-process execution only ever produces the Engine arm.
+        let err = c.execute("SELECT * FROM missing").unwrap_err();
+        assert!(matches!(err, ConnectorError::Engine(_)), "{err:?}");
+        // A transport fault renders with its kind label and carries the
+        // recovered flag.
+        let t = TransportError::new(TransportErrorKind::Timeout, "deadline 250ms exceeded");
+        assert!(!t.recovered);
+        assert_eq!(t.to_string(), "backend timeout: deadline 250ms exceeded");
+        let t = t.recovered();
+        assert!(t.recovered);
+        let as_connector: ConnectorError = t.into();
+        assert!(matches!(as_connector, ConnectorError::Transport(_)));
     }
 
     #[test]

@@ -35,12 +35,35 @@ pub struct ConnectorInfo {
     pub client: Option<String>,
     /// Engine version string, when the connector knows one.
     pub version: Option<String>,
+    /// How the harness reaches the engine: `"in-process"` (the default —
+    /// the engine lives in the harness address space) or `"subprocess"`
+    /// (an out-of-process backend worker).
+    pub transport: String,
+    /// Backend worker process id, for per-connection info of a live
+    /// subprocess backend. Factory-level (suite) metadata leaves this
+    /// `None` — it must be deterministic across runs.
+    pub backend_pid: Option<u32>,
+    /// Backend worker build/protocol version, when out of process.
+    pub backend_version: Option<String>,
 }
 
 impl ConnectorInfo {
-    /// Minimal info: an engine name and nothing else.
+    /// Minimal info: an engine name, in-process, and nothing else.
     pub fn named(engine: &str) -> ConnectorInfo {
-        ConnectorInfo { engine: engine.to_string(), client: None, version: None }
+        ConnectorInfo {
+            engine: engine.to_string(),
+            client: None,
+            version: None,
+            transport: "in-process".to_string(),
+            backend_pid: None,
+            backend_version: None,
+        }
+    }
+
+    /// Mark the connection as reached through an out-of-process backend.
+    pub fn subprocess(mut self) -> ConnectorInfo {
+        self.transport = "subprocess".to_string();
+        self
     }
 }
 
@@ -238,6 +261,13 @@ fn event_to_json(event: &RunEvent<'_>, timing: bool) -> String {
             }
             if let Some(version) = &connector.version {
                 line.push_str(&format!(",\"version\":\"{}\"", json_escape(version)));
+            }
+            line.push_str(&format!(",\"transport\":\"{}\"", json_escape(&connector.transport)));
+            if let Some(pid) = connector.backend_pid {
+                line.push_str(&format!(",\"backend_pid\":{pid}"));
+            }
+            if let Some(bv) = &connector.backend_version {
+                line.push_str(&format!(",\"backend_version\":\"{}\"", json_escape(bv)));
             }
             line.push('}');
         }
@@ -646,6 +676,52 @@ mod tests {
         let line = event_to_json(&ev, false);
         assert!(line.contains("\"outcome\":\"skip\""), "{line}");
         assert!(line.contains("\"reason\":\"condition excludes sqlite\""), "{line}");
+    }
+
+    /// The pinned `suite_started` schema: field names, order, and the
+    /// always-present `transport` field. Downstream log consumers key on
+    /// this exact shape — change it only with a schema bump.
+    #[test]
+    fn suite_started_schema_is_pinned() {
+        // In-process, full metadata: client and version present, transport
+        // always emitted, backend fields absent.
+        let full = ConnectorInfo {
+            client: Some("cli".into()),
+            version: Some("3.39.0 (simulated)".into()),
+            ..ConnectorInfo::named("sqlite")
+        };
+        let ev = RunEvent::SuiteStarted { label: "slt→sqlite", files: 7, connector: &full };
+        assert_eq!(
+            event_to_json(&ev, false),
+            "{\"event\":\"suite_started\",\"label\":\"slt→sqlite\",\"files\":7,\
+             \"engine\":\"sqlite\",\"client\":\"cli\",\"version\":\"3.39.0 (simulated)\",\
+             \"transport\":\"in-process\"}"
+        );
+        // Minimal metadata still carries the transport.
+        let bare = ConnectorInfo::named("bare");
+        let ev = RunEvent::SuiteStarted { label: "t", files: 0, connector: &bare };
+        assert_eq!(
+            event_to_json(&ev, false),
+            "{\"event\":\"suite_started\",\"label\":\"t\",\"files\":0,\
+             \"engine\":\"bare\",\"transport\":\"in-process\"}"
+        );
+        // Subprocess metadata: transport flips, pid and worker version
+        // appear after it when known.
+        let sub = ConnectorInfo {
+            client: Some("connector".into()),
+            version: Some("3.39.0 (simulated)".into()),
+            backend_pid: Some(4242),
+            backend_version: Some("worker/1".into()),
+            ..ConnectorInfo::named("sqlite").subprocess()
+        };
+        let ev = RunEvent::SuiteStarted { label: "sub", files: 1, connector: &sub };
+        assert_eq!(
+            event_to_json(&ev, false),
+            "{\"event\":\"suite_started\",\"label\":\"sub\",\"files\":1,\
+             \"engine\":\"sqlite\",\"client\":\"connector\",\
+             \"version\":\"3.39.0 (simulated)\",\"transport\":\"subprocess\",\
+             \"backend_pid\":4242,\"backend_version\":\"worker/1\"}"
+        );
     }
 
     #[test]

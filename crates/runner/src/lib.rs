@@ -32,7 +32,8 @@ pub use classify::{
     FailureSignature, IncompatibilityClass, ReuseDifficulty, TaxonomyContext,
 };
 pub use connector::{
-    Connector, ConnectorFactory, EngineConnector, EngineConnectorFactory, FnFactory,
+    client_result_error, engine_info, engine_token, Connector, ConnectorError, ConnectorFactory,
+    EngineConnector, EngineConnectorFactory, FnFactory, TransportError, TransportErrorKind,
 };
 pub use events::{
     emit_suite_finished, replay_file_events, ConnectorInfo, FanoutObserver, JsonlObserver,

@@ -26,6 +26,16 @@ pub enum FailKind {
     /// client-level feature, include, shell...). The paper's "Runner" /
     /// "Misc" dependency class.
     Runner,
+    /// An out-of-process backend died executing the record and was
+    /// restarted within its budget — the record has no verdict, but the
+    /// file continues on the fresh backend.
+    BackendCrash,
+    /// An out-of-process backend exceeded its per-statement deadline and
+    /// was killed and restarted within its budget.
+    BackendTimeout,
+    /// An out-of-process backend broke the wire protocol (malformed
+    /// frame) and was restarted within its budget.
+    BackendProtocol,
 }
 
 /// A failed record with its diagnosis.

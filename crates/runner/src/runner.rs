@@ -7,7 +7,7 @@
 //! interpreted (the paper: "We did not seek to interpret and implement
 //! these commands"), which surfaces as the Runner/Misc failure class.
 
-use crate::connector::Connector;
+use crate::connector::{Connector, ConnectorError, TransportError, TransportErrorKind};
 use crate::events::{RunEvent, RunObserver};
 use crate::outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult, SkipReason};
 use crate::validate::{validate_query, NumericMode, Verdict};
@@ -265,8 +265,40 @@ impl<'a> RunCtx<'a> {
         }
     }
 
+    /// The outcome of a transport fault: a recovered fault (the backend
+    /// restarted within its budget) is a classified failure and the file
+    /// continues on the fresh backend; an unrecovered one stops the file
+    /// like an engine crash (an unrecovered timeout reads as a hang).
+    /// Transport faults are diagnosed *before* expectation matching — a
+    /// `statement error` record never passes on a dead backend.
+    fn transport_outcome(&self, fault: TransportError, sql: &str) -> Outcome {
+        if !fault.recovered {
+            return match fault.kind {
+                TransportErrorKind::Timeout => Outcome::Hang(fault.to_string()),
+                _ => Outcome::Crash(fault.to_string()),
+            };
+        }
+        let kind = match fault.kind {
+            TransportErrorKind::Timeout => FailKind::BackendTimeout,
+            TransportErrorKind::Protocol => FailKind::BackendProtocol,
+            TransportErrorKind::Crash | TransportErrorKind::Connect => FailKind::BackendCrash,
+        };
+        Outcome::Fail(FailInfo::new(
+            kind,
+            None,
+            fault.to_string(),
+            Vec::new(),
+            Vec::new(),
+            Some(sql),
+        ))
+    }
+
     fn run_statement(&mut self, sql: &str, expect: &StatementExpect) -> Outcome {
-        let result = self.conn.execute(sql);
+        let result = match self.conn.execute(sql) {
+            Ok(r) => Ok(r),
+            Err(ConnectorError::Engine(e)) => Err(e),
+            Err(ConnectorError::Transport(t)) => return self.transport_outcome(t, sql),
+        };
         match (result, expect) {
             (Ok(_), StatementExpect::Ok) | (Ok(_), StatementExpect::Count(_)) => Outcome::Pass,
             (Ok(_), StatementExpect::Error { .. }) => Outcome::Fail(FailInfo::new(
@@ -316,7 +348,12 @@ impl<'a> RunCtx<'a> {
         sort: squality_formats::SortMode,
         expected: &QueryExpectation,
     ) -> Outcome {
-        match self.conn.execute(sql) {
+        let result = match self.conn.execute(sql) {
+            Ok(r) => Ok(r),
+            Err(ConnectorError::Engine(e)) => Err(e),
+            Err(ConnectorError::Transport(t)) => return self.transport_outcome(t, sql),
+        };
+        match result {
             Err(e) => {
                 if e.kind == ErrorKind::Fatal {
                     Outcome::Crash(e.message)
@@ -734,6 +771,108 @@ SELECT count(*) FROM t
         let replayed = translated.translation_stats.counts();
         assert_eq!(replayed.translated, 2 * counts.translated);
         assert_eq!(replayed.applied_total(), 2 * counts.applied_total());
+    }
+
+    /// A connector that injects transport faults on marker statements.
+    struct FaultyConn {
+        inner: EngineConnector,
+    }
+
+    impl Connector for FaultyConn {
+        fn engine_name(&self) -> &'static str {
+            self.inner.engine_name()
+        }
+        fn execute(&mut self, sql: &str) -> Result<squality_engine::QueryResult, ConnectorError> {
+            if let Some(rest) = sql.strip_prefix("FAULT ") {
+                let (kind, recovered) = match rest {
+                    "crash" => (TransportErrorKind::Crash, true),
+                    "timeout" => (TransportErrorKind::Timeout, true),
+                    "protocol" => (TransportErrorKind::Protocol, true),
+                    "crash-unrecovered" => (TransportErrorKind::Crash, false),
+                    "timeout-unrecovered" => (TransportErrorKind::Timeout, false),
+                    other => panic!("unknown fault {other}"),
+                };
+                let mut t = TransportError::new(kind, format!("injected {rest}"));
+                t.recovered = recovered;
+                return Err(t.into());
+            }
+            self.inner.execute(sql)
+        }
+        fn render(&self, v: &squality_engine::Value) -> String {
+            self.inner.render(v)
+        }
+        fn reset(&mut self) {
+            self.inner.reset()
+        }
+        fn has_extension(&self, name: &str) -> bool {
+            self.inner.has_extension(name)
+        }
+    }
+
+    fn run_faulty(slt: &str) -> FileResult {
+        let file = parse_slt("faulty", slt, SltFlavor::Classic);
+        let mut conn =
+            FaultyConn { inner: EngineConnector::new(EngineDialect::Sqlite, ClientKind::Cli) };
+        Runner::default().run_file(&mut conn, &file)
+    }
+
+    #[test]
+    fn recovered_transport_fault_is_classified_and_file_continues() {
+        let slt = "\
+statement ok
+FAULT crash
+
+statement ok
+SELECT 1
+";
+        let r = run_faulty(slt);
+        assert!(!r.crashed, "{:?}", r.results);
+        let Outcome::Fail(info) = &r.results[0].outcome else { panic!("{:?}", r.results) };
+        assert_eq!(info.kind, FailKind::BackendCrash);
+        assert!(info.detail.contains("backend crash"), "{}", info.detail);
+        // The file continued on the restarted backend.
+        assert!(r.results[1].outcome.is_pass());
+    }
+
+    #[test]
+    fn transport_fault_trumps_error_expectation() {
+        // A `statement error` record must NOT pass on a dead backend: the
+        // statement has no verdict at all.
+        let slt = "statement error\nFAULT timeout\n";
+        let r = run_faulty(slt);
+        let Outcome::Fail(info) = &r.results[0].outcome else { panic!("{:?}", r.results) };
+        assert_eq!(info.kind, FailKind::BackendTimeout);
+    }
+
+    #[test]
+    fn unrecovered_transport_faults_stop_the_file() {
+        let slt = "\
+statement ok
+FAULT crash-unrecovered
+
+statement ok
+SELECT 1
+";
+        let r = run_faulty(slt);
+        assert!(r.crashed);
+        assert!(matches!(r.results[0].outcome, Outcome::Crash(_)), "{:?}", r.results);
+        assert!(r.results[1].outcome.is_skip());
+        // An unrecovered timeout reads as a hang.
+        let r = run_faulty("statement ok\nFAULT timeout-unrecovered\n");
+        assert!(r.hung);
+        assert!(matches!(r.results[0].outcome, Outcome::Hang(_)), "{:?}", r.results);
+    }
+
+    #[test]
+    fn protocol_fault_signature_is_stable() {
+        let a = run_faulty("query I nosort\nFAULT protocol\n----\n1\n");
+        let b = run_faulty("query I nosort\nFAULT protocol\n----\n1\n");
+        let (Outcome::Fail(fa), Outcome::Fail(fb)) = (&a.results[0].outcome, &b.results[0].outcome)
+        else {
+            panic!("{:?} {:?}", a.results, b.results)
+        };
+        assert_eq!(fa.kind, FailKind::BackendProtocol);
+        assert_eq!(fa.signature, fb.signature);
     }
 
     #[test]

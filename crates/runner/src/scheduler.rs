@@ -14,9 +14,9 @@
 //! are inherently sequential and must keep using [`Runner::run_file`];
 //! the scheduler resets every connection before every file.
 
-use crate::connector::{Connector, ConnectorFactory};
+use crate::connector::{Connector, ConnectorError, ConnectorFactory};
 use crate::events::{RunEvent, RunObserver};
-use crate::outcome::FileResult;
+use crate::outcome::{FileResult, Outcome, RecordResult};
 use crate::runner::{Runner, RunnerOptions};
 use squality_formats::TestFile;
 use squality_sqlast::translate::{TranslationCounts, TranslationStats};
@@ -33,6 +33,21 @@ pub struct SuiteExecution<C> {
     /// least one file (workers connect lazily, so a worker that never got
     /// a file contributes nothing here).
     pub connectors: Vec<C>,
+}
+
+/// The result a file gets when no connection could be opened for it: a
+/// single synthetic crash record, so a down backend surfaces as a
+/// counted, classified crash in every table and event log instead of a
+/// harness abort. The worker retries [`ConnectorFactory::connect`] for
+/// its next file — a transient outage fails only the files it covered.
+fn connect_failure_result(file: &str, error: &ConnectorError) -> FileResult {
+    let message = format!("connect failed: {error}");
+    FileResult {
+        file: file.to_string(),
+        results: vec![RecordResult { line: 0, sql: None, outcome: Outcome::Crash(message) }],
+        crashed: true,
+        hung: false,
+    }
 }
 
 /// One file's complete execution record from
@@ -136,7 +151,25 @@ impl Runner {
                     loop {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(index, file)) = files.get(slot) else { break };
-                        let conn = conn.get_or_insert_with(|| factory.connect());
+                        let conn = match &mut conn {
+                            Some(conn) => conn,
+                            None => match factory.connect() {
+                                Ok(fresh) => conn.insert(fresh),
+                                Err(e) => {
+                                    let result = connect_failure_result(&file.name, &e);
+                                    if let Some(observer) = observer {
+                                        crate::events::replay_file_events(observer, index, &result);
+                                    }
+                                    *slots[slot].lock().expect("record slot poisoned") =
+                                        Some(FileRunRecord {
+                                            index,
+                                            result,
+                                            translation: TranslationStats::new().counts(),
+                                        });
+                                    continue;
+                                }
+                            },
+                        };
                         conn.reset();
                         prepare(conn);
                         // A private counter set per file isolates this
@@ -217,7 +250,20 @@ impl Runner {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(file) = files.get(i) else { break };
-                        let conn = conn.get_or_insert_with(|| factory.connect());
+                        let conn = match &mut conn {
+                            Some(conn) => conn,
+                            None => match factory.connect() {
+                                Ok(fresh) => conn.insert(fresh),
+                                Err(e) => {
+                                    let result = connect_failure_result(&file.name, &e);
+                                    if let Some((_, observer)) = observed {
+                                        crate::events::replay_file_events(observer, i, &result);
+                                    }
+                                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                                    continue;
+                                }
+                            },
+                        };
                         conn.reset();
                         prepare(conn);
                         let result = match observed {
@@ -367,6 +413,40 @@ mod tests {
         assert_eq!(with_env.results[0].passed(), 1);
         let without_env = runner.run_suite(&factory, &[probe], 1);
         assert_eq!(without_env[0].failed(), 1);
+    }
+
+    #[test]
+    fn connect_failure_becomes_crashed_results_not_a_panic() {
+        use crate::connector::{ConnectorError, TransportError, TransportErrorKind};
+        use crate::events::CollectingObserver;
+        struct DownFactory;
+        impl ConnectorFactory for DownFactory {
+            type Conn = EngineConnector;
+            fn connect(&self) -> Result<EngineConnector, ConnectorError> {
+                Err(TransportError::new(TransportErrorKind::Connect, "worker binary not found")
+                    .into())
+            }
+            fn info(&self) -> crate::events::ConnectorInfo {
+                crate::events::ConnectorInfo::named("down")
+            }
+        }
+        let files = suite(4);
+        let runner = Runner::default();
+        let obs = CollectingObserver::new();
+        let exec = runner.run_suite_observed(&DownFactory, &files, 2, "down", |_| {}, &obs);
+        assert_eq!(exec.results.len(), 4);
+        assert!(exec.connectors.is_empty());
+        for (i, r) in exec.results.iter().enumerate() {
+            assert!(r.crashed, "file {i} not marked crashed");
+            assert_eq!(r.results.len(), 1);
+            let Outcome::Crash(m) = &r.results[0].outcome else { panic!("{:?}", r.results) };
+            assert!(m.contains("connect failed"), "{m}");
+        }
+        // The event stream still forms complete per-file blocks.
+        let lines = obs.lines();
+        assert_eq!(lines.iter().filter(|l| l.contains("\"event\":\"file_started\"")).count(), 4);
+        assert_eq!(lines.iter().filter(|l| l.contains("\"event\":\"file_finished\"")).count(), 4);
+        assert!(lines.last().unwrap().contains("\"crashes\":4"), "{:?}", lines.last());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Event-stream determinism: the serialized JSONL run log (canonical
 //! per-file ordering, timing fields off) must be **byte-identical** at
-//! every worker count, and the deprecated free-function shims must
-//! produce the same summaries as the builder path they delegate to.
+//! every worker count, and a `RunConfig` replayed through the builder
+//! must produce the same summaries as direct builder configuration.
 
 use squality::core::{Harness, StudyConfig};
 use squality::corpus::generate_suite_scaled;
@@ -60,13 +60,12 @@ fn study_events_are_deterministic_across_worker_counts() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_delegate_to_the_builder() {
-    use squality::core::{run_suite_on, run_suite_sharded, RunConfig};
+fn run_config_replayed_through_the_builder_matches_direct_configuration() {
+    use squality::core::RunConfig;
     let gs = generate_suite_scaled(SuiteKind::PgRegress, 7, 0.05);
     let mut cfg = RunConfig::unified(EngineDialect::Sqlite);
     cfg.translate = true;
-    let builder = Harness::builder()
+    let direct = Harness::builder()
         .suite(&gs)
         .host(EngineDialect::Sqlite)
         .translate(true)
@@ -74,14 +73,24 @@ fn deprecated_shims_delegate_to_the_builder() {
         .expect("suite configured")
         .run()
         .summary;
-    let on = run_suite_on(&gs, &cfg);
-    let (sharded, _) = run_suite_sharded(&gs, &cfg, 3, None);
-    for (name, shim) in [("run_suite_on", &on), ("run_suite_sharded", &sharded)] {
-        assert_eq!(shim.passed, builder.passed, "{name}");
-        assert_eq!(shim.failed, builder.failed, "{name}");
-        assert_eq!(shim.skipped, builder.skipped, "{name}");
-        assert_eq!(shim.failures, builder.failures, "{name}");
-        assert_eq!(shim.skip_reasons, builder.skip_reasons, "{name}");
-        assert_eq!(shim.translation, builder.translation, "{name}");
-    }
+    // A RunConfig (as carried by triage probes and reports) must replay
+    // to the identical run when every knob is copied onto the builder.
+    let replayed = Harness::builder()
+        .suite(&gs)
+        .host(cfg.host)
+        .client(cfg.client)
+        .provision(cfg.provision)
+        .numeric(cfg.numeric)
+        .translate(cfg.translate)
+        .workers(3)
+        .build()
+        .expect("suite configured")
+        .run()
+        .summary;
+    assert_eq!(replayed.passed, direct.passed);
+    assert_eq!(replayed.failed, direct.failed);
+    assert_eq!(replayed.skipped, direct.skipped);
+    assert_eq!(replayed.failures, direct.failures);
+    assert_eq!(replayed.skip_reasons, direct.skip_reasons);
+    assert_eq!(replayed.translation, direct.translation);
 }
