@@ -6,8 +6,10 @@
 //! `duckdb`, `mysql`), `<client>` is `cli` or `connector`, and
 //! `<fault-bits>` is one `1`/`0` per [`FaultId::ALL`] entry.
 //!
-//! Fault-injection hooks for crash-containment tests (counted over the
-//! worker's lifetime, so a restarted worker starts counting afresh):
+//! Fault-injection hooks for crash-containment tests (the `EXEC` counter
+//! resets on every `RESET` frame — the parent resets once per suite file,
+//! so the schedule is *per file* and therefore independent of how files
+//! are sharded across workers; a restarted worker also starts afresh):
 //!
 //! * `SQUALITY_CRASH_AFTER=N` — abort the process (exit 101) when the
 //!   N-th `EXEC` arrives, before answering.
@@ -111,6 +113,10 @@ fn main() {
                 Err(_) => std::process::exit(3),
             }
         } else if request == b"RESET" {
+            // Per-file fault schedules: the parent sends RESET before each
+            // suite file, so restarting the EXEC count here makes
+            // crash/hang injection deterministic at any worker count.
+            execs = 0;
             engine = Engine::with_faults(dialect, faults);
             for (path, lines) in &files {
                 engine.register_file(path, lines.clone());

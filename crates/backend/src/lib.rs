@@ -63,6 +63,25 @@ impl BackendSpec {
         }
     }
 
+    /// Override the per-statement deadline (no-op for
+    /// [`BackendSpec::InProcess`]). The stability arm uses short
+    /// deadlines so hang-prone records rerun quickly.
+    pub fn with_deadline(mut self, new_deadline: Duration) -> BackendSpec {
+        if let BackendSpec::Subprocess { deadline, .. } = &mut self {
+            *deadline = new_deadline;
+        }
+        self
+    }
+
+    /// Override the per-file restart budget (no-op for
+    /// [`BackendSpec::InProcess`]).
+    pub fn with_max_restarts(mut self, new_max: u32) -> BackendSpec {
+        if let BackendSpec::Subprocess { max_restarts, .. } = &mut self {
+            *max_restarts = new_max;
+        }
+        self
+    }
+
     /// Stable tag for cache keys and reports.
     pub fn tag(&self) -> &'static str {
         match self {

@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! squality-tables [section...] [--scale F] [--seed N] [--workers W]
-//!                 [--backend in-process|subprocess]
+//!                 [--backend in-process|subprocess] [--backend-deadline-ms MS]
 //!                 [--events PATH] [--progress]
 //!                 [--cache] [--cache-dir DIR] [--no-cache]
 //!                 [--reduce] [--out DIR] [--max-probes N]
+//!                 [--reruns N] [--fault-schedules]
 //!                 [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]
 //! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
 //!           figure4 table6 table7 table8 translation bugs all (default: all)
 //!           triage (signature clustering [+ --reduce ddmin repros → --out])
+//!           stability (flakiness arm: --reruns baseline re-executions +
+//!                      perturbation probes per failure cluster and bug;
+//!                      table also written to --out/stability.txt)
 //!           bench-engine (hot-path + reduction + incremental perf
 //!                         → BENCH_engine.json)
 //! squality-tables cache stats|clear [--cache-dir DIR]
@@ -36,6 +40,15 @@
 //! signature — as a self-contained `.test` file under `--out` (default
 //! `triage-repros`).
 //!
+//! `stability` runs the flakiness arm: every failure cluster and bug
+//! finding re-executes `--reruns` times and once per perturbation axis
+//! (worker count, exec strategy, plan cache, fault profile, and — with
+//! `--fault-schedules` — a subprocess backend under seeded crash/hang
+//! schedules bounded by `--backend-deadline-ms`), classifying each as
+//! stable, flaky, or perturbation-sensitive. The table is printed and,
+//! when `--out` is given, written to `--out/stability.txt` — it is
+//! byte-identical at every `--workers` count.
+//!
 //! `bench-engine` measures the execution-core hot paths (grouping,
 //! DISTINCT, equi-join, set-ops) under both executor strategies plus the
 //! triage reduction loop and the incremental-study cold/warm/dirty
@@ -48,10 +61,14 @@
 //! event logs. `cache stats` / `cache clear` introspect the store.
 
 use squality_core::triage::{triage_study_with_observers, TriageConfig};
-use squality_core::{run_study_cached, triage_table, BackendSpec, ResultCache, Study, StudyConfig};
+use squality_core::{
+    run_study_cached, stability_table, triage_table, BackendSpec, ResultCache, StabilityConfig,
+    Study, StudyConfig,
+};
 use squality_runner::{JsonlObserver, ProgressObserver, RunObserver};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let mut sections: Vec<String> = Vec::new();
@@ -61,8 +78,11 @@ fn main() {
     let mut events_path: Option<String> = None;
     let mut progress = false;
     let mut reduce = false;
-    let mut out_dir = "triage-repros".to_string();
+    let mut out_dir: Option<String> = None;
     let mut max_probes = 192usize;
+    let mut reruns = 3usize;
+    let mut fault_schedules = false;
+    let mut backend_deadline_ms: Option<u64> = None;
     let mut bench_rows: Vec<usize> = vec![1_000, 10_000];
     let mut bench_samples = 7usize;
     let mut bench_out = "BENCH_engine.json".to_string();
@@ -91,7 +111,21 @@ fn main() {
             "--progress" => progress = true,
             "--reduce" => reduce = true,
             "--out" => {
-                out_dir = args.next().unwrap_or_else(|| usage("missing value for --out"));
+                out_dir = Some(args.next().unwrap_or_else(|| usage("missing value for --out")));
+            }
+            "--reruns" => {
+                reruns = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --reruns"));
+            }
+            "--fault-schedules" => fault_schedules = true,
+            "--backend-deadline-ms" => {
+                backend_deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("missing value for --backend-deadline-ms")),
+                );
             }
             "--max-probes" => {
                 max_probes = args
@@ -181,6 +215,23 @@ fn main() {
     // requested section renders it.
     let translated_arm = sections.iter().any(|s| s == "translation" || s == "all");
 
+    // The configurable subprocess deadline applies to the study backend
+    // and to the stability arm's fault-schedule probes alike.
+    if let Some(ms) = backend_deadline_ms {
+        backend = backend.with_deadline(Duration::from_millis(ms));
+    }
+    let stability_config = sections.iter().any(|s| s == "stability").then(|| {
+        let mut config = StabilityConfig::default()
+            .with_reruns(reruns)
+            .with_seed(seed)
+            .with_workers(workers)
+            .with_fault_schedules(fault_schedules);
+        if let Some(ms) = backend_deadline_ms {
+            config = config.with_backend_deadline(Duration::from_millis(ms));
+        }
+        config
+    });
+
     eprintln!(
         "generating corpora and running the study (seed={seed}, scale={scale}, workers={}, backend={})...",
         if workers == 0 { "auto".to_string() } else { workers.to_string() },
@@ -200,12 +251,15 @@ fn main() {
     if let Some(obs) = &progress_obs {
         observers.push(obs);
     }
-    let config = StudyConfig::default()
+    let mut config = StudyConfig::default()
         .with_seed(seed)
         .with_scale(scale)
         .with_workers(workers)
         .with_translated_arm(translated_arm)
         .with_backend(backend.clone());
+    if let Some(stability) = &stability_config {
+        config = config.with_stability_arm(stability.clone());
+    }
     let cache = use_cache.then(|| {
         let root = cache_dir.clone().unwrap_or_else(ResultCache::default_dir);
         eprintln!("result cache: {}", root.display());
@@ -236,10 +290,39 @@ fn main() {
     }
     for section in &sections {
         if section == "triage" {
-            run_triage(&study, reduce, workers, max_probes, &out_dir, progress, &backend);
+            let dir = out_dir.clone().unwrap_or_else(|| "triage-repros".to_string());
+            run_triage(&study, reduce, workers, max_probes, &dir, progress, &backend);
+        } else if section == "stability" {
+            run_stability(&study, out_dir.as_deref());
         } else {
             print_section(&study, section);
         }
+    }
+}
+
+/// The stability section: print the flakiness table (already computed by
+/// the study's stability arm) and, with `--out`, persist it as an
+/// artifact for cross-run comparison.
+fn run_stability(study: &Study, out_dir: Option<&str>) {
+    let Some(report) = &study.stability else {
+        // Unreachable from main (requesting the section enables the arm),
+        // but degrade gracefully for future callers.
+        eprintln!("stability arm did not run");
+        return;
+    };
+    let table = stability_table(report);
+    print!("{table}");
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create output dir {dir}: {e}");
+            std::process::exit(1);
+        }
+        let path = format!("{dir}/stability.txt");
+        if let Err(e) = std::fs::write(&path, &table) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote stability table to {path}");
     }
 }
 
@@ -423,14 +506,15 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: squality-tables [section...] [--scale F] [--seed N] [--workers W]\n\
-         \x20                      [--backend in-process|subprocess]\n\
+         \x20                      [--backend in-process|subprocess] [--backend-deadline-ms MS]\n\
          \x20                      [--events PATH] [--progress]\n\
          \x20                      [--cache] [--cache-dir DIR] [--no-cache]\n\
          \x20                      [--reduce] [--out DIR] [--max-probes N]\n\
+         \x20                      [--reruns N] [--fault-schedules]\n\
          \x20                      [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]\n\
          \x20      squality-tables cache stats|clear [--cache-dir DIR]\n\
          sections: table1..table8, figure1..figure4, translation, bugs, all, triage,\n\
-         \x20         bench-engine"
+         \x20         stability, bench-engine"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

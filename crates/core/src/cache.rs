@@ -638,6 +638,11 @@ fn decode_entry(text: &str) -> Option<CachedFileRun> {
                     error_kind,
                     dependency,
                     incompatibility,
+                    // Stability verdicts are never cached: the rerun arm
+                    // bypasses the result cache entirely (see
+                    // `Harness::run`), so a decoded signature is always
+                    // pre-annotation.
+                    stability: None,
                 };
                 Outcome::Fail(FailInfo { kind, error_kind, detail, expected, actual, signature })
             } else {

@@ -3,6 +3,7 @@
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::harness::{Harness, HarnessBuilder, Run};
+use crate::stability::{StabilityConfig, StabilityReport};
 use crate::transplant::{sample_failures, Incident, Provision, SuiteRunSummary};
 use squality_backend::{BackendFaultBreakdown, BackendSpec};
 use squality_corpus::{donor_dialect, generate_suite_scaled, GeneratedSuite};
@@ -58,6 +59,13 @@ pub struct StudyConfig {
     /// always runs in-process, since line coverage is engine
     /// instrumentation read from the harness side.
     pub backend: BackendSpec,
+    /// Also run the **stability arm**: after the matrix, re-execute one
+    /// exemplar per failure cluster (and every bug finding) under the
+    /// perturbation matrix of [`crate::stability`], classifying each as
+    /// stable, flaky, or perturbation-sensitive, and annotate the
+    /// study's failures and bugs with the verdicts. `None` (default)
+    /// skips the arm; results elsewhere are byte-identical either way.
+    pub stability: Option<StabilityConfig>,
 }
 
 impl Default for StudyConfig {
@@ -68,6 +76,7 @@ impl Default for StudyConfig {
             workers: 0,
             translated_arm: true,
             backend: BackendSpec::InProcess,
+            stability: None,
         }
     }
 }
@@ -102,6 +111,12 @@ impl StudyConfig {
         self.backend = backend;
         self
     }
+
+    /// Enable the stability arm with the given configuration.
+    pub fn with_stability_arm(mut self, stability: StabilityConfig) -> Self {
+        self.stability = Some(stability);
+        self
+    }
 }
 
 /// The three executed suites (MySQL's is censused but not executed, like
@@ -134,6 +149,9 @@ pub struct BugFinding {
     pub donor_suite: SuiteKind,
     pub is_crash: bool,
     pub incident: Incident,
+    /// The stability arm's verdict for this finding; `None` until a
+    /// study with [`StudyConfig::stability`] classifies it.
+    pub stability: Option<squality_runner::Stability>,
 }
 
 /// Everything the report renderer needs.
@@ -163,6 +181,10 @@ pub struct Study {
     /// study ran in-process): worker crashes, deadline kills, protocol
     /// errors, and the restarts that contained them.
     pub backend_faults: BackendFaultBreakdown,
+    /// The stability arm's report (`None` unless
+    /// [`StudyConfig::stability`] was set). When present, every failure
+    /// signature and bug finding in the study also carries its verdict.
+    pub stability: Option<StabilityReport>,
 }
 
 impl Study {
@@ -344,6 +366,7 @@ pub fn run_study_cached(
                 donor_suite: cell.suite,
                 is_crash: true,
                 incident: inc.clone(),
+                stability: None,
             });
         }
         for inc in &cell.summary.hangs {
@@ -352,6 +375,7 @@ pub fn run_study_cached(
                 donor_suite: cell.suite,
                 is_crash: false,
                 incident: inc.clone(),
+                stability: None,
             });
         }
     }
@@ -359,7 +383,8 @@ pub fn run_study_cached(
 
     let parse_cache = plan_cache.stats();
     let result_cache = result_cache.map(|c| c.stats()).unwrap_or_default();
-    Study {
+    let stability_config = config.stability.clone();
+    let mut study = Study {
         config,
         suites,
         donor_runs,
@@ -370,19 +395,36 @@ pub fn run_study_cached(
         parse_cache,
         result_cache,
         backend_faults,
+        stability: None,
+    };
+
+    // 6. The stability arm: classify one exemplar per failure cluster and
+    // every bug finding under the perturbation matrix, then thread the
+    // verdicts back onto the study's failures and bugs. Probes always
+    // execute live — never through the result cache — so a warm cached
+    // study can never replay stale verdicts.
+    if let Some(stability_config) = stability_config {
+        let report = crate::stability::stability_report(&study, &stability_config);
+        crate::stability::annotate_study(&mut study, &report);
+        study.stability = Some(report);
     }
+    study
 }
 
-/// Keep one finding per (host, error-signature). The signature is the
-/// message under the same normalization the failure taxonomy uses
-/// ([`normalize_error`]): digits, quoted literals, and paths abstract
-/// away, so the same crash triggered from two generated files counts
-/// once, while distinct bugs sharing an "INTERNAL Error" prefix (the
-/// paper notes that prefix marks DuckDB bugs) stay separate.
+/// Keep one finding per (host, error-signature, stability verdict). The
+/// signature is the message under the same normalization the failure
+/// taxonomy uses ([`normalize_error`]): digits, quoted literals, and
+/// paths abstract away, so the same crash triggered from two generated
+/// files counts once, while distinct bugs sharing an "INTERNAL Error"
+/// prefix (the paper notes that prefix marks DuckDB bugs) stay separate.
+/// The stability label participates so an annotated finding never merges
+/// with an unannotated (or differently-classified) one — inside a study
+/// this is vacuous, since dedup runs before the stability arm.
 fn dedupe_bugs(bugs: &mut Vec<BugFinding>) {
-    let mut seen: Vec<(EngineDialect, String)> = Vec::new();
+    let mut seen: Vec<(EngineDialect, String, Option<String>)> = Vec::new();
     bugs.retain(|b| {
-        let key = (b.host, normalize_error(&b.incident.message));
+        let key =
+            (b.host, normalize_error(&b.incident.message), b.stability.as_ref().map(|s| s.label()));
         if seen.contains(&key) {
             false
         } else {

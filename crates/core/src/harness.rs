@@ -14,6 +14,7 @@
 //! aside); see [`squality_runner::events`].
 
 use crate::cache::{CachedFileRun, CellSpec, FileKey, ResultCache};
+use crate::stability::StabilityConfig;
 use crate::transplant::{summarize, Provision, RunConfig, SuiteRunSummary};
 use squality_backend::{
     discover_worker_bin, BackendFaultBreakdown, BackendSpec, SubprocessConnector,
@@ -89,8 +90,11 @@ pub struct HarnessBuilder<'a> {
     translate: bool,
     workers: usize,
     backend: BackendSpec,
+    backend_env: Vec<(String, String)>,
+    exec_strategy: ExecStrategy,
     plan_cache: Option<Arc<PlanCache>>,
     result_cache: Option<Arc<ResultCache>>,
+    stability: Option<StabilityConfig>,
     observers: Vec<&'a dyn RunObserver>,
     label: Option<String>,
 }
@@ -108,8 +112,11 @@ impl<'a> HarnessBuilder<'a> {
             translate: false,
             workers: 1,
             backend: BackendSpec::InProcess,
+            backend_env: Vec::new(),
+            exec_strategy: ExecStrategy::default(),
             plan_cache: None,
             result_cache: None,
+            stability: None,
             observers: Vec::new(),
             label: None,
         }
@@ -203,6 +210,37 @@ impl<'a> HarnessBuilder<'a> {
         self
     }
 
+    /// Set an environment variable on every spawned backend worker
+    /// process (no effect in-process). Entries set here override any
+    /// forwarded variable of the same name from the harness's own
+    /// environment — this is how the stability arm injects *seeded*
+    /// `SQUALITY_CRASH_AFTER`/`SQUALITY_HANG_AFTER` schedules without
+    /// mutating (thread-unsafe) process-global state.
+    pub fn backend_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.backend_env.push((key.into(), value.into()));
+        self
+    }
+
+    /// Execution strategy of the host engine (the stability arm's
+    /// naive-vs-hash perturbation axis). Default: [`ExecStrategy::Hash`].
+    /// Participates in the result-cache cell key, so strategies never
+    /// share cached results.
+    pub fn exec_strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.exec_strategy = strategy;
+        self
+    }
+
+    /// Re-execute every failing record under the stability arm's
+    /// perturbation matrix after the run, annotating each failure's
+    /// [`FailureSignature`](squality_runner::FailureSignature) with a
+    /// [`Stability`](squality_runner::Stability) verdict. Stability runs
+    /// bypass the result cache: verdicts must come from live perturbed
+    /// re-execution, never replayed entries. Default: off.
+    pub fn stability(mut self, config: StabilityConfig) -> Self {
+        self.stability = Some(config);
+        self
+    }
+
     /// Share a statement-plan cache across this run's connections (and,
     /// by passing the same `Arc`, across runs). Default: none.
     pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
@@ -262,8 +300,11 @@ impl<'a> HarnessBuilder<'a> {
             translate: self.translate,
             workers: self.workers,
             backend: self.backend,
+            backend_env: self.backend_env,
+            exec_strategy: self.exec_strategy,
             plan_cache: self.plan_cache,
             result_cache: self.result_cache,
+            stability: self.stability,
             observers: self.observers,
             label,
         })
@@ -284,8 +325,11 @@ pub struct Harness<'a> {
     translate: bool,
     workers: usize,
     backend: BackendSpec,
+    backend_env: Vec<(String, String)>,
+    exec_strategy: ExecStrategy,
     plan_cache: Option<Arc<PlanCache>>,
     result_cache: Option<Arc<ResultCache>>,
+    stability: Option<StabilityConfig>,
     observers: Vec<&'a dyn RunObserver>,
     label: String,
 }
@@ -406,7 +450,8 @@ impl<'a> Harness<'a> {
     }
 
     fn factory(&self) -> EngineConnectorFactory {
-        let mut factory = EngineConnectorFactory::with_faults(self.host, self.client, self.faults);
+        let mut factory = EngineConnectorFactory::with_faults(self.host, self.client, self.faults)
+            .exec_strategy(self.exec_strategy);
         if let Some(cache) = &self.plan_cache {
             factory = factory.plan_cache(Arc::clone(cache));
         }
@@ -417,7 +462,7 @@ impl<'a> Harness<'a> {
     /// half hashes every outcome-relevant knob of this harness; the file
     /// half hashes each file's canonical content.
     fn file_keys(&self) -> Vec<FileKey> {
-        let fingerprint = execution_fingerprint(self.host, ExecStrategy::default());
+        let fingerprint = execution_fingerprint(self.host, self.exec_strategy);
         let cell = CellSpec {
             suite: self.source.kind(),
             engine_fingerprint: &fingerprint,
@@ -442,14 +487,45 @@ impl<'a> Harness<'a> {
     /// observable (summary, events, tables, coverage unions) is
     /// byte-identical either way.
     pub fn run(&self) -> Run {
-        if matches!(self.backend, BackendSpec::Subprocess { .. }) {
+        let mut run = if matches!(self.backend, BackendSpec::Subprocess { .. }) {
             // Subprocess runs are never cached: their point is observing
             // live process faults, and coverage stays worker-side.
-            return self.run_subprocess();
+            self.run_subprocess()
+        } else if self.stability.is_some() {
+            // Stability runs are never cached either (satellite of the
+            // same contract): a warm cache must not replay stale
+            // verdicts, so the run executes live and the rerun arm
+            // probes live too.
+            self.run_uncached()
+        } else {
+            match &self.result_cache {
+                Some(cache) => self.run_cached(Arc::clone(cache)),
+                None => self.run_uncached(),
+            }
+        };
+        if let Some(config) = &self.stability {
+            crate::stability::annotate_summary(
+                &self.probe_cell(),
+                self.source.files(),
+                &mut run.summary,
+                config,
+            );
         }
-        match &self.result_cache {
-            Some(cache) => self.run_cached(Arc::clone(cache)),
-            None => self.run_uncached(),
+        run
+    }
+
+    /// The probe configuration the stability arm replicates this
+    /// harness's failures under.
+    fn probe_cell(&self) -> crate::stability::ProbeCell<'_> {
+        crate::stability::ProbeCell {
+            kind: self.source.kind(),
+            host: self.host,
+            client: self.client,
+            provision: self.provision,
+            translate: self.translate,
+            faults: self.faults,
+            env: self.resolved_environment(),
+            label: self.label.clone(),
         }
     }
 
@@ -497,6 +573,12 @@ impl<'a> Harness<'a> {
             if key == "SQUALITY_CRASH_AFTER" || key == "SQUALITY_HANG_AFTER" {
                 factory = factory.env(&key, &value);
             }
+        }
+        // Explicit per-harness entries land after the forwarded ones, so
+        // they win (Command::env is last-wins) — seeded stability-arm
+        // schedules override whatever the parent process carries.
+        for (key, value) in &self.backend_env {
+            factory = factory.env(key, value);
         }
         let stats = factory.stats();
         let runner = self.runner();

@@ -16,7 +16,11 @@
 //!   the paper's published values alongside,
 //! * [`triage`] — signature clustering of every study failure into
 //!   root-cause clusters, plus a parallel ddmin reducer that shrinks one
-//!   exemplar per cluster into a minimal, verified repro file.
+//!   exemplar per cluster into a minimal, verified repro file,
+//! * [`stability`] — the flakiness arm: perturbed re-execution of every
+//!   failure (reruns, worker count, execution strategy, plan cache,
+//!   fault profile, seeded backend fault schedules) classifying each as
+//!   stable, flaky, or perturbation-sensitive.
 //!
 //! Runs execute in-process by default; [`BackendSpec::Subprocess`] (via
 //! [`HarnessBuilder::backend`](harness::HarnessBuilder::backend)) moves
@@ -59,6 +63,7 @@ pub mod cache;
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod stability;
 pub mod transplant;
 pub mod triage;
 
@@ -70,10 +75,13 @@ pub use experiments::{
 };
 pub use harness::{Harness, HarnessBuilder, HarnessError, Run};
 pub use report::{
-    bug_report, figure1, figure2, figure3, figure4, full_report, table1, table2, table3, table4,
-    table5, table6, table7, table8, translation_table, triage_table,
+    bug_report, figure1, figure2, figure3, figure4, full_report, stability_table, table1, table2,
+    table3, table4, table5, table6, table7, table8, translation_table, triage_table,
 };
 pub use squality_backend::{BackendFaultBreakdown, BackendSpec};
+pub use stability::{
+    annotate_study, stability_report, BugVerdict, ClusterVerdict, StabilityConfig, StabilityReport,
+};
 pub use transplant::{
     sample_failures, FailureCase, Incident, Provision, RunConfig, SkipBreakdown, SuiteRunSummary,
 };

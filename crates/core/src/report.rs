@@ -497,9 +497,63 @@ pub fn triage_table(report: &crate::triage::TriageReport) -> String {
     out
 }
 
-/// Render the full study report (all tables and figures).
+/// The stability table: every failure cluster and bug finding with its
+/// flakiness verdict from the perturbed re-execution arm. Deterministic
+/// given the study and [`StabilityConfig`](crate::StabilityConfig) —
+/// byte-identical at every analysis worker count.
+pub fn stability_table(report: &crate::stability::StabilityReport) -> String {
+    let mut out = String::from("Stability. Perturbed re-execution of every failure\n");
+    out.push_str(&format!(
+        "{} raw failures -> {} clusters + {} bug findings, {} baseline reruns each\n",
+        report.total_failures,
+        report.clusters.len(),
+        report.bugs.len(),
+        report.reruns,
+    ));
+    out.push_str(&format!(
+        "{:<5} {:<24} {:<15} {:<7} {:<28} Signature\n",
+        "#", "Stability", "Class", "Count", "Cell"
+    ));
+    for (i, c) in report.clusters.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<5} {:<24} {:<15} {:<7} {:<28} [{}] {}\n",
+            format!("#{i:03}"),
+            c.stability.label(),
+            c.class_label,
+            c.count,
+            c.cell,
+            c.signature.statement,
+            c.signature.normalized,
+        ));
+    }
+    for b in &report.bugs {
+        out.push_str(&format!(
+            "{:<5} {:<24} {:<15} {:<7} {}:{}\n",
+            if b.is_crash { "CRASH" } else { "HANG" },
+            b.stability.label(),
+            b.host.name(),
+            1,
+            b.file,
+            b.line,
+        ));
+    }
+    out.push_str(&format!(
+        "Verdicts: {} stable, {} flaky, {} perturbation-sensitive \
+         (non-deterministically reachable: {} of {})\n",
+        report.stable_count(),
+        report.flaky_count(),
+        report.sensitive_count(),
+        report.nondeterministic_count(),
+        report.total(),
+    ));
+    out
+}
+
+/// Render the full study report (all tables and figures). The stability
+/// table appears only when the study ran with
+/// [`StudyConfig::stability`](crate::StudyConfig) set.
 pub fn full_report(study: &Study) -> String {
-    let sections = [
+    let mut sections = vec![
         table1(study),
         figure1(study),
         table2(study),
@@ -515,6 +569,9 @@ pub fn full_report(study: &Study) -> String {
         translation_table(study),
         bug_report(study),
     ];
+    if let Some(report) = &study.stability {
+        sections.push(stability_table(report));
+    }
     sections.join("\n")
 }
 

@@ -98,8 +98,9 @@ impl CellRef {
 
     /// The study's execution configuration for this cell: client,
     /// provision level, and whether translation was on — what a reduction
-    /// probe must replicate to reproduce the cell's failure.
-    fn exec(self) -> (ClientKind, Provision, bool) {
+    /// probe (and the stability arm's rerun probes) must replicate to
+    /// reproduce the cell's failure.
+    pub(crate) fn exec(self) -> (ClientKind, Provision, bool) {
         match self.arm {
             Arm::DonorBare => (ClientKind::Connector, Provision::Bare, false),
             arm => {
@@ -402,7 +403,7 @@ pub fn triage_study_with_observers(
     report
 }
 
-fn effective_workers(requested: usize, jobs: usize) -> usize {
+pub(crate) fn effective_workers(requested: usize, jobs: usize) -> usize {
     let requested = if requested == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
@@ -538,8 +539,13 @@ impl Prober<'_> {
             conn.set_plan_cache(Arc::clone(self.plan_cache));
             harness.run_on(&mut conn)
         };
+        // Compare modulo the stability field: probe failures are always
+        // pre-annotation (`stability: None`), while a cluster signature
+        // from a stability-arm study carries its verdict.
+        let mut want = self.signature.clone();
+        want.stability = None;
         summary.failures.iter().any(|f| match &f.result.outcome {
-            Outcome::Fail(info) => info.signature == *self.signature,
+            Outcome::Fail(info) => info.signature == want,
             _ => false,
         })
     }

@@ -144,6 +144,11 @@ pub struct FailureSignature {
     /// Precomputed RQ4 class (Table 6) — how this failure reads as a
     /// cross-DBMS incompatibility.
     pub incompatibility: IncompatibilityClass,
+    /// Stability verdict from the rerun arm, when one has been computed.
+    /// `None` until a stability analysis annotates the failure; the field
+    /// participates in `Eq`/`Hash`, so annotated and unannotated
+    /// signatures never silently merge in clustering or dedupe keys.
+    pub stability: Option<Stability>,
 }
 
 impl FailureSignature {
@@ -174,6 +179,7 @@ impl FailureSignature {
             error_kind,
             dependency,
             incompatibility,
+            stability: None,
         }
     }
 
@@ -184,6 +190,85 @@ impl FailureSignature {
             TaxonomyContext::DonorDependency => self.dependency.label(),
             TaxonomyContext::CrossHost => self.incompatibility.label(),
         }
+    }
+}
+
+/// One axis of the stability arm's perturbation matrix.
+///
+/// Each axis names one environmental knob the rerun subsystem flips while
+/// holding everything else at the baseline configuration. An axis whose
+/// flip changes a failure's observed outcome makes the failure
+/// [`PerturbationSensitive`](Stability::PerturbationSensitive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PerturbationAxis {
+    /// Scheduler worker count (the determinism contract's own axis).
+    Workers,
+    /// Execution strategy: hash-based vs the naive nested-loop oracle.
+    ExecStrategy,
+    /// Shared statement-plan cache on vs off.
+    PlanCache,
+    /// Engine fault-injection profile: paper-faithful faults vs all-fixed.
+    FaultProfile,
+    /// Subprocess-backend fault schedule (seeded crash/hang injection).
+    BackendSchedule,
+}
+
+impl PerturbationAxis {
+    /// Short label used in stability verdicts and the report table.
+    pub fn label(self) -> &'static str {
+        match self {
+            PerturbationAxis::Workers => "workers",
+            PerturbationAxis::ExecStrategy => "exec-strategy",
+            PerturbationAxis::PlanCache => "plan-cache",
+            PerturbationAxis::FaultProfile => "fault-profile",
+            PerturbationAxis::BackendSchedule => "backend-schedule",
+        }
+    }
+
+    /// Every axis, in the fixed order the rerun arm probes them.
+    pub const ALL: [PerturbationAxis; 5] = [
+        PerturbationAxis::Workers,
+        PerturbationAxis::ExecStrategy,
+        PerturbationAxis::PlanCache,
+        PerturbationAxis::FaultProfile,
+        PerturbationAxis::BackendSchedule,
+    ];
+}
+
+/// The stability verdict the rerun arm assigns to a failure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stability {
+    /// Every baseline rerun and every perturbed probe reproduced the
+    /// original failure identically.
+    Stable,
+    /// Baseline reruns alone disagreed: the failure is intermittent even
+    /// with no knob flipped. Carries the sorted, deduplicated set of
+    /// outcome labels observed (e.g. `["fail", "pass"]`).
+    Flaky { observed_outcomes: Vec<String> },
+    /// Baseline reruns agree, but flipping one perturbation axis changed
+    /// the outcome. Carries the first axis (in [`PerturbationAxis::ALL`]
+    /// order) whose flip diverged.
+    PerturbationSensitive { axis: PerturbationAxis },
+}
+
+impl Stability {
+    /// Short verdict label for tables and dedupe keys.
+    pub fn label(&self) -> String {
+        match self {
+            Stability::Stable => "stable".to_string(),
+            Stability::Flaky { observed_outcomes } => {
+                format!("flaky[{}]", observed_outcomes.join("|"))
+            }
+            Stability::PerturbationSensitive { axis } => {
+                format!("sensitive[{}]", axis.label())
+            }
+        }
+    }
+
+    /// Whether this verdict marks the failure as non-deterministically
+    /// reachable (flaky or perturbation-sensitive).
+    pub fn is_nondeterministic(&self) -> bool {
+        !matches!(self, Stability::Stable)
     }
 }
 

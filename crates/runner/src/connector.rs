@@ -13,7 +13,8 @@
 
 use crate::events::ConnectorInfo;
 use squality_engine::{
-    ClientKind, Engine, EngineDialect, EngineError, FaultProfile, PlanCache, QueryResult, Value,
+    ClientKind, Engine, EngineDialect, EngineError, ExecStrategy, FaultProfile, PlanCache,
+    QueryResult, Value,
 };
 use std::sync::Arc;
 
@@ -182,6 +183,7 @@ pub struct EngineConnectorFactory {
     files: Vec<(String, Vec<String>)>,
     extensions: Vec<String>,
     plan_cache: Option<Arc<PlanCache>>,
+    exec_strategy: ExecStrategy,
 }
 
 impl EngineConnectorFactory {
@@ -203,12 +205,20 @@ impl EngineConnectorFactory {
             files: Vec::new(),
             extensions: Vec::new(),
             plan_cache: None,
+            exec_strategy: ExecStrategy::default(),
         }
     }
 
     /// Share a statement-plan cache across every minted connection.
     pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
         self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Every minted connection executes with this strategy (the stability
+    /// arm's naive-vs-hash perturbation axis).
+    pub fn exec_strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.exec_strategy = strategy;
         self
     }
 
@@ -270,6 +280,7 @@ impl ConnectorFactory for EngineConnectorFactory {
 
     fn connect(&self) -> Result<EngineConnector, ConnectorError> {
         let mut conn = EngineConnector::with_faults(self.dialect, self.client, self.faults);
+        conn.set_exec_strategy(self.exec_strategy);
         if let Some(cache) = &self.plan_cache {
             conn.set_plan_cache(Arc::clone(cache));
         }
@@ -308,6 +319,8 @@ pub struct EngineConnector {
     extensions: Vec<String>,
     /// Shared parse cache, re-attached to the engine on every reset.
     plan_cache: Option<Arc<PlanCache>>,
+    /// Execution strategy, re-applied to the engine on every reset.
+    exec_strategy: ExecStrategy,
     /// Coverage accumulated before a capture window opened (see
     /// [`EngineConnector::begin_coverage_capture`]).
     parked_coverage: Option<squality_engine::Coverage>,
@@ -332,8 +345,20 @@ impl EngineConnector {
             files: Vec::new(),
             extensions: Vec::new(),
             plan_cache: None,
+            exec_strategy: ExecStrategy::default(),
             parked_coverage: None,
         }
+    }
+
+    /// Switch the execution strategy (kept across resets).
+    pub fn set_exec_strategy(&mut self, strategy: ExecStrategy) {
+        self.engine.set_exec_strategy(strategy);
+        self.exec_strategy = strategy;
+    }
+
+    /// The execution strategy connections run with.
+    pub fn exec_strategy(&self) -> ExecStrategy {
+        self.exec_strategy
     }
 
     /// Open a coverage capture window: park the coverage accumulated so
@@ -451,6 +476,7 @@ impl Connector for EngineConnector {
         // per-engine experiment-level measurement (Table 8).
         let coverage = self.engine.coverage().clone();
         self.engine = Engine::with_faults(dialect, self.faults);
+        self.engine.set_exec_strategy(self.exec_strategy);
         *self.engine.coverage_mut() = coverage;
         if let Some(cache) = &self.plan_cache {
             self.engine.set_plan_cache(Arc::clone(cache));

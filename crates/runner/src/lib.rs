@@ -29,7 +29,8 @@ pub mod validate;
 
 pub use classify::{
     classify_dependency, classify_incompatibility, normalize_error, DependencyClass,
-    FailureSignature, IncompatibilityClass, ReuseDifficulty, TaxonomyContext,
+    FailureSignature, IncompatibilityClass, PerturbationAxis, ReuseDifficulty, Stability,
+    TaxonomyContext,
 };
 pub use connector::{
     client_result_error, engine_info, engine_token, Connector, ConnectorError, ConnectorFactory,

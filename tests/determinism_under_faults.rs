@@ -1,0 +1,160 @@
+//! Determinism under fault injection: the contract that summaries and
+//! JSONL event logs are byte-identical at any worker count must survive
+//! the *fault* paths too — subprocess workers crashing on injected
+//! schedules, bounded restarts, and the stability arm's seeded backend
+//! probes. A crash that moved with worker placement would make flakiness
+//! verdicts themselves flaky.
+
+use squality::core::{BackendSpec, Harness, StabilityConfig};
+use squality::corpus::generate_suite_scaled;
+use squality::engine::EngineDialect;
+use squality::formats::SuiteKind;
+use squality::runner::{FailKind, JsonlObserver, Outcome};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::{Mutex, OnceLock};
+
+/// Worker-binary discovery rides on process-global environment state —
+/// serialize the tests that spawn subprocess backends.
+fn env_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Locate `squality-backend-worker` next to this test binary, building it
+/// on demand so the umbrella crate's `cargo test` does not depend on a
+/// prior whole-workspace build.
+fn worker_bin() -> PathBuf {
+    static BIN: OnceLock<PathBuf> = OnceLock::new();
+    BIN.get_or_init(|| {
+        let mut dir = std::env::current_exe().expect("test executable path");
+        dir.pop(); // target/<profile>/deps
+        dir.pop(); // target/<profile>
+        let bin = dir.join(format!("squality-backend-worker{}", std::env::consts::EXE_SUFFIX));
+        if !bin.exists() {
+            let mut cmd = Command::new(env!("CARGO"));
+            cmd.args(["build", "-p", "squality-backend", "--bin", "squality-backend-worker"]);
+            if !cfg!(debug_assertions) {
+                cmd.arg("--release");
+            }
+            let status = cmd.status().expect("spawn cargo to build the worker binary");
+            assert!(status.success(), "building squality-backend-worker failed");
+        }
+        assert!(bin.exists(), "worker binary missing at {}", bin.display());
+        bin
+    })
+    .clone()
+}
+
+/// A subprocess spec with the worker binary pinned explicitly.
+fn subprocess_spec() -> BackendSpec {
+    match BackendSpec::subprocess() {
+        BackendSpec::Subprocess { deadline, max_restarts, .. } => {
+            BackendSpec::Subprocess { bin: Some(worker_bin()), deadline, max_restarts }
+        }
+        other => other,
+    }
+}
+
+/// With a crash schedule injected into every worker, the run must still
+/// be byte-identical at workers 1, 2, and 8: the worker counts execs per
+/// *file* (its counter resets on the RESET frame), and the restart
+/// budget is per file too, so every crash point is a function of the
+/// file alone — worker placement cannot move it.
+#[test]
+fn crash_injected_run_is_byte_identical_at_any_worker_count() {
+    let _guard = env_lock().lock().unwrap();
+    let gs = generate_suite_scaled(SuiteKind::Slt, 13, 0.05);
+    let run_at = |workers: usize| {
+        let events = JsonlObserver::new();
+        let run = Harness::builder()
+            .suite(&gs)
+            .host(EngineDialect::Sqlite)
+            .workers(workers)
+            .backend(subprocess_spec())
+            // Injected through the harness, not process-global env state;
+            // the explicit "0" keeps the hang hook off even if the parent
+            // environment carries one.
+            .backend_env("SQUALITY_CRASH_AFTER", "7")
+            .backend_env("SQUALITY_HANG_AFTER", "0")
+            .observer(&events)
+            .build()
+            .expect("suite configured")
+            .run();
+        (run, events.log())
+    };
+
+    let (base, base_log) = run_at(1);
+    let faults = base.backend_faults.expect("subprocess runs report fault counters");
+    assert!(faults.crashes >= 1, "the schedule must kill at least one worker: {faults:?}");
+    assert!(faults.restarts >= 1, "crashed workers must be restarted: {faults:?}");
+    assert!(
+        base.summary.failures.iter().any(|f| matches!(
+            &f.result.outcome,
+            Outcome::Fail(info) if info.kind == FailKind::BackendCrash
+        )),
+        "injected crashes must surface as classified failures"
+    );
+
+    for workers in [2, 8] {
+        let (run, log) = run_at(workers);
+        assert_eq!(log, base_log, "workers={workers}: event log diverged under crash injection");
+        assert_eq!(run.summary.failures, base.summary.failures, "workers={workers}");
+        assert_eq!(run.summary.passed, base.summary.passed, "workers={workers}");
+        assert_eq!(run.summary.skipped, base.summary.skipped, "workers={workers}");
+        assert_eq!(run.summary.skip_reasons, base.summary.skip_reasons, "workers={workers}");
+        let refaults = run.backend_faults.expect("subprocess runs report fault counters");
+        assert_eq!(refaults.crashes, faults.crashes, "workers={workers}: crash count moved");
+    }
+}
+
+/// The stability arm's seeded fault-schedule axis spawns real subprocess
+/// probes; the verdicts it stitches onto the summary must nonetheless be
+/// identical at every harness *and* analysis worker count.
+#[test]
+fn stability_verdicts_under_fault_schedules_match_at_any_worker_count() {
+    let _guard = env_lock().lock().unwrap();
+    // The arm discovers the worker binary itself at probe time — pin it
+    // so a bare `cargo test` needs no prior whole-workspace build.
+    std::env::set_var("SQUALITY_BACKEND_WORKER", worker_bin());
+    let gs = generate_suite_scaled(SuiteKind::Slt, 11, 0.04);
+    let run_at = |workers: usize| {
+        Harness::builder()
+            .suite(&gs)
+            .host(EngineDialect::Duckdb)
+            .workers(workers)
+            .stability(
+                StabilityConfig::default()
+                    .with_reruns(2)
+                    .with_workers(workers)
+                    .with_fault_schedules(true)
+                    .with_backend_deadline(std::time::Duration::from_millis(100)),
+            )
+            .build()
+            .expect("suite configured")
+            .run()
+            .summary
+    };
+
+    let base = run_at(1);
+    let annotated = base
+        .failures
+        .iter()
+        .filter(|f| {
+            matches!(
+                &f.result.outcome,
+                Outcome::Fail(info) if info.signature.stability.is_some()
+            )
+        })
+        .count();
+    assert!(annotated > 0, "the arm must annotate this cell's failures");
+
+    let two = run_at(2);
+    let eight = run_at(8);
+    std::env::remove_var("SQUALITY_BACKEND_WORKER");
+
+    assert_eq!(two.failures, base.failures, "workers=2: verdicts diverged");
+    assert_eq!(eight.failures, base.failures, "workers=8: verdicts diverged");
+    assert_eq!(two.failed, base.failed);
+    assert_eq!(eight.failed, base.failed);
+}

@@ -405,6 +405,79 @@ proptest! {
         });
         prop_assert!(preserved, "signature lost: {:?}", r.signature.normalized);
     }
+
+    /// The stability arm's core promise: a record it classifies `Stable`
+    /// really is deterministic — an independent re-run of the same file
+    /// under the same configuration yields the **identical**
+    /// `FailureSignature`, stability verdict included, on every dialect.
+    #[test]
+    fn stable_classified_failures_reproduce_identically(
+        noise in prop::collection::vec(noise_record_strategy(), 1..5),
+        fail_kind in 0i64..3,
+    ) {
+        use squality::core::{Harness, StabilityConfig};
+        use squality::runner::{Outcome, Stability};
+
+        let failing = match fail_kind {
+            0 => "query I nosort\nSELECT count(*) FROM no_such_table\n----\n0\n\n",
+            1 => "statement ok\nSELECT definitely_not_a_function(1)\n\n",
+            _ => "query I nosort\nSELECT 1\n----\n2\n\n",
+        };
+        let mut text = String::new();
+        for rec in &noise {
+            text.push_str(rec);
+        }
+        text.push_str(failing);
+        let files = [parse_slt("prop-stability.test", &text, SltFlavor::Classic)];
+
+        for dialect in EngineDialect::ALL {
+            let run = || {
+                Harness::builder()
+                    .files(SuiteKind::Slt, &files)
+                    .host(dialect)
+                    .stability(StabilityConfig::default().with_reruns(1).with_workers(1))
+                    .build()
+                    .unwrap()
+                    .run()
+                    .summary
+            };
+            let first = run();
+            let second = run();
+            let mut stable_seen = 0usize;
+            for f in &first.failures {
+                let Outcome::Fail(info) = &f.result.outcome else { continue };
+                prop_assert!(
+                    info.signature.stability.is_some(),
+                    "{dialect:?}: failure missing a verdict: {}",
+                    info.signature.normalized
+                );
+                if info.signature.stability != Some(Stability::Stable) {
+                    continue;
+                }
+                stable_seen += 1;
+                let twin = second.failures.iter().find(|g| g.id == f.id);
+                let Some(twin) = twin else {
+                    return Err(TestCaseError::fail(format!(
+                        "{dialect:?}: stable failure at {:?} vanished on re-run", f.id
+                    )));
+                };
+                let Outcome::Fail(twin_info) = &twin.result.outcome else {
+                    return Err(TestCaseError::fail(format!(
+                        "{dialect:?}: stable failure at {:?} changed outcome kind", f.id
+                    )));
+                };
+                prop_assert!(
+                    twin_info.signature == info.signature,
+                    "{dialect:?}: stable signature drifted\n  first:  {:?} ({:?})\n  second: {:?} ({:?})",
+                    info.signature.normalized, info.signature.stability,
+                    twin_info.signature.normalized, twin_info.signature.stability
+                );
+            }
+            // The deliberate failing record fails the same way under every
+            // perturbation axis, so at least it must read Stable.
+            prop_assert!(stable_seen >= 1, "{dialect:?}: no Stable-classified failure");
+        }
+    }
 }
 
 /// Benign SLT records for the reduction property: DDL/DML/query noise that

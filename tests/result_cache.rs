@@ -89,6 +89,60 @@ fn warm_study_replays_byte_identically() {
     }
 }
 
+/// Stability runs bypass the result cache entirely: verdicts must come
+/// from live perturbed re-execution, never replayed entries — a harness
+/// carrying **both** a cache and a stability config performs zero
+/// lookups and zero stores, and leaves the cache cold for later runs.
+#[test]
+fn stability_runs_never_touch_the_result_cache() {
+    use squality::core::StabilityConfig;
+    use squality::runner::Outcome;
+
+    let dir = TempCacheDir::new("stability");
+    let gs = generate_suite_scaled(SuiteKind::Slt, 11, 0.05);
+    let cache = dir.cache();
+
+    let run = Harness::builder()
+        .suite(&gs)
+        .host(EngineDialect::Duckdb)
+        .result_cache(Arc::clone(&cache))
+        .stability(StabilityConfig::default().with_reruns(1).with_workers(1))
+        .build()
+        .expect("suite configured")
+        .run();
+
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0, "stability run answered files from the cache");
+    assert_eq!(stats.misses, 0, "stability run performed cache lookups");
+    assert_eq!(stats.stores, 0, "stability run stored results");
+
+    // The bypass still produced a live, fully-annotated run.
+    assert!(run.summary.failed > 0, "this cross-host cell should fail records");
+    for f in &run.summary.failures {
+        let Outcome::Fail(info) = &f.result.outcome else { continue };
+        assert!(
+            info.signature.stability.is_some(),
+            "failure missing a stability verdict: {}",
+            info.signature.normalized
+        );
+    }
+
+    // The same cell without the stability arm uses the cache normally —
+    // and starts cold, proving the arm really stored nothing.
+    let plain = Harness::builder()
+        .suite(&gs)
+        .host(EngineDialect::Duckdb)
+        .result_cache(Arc::clone(&cache))
+        .build()
+        .expect("suite configured")
+        .run();
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0, "the stability run must not have warmed the cache");
+    assert_eq!(stats.misses, gs.files.len() as u64);
+    assert_eq!(stats.stores, gs.files.len() as u64);
+    assert_eq!(plain.summary.failed, run.summary.failed);
+}
+
 /// File-level invalidation: editing one file's content re-executes exactly
 /// that file; every other file replays.
 #[test]
