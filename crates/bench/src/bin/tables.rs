@@ -5,18 +5,20 @@
 //!                 [--backend in-process|subprocess] [--backend-deadline-ms MS]
 //!                 [--events PATH] [--progress]
 //!                 [--cache] [--cache-dir DIR] [--no-cache]
-//!                 [--reduce] [--out DIR] [--max-probes N]
+//!                 [--reduce] [--out DIR] [--max-probes N] [--store DIR]
 //!                 [--reruns N] [--fault-schedules]
 //!                 [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]
 //! sections: table1 figure1 table2 figure2 table3 figure3 table4 table5
 //!           figure4 table6 table7 table8 translation bugs all (default: all)
-//!           triage (signature clustering [+ --reduce ddmin repros → --out])
+//!           triage (signature clustering [+ --reduce ddmin repros → --out]
+//!                   [+ --store incremental reduction against a bug store])
 //!           stability (flakiness arm: --reruns baseline re-executions +
 //!                      perturbation probes per failure cluster and bug;
 //!                      table also written to --out/stability.txt)
-//!           bench-engine (hot-path + reduction + incremental perf
+//!           bench-engine (hot-path + reduction + incremental + replay perf
 //!                         → BENCH_engine.json)
 //! squality-tables cache stats|clear [--cache-dir DIR]
+//! squality-tables bugs list|show KEY|replay|import DIR|gc [--store DIR]
 //! ```
 //!
 //! `--workers 0` (the default) shards suite execution over all cores; any
@@ -49,24 +51,41 @@
 //! when `--out` is given, written to `--out/stability.txt` — it is
 //! byte-identical at every `--workers` count.
 //!
+//! `--store DIR` attaches the persistent bug repository to `triage
+//! --reduce`: clusters whose signature already has a stored, verified
+//! repro replay from disk with **zero** ddmin probes, entries minimized
+//! under an older `ENGINE_SEMANTICS_VERSION` are re-verified with a
+//! single probe, and new clusters are minimized and persisted. The
+//! `bugs` subcommands then operate on that repository directly: `list`
+//! tabulates every entry, `show KEY` dumps one entry with its repro
+//! text, `replay` runs the whole repro corpus as a regression suite and
+//! reports still-failing / fixed / regressed transitions (exit status 1
+//! if anything regressed; byte-identical output at any `--workers`
+//! count), `import DIR` merges entries from another store, and `gc`
+//! drops entries minimized under a stale semantics version.
+//!
 //! `bench-engine` measures the execution-core hot paths (grouping,
 //! DISTINCT, equi-join, set-ops) under both executor strategies plus the
-//! triage reduction loop and the incremental-study cold/warm/dirty
-//! triple, and writes the numbers to `--bench-out` (default
-//! `BENCH_engine.json`).
+//! triage reduction loop, the incremental-study cold/warm/dirty
+//! triple, and the bug-store round trip (cold triage vs incremental
+//! re-triage vs regression replay), and writes the numbers to
+//! `--bench-out` (default `BENCH_engine.json`).
 //!
 //! `--cache` replays study cells from the content-addressed result cache
 //! (default `.squality-cache/`, override with `--cache-dir`): a repeated
 //! run skips every unchanged file and produces byte-identical tables and
 //! event logs. `cache stats` / `cache clear` introspect the store.
 
+use squality_bench::ensure_parent_dir;
 use squality_core::triage::{triage_study_with_observers, TriageConfig};
 use squality_core::{
-    run_study_cached, stability_table, triage_table, BackendSpec, ResultCache, StabilityConfig,
-    Study, StudyConfig,
+    bug_store_table, replay_store_with_observers, replay_table, run_study_cached, stability_table,
+    triage_table, BackendSpec, BugStore, ReplayConfig, ResultCache, StabilityConfig, Study,
+    StudyConfig,
 };
+use squality_engine::ENGINE_SEMANTICS_VERSION;
 use squality_runner::{JsonlObserver, ProgressObserver, RunObserver};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -88,6 +107,7 @@ fn main() {
     let mut bench_out = "BENCH_engine.json".to_string();
     let mut use_cache = false;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut store_dir: Option<PathBuf> = None;
     let mut backend = BackendSpec::InProcess;
 
     let mut args = std::env::args().skip(1);
@@ -112,6 +132,11 @@ fn main() {
             "--reduce" => reduce = true,
             "--out" => {
                 out_dir = Some(args.next().unwrap_or_else(|| usage("missing value for --out")));
+            }
+            "--store" => {
+                store_dir = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("missing value for --store")),
+                ));
             }
             "--reruns" => {
                 reruns = args
@@ -188,6 +213,36 @@ fn main() {
         sections.push("all".to_string());
     }
 
+    // The configurable subprocess deadline applies to the study backend,
+    // the stability arm's fault-schedule probes, and bug-store replay
+    // alike.
+    if let Some(ms) = backend_deadline_ms {
+        backend = backend.with_deadline(Duration::from_millis(ms));
+    }
+
+    // The `bugs list|show|replay|import|gc` subcommands operate on the
+    // persistent bug repository without running a study. A bare `bugs`
+    // section (no subcommand word) still renders the crash-findings
+    // report from a fresh study, as it always has.
+    if sections.first().map(String::as_str) == Some("bugs")
+        && matches!(
+            sections.get(1).map(String::as_str),
+            Some("list" | "show" | "replay" | "import" | "gc")
+        )
+    {
+        let root = store_dir.clone().unwrap_or_else(BugStore::default_dir);
+        let store = BugStore::new(&root);
+        match sections.get(1).map(String::as_str) {
+            Some("list") => bugs_list(&store),
+            Some("show") => bugs_show(&store, sections.get(2).map(String::as_str)),
+            Some("replay") => bugs_replay(&store, workers, &backend, events_path.as_deref()),
+            Some("import") => bugs_import(&store, sections.get(2).map(String::as_str)),
+            Some("gc") => bugs_gc(&store),
+            _ => unreachable!(),
+        }
+        return;
+    }
+
     // The `cache` subcommand introspects the store without running anything.
     if sections.first().map(String::as_str) == Some("cache") {
         let root = cache_dir.unwrap_or_else(ResultCache::default_dir);
@@ -215,11 +270,6 @@ fn main() {
     // requested section renders it.
     let translated_arm = sections.iter().any(|s| s == "translation" || s == "all");
 
-    // The configurable subprocess deadline applies to the study backend
-    // and to the stability arm's fault-schedule probes alike.
-    if let Some(ms) = backend_deadline_ms {
-        backend = backend.with_deadline(Duration::from_millis(ms));
-    }
     let stability_config = sections.iter().any(|s| s == "stability").then(|| {
         let mut config = StabilityConfig::default()
             .with_reruns(reruns)
@@ -237,12 +287,7 @@ fn main() {
         if workers == 0 { "auto".to_string() } else { workers.to_string() },
         backend.tag()
     );
-    let jsonl = events_path.as_deref().map(|path| {
-        JsonlObserver::to_path(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot create events log {path}: {e}");
-            std::process::exit(1);
-        })
-    });
+    let jsonl = events_path.as_deref().map(open_events_log);
     let progress_obs = progress.then(ProgressObserver::stderr);
     let mut observers: Vec<&dyn RunObserver> = Vec::new();
     if let Some(obs) = &jsonl {
@@ -291,7 +336,16 @@ fn main() {
     for section in &sections {
         if section == "triage" {
             let dir = out_dir.clone().unwrap_or_else(|| "triage-repros".to_string());
-            run_triage(&study, reduce, workers, max_probes, &dir, progress, &backend);
+            run_triage(
+                &study,
+                reduce,
+                workers,
+                max_probes,
+                &dir,
+                progress,
+                &backend,
+                store_dir.as_deref(),
+            );
         } else if section == "stability" {
             run_stability(&study, out_dir.as_deref());
         } else {
@@ -327,6 +381,8 @@ fn run_stability(study: &Study, out_dir: Option<&str>) {
 }
 
 /// The triage section: cluster, optionally reduce, emit verified repros.
+/// With a `--store` directory, reduction runs incrementally against the
+/// persistent bug repository.
 #[allow(clippy::too_many_arguments)]
 fn run_triage(
     study: &Study,
@@ -336,12 +392,20 @@ fn run_triage(
     out_dir: &str,
     progress: bool,
     backend: &BackendSpec,
+    store_dir: Option<&Path>,
 ) {
-    let config = TriageConfig::default()
+    let mut config = TriageConfig::default()
         .with_reduce(reduce)
         .with_workers(workers)
         .with_max_probes(max_probes)
         .with_backend(backend.clone());
+    let store = store_dir.map(|root| {
+        eprintln!("bug store: {}", root.display());
+        BugStore::shared(root)
+    });
+    if let Some(store) = &store {
+        config = config.with_store(Arc::clone(store));
+    }
     // Only the progress observer follows into triage: reduction probes run
     // in parallel across clusters, and the JSONL observer's per-suite
     // buffering assumes one suite at a time.
@@ -352,6 +416,15 @@ fn run_triage(
     };
     let report = triage_study_with_observers(study, &config, &observers);
     print!("{}", triage_table(&report));
+    if let Some(store) = &store {
+        let s = store.stats();
+        let (entries, bytes) = store.disk_usage();
+        eprintln!(
+            "bug store: {} hits, {} misses, {} stored, {} corrupt \
+             ({entries} entries, {bytes} bytes on disk)",
+            s.hits, s.misses, s.stores, s.corrupt
+        );
+    }
     if !reduce {
         return;
     }
@@ -401,6 +474,106 @@ fn print_section(study: &Study, section: &str) {
     println!("{text}");
 }
 
+/// Open the `--events` JSONL log, creating missing parent directories so
+/// a nested path works on a fresh checkout.
+fn open_events_log(path: &str) -> JsonlObserver {
+    if let Err(e) = ensure_parent_dir(Path::new(path)) {
+        eprintln!("error: cannot create events log directory for {path}: {e}");
+        std::process::exit(1);
+    }
+    JsonlObserver::to_path(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot create events log {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// `bugs list`: tabulate every persisted entry.
+fn bugs_list(store: &BugStore) {
+    print!("{}", bug_store_table(&store.entries()));
+    let (entries, bytes) = store.disk_usage();
+    eprintln!("bug store: {} ({entries} entries, {bytes} bytes)", store.root().display());
+}
+
+/// `bugs show KEY`: dump one entry, provenance and repro text included.
+fn bugs_show(store: &BugStore, key: Option<&str>) {
+    let raw = key.unwrap_or_else(|| usage("bugs show needs a 16-hex-digit entry key"));
+    let key = u64::from_str_radix(raw.trim_start_matches("0x"), 16)
+        .unwrap_or_else(|_| usage(&format!("bugs show key must be hex, got {raw}")));
+    let Some(entry) = store.lookup_key(key) else {
+        eprintln!("no entry {key:016x} in {}", store.root().display());
+        std::process::exit(1);
+    };
+    println!("key:         {key:016x}");
+    println!("cell:        {:?} on {:?} ({})", entry.suite, entry.host, entry.arm.label());
+    println!("signature:   [{}] {}", entry.signature.statement, entry.signature.normalized);
+    println!(
+        "stability:   {}",
+        entry.stability.as_ref().map_or_else(|| "-".to_string(), |s| s.label())
+    );
+    println!("translation: {:?}", entry.translation);
+    println!(
+        "reduction:   {} -> {} records in {} probes ({})",
+        entry.records_before,
+        entry.records_after,
+        entry.probes,
+        if entry.reproduced { "verified" } else { "tombstone" }
+    );
+    println!("semantics:   v{} (current v{ENGINE_SEMANTICS_VERSION})", entry.semantics_version);
+    println!("first seen:  study {}", entry.first_seen);
+    println!("last seen:   study {}", entry.last_seen);
+    if entry.repro_text.is_empty() {
+        println!("repro:       (none — cluster did not reproduce standalone)");
+    } else {
+        println!("repro:       {}", entry.repro_name);
+        println!("---");
+        print!("{}", entry.repro_text);
+    }
+}
+
+/// `bugs replay`: run the repro corpus as a regression suite. Exit
+/// status 1 when any stored bug regressed into a new failure mode.
+fn bugs_replay(store: &BugStore, workers: usize, backend: &BackendSpec, events: Option<&str>) {
+    let config = ReplayConfig::default().with_workers(workers).with_backend(backend.clone());
+    let jsonl = events.map(open_events_log);
+    let observers: Vec<&dyn RunObserver> = match &jsonl {
+        Some(obs) => vec![obs],
+        None => Vec::new(),
+    };
+    let report = replay_store_with_observers(store, &config, &observers);
+    print!("{}", replay_table(&report));
+    eprintln!(
+        "replayed {} statements in {:.1} ms ({:.0} statements/sec)",
+        report.total_statements,
+        report.elapsed_nanos as f64 / 1e6,
+        report.statements_per_sec()
+    );
+    if let Some(path) = events {
+        eprintln!("wrote run events to {path}");
+    }
+    if report.regressed() > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `bugs import DIR`: merge entries from another store, keeping ours on
+/// key collisions.
+fn bugs_import(store: &BugStore, src: Option<&str>) {
+    let src = src.unwrap_or_else(|| usage("bugs import needs a source store directory"));
+    let (imported, skipped) = store.import(&BugStore::new(src));
+    println!(
+        "imported {imported} entries from {src} into {} ({skipped} already present)",
+        store.root().display()
+    );
+}
+
+/// `bugs gc`: drop entries minimized under a stale semantics version.
+fn bugs_gc(store: &BugStore) {
+    let (removed, kept) = store.gc(ENGINE_SEMANTICS_VERSION);
+    println!(
+        "removed {removed} stale entries, kept {kept} at semantics v{ENGINE_SEMANTICS_VERSION}"
+    );
+}
+
 /// `cache stats`: entry count, bytes on disk, and the counters persisted
 /// by the last cached study run.
 fn cache_stats(root: &std::path::Path) {
@@ -439,6 +612,7 @@ fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str, workers: usi
     use squality_bench::hot_paths::{render_json, run_comparison};
     use squality_bench::incremental::run_incremental_bench;
     use squality_bench::reduction::run_reduction_bench;
+    use squality_bench::replay::run_replay_bench;
     eprintln!(
         "measuring engine hot paths (rows: {rows:?}, {samples} samples/case, both strategies)..."
     );
@@ -492,7 +666,28 @@ fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str, workers: usi
         incremental.warm_speedup(),
         incremental.dirty_speedup()
     );
-    let json = render_json(&results, &reduction, Some(&incremental));
+    // Triage twice against one bug store (cold ddmin, then pure reuse),
+    // then replay the persisted corpus as a regression suite.
+    eprintln!("measuring bug-store triage reuse and regression replay...");
+    let replay = run_replay_bench(squality_bench::BENCH_SCALE, workers);
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "case", "cold ms", "warm ms", "replay ms", "reuse", "stmts/sec"
+    );
+    println!(
+        "{:<20} {:>10.1} {:>10.1} {:>10.1} {:>8.1}x {:>10.0}",
+        "bug_replay",
+        replay.cold_triage_ms,
+        replay.warm_triage_ms,
+        replay.replay_ms,
+        replay.incremental_speedup(),
+        replay.statements_per_sec()
+    );
+    let json = render_json(&results, &reduction, Some(&incremental), Some(&replay));
+    if let Err(e) = ensure_parent_dir(Path::new(out_path)) {
+        eprintln!("error: cannot create output directory for {out_path}: {e}");
+        std::process::exit(1);
+    }
     if let Err(e) = std::fs::write(out_path, &json) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -509,10 +704,11 @@ fn usage(msg: &str) -> ! {
          \x20                      [--backend in-process|subprocess] [--backend-deadline-ms MS]\n\
          \x20                      [--events PATH] [--progress]\n\
          \x20                      [--cache] [--cache-dir DIR] [--no-cache]\n\
-         \x20                      [--reduce] [--out DIR] [--max-probes N]\n\
+         \x20                      [--reduce] [--out DIR] [--max-probes N] [--store DIR]\n\
          \x20                      [--reruns N] [--fault-schedules]\n\
          \x20                      [--bench-rows N,M] [--bench-samples K] [--bench-out PATH]\n\
          \x20      squality-tables cache stats|clear [--cache-dir DIR]\n\
+         \x20      squality-tables bugs list|show KEY|replay|import DIR|gc [--store DIR]\n\
          sections: table1..table8, figure1..figure4, translation, bugs, all, triage,\n\
          \x20         stability, bench-engine"
     );

@@ -151,11 +151,14 @@ pub fn run_comparison(row_counts: &[usize], samples: usize) -> Vec<HotPathResult
 /// reduction rows are given (see [`crate::reduction`]), they are included
 /// as a `"reduction"` section so the perf trajectory covers the triage
 /// reducer's probe loop too; an incremental-study triple (see
-/// [`crate::incremental`]) adds the `"study_incremental"` section.
+/// [`crate::incremental`]) adds the `"study_incremental"` section and a
+/// bug-store round trip (see [`crate::replay`]) the `"bug_replay"`
+/// section.
 pub fn render_json(
     results: &[HotPathResult],
     reduction: &[crate::reduction::ReductionBenchResult],
     incremental: Option<&crate::incremental::IncrementalBenchResult>,
+    replay: Option<&crate::replay::ReplayBenchResult>,
 ) -> String {
     let mut s = String::from(
         "{\n  \"bench\": \"engine_hot_paths\",\n  \"unit\": \"ms (median per query execution)\",\n  \"cases\": [\n",
@@ -171,20 +174,27 @@ pub fn render_json(
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    if reduction.is_empty() && incremental.is_none() {
+    let mut sections: Vec<String> = Vec::new();
+    if !reduction.is_empty() {
+        sections.push(crate::reduction::render_reduction_json(reduction));
+    }
+    if let Some(inc) = incremental {
+        sections.push(crate::incremental::render_incremental_json(inc));
+    }
+    if let Some(rep) = replay {
+        sections.push(crate::replay::render_replay_json(rep));
+    }
+    if sections.is_empty() {
         s.push_str("  ]\n}\n");
     } else {
         s.push_str("  ],\n");
-        if !reduction.is_empty() {
-            s.push_str(&crate::reduction::render_reduction_json(reduction));
-            if incremental.is_some() {
+        for (i, section) in sections.iter().enumerate() {
+            s.push_str(section);
+            if i + 1 != sections.len() {
                 // Turn the section's closing newline into a separator.
                 s.truncate(s.len() - 1);
                 s.push_str(",\n");
             }
-        }
-        if let Some(inc) = incremental {
-            s.push_str(&crate::incremental::render_incremental_json(inc));
         }
         s.push_str("}\n");
     }

@@ -26,11 +26,15 @@
 
 use crate::transplant::Provision;
 use squality_corpus::DonorEnvironment;
-use squality_engine::{ClientKind, Coverage, ErrorKind, FaultId, FaultProfile};
+use squality_engine::{ClientKind, Coverage, FaultId, FaultProfile};
 use squality_formats::{ContentHasher, SuiteKind};
+use squality_runner::sigcodec::{
+    decode_signature, decode_translation_counts, encode_signature, encode_translation_counts,
+    escape, unescape,
+};
 use squality_runner::{
-    DependencyClass, FailInfo, FailKind, FailureSignature, FileResult, IncompatibilityClass,
-    NumericMode, Outcome, RecordResult, TranslationCounts, TranslationMode, TranslationRule,
+    FailInfo, FileResult, NumericMode, Outcome, RecordResult, TranslationCounts, TranslationMode,
+    TranslationRule,
 };
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,7 +43,10 @@ use std::sync::Arc;
 /// On-disk format version. Bumping it orphans (and ignores) every entry
 /// written by older code: the version appears in both the directory name
 /// and each entry's header line.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the failure line delegates signature serialization to the shared
+/// [`squality_runner::sigcodec`] codec (also used by the bug store).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Process-wide counter making concurrent writers' temp file names unique.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -397,7 +404,8 @@ impl ResultCache {
 //   X <crashed> <hung>                 (0|1)
 //   T a0,..,a6;s0,..,s6;<translated>;<passthrough>
 //   R <line> <sql>                     (one per record; sql is `-` or `=text`)
-//   <outcome line>                     (P | K | C | H | B, see below)
+//   <outcome line>                     (P | K | C | H | B)
+//   B <n-exp> <n-act>\t<detail>\t<sig> (failure: counts, detail, signature)
 //   VL <n>                             (n feature-point lines follow)
 //   l <hit> <point>
 //   VB <n>                             (n decision-point lines follow)
@@ -407,54 +415,15 @@ impl ResultCache {
 // Every free-form string is escaped (`\\`, `\n`, `\r`, `\t`), so lines
 // stay one-per-record and tab can separate the failure line's text
 // fields. A missing END means a truncated write: the entry is rejected.
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn unescape(s: &str) -> Option<String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next()? {
-            '\\' => out.push('\\'),
-            'n' => out.push('\n'),
-            'r' => out.push('\r'),
-            't' => out.push('\t'),
-            _ => return None,
-        }
-    }
-    Some(out)
-}
+// Escaping and the failure line's signature payload come from the shared
+// `squality_runner::sigcodec` codec, which the bug store also uses.
 
 fn encode_entry(run: &CachedFileRun) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str(&format!("squality-result-cache v{SCHEMA_VERSION}\n"));
     out.push_str(&format!("F {}\n", escape(&run.result.file)));
     out.push_str(&format!("X {} {}\n", run.result.crashed as u8, run.result.hung as u8));
-    let t = &run.translation;
-    let csv = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
-    out.push_str(&format!(
-        "T {};{};{};{}\n",
-        csv(&t.applied),
-        csv(&t.skipped),
-        t.translated,
-        t.passthrough
-    ));
+    out.push_str(&format!("T {}\n", encode_translation_counts(&run.translation)));
     for r in &run.result.results {
         match &r.sql {
             None => out.push_str(&format!("R {} -\n", r.line)),
@@ -466,18 +435,12 @@ fn encode_entry(run: &CachedFileRun) -> String {
             Outcome::Crash(m) => out.push_str(&format!("C {}\n", escape(m))),
             Outcome::Hang(m) => out.push_str(&format!("H {}\n", escape(m))),
             Outcome::Fail(info) => {
-                let sig = &info.signature;
                 out.push_str(&format!(
-                    "B {:?} {} {:?} {:?} {} {}\t{}\t{}\t{}\n",
-                    info.kind,
-                    info.error_kind.map_or("-".to_string(), |k| format!("{k:?}")),
-                    sig.dependency,
-                    sig.incompatibility,
+                    "B {} {}\t{}\t{}\n",
                     info.expected.len(),
                     info.actual.len(),
                     escape(&info.detail),
-                    escape(&sig.normalized),
-                    escape(&sig.statement)
+                    encode_signature(&info.signature)
                 ));
                 for v in &info.expected {
                     out.push_str(&format!("E {}\n", escape(v)));
@@ -502,69 +465,6 @@ fn encode_entry(run: &CachedFileRun) -> String {
     out
 }
 
-fn parse_fail_kind(s: &str) -> Option<FailKind> {
-    Some(match s {
-        "UnexpectedError" => FailKind::UnexpectedError,
-        "ExpectedErrorButOk" => FailKind::ExpectedErrorButOk,
-        "WrongErrorMessage" => FailKind::WrongErrorMessage,
-        "WrongResult" => FailKind::WrongResult,
-        "Runner" => FailKind::Runner,
-        "BackendCrash" => FailKind::BackendCrash,
-        "BackendTimeout" => FailKind::BackendTimeout,
-        "BackendProtocol" => FailKind::BackendProtocol,
-        _ => return None,
-    })
-}
-
-fn parse_error_kind(s: &str) -> Option<ErrorKind> {
-    Some(match s {
-        "Syntax" => ErrorKind::Syntax,
-        "UnsupportedStatement" => ErrorKind::UnsupportedStatement,
-        "UnknownFunction" => ErrorKind::UnknownFunction,
-        "UnsupportedType" => ErrorKind::UnsupportedType,
-        "UnsupportedOperator" => ErrorKind::UnsupportedOperator,
-        "UnknownConfig" => ErrorKind::UnknownConfig,
-        "Catalog" => ErrorKind::Catalog,
-        "Constraint" => ErrorKind::Constraint,
-        "Conversion" => ErrorKind::Conversion,
-        "Arithmetic" => ErrorKind::Arithmetic,
-        "Transaction" => ErrorKind::Transaction,
-        "ExtensionMissing" => ErrorKind::ExtensionMissing,
-        "FileNotFound" => ErrorKind::FileNotFound,
-        "Fatal" => ErrorKind::Fatal,
-        "Hang" => ErrorKind::Hang,
-        "NotImplemented" => ErrorKind::NotImplemented,
-        _ => return None,
-    })
-}
-
-fn parse_dependency(s: &str) -> Option<DependencyClass> {
-    Some(match s {
-        "FilePaths" => DependencyClass::FilePaths,
-        "Setting" => DependencyClass::Setting,
-        "SetUp" => DependencyClass::SetUp,
-        "Extension" => DependencyClass::Extension,
-        "ClientFormat" => DependencyClass::ClientFormat,
-        "ClientNumeric" => DependencyClass::ClientNumeric,
-        "ClientException" => DependencyClass::ClientException,
-        "Runner" => DependencyClass::Runner,
-        _ => return None,
-    })
-}
-
-fn parse_incompatibility(s: &str) -> Option<IncompatibilityClass> {
-    Some(match s {
-        "Statements" => IncompatibilityClass::Statements,
-        "Functions" => IncompatibilityClass::Functions,
-        "Types" => IncompatibilityClass::Types,
-        "Operators" => IncompatibilityClass::Operators,
-        "Configurations" => IncompatibilityClass::Configurations,
-        "Semantic" => IncompatibilityClass::Semantic,
-        "Misc" => IncompatibilityClass::Misc,
-        _ => return None,
-    })
-}
-
 fn decode_entry(text: &str) -> Option<CachedFileRun> {
     let mut lines = text.lines();
     if lines.next()? != format!("squality-result-cache v{SCHEMA_VERSION}") {
@@ -574,17 +474,7 @@ fn decode_entry(text: &str) -> Option<CachedFileRun> {
     let mut flags = lines.next()?.strip_prefix("X ")?.split(' ');
     let crashed = flags.next()? == "1";
     let hung = flags.next()? == "1";
-    let t_line = lines.next()?.strip_prefix("T ")?;
-    let mut parts = t_line.split(';');
-    let mut translation = TranslationCounts::default();
-    let parse_csv = |s: &str, dst: &mut [u64]| -> Option<()> {
-        let vals: Vec<u64> = s.split(',').map(|n| n.parse().ok()).collect::<Option<_>>()?;
-        (vals.len() == dst.len()).then(|| dst.copy_from_slice(&vals))
-    };
-    parse_csv(parts.next()?, &mut translation.applied)?;
-    parse_csv(parts.next()?, &mut translation.skipped)?;
-    translation.translated = parts.next()?.parse().ok()?;
-    translation.passthrough = parts.next()?.parse().ok()?;
+    let translation = decode_translation_counts(lines.next()?.strip_prefix("T ")?)?;
 
     let mut results = Vec::new();
     let mut coverage = Coverage::new();
@@ -607,44 +497,35 @@ fn decode_entry(text: &str) -> Option<CachedFileRun> {
             } else if let Some(m) = outcome_line.strip_prefix("H ") {
                 Outcome::Hang(unescape(m)?)
             } else if let Some(rest) = outcome_line.strip_prefix("B ") {
-                let mut tabs = rest.split('\t');
-                let head = tabs.next()?;
-                let detail = unescape(tabs.next()?)?;
-                let normalized = unescape(tabs.next()?)?;
-                let statement = unescape(tabs.next()?)?;
+                let (head, rest) = rest.split_once('\t')?;
+                let (detail, sig_line) = rest.split_once('\t')?;
+                let detail = unescape(detail)?;
                 let mut fields = head.split(' ');
-                let kind = parse_fail_kind(fields.next()?)?;
-                let error_kind = match fields.next()? {
-                    "-" => None,
-                    s => Some(parse_error_kind(s)?),
-                };
-                let dependency = parse_dependency(fields.next()?)?;
-                let incompatibility = parse_incompatibility(fields.next()?)?;
                 let n_expected: usize = fields.next()?.parse().ok()?;
                 let n_actual: usize = fields.next()?.parse().ok()?;
+                if fields.next().is_some() {
+                    return None;
+                }
+                // Stability verdicts are never cached: the rerun arm
+                // bypasses the result cache entirely (see `Harness::run`),
+                // so a decoded signature must be pre-annotation.
+                let signature = decode_signature(sig_line)?;
+                if signature.stability.is_some() {
+                    return None;
+                }
                 let mut take = |n: usize, prefix: &str| -> Option<Vec<String>> {
                     (0..n).map(|_| unescape(lines.next()?.strip_prefix(prefix)?)).collect()
                 };
                 let expected = take(n_expected, "E ")?;
                 let actual = take(n_actual, "A ")?;
-                // The signature is stored verbatim rather than recomputed:
-                // its inputs (the statement text at diagnosis time) are not
-                // all retained, and byte-identical replay demands the exact
-                // original.
-                let signature = FailureSignature {
-                    normalized: normalized.into(),
-                    statement: statement.into(),
-                    kind,
-                    error_kind,
-                    dependency,
-                    incompatibility,
-                    // Stability verdicts are never cached: the rerun arm
-                    // bypasses the result cache entirely (see
-                    // `Harness::run`), so a decoded signature is always
-                    // pre-annotation.
-                    stability: None,
-                };
-                Outcome::Fail(FailInfo { kind, error_kind, detail, expected, actual, signature })
+                Outcome::Fail(FailInfo {
+                    kind: signature.kind,
+                    error_kind: signature.error_kind,
+                    detail,
+                    expected,
+                    actual,
+                    signature,
+                })
             } else {
                 return None;
             };
@@ -678,6 +559,8 @@ fn decode_entry(text: &str) -> Option<CachedFileRun> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use squality_engine::ErrorKind;
+    use squality_runner::FailKind;
 
     fn temp_cache(tag: &str) -> ResultCache {
         let dir =

@@ -117,6 +117,23 @@ impl StudyConfig {
         self.stability = Some(stability);
         self
     }
+
+    /// A compact provenance fingerprint of everything that determines
+    /// this study's corpus and outcomes: seed, scale, arms, backend, and
+    /// the engine semantics version. Bug-store entries record the
+    /// fingerprints of the studies that first/last observed them; worker
+    /// count is deliberately absent (determinism contract).
+    pub fn fingerprint(&self) -> String {
+        let mut h = squality_formats::ContentHasher::new();
+        h.write_str("squality-study");
+        h.write_u64(self.seed);
+        h.write_u64(self.scale.to_bits());
+        h.write_tag(self.translated_arm as u8);
+        h.write_str(self.backend.tag());
+        h.write_tag(self.stability.is_some() as u8);
+        h.write_u64(squality_engine::ENGINE_SEMANTICS_VERSION as u64);
+        format!("{:016x}", h.finish())
+    }
 }
 
 /// The three executed suites (MySQL's is censused but not executed, like

@@ -16,7 +16,12 @@
 //!   the paper's published values alongside,
 //! * [`triage`] — signature clustering of every study failure into
 //!   root-cause clusters, plus a parallel ddmin reducer that shrinks one
-//!   exemplar per cluster into a minimal, verified repro file,
+//!   exemplar per cluster into a minimal, verified repro file; with a
+//!   [`BugStore`] attached, reduction is incremental against the
+//!   persistent bug repository,
+//! * [`replay`] — the regression-replay service: run the whole bug-store
+//!   repro corpus as a first-class suite and report still-failing /
+//!   fixed / regressed transitions per entry,
 //! * [`stability`] — the flakiness arm: perturbed re-execution of every
 //!   failure (reruns, worker count, execution strategy, plan cache,
 //!   fault profile, seeded backend fault schedules) classifying each as
@@ -62,6 +67,7 @@
 pub mod cache;
 pub mod experiments;
 pub mod harness;
+pub mod replay;
 pub mod report;
 pub mod stability;
 pub mod transplant;
@@ -74,11 +80,17 @@ pub use experiments::{
     StudyConfig, EXECUTED_SUITES,
 };
 pub use harness::{Harness, HarnessBuilder, HarnessError, Run};
+pub use replay::{
+    replay_store, replay_store_with_observers, ReplayConfig, ReplayEntry, ReplayReport,
+    ReplayStatus,
+};
 pub use report::{
-    bug_report, figure1, figure2, figure3, figure4, full_report, stability_table, table1, table2,
-    table3, table4, table5, table6, table7, table8, translation_table, triage_table,
+    bug_report, bug_store_table, figure1, figure2, figure3, figure4, full_report, replay_table,
+    stability_table, table1, table2, table3, table4, table5, table6, table7, table8,
+    translation_table, triage_table,
 };
 pub use squality_backend::{BackendFaultBreakdown, BackendSpec};
+pub use squality_bugstore::{signature_key, BugArm, BugEntry, BugStore, BugStoreStats};
 pub use stability::{
     annotate_study, stability_report, BugVerdict, ClusterVerdict, StabilityConfig, StabilityReport,
 };

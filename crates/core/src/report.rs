@@ -494,6 +494,88 @@ pub fn triage_table(report: &crate::triage::TriageReport) -> String {
             ));
         }
     }
+    if let Some(s) = &report.store_stats {
+        out.push_str(&format!(
+            "bug store: {} added, {} reused, {} re-verified\n",
+            s.added, s.reused, s.refreshed,
+        ));
+    }
+    out
+}
+
+/// The bug-store listing: every persisted entry, ordered by key, with its
+/// provenance and verification state — the `squality-tables bugs list`
+/// surface.
+pub fn bug_store_table(entries: &[(u64, squality_bugstore::BugEntry)]) -> String {
+    let verified = entries.iter().filter(|(_, e)| e.reproduced).count();
+    let tombstones = entries.iter().filter(|(_, e)| e.repro_text.is_empty()).count();
+    let mut out = String::from("Bug store. Persisted minimized repros\n");
+    out.push_str(&format!(
+        "{} entries ({} verified, {} tombstones)\n",
+        entries.len(),
+        verified,
+        tombstones,
+    ));
+    out.push_str(&format!(
+        "{:<17} {:<30} {:<24} {:>4}  {:<10} Signature\n",
+        "Key", "Cell", "Stability", "Recs", "State"
+    ));
+    for (key, e) in entries {
+        let state = if e.repro_text.is_empty() {
+            "tombstone"
+        } else if e.reproduced {
+            "verified"
+        } else {
+            "unverified"
+        };
+        out.push_str(&format!(
+            "{key:016x}  {:<30} {:<24} {:>4}  {:<10} [{}] {}\n",
+            crate::replay::cell_of(e).label(),
+            e.stability.as_ref().map_or("-".to_string(), |s| s.label()),
+            e.records_after,
+            state,
+            e.signature.statement,
+            e.signature.normalized,
+        ));
+    }
+    out
+}
+
+/// The replay transition table: one row per replayed entry with its
+/// still-failing / fixed / regressed verdict, plus the corpus summary.
+/// Deterministic given the store — byte-identical at every worker count
+/// (timing is deliberately excluded).
+pub fn replay_table(report: &crate::replay::ReplayReport) -> String {
+    let mut out = String::from("Regression replay. Bug-store repro corpus\n");
+    out.push_str(&format!(
+        "{:<17} {:<36} {:<30} {:<14} Signature\n",
+        "Key", "Repro", "Cell", "Transition"
+    ));
+    for e in &report.entries {
+        out.push_str(&format!(
+            "{:016x}  {:<36} {:<30} {:<14} [{}] {}\n",
+            e.key,
+            e.repro_name,
+            e.cell_label,
+            e.status.label(),
+            e.signature.statement,
+            e.signature.normalized,
+        ));
+        if let Some(observed) = &e.observed {
+            out.push_str(&format!(
+                "{:>17} observed instead: [{}] {}\n",
+                "", observed.statement, observed.normalized
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "Replay: {} entries, {} still-failing, {} fixed, {} regressed ({} skipped)\n",
+        report.entries.len(),
+        report.still_failing(),
+        report.fixed(),
+        report.regressed(),
+        report.skipped,
+    ));
     out
 }
 

@@ -42,8 +42,9 @@ use crate::experiments::Study;
 use crate::harness::Harness;
 use crate::transplant::{Provision, SuiteRunSummary};
 use squality_backend::BackendSpec;
+use squality_bugstore::{BugArm, BugEntry, BugStore};
 use squality_corpus::{donor_dialect, DonorEnvironment};
-use squality_engine::{ClientKind, EngineDialect, PlanCache};
+use squality_engine::{ClientKind, EngineDialect, PlanCache, ENGINE_SEMANTICS_VERSION};
 use squality_formats::{
     parse_slt, slice, write_duckdb, ControlCommand, RecordId, RecordKind, SltFlavor, SuiteKind,
     TestFile, TestRecord,
@@ -164,11 +165,25 @@ pub struct TriageConfig {
     /// [`BackendSpec::Subprocess`] should re-verify through the same
     /// backend, so repros are confirmed against a live worker process.
     pub backend: BackendSpec,
+    /// Persistent bug repository. When set, reduction becomes
+    /// *incremental*: clusters whose signature is already stored (at the
+    /// current engine semantics version) reuse the persisted repro with
+    /// zero probes, entries stored under a stale semantics version are
+    /// re-verified with a single probe, and new clusters are minimized
+    /// and written back — tombstones included, so non-reproducing
+    /// clusters are not re-probed every run.
+    pub store: Option<Arc<BugStore>>,
 }
 
 impl Default for TriageConfig {
     fn default() -> Self {
-        TriageConfig { reduce: false, workers: 0, max_probes: 192, backend: BackendSpec::InProcess }
+        TriageConfig {
+            reduce: false,
+            workers: 0,
+            max_probes: 192,
+            backend: BackendSpec::InProcess,
+            store: None,
+        }
     }
 }
 
@@ -194,6 +209,12 @@ impl TriageConfig {
     /// Replace the probe execution backend.
     pub fn with_backend(mut self, backend: BackendSpec) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Attach a persistent bug repository (see [`TriageConfig::store`]).
+    pub fn with_store(mut self, store: Arc<BugStore>) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -250,6 +271,22 @@ impl ReductionStats {
     }
 }
 
+/// How incremental reduction interacted with the bug store, when
+/// [`TriageConfig::store`] was set. `added + reused + refreshed` equals
+/// the cluster count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TriageStoreStats {
+    /// Clusters minimized from scratch and written as new entries
+    /// (tombstones for non-reproducing clusters included).
+    pub added: usize,
+    /// Clusters answered from the store with zero probes.
+    pub reused: usize,
+    /// Stale entries (older engine semantics version) re-verified with a
+    /// single probe — or fully re-minimized when the old repro no longer
+    /// failed.
+    pub refreshed: usize,
+}
+
 /// Everything triage produces.
 #[derive(Debug, Clone, Default)]
 pub struct TriageReport {
@@ -262,6 +299,8 @@ pub struct TriageReport {
     pub reductions: Vec<Reduction>,
     /// Aggregate reducer throughput.
     pub stats: ReductionStats,
+    /// Bug-store interaction counters (`None` without a store).
+    pub store_stats: Option<TriageStoreStats>,
 }
 
 impl TriageReport {
@@ -356,8 +395,12 @@ pub fn triage_study_with_observers(
         clusters,
         reductions: Vec::new(),
         stats: ReductionStats::default(),
+        store_stats: None,
     };
     if !config.reduce || report.clusters.is_empty() {
+        if config.store.is_some() {
+            report.store_stats = Some(TriageStoreStats::default());
+        }
         return report;
     }
 
@@ -370,13 +413,15 @@ pub fn triage_study_with_observers(
     // Serializes the observed verification runs (see the rustdoc above).
     let observer_gate = Mutex::new(());
     let clusters = &report.clusters;
+    let (added, reused, refreshed) =
+        (AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cluster) = clusters.get(i) else { break };
-                let reduction = reduce_cluster(
+                let (reduction, action) = process_cluster(
                     study,
                     cluster,
                     i,
@@ -385,6 +430,12 @@ pub fn triage_study_with_observers(
                     observers,
                     &observer_gate,
                 );
+                match action {
+                    Some(StoreAction::Added) => added.fetch_add(1, Ordering::Relaxed),
+                    Some(StoreAction::Reused) => reused.fetch_add(1, Ordering::Relaxed),
+                    Some(StoreAction::Refreshed) => refreshed.fetch_add(1, Ordering::Relaxed),
+                    None => 0,
+                };
                 *slots[i].lock().expect("reduction slot poisoned") = reduction;
             });
         }
@@ -398,9 +449,211 @@ pub fn triage_study_with_observers(
             report.reductions.push(reduction);
         }
     }
+    if config.store.is_some() {
+        report.store_stats = Some(TriageStoreStats {
+            added: added.into_inner(),
+            reused: reused.into_inner(),
+            refreshed: refreshed.into_inner(),
+        });
+    }
     // Advisory only — excluded from the determinism contract.
     report.stats.elapsed_nanos = started.elapsed().as_nanos() as u64;
     report
+}
+
+/// What [`process_cluster`] did against the bug store.
+enum StoreAction {
+    Added,
+    Reused,
+    Refreshed,
+}
+
+/// Reduce one cluster, consulting the bug store first when one is
+/// configured: a stored signature at the current semantics version is
+/// reused verbatim (zero probes, tombstones produce no reduction row), a
+/// stale entry is re-verified with one probe (falling back to full
+/// minimization when its repro no longer fails), and a miss runs the
+/// full [`reduce_cluster`] path and persists the result.
+fn process_cluster(
+    study: &Study,
+    cluster: &FailureCluster,
+    cluster_index: usize,
+    config: &TriageConfig,
+    plan_cache: &Arc<PlanCache>,
+    observers: &[&dyn RunObserver],
+    observer_gate: &Mutex<()>,
+) -> (Option<Reduction>, Option<StoreAction>) {
+    let Some(store) = &config.store else {
+        let reduction = reduce_cluster(
+            study,
+            cluster,
+            cluster_index,
+            config,
+            plan_cache,
+            observers,
+            observer_gate,
+        );
+        return (reduction, None);
+    };
+
+    let fingerprint = study.config.fingerprint();
+    let exemplar = &cluster.exemplar;
+    let gs = study.suite(exemplar.cell.suite);
+    let file = gs.files.iter().find(|f| f.name == exemplar.file);
+    let stability = cluster.signature.stability.clone();
+
+    if let Some(mut entry) = store.lookup(&cluster.signature) {
+        if entry.semantics_version == ENGINE_SEMANTICS_VERSION {
+            // Current entry: answer from the store with zero probes. Only
+            // rewrite it when the observation actually moved.
+            if entry.last_seen != fingerprint || entry.stability != stability {
+                entry.last_seen = fingerprint;
+                entry.stability = stability;
+                store.upsert(&entry);
+            }
+            let reduction = (!entry.repro_text.is_empty()).then(|| Reduction {
+                cluster: cluster_index,
+                file: exemplar.file.clone(),
+                original_records: file.map_or(entry.records_before, |f| f.record_count()),
+                reduced_records: entry.records_after,
+                probes: 0,
+                repro_name: entry.repro_name.clone(),
+                repro_text: entry.repro_text.clone(),
+                verified: entry.reproduced,
+            });
+            return (reduction, Some(StoreAction::Reused));
+        }
+        // Stale semantics version: one probe decides whether the stored
+        // repro still fails. If it does, refresh the entry in place;
+        // otherwise fall through to full re-minimization below.
+        if !entry.repro_text.is_empty() {
+            if let Some(file) = file {
+                let env = &gs.environment;
+                let probe = Prober {
+                    kind: exemplar.cell.suite,
+                    cell: exemplar.cell,
+                    env,
+                    signature: &cluster.signature,
+                    plan_cache,
+                    backend: &config.backend,
+                };
+                let mut reparsed =
+                    parse_slt(&entry.repro_name, &entry.repro_text, SltFlavor::Duckdb);
+                reparsed.suite = exemplar.cell.suite;
+                if probe.fails_with_signature(&reparsed, &[]) {
+                    entry.semantics_version = ENGINE_SEMANTICS_VERSION;
+                    entry.last_seen = fingerprint;
+                    entry.stability = stability;
+                    entry.reproduced = true;
+                    store.upsert(&entry);
+                    let reduction = Reduction {
+                        cluster: cluster_index,
+                        file: exemplar.file.clone(),
+                        original_records: file.record_count(),
+                        reduced_records: entry.records_after,
+                        probes: 1,
+                        repro_name: entry.repro_name,
+                        repro_text: entry.repro_text,
+                        verified: true,
+                    };
+                    return (Some(reduction), Some(StoreAction::Refreshed));
+                }
+            }
+        }
+        let reduction = reduce_cluster(
+            study,
+            cluster,
+            cluster_index,
+            config,
+            plan_cache,
+            observers,
+            observer_gate,
+        );
+        store_entry(store, study, cluster, reduction.as_ref(), file, &fingerprint);
+        return (reduction, Some(StoreAction::Refreshed));
+    }
+
+    let reduction =
+        reduce_cluster(study, cluster, cluster_index, config, plan_cache, observers, observer_gate);
+    store_entry(store, study, cluster, reduction.as_ref(), file, &fingerprint);
+    (reduction, Some(StoreAction::Added))
+}
+
+/// Persist one cluster's reduction outcome. A `None` reduction writes a
+/// *tombstone* (empty repro text): the cluster's failure did not
+/// reproduce standalone, and recording that prevents every later run
+/// from re-probing it.
+fn store_entry(
+    store: &BugStore,
+    study: &Study,
+    cluster: &FailureCluster,
+    reduction: Option<&Reduction>,
+    file: Option<&TestFile>,
+    fingerprint: &str,
+) {
+    let exemplar = &cluster.exemplar;
+    let cell = exemplar.cell;
+    let gs = study.suite(cell.suite);
+    let (_, _, translate) = cell.exec();
+    let translation = if translate {
+        squality_runner::TranslationMode::Translated {
+            from: donor_dialect(cell.suite).text_dialect(),
+            to: cell.host.text_dialect(),
+        }
+    } else {
+        squality_runner::TranslationMode::Verbatim
+    };
+    let mut signature = cluster.signature.clone();
+    let stability = signature.stability.take();
+    let entry = BugEntry {
+        signature,
+        stability,
+        repro_name: reduction.map(|r| r.repro_name.clone()).unwrap_or_default(),
+        repro_text: reduction.map(|r| r.repro_text.clone()).unwrap_or_default(),
+        reproduced: reduction.is_some_and(|r| r.verified),
+        suite: cell.suite,
+        host: cell.host,
+        arm: match cell.arm {
+            Arm::DonorBare => BugArm::DonorBare,
+            Arm::Verbatim => BugArm::Verbatim,
+            Arm::Translated => BugArm::Translated,
+        },
+        translation,
+        rule_counters: cell_counters(study, cell),
+        environment: gs.environment.clone(),
+        probes: reduction.map_or(1, |r| r.probes),
+        records_before: reduction
+            .map(|r| r.original_records)
+            .or_else(|| file.map(|f| f.record_count()))
+            .unwrap_or(0),
+        records_after: reduction.map_or(0, |r| r.reduced_records),
+        semantics_version: ENGINE_SEMANTICS_VERSION,
+        first_seen: fingerprint.to_string(),
+        last_seen: fingerprint.to_string(),
+    };
+    store.upsert(&entry);
+}
+
+/// The translation counters of the summary a cell ref points at.
+fn cell_counters(study: &Study, cell: CellRef) -> squality_runner::TranslationCounts {
+    match cell.arm {
+        Arm::DonorBare => study
+            .donor_runs
+            .iter()
+            .find(|r| r.suite == cell.suite && r.host == cell.host)
+            .map(|r| r.translation),
+        Arm::Verbatim => study
+            .matrix
+            .iter()
+            .find(|c| c.suite == cell.suite && c.host == cell.host)
+            .map(|c| c.summary.translation),
+        Arm::Translated => study
+            .translated_matrix
+            .iter()
+            .find(|c| c.suite == cell.suite && c.host == cell.host)
+            .map(|c| c.summary.translation),
+    }
+    .unwrap_or_default()
 }
 
 pub(crate) fn effective_workers(requested: usize, jobs: usize) -> usize {
@@ -810,6 +1063,113 @@ mod tests {
             // set — is byte-identical at every worker count.
             assert_eq!(crate::report::triage_table(&got), base_table, "workers={workers}");
         }
+    }
+
+    fn temp_store(tag: &str) -> Arc<BugStore> {
+        let dir = std::env::temp_dir()
+            .join(format!("squality-triage-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        BugStore::shared(dir)
+    }
+
+    #[test]
+    fn second_store_run_reuses_every_cluster_with_zero_probes() {
+        let s = study();
+        let store = temp_store("incremental");
+        let config = TriageConfig::default()
+            .with_reduce(true)
+            .with_workers(2)
+            .with_max_probes(48)
+            .with_store(Arc::clone(&store));
+        let cold = triage_study(&s, &config);
+        let cold_stats = cold.store_stats.expect("store stats present");
+        assert_eq!(cold_stats.added, cold.clusters.len(), "every cluster stored");
+        assert_eq!((cold_stats.reused, cold_stats.refreshed), (0, 0));
+        assert!(cold.stats.probes > 0, "cold run probes");
+        // Tombstones included: the store holds one entry per cluster.
+        assert_eq!(store.entries().len(), cold.clusters.len());
+
+        let warm = triage_study(&s, &config);
+        let warm_stats = warm.store_stats.expect("store stats present");
+        assert_eq!(warm_stats.reused, warm.clusters.len(), "every cluster reused");
+        assert_eq!((warm_stats.added, warm_stats.refreshed), (0, 0));
+        // The acceptance bar: an unchanged study performs zero ddmin
+        // probes on the second run.
+        assert_eq!(warm.stats.probes, 0, "warm run must not probe");
+        // Same reductions, modulo the probe counts.
+        assert_eq!(warm.reductions.len(), cold.reductions.len());
+        for (a, b) in cold.reductions.iter().zip(warm.reductions.iter()) {
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.repro_name, b.repro_name);
+            assert_eq!(a.repro_text, b.repro_text);
+            assert_eq!(a.verified, b.verified);
+            assert_eq!(b.probes, 0);
+        }
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn stale_semantics_entries_are_reverified_not_reminimized() {
+        let s = study();
+        let store = temp_store("stale");
+        let config = TriageConfig::default()
+            .with_reduce(true)
+            .with_workers(2)
+            .with_max_probes(48)
+            .with_store(Arc::clone(&store));
+        let cold = triage_study(&s, &config);
+        // Age every entry: pretend it was verified under older engine
+        // semantics.
+        for (_, mut entry) in store.entries() {
+            entry.semantics_version = ENGINE_SEMANTICS_VERSION - 1;
+            store.store(&entry);
+        }
+        let refreshed = triage_study(&s, &config);
+        let stats = refreshed.store_stats.expect("store stats present");
+        assert_eq!(stats.refreshed, refreshed.clusters.len(), "every cluster refreshed");
+        assert_eq!(stats.reused, 0);
+        // Verified repros re-verify with exactly one probe each — never a
+        // full ddmin pass. Tombstoned and unverified clusters may fall
+        // back to full minimization, so bound rather than equate.
+        let verified_cold = cold.reductions.iter().filter(|r| r.verified).count();
+        let single_probe =
+            refreshed.reductions.iter().filter(|r| r.verified && r.probes == 1).count();
+        assert!(verified_cold > 0);
+        assert_eq!(single_probe, verified_cold, "verified entries take one probe");
+        // The store is current again: a third run reuses everything.
+        let warm = triage_study(&s, &config);
+        assert_eq!(warm.stats.probes, 0);
+        assert_eq!(warm.store_stats.expect("stats").reused, warm.clusters.len());
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn store_entries_carry_provenance() {
+        let s = study();
+        let store = temp_store("provenance");
+        let config = TriageConfig::default()
+            .with_reduce(true)
+            .with_workers(2)
+            .with_max_probes(48)
+            .with_store(Arc::clone(&store));
+        let report = triage_study(&s, &config);
+        let fingerprint = s.config.fingerprint();
+        let entries = store.entries();
+        assert_eq!(entries.len(), report.clusters.len());
+        for (_, entry) in &entries {
+            assert!(entry.signature.stability.is_none(), "stored signatures are pre-annotation");
+            assert_eq!(entry.semantics_version, ENGINE_SEMANTICS_VERSION);
+            assert_eq!(entry.first_seen, fingerprint);
+            assert_eq!(entry.last_seen, fingerprint);
+            if entry.reproduced {
+                assert!(!entry.repro_text.is_empty());
+                assert!(entry.records_after <= entry.records_before);
+            }
+        }
+        // At least one verified entry replays standalone from the entry
+        // alone (environment included) — the replay service's contract.
+        assert!(entries.iter().any(|(_, e)| e.reproduced), "no verified entry stored");
+        store.clear().unwrap();
     }
 
     #[test]

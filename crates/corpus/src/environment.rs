@@ -12,7 +12,7 @@ use squality_formats::SuiteKind;
 use squality_runner::EngineConnector;
 
 /// Environment state a donor suite assumes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DonorEnvironment {
     /// Data files for COPY: (path, CSV lines).
     pub data_files: Vec<(String, Vec<String>)>,

@@ -433,6 +433,115 @@ SELECT count(*) FROM t
     }
 
     #[test]
+    fn slice_keeps_multi_var_setup_closure_inside_loops() {
+        let text = "\
+set src base_tbl
+
+set dst copy_tbl
+
+statement ok
+CREATE TABLE base_tbl(a INTEGER)
+
+statement ok
+CREATE TABLE copy_tbl(a INTEGER)
+
+loop i 0 3
+
+statement ok
+INSERT INTO ${src} VALUES (${i})
+
+statement ok
+INSERT INTO unrelated VALUES (${i})
+
+endloop
+
+query I nosort
+SELECT count(*) FROM ${src}, ${dst}
+----
+0
+";
+        let file = parse_slt("t.test", text, SltFlavor::Duckdb);
+        let query_line = file.records.last().unwrap().line;
+        let sliced = slice(&file, &[RecordId::new(query_line, 0)]);
+        // Both `set` definitions the query substitutes must survive.
+        for var in ["src", "dst"] {
+            assert!(
+                sliced.records.iter().any(|r| matches!(
+                    &r.kind,
+                    RecordKind::Control(ControlCommand::SetVar { name, .. }) if name == var
+                )),
+                "set {var} dropped: {:?}",
+                lines(&sliced)
+            );
+        }
+        // The loop survives, its body holding only the `${src}` INSERT —
+        // the `unrelated` INSERT touches no used name. (The CREATEs are
+        // reachable only through the *values* of src/dst, which the
+        // textual scan cannot see; the reducer's probe step catches such
+        // under-keeps.)
+        let body = sliced
+            .records
+            .iter()
+            .find_map(|r| match &r.kind {
+                RecordKind::Control(ControlCommand::Loop { body, .. }) => Some(body),
+                _ => None,
+            })
+            .expect("loop dropped");
+        assert_eq!(body.len(), 1, "{:?}", lines(&sliced));
+        let RecordKind::Statement { sql, .. } = &body[0].kind else { panic!() };
+        assert!(sql.contains("${src}") && !sql.contains("unrelated"), "wrong body kept: {sql}");
+        assert_eq!(sliced.records.len(), 4, "{:?}", lines(&sliced));
+    }
+
+    #[test]
+    fn slice_grows_closure_from_a_record_nested_in_a_loop() {
+        let text = "\
+statement ok
+CREATE TABLE t(a INTEGER)
+
+statement ok
+CREATE TABLE unrelated(a INTEGER)
+
+loop i 0 2
+
+statement ok
+INSERT INTO t VALUES (${i})
+
+query I nosort
+SELECT count(*) FROM t WHERE a = ${i}
+----
+1
+
+endloop
+";
+        let file = parse_slt("t.test", text, SltFlavor::Duckdb);
+        // Keep only the query *inside* the loop body.
+        let query_line = file
+            .records
+            .iter()
+            .find_map(|r| match &r.kind {
+                RecordKind::Control(ControlCommand::Loop { body, .. }) => body
+                    .iter()
+                    .find(|b| matches!(&b.kind, RecordKind::Query { .. }))
+                    .map(|b| b.line),
+                _ => None,
+            })
+            .expect("query in loop body");
+        let sliced = slice(&file, &[RecordId::new(query_line, 0)]);
+        // The closure grows outward through the loop: the sibling INSERT
+        // (same table) joins, then the top-level CREATE; `unrelated` and
+        // the loop variable `${i}` (defined by the loop itself, not a
+        // `set`) add nothing.
+        assert_eq!(sliced.records.len(), 2, "{:?}", lines(&sliced));
+        let RecordKind::Statement { sql, .. } = &sliced.records[0].kind else { panic!() };
+        assert!(sql.contains("CREATE TABLE t"), "wrong setup kept: {sql}");
+        let RecordKind::Control(ControlCommand::Loop { body, .. }) = &sliced.records[1].kind else {
+            panic!("loop dropped")
+        };
+        assert_eq!(body.len(), 2, "{:?}", lines(&sliced));
+    }
+
+    #[test]
     fn slice_drops_empty_loops() {
         let text = "\
 loop i 0 3

@@ -15,7 +15,9 @@
 //! * [`validate`] — SLT sort modes, hash-threshold, exact vs tolerant
 //!   numeric comparison,
 //! * [`classify`] — the RQ3 dependency and RQ4 incompatibility taxonomies
-//!   (Tables 5 and 6), and
+//!   (Tables 5 and 6),
+//! * [`sigcodec`] — the shared on-disk codec for persisted
+//!   [`FailureSignature`]s (result cache and bug store), and
 //! * [`outcome`] — per-record and per-file result accounting, with crashes
 //!   and hangs tracked separately like the paper's Figure 4.
 
@@ -25,6 +27,7 @@ pub mod events;
 pub mod outcome;
 pub mod runner;
 pub mod scheduler;
+pub mod sigcodec;
 pub mod validate;
 
 pub use classify::{
@@ -43,6 +46,7 @@ pub use events::{
 pub use outcome::{FailInfo, FailKind, FileResult, Outcome, RecordResult, SkipReason};
 pub use runner::{Runner, RunnerOptions, TranslationMode};
 pub use scheduler::{FileRunRecord, SuiteExecution};
+pub use sigcodec::{decode_signature, encode_signature};
 pub use squality_sqlast::translate::{
     TranslationCache, TranslationCounts, TranslationRule, TranslationStats,
 };
