@@ -1,0 +1,37 @@
+//! The `throughput` group: sustained statements/sec over the flood
+//! workloads (INSERT-flood, mixed DML, SLT-style loops), each full stream
+//! executed through parse → plan-cache → execute on a fresh engine per
+//! iteration, under both executor strategies.
+//!
+//! `squality-tables bench-engine` runs the same streams outside criterion
+//! and emits the checked-in `BENCH_engine.json` throughput medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use squality_bench::throughput::{prepare_flood, FLOOD_SEED};
+use squality_corpus::flood_workloads;
+use squality_engine::ExecStrategy;
+
+fn bench_flood_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    for rows in [1_000usize, 5_000] {
+        for workload in flood_workloads(rows, FLOOD_SEED) {
+            for (label, strategy) in
+                [("indexed", ExecStrategy::Hash), ("naive", ExecStrategy::Naive)]
+            {
+                g.bench_function(format!("{}_{rows}_{label}", workload.name), |b| {
+                    b.iter(|| {
+                        let mut e = prepare_flood(&workload, strategy);
+                        for sql in &workload.statements {
+                            std::hint::black_box(&e.execute(sql));
+                        }
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flood_throughput);
+criterion_main!(benches);

@@ -613,6 +613,7 @@ fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str, workers: usi
     use squality_bench::incremental::run_incremental_bench;
     use squality_bench::reduction::run_reduction_bench;
     use squality_bench::replay::run_replay_bench;
+    use squality_bench::throughput::run_throughput;
     eprintln!(
         "measuring engine hot paths (rows: {rows:?}, {samples} samples/case, both strategies)..."
     );
@@ -629,6 +630,26 @@ fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str, workers: usi
             r.naive_median_ns / 1e6,
             r.hash_median_ns / 1e6,
             r.speedup()
+        );
+    }
+    // Sustained ingestion: statements/sec over the flood workloads (full
+    // parse → plan-cache → execute pipeline, both strategies, with the
+    // naive arm checked as a differential oracle first).
+    eprintln!("measuring sustained DML throughput (flood workloads, both strategies)...");
+    let throughput = run_throughput(rows, samples);
+    println!(
+        "{:<20} {:>8} {:>8} {:>12} {:>12} {:>9}",
+        "workload", "rows", "stmts", "naive s/s", "indexed s/s", "speedup"
+    );
+    for t in &throughput {
+        println!(
+            "{:<20} {:>8} {:>8} {:>12.0} {:>12.0} {:>8.1}x",
+            t.workload,
+            t.rows,
+            t.statements,
+            t.naive_sps,
+            t.indexed_sps,
+            t.speedup()
         );
     }
     // The triage reducer's probe loop is a hot path too: measure ddmin
@@ -683,7 +704,7 @@ fn run_bench_engine(rows: &[usize], samples: usize, out_path: &str, workers: usi
         replay.incremental_speedup(),
         replay.statements_per_sec()
     );
-    let json = render_json(&results, &reduction, Some(&incremental), Some(&replay));
+    let json = render_json(&results, &reduction, Some(&incremental), Some(&replay), &throughput);
     if let Err(e) = ensure_parent_dir(Path::new(out_path)) {
         eprintln!("error: cannot create output directory for {out_path}: {e}");
         std::process::exit(1);

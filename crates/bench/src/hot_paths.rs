@@ -153,12 +153,15 @@ pub fn run_comparison(row_counts: &[usize], samples: usize) -> Vec<HotPathResult
 /// reducer's probe loop too; an incremental-study triple (see
 /// [`crate::incremental`]) adds the `"study_incremental"` section and a
 /// bug-store round trip (see [`crate::replay`]) the `"bug_replay"`
-/// section.
+/// section. Flood-workload rows (see [`crate::throughput`]) add the
+/// `"throughput"` section with sustained statements/sec under both
+/// strategies.
 pub fn render_json(
     results: &[HotPathResult],
     reduction: &[crate::reduction::ReductionBenchResult],
     incremental: Option<&crate::incremental::IncrementalBenchResult>,
     replay: Option<&crate::replay::ReplayBenchResult>,
+    throughput: &[crate::throughput::ThroughputResult],
 ) -> String {
     let mut s = String::from(
         "{\n  \"bench\": \"engine_hot_paths\",\n  \"unit\": \"ms (median per query execution)\",\n  \"cases\": [\n",
@@ -183,6 +186,9 @@ pub fn render_json(
     }
     if let Some(rep) = replay {
         sections.push(crate::replay::render_replay_json(rep));
+    }
+    if !throughput.is_empty() {
+        sections.push(crate::throughput::render_throughput_json(throughput));
     }
     if sections.is_empty() {
         s.push_str("  ]\n}\n");

@@ -7,6 +7,7 @@ pub mod hot_paths;
 pub mod incremental;
 pub mod reduction;
 pub mod replay;
+pub mod throughput;
 
 /// Create the parent directory of an output-file path when it is
 /// missing, so flags like `--events deep/nested/run.jsonl` and

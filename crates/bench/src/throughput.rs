@@ -1,0 +1,162 @@
+//! Sustained statements/sec over the fuzzer-flood workloads.
+//!
+//! The hot-path bench times single queries; this section times *ingestion*:
+//! the full parse → plan-cache → execute pipeline driven by the
+//! [`squality_corpus::flood`] statement streams (INSERT-flood, mixed DML,
+//! SLT-style loops). Each workload runs under both [`ExecStrategy`] arms on
+//! identical statement streams, so the constraint-index rewrite's effect on
+//! fuzzer throughput is measured end to end, and the naive arm doubles as
+//! the differential oracle: before timing, both arms execute the stream
+//! once and every per-statement outcome (result or error, `Debug`-rendered)
+//! must match exactly.
+
+use squality_corpus::{flood_workloads, FloodWorkload};
+use squality_engine::{Engine, EngineDialect, ExecStrategy, PlanCache};
+use std::time::Instant;
+
+/// Deterministic seed for the flood streams (arbitrary, stable).
+pub const FLOOD_SEED: u64 = 0x5147_4c46; // "QGLF"
+
+/// Fresh engine with the workload's setup applied, sharing nothing: each
+/// timed run gets its own tables but a shared-per-run plan cache, the same
+/// shape the study runner uses. The step budget is lifted so the naive
+/// arm's O(rows) constraint scans are measured, not reported as hangs.
+pub fn prepare_flood(workload: &FloodWorkload, strategy: ExecStrategy) -> Engine {
+    let mut e = Engine::new(EngineDialect::Sqlite);
+    e.set_step_budget(u64::MAX);
+    e.set_exec_strategy(strategy);
+    e.set_plan_cache(PlanCache::shared());
+    for sql in &workload.setup {
+        e.execute(sql).expect("flood setup statement");
+    }
+    e
+}
+
+/// Execute the full stream once; every statement must succeed or fail
+/// deterministically — the stream itself never panics the engine.
+fn run_stream(engine: &mut Engine, workload: &FloodWorkload) {
+    for sql in &workload.statements {
+        let r = engine.execute(sql);
+        std::hint::black_box(&r);
+    }
+}
+
+/// Differential oracle: `Debug`-render every per-statement outcome under
+/// both strategies and demand byte equality. Returns the statement count.
+fn assert_streams_agree(workload: &FloodWorkload) -> usize {
+    let mut naive = prepare_flood(workload, ExecStrategy::Naive);
+    let mut hash = prepare_flood(workload, ExecStrategy::Hash);
+    for (i, sql) in workload.statements.iter().enumerate() {
+        let a = format!("{:?}", naive.execute(sql));
+        let b = format!("{:?}", hash.execute(sql));
+        assert_eq!(a, b, "strategy divergence in {} at statement {i}: {sql}", workload.name);
+    }
+    workload.statements.len()
+}
+
+/// Median statements/sec over `samples` full-stream runs, each on a fresh
+/// engine (ingestion benches cannot reuse state — a second INSERT-flood
+/// into a populated table measures a different workload).
+pub fn median_stmts_per_sec(
+    workload: &FloodWorkload,
+    strategy: ExecStrategy,
+    samples: usize,
+) -> f64 {
+    let mut rates: Vec<f64> = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let mut engine = prepare_flood(workload, strategy);
+        let start = Instant::now();
+        run_stream(&mut engine, workload);
+        let secs = start.elapsed().as_secs_f64();
+        rates.push(workload.statements.len() as f64 / secs.max(1e-9));
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
+
+/// One measured row of the `"throughput"` section.
+pub struct ThroughputResult {
+    pub workload: &'static str,
+    pub rows: usize,
+    pub statements: usize,
+    pub naive_sps: f64,
+    pub indexed_sps: f64,
+}
+
+impl ThroughputResult {
+    /// Indexed-over-naive sustained-throughput factor.
+    pub fn speedup(&self) -> f64 {
+        if self.naive_sps > 0.0 {
+            self.indexed_sps / self.naive_sps
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Run every flood workload at every row count under both strategies,
+/// asserting differential agreement before timing.
+pub fn run_throughput(row_counts: &[usize], samples: usize) -> Vec<ThroughputResult> {
+    let mut out = Vec::new();
+    for &rows in row_counts {
+        for workload in flood_workloads(rows, FLOOD_SEED) {
+            let statements = assert_streams_agree(&workload);
+            out.push(ThroughputResult {
+                workload: workload.name,
+                rows,
+                statements,
+                naive_sps: median_stmts_per_sec(&workload, ExecStrategy::Naive, samples),
+                indexed_sps: median_stmts_per_sec(&workload, ExecStrategy::Hash, samples),
+            });
+        }
+    }
+    out
+}
+
+/// Render the `"throughput"` section body for `BENCH_engine.json` (the
+/// caller owns the surrounding braces; see `hot_paths::render_json`).
+pub fn render_throughput_json(results: &[ThroughputResult]) -> String {
+    let mut s = String::from(
+        "  \"throughput\": {\n    \"unit\": \"statements/sec (median of full-stream runs)\",\n    \"workloads\": [\n",
+    );
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"workload\": \"{}\", \"rows\": {}, \"statements\": {}, \"naive_sps\": {:.0}, \"indexed_sps\": {:.0}, \"speedup\": {:.1}}}{}\n",
+            r.workload,
+            r.rows,
+            r.statements,
+            r.naive_sps,
+            r.indexed_sps,
+            r.speedup(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("    ]\n  }\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_agree_on_every_flood_workload() {
+        for w in flood_workloads(400, FLOOD_SEED) {
+            assert_eq!(assert_streams_agree(&w), w.statements.len());
+        }
+    }
+
+    #[test]
+    fn throughput_section_renders_all_workloads() {
+        let results = run_throughput(&[200], 1);
+        assert_eq!(results.len(), 3);
+        let json = render_throughput_json(&results);
+        assert!(json.contains("\"throughput\""));
+        for name in ["insert_flood", "mixed_dml", "loop_heavy"] {
+            assert!(json.contains(name), "{name} missing from throughput JSON");
+        }
+        for r in &results {
+            assert!(r.naive_sps > 0.0 && r.indexed_sps > 0.0);
+        }
+    }
+}

@@ -15,11 +15,13 @@
 //! deterministic given a seed.
 
 pub mod environment;
+pub mod flood;
 pub mod generator;
 pub mod profile;
 pub mod sqlgen;
 
 pub use environment::{donor_dialect, DonorEnvironment};
+pub use flood::{flood_workloads, insert_flood, loop_heavy, mixed_dml, FloodWorkload};
 pub use generator::{generate_suite, generate_suite_scaled, GeneratedSuite};
 pub use profile::{MixEntry, StatementClass, SuiteProfile};
 pub use sqlgen::{GenStatement, SqlGen};

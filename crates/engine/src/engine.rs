@@ -12,15 +12,21 @@ use crate::functions::{render_plain, scalar_function_names};
 use crate::plan_cache::PlanCache;
 use crate::schema::{Catalog, Column, Index, Table, View};
 use crate::types::{resolve_type, DataType};
-use crate::value::Value;
+use crate::value::{GroupKey, Value};
 use squality_sqlast::ast::*;
 use squality_sqlast::parse_statement;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Default execution budget: large enough for the synthetic corpora, small
 /// enough that the injected infinite loops resolve to hangs in milliseconds.
 pub const DEFAULT_STEP_BUDGET: u64 = 2_000_000;
+
+/// Step cost the naive UPDATE/DELETE scan pays per row for a
+/// `col = literal` predicate: 1 loop tick plus 3 eval ticks (Binary,
+/// Column, Literal). The index fast paths replay exactly this, so budget
+/// exhaustion stays byte-identical between strategies.
+const EQ_SCAN_TICKS_PER_ROW: u64 = 4;
 
 /// Version of the simulators' observable semantics. Bump whenever an
 /// engine change can alter any record outcome, rendered value, error
@@ -364,6 +370,7 @@ impl Engine {
                     let t = self.catalog.tables.get_mut(&key).expect("resolved");
                     let n = t.rows.len();
                     t.rows.clear();
+                    t.invalidate_constraint_indexes();
                     n
                 };
                 Ok(QueryResult { affected: n, ..QueryResult::ok() })
@@ -461,11 +468,29 @@ impl Engine {
             }
         };
 
-        // Coerce and write.
+        // Coerce and write: one defaults template and one coercion pass per
+        // statement. Under the hash strategy the UNIQUE/PK probes go through
+        // the persistent constraint indexes; the naive strategy keeps the
+        // full scan below as the differential oracle.
         let dialect = self.dialect;
+        let use_index = self.exec_strategy == ExecStrategy::Hash && {
+            let table = self.catalog.tables.get_mut(&key).expect("resolved");
+            let constrained = table.has_constrained_columns();
+            if constrained {
+                table.ensure_constraint_indexes();
+            }
+            constrained
+        };
         let mut staged: Vec<Vec<Value>> = Vec::with_capacity(source_rows.len());
+        // Grouping keys staged so far, per constrained column: within one
+        // multi-row INSERT, later rows must see earlier staged rows as
+        // potential UNIQUE clashes.
+        let mut staged_keys: HashMap<usize, HashSet<GroupKey>> = HashMap::new();
+        let mut staged_unsafe: HashSet<usize> = HashSet::new();
         {
             let table = self.catalog.tables.get(&key).expect("resolved");
+            let defaults: Vec<Value> =
+                table.columns.iter().map(|c| c.default.clone().unwrap_or(Value::Null)).collect();
             for src in &source_rows {
                 if !matches!(ins.source, InsertSource::DefaultValues)
                     && src.len() != col_indexes.len()
@@ -477,19 +502,13 @@ impl Engine {
                         src.len()
                     )));
                 }
-                let mut row: Vec<Value> = table
-                    .columns
-                    .iter()
-                    .map(|c| c.default.clone().unwrap_or(Value::Null))
-                    .collect();
-                for (slot, v) in col_indexes.iter().zip(src.iter()) {
-                    row[*slot] = coerce_for_storage(
-                        dialect,
-                        v.clone(),
-                        &col_types[col_indexes.iter().position(|x| x == slot).unwrap()],
-                    )?;
+                let mut row = defaults.clone();
+                for ((slot, ty), v) in col_indexes.iter().zip(col_types.iter()).zip(src.iter()) {
+                    row[*slot] = coerce_for_storage(dialect, v.clone(), ty)?;
                 }
-                // Constraints.
+                // Constraints. Column order and the NOT-NULL-before-UNIQUE
+                // precedence decide which message surfaces; both strategies
+                // walk them identically.
                 for (i, c) in table.columns.iter().enumerate() {
                     if (c.not_null || c.primary_key) && row[i].is_null() {
                         return Err(EngineError::new(
@@ -498,11 +517,42 @@ impl Engine {
                         ));
                     }
                     if c.unique || c.primary_key {
-                        let clash = table
-                            .rows
-                            .iter()
-                            .chain(staged.iter())
-                            .any(|r| !r[i].is_null() && r[i].sql_grouping_eq(&row[i]));
+                        let v = &row[i];
+                        let clash = if v.is_null() {
+                            // NULL is distinct from everything, itself
+                            // included (the scan's `!r[i].is_null()` filter
+                            // can never pair it either).
+                            false
+                        } else if use_index {
+                            match (table.constraint_index(i), v.try_group_key()) {
+                                (Some(ix), Some(k)) => {
+                                    ix.contains_key(&k)
+                                        || ix
+                                            .unsafe_rows()
+                                            .iter()
+                                            .any(|&r| table.rows[r as usize][i].sql_grouping_eq(v))
+                                        || staged_keys.get(&i).is_some_and(|s| s.contains(&k))
+                                        || (staged_unsafe.contains(&i)
+                                            && staged.iter().any(|r| {
+                                                !r[i].is_null() && r[i].sql_grouping_eq(v)
+                                            }))
+                                }
+                                // Hash-unsafe probe value (NaN, whole floats
+                                // ≥ 2^53): only the scan's order-dependent
+                                // merging is defined for these.
+                                _ => table
+                                    .rows
+                                    .iter()
+                                    .chain(staged.iter())
+                                    .any(|r| !r[i].is_null() && r[i].sql_grouping_eq(v)),
+                            }
+                        } else {
+                            table
+                                .rows
+                                .iter()
+                                .chain(staged.iter())
+                                .any(|r| !r[i].is_null() && r[i].sql_grouping_eq(v))
+                        };
                         if clash && !ins.or_replace {
                             return Err(EngineError::new(
                                 ErrorKind::Constraint,
@@ -511,12 +561,29 @@ impl Engine {
                         }
                     }
                 }
+                if use_index {
+                    for (i, c) in table.columns.iter().enumerate() {
+                        if (c.unique || c.primary_key) && !row[i].is_null() {
+                            match row[i].try_group_key() {
+                                Some(k) => {
+                                    staged_keys.entry(i).or_default().insert(k);
+                                }
+                                None => {
+                                    staged_unsafe.insert(i);
+                                }
+                            }
+                        }
+                    }
+                }
                 staged.push(row);
             }
         }
         let n = staged.len();
         let table = self.catalog.tables.get_mut(&key).expect("resolved");
+        let appended_from = table.rows.len();
+        table.rows.reserve(staged.len());
         table.rows.extend(staged);
+        table.index_append_rows(appended_from);
         if self.txn_snapshot.is_some() {
             self.txn_inserted.insert(key);
         }
@@ -542,6 +609,17 @@ impl Engine {
 
         // Plan updates against an immutable view, then apply.
         let dialect = self.dialect;
+        // Index fast path: `WHERE col = literal` on a UNIQUE/PK column
+        // resolves the touched rows with one probe instead of an O(rows)
+        // scan. `plan_eq_probe` only claims predicates whose naive
+        // evaluation provably cannot error or diverge; the scan below stays
+        // the differential oracle under `ExecStrategy::Naive`.
+        let probe: Option<Vec<usize>> = if self.exec_strategy == ExecStrategy::Hash {
+            let table = self.catalog.tables.get_mut(&key).expect("resolved");
+            plan_eq_probe(table, dialect, &u.table, u.where_clause.as_ref())
+        } else {
+            None
+        };
         let (assignments_idx, planned): (Vec<usize>, Vec<(usize, Vec<Value>)>) = {
             let table = self.catalog.tables.get(&key).expect("resolved");
             let mut idxs = Vec::with_capacity(u.assignments.len());
@@ -569,18 +647,27 @@ impl Engine {
             );
             env.strategy = self.exec_strategy;
             let binder = crate::eval::Binder::new();
-            for (ri, row) in table.rows.iter().enumerate() {
-                env.tick(1)?;
-                let scope = crate::env::Scope { cols: &cols, row, parent: None };
-                let ctx =
-                    EvalCtx { env: &env, scope: Some(&scope), agg: None, binder: Some(&binder) };
-                let hit = match &u.where_clause {
-                    Some(p) => {
-                        crate::value::truthiness(&eval(p, &ctx)?) == crate::value::Truth::True
-                    }
-                    None => true,
-                };
-                if hit {
+            if let Some(cands) = &probe {
+                // Tick parity with the naive scan: each scanned row costs 1
+                // loop tick + 3 eval ticks (Binary, Column, Literal). Ticks
+                // replay incrementally so a budget exhaustion surfaces at
+                // the same point — before a matching row's assignments,
+                // after every preceding row — as the oracle's would.
+                if !table.rows.is_empty() {
+                    env.cov_line(crate::eval::op_cov_key(BinaryOp::Eq));
+                }
+                let mut ticked = 0u64;
+                for &ri in cands {
+                    env.tick(EQ_SCAN_TICKS_PER_ROW * (ri as u64 + 1 - ticked))?;
+                    ticked = ri as u64 + 1;
+                    let row = &table.rows[ri];
+                    let scope = crate::env::Scope { cols: &cols, row, parent: None };
+                    let ctx = EvalCtx {
+                        env: &env,
+                        scope: Some(&scope),
+                        agg: None,
+                        binder: Some(&binder),
+                    };
                     let mut vals = Vec::with_capacity(u.assignments.len());
                     for (ai, (_, e)) in u.assignments.iter().enumerate() {
                         let v = eval(e, &ctx)?;
@@ -588,6 +675,33 @@ impl Engine {
                         vals.push(coerce_for_storage(dialect, v, &ty)?);
                     }
                     planned.push((ri, vals));
+                }
+                env.tick(EQ_SCAN_TICKS_PER_ROW * (table.rows.len() as u64 - ticked))?;
+            } else {
+                for (ri, row) in table.rows.iter().enumerate() {
+                    env.tick(1)?;
+                    let scope = crate::env::Scope { cols: &cols, row, parent: None };
+                    let ctx = EvalCtx {
+                        env: &env,
+                        scope: Some(&scope),
+                        agg: None,
+                        binder: Some(&binder),
+                    };
+                    let hit = match &u.where_clause {
+                        Some(p) => {
+                            crate::value::truthiness(&eval(p, &ctx)?) == crate::value::Truth::True
+                        }
+                        None => true,
+                    };
+                    if hit {
+                        let mut vals = Vec::with_capacity(u.assignments.len());
+                        for (ai, (_, e)) in u.assignments.iter().enumerate() {
+                            let v = eval(e, &ctx)?;
+                            let ty = table.columns[idxs[ai]].ty.clone();
+                            vals.push(coerce_for_storage(dialect, v, &ty)?);
+                        }
+                        planned.push((ri, vals));
+                    }
                 }
             }
             for (is_line, point) in env.hits.borrow().iter() {
@@ -604,7 +718,9 @@ impl Engine {
         let table = self.catalog.tables.get_mut(&key).expect("resolved");
         for (ri, vals) in planned {
             for (ai, v) in vals.into_iter().enumerate() {
-                table.rows[ri][assignments_idx[ai]] = v;
+                let col = assignments_idx[ai];
+                table.index_replace_cell(ri, col, &v);
+                table.rows[ri][col] = v;
             }
         }
         if self.txn_snapshot.is_some() {
@@ -617,48 +733,77 @@ impl Engine {
         let key =
             self.catalog.resolve_table_key(&d.table).ok_or_else(|| self.no_such_table(&d.table))?;
         let dialect = self.dialect;
+        // Same index fast path as update(); see plan_eq_probe.
+        let probe: Option<Vec<usize>> = if self.exec_strategy == ExecStrategy::Hash {
+            let table = self.catalog.tables.get_mut(&key).expect("resolved");
+            plan_eq_probe(table, dialect, &d.table, d.where_clause.as_ref())
+        } else {
+            None
+        };
         let keep: Vec<bool> = {
             let table = self.catalog.tables.get(&key).expect("resolved");
-            let cols: Vec<crate::env::ColBinding> = table
-                .columns
-                .iter()
-                .map(|c| crate::env::ColBinding::qualified(&d.table, &c.name))
-                .collect();
-            let mut env = QueryEnv::new(
-                dialect,
-                &self.catalog,
-                &self.config,
-                &self.faults,
-                &self.extensions,
-                &self.user_functions,
-                self.step_budget,
-            );
-            env.strategy = self.exec_strategy;
-            let binder = crate::eval::Binder::new();
-            let mut keep = Vec::with_capacity(table.rows.len());
-            for row in &table.rows {
-                env.tick(1)?;
-                let retain = match &d.where_clause {
-                    Some(p) => {
-                        let scope = crate::env::Scope { cols: &cols, row, parent: None };
-                        let ctx = EvalCtx {
-                            env: &env,
-                            scope: Some(&scope),
-                            agg: None,
-                            binder: Some(&binder),
-                        };
-                        crate::value::truthiness(&eval(p, &ctx)?) != crate::value::Truth::True
-                    }
-                    None => false,
-                };
-                keep.push(retain);
+            if let Some(cands) = &probe {
+                // Tick parity with the naive scan below (whose env — and
+                // coverage buffer — is dropped without being applied; this
+                // one matches by carrying no hits at all).
+                let env = QueryEnv::new(
+                    dialect,
+                    &self.catalog,
+                    &self.config,
+                    &self.faults,
+                    &self.extensions,
+                    &self.user_functions,
+                    self.step_budget,
+                );
+                env.tick(EQ_SCAN_TICKS_PER_ROW * table.rows.len() as u64)?;
+                let mut keep = vec![true; table.rows.len()];
+                for &ri in cands {
+                    keep[ri] = false;
+                }
+                keep
+            } else {
+                let cols: Vec<crate::env::ColBinding> = table
+                    .columns
+                    .iter()
+                    .map(|c| crate::env::ColBinding::qualified(&d.table, &c.name))
+                    .collect();
+                let mut env = QueryEnv::new(
+                    dialect,
+                    &self.catalog,
+                    &self.config,
+                    &self.faults,
+                    &self.extensions,
+                    &self.user_functions,
+                    self.step_budget,
+                );
+                env.strategy = self.exec_strategy;
+                let binder = crate::eval::Binder::new();
+                let mut keep = Vec::with_capacity(table.rows.len());
+                for row in &table.rows {
+                    env.tick(1)?;
+                    let retain = match &d.where_clause {
+                        Some(p) => {
+                            let scope = crate::env::Scope { cols: &cols, row, parent: None };
+                            let ctx = EvalCtx {
+                                env: &env,
+                                scope: Some(&scope),
+                                agg: None,
+                                binder: Some(&binder),
+                            };
+                            crate::value::truthiness(&eval(p, &ctx)?) != crate::value::Truth::True
+                        }
+                        None => false,
+                    };
+                    keep.push(retain);
+                }
+                keep
             }
-            keep
         };
         let table = self.catalog.tables.get_mut(&key).expect("resolved");
         let before = table.rows.len();
         let mut it = keep.iter();
         table.rows.retain(|_| *it.next().expect("aligned"));
+        table.index_remap_after_retain(&keep);
         Ok(QueryResult { affected: before - table.rows.len(), ..QueryResult::ok() })
     }
 
@@ -693,7 +838,7 @@ impl Engine {
                 default,
             });
         }
-        let mut table = Table { columns, rows: Vec::new() };
+        let mut table = Table { columns, rows: Vec::new(), cindex: Default::default() };
         if let Some(q) = &ct.as_query {
             let rel = self.with_env(|env| run_query(q, env, None))?;
             table.columns = rel.cols.iter().map(|c| Column::new(&c.name, DataType::Any)).collect();
@@ -740,6 +885,7 @@ impl Engine {
                     None => None,
                 };
                 let table = self.catalog.tables.get_mut(&key).expect("resolved");
+                table.invalidate_constraint_indexes();
                 if table.column_index(&def.name).is_some() {
                     return Err(EngineError::catalog(format!(
                         "duplicate column name: {}",
@@ -761,6 +907,7 @@ impl Engine {
             }
             AlterTableAction::DropColumn { name: col, if_exists } => {
                 let table = self.catalog.tables.get_mut(&key).expect("resolved");
+                table.invalidate_constraint_indexes();
                 match table.column_index(col) {
                     Some(i) => {
                         table.columns.remove(i);
@@ -954,6 +1101,9 @@ impl Engine {
         };
         let dialect = self.dialect;
         let t = self.catalog.tables.get_mut(&key).expect("resolved");
+        // Rows land directly (and stay on a mid-file error), so drop any
+        // built indexes up front.
+        t.invalidate_constraint_indexes();
         let mut n = 0usize;
         for line in lines {
             let parts: Vec<&str> = line.split(',').collect();
@@ -1035,6 +1185,81 @@ fn coerce_for_storage(
         });
     }
     cast_value(dialect, v, ty)
+}
+
+/// Claim a `WHERE col = literal` predicate for the UNIQUE/PK constraint
+/// index, returning the ascending row positions it matches — or `None`
+/// whenever the predicate (or the column's stored data) falls outside the
+/// subset where the probe is provably equivalent to the naive per-row
+/// evaluation, so errors, coercions, and collations keep surfacing from
+/// the scan:
+///
+/// * the column must resolve unambiguously to this table (wrong qualifier,
+///   unknown or duplicated names must error through the scan);
+/// * it must be UNIQUE/PK (that's what the index covers);
+/// * a NULL literal matches nothing and can never error — empty probe;
+/// * numeric literals only probe columns that have only ever stored
+///   numerics (text-vs-numeric comparison errors on pg/duckdb and coerces
+///   on mysql/sqlite), and only within f64's exact-integer range, since
+///   `=` compares numerics through f64 while the index keys exactly;
+/// * text literals only probe all-text columns and never on MySQL, whose
+///   `=` is case-insensitive while the index keys exact bytes;
+/// * stored hash-unsafe values can't `=`-match any claimed literal: NaN
+///   compares Unknown, and whole floats ≥ 2^53 are f64-unequal to every
+///   in-range literal.
+fn plan_eq_probe(
+    table: &mut Table,
+    dialect: EngineDialect,
+    stmt_table: &str,
+    where_clause: Option<&Expr>,
+) -> Option<Vec<usize>> {
+    let Expr::Binary { left, op: BinaryOp::Eq, right } = where_clause? else {
+        return None;
+    };
+    let (qualifier, name, lit) = match (left.as_ref(), right.as_ref()) {
+        (Expr::Column { table: q, name }, Expr::Literal(l))
+        | (Expr::Literal(l), Expr::Column { table: q, name }) => (q, name, l),
+        _ => return None,
+    };
+    if let Some(q) = qualifier {
+        if !q.eq_ignore_ascii_case(stmt_table) {
+            return None;
+        }
+    }
+    let mut matches =
+        table.columns.iter().enumerate().filter(|(_, c)| c.name.eq_ignore_ascii_case(name));
+    let (col, def) = matches.next()?;
+    if matches.next().is_some() || !(def.unique || def.primary_key) {
+        return None;
+    }
+    if matches!(lit, Literal::Null) {
+        return Some(Vec::new());
+    }
+    let (key, allowed_classes) = match lit {
+        Literal::Integer(i) => {
+            if i.unsigned_abs() >= 1u64 << 53 {
+                return None;
+            }
+            (GroupKey::Int(*i), 1u8 << 1)
+        }
+        Literal::Float(f) => (Value::Float(*f).try_group_key()?, 1u8 << 1),
+        Literal::String(s) => {
+            if dialect == EngineDialect::Mysql {
+                return None;
+            }
+            (GroupKey::Text(Arc::from(s.as_str())), 1u8 << 2)
+        }
+        // Boolean/blob literals are rare enough to stay on the scan.
+        _ => return None,
+    };
+    table.ensure_constraint_indexes();
+    let ix = table.constraint_index(col)?;
+    if !ix.classes_within(allowed_classes) {
+        return None;
+    }
+    let mut rows = ix.candidates(&key);
+    rows.sort_unstable();
+    Some(rows)
 }
 
 fn stmt_tag(stmt: &Stmt) -> &'static str {

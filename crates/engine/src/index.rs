@@ -1,0 +1,288 @@
+//! Persistent per-table constraint indexes.
+//!
+//! Every UNIQUE/PK column of a [`Table`] can carry a hash index keyed on
+//! the value's grouping normal form ([`GroupKey`]), turning the per-row
+//! UNIQUE probe in `Engine::insert` — and the `WHERE col = literal` row
+//! lookup in UPDATE/DELETE — from an O(rows) scan into an O(1) probe.
+//!
+//! The index is an *acceleration structure*, never a semantics carrier:
+//!
+//! * NULL values are not indexed at all, so NULL-distinct UNIQUE
+//!   semantics hold by construction;
+//! * hash-unsafe values (`try_group_key() == None`: NaN and whole floats
+//!   at or above 2⁵³) are kept on a per-column side list that probes fall
+//!   back to scanning with [`Value::sql_grouping_eq`], the exact
+//!   comparison the naive path uses;
+//! * a per-column storage-class mask records every class ever stored, so
+//!   equality fast paths can decline mixed-class columns where the naive
+//!   comparison could error or coerce dialect-dependently.
+//!
+//! Indexes build lazily (`ensure_constraint_indexes`) the first time a
+//! hash-strategy DML statement wants one, travel with `Table::clone` (so
+//! transaction snapshot/rollback restores them in lock-step with the
+//! rows), and are invalidated wholesale by the structural edits that are
+//! rare in fuzzer workloads (ALTER, COPY, TRUNCATE).
+
+use crate::schema::Table;
+use crate::value::{GroupKey, Value};
+use std::collections::HashMap;
+
+/// The constraint-index state of one table: unbuilt, or one
+/// [`ColumnIndex`] per UNIQUE/PK column.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ConstraintIndexes {
+    built: Option<Vec<ColumnIndex>>,
+}
+
+/// Hash index over one UNIQUE/PK column.
+#[derive(Debug, Clone)]
+pub(crate) struct ColumnIndex {
+    /// Position of the indexed column in the table's row layout.
+    col: usize,
+    /// Grouping key → row positions holding it (non-NULL, hash-safe
+    /// values only). Buckets are never left empty: a `contains_key` hit
+    /// means at least one live row.
+    map: HashMap<GroupKey, Vec<u32>>,
+    /// Rows whose value is non-NULL but hash-unsafe; probes scan these
+    /// with `sql_grouping_eq`.
+    unsafe_rows: Vec<u32>,
+    /// Add-only bitmask of `storage_class_rank`s ever stored (reset on
+    /// rebuild); a conservative superset after deletions.
+    classes: u8,
+}
+
+impl ColumnIndex {
+    fn build(col: usize, rows: &[Vec<Value>]) -> ColumnIndex {
+        let mut ix = ColumnIndex { col, map: HashMap::new(), unsafe_rows: Vec::new(), classes: 0 };
+        for (ri, row) in rows.iter().enumerate() {
+            ix.add(ri as u32, &row[col]);
+        }
+        ix
+    }
+
+    fn add(&mut self, ri: u32, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.classes |= 1 << v.storage_class_rank();
+        match v.try_group_key() {
+            Some(k) => self.map.entry(k).or_default().push(ri),
+            None => self.unsafe_rows.push(ri),
+        }
+    }
+
+    fn remove(&mut self, ri: u32, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        match v.try_group_key() {
+            Some(k) => {
+                if let Some(bucket) = self.map.get_mut(&k) {
+                    if let Some(p) = bucket.iter().position(|&x| x == ri) {
+                        bucket.swap_remove(p);
+                    }
+                    if bucket.is_empty() {
+                        self.map.remove(&k);
+                    }
+                }
+            }
+            None => {
+                if let Some(p) = self.unsafe_rows.iter().position(|&x| x == ri) {
+                    self.unsafe_rows.swap_remove(p);
+                }
+            }
+        }
+    }
+
+    /// Remap positions after a `Vec::retain` over the rows. `new_pos[old]`
+    /// is the post-retain position, or `u32::MAX` for removed rows.
+    fn remap(&mut self, new_pos: &[u32]) {
+        self.map.retain(|_, bucket| {
+            bucket.retain_mut(|p| {
+                let np = new_pos[*p as usize];
+                *p = np;
+                np != u32::MAX
+            });
+            !bucket.is_empty()
+        });
+        self.unsafe_rows.retain_mut(|p| {
+            let np = new_pos[*p as usize];
+            *p = np;
+            np != u32::MAX
+        });
+    }
+
+    /// At least one live row holds a value with this grouping key.
+    pub(crate) fn contains_key(&self, k: &GroupKey) -> bool {
+        self.map.contains_key(k)
+    }
+
+    /// Rows holding non-NULL hash-unsafe values (scan these on probe).
+    pub(crate) fn unsafe_rows(&self) -> &[u32] {
+        &self.unsafe_rows
+    }
+
+    /// Every storage class ever stored is inside the allowed mask.
+    pub(crate) fn classes_within(&self, allowed: u8) -> bool {
+        self.classes & !allowed == 0
+    }
+
+    /// Row positions (unordered) holding exactly this grouping key.
+    pub(crate) fn candidates(&self, k: &GroupKey) -> Vec<usize> {
+        self.map.get(k).map(|b| b.iter().map(|&p| p as usize).collect()).unwrap_or_default()
+    }
+}
+
+impl Table {
+    /// Any UNIQUE or PRIMARY KEY column to index?
+    pub(crate) fn has_constrained_columns(&self) -> bool {
+        self.columns.iter().any(|c| c.unique || c.primary_key)
+    }
+
+    /// Build the constraint indexes if they are not already built.
+    pub(crate) fn ensure_constraint_indexes(&mut self) {
+        if self.cindex.built.is_some() {
+            return;
+        }
+        let built = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.unique || c.primary_key)
+            .map(|(i, _)| ColumnIndex::build(i, &self.rows))
+            .collect();
+        self.cindex.built = Some(built);
+    }
+
+    /// Drop the built indexes; the next `ensure_constraint_indexes`
+    /// rebuilds from the rows. Used by the structural edits (ALTER, COPY,
+    /// TRUNCATE) where incremental maintenance isn't worth the bookkeeping.
+    pub(crate) fn invalidate_constraint_indexes(&mut self) {
+        self.cindex.built = None;
+    }
+
+    /// The built index for a column, if the indexes are built and the
+    /// column is constrained.
+    pub(crate) fn constraint_index(&self, col: usize) -> Option<&ColumnIndex> {
+        self.cindex.built.as_ref()?.iter().find(|ix| ix.col == col)
+    }
+
+    /// Index every row appended at or after `start` (no-op when unbuilt).
+    pub(crate) fn index_append_rows(&mut self, start: usize) {
+        let Table { rows, cindex, .. } = self;
+        let Some(built) = cindex.built.as_mut() else { return };
+        for ix in built {
+            for (ri, row) in rows.iter().enumerate().skip(start) {
+                ix.add(ri as u32, &row[ix.col]);
+            }
+        }
+    }
+
+    /// Re-key one cell ahead of `rows[ri][col] = new` (reads the old value
+    /// from the row storage; no-op when unbuilt or `col` unconstrained).
+    pub(crate) fn index_replace_cell(&mut self, ri: usize, col: usize, new: &Value) {
+        let Table { rows, cindex, .. } = self;
+        let Some(built) = cindex.built.as_mut() else { return };
+        if let Some(ix) = built.iter_mut().find(|ix| ix.col == col) {
+            ix.remove(ri as u32, &rows[ri][col]);
+            ix.add(ri as u32, new);
+        }
+    }
+
+    /// Remap row positions after `rows.retain` driven by `keep` (no-op
+    /// when unbuilt). O(rows) like the retain itself — no rehashing.
+    pub(crate) fn index_remap_after_retain(&mut self, keep: &[bool]) {
+        let Some(built) = self.cindex.built.as_mut() else { return };
+        let mut new_pos = Vec::with_capacity(keep.len());
+        let mut next = 0u32;
+        for &k in keep {
+            if k {
+                new_pos.push(next);
+                next += 1;
+            } else {
+                new_pos.push(u32::MAX);
+            }
+        }
+        for ix in built {
+            ix.remap(&new_pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn table() -> Table {
+        let mut pk = Column::new("id", DataType::Integer);
+        pk.primary_key = true;
+        let v = Column::new("v", DataType::Integer);
+        Table {
+            columns: vec![pk, v],
+            rows: vec![
+                vec![Value::Integer(1), Value::Integer(10)],
+                vec![Value::Integer(2), Value::Integer(20)],
+                vec![Value::Null, Value::Integer(30)],
+                vec![Value::Float(f64::NAN), Value::Integer(40)],
+            ],
+            cindex: Default::default(),
+        }
+    }
+
+    #[test]
+    fn build_skips_nulls_and_sidelists_unsafe_values() {
+        let mut t = table();
+        t.ensure_constraint_indexes();
+        let ix = t.constraint_index(0).unwrap();
+        assert!(ix.contains_key(&GroupKey::Int(1)));
+        assert!(ix.contains_key(&GroupKey::Int(2)));
+        assert!(!ix.contains_key(&GroupKey::Null));
+        assert_eq!(ix.unsafe_rows(), &[3]);
+        assert!(t.constraint_index(1).is_none());
+    }
+
+    #[test]
+    fn append_and_replace_keep_probes_current() {
+        let mut t = table();
+        t.ensure_constraint_indexes();
+        let start = t.rows.len();
+        t.rows.push(vec![Value::Integer(7), Value::Null]);
+        t.index_append_rows(start);
+        assert_eq!(t.constraint_index(0).unwrap().candidates(&GroupKey::Int(7)), vec![4]);
+
+        t.index_replace_cell(4, 0, &Value::Integer(8));
+        t.rows[4][0] = Value::Integer(8);
+        let ix = t.constraint_index(0).unwrap();
+        assert!(!ix.contains_key(&GroupKey::Int(7)));
+        assert_eq!(ix.candidates(&GroupKey::Int(8)), vec![4]);
+    }
+
+    #[test]
+    fn remap_after_retain_tracks_surviving_positions() {
+        let mut t = table();
+        t.ensure_constraint_indexes();
+        let keep = [false, true, true, true];
+        let mut it = keep.iter();
+        t.rows.retain(|_| *it.next().unwrap());
+        t.index_remap_after_retain(&keep);
+        let ix = t.constraint_index(0).unwrap();
+        assert!(!ix.contains_key(&GroupKey::Int(1)));
+        assert_eq!(ix.candidates(&GroupKey::Int(2)), vec![0]);
+        assert_eq!(ix.unsafe_rows(), &[2]);
+    }
+
+    #[test]
+    fn class_mask_is_a_superset_after_mixed_writes() {
+        let mut t = table();
+        t.ensure_constraint_indexes();
+        assert!(t.constraint_index(0).unwrap().classes_within(1 << 1));
+        let start = t.rows.len();
+        t.rows.push(vec![Value::text("x"), Value::Null]);
+        t.index_append_rows(start);
+        let ix = t.constraint_index(0).unwrap();
+        assert!(!ix.classes_within(1 << 1));
+        assert!(ix.classes_within((1 << 1) | (1 << 2)));
+    }
+}

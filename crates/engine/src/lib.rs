@@ -43,6 +43,7 @@ pub mod exec;
 pub mod explain;
 pub mod faults;
 pub mod functions;
+mod index;
 pub mod plan_cache;
 pub mod schema;
 pub mod types;

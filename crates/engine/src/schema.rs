@@ -1,5 +1,6 @@
 //! Catalog: tables, views, indexes, schemas.
 
+use crate::index::ConstraintIndexes;
 use crate::types::DataType;
 use crate::value::Value;
 use squality_sqlast::ast::SelectStmt;
@@ -30,11 +31,23 @@ impl Column {
     }
 }
 
-/// An in-memory table: schema plus row storage.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// An in-memory table: schema plus row storage, plus the lazily built
+/// constraint indexes that accelerate UNIQUE/PK probes (see
+/// `crate::index`). The indexes clone with the table, so transaction
+/// snapshot/rollback keeps them consistent with the rows for free.
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     pub columns: Vec<Column>,
     pub rows: Vec<Vec<Value>>,
+    pub(crate) cindex: ConstraintIndexes,
+}
+
+/// Equality is over the logical content only — two tables differing just
+/// in whether their acceleration indexes happen to be built are equal.
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl Table {
@@ -85,10 +98,14 @@ impl Catalog {
         })
     }
 
-    /// Case-insensitive mutable table lookup.
+    /// Case-insensitive mutable table lookup. Hands out raw mutable access,
+    /// so any built constraint indexes are invalidated first — callers may
+    /// rewrite rows out from under them.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         let key = self.resolve_table_key(name)?;
-        self.tables.get_mut(&key)
+        let t = self.tables.get_mut(&key)?;
+        t.invalidate_constraint_indexes();
+        Some(t)
     }
 
     /// Resolve the stored key for a table name.
@@ -113,7 +130,11 @@ mod tests {
 
     #[test]
     fn column_index_case_insensitive() {
-        let t = Table { columns: vec![Column::new("Alpha", DataType::Integer)], rows: vec![] };
+        let t = Table {
+            columns: vec![Column::new("Alpha", DataType::Integer)],
+            rows: vec![],
+            cindex: Default::default(),
+        };
         assert_eq!(t.column_index("alpha"), Some(0));
         assert_eq!(t.column_index("ALPHA"), Some(0));
         assert_eq!(t.column_index("beta"), None);

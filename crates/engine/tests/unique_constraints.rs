@@ -1,0 +1,246 @@
+//! UNIQUE/PK edge cases through the constraint-index rewrite.
+//!
+//! Every behavior here is checked under the indexed (`Hash`, default)
+//! strategy and, where the two must be observationally identical, against
+//! the retained naive scan (`Naive`). The error strings are asserted
+//! byte-for-byte — they feed the Table 5/6 failure-signature goldens, so
+//! the index rewrite must not perturb a single character.
+
+use squality_engine::{Engine, EngineDialect, ExecStrategy, Value};
+
+/// Run `stmts` on a fresh engine per strategy per dialect; every
+/// per-statement outcome must render identically across strategies.
+fn assert_strategies_agree(dialect: EngineDialect, stmts: &[&str]) {
+    let mut indexed = Engine::new(dialect);
+    let mut naive = Engine::new(dialect);
+    naive.set_exec_strategy(ExecStrategy::Naive);
+    for sql in stmts {
+        let a = format!("{:?}", indexed.execute(sql));
+        let b = format!("{:?}", naive.execute(sql));
+        assert_eq!(a, b, "strategies diverge on {dialect}: {sql}");
+    }
+}
+
+#[test]
+fn unique_nulls_never_clash() {
+    for dialect in EngineDialect::ALL {
+        let mut e = Engine::new(dialect);
+        e.execute("CREATE TABLE t(k INTEGER UNIQUE)").unwrap();
+        for _ in 0..3 {
+            e.execute("INSERT INTO t VALUES (NULL)").unwrap();
+        }
+        let r = e.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(3), "on {dialect}");
+        assert_strategies_agree(
+            dialect,
+            &[
+                "CREATE TABLE t(k INTEGER UNIQUE)",
+                "INSERT INTO t VALUES (NULL), (NULL), (1)",
+                "INSERT INTO t VALUES (NULL)",
+                "SELECT count(*) FROM t",
+            ],
+        );
+    }
+}
+
+#[test]
+fn unique_violation_message_is_byte_stable() {
+    for dialect in EngineDialect::ALL {
+        let mut e = Engine::new(dialect);
+        e.execute("CREATE TABLE t(k INTEGER UNIQUE, v INTEGER)").unwrap();
+        e.execute("INSERT INTO t VALUES (7, 0)").unwrap();
+        let err = e.execute("INSERT INTO t VALUES (7, 1)").unwrap_err();
+        assert_eq!(err.message, "UNIQUE constraint failed: t.k", "on {dialect}");
+        // The failed insert must not have appended anything.
+        let r = e.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(1), "on {dialect}");
+    }
+}
+
+#[test]
+fn not_null_takes_precedence_over_unique_per_column_order() {
+    for dialect in EngineDialect::ALL {
+        let mut e = Engine::new(dialect);
+        e.execute("CREATE TABLE t(a INTEGER NOT NULL, b INTEGER UNIQUE)").unwrap();
+        e.execute("INSERT INTO t VALUES (1, 5)").unwrap();
+        // Row violates both constraints; the NOT NULL on the earlier
+        // column must win, exactly as the naive per-column loop orders it.
+        let err = e.execute("INSERT INTO t VALUES (NULL, 5)").unwrap_err();
+        assert_eq!(err.message, "NOT NULL constraint failed: t.a", "on {dialect}");
+    }
+}
+
+#[test]
+fn or_replace_suppresses_the_error_and_appends() {
+    // SQLite-conflict-clause syntax; the indexed path must keep the
+    // existing (documented) behavior: error suppressed, duplicate appended.
+    let mut e = Engine::new(EngineDialect::Sqlite);
+    e.execute("CREATE TABLE t(k INTEGER UNIQUE)").unwrap();
+    e.execute("INSERT INTO t VALUES (1)").unwrap();
+    e.execute("INSERT OR REPLACE INTO t VALUES (1)").unwrap();
+    let r = e.execute("SELECT count(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(2));
+    assert_strategies_agree(
+        EngineDialect::Sqlite,
+        &[
+            "CREATE TABLE t(k INTEGER UNIQUE)",
+            "INSERT INTO t VALUES (1)",
+            "INSERT OR REPLACE INTO t VALUES (1)",
+            "SELECT count(*) FROM t",
+        ],
+    );
+}
+
+#[test]
+fn multi_row_insert_self_collision_is_caught_in_the_staged_batch() {
+    for dialect in EngineDialect::ALL {
+        let mut e = Engine::new(dialect);
+        e.execute("CREATE TABLE t(k INTEGER UNIQUE)").unwrap();
+        let err = e.execute("INSERT INTO t VALUES (1), (2), (1)").unwrap_err();
+        assert_eq!(err.message, "UNIQUE constraint failed: t.k", "on {dialect}");
+        // All-or-nothing: no partial batch lands.
+        let r = e.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(0), "on {dialect}");
+    }
+}
+
+#[test]
+fn cross_type_numeric_keys_clash_through_coercion() {
+    // 2 and 2.0 are SQL-equal; the GroupKey normal form must agree.
+    for dialect in EngineDialect::ALL {
+        assert_strategies_agree(
+            dialect,
+            &[
+                "CREATE TABLE t(k INTEGER UNIQUE)",
+                "INSERT INTO t VALUES (2)",
+                "INSERT INTO t VALUES (2.0)",
+                "SELECT count(*) FROM t",
+            ],
+        );
+    }
+}
+
+#[test]
+fn case_colliding_text_keys_never_clash() {
+    // 'a' and 'A' are distinct bytes: no UNIQUE violation on any dialect,
+    // even where *comparisons* fold case (MySQL).
+    for dialect in EngineDialect::ALL {
+        let mut e = Engine::new(dialect);
+        e.execute("CREATE TABLE t(c TEXT UNIQUE)").unwrap();
+        e.execute("INSERT INTO t VALUES ('a')").unwrap();
+        e.execute("INSERT INTO t VALUES ('A')").unwrap();
+        let r = e.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(2), "on {dialect}");
+        assert_strategies_agree(
+            dialect,
+            &[
+                "CREATE TABLE t(c TEXT UNIQUE)",
+                "INSERT INTO t VALUES ('a'), ('A')",
+                "INSERT INTO t VALUES ('a')",
+                "UPDATE t SET c = c WHERE c = 'a'",
+                "SELECT count(*) FROM t",
+            ],
+        );
+    }
+}
+
+#[test]
+fn rollback_restores_index_state_with_the_rows() {
+    for dialect in EngineDialect::ALL {
+        let mut e = Engine::new(dialect);
+        e.execute("CREATE TABLE t(k INTEGER UNIQUE)").unwrap();
+        e.execute("INSERT INTO t VALUES (1)").unwrap();
+        e.execute("BEGIN").unwrap();
+        e.execute("INSERT INTO t VALUES (2)").unwrap();
+        e.execute("ROLLBACK").unwrap();
+        // 2 was rolled back: inserting it again must succeed...
+        e.execute("INSERT INTO t VALUES (2)").unwrap();
+        // ...and 1 (pre-transaction) must still clash.
+        let err = e.execute("INSERT INTO t VALUES (1)").unwrap_err();
+        assert_eq!(err.message, "UNIQUE constraint failed: t.k", "on {dialect}");
+        let r = e.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(2), "on {dialect}");
+    }
+}
+
+#[test]
+fn update_delete_eq_fast_path_matches_scan_semantics() {
+    for dialect in EngineDialect::ALL {
+        assert_strategies_agree(
+            dialect,
+            &[
+                "CREATE TABLE t(k INTEGER PRIMARY KEY, v INTEGER)",
+                "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)",
+                "UPDATE t SET v = v + 1 WHERE k = 2",
+                "UPDATE t SET v = 0 WHERE k = 99",
+                // NULL literal: the predicate is UNKNOWN for every row on
+                // both paths — zero rows affected, no error.
+                "UPDATE t SET v = -1 WHERE k = NULL",
+                "DELETE FROM t WHERE k = NULL",
+                "DELETE FROM t WHERE k = 3",
+                "SELECT k, v FROM t",
+            ],
+        );
+    }
+    // MySQL text `=` folds case, so the index declines text probes there;
+    // both strategies must still agree on the (case-folded) result.
+    assert_strategies_agree(
+        EngineDialect::Mysql,
+        &[
+            "CREATE TABLE t(c TEXT UNIQUE, v INTEGER)",
+            "INSERT INTO t VALUES ('a', 1), ('A', 2)",
+            "UPDATE t SET v = v + 10 WHERE c = 'a'",
+            "DELETE FROM t WHERE c = 'A'",
+            "SELECT c, v FROM t",
+        ],
+    );
+}
+
+#[test]
+fn huge_integer_keys_beyond_f64_precision_stay_exact() {
+    // 2^53 and 2^53 + 1 are equal as f64 but distinct keys; the `=` fast
+    // path declines them, and UNIQUE probes must keep them distinct.
+    for dialect in EngineDialect::ALL {
+        assert_strategies_agree(
+            dialect,
+            &[
+                "CREATE TABLE t(k INTEGER UNIQUE)",
+                "INSERT INTO t VALUES (9007199254740992)",
+                "INSERT INTO t VALUES (9007199254740993)",
+                "INSERT INTO t VALUES (9007199254740992)",
+                "UPDATE t SET k = k WHERE k = 9007199254740993",
+                "SELECT count(*) FROM t",
+            ],
+        );
+    }
+}
+
+#[test]
+fn constraints_survive_schema_changes_that_invalidate_the_index() {
+    for dialect in EngineDialect::ALL {
+        assert_strategies_agree(
+            dialect,
+            &[
+                "CREATE TABLE t(k INTEGER UNIQUE, x INTEGER)",
+                "INSERT INTO t VALUES (1, 0)",
+                "ALTER TABLE t ADD COLUMN y INTEGER",
+                "INSERT INTO t VALUES (1, 0, 0)",
+                "ALTER TABLE t DROP COLUMN x",
+                "INSERT INTO t VALUES (2, 0)",
+                "INSERT INTO t VALUES (2, 0)",
+                "SELECT count(*) FROM t",
+            ],
+        );
+        // DELETE FROM (truncate arm) clears rows and index together.
+        assert_strategies_agree(
+            dialect,
+            &[
+                "CREATE TABLE t(k INTEGER UNIQUE)",
+                "INSERT INTO t VALUES (1)",
+                "DELETE FROM t",
+                "INSERT INTO t VALUES (1)",
+                "SELECT count(*) FROM t",
+            ],
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Differential property test for the constraint-index rewrite: random DML
+//! streams against UNIQUE/PK tables must produce *identical* per-statement
+//! outcomes — and, for failures, identical [`FailureSignature`]s — under
+//! the indexed (`Hash`) strategy and the retained naive linear-scan oracle
+//! (`Naive`), on every dialect.
+//!
+//! The streams are deliberately hostile to an index keyed on the hashable
+//! normal form: NULL-heavy inserts (NULL-distinct UNIQUE semantics),
+//! case-colliding text (`'a'` vs `'A'` — distinct bytes, so no UNIQUE
+//! clash even where comparisons fold case), cross-type numeric keys
+//! (`2` vs `2.0` clash through coercion), integers beyond f64's 2^53
+//! precision (the index declines `=` probes there), multi-row INSERTs
+//! (staged-batch self-collision), `INSERT OR REPLACE`, equality-predicate
+//! UPDATE/DELETE (the fast path), and transaction rollback (index
+//! snapshot/restore).
+
+use proptest::prelude::*;
+use squality_engine::{Engine, EngineDialect, ExecStrategy};
+use squality_runner::{FailKind, FailureSignature};
+
+/// Key literals: tiny domains so UNIQUE probes actually collide.
+fn key() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("NULL".to_string()),
+        (0i64..5).prop_map(|i| i.to_string()),
+        (0i64..5).prop_map(|i| format!("{i}.0")),
+        (0i64..3).prop_map(|i| format!("{i}.5")),
+        Just("9007199254740992".to_string()),
+        Just("9007199254740993".to_string()),
+    ]
+}
+
+/// Text keys for the UNIQUE TEXT column: case pairs plus NULL.
+fn text_key() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("NULL".to_string()),
+        "[aAbB]{1,2}".prop_map(|s| format!("'{s}'")),
+        "[aAbB]{1,2}".prop_map(|s| format!("'{s}'")),
+    ]
+}
+
+/// One statement of the stream.
+fn stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Single-row insert into the two-UNIQUE-column table (twice the
+        // weight of the other arms: collisions need populated tables).
+        (key(), text_key()).prop_map(|(k, c)| format!("INSERT INTO t VALUES ({k}, {c}, 0)")),
+        (key(), text_key()).prop_map(|(k, c)| format!("INSERT INTO t VALUES ({k}, {c}, 9)")),
+        // Multi-row insert: staged-batch self-collision within one statement.
+        ((key(), text_key()), (key(), text_key())).prop_map(|((k1, c1), (k2, c2))| {
+            format!("INSERT INTO t VALUES ({k1}, {c1}, 1), ({k2}, {c2}, 2)")
+        }),
+        // OR REPLACE: suppresses the UNIQUE error (dialect-dependent parse).
+        (key(), text_key())
+            .prop_map(|(k, c)| format!("INSERT OR REPLACE INTO t VALUES ({k}, {c}, 3)")),
+        // Equality-predicate UPDATE/DELETE: the index fast path vs the scan.
+        key().prop_map(|k| format!("UPDATE t SET v = v + 1 WHERE k = {k}")),
+        text_key().prop_map(|c| format!("UPDATE t SET v = v - 1 WHERE c = {c}")),
+        key().prop_map(|k| format!("DELETE FROM t WHERE k = {k}")),
+        text_key().prop_map(|c| format!("DELETE FROM t WHERE c = {c}")),
+        // Transactions: rollback must restore rows *and* index state.
+        Just("BEGIN".to_string()),
+        Just("COMMIT".to_string()),
+        Just("ROLLBACK".to_string()),
+    ]
+}
+
+/// Signature of a failed statement, as the triage layer would compute it.
+fn signature(err: &squality_engine::EngineError, sql: &str) -> FailureSignature {
+    FailureSignature::compute(
+        FailKind::UnexpectedError,
+        Some(err.kind),
+        &err.message,
+        &[],
+        &[],
+        Some(sql),
+    )
+}
+
+proptest! {
+    #[test]
+    fn indexed_constraints_match_naive_oracle(
+        stmts in prop::collection::vec(stmt(), 0..40),
+    ) {
+        for dialect in EngineDialect::ALL {
+            let mut indexed = Engine::new(dialect);
+            let mut naive = Engine::new(dialect);
+            naive.set_exec_strategy(ExecStrategy::Naive);
+            for e in [&mut indexed, &mut naive] {
+                e.execute("CREATE TABLE t(k INTEGER UNIQUE, c TEXT UNIQUE, v INTEGER)")
+                    .expect("setup");
+            }
+            for sql in &stmts {
+                let a = indexed.execute(sql);
+                let b = naive.execute(sql);
+                // Outcomes must render identically (NaN-tolerant equality).
+                prop_assert!(
+                    format!("{a:?}") == format!("{b:?}"),
+                    "strategies diverge on {dialect}: {sql}\n  indexed: {a:?}\n  naive:   {b:?}"
+                );
+                // And failures must cluster identically downstream.
+                if let (Err(ea), Err(eb)) = (&a, &b) {
+                    let (sa, sb) = (signature(ea, sql), signature(eb, sql));
+                    prop_assert!(
+                        sa == sb,
+                        "failure signatures diverge on {dialect}: {sql}\n  {sa:?}\n  {sb:?}"
+                    );
+                }
+            }
+            // Final table contents must agree row-for-row.
+            let a = format!("{:?}", indexed.execute("SELECT k, c, v FROM t"));
+            let b = format!("{:?}", naive.execute("SELECT k, c, v FROM t"));
+            prop_assert!(a == b, "final state diverges on {dialect}:\n  {a}\n  {b}");
+        }
+    }
+}
